@@ -1,0 +1,30 @@
+//! # pf-algebra — the Table 1 relational algebra
+//!
+//! Pathfinder compiles XQuery into plans over a very explicit,
+//! "assembly-style" relational algebra (Table 1 of the paper).  This crate
+//! defines that algebra as a DAG of logical operators, infers schemas and
+//! order/duplicate properties, applies the peephole-style optimizations the
+//! paper refers to ([Grust, XIME-P 2005]), counts operators (the paper notes
+//! XMark Q8 compiles to a ~120 operator DAG before optimization) and renders
+//! plans as ASCII trees or Graphviz DOT — the "look under the hood" hooks of
+//! the demonstration setup (Section 4).
+//!
+//! The algebra deliberately exploits restrictions that hold for compiled
+//! plans: all joins are equi-joins (a single explicit theta-join exists for
+//! the Q11/Q12-style value joins), π never eliminates duplicates, and all
+//! unions are disjoint.
+//!
+//! Execution of these plans lives in `pf-engine`; this crate is purely the
+//! logical layer.
+
+pub mod ops;
+pub mod optimize;
+pub mod plan;
+pub mod render;
+pub mod schema;
+
+pub use ops::{AlgOp, SortSpec};
+pub use optimize::{optimize, OptimizeReport};
+pub use plan::{OpId, Plan, PlanBuilder};
+pub use render::{to_ascii, to_dot};
+pub use schema::{infer_schema, Properties};

@@ -1,0 +1,421 @@
+//! Peephole-style plan optimization.
+//!
+//! "Query plans can become quite large (XMark query Q8, e.g., prior to
+//! optimization, compiles to a plan DAG of 120 operators).  This complexity
+//! may significantly be reduced by peep-hole style optimization [5]."
+//!
+//! The rewrites implemented here are local (peephole) and exploit the
+//! algebra's restrictions and the inferred properties of
+//! [`crate::schema`]:
+//!
+//! 1. **Projection merging** — π(π(q)) ⇒ π(q) with composed renaming.
+//! 2. **Identity projection removal** — a π that keeps every column of its
+//!    input under the same name is dropped.
+//! 3. **Redundant `ddo` removal** — `fs:distinct-doc-order` applied to an
+//!    input that is already in distinct document order (e.g. directly after
+//!    a staircase-join step) is dropped.
+//! 4. **Redundant δ removal** — duplicate elimination over a provably
+//!    duplicate-free input is dropped.
+//! 5. **Common subexpression elimination** — structurally identical
+//!    operators are merged, turning the plan into a maximally shared DAG.
+//! 6. **Attach/constant folding into literals** — attaching a constant
+//!    column to a literal table is evaluated at compile time.
+//!
+//! The optimizer runs the rewrites to a fixpoint and reports what it did;
+//! the `plan_size` harness binary uses that report to reproduce the paper's
+//! plan-complexity claim (experiment E5).
+
+use std::collections::HashMap;
+
+use crate::ops::AlgOp;
+use crate::plan::{OpId, Plan};
+use crate::schema::infer_schema;
+
+/// Statistics of one [`optimize`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizeReport {
+    /// Reachable operators before optimization.
+    pub operators_before: usize,
+    /// Reachable operators after optimization.
+    pub operators_after: usize,
+    /// Number of merged projection pairs.
+    pub projections_merged: usize,
+    /// Number of identity projections removed.
+    pub identity_projections_removed: usize,
+    /// Number of redundant `ddo` operators removed.
+    pub doc_orders_removed: usize,
+    /// Number of redundant δ operators removed.
+    pub distincts_removed: usize,
+    /// Number of operators merged by common-subexpression elimination.
+    pub cse_merged: usize,
+    /// Number of constant attaches folded into literal tables.
+    pub constants_folded: usize,
+}
+
+impl OptimizeReport {
+    /// Fraction of operators removed, in percent.
+    pub fn reduction_percent(&self) -> f64 {
+        if self.operators_before == 0 {
+            return 0.0;
+        }
+        100.0 * (self.operators_before - self.operators_after) as f64 / self.operators_before as f64
+    }
+}
+
+/// Optimize `plan` in place and report what happened.
+pub fn optimize(plan: &mut Plan) -> OptimizeReport {
+    let mut report = OptimizeReport {
+        operators_before: plan.operator_count(),
+        ..Default::default()
+    };
+    // Run to a fixpoint; each pass is cheap (linear in plan size).
+    loop {
+        let mut changed = false;
+        changed |= merge_projections(plan, &mut report);
+        changed |= remove_identity_projections(plan, &mut report);
+        changed |= remove_redundant_order_ops(plan, &mut report);
+        changed |= fold_constant_attach(plan, &mut report);
+        changed |= common_subexpressions(plan, &mut report);
+        if !changed {
+            break;
+        }
+    }
+    report.operators_after = plan.operator_count();
+    report
+}
+
+/// Redirect every reference to `from` so that it points to `to`.
+fn redirect(plan: &mut Plan, from: OpId, to: OpId) {
+    if plan.root() == from {
+        plan.set_root(to);
+    }
+    let n = plan.ops().len();
+    for id in 0..n {
+        let children = plan.op(id).children();
+        for (idx, child) in children.iter().enumerate() {
+            if *child == from {
+                plan.ops_mut()[id].replace_child(idx, to);
+            }
+        }
+    }
+}
+
+/// Rewrite π(π(q)) into a single π with composed column mapping.
+fn merge_projections(plan: &mut Plan, report: &mut OptimizeReport) -> bool {
+    let mut changed = false;
+    for id in plan.reachable() {
+        let AlgOp::Project { input, columns } = plan.op(id).clone() else {
+            continue;
+        };
+        let AlgOp::Project {
+            input: inner_input,
+            columns: inner_columns,
+        } = plan.op(input).clone()
+        else {
+            continue;
+        };
+        // Compose: outer (source→target) looks up source in the inner map.
+        let inner_map: HashMap<&str, &str> = inner_columns
+            .iter()
+            .map(|(s, t)| (t.as_str(), s.as_str()))
+            .collect();
+        let Some(composed) = columns
+            .iter()
+            .map(|(source, target)| {
+                inner_map
+                    .get(source.as_str())
+                    .map(|orig| (orig.to_string(), target.clone()))
+            })
+            .collect::<Option<Vec<_>>>()
+        else {
+            continue;
+        };
+        plan.ops_mut()[id] = AlgOp::Project {
+            input: inner_input,
+            columns: composed,
+        };
+        report.projections_merged += 1;
+        changed = true;
+    }
+    changed
+}
+
+/// Remove projections that keep all input columns under unchanged names.
+fn remove_identity_projections(plan: &mut Plan, report: &mut OptimizeReport) -> bool {
+    let props = infer_schema(plan);
+    let mut changed = false;
+    for id in plan.reachable() {
+        let AlgOp::Project { input, columns } = plan.op(id) else {
+            continue;
+        };
+        let Some(child_props) = props.get(input) else {
+            continue;
+        };
+        let identity = columns.len() == child_props.columns.len()
+            && columns
+                .iter()
+                .zip(&child_props.columns)
+                .all(|((s, t), c)| s == t && s == c);
+        if identity {
+            let input = *input;
+            redirect(plan, id, input);
+            report.identity_projections_removed += 1;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Remove `ddo` over already document-ordered inputs and δ over already
+/// distinct inputs.
+fn remove_redundant_order_ops(plan: &mut Plan, report: &mut OptimizeReport) -> bool {
+    let props = infer_schema(plan);
+    let mut changed = false;
+    for id in plan.reachable() {
+        match plan.op(id) {
+            AlgOp::DocOrder { input }
+                if props.get(input).map(|p| p.doc_ordered).unwrap_or(false) => {
+                    let input = *input;
+                    redirect(plan, id, input);
+                    report.doc_orders_removed += 1;
+                    changed = true;
+                }
+            AlgOp::Distinct { input }
+                if props.get(input).map(|p| p.distinct).unwrap_or(false) => {
+                    let input = *input;
+                    redirect(plan, id, input);
+                    report.distincts_removed += 1;
+                    changed = true;
+                }
+            _ => {}
+        }
+    }
+    changed
+}
+
+/// Evaluate `Attach` over a literal table at compile time.
+fn fold_constant_attach(plan: &mut Plan, report: &mut OptimizeReport) -> bool {
+    let mut changed = false;
+    for id in plan.reachable() {
+        let AlgOp::Attach {
+            input,
+            target,
+            value,
+        } = plan.op(id).clone()
+        else {
+            continue;
+        };
+        let AlgOp::Lit { columns, rows } = plan.op(input).clone() else {
+            continue;
+        };
+        let mut new_columns = columns.clone();
+        new_columns.push(target.clone());
+        let new_rows = rows
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r.push(value.clone());
+                r
+            })
+            .collect();
+        plan.ops_mut()[id] = AlgOp::Lit {
+            columns: new_columns,
+            rows: new_rows,
+        };
+        report.constants_folded += 1;
+        changed = true;
+    }
+    changed
+}
+
+/// Merge structurally identical operators (after children have been merged —
+/// processing in topological order guarantees this converges).
+fn common_subexpressions(plan: &mut Plan, report: &mut OptimizeReport) -> bool {
+    let mut changed = false;
+    let mut canonical: HashMap<String, OpId> = HashMap::new();
+    for id in plan.reachable() {
+        // The Debug representation includes child ids, which at this point
+        // already reference canonical representatives.
+        let key = format!("{:?}", plan.op(id));
+        match canonical.get(&key) {
+            Some(&existing) if existing != id => {
+                redirect(plan, id, existing);
+                report.cse_merged += 1;
+                changed = true;
+            }
+            Some(_) => {}
+            None => {
+                canonical.insert(key, id);
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanBuilder;
+    use pf_relational::Value;
+    use pf_store::{Axis, NodeTest};
+
+    fn lit(b: &mut PlanBuilder) -> OpId {
+        b.add(AlgOp::Lit {
+            columns: vec!["iter".into(), "pos".into(), "item".into()],
+            rows: vec![vec![Value::Nat(1), Value::Nat(1), Value::Int(1)]],
+        })
+    }
+
+    #[test]
+    fn merges_stacked_projections() {
+        let mut b = PlanBuilder::new();
+        let l = lit(&mut b);
+        let p1 = b.add(AlgOp::Project {
+            input: l,
+            columns: vec![("iter".into(), "outer".into()), ("item".into(), "item".into())],
+        });
+        let p2 = b.add(AlgOp::Project {
+            input: p1,
+            columns: vec![("outer".into(), "iter".into())],
+        });
+        let mut plan = b.finish(p2);
+        let report = optimize(&mut plan);
+        assert!(report.projections_merged >= 1);
+        // The root is now a single projection straight over the literal.
+        match plan.op(plan.root()) {
+            AlgOp::Project { input, columns } => {
+                assert_eq!(*input, l);
+                assert_eq!(columns, &vec![("iter".to_string(), "iter".to_string())]);
+            }
+            other => panic!("expected projection, found {other:?}"),
+        }
+    }
+
+    #[test]
+    fn removes_identity_projection() {
+        let mut b = PlanBuilder::new();
+        let l = lit(&mut b);
+        let p = b.add(AlgOp::Project {
+            input: l,
+            columns: vec![
+                ("iter".into(), "iter".into()),
+                ("pos".into(), "pos".into()),
+                ("item".into(), "item".into()),
+            ],
+        });
+        let d = b.add(AlgOp::Distinct { input: p });
+        let mut plan = b.finish(d);
+        let report = optimize(&mut plan);
+        assert_eq!(report.identity_projections_removed, 1);
+    }
+
+    #[test]
+    fn removes_redundant_doc_order_after_step() {
+        let mut b = PlanBuilder::new();
+        let l = b.add(AlgOp::Lit {
+            columns: vec!["iter".into(), "item".into()],
+            rows: vec![],
+        });
+        let step = b.add(AlgOp::Step {
+            input: l,
+            axis: Axis::Descendant,
+            test: NodeTest::AnyElement,
+        });
+        let ddo = b.add(AlgOp::DocOrder { input: step });
+        let mut plan = b.finish(ddo);
+        let report = optimize(&mut plan);
+        assert_eq!(report.doc_orders_removed, 1);
+        assert_eq!(plan.root(), step);
+    }
+
+    #[test]
+    fn removes_redundant_distinct() {
+        let mut b = PlanBuilder::new();
+        let l = b.add(AlgOp::Lit {
+            columns: vec!["iter".into(), "item".into()],
+            rows: vec![],
+        });
+        let step = b.add(AlgOp::Step {
+            input: l,
+            axis: Axis::Child,
+            test: NodeTest::AnyNode,
+        });
+        let d = b.add(AlgOp::Distinct { input: step });
+        let mut plan = b.finish(d);
+        let report = optimize(&mut plan);
+        assert_eq!(report.distincts_removed, 1);
+    }
+
+    #[test]
+    fn cse_merges_identical_subplans() {
+        let mut b = PlanBuilder::new();
+        let l1 = lit(&mut b);
+        let l2 = lit(&mut b);
+        let p1 = b.add(AlgOp::Project {
+            input: l1,
+            columns: vec![("iter".into(), "iter".into()), ("item".into(), "a".into())],
+        });
+        let p2 = b.add(AlgOp::Project {
+            input: l2,
+            columns: vec![("iter".into(), "iter1".into()), ("item".into(), "b".into())],
+        });
+        let join = b.add(AlgOp::EquiJoin {
+            left: p1,
+            right: p2,
+            left_col: "iter".into(),
+            right_col: "iter1".into(),
+        });
+        let mut plan = b.finish(join);
+        let before = plan.operator_count();
+        let report = optimize(&mut plan);
+        assert!(report.cse_merged >= 1, "duplicate literals should merge");
+        assert!(plan.operator_count() < before);
+    }
+
+    #[test]
+    fn folds_constant_attach_into_literal() {
+        let mut b = PlanBuilder::new();
+        let l = b.add(AlgOp::Lit {
+            columns: vec!["iter".into()],
+            rows: vec![vec![Value::Nat(1)], vec![Value::Nat(2)]],
+        });
+        let a = b.add(AlgOp::Attach {
+            input: l,
+            target: "pos".into(),
+            value: Value::Nat(1),
+        });
+        let mut plan = b.finish(a);
+        let report = optimize(&mut plan);
+        assert_eq!(report.constants_folded, 1);
+        match plan.op(plan.root()) {
+            AlgOp::Lit { columns, rows } => {
+                assert_eq!(columns, &vec!["iter".to_string(), "pos".to_string()]);
+                assert_eq!(rows[1], vec![Value::Nat(2), Value::Nat(1)]);
+            }
+            other => panic!("expected folded literal, found {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimization_reaches_a_fixpoint_and_shrinks() {
+        let mut b = PlanBuilder::new();
+        let l = lit(&mut b);
+        let p = b.add(AlgOp::Project {
+            input: l,
+            columns: vec![
+                ("iter".into(), "iter".into()),
+                ("pos".into(), "pos".into()),
+                ("item".into(), "item".into()),
+            ],
+        });
+        let ddo = b.add(AlgOp::DocOrder { input: p });
+        let d = b.add(AlgOp::Distinct { input: ddo });
+        let mut plan = b.finish(d);
+        let report = optimize(&mut plan);
+        assert!(report.operators_after <= report.operators_before);
+        assert!(report.reduction_percent() >= 0.0);
+        // A second run must be a no-op.
+        let report2 = optimize(&mut plan);
+        assert_eq!(report2.operators_before, report2.operators_after);
+    }
+}

@@ -1,0 +1,229 @@
+//! Plan DAGs and the plan builder.
+
+use crate::ops::AlgOp;
+
+/// Identifier of an operator within a [`Plan`] (index into the node arena).
+pub type OpId = usize;
+
+/// A query plan: a DAG of [`AlgOp`]s with a designated root.
+///
+/// Nodes are stored in an arena; children reference other nodes by [`OpId`].
+/// The same node may be referenced by several parents (common subexpression
+/// sharing), which is essential to keep the loop-lifted plans manageable —
+/// the paper reports ~120 operators for XMark Q8 *with* sharing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    ops: Vec<AlgOp>,
+    root: OpId,
+}
+
+impl Plan {
+    /// Build a plan from an arena and a root id.
+    pub fn new(ops: Vec<AlgOp>, root: OpId) -> Self {
+        assert!(root < ops.len(), "root id out of bounds");
+        Plan { ops, root }
+    }
+
+    /// The root operator id.
+    pub fn root(&self) -> OpId {
+        self.root
+    }
+
+    /// The operator with id `id`.
+    pub fn op(&self, id: OpId) -> &AlgOp {
+        &self.ops[id]
+    }
+
+    /// All operators (including ones no longer reachable from the root).
+    pub fn ops(&self) -> &[AlgOp] {
+        &self.ops
+    }
+
+    /// Mutable access used by the optimizer.
+    pub(crate) fn ops_mut(&mut self) -> &mut Vec<AlgOp> {
+        &mut self.ops
+    }
+
+    /// Change the root.
+    pub(crate) fn set_root(&mut self, root: OpId) {
+        assert!(root < self.ops.len());
+        self.root = root;
+    }
+
+    /// Ids of all operators reachable from the root, in a topological order
+    /// (children before parents).
+    pub fn reachable(&self) -> Vec<OpId> {
+        let mut visited = vec![false; self.ops.len()];
+        let mut order = Vec::new();
+        let mut stack = vec![(self.root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                order.push(id);
+                continue;
+            }
+            if visited[id] {
+                continue;
+            }
+            visited[id] = true;
+            stack.push((id, true));
+            for child in self.ops[id].children() {
+                if !visited[child] {
+                    stack.push((child, false));
+                }
+            }
+        }
+        order
+    }
+
+    /// Number of operators reachable from the root — the "plan size" metric
+    /// used for the Q8 plan-size experiment (E5).
+    pub fn operator_count(&self) -> usize {
+        self.reachable().len()
+    }
+
+    /// Count reachable operators per symbol family (for plan statistics).
+    pub fn operator_histogram(&self) -> Vec<(String, usize)> {
+        use std::collections::BTreeMap;
+        let mut hist: BTreeMap<String, usize> = BTreeMap::new();
+        for id in self.reachable() {
+            let name = match self.op(id) {
+                AlgOp::Lit { .. } => "table",
+                AlgOp::Doc { .. } => "doc",
+                AlgOp::Project { .. } => "project",
+                AlgOp::Select { .. } | AlgOp::SelectEq { .. } => "select",
+                AlgOp::Distinct { .. } => "distinct",
+                AlgOp::Union { .. } => "union",
+                AlgOp::Difference { .. } => "difference",
+                AlgOp::EquiJoin { .. } => "equi-join",
+                AlgOp::ThetaJoin { .. } => "theta-join",
+                AlgOp::Cross { .. } => "cross",
+                AlgOp::RowNum { .. } => "rownum",
+                AlgOp::BinaryMap { .. } | AlgOp::UnaryMap { .. } => "map",
+                AlgOp::Attach { .. } => "attach",
+                AlgOp::Aggregate { .. } => "aggregate",
+                AlgOp::Step { .. } => "step",
+                AlgOp::DocOrder { .. } => "ddo",
+                AlgOp::FnData { .. } => "data",
+                AlgOp::FnRoot { .. } => "root",
+                AlgOp::Ebv { .. } => "ebv",
+                AlgOp::ElemConstruct { .. } | AlgOp::AttrConstruct { .. } | AlgOp::TextConstruct { .. } => {
+                    "construct"
+                }
+                AlgOp::Sort { .. } => "sort",
+            };
+            *hist.entry(name.to_string()).or_default() += 1;
+        }
+        hist.into_iter().collect()
+    }
+}
+
+/// Incremental plan builder used by the compiler.
+#[derive(Debug, Default)]
+pub struct PlanBuilder {
+    ops: Vec<AlgOp>,
+}
+
+impl PlanBuilder {
+    /// Start with an empty arena.
+    pub fn new() -> Self {
+        PlanBuilder::default()
+    }
+
+    /// Append an operator and return its id.
+    pub fn add(&mut self, op: AlgOp) -> OpId {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    /// Number of operators added so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if no operators were added.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Peek at an operator.
+    pub fn op(&self, id: OpId) -> &AlgOp {
+        &self.ops[id]
+    }
+
+    /// Finish building, designating `root` as the plan root.
+    pub fn finish(self, root: OpId) -> Plan {
+        Plan::new(self.ops, root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_relational::Value;
+
+    fn small_plan() -> Plan {
+        let mut b = PlanBuilder::new();
+        let lit = b.add(AlgOp::Lit {
+            columns: vec!["iter".into(), "pos".into(), "item".into()],
+            rows: vec![vec![Value::Nat(1), Value::Nat(1), Value::Int(10)]],
+        });
+        let p1 = b.add(AlgOp::Project {
+            input: lit,
+            columns: vec![("iter".into(), "iter".into()), ("item".into(), "item".into())],
+        });
+        let p2 = b.add(AlgOp::Project {
+            input: lit,
+            columns: vec![("iter".into(), "iter1".into()), ("item".into(), "item1".into())],
+        });
+        let join = b.add(AlgOp::EquiJoin {
+            left: p1,
+            right: p2,
+            left_col: "iter".into(),
+            right_col: "iter1".into(),
+        });
+        b.finish(join)
+    }
+
+    #[test]
+    fn reachable_is_topological() {
+        let plan = small_plan();
+        let order = plan.reachable();
+        assert_eq!(order.len(), 4);
+        // children appear before parents
+        let pos = |id: OpId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+        assert_eq!(*order.last().unwrap(), plan.root());
+    }
+
+    #[test]
+    fn operator_count_ignores_unreachable_nodes() {
+        let mut b = PlanBuilder::new();
+        let lit = b.add(AlgOp::Lit {
+            columns: vec!["iter".into()],
+            rows: vec![],
+        });
+        let _orphan = b.add(AlgOp::Distinct { input: lit });
+        let keep = b.add(AlgOp::Distinct { input: lit });
+        let plan = b.finish(keep);
+        assert_eq!(plan.ops().len(), 3);
+        assert_eq!(plan.operator_count(), 2);
+    }
+
+    #[test]
+    fn histogram_counts_shared_nodes_once() {
+        let plan = small_plan();
+        let hist = plan.operator_histogram();
+        let get = |name: &str| hist.iter().find(|(n, _)| n == name).map(|(_, c)| *c).unwrap_or(0);
+        assert_eq!(get("table"), 1);
+        assert_eq!(get("project"), 2);
+        assert_eq!(get("equi-join"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "root id out of bounds")]
+    fn invalid_root_panics() {
+        Plan::new(vec![], 0);
+    }
+}

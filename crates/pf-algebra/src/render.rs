@@ -1,0 +1,124 @@
+//! Plan rendering — the demonstration's "graphical output of relational
+//! query plans at different compilation stages" (Section 4, Figure 5).
+//!
+//! Two renderers are provided: Graphviz DOT (for graphical output) and an
+//! indented ASCII tree with sharing markers (for terminal use and tests).
+
+use std::collections::HashMap;
+
+use crate::plan::{OpId, Plan};
+
+/// Render `plan` as a Graphviz DOT digraph.
+pub fn to_dot(plan: &Plan) -> String {
+    let mut out = String::from("digraph plan {\n  node [shape=box, fontname=\"monospace\"];\n");
+    let reachable = plan.reachable();
+    for &id in &reachable {
+        let label = plan.op(id).symbol().replace('"', "\\\"");
+        let shape_extra = if id == plan.root() { ", style=bold" } else { "" };
+        out.push_str(&format!("  n{id} [label=\"{label}\"{shape_extra}];\n"));
+    }
+    for &id in &reachable {
+        for child in plan.op(id).children() {
+            out.push_str(&format!("  n{id} -> n{child};\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render `plan` as an indented ASCII tree rooted at the plan root.
+///
+/// Nodes referenced more than once (shared subexpressions) are expanded only
+/// the first time; further references print `*see #id`.
+pub fn to_ascii(plan: &Plan) -> String {
+    let mut reference_count: HashMap<OpId, usize> = HashMap::new();
+    for id in plan.reachable() {
+        for child in plan.op(id).children() {
+            *reference_count.entry(child).or_default() += 1;
+        }
+    }
+    let mut out = String::new();
+    let mut printed: HashMap<OpId, ()> = HashMap::new();
+    render_node(plan, plan.root(), 0, &reference_count, &mut printed, &mut out);
+    out
+}
+
+fn render_node(
+    plan: &Plan,
+    id: OpId,
+    depth: usize,
+    refs: &HashMap<OpId, usize>,
+    printed: &mut HashMap<OpId, ()>,
+    out: &mut String,
+) {
+    let indent = "  ".repeat(depth);
+    let shared = refs.get(&id).copied().unwrap_or(0) > 1;
+    if printed.contains_key(&id) && shared {
+        out.push_str(&format!("{indent}*see #{id}\n"));
+        return;
+    }
+    let marker = if shared { format!(" [#{id}]") } else { String::new() };
+    out.push_str(&format!("{indent}{}{marker}\n", plan.op(id).symbol()));
+    printed.insert(id, ());
+    for child in plan.op(id).children() {
+        render_node(plan, child, depth + 1, refs, printed, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::AlgOp;
+    use crate::plan::PlanBuilder;
+    use pf_relational::Value;
+
+    fn shared_plan() -> Plan {
+        let mut b = PlanBuilder::new();
+        let lit = b.add(AlgOp::Lit {
+            columns: vec!["iter".into(), "item".into()],
+            rows: vec![vec![Value::Nat(1), Value::Int(10)]],
+        });
+        let p1 = b.add(AlgOp::Project {
+            input: lit,
+            columns: vec![("iter".into(), "iter".into())],
+        });
+        let p2 = b.add(AlgOp::Project {
+            input: lit,
+            columns: vec![("iter".into(), "iter1".into())],
+        });
+        let join = b.add(AlgOp::EquiJoin {
+            left: p1,
+            right: p2,
+            left_col: "iter".into(),
+            right_col: "iter1".into(),
+        });
+        b.finish(join)
+    }
+
+    #[test]
+    fn dot_output_contains_all_reachable_nodes_and_edges() {
+        let plan = shared_plan();
+        let dot = to_dot(&plan);
+        assert!(dot.starts_with("digraph plan {"));
+        assert_eq!(dot.matches("label=").count(), 4);
+        assert_eq!(dot.matches("->").count(), 4);
+        assert!(dot.contains("⋈"));
+    }
+
+    #[test]
+    fn ascii_output_marks_shared_nodes() {
+        let plan = shared_plan();
+        let ascii = to_ascii(&plan);
+        assert!(ascii.contains("⋈[iter=iter1]"));
+        assert!(ascii.contains("*see #0"), "shared literal should be referenced: {ascii}");
+    }
+
+    #[test]
+    fn ascii_indentation_reflects_depth() {
+        let plan = shared_plan();
+        let ascii = to_ascii(&plan);
+        let lines: Vec<&str> = ascii.lines().collect();
+        assert!(lines[0].starts_with('⋈'));
+        assert!(lines[1].starts_with("  π"));
+    }
+}

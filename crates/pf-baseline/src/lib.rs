@@ -1,0 +1,36 @@
+//! # pf-baseline — a navigational XQuery engine (the X-Hive/DB stand-in)
+//!
+//! The paper's evaluation (Section 3) compares Pathfinder against
+//! X-Hive/DB, a native XML database whose processing model the paper
+//! characterizes as "in a sense only … nested loop, i.e., recursive,
+//! processing".  X-Hive is proprietary and defunct, so this crate provides
+//! the closest open substitute: a straightforward **navigational
+//! interpreter** that
+//!
+//! * evaluates XPath steps by walking the DOM pointer structure per context
+//!   node (descendant steps are recursive tree walks),
+//! * evaluates FLWOR clauses by nested iteration — the `where` clause of a
+//!   nested `for` is re-evaluated for every binding combination, so value
+//!   joins are O(|outer| · |inner|) *with a full inner path re-traversal per
+//!   outer binding*, and
+//! * supports the same dialect as the Pathfinder compiler (it reuses the
+//!   `pf-xquery` parser and AST), so both engines run identical query texts.
+//!
+//! Like the X-Hive installation in the paper (Section 3.2), the engine can
+//! be tuned with **attribute value indices**
+//! ([`BaselineEngine::create_attribute_index`]), which accelerate
+//! `tag[@attr = "literal"]` lookups.
+//!
+//! ```
+//! use pf_baseline::BaselineEngine;
+//!
+//! let mut engine = BaselineEngine::new();
+//! engine.load_document("doc.xml", "<a><b>1</b><b>2</b></a>").unwrap();
+//! assert_eq!(engine.query("fn:count(fn:doc(\"doc.xml\")//b)").unwrap().to_xml(), "2");
+//! ```
+
+pub mod engine;
+pub mod value;
+
+pub use engine::{BaselineEngine, BaselineResult};
+pub use value::BValue;

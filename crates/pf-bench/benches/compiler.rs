@@ -1,0 +1,39 @@
+//! Micro-benchmarks of the front end: parsing, loop-lifting compilation and
+//! peephole optimization of XMark queries (compilation is part of every
+//! Table 3 measurement, so its cost matters).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pf_algebra::optimize;
+use pf_xquery::{compile, normalize, parse_query, CompileOptions};
+
+fn compiler(c: &mut Criterion) {
+    let queries = [1u8, 8, 10, 19, 20];
+    let mut group = c.benchmark_group("compiler");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for id in queries {
+        let q = pf_xmark::query(id).unwrap();
+        group.bench_with_input(BenchmarkId::new("parse", format!("Q{id}")), &q.text, |b, text| {
+            b.iter(|| parse_query(text).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("compile", format!("Q{id}")), &q.text, |b, text| {
+            let core = normalize(&parse_query(text).unwrap()).unwrap();
+            b.iter(|| compile(&core, &CompileOptions::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("optimize", format!("Q{id}")), &q.text, |b, text| {
+            let core = normalize(&parse_query(text).unwrap()).unwrap();
+            let compiled = compile(&core, &CompileOptions::default()).unwrap();
+            b.iter(|| {
+                let mut plan = compiled.plan.clone();
+                optimize(&mut plan)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, compiler);
+criterion_main!(benches);

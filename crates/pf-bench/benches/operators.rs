@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the physical relational operators (the kernels every
+//! compiled plan is built from).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pf_relational::ops::{aggregate_by, distinct, equi_join, row_number, select_eq, AggFunc};
+use pf_relational::{Column, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn table(rows: usize, groups: u64, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let iters: Vec<u64> = (0..rows).map(|_| rng.gen_range(1..=groups)).collect();
+    let poss: Vec<u64> = (1..=rows as u64).collect();
+    let items: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..1000)).collect();
+    Table::new(vec![
+        ("iter".into(), Column::Nat(iters)),
+        ("pos".into(), Column::Nat(poss)),
+        ("item".into(), Column::Int(items)),
+    ])
+    .unwrap()
+}
+
+fn operator_kernels(c: &mut Criterion) {
+    let left = table(20_000, 500, 1);
+    let right = {
+        let t = table(20_000, 500, 2);
+        Table::new(vec![
+            ("iter1".into(), t.column("iter").unwrap().clone()),
+            ("item1".into(), t.column("item").unwrap().clone()),
+        ])
+        .unwrap()
+    };
+
+    let mut group = c.benchmark_group("operators");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("equi_join_20k", |b| {
+        b.iter(|| equi_join(&left, &right, "iter", "iter1").unwrap())
+    });
+    group.bench_function("row_number_20k", |b| {
+        b.iter(|| row_number(&left, "rank", &["iter", "pos"], Some("iter")).unwrap())
+    });
+    group.bench_function("aggregate_count_20k", |b| {
+        b.iter(|| aggregate_by(&left, "iter", "cnt", AggFunc::Count, "item").unwrap())
+    });
+    group.bench_function("aggregate_sum_20k", |b| {
+        b.iter(|| aggregate_by(&left, "iter", "sum", AggFunc::Sum, "item").unwrap())
+    });
+    group.bench_function("distinct_20k", |b| b.iter(|| distinct(&left).unwrap()));
+    group.bench_function("select_eq_20k", |b| {
+        b.iter(|| select_eq(&left, "item", &Value::Int(500)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, operator_kernels);
+criterion_main!(benches);

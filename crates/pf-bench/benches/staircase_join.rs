@@ -1,0 +1,55 @@
+//! Ablation bench: the staircase join against the naive per-context-node
+//! range scan (Section 2, "XPath axes" / [7]) on a generated XMark document.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pf_store::{naive_axis_step, staircase_join, Axis, DocStore, NodeTest, PreRank};
+use pf_xmark::{generate, GeneratorConfig};
+
+fn context_nodes(store: &DocStore, tag: &str) -> Vec<PreRank> {
+    (0..store.node_count() as PreRank)
+        .filter(|&p| NodeTest::Element(tag.into()).matches(store, p))
+        .collect()
+}
+
+fn staircase_vs_naive(c: &mut Criterion) {
+    let xml = generate(&GeneratorConfig { scale: 0.02, seed: 7 });
+    let store = DocStore::from_xml("auction.xml", &xml).unwrap();
+    // Context: every <person> element — overlapping descendant regions are
+    // exactly the case pruning/skipping is designed for.
+    let persons = context_nodes(&store, "person");
+    let regions = context_nodes(&store, "regions");
+
+    let mut group = c.benchmark_group("descendant_step");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for (label, context) in [("persons", &persons), ("regions", &regions)] {
+        group.bench_with_input(BenchmarkId::new("staircase", label), context, |b, ctx| {
+            b.iter(|| staircase_join(&store, ctx, Axis::Descendant, &NodeTest::AnyElement))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_range_scan", label), context, |b, ctx| {
+            b.iter(|| naive_axis_step(&store, ctx, Axis::Descendant, &NodeTest::AnyElement))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ancestor_step");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    let texts: Vec<PreRank> = (0..store.node_count() as PreRank)
+        .filter(|&p| NodeTest::Text.matches(&store, p))
+        .collect();
+    group.bench_function("staircase", |b| {
+        b.iter(|| staircase_join(&store, &texts, Axis::Ancestor, &NodeTest::AnyElement))
+    });
+    group.bench_function("naive_range_scan", |b| {
+        b.iter(|| naive_axis_step(&store, &texts, Axis::Ancestor, &NodeTest::AnyElement))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, staircase_vs_naive);
+criterion_main!(benches);

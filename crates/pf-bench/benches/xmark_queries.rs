@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks over representative XMark queries, comparing
+//! the relational engine with the navigational baseline (the per-query data
+//! behind Table 3 / experiment E2).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pf_bench::prepare;
+use pf_xmark::query;
+
+fn xmark_queries(c: &mut Criterion) {
+    // A deliberately small instance: criterion repeats each query many times.
+    let mut instance = prepare(0.004);
+    // One representative per query class: simple path (Q1), recursive axes
+    // (Q6), equi-join (Q8), theta-join (Q11), order by (Q19).
+    let representative = [1u8, 6, 8, 11, 19];
+
+    let mut group = c.benchmark_group("xmark");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for id in representative {
+        let q = query(id).unwrap();
+        group.bench_with_input(BenchmarkId::new("pathfinder", format!("Q{id}")), &q, |b, q| {
+            b.iter(|| instance.pathfinder.query(q.text).unwrap())
+        });
+        let q = query(id).unwrap();
+        group.bench_with_input(BenchmarkId::new("navigational", format!("Q{id}")), &q, |b, q| {
+            b.iter(|| instance.baseline.query(q.text).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, xmark_queries);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Experiment E3 — reproduce **Figure 4** of the paper: Pathfinder's XMark
+//! execution times normalized to the times of the middle instance, showing
+//! (near-)linear scalability for most queries and the quadratic outliers
+//! Q11/Q12.
+//!
+//! ```text
+//! cargo run --release -p pf-bench --bin fig4
+//! ```
+
+use pf_bench::{prepare, scales, time};
+use pf_xmark::queries;
+
+fn main() {
+    let scales = scales();
+    // The paper normalizes to the 110 MB instance (the second of four); we
+    // normalize to the middle configured scale.
+    let reference_index = scales.len() / 2;
+    println!("# Figure 4 reproduction — execution times normalized to scale {}", scales[reference_index]);
+    println!("# (the paper normalizes to its 110 MB instance)");
+    println!();
+
+    let mut instances: Vec<_> = scales.iter().map(|&s| prepare(s)).collect();
+
+    let mut header = format!("{:>3} |", "Q");
+    for s in &scales {
+        header.push_str(&format!(" {:>10} |", format!("x{s}")));
+    }
+    header.push_str(" scaling");
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+
+    for q in queries() {
+        let mut timings = Vec::new();
+        for instance in instances.iter_mut() {
+            let (result, elapsed) = time(|| instance.pathfinder.query(q.text));
+            result.expect("pathfinder evaluates every XMark query");
+            timings.push(elapsed.as_secs_f64());
+        }
+        let reference = timings[reference_index].max(1e-9);
+        let normalized: Vec<f64> = timings.iter().map(|t| t / reference).collect();
+        // Crude shape classification: compare growth of time against growth
+        // of scale between the two outermost instances.
+        let time_growth = timings.last().unwrap() / timings.first().unwrap().max(1e-9);
+        let scale_growth = scales.last().unwrap() / scales.first().unwrap();
+        let shape = if time_growth > 3.0 * scale_growth {
+            "super-linear (expected for Q11/Q12)"
+        } else {
+            "≈ linear"
+        };
+        let mut row = format!("{:>3} |", format!("Q{}", q.id));
+        for n in &normalized {
+            row.push_str(&format!(" {:>10.3} |", n));
+        }
+        row.push_str(&format!(" {shape}"));
+        println!("{row}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Engine error type: wraps the errors of every layer of the stack.
+
+use std::fmt;
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// An error raised anywhere in the parse → compile → execute pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// XML parsing failed while loading a document.
+    Xml(pf_xml::XmlError),
+    /// The query could not be parsed / normalized / compiled.
+    Frontend(pf_xquery::XqError),
+    /// A physical operator failed during execution.
+    Execution(pf_relational::RelError),
+    /// Engine-level problem (unknown document, malformed plan, …).
+    Engine(String),
+}
+
+impl EngineError {
+    /// Engine-level error with a message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        EngineError::Engine(message.into())
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Xml(e) => write!(f, "{e}"),
+            EngineError::Frontend(e) => write!(f, "{e}"),
+            EngineError::Execution(e) => write!(f, "{e}"),
+            EngineError::Engine(m) => write!(f, "engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<pf_xml::XmlError> for EngineError {
+    fn from(e: pf_xml::XmlError) -> Self {
+        EngineError::Xml(e)
+    }
+}
+
+impl From<pf_xquery::XqError> for EngineError {
+    fn from(e: pf_xquery::XqError) -> Self {
+        EngineError::Frontend(e)
+    }
+}
+
+impl From<pf_relational::RelError> for EngineError {
+    fn from(e: pf_relational::RelError) -> Self {
+        EngineError::Execution(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError = pf_xml::XmlError::new("bad", 0).into();
+        assert!(e.to_string().contains("bad"));
+        let e: EngineError = pf_relational::RelError::new("col").into();
+        assert!(e.to_string().contains("col"));
+        let e = EngineError::msg("no such document");
+        assert!(e.to_string().contains("no such document"));
+    }
+}

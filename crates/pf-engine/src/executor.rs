@@ -1,0 +1,693 @@
+//! The plan executor: interprets a `pf-algebra` plan over the column store.
+//!
+//! Operators are evaluated in topological order (children before parents),
+//! so shared subexpressions of the DAG are computed exactly once — this is
+//! the "single algebraic query" execution model of the paper.  Most
+//! operators map 1:1 onto the physical operators of `pf-relational`; the
+//! handful of XQuery-specific shorthands (ε, τ, `fn:data`, `ebv`,
+//! `fs:distinct-doc-order`) are implemented here because they need access to
+//! the document registry.
+
+use std::collections::HashMap;
+
+use pf_algebra::{AlgOp, OpId, Plan, SortSpec};
+use pf_relational::ops::{self, BinaryOp, HashKey};
+use pf_relational::{Column, NodeRef, Table, Value};
+use pf_store::{DocStore, NodeKindCode};
+use pf_xml::{Attribute, DocumentBuilder};
+
+use crate::error::{EngineError, EngineResult};
+use crate::registry::DocRegistry;
+
+/// Marker prefix used to smuggle constructed attributes through the `item`
+/// column (they are consumed by the enclosing element constructor and never
+/// escape the engine).
+const ATTR_MARKER: &str = "\u{1}attr\u{1}";
+
+/// Plan interpreter bound to a document registry.
+#[derive(Debug)]
+pub struct Executor<'a> {
+    registry: &'a mut DocRegistry,
+}
+
+impl<'a> Executor<'a> {
+    /// Create an executor over `registry` (constructed nodes are registered
+    /// there).
+    pub fn new(registry: &'a mut DocRegistry) -> Self {
+        Executor { registry }
+    }
+
+    /// Evaluate `plan` and return the root operator's table.
+    pub fn run(&mut self, plan: &Plan) -> EngineResult<Table> {
+        let mut results: HashMap<OpId, Table> = HashMap::new();
+        for id in plan.reachable() {
+            let table = self.eval(plan, id, &results)?;
+            results.insert(id, table);
+        }
+        results
+            .remove(&plan.root())
+            .ok_or_else(|| EngineError::msg("plan produced no result"))
+    }
+
+    fn input<'t>(&self, results: &'t HashMap<OpId, Table>, id: OpId) -> EngineResult<&'t Table> {
+        results
+            .get(&id)
+            .ok_or_else(|| EngineError::msg("operator evaluated before its input"))
+    }
+
+    fn eval(&mut self, plan: &Plan, id: OpId, results: &HashMap<OpId, Table>) -> EngineResult<Table> {
+        let op = plan.op(id).clone();
+        match op {
+            AlgOp::Lit { columns, rows } => {
+                let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(rows.len()); columns.len()];
+                for row in &rows {
+                    for (i, v) in row.iter().enumerate() {
+                        cols[i].push(v.clone());
+                    }
+                }
+                let table = Table::new(
+                    columns
+                        .into_iter()
+                        .zip(cols)
+                        .map(|(name, values)| (name, Column::from_values(values)))
+                        .collect(),
+                )?;
+                Ok(table)
+            }
+            AlgOp::Doc { uri } => {
+                let doc_id = self
+                    .registry
+                    .id_of(&uri)
+                    .ok_or_else(|| EngineError::msg(format!("no document registered under `{uri}`")))?;
+                Ok(Table::new(vec![(
+                    "item".into(),
+                    Column::Node(vec![NodeRef::new(doc_id, 0)]),
+                )])?)
+            }
+            AlgOp::Project { input, columns } => {
+                let pairs: Vec<(&str, &str)> = columns.iter().map(|(s, t)| (s.as_str(), t.as_str())).collect();
+                Ok(ops::project(self.input(results, input)?, &pairs)?)
+            }
+            AlgOp::Select { input, column } => Ok(ops::select_true(self.input(results, input)?, &column)?),
+            AlgOp::SelectEq { input, column, value } => {
+                Ok(ops::select_eq(self.input(results, input)?, &column, &value)?)
+            }
+            AlgOp::Distinct { input } => Ok(ops::distinct(self.input(results, input)?)?),
+            AlgOp::Union { left, right } => Ok(ops::union_disjoint(
+                self.input(results, left)?,
+                self.input(results, right)?,
+            )?),
+            AlgOp::Difference { left, right } => Ok(ops::difference(
+                self.input(results, left)?,
+                self.input(results, right)?,
+            )?),
+            AlgOp::EquiJoin {
+                left,
+                right,
+                left_col,
+                right_col,
+            } => Ok(ops::equi_join(
+                self.input(results, left)?,
+                self.input(results, right)?,
+                &left_col,
+                &right_col,
+            )?),
+            AlgOp::ThetaJoin {
+                left,
+                right,
+                left_col,
+                op,
+                right_col,
+            } => Ok(ops::theta_join(
+                self.input(results, left)?,
+                self.input(results, right)?,
+                &left_col,
+                op,
+                &right_col,
+            )?),
+            AlgOp::Cross { left, right } => Ok(ops::cross(
+                self.input(results, left)?,
+                self.input(results, right)?,
+            )?),
+            AlgOp::RowNum {
+                input,
+                target,
+                order_by,
+                partition,
+            } => self.row_number(self.input(results, input)?, &target, &order_by, partition.as_deref()),
+            AlgOp::BinaryMap {
+                input,
+                target,
+                left,
+                op,
+                right,
+            } => self.binary_map(self.input(results, input)?, &target, &left, op, &right),
+            AlgOp::UnaryMap {
+                input,
+                target,
+                op,
+                source,
+            } => {
+                let table = self.input(results, input)?;
+                let col = table.column(&source)?;
+                let mut values = Vec::with_capacity(table.row_count());
+                for row in 0..table.row_count() {
+                    let v = self.atomize(&col.get(row));
+                    values.push(ops::map::apply_unary(op, &v)?);
+                }
+                let mut out = table.clone();
+                out.add_column(target, Column::from_values(values))?;
+                Ok(out)
+            }
+            AlgOp::Attach { input, target, value } => {
+                Ok(ops::map_const(self.input(results, input)?, &target, &value)?)
+            }
+            AlgOp::Aggregate {
+                input,
+                group,
+                target,
+                func,
+                value,
+            } => Ok(ops::aggregate_by(self.input(results, input)?, &group, &target, func, &value)?),
+            AlgOp::Step { input, axis, test } => Ok(ops::staircase_step(
+                self.input(results, input)?,
+                self.registry,
+                axis,
+                &test,
+            )?),
+            AlgOp::DocOrder { input } => self.doc_order(self.input(results, input)?),
+            AlgOp::FnData { input } => self.fn_data(self.input(results, input)?),
+            AlgOp::FnRoot { input } => self.fn_root(self.input(results, input)?),
+            AlgOp::Ebv { input } => self.ebv(self.input(results, input)?),
+            AlgOp::ElemConstruct {
+                loop_input,
+                tag,
+                content,
+            } => {
+                let loop_table = self.input(results, loop_input)?.clone();
+                let content_table = self.input(results, content)?.clone();
+                self.construct_elements(&loop_table, &tag, &content_table)
+            }
+            AlgOp::AttrConstruct {
+                loop_input,
+                name,
+                content,
+            } => {
+                let loop_table = self.input(results, loop_input)?.clone();
+                let content_table = self.input(results, content)?.clone();
+                self.construct_attributes(&loop_table, &name, &content_table)
+            }
+            AlgOp::TextConstruct { loop_input, content } => {
+                let loop_table = self.input(results, loop_input)?.clone();
+                let content_table = self.input(results, content)?.clone();
+                self.construct_texts(&loop_table, &content_table)
+            }
+            AlgOp::Sort { input, by } => {
+                let columns: Vec<&str> = by.iter().map(|s| s.column.as_str()).collect();
+                Ok(ops::sort_by(self.input(results, input)?, &columns)?)
+            }
+        }
+    }
+
+    // ----- value helpers --------------------------------------------------
+
+    /// Atomize a value: nodes become their string value, atomics pass
+    /// through (the implicit atomization XQuery applies to operands of
+    /// arithmetic, comparisons and string functions).
+    fn atomize(&self, value: &Value) -> Value {
+        match value {
+            Value::Node(node) => {
+                let text = self
+                    .registry
+                    .store(node.doc)
+                    .map(|s| s.string_value(node.pre))
+                    .unwrap_or_default();
+                Value::Str(text)
+            }
+            other => other.clone(),
+        }
+    }
+
+    fn binary_map(
+        &self,
+        table: &Table,
+        target: &str,
+        left: &str,
+        op: BinaryOp,
+        right: &str,
+    ) -> EngineResult<Table> {
+        let lcol = table.column(left)?;
+        let rcol = table.column(right)?;
+        let mut values = Vec::with_capacity(table.row_count());
+        for row in 0..table.row_count() {
+            let l = lcol.get(row);
+            let r = rcol.get(row);
+            // Node identity / document order compare node references
+            // directly; everything else operates on atomized values.
+            let result = match (&l, &r, op) {
+                (Value::Node(_), Value::Node(_), BinaryOp::Cmp(_)) => ops::map::apply_binary(op, &l, &r)?,
+                _ => ops::map::apply_binary(op, &self.atomize(&l), &self.atomize(&r))?,
+            };
+            values.push(result);
+        }
+        let mut out = table.clone();
+        out.add_column(target, Column::from_values(values))?;
+        Ok(out)
+    }
+
+    fn fn_data(&self, table: &Table) -> EngineResult<Table> {
+        let item = table.column("item")?;
+        let values: Vec<Value> = (0..table.row_count()).map(|row| self.atomize(&item.get(row))).collect();
+        let mut columns = Vec::new();
+        for (name, col) in table.columns() {
+            if name == "item" {
+                columns.push((name.clone(), Column::from_values(values.clone())));
+            } else {
+                columns.push((name.clone(), col.clone()));
+            }
+        }
+        Ok(Table::new(columns)?)
+    }
+
+    fn fn_root(&self, table: &Table) -> EngineResult<Table> {
+        let item = table.column("item")?;
+        let mut values = Vec::with_capacity(table.row_count());
+        for row in 0..table.row_count() {
+            match item.get(row) {
+                Value::Node(node) => values.push(Value::Node(NodeRef::new(node.doc, 0))),
+                other => {
+                    return Err(EngineError::msg(format!(
+                        "fn:root applied to a non-node value {other}"
+                    )))
+                }
+            }
+        }
+        let mut columns = Vec::new();
+        for (name, col) in table.columns() {
+            if name == "item" {
+                columns.push((name.clone(), Column::from_values(values.clone())));
+            } else {
+                columns.push((name.clone(), col.clone()));
+            }
+        }
+        Ok(Table::new(columns)?)
+    }
+
+    /// Effective boolean value per iteration.
+    fn ebv(&self, table: &Table) -> EngineResult<Table> {
+        let iter_col = table.column("iter")?;
+        let item_col = table.column("item")?;
+        let mut order: Vec<u64> = Vec::new();
+        let mut groups: HashMap<u64, Vec<Value>> = HashMap::new();
+        for row in 0..table.row_count() {
+            let iter = iter_col.get(row).as_nat()?;
+            groups
+                .entry(iter)
+                .or_insert_with(|| {
+                    order.push(iter);
+                    Vec::new()
+                })
+                .push(item_col.get(row));
+        }
+        let mut iters = Vec::with_capacity(order.len());
+        let mut bools = Vec::with_capacity(order.len());
+        for iter in order {
+            let items = &groups[&iter];
+            let ebv = if items.iter().any(|v| matches!(v, Value::Node(_))) || items.len() > 1 {
+                true
+            } else {
+                match &items[0] {
+                    Value::Bool(b) => *b,
+                    Value::Int(i) => *i != 0,
+                    Value::Nat(n) => *n != 0,
+                    Value::Dbl(d) => *d != 0.0,
+                    Value::Str(s) => !s.is_empty(),
+                    Value::Node(_) => true,
+                }
+            };
+            iters.push(iter);
+            bools.push(Value::Bool(ebv));
+        }
+        Ok(Table::new(vec![
+            ("iter".into(), Column::Nat(iters)),
+            ("item".into(), Column::from_values(bools)),
+        ])?)
+    }
+
+    /// `fs:distinct-doc-order`: per iteration, sort items into document
+    /// order and drop duplicates, renumbering `pos`.
+    fn doc_order(&self, table: &Table) -> EngineResult<Table> {
+        let sorted = ops::sort_by(table, &["iter", "item"])?;
+        let distinct = ops::setops::distinct_on(&sorted, &["iter", "item"])?;
+        let numbered = self.row_number(
+            &distinct,
+            "pos_ddo",
+            &[SortSpec::asc("item")],
+            Some("iter"),
+        )?;
+        Ok(ops::project(&numbered, &[("iter", "iter"), ("pos_ddo", "pos"), ("item", "item")])?)
+    }
+
+    /// Row numbering with ascending/descending keys and optional
+    /// partitioning (the physical `%` operator).
+    fn row_number(
+        &self,
+        table: &Table,
+        target: &str,
+        order_by: &[SortSpec],
+        partition: Option<&str>,
+    ) -> EngineResult<Table> {
+        let mut key_cols = Vec::new();
+        if let Some(p) = partition {
+            key_cols.push((table.column(p)?.clone(), false));
+        }
+        for spec in order_by {
+            key_cols.push((table.column(&spec.column)?.clone(), spec.descending));
+        }
+        let mut order: Vec<usize> = (0..table.row_count()).collect();
+        order.sort_by(|&a, &b| {
+            for (col, descending) in &key_cols {
+                let mut cmp = col.get(a).sort_key_cmp(&col.get(b));
+                if *descending {
+                    cmp = cmp.reverse();
+                }
+                if cmp != std::cmp::Ordering::Equal {
+                    return cmp;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let sorted = table.gather_rows(&order);
+        let mut numbering: Vec<u64> = Vec::with_capacity(sorted.row_count());
+        match partition {
+            None => numbering.extend(1..=sorted.row_count() as u64),
+            Some(p) => {
+                let pcol = sorted.column(p)?;
+                let mut counter = 0u64;
+                let mut previous: Option<HashKey> = None;
+                for row in 0..sorted.row_count() {
+                    let key = HashKey::of(&pcol.get(row));
+                    if previous.as_ref() != Some(&key) {
+                        counter = 0;
+                        previous = Some(key);
+                    }
+                    counter += 1;
+                    numbering.push(counter);
+                }
+            }
+        }
+        let mut out = sorted;
+        out.add_column(target, Column::Nat(numbering))?;
+        Ok(out)
+    }
+
+    // ----- node construction (ε, τ) ---------------------------------------
+
+    /// Gather the content rows of one iteration, in `pos` order.
+    fn content_of_iteration(content: &Table, iter: u64) -> EngineResult<Vec<Value>> {
+        let iter_col = content.column("iter")?;
+        let pos_col = content.column("pos")?;
+        let item_col = content.column("item")?;
+        let mut rows: Vec<(u64, Value)> = Vec::new();
+        for row in 0..content.row_count() {
+            if iter_col.get(row).as_nat()? == iter {
+                rows.push((pos_col.get(row).as_nat()?, item_col.get(row)));
+            }
+        }
+        rows.sort_by_key(|(pos, _)| *pos);
+        Ok(rows.into_iter().map(|(_, v)| v).collect())
+    }
+
+    // (node copying lives in the free function `copy_subtree` below so that
+    // it can run while the registry is only borrowed immutably)
+
+    fn construct_elements(&mut self, loop_table: &Table, tag: &str, content: &Table) -> EngineResult<Table> {
+        let iter_col = loop_table.column("iter")?;
+        let mut iters = Vec::new();
+        let mut element_pres: Vec<u32> = Vec::new();
+        // All elements constructed by one ε operator share a single
+        // transient document (like MonetDB/XQuery's transient fragments):
+        // each constructed element becomes a child of that document's root,
+        // and its pre rank identifies it.
+        let mut builder = DocumentBuilder::new();
+        for row in 0..loop_table.row_count() {
+            let iter = iter_col.get(row).as_nat()?;
+            let values = Self::content_of_iteration(content, iter)?;
+            // Split constructed attributes from content proper.
+            let mut attributes = Vec::new();
+            let mut children = Vec::new();
+            for value in values {
+                match &value {
+                    Value::Str(s) if s.starts_with(ATTR_MARKER) => {
+                        let rest = &s[ATTR_MARKER.len()..];
+                        let (name, attr_value) = rest.split_once('\u{1}').unwrap_or((rest, ""));
+                        attributes.push(Attribute {
+                            name: name.to_string(),
+                            value: attr_value.to_string(),
+                        });
+                    }
+                    _ => children.push(value),
+                }
+            }
+            let element = builder.start_element(tag, attributes);
+            let mut previous_was_atomic = false;
+            for value in children {
+                match value {
+                    Value::Node(node) => {
+                        let store = self
+                            .registry
+                            .store(node.doc)
+                            .ok_or_else(|| EngineError::msg(format!("unknown document id {}", node.doc)))?;
+                        copy_subtree(&mut builder, store, node.pre);
+                        previous_was_atomic = false;
+                    }
+                    atomic => {
+                        if previous_was_atomic {
+                            builder.text(" ");
+                        }
+                        builder.text(atomic.to_xdm_string());
+                        previous_was_atomic = true;
+                    }
+                }
+            }
+            builder.end_element();
+            iters.push(iter);
+            element_pres.push(element.0);
+        }
+        let doc = builder.finish();
+        let store = DocStore::from_document(format!("#constructed-{}", self.registry.len()), &doc);
+        let doc_id = self.registry.register_constructed(store);
+        let items: Vec<Value> = element_pres
+            .into_iter()
+            .map(|pre| Value::Node(NodeRef::new(doc_id, pre)))
+            .collect();
+        let poss = vec![1u64; iters.len()];
+        Ok(Table::new(vec![
+            ("iter".into(), Column::Nat(iters)),
+            ("pos".into(), Column::Nat(poss)),
+            ("item".into(), Column::from_values(items)),
+        ])?)
+    }
+
+    fn construct_attributes(&mut self, loop_table: &Table, name: &str, content: &Table) -> EngineResult<Table> {
+        let iter_col = loop_table.column("iter")?;
+        let mut iters = Vec::new();
+        let mut items = Vec::new();
+        for row in 0..loop_table.row_count() {
+            let iter = iter_col.get(row).as_nat()?;
+            let values = Self::content_of_iteration(content, iter)?;
+            let text = values
+                .iter()
+                .map(|v| self.atomize(v).to_xdm_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            iters.push(iter);
+            items.push(Value::Str(format!("{ATTR_MARKER}{name}\u{1}{text}")));
+        }
+        let poss = vec![1u64; iters.len()];
+        Ok(Table::new(vec![
+            ("iter".into(), Column::Nat(iters)),
+            ("pos".into(), Column::Nat(poss)),
+            ("item".into(), Column::from_values(items)),
+        ])?)
+    }
+
+    fn construct_texts(&mut self, loop_table: &Table, content: &Table) -> EngineResult<Table> {
+        let iter_col = loop_table.column("iter")?;
+        let mut iters = Vec::new();
+        let mut pres: Vec<u32> = Vec::new();
+        // All text nodes constructed by one τ operator share one transient
+        // document; distinct content per iteration keeps one node each (the
+        // builder merges adjacent text nodes, so separate them by building
+        // each text node under its own wrapper-free position is impossible —
+        // instead wrap each in a dedicated element-less document slot by
+        // tracking the node id the builder returns).
+        let mut builder = DocumentBuilder::new();
+        for row in 0..loop_table.row_count() {
+            let iter = iter_col.get(row).as_nat()?;
+            let values = Self::content_of_iteration(content, iter)?;
+            let text = values
+                .iter()
+                .map(|v| self.atomize(v).to_xdm_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            // Wrap every text node in a marker element so that adjacent text
+            // nodes of different iterations are not merged; the item points
+            // at the text node itself.
+            builder.start_element("#text-wrapper", vec![]);
+            let node = builder.text(text);
+            builder.end_element();
+            iters.push(iter);
+            pres.push(node.0);
+        }
+        let doc = builder.finish();
+        let store = DocStore::from_document(format!("#text-{}", self.registry.len()), &doc);
+        let doc_id = self.registry.register_constructed(store);
+        let items: Vec<Value> = pres
+            .into_iter()
+            .map(|pre| Value::Node(NodeRef::new(doc_id, pre)))
+            .collect();
+        let poss = vec![1u64; iters.len()];
+        Ok(Table::new(vec![
+            ("iter".into(), Column::Nat(iters)),
+            ("pos".into(), Column::Nat(poss)),
+            ("item".into(), Column::from_values(items)),
+        ])?)
+    }
+}
+
+/// Deep-copy the subtree rooted at `pre` of `store` into `builder` (the copy
+/// semantics of constructed element content).
+fn copy_subtree(builder: &mut DocumentBuilder, store: &DocStore, pre: u32) {
+    match store.kind_of(pre) {
+        NodeKindCode::Document => {
+            for child in store.children_of(pre) {
+                copy_subtree(builder, store, child);
+            }
+        }
+        NodeKindCode::Element => {
+            let attributes = store
+                .attributes_of(pre)
+                .map(|idx| Attribute {
+                    name: store.attr_name_of(idx).to_string(),
+                    value: store.attr_value_of(idx).to_string(),
+                })
+                .collect();
+            builder.start_element(store.tag_of(pre), attributes);
+            for child in store.children_of(pre) {
+                copy_subtree(builder, store, child);
+            }
+            builder.end_element();
+        }
+        NodeKindCode::Text => {
+            builder.text(store.content_of(pre));
+        }
+        NodeKindCode::Comment => {
+            builder.comment(store.content_of(pre));
+        }
+        NodeKindCode::Pi => {
+            builder.processing_instruction("pi", store.content_of(pre));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_algebra::PlanBuilder;
+    use pf_store::{Axis, NodeTest};
+
+    fn registry() -> DocRegistry {
+        let mut reg = DocRegistry::new();
+        reg.load_xml("doc.xml", "<a><b>1</b><b>2</b><c>x</c></a>").unwrap();
+        reg
+    }
+
+    #[test]
+    fn executes_doc_and_step() {
+        let mut reg = registry();
+        let mut b = PlanBuilder::new();
+        let loop0 = b.add(AlgOp::Lit {
+            columns: vec!["iter".into()],
+            rows: vec![vec![Value::Nat(1)]],
+        });
+        let doc = b.add(AlgOp::Doc { uri: "doc.xml".into() });
+        let crossed = b.add(AlgOp::Cross { left: loop0, right: doc });
+        let step = b.add(AlgOp::Step {
+            input: crossed,
+            axis: Axis::Descendant,
+            test: NodeTest::Element("b".into()),
+        });
+        let plan = b.finish(step);
+        let table = Executor::new(&mut reg).run(&plan).unwrap();
+        assert_eq!(table.row_count(), 2);
+    }
+
+    #[test]
+    fn ebv_semantics() {
+        let mut reg = registry();
+        let exec = Executor::new(&mut reg);
+        let t = Table::iter_pos_item(
+            vec![1, 2, 3, 4],
+            vec![1, 1, 1, 1],
+            vec![
+                Value::Bool(false),
+                Value::Int(0),
+                Value::Str("x".into()),
+                Value::Node(NodeRef::new(0, 1)),
+            ],
+        )
+        .unwrap();
+        let b = exec.ebv(&t).unwrap();
+        let flags: Vec<Value> = b.column("item").unwrap().iter_values().collect();
+        assert_eq!(
+            flags,
+            vec![Value::Bool(false), Value::Bool(false), Value::Bool(true), Value::Bool(true)]
+        );
+    }
+
+    #[test]
+    fn atomization_resolves_node_string_values() {
+        let mut reg = registry();
+        let exec = Executor::new(&mut reg);
+        // node 2 is the first <b>; its string value is "1"
+        assert_eq!(exec.atomize(&Value::Node(NodeRef::new(0, 2))), Value::Str("1".into()));
+        assert_eq!(exec.atomize(&Value::Int(5)), Value::Int(5));
+    }
+
+    #[test]
+    fn descending_row_number() {
+        let mut reg = registry();
+        let exec = Executor::new(&mut reg);
+        let t = Table::iter_pos_item(
+            vec![1, 1, 1],
+            vec![1, 2, 3],
+            vec![Value::Int(5), Value::Int(9), Value::Int(7)],
+        )
+        .unwrap();
+        let numbered = exec
+            .row_number(&t, "rank", &[SortSpec::desc("item")], Some("iter"))
+            .unwrap();
+        assert_eq!(numbered.value("item", 0).unwrap(), Value::Int(9));
+        assert_eq!(numbered.value("rank", 0).unwrap(), Value::Nat(1));
+        assert_eq!(numbered.value("item", 2).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn element_construction_copies_subtrees() {
+        let mut reg = registry();
+        let mut exec = Executor::new(&mut reg);
+        let loop_table = Table::new(vec![("iter".into(), Column::Nat(vec![1]))]).unwrap();
+        let content = Table::iter_pos_item(
+            vec![1, 1],
+            vec![1, 2],
+            vec![Value::Node(NodeRef::new(0, 2)), Value::Str("done".into())],
+        )
+        .unwrap();
+        let out = exec.construct_elements(&loop_table, "wrap", &content).unwrap();
+        assert_eq!(out.row_count(), 1);
+        let Value::Node(node) = out.value("item", 0).unwrap() else { panic!() };
+        let store = reg.store(node.doc).unwrap();
+        assert_eq!(store.subtree_to_xml(node.pre), "<wrap><b>1</b>done</wrap>");
+    }
+}

@@ -1,0 +1,249 @@
+//! # pf-engine — the end-to-end Pathfinder XQuery processor
+//!
+//! This crate wires the full stack of Figure 1 together:
+//!
+//! ```text
+//!   XQuery ──parse──▶ AST ──normalize──▶ core ──loop-lifting──▶ algebra plan
+//!          ──peephole optimize──▶ optimized plan ──execute──▶ iter|pos|item
+//!          ──serialize──▶ XML / atomic values
+//! ```
+//!
+//! [`Pathfinder`] is the public façade: register documents (they are
+//! shredded into the `pre|size|level` encoding of `pf-store`), run queries,
+//! and inspect compilation stages ("look under the hood", Section 4 of the
+//! paper) via [`Pathfinder::explain`].
+//!
+//! ```
+//! use pf_engine::Pathfinder;
+//!
+//! let mut pf = Pathfinder::new();
+//! pf.load_document("doc.xml", "<a><b>1</b><b>2</b></a>").unwrap();
+//! let result = pf.query("fn:sum(fn:doc(\"doc.xml\")//b)").unwrap();
+//! assert_eq!(result.to_xml(), "3");
+//! ```
+
+pub mod error;
+pub mod executor;
+pub mod registry;
+pub mod result;
+
+use std::time::Instant;
+
+pub use error::{EngineError, EngineResult};
+pub use executor::Executor;
+pub use registry::DocRegistry;
+pub use result::{QueryResult, Timings};
+
+use pf_algebra::{optimize, OptimizeReport, Plan};
+use pf_xquery::{compile, normalize, parse_query, CompileOptions};
+
+/// Engine-level options.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Options forwarded to the loop-lifting compiler.
+    pub compile: CompileOptions,
+    /// Run the peephole optimizer before execution (on by default).
+    pub optimize: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            compile: CompileOptions::default(),
+            optimize: true,
+        }
+    }
+}
+
+/// Everything [`Pathfinder::explain`] reveals about a query's compilation.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// The plan as produced by the loop-lifting compiler.
+    pub unoptimized: Plan,
+    /// The plan after peephole optimization.
+    pub optimized: Plan,
+    /// What the optimizer did.
+    pub report: OptimizeReport,
+    /// Number of `for … where` clauses compiled into joins.
+    pub joins_recognized: usize,
+}
+
+impl Explain {
+    /// ASCII rendering of the optimized plan.
+    pub fn plan_ascii(&self) -> String {
+        pf_algebra::to_ascii(&self.optimized)
+    }
+
+    /// Graphviz DOT rendering of the optimized plan.
+    pub fn plan_dot(&self) -> String {
+        pf_algebra::to_dot(&self.optimized)
+    }
+}
+
+/// The Pathfinder engine: a document registry plus the compile/execute
+/// pipeline.
+#[derive(Debug, Default)]
+pub struct Pathfinder {
+    registry: DocRegistry,
+    options: EngineOptions,
+}
+
+impl Pathfinder {
+    /// A new engine with default options.
+    pub fn new() -> Self {
+        Pathfinder::default()
+    }
+
+    /// A new engine with explicit options.
+    pub fn with_options(options: EngineOptions) -> Self {
+        Pathfinder {
+            registry: DocRegistry::new(),
+            options,
+        }
+    }
+
+    /// Access to the document registry (e.g. for storage statistics).
+    pub fn registry(&self) -> &DocRegistry {
+        &self.registry
+    }
+
+    /// Shred and register an XML document under `name` (the URI passed to
+    /// `fn:doc`).
+    pub fn load_document(&mut self, name: &str, xml: &str) -> EngineResult<()> {
+        self.registry.load_xml(name, xml)?;
+        Ok(())
+    }
+
+    /// Register an already parsed document under `name`.
+    pub fn load_parsed(&mut self, name: &str, doc: &pf_xml::Document) -> EngineResult<()> {
+        self.registry.load_document(name, doc);
+        Ok(())
+    }
+
+    /// Compile a query without executing it.
+    pub fn explain(&self, query: &str) -> EngineResult<Explain> {
+        let ast = parse_query(query)?;
+        let core = normalize(&ast)?;
+        let compiled = compile(&core, &self.options.compile)?;
+        let unoptimized = compiled.plan.clone();
+        let mut optimized = compiled.plan;
+        let report = if self.options.optimize {
+            optimize(&mut optimized)
+        } else {
+            OptimizeReport::default()
+        };
+        Ok(Explain {
+            unoptimized,
+            optimized,
+            report,
+            joins_recognized: compiled.joins_recognized,
+        })
+    }
+
+    /// Parse, compile, optimize, execute and serialize `query`.
+    pub fn query(&mut self, query: &str) -> EngineResult<QueryResult> {
+        let started = Instant::now();
+        let ast = parse_query(query)?;
+        let core = normalize(&ast)?;
+        let compiled = compile(&core, &self.options.compile)?;
+        let compile_time = started.elapsed();
+
+        let opt_start = Instant::now();
+        let mut plan = compiled.plan;
+        if self.options.optimize {
+            optimize(&mut plan);
+        }
+        let optimize_time = opt_start.elapsed();
+
+        let exec_start = Instant::now();
+        let mut executor = Executor::new(&mut self.registry);
+        let table = executor.run(&plan)?;
+        let execute_time = exec_start.elapsed();
+
+        let result = QueryResult::from_table(&table, &self.registry, Timings {
+            compile: compile_time,
+            optimize: optimize_time,
+            execute: execute_time,
+        })?;
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_with(xml: &str) -> Pathfinder {
+        let mut pf = Pathfinder::new();
+        pf.load_document("doc.xml", xml).unwrap();
+        pf
+    }
+
+    #[test]
+    fn arithmetic_without_documents() {
+        let mut pf = Pathfinder::new();
+        assert_eq!(pf.query("1 + 2 * 3").unwrap().to_xml(), "7");
+        assert_eq!(pf.query("(1, 2, 3)").unwrap().to_xml(), "1 2 3");
+        assert_eq!(pf.query("if (1 = 1) then \"yes\" else \"no\"").unwrap().to_xml(), "yes");
+    }
+
+    #[test]
+    fn figure3_nested_flwor() {
+        let mut pf = Pathfinder::new();
+        let r = pf
+            .query("for $v in (10,20), $w in (100,200) return $v + $w")
+            .unwrap();
+        assert_eq!(r.to_xml(), "110 210 120 220");
+    }
+
+    #[test]
+    fn figure5_query() {
+        let mut pf = Pathfinder::new();
+        let r = pf.query("for $v in (10,20) return $v + 100").unwrap();
+        assert_eq!(r.to_xml(), "110 120");
+    }
+
+    #[test]
+    fn path_queries_over_documents() {
+        let mut pf = engine_with("<site><person id=\"p0\"><name>Ann</name></person><person id=\"p1\"><name>Bo</name></person></site>");
+        assert_eq!(pf.query("fn:count(fn:doc(\"doc.xml\")//person)").unwrap().to_xml(), "2");
+        assert_eq!(
+            pf.query("fn:doc(\"doc.xml\")//person[@id = \"p1\"]/name/text()").unwrap().to_xml(),
+            "Bo"
+        );
+        // Adjacent text nodes serialize without a separator (only atomic
+        // values are space separated).
+        assert_eq!(
+            pf.query("for $p in fn:doc(\"doc.xml\")//person return $p/name/text()").unwrap().to_xml(),
+            "AnnBo"
+        );
+        assert_eq!(
+            pf.query("for $p in fn:doc(\"doc.xml\")//person return fn:string($p/name)").unwrap().to_xml(),
+            "Ann Bo"
+        );
+    }
+
+    #[test]
+    fn element_construction() {
+        let mut pf = engine_with("<a><b>1</b><b>2</b></a>");
+        let r = pf
+            .query("element out { attribute n { fn:count(fn:doc(\"doc.xml\")//b) }, text { \"total\" } }")
+            .unwrap();
+        assert_eq!(r.to_xml(), "<out n=\"2\">total</out>");
+    }
+
+    #[test]
+    fn explain_reports_plan_shrinkage() {
+        let pf = engine_with("<a/>");
+        let explain = pf.explain("fn:doc(\"doc.xml\")//a/b/c").unwrap();
+        assert!(explain.report.operators_after <= explain.report.operators_before);
+        assert!(explain.plan_ascii().contains("⇝"));
+        assert!(explain.plan_dot().starts_with("digraph"));
+    }
+
+    #[test]
+    fn unknown_document_is_an_error() {
+        let mut pf = Pathfinder::new();
+        assert!(pf.query("fn:doc(\"missing.xml\")//a").is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! The document registry.
+//!
+//! Persistent documents (loaded via [`crate::Pathfinder::load_document`])
+//! and transient documents (created by element / text constructors at query
+//! run time) share one id space; a [`pf_relational::NodeRef`] therefore
+//! uniquely identifies any node the engine can ever produce, and document
+//! order across documents is simply `(doc, pre)` order.
+
+use std::collections::HashMap;
+
+use pf_relational::ops::DocResolver;
+use pf_store::{DocStore, StorageStats};
+use pf_xml::Document;
+
+/// Registry of all documents known to an engine instance.
+#[derive(Debug, Default)]
+pub struct DocRegistry {
+    stores: Vec<DocStore>,
+    by_name: HashMap<String, u32>,
+    constructed: usize,
+}
+
+impl DocRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        DocRegistry::default()
+    }
+
+    /// Shred and register an XML string under `name`.  Re-loading the same
+    /// name replaces the previous version.
+    pub fn load_xml(&mut self, name: &str, xml: &str) -> Result<u32, pf_xml::XmlError> {
+        let store = DocStore::from_xml(name, xml)?;
+        Ok(self.insert(name, store))
+    }
+
+    /// Shred and register a parsed document under `name`.
+    pub fn load_document(&mut self, name: &str, doc: &Document) -> u32 {
+        let store = DocStore::from_document(name, doc);
+        self.insert(name, store)
+    }
+
+    fn insert(&mut self, name: &str, store: DocStore) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            self.stores[id as usize] = store;
+            return id;
+        }
+        let id = self.stores.len() as u32;
+        self.stores.push(store);
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Register a transient (constructed) document and return its id.
+    pub fn register_constructed(&mut self, store: DocStore) -> u32 {
+        let id = self.stores.len() as u32;
+        self.constructed += 1;
+        self.stores.push(store);
+        id
+    }
+
+    /// The id of the document registered under `name`.
+    pub fn id_of(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The store with id `id`.
+    pub fn store(&self, id: u32) -> Option<&DocStore> {
+        self.stores.get(id as usize)
+    }
+
+    /// Number of registered documents (persistent + constructed).
+    pub fn len(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// `true` when no documents are registered.
+    pub fn is_empty(&self) -> bool {
+        self.stores.is_empty()
+    }
+
+    /// Number of transient documents created by constructors so far.
+    pub fn constructed_count(&self) -> usize {
+        self.constructed
+    }
+
+    /// Storage statistics of the document registered under `name`.
+    pub fn storage_stats(&self, name: &str) -> Option<StorageStats> {
+        self.id_of(name)
+            .and_then(|id| self.store(id))
+            .map(StorageStats::measure)
+    }
+}
+
+impl DocResolver for DocRegistry {
+    fn resolve(&self, doc: u32) -> Option<&DocStore> {
+        self.store(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_lookup() {
+        let mut reg = DocRegistry::new();
+        let id = reg.load_xml("a.xml", "<a><b/></a>").unwrap();
+        assert_eq!(reg.id_of("a.xml"), Some(id));
+        assert_eq!(reg.store(id).unwrap().node_count(), 3);
+        assert!(reg.storage_stats("a.xml").unwrap().total_bytes() > 0);
+        assert_eq!(reg.id_of("missing.xml"), None);
+    }
+
+    #[test]
+    fn reloading_replaces_in_place() {
+        let mut reg = DocRegistry::new();
+        let id1 = reg.load_xml("a.xml", "<a/>").unwrap();
+        let id2 = reg.load_xml("a.xml", "<a><b/><c/></a>").unwrap();
+        assert_eq!(id1, id2);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.store(id1).unwrap().node_count(), 4);
+    }
+
+    #[test]
+    fn constructed_documents_get_fresh_ids() {
+        let mut reg = DocRegistry::new();
+        reg.load_xml("a.xml", "<a/>").unwrap();
+        let store = DocStore::from_xml("#c", "<r>1</r>").unwrap();
+        let id = reg.register_constructed(store);
+        assert_eq!(id, 1);
+        assert_eq!(reg.constructed_count(), 1);
+        assert_eq!(reg.len(), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Query results and their serialization back to the XQuery data model.
+//!
+//! "A simple post-processor then serializes the relational result to form a
+//! response in terms of the XQuery data model" (Section 2, "MonetDB").  The
+//! relational result is the root operator's `iter|pos|item` table in the
+//! top-level scope; serialization walks the items in `pos` order, printing
+//! atomic values (space separated) and serializing node items to XML.
+
+use std::time::Duration;
+
+use pf_relational::{Table, Value};
+
+use crate::error::{EngineError, EngineResult};
+use crate::registry::DocRegistry;
+
+/// Wall-clock timings of the three pipeline stages.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timings {
+    /// Parse + normalize + loop-lifting compilation.
+    pub compile: Duration,
+    /// Peephole optimization.
+    pub optimize: Duration,
+    /// Plan execution (including result serialization inputs).
+    pub execute: Duration,
+}
+
+impl Timings {
+    /// Total elapsed time.
+    pub fn total(&self) -> Duration {
+        self.compile + self.optimize + self.execute
+    }
+}
+
+/// The result of a query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    items: Vec<Value>,
+    xml: String,
+    timings: Timings,
+}
+
+impl QueryResult {
+    /// Build a result from the root operator's table.
+    pub fn from_table(table: &Table, registry: &DocRegistry, timings: Timings) -> EngineResult<Self> {
+        let pos_col = table.column("pos")?;
+        let item_col = table.column("item")?;
+        let mut rows: Vec<(u64, Value)> = (0..table.row_count())
+            .map(|row| Ok((pos_col.get(row).as_nat()?, item_col.get(row))))
+            .collect::<Result<Vec<_>, pf_relational::RelError>>()?;
+        rows.sort_by_key(|(pos, _)| *pos);
+        let items: Vec<Value> = rows.into_iter().map(|(_, v)| v).collect();
+        let xml = serialize_items(&items, registry)?;
+        Ok(QueryResult { items, xml, timings })
+    }
+
+    /// The result items in sequence order.
+    pub fn items(&self) -> &[Value] {
+        &self.items
+    }
+
+    /// Number of items in the result sequence.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` for the empty sequence.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The serialized result.
+    pub fn to_xml(&self) -> String {
+        self.xml.clone()
+    }
+
+    /// Pipeline timings for this query.
+    pub fn timings(&self) -> Timings {
+        self.timings
+    }
+}
+
+/// Serialize a sequence of items: nodes as XML subtrees, atomics as their
+/// lexical form, with a single space between adjacent atomic values.
+fn serialize_items(items: &[Value], registry: &DocRegistry) -> EngineResult<String> {
+    let mut out = String::new();
+    let mut previous_was_atomic = false;
+    for item in items {
+        match item {
+            Value::Node(node) => {
+                let store = registry
+                    .store(node.doc)
+                    .ok_or_else(|| EngineError::msg(format!("unknown document id {}", node.doc)))?;
+                out.push_str(&store.subtree_to_xml(node.pre));
+                previous_was_atomic = false;
+            }
+            atomic => {
+                if previous_was_atomic {
+                    out.push(' ');
+                }
+                out.push_str(&atomic.to_xdm_string());
+                previous_was_atomic = true;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_relational::NodeRef;
+
+    #[test]
+    fn serializes_atomics_with_spaces_and_nodes_inline() {
+        let mut registry = DocRegistry::new();
+        registry.load_xml("d", "<x><y>7</y></x>").unwrap();
+        let table = Table::iter_pos_item(
+            vec![1, 1, 1],
+            vec![2, 1, 3],
+            vec![Value::Node(NodeRef::new(0, 2)), Value::Int(1), Value::Str("z".into())],
+        )
+        .unwrap();
+        let result = QueryResult::from_table(&table, &registry, Timings::default()).unwrap();
+        // pos order: 1 (int), 2 (node <y>), 3 ("z")
+        assert_eq!(result.to_xml(), "1<y>7</y>z");
+        assert_eq!(result.len(), 3);
+        assert!(!result.is_empty());
+    }
+
+    #[test]
+    fn empty_result() {
+        let registry = DocRegistry::new();
+        let table = Table::iter_pos_item(vec![], vec![], vec![]).unwrap();
+        let result = QueryResult::from_table(&table, &registry, Timings::default()).unwrap();
+        assert!(result.is_empty());
+        assert_eq!(result.to_xml(), "");
+    }
+
+    #[test]
+    fn timings_total() {
+        let t = Timings {
+            compile: Duration::from_millis(2),
+            optimize: Duration::from_millis(3),
+            execute: Duration::from_millis(5),
+        };
+        assert_eq!(t.total(), Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,247 @@
+//! Columns — the reproduction's BATs.
+//!
+//! A [`Column`] is a homogeneous, densely packed vector of values.  The
+//! frequent `iter`/`pos` columns get a dedicated `Nat` representation (they
+//! are the bulk of every loop-lifted table); the polymorphic `item` column
+//! of Figure 2 is represented by the `Item` variant.
+
+use crate::error::{RelError, RelResult};
+use crate::value::{NodeRef, Value, ValueType};
+
+/// A homogeneous column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Natural numbers (`iter`, `pos`, surrogates).
+    Nat(Vec<u64>),
+    /// Integers.
+    Int(Vec<i64>),
+    /// Doubles.
+    Dbl(Vec<f64>),
+    /// Strings.
+    Str(Vec<String>),
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// Node references.
+    Node(Vec<NodeRef>),
+    /// The polymorphic item column.
+    Item(Vec<Value>),
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn empty(ty: ValueType) -> Column {
+        match ty {
+            ValueType::Nat => Column::Nat(Vec::new()),
+            ValueType::Int => Column::Int(Vec::new()),
+            ValueType::Dbl => Column::Dbl(Vec::new()),
+            ValueType::Str => Column::Str(Vec::new()),
+            ValueType::Bool => Column::Bool(Vec::new()),
+            ValueType::Node => Column::Node(Vec::new()),
+        }
+    }
+
+    /// An empty polymorphic item column.
+    pub fn empty_item() -> Column {
+        Column::Item(Vec::new())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Nat(v) => v.len(),
+            Column::Int(v) => v.len(),
+            Column::Dbl(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Node(v) => v.len(),
+            Column::Item(v) => v.len(),
+        }
+    }
+
+    /// `true` if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read row `i` as a [`Value`].
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            Column::Nat(v) => Value::Nat(v[i]),
+            Column::Int(v) => Value::Int(v[i]),
+            Column::Dbl(v) => Value::Dbl(v[i]),
+            Column::Str(v) => Value::Str(v[i].clone()),
+            Column::Bool(v) => Value::Bool(v[i]),
+            Column::Node(v) => Value::Node(v[i]),
+            Column::Item(v) => v[i].clone(),
+        }
+    }
+
+    /// Append a value, converting it to the column type where possible.
+    pub fn push(&mut self, value: Value) -> RelResult<()> {
+        match (self, value) {
+            (Column::Nat(v), val) => v.push(val.as_nat()?),
+            (Column::Int(v), Value::Int(i)) => v.push(i),
+            (Column::Int(v), Value::Nat(n)) => v.push(n as i64),
+            (Column::Dbl(v), Value::Dbl(d)) => v.push(d),
+            (Column::Dbl(v), Value::Int(i)) => v.push(i as f64),
+            (Column::Str(v), Value::Str(s)) => v.push(s),
+            (Column::Bool(v), Value::Bool(b)) => v.push(b),
+            (Column::Node(v), Value::Node(n)) => v.push(n),
+            (Column::Item(v), val) => v.push(val),
+            (col, val) => {
+                return Err(RelError::new(format!(
+                    "cannot push {val} into a column of type {:?}",
+                    col.column_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// The column's static type; `None` for the polymorphic item column.
+    pub fn column_type(&self) -> Option<ValueType> {
+        match self {
+            Column::Nat(_) => Some(ValueType::Nat),
+            Column::Int(_) => Some(ValueType::Int),
+            Column::Dbl(_) => Some(ValueType::Dbl),
+            Column::Str(_) => Some(ValueType::Str),
+            Column::Bool(_) => Some(ValueType::Bool),
+            Column::Node(_) => Some(ValueType::Node),
+            Column::Item(_) => None,
+        }
+    }
+
+    /// Build a column from a vector of values.  If all values share one
+    /// type a typed column is produced, otherwise an item column.
+    pub fn from_values(values: Vec<Value>) -> Column {
+        if values.is_empty() {
+            return Column::empty_item();
+        }
+        let ty = values[0].value_type();
+        if values.iter().all(|v| v.value_type() == ty) {
+            let mut col = Column::empty(ty);
+            for v in values {
+                col.push(v).expect("homogeneous push cannot fail");
+            }
+            col
+        } else {
+            Column::Item(values)
+        }
+    }
+
+    /// Build a `Nat` column.
+    pub fn from_nats(values: Vec<u64>) -> Column {
+        Column::Nat(values)
+    }
+
+    /// View as a slice of nats, if this is a `Nat` column.
+    pub fn as_nats(&self) -> Option<&[u64]> {
+        match self {
+            Column::Nat(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Gather: build a new column containing `rows[i]`-th elements.
+    pub fn gather(&self, rows: &[usize]) -> Column {
+        match self {
+            Column::Nat(v) => Column::Nat(rows.iter().map(|&r| v[r]).collect()),
+            Column::Int(v) => Column::Int(rows.iter().map(|&r| v[r]).collect()),
+            Column::Dbl(v) => Column::Dbl(rows.iter().map(|&r| v[r]).collect()),
+            Column::Str(v) => Column::Str(rows.iter().map(|&r| v[r].clone()).collect()),
+            Column::Bool(v) => Column::Bool(rows.iter().map(|&r| v[r]).collect()),
+            Column::Node(v) => Column::Node(rows.iter().map(|&r| v[r]).collect()),
+            Column::Item(v) => Column::Item(rows.iter().map(|&r| v[r].clone()).collect()),
+        }
+    }
+
+    /// Concatenate another column of a compatible representation onto this
+    /// one (used by disjoint union).
+    pub fn append(&mut self, other: &Column) -> RelResult<()> {
+        match (&mut *self, other) {
+            (Column::Nat(a), Column::Nat(b)) => a.extend_from_slice(b),
+            (Column::Int(a), Column::Int(b)) => a.extend_from_slice(b),
+            (Column::Dbl(a), Column::Dbl(b)) => a.extend_from_slice(b),
+            (Column::Str(a), Column::Str(b)) => a.extend_from_slice(b),
+            (Column::Bool(a), Column::Bool(b)) => a.extend_from_slice(b),
+            (Column::Node(a), Column::Node(b)) => a.extend_from_slice(b),
+            (Column::Item(a), b) => {
+                for i in 0..b.len() {
+                    a.push(b.get(i));
+                }
+            }
+            (a, b) => {
+                // Fall back to a polymorphic column when the representations
+                // differ (e.g. Int ∪ Dbl item columns).
+                let mut items: Vec<Value> = (0..a.len()).map(|i| a.get(i)).collect();
+                for i in 0..b.len() {
+                    items.push(b.get(i));
+                }
+                *a = Column::Item(items);
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterate over the rows as values.
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_detects_homogeneous_type() {
+        let col = Column::from_values(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(col.column_type(), Some(ValueType::Int));
+        let col = Column::from_values(vec![Value::Int(1), Value::Str("x".into())]);
+        assert_eq!(col.column_type(), None);
+    }
+
+    #[test]
+    fn push_coerces_nat_and_int() {
+        let mut col = Column::empty(ValueType::Nat);
+        col.push(Value::Nat(1)).unwrap();
+        col.push(Value::Int(2)).unwrap();
+        assert_eq!(col.as_nats().unwrap(), &[1, 2]);
+        assert!(col.push(Value::Str("no".into())).is_err());
+    }
+
+    #[test]
+    fn gather_reorders_rows() {
+        let col = Column::from_values(vec![Value::Int(10), Value::Int(20), Value::Int(30)]);
+        let gathered = col.gather(&[2, 0, 0]);
+        assert_eq!(
+            gathered.iter_values().collect::<Vec<_>>(),
+            vec![Value::Int(30), Value::Int(10), Value::Int(10)]
+        );
+    }
+
+    #[test]
+    fn append_compatible_columns() {
+        let mut a = Column::from_values(vec![Value::Int(1)]);
+        let b = Column::from_values(vec![Value::Int(2)]);
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn append_incompatible_falls_back_to_item() {
+        let mut a = Column::from_values(vec![Value::Int(1)]);
+        let b = Column::from_values(vec![Value::Str("x".into())]);
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.column_type(), None);
+        assert_eq!(a.get(1), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn empty_columns() {
+        assert!(Column::empty(ValueType::Bool).is_empty());
+        assert!(Column::empty_item().is_empty());
+        assert_eq!(Column::from_values(vec![]).len(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type for the relational engine.
+
+use std::fmt;
+
+/// Result alias for relational operations.
+pub type RelResult<T> = Result<T, RelError>;
+
+/// An error raised by a physical operator (unknown column, arity mismatch,
+/// type error in an arithmetic operation, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl RelError {
+    /// Create a new error.
+    pub fn new(message: impl Into<String>) -> Self {
+        RelError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "relational engine error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let err = RelError::new("unknown column `item`");
+        assert!(err.to_string().contains("unknown column `item`"));
+    }
+}

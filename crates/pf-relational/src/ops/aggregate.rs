@@ -1,0 +1,236 @@
+//! Grouped aggregation (`fn:count`, `fn:sum`, `fn:max`, `fn:min`, `fn:avg`).
+//!
+//! The loop-lifted encoding makes aggregation a grouping over the `iter`
+//! column: `fn:count($s)` in iteration scope `s_i` is simply "count the rows
+//! of the relation encoding `$s`, grouped by `iter`".
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::error::{RelError, RelResult};
+use crate::ops::HashKey;
+use crate::table::Table;
+use crate::value::{ArithOp, Value};
+
+/// Aggregation functions supported by the dialect of Table 2
+/// (`fn:count`, `fn:sum`) plus the obvious companions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `fn:count`
+    Count,
+    /// `fn:sum`
+    Sum,
+    /// `fn:max`
+    Max,
+    /// `fn:min`
+    Min,
+    /// `fn:avg`
+    Avg,
+}
+
+impl AggFunc {
+    /// The XQuery function name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Max => "max",
+            AggFunc::Min => "min",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// Aggregate `value_col` of `input` grouped by `group_col`.
+///
+/// The output has two columns, `group_col` and `target`, one row per group,
+/// ordered by first appearance of the group in the input (which for
+/// `iter`-grouped loop-lifted tables is ascending `iter` order).  Empty
+/// groups do not appear — the compiler adds them back via the `loop` /
+/// difference construction exactly as the loop-lifting scheme prescribes.
+pub fn aggregate_by(
+    input: &Table,
+    group_col: &str,
+    target: &str,
+    func: AggFunc,
+    value_col: &str,
+) -> RelResult<Table> {
+    let gcol = input.column(group_col)?;
+    let vcol = if func == AggFunc::Count {
+        None
+    } else {
+        Some(input.column(value_col)?)
+    };
+
+    let mut group_order: Vec<Value> = Vec::new();
+    let mut groups: HashMap<HashKey, usize> = HashMap::new();
+    let mut counts: Vec<u64> = Vec::new();
+    let mut sums: Vec<Value> = Vec::new();
+    let mut mins: Vec<Option<Value>> = Vec::new();
+    let mut maxs: Vec<Option<Value>> = Vec::new();
+
+    for row in 0..input.row_count() {
+        let gval = gcol.get(row);
+        let key = HashKey::of(&gval);
+        let idx = *groups.entry(key).or_insert_with(|| {
+            group_order.push(gval.clone());
+            counts.push(0);
+            sums.push(Value::Int(0));
+            mins.push(None);
+            maxs.push(None);
+            group_order.len() - 1
+        });
+        counts[idx] += 1;
+        if let Some(vcol) = vcol {
+            let v = vcol.get(row);
+            match func {
+                AggFunc::Sum | AggFunc::Avg => {
+                    let coerced = coerce_numeric(&v)?;
+                    sums[idx] = sums[idx].arithmetic(ArithOp::Add, &coerced)?;
+                }
+                AggFunc::Min => {
+                    let replace = match &mins[idx] {
+                        None => true,
+                        Some(current) => v.compare(current)? == std::cmp::Ordering::Less,
+                    };
+                    if replace {
+                        mins[idx] = Some(v);
+                    }
+                }
+                AggFunc::Max => {
+                    let replace = match &maxs[idx] {
+                        None => true,
+                        Some(current) => v.compare(current)? == std::cmp::Ordering::Greater,
+                    };
+                    if replace {
+                        maxs[idx] = Some(v);
+                    }
+                }
+                AggFunc::Count => {}
+            }
+        }
+    }
+
+    let mut out_groups = Vec::with_capacity(group_order.len());
+    let mut out_values = Vec::with_capacity(group_order.len());
+    for (idx, gval) in group_order.iter().enumerate() {
+        out_groups.push(gval.clone());
+        let value = match func {
+            AggFunc::Count => Value::Int(counts[idx] as i64),
+            AggFunc::Sum => sums[idx].clone(),
+            AggFunc::Avg => sums[idx].arithmetic(ArithOp::Div, &Value::Int(counts[idx] as i64))?,
+            AggFunc::Min => mins[idx]
+                .clone()
+                .ok_or_else(|| RelError::new("min over an empty group"))?,
+            AggFunc::Max => maxs[idx]
+                .clone()
+                .ok_or_else(|| RelError::new("max over an empty group"))?,
+        };
+        out_values.push(value);
+    }
+
+    Table::new(vec![
+        (group_col.to_string(), Column::from_values(out_groups)),
+        (target.to_string(), Column::from_values(out_values)),
+    ])
+}
+
+/// Numeric coercion applied by `fn:sum`/`fn:avg` to untyped content.
+fn coerce_numeric(v: &Value) -> RelResult<Value> {
+    match v {
+        Value::Int(_) | Value::Dbl(_) | Value::Nat(_) => Ok(v.clone()),
+        Value::Str(s) => {
+            let t = s.trim();
+            if let Ok(i) = t.parse::<i64>() {
+                Ok(Value::Int(i))
+            } else {
+                t.parse::<f64>()
+                    .map(Value::Dbl)
+                    .map_err(|_| RelError::new(format!("cannot sum non-numeric value `{s}`")))
+            }
+        }
+        other => Err(RelError::new(format!("cannot aggregate value {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::new(vec![
+            ("iter".into(), Column::Nat(vec![1, 1, 2, 2, 2])),
+            ("item".into(), Column::Int(vec![10, 20, 5, 7, 9])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn count_per_group() {
+        let t = aggregate_by(&table(), "iter", "cnt", AggFunc::Count, "item").unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.value("cnt", 0).unwrap(), Value::Int(2));
+        assert_eq!(t.value("cnt", 1).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn sum_and_avg_per_group() {
+        let t = aggregate_by(&table(), "iter", "s", AggFunc::Sum, "item").unwrap();
+        assert_eq!(t.value("s", 0).unwrap(), Value::Int(30));
+        assert_eq!(t.value("s", 1).unwrap(), Value::Int(21));
+        let t = aggregate_by(&table(), "iter", "a", AggFunc::Avg, "item").unwrap();
+        assert_eq!(t.value("a", 0).unwrap(), Value::Dbl(15.0));
+        assert_eq!(t.value("a", 1).unwrap(), Value::Dbl(7.0));
+    }
+
+    #[test]
+    fn min_and_max_per_group() {
+        let t = aggregate_by(&table(), "iter", "m", AggFunc::Min, "item").unwrap();
+        assert_eq!(t.value("m", 1).unwrap(), Value::Int(5));
+        let t = aggregate_by(&table(), "iter", "m", AggFunc::Max, "item").unwrap();
+        assert_eq!(t.value("m", 0).unwrap(), Value::Int(20));
+    }
+
+    #[test]
+    fn sum_coerces_untyped_strings() {
+        let t = Table::new(vec![
+            ("iter".into(), Column::Nat(vec![1, 1])),
+            (
+                "item".into(),
+                Column::from_values(vec![Value::Str("10".into()), Value::Str("2.5".into())]),
+            ),
+        ])
+        .unwrap();
+        let r = aggregate_by(&t, "iter", "s", AggFunc::Sum, "item").unwrap();
+        assert_eq!(r.value("s", 0).unwrap(), Value::Dbl(12.5));
+    }
+
+    #[test]
+    fn aggregation_of_non_numeric_fails() {
+        let t = Table::new(vec![
+            ("iter".into(), Column::Nat(vec![1])),
+            ("item".into(), Column::from_values(vec![Value::Str("abc".into())])),
+        ])
+        .unwrap();
+        assert!(aggregate_by(&t, "iter", "s", AggFunc::Sum, "item").is_err());
+    }
+
+    #[test]
+    fn group_order_is_first_appearance() {
+        let t = Table::new(vec![
+            ("iter".into(), Column::Nat(vec![5, 3, 5])),
+            ("item".into(), Column::Int(vec![1, 1, 1])),
+        ])
+        .unwrap();
+        let r = aggregate_by(&t, "iter", "c", AggFunc::Count, "item").unwrap();
+        assert_eq!(r.value("iter", 0).unwrap(), Value::Nat(5));
+        assert_eq!(r.value("iter", 1).unwrap(), Value::Nat(3));
+    }
+
+    #[test]
+    fn empty_input_produces_no_groups() {
+        let t = Table::iter_pos_item(vec![], vec![], vec![]).unwrap();
+        let r = aggregate_by(&t, "iter", "c", AggFunc::Count, "item").unwrap();
+        assert_eq!(r.row_count(), 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! ⋈ and × — equi-join, theta-join, Cartesian product.
+//!
+//! The compiled plans only ever use *equi*-joins ("all joins are
+//! equi-joins", Section 2); they are implemented as hash joins.  The
+//! explicit theta-join exists for the value-based joins the paper discusses
+//! for XMark Q11/Q12 (predicate `>`), whose quadratic output is inherent to
+//! the query, and is implemented as a nested loop.
+
+use std::collections::HashMap;
+
+use crate::error::{RelError, RelResult};
+use crate::ops::map::{apply_binary, BinaryOp};
+use crate::ops::HashKey;
+use crate::table::Table;
+
+fn merge_schemas(left: &Table, right: &Table) -> RelResult<Vec<String>> {
+    for (name, _) in right.columns() {
+        if left.has_column(name) {
+            return Err(RelError::new(format!(
+                "join would produce duplicate column `{name}`; project/rename first"
+            )));
+        }
+    }
+    Ok(left
+        .column_names()
+        .into_iter()
+        .chain(right.column_names())
+        .map(str::to_string)
+        .collect())
+}
+
+fn materialize_join(left: &Table, right: &Table, pairs: &[(usize, usize)]) -> RelResult<Table> {
+    let left_rows: Vec<usize> = pairs.iter().map(|&(l, _)| l).collect();
+    let right_rows: Vec<usize> = pairs.iter().map(|&(_, r)| r).collect();
+    let left_part = left.gather_rows(&left_rows);
+    let right_part = right.gather_rows(&right_rows);
+    let mut columns = Vec::new();
+    for (name, col) in left_part.columns() {
+        columns.push((name.clone(), col.clone()));
+    }
+    for (name, col) in right_part.columns() {
+        columns.push((name.clone(), col.clone()));
+    }
+    Table::new(columns)
+}
+
+/// Equi-join `left ⋈ right` on `left_col = right_col` (hash join).
+///
+/// Column names of the two inputs must be disjoint; the compiler inserts
+/// renaming projections to guarantee this, exactly like the π operators in
+/// Figure 5.  The output contains the matching row pairs ordered by the
+/// left input's row order (then the right's), which keeps plan results
+/// deterministic.
+pub fn equi_join(left: &Table, right: &Table, left_col: &str, right_col: &str) -> RelResult<Table> {
+    merge_schemas(left, right)?;
+    let lcol = left.column(left_col)?;
+    let rcol = right.column(right_col)?;
+    // Build on the smaller side, probe with the larger.
+    let mut index: HashMap<HashKey, Vec<usize>> = HashMap::with_capacity(right.row_count());
+    for row in 0..right.row_count() {
+        index.entry(HashKey::of(&rcol.get(row))).or_default().push(row);
+    }
+    let mut pairs = Vec::new();
+    for lrow in 0..left.row_count() {
+        if let Some(matches) = index.get(&HashKey::of(&lcol.get(lrow))) {
+            for &rrow in matches {
+                pairs.push((lrow, rrow));
+            }
+        }
+    }
+    materialize_join(left, right, &pairs)
+}
+
+/// Theta-join `left ⋈_θ right` with an arbitrary binary predicate between
+/// `left_col` and `right_col` (nested loop).
+pub fn theta_join(
+    left: &Table,
+    right: &Table,
+    left_col: &str,
+    op: BinaryOp,
+    right_col: &str,
+) -> RelResult<Table> {
+    merge_schemas(left, right)?;
+    let lcol = left.column(left_col)?;
+    let rcol = right.column(right_col)?;
+    let mut pairs = Vec::new();
+    for lrow in 0..left.row_count() {
+        let lval = lcol.get(lrow);
+        for rrow in 0..right.row_count() {
+            if apply_binary(op, &lval, &rcol.get(rrow))?.as_bool()? {
+                pairs.push((lrow, rrow));
+            }
+        }
+    }
+    materialize_join(left, right, &pairs)
+}
+
+/// × — Cartesian product.
+pub fn cross(left: &Table, right: &Table) -> RelResult<Table> {
+    merge_schemas(left, right)?;
+    let mut pairs = Vec::with_capacity(left.row_count() * right.row_count());
+    for lrow in 0..left.row_count() {
+        for rrow in 0..right.row_count() {
+            pairs.push((lrow, rrow));
+        }
+    }
+    materialize_join(left, right, &pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::ops::map::CmpOp;
+    use crate::value::Value;
+
+    fn left() -> Table {
+        Table::new(vec![
+            ("iter".into(), Column::Nat(vec![1, 2, 3])),
+            ("item".into(), Column::Int(vec![10, 20, 30])),
+        ])
+        .unwrap()
+    }
+
+    fn right() -> Table {
+        Table::new(vec![
+            ("iter1".into(), Column::Nat(vec![2, 3, 3, 4])),
+            ("item1".into(), Column::Int(vec![200, 300, 301, 400])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn equi_join_matches_keys() {
+        let j = equi_join(&left(), &right(), "iter", "iter1").unwrap();
+        assert_eq!(j.row_count(), 3);
+        assert_eq!(j.column_names(), vec!["iter", "item", "iter1", "item1"]);
+        assert_eq!(j.value("item1", 0).unwrap(), Value::Int(200));
+        assert_eq!(j.value("item", 2).unwrap(), Value::Int(30));
+    }
+
+    #[test]
+    fn equi_join_rejects_name_clash() {
+        assert!(equi_join(&left(), &left(), "iter", "iter").is_err());
+    }
+
+    #[test]
+    fn equi_join_with_no_matches_is_empty() {
+        let r = Table::new(vec![
+            ("iter1".into(), Column::Nat(vec![9])),
+            ("item1".into(), Column::Int(vec![1])),
+        ])
+        .unwrap();
+        let j = equi_join(&left(), &r, "iter", "iter1").unwrap();
+        assert_eq!(j.row_count(), 0);
+        assert_eq!(j.column_count(), 4);
+    }
+
+    #[test]
+    fn theta_join_greater_than() {
+        let j = theta_join(&left(), &right(), "item", BinaryOp::Cmp(CmpOp::Gt), "iter1").unwrap();
+        // every left item (10,20,30) is > every right iter1 (2,3,3,4)
+        assert_eq!(j.row_count(), 12);
+    }
+
+    #[test]
+    fn cross_product_sizes() {
+        let c = cross(&left(), &right()).unwrap();
+        assert_eq!(c.row_count(), 12);
+        assert_eq!(c.column_count(), 4);
+    }
+
+    #[test]
+    fn join_result_order_is_left_major() {
+        let j = equi_join(&left(), &right(), "iter", "iter1").unwrap();
+        let iters: Vec<_> = (0..j.row_count())
+            .map(|r| j.value("iter", r).unwrap().as_nat().unwrap())
+            .collect();
+        let mut sorted = iters.clone();
+        sorted.sort_unstable();
+        assert_eq!(iters, sorted);
+    }
+}

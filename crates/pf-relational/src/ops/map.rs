@@ -1,0 +1,277 @@
+//! ⊙ — the arithmetic / comparison operator family of Table 1.
+//!
+//! The compiled plans never evaluate expressions row-at-a-time inside some
+//! host language; they *materialize* the result of every arithmetic or
+//! comparison operation as a new column (see the `⊕res:(item,item1)` node in
+//! Figure 5).  `map_binary`, `map_unary` and `map_const` are the physical
+//! operators that do this.
+
+use std::cmp::Ordering;
+
+use crate::column::Column;
+use crate::error::{RelError, RelResult};
+use crate::table::Table;
+use crate::value::{ArithOp, Value};
+
+/// Comparison operators (`eq`, `ne`, `lt`, `le`, `gt`, `ge`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `eq` / `=`
+    Eq,
+    /// `ne` / `!=`
+    Ne,
+    /// `lt` / `<`
+    Lt,
+    /// `le` / `<=`
+    Le,
+    /// `gt` / `>`
+    Gt,
+    /// `ge` / `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Does `ordering` satisfy this comparison?
+    pub fn matches(&self, ordering: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ordering == Ordering::Equal,
+            CmpOp::Ne => ordering != Ordering::Equal,
+            CmpOp::Lt => ordering == Ordering::Less,
+            CmpOp::Le => ordering != Ordering::Greater,
+            CmpOp::Gt => ordering == Ordering::Greater,
+            CmpOp::Ge => ordering != Ordering::Less,
+        }
+    }
+
+    /// Mirror of the operator (used when the join recognizer swaps sides).
+    pub fn mirror(&self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The XQuery keyword spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+}
+
+/// A binary row-wise operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Arithmetic, producing a numeric column.
+    Arith(ArithOp),
+    /// Comparison, producing a boolean column.
+    Cmp(CmpOp),
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// `fn:contains` — substring containment on strings.
+    Contains,
+    /// `fn:starts-with`.
+    StartsWith,
+    /// `fn:concat` (binary; the compiler folds n-ary concat).
+    Concat,
+}
+
+/// A unary row-wise operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Boolean negation (`fn:not`).
+    Not,
+    /// Numeric negation (unary minus).
+    Neg,
+    /// Cast to `xs:double` (`fn:number` on atomics).
+    ToNumber,
+    /// Cast to `xs:string` (`fn:string` on atomics).
+    ToString,
+    /// `fn:string-length`.
+    StrLen,
+}
+
+/// Apply `op` to every value of `value`; see [`BinaryOp`].
+pub fn apply_binary(op: BinaryOp, left: &Value, right: &Value) -> RelResult<Value> {
+    match op {
+        BinaryOp::Arith(a) => left.arithmetic(a, right),
+        BinaryOp::Cmp(c) => Ok(Value::Bool(c.matches(left.compare(right)?))),
+        BinaryOp::And => Ok(Value::Bool(left.as_bool()? && right.as_bool()?)),
+        BinaryOp::Or => Ok(Value::Bool(left.as_bool()? || right.as_bool()?)),
+        BinaryOp::Contains => Ok(Value::Bool(
+            left.to_xdm_string().contains(&right.to_xdm_string()),
+        )),
+        BinaryOp::StartsWith => Ok(Value::Bool(
+            left.to_xdm_string().starts_with(&right.to_xdm_string()),
+        )),
+        BinaryOp::Concat => Ok(Value::Str(format!(
+            "{}{}",
+            left.to_xdm_string(),
+            right.to_xdm_string()
+        ))),
+    }
+}
+
+/// Apply `op` to a single value; see [`UnaryOp`].
+pub fn apply_unary(op: UnaryOp, value: &Value) -> RelResult<Value> {
+    match op {
+        UnaryOp::Not => Ok(Value::Bool(!value.as_bool()?)),
+        UnaryOp::Neg => value.arithmetic(ArithOp::Mul, &Value::Int(-1)),
+        UnaryOp::ToNumber => match value {
+            Value::Int(_) | Value::Dbl(_) | Value::Nat(_) => Ok(value.clone()),
+            Value::Str(s) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Dbl)
+                .map_err(|_| RelError::new(format!("cannot cast `{s}` to a number"))),
+            Value::Bool(b) => Ok(Value::Int(i64::from(*b))),
+            Value::Node(_) => Err(RelError::new("cannot cast a node reference to a number")),
+        },
+        UnaryOp::ToString => Ok(Value::Str(value.to_xdm_string())),
+        UnaryOp::StrLen => Ok(Value::Int(value.to_xdm_string().chars().count() as i64)),
+    }
+}
+
+/// ⊙: append column `target` = `left ⊙ right` to a copy of `input`.
+pub fn map_binary(
+    input: &Table,
+    target: &str,
+    left: &str,
+    op: BinaryOp,
+    right: &str,
+) -> RelResult<Table> {
+    let lcol = input.column(left)?;
+    let rcol = input.column(right)?;
+    let mut values = Vec::with_capacity(input.row_count());
+    for row in 0..input.row_count() {
+        values.push(apply_binary(op, &lcol.get(row), &rcol.get(row))?);
+    }
+    let mut out = input.clone();
+    out.add_column(target, Column::from_values(values))?;
+    Ok(out)
+}
+
+/// Unary ⊙: append column `target` = `op(source)` to a copy of `input`.
+pub fn map_unary(input: &Table, target: &str, op: UnaryOp, source: &str) -> RelResult<Table> {
+    let col = input.column(source)?;
+    let mut values = Vec::with_capacity(input.row_count());
+    for row in 0..input.row_count() {
+        values.push(apply_unary(op, &col.get(row))?);
+    }
+    let mut out = input.clone();
+    out.add_column(target, Column::from_values(values))?;
+    Ok(out)
+}
+
+/// Attach a constant column (the "attach" operator the loop-lifting scheme
+/// uses to give literals their `iter`/`pos` columns).
+pub fn map_const(input: &Table, target: &str, value: &Value) -> RelResult<Table> {
+    let values = vec![value.clone(); input.row_count()];
+    let mut out = input.clone();
+    out.add_column(target, Column::from_values(values))?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn table() -> Table {
+        Table::new(vec![
+            ("iter".into(), Column::Nat(vec![1, 2, 3])),
+            ("a".into(), Column::Int(vec![10, 20, 30])),
+            ("b".into(), Column::Int(vec![3, 20, 7])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn arithmetic_map() {
+        let t = map_binary(&table(), "sum", "a", BinaryOp::Arith(ArithOp::Add), "b").unwrap();
+        assert_eq!(t.value("sum", 0).unwrap(), Value::Int(13));
+        assert_eq!(t.value("sum", 2).unwrap(), Value::Int(37));
+    }
+
+    #[test]
+    fn comparison_map_produces_booleans() {
+        let t = map_binary(&table(), "eq", "a", BinaryOp::Cmp(CmpOp::Eq), "b").unwrap();
+        assert_eq!(t.value("eq", 0).unwrap(), Value::Bool(false));
+        assert_eq!(t.value("eq", 1).unwrap(), Value::Bool(true));
+        let t = map_binary(&table(), "gt", "a", BinaryOp::Cmp(CmpOp::Gt), "b").unwrap();
+        assert_eq!(t.value("gt", 0).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let t = Table::new(vec![
+            ("x".into(), Column::Bool(vec![true, true, false])),
+            ("y".into(), Column::Bool(vec![true, false, false])),
+        ])
+        .unwrap();
+        let t = map_binary(&t, "and", "x", BinaryOp::And, "y").unwrap();
+        let t = map_binary(&t, "or", "x", BinaryOp::Or, "y").unwrap();
+        assert_eq!(t.value("and", 1).unwrap(), Value::Bool(false));
+        assert_eq!(t.value("or", 1).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn unary_operations() {
+        assert_eq!(apply_unary(UnaryOp::Not, &Value::Bool(true)).unwrap(), Value::Bool(false));
+        assert_eq!(apply_unary(UnaryOp::Neg, &Value::Int(4)).unwrap(), Value::Int(-4));
+        assert_eq!(
+            apply_unary(UnaryOp::ToNumber, &Value::Str(" 42.5 ".into())).unwrap(),
+            Value::Dbl(42.5)
+        );
+        assert_eq!(
+            apply_unary(UnaryOp::ToString, &Value::Int(7)).unwrap(),
+            Value::Str("7".into())
+        );
+        assert!(apply_unary(UnaryOp::ToNumber, &Value::Str("abc".into())).is_err());
+    }
+
+    #[test]
+    fn string_operations() {
+        let a = Value::Str("hello world".into());
+        let b = Value::Str("world".into());
+        assert_eq!(apply_binary(BinaryOp::Contains, &a, &b).unwrap(), Value::Bool(true));
+        assert_eq!(apply_binary(BinaryOp::StartsWith, &a, &b).unwrap(), Value::Bool(false));
+        assert_eq!(
+            apply_binary(BinaryOp::Concat, &Value::Str("a".into()), &Value::Int(1)).unwrap(),
+            Value::Str("a1".into())
+        );
+        assert_eq!(apply_unary(UnaryOp::StrLen, &a).unwrap(), Value::Int(11));
+    }
+
+    #[test]
+    fn map_const_attaches_constant() {
+        let t = map_const(&table(), "c", &Value::Nat(1)).unwrap();
+        assert!(t.column("c").unwrap().iter_values().all(|v| v == Value::Nat(1)));
+    }
+
+    #[test]
+    fn cmp_op_helpers() {
+        assert!(CmpOp::Le.matches(Ordering::Equal));
+        assert!(!CmpOp::Lt.matches(Ordering::Equal));
+        assert_eq!(CmpOp::Lt.mirror(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.name(), "eq");
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let t = table();
+        assert!(map_binary(&t, "x", "a", BinaryOp::And, "b").is_err());
+        assert!(map_unary(&t, "x", UnaryOp::Not, "a").is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! π — column projection and renaming.
+
+use crate::error::RelResult;
+use crate::table::Table;
+
+/// Project (and rename) columns: each `(source, target)` pair copies column
+/// `source` of `input` into the output under the name `target`.
+///
+/// As in the paper's algebra, π performs **no duplicate elimination** — that
+/// restriction is one of the properties the optimizer exploits.  A source
+/// column may be projected more than once under different names (the
+/// compiled plans use this to duplicate `iter` into `inner`/`outer`).
+pub fn project(input: &Table, columns: &[(&str, &str)]) -> RelResult<Table> {
+    let mut out = Vec::with_capacity(columns.len());
+    for (source, target) in columns {
+        let col = input.column(source)?;
+        out.push((target.to_string(), col.clone()));
+    }
+    Table::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn projects_and_renames() {
+        let t = Table::iter_pos_item(vec![1, 2], vec![1, 1], vec![Value::Int(5), Value::Int(6)]).unwrap();
+        let p = project(&t, &[("item", "res"), ("iter", "iter")]).unwrap();
+        assert_eq!(p.column_names(), vec!["res", "iter"]);
+        assert_eq!(p.value("res", 1).unwrap(), Value::Int(6));
+    }
+
+    #[test]
+    fn duplicating_a_column_is_allowed() {
+        let t = Table::iter_pos_item(vec![1], vec![1], vec![Value::Int(5)]).unwrap();
+        let p = project(&t, &[("iter", "inner"), ("iter", "outer")]).unwrap();
+        assert_eq!(p.column_names(), vec!["inner", "outer"]);
+        assert_eq!(p.value("inner", 0).unwrap(), p.value("outer", 0).unwrap());
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let t = Table::iter_pos_item(vec![1], vec![1], vec![Value::Int(5)]).unwrap();
+        assert!(project(&t, &[("nope", "x")]).is_err());
+    }
+
+    #[test]
+    fn projection_does_not_eliminate_duplicates() {
+        let t = Table::iter_pos_item(vec![1, 1], vec![1, 2], vec![Value::Int(5), Value::Int(5)]).unwrap();
+        let p = project(&t, &[("item", "item")]).unwrap();
+        assert_eq!(p.row_count(), 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! ∪̇, \ and δ — disjoint union, difference, duplicate elimination.
+
+use std::collections::HashSet;
+
+use crate::error::{RelError, RelResult};
+use crate::ops::row_key;
+use crate::table::Table;
+
+/// ∪̇ — disjoint union.
+///
+/// The paper's algebra guarantees that the two inputs never contain the same
+/// tuple ("all unions are disjoint"), so this is a plain concatenation; the
+/// schemas must agree by name and order.
+pub fn union_disjoint(left: &Table, right: &Table) -> RelResult<Table> {
+    if left.column_count() == 0 {
+        return Ok(right.clone());
+    }
+    if right.column_count() == 0 {
+        return Ok(left.clone());
+    }
+    if left.column_names() != right.column_names() {
+        return Err(RelError::new(format!(
+            "union of incompatible schemas {:?} and {:?}",
+            left.column_names(),
+            right.column_names()
+        )));
+    }
+    let mut columns = Vec::with_capacity(left.column_count());
+    for ((name, lcol), (_, rcol)) in left.columns().iter().zip(right.columns()) {
+        let mut col = lcol.clone();
+        col.append(rcol)?;
+        columns.push((name.clone(), col));
+    }
+    Table::new(columns)
+}
+
+/// \ — difference: the rows of `left` that do not appear in `right`
+/// (comparing all columns of `left`; `right` must contain those columns).
+pub fn difference(left: &Table, right: &Table) -> RelResult<Table> {
+    let key_columns: Vec<&str> = left.column_names();
+    for c in &key_columns {
+        right.column(c)?;
+    }
+    let mut exclude: HashSet<Vec<crate::ops::HashKey>> = HashSet::with_capacity(right.row_count());
+    for row in 0..right.row_count() {
+        exclude.insert(row_key(right, &key_columns, row));
+    }
+    let mut keep = Vec::new();
+    for row in 0..left.row_count() {
+        if !exclude.contains(&row_key(left, &key_columns, row)) {
+            keep.push(row);
+        }
+    }
+    Ok(left.gather_rows(&keep))
+}
+
+/// δ — duplicate elimination over all columns, keeping the first occurrence
+/// of each distinct row (so a sorted input stays sorted).
+pub fn distinct(input: &Table) -> RelResult<Table> {
+    distinct_on(input, &input.column_names())
+}
+
+/// δ restricted to a subset of columns: keeps the first row of every
+/// distinct combination and projects nothing away (the remaining columns of
+/// the surviving row are retained).
+pub fn distinct_on(input: &Table, columns: &[&str]) -> RelResult<Table> {
+    for c in columns {
+        input.column(c)?;
+    }
+    let mut seen: HashSet<Vec<crate::ops::HashKey>> = HashSet::with_capacity(input.row_count());
+    let mut keep = Vec::new();
+    for row in 0..input.row_count() {
+        if seen.insert(row_key(input, columns, row)) {
+            keep.push(row);
+        }
+    }
+    Ok(input.gather_rows(&keep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::value::Value;
+
+    fn t(iters: Vec<u64>, items: Vec<i64>) -> Table {
+        Table::new(vec![
+            ("iter".into(), Column::Nat(iters)),
+            ("item".into(), Column::Int(items)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let u = union_disjoint(&t(vec![1], vec![10]), &t(vec![2], vec![20])).unwrap();
+        assert_eq!(u.row_count(), 2);
+        assert_eq!(u.value("item", 1).unwrap(), Value::Int(20));
+    }
+
+    #[test]
+    fn union_with_empty_schema_table() {
+        let u = union_disjoint(&Table::empty(), &t(vec![1], vec![10])).unwrap();
+        assert_eq!(u.row_count(), 1);
+        let u = union_disjoint(&t(vec![1], vec![10]), &Table::empty()).unwrap();
+        assert_eq!(u.row_count(), 1);
+    }
+
+    #[test]
+    fn union_rejects_mismatched_schemas() {
+        let other = Table::new(vec![("x".into(), Column::Nat(vec![1]))]).unwrap();
+        assert!(union_disjoint(&t(vec![1], vec![1]), &other).is_err());
+    }
+
+    #[test]
+    fn difference_removes_matching_rows() {
+        let d = difference(&t(vec![1, 2, 3], vec![10, 20, 30]), &t(vec![2, 9], vec![20, 90])).unwrap();
+        assert_eq!(d.row_count(), 2);
+        assert_eq!(d.value("iter", 1).unwrap(), Value::Nat(3));
+    }
+
+    #[test]
+    fn difference_requires_columns_present_in_right() {
+        let right = Table::new(vec![("iter".into(), Column::Nat(vec![1]))]).unwrap();
+        assert!(difference(&t(vec![1], vec![1]), &right).is_err());
+    }
+
+    #[test]
+    fn distinct_keeps_first_occurrence() {
+        let d = distinct(&t(vec![1, 1, 2, 1], vec![10, 10, 20, 10])).unwrap();
+        assert_eq!(d.row_count(), 2);
+        assert_eq!(d.value("iter", 0).unwrap(), Value::Nat(1));
+        assert_eq!(d.value("iter", 1).unwrap(), Value::Nat(2));
+    }
+
+    #[test]
+    fn distinct_on_subset_of_columns() {
+        let d = distinct_on(&t(vec![1, 1, 2], vec![10, 99, 20]), &["iter"]).unwrap();
+        assert_eq!(d.row_count(), 2);
+        // first row of iter=1 wins
+        assert_eq!(d.value("item", 0).unwrap(), Value::Int(10));
+    }
+}

@@ -1,0 +1,94 @@
+//! Sorting (order refinement).
+//!
+//! Pathfinder's careful treatment of order properties [3] means most plans
+//! avoid explicit sorts; when one is needed (e.g. `order by` or restoring
+//! document order after a union), this stable multi-column sort is used.
+
+use crate::error::RelResult;
+use crate::table::Table;
+
+/// Compute the permutation that sorts `input` by `columns` (stable,
+/// ascending, using the total sort order of values).
+pub fn sort_rows_by(input: &Table, columns: &[&str]) -> RelResult<Vec<usize>> {
+    let cols: Vec<_> = columns
+        .iter()
+        .map(|c| input.column(c).cloned())
+        .collect::<RelResult<Vec<_>>>()?;
+    let mut order: Vec<usize> = (0..input.row_count()).collect();
+    order.sort_by(|&a, &b| {
+        for col in &cols {
+            let ord = col.get(a).sort_key_cmp(&col.get(b));
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(order)
+}
+
+/// Sort `input` by `columns` (stable, ascending).
+pub fn sort_by(input: &Table, columns: &[&str]) -> RelResult<Table> {
+    let order = sort_rows_by(input, columns)?;
+    Ok(input.gather_rows(&order))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::value::Value;
+
+    fn table() -> Table {
+        Table::new(vec![
+            ("iter".into(), Column::Nat(vec![2, 1, 2, 1])),
+            ("item".into(), Column::Int(vec![5, 9, 3, 9])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn multi_column_sort() {
+        let t = sort_by(&table(), &["iter", "item"]).unwrap();
+        let rows: Vec<(u64, i64)> = (0..4)
+            .map(|r| {
+                (
+                    t.value("iter", r).unwrap().as_nat().unwrap(),
+                    match t.value("item", r).unwrap() {
+                        Value::Int(i) => i,
+                        _ => unreachable!(),
+                    },
+                )
+            })
+            .collect();
+        assert_eq!(rows, vec![(1, 9), (1, 9), (2, 3), (2, 5)]);
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        // Two rows with iter=1, item=9: their original relative order (row 1
+        // before row 3) must be preserved.
+        let order = sort_rows_by(&table(), &["iter", "item"]).unwrap();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn sorting_strings_and_numbers() {
+        let t = Table::new(vec![(
+            "item".into(),
+            Column::from_values(vec![
+                Value::Str("b".into()),
+                Value::Str("a".into()),
+                Value::Str("c".into()),
+            ]),
+        )])
+        .unwrap();
+        let sorted = sort_by(&t, &["item"]).unwrap();
+        assert_eq!(sorted.value("item", 0).unwrap(), Value::Str("a".into()));
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        assert!(sort_by(&table(), &["missing"]).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! The staircase-join *plan operator*.
+//!
+//! [`pf_store::staircase_join`] evaluates one axis step for one document;
+//! this module lifts it to the loop-lifted plan level: the input is an
+//! `iter|item` table whose `item` column holds context *nodes*, the output
+//! is the `iter|pos|item` table of step results per iteration, in document
+//! order and duplicate-free within each iteration — exactly the contract of
+//! `fs:distinct-doc-order` applied after an XPath step.
+
+use std::collections::HashMap;
+
+use pf_store::{staircase_join, Axis, DocStore, NodeTest, PreRank};
+
+use crate::column::Column;
+use crate::error::{RelError, RelResult};
+use crate::table::Table;
+use crate::value::{NodeRef, Value};
+
+/// Resolves document ids found in [`NodeRef`]s to their stores.
+pub trait DocResolver {
+    /// The store for document `doc`, if registered.
+    fn resolve(&self, doc: u32) -> Option<&DocStore>;
+}
+
+impl DocResolver for [DocStore] {
+    fn resolve(&self, doc: u32) -> Option<&DocStore> {
+        self.get(doc as usize)
+    }
+}
+
+impl DocResolver for Vec<DocStore> {
+    fn resolve(&self, doc: u32) -> Option<&DocStore> {
+        self.get(doc as usize)
+    }
+}
+
+/// Evaluate one XPath location step for every iteration of a loop-lifted
+/// context table.
+///
+/// * `input` must have an `iter` column and a node-valued `item` column.
+/// * The result has schema `iter|pos|item`, where `pos` re-establishes
+///   sequence order (document order) within each iteration.
+/// * The attribute axis is handled here as well (it reads the attribute
+///   table rather than the node table); attribute *values* are returned as
+///   strings, mirroring how the engine consumes `@attr` steps.
+pub fn staircase_step<R: DocResolver + ?Sized>(
+    input: &Table,
+    docs: &R,
+    axis: Axis,
+    test: &NodeTest,
+) -> RelResult<Table> {
+    let iter_col = input.column("iter")?;
+    let item_col = input.column("item")?;
+
+    // Group context nodes by (iter, doc) preserving document order per group.
+    let mut groups: HashMap<u64, HashMap<u32, Vec<PreRank>>> = HashMap::new();
+    let mut iter_order: Vec<u64> = Vec::new();
+    for row in 0..input.row_count() {
+        let iter = iter_col.get(row).as_nat()?;
+        let node = item_col.get(row).as_node()?;
+        let by_doc = groups.entry(iter).or_insert_with(|| {
+            iter_order.push(iter);
+            HashMap::new()
+        });
+        by_doc.entry(node.doc).or_default().push(node.pre);
+    }
+    iter_order.sort_unstable();
+
+    let mut iters: Vec<u64> = Vec::new();
+    let mut poss: Vec<u64> = Vec::new();
+    let mut items: Vec<Value> = Vec::new();
+
+    for iter in iter_order {
+        let by_doc = &groups[&iter];
+        let mut docs_sorted: Vec<u32> = by_doc.keys().copied().collect();
+        docs_sorted.sort_unstable();
+        let mut pos = 0u64;
+        for doc_id in docs_sorted {
+            let store = docs
+                .resolve(doc_id)
+                .ok_or_else(|| RelError::new(format!("unknown document id {doc_id}")))?;
+            let mut context = by_doc[&doc_id].clone();
+            context.sort_unstable();
+            context.dedup();
+            if axis == Axis::Attribute {
+                for value in attribute_step(store, &context, test) {
+                    pos += 1;
+                    iters.push(iter);
+                    poss.push(pos);
+                    items.push(Value::Str(value));
+                }
+            } else {
+                let result = staircase_join(store, &context, axis, test);
+                for pre in result {
+                    pos += 1;
+                    iters.push(iter);
+                    poss.push(pos);
+                    items.push(Value::Node(NodeRef::new(doc_id, pre)));
+                }
+            }
+        }
+    }
+
+    Table::new(vec![
+        ("iter".into(), Column::Nat(iters)),
+        ("pos".into(), Column::Nat(poss)),
+        ("item".into(), Column::from_values(items)),
+    ])
+}
+
+/// The attribute axis: look up attribute values in the attribute table.
+fn attribute_step(store: &DocStore, context: &[PreRank], test: &NodeTest) -> Vec<String> {
+    let mut out = Vec::new();
+    for &ctx in context {
+        for idx in store.attributes_of(ctx) {
+            let matches = match test {
+                NodeTest::Attribute(name) => store.attr_name_of(idx) == name,
+                NodeTest::AnyAttribute | NodeTest::AnyNode => true,
+                _ => false,
+            };
+            if matches {
+                out.push(store.attr_value_of(idx).to_string());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Vec<DocStore>, Table) {
+        let store = DocStore::from_xml(
+            "t",
+            "<site><people><person id=\"p0\"><name>Ann</name></person><person id=\"p1\"><name>Bo</name></person></people></site>",
+        )
+        .unwrap();
+        // context: the root element in iterations 1 and 2
+        let table = Table::iter_pos_item(
+            vec![1, 2],
+            vec![1, 1],
+            vec![
+                Value::Node(NodeRef::new(0, 1)),
+                Value::Node(NodeRef::new(0, 1)),
+            ],
+        )
+        .unwrap();
+        (vec![store], table)
+    }
+
+    #[test]
+    fn descendant_step_per_iteration() {
+        let (docs, table) = setup();
+        let result =
+            staircase_step(&table, docs.as_slice(), Axis::Descendant, &NodeTest::Element("person".into()))
+                .unwrap();
+        assert_eq!(result.row_count(), 4); // 2 persons × 2 iterations
+        // Each iteration gets pos 1..2 in document order.
+        assert_eq!(result.value("pos", 0).unwrap(), Value::Nat(1));
+        assert_eq!(result.value("pos", 1).unwrap(), Value::Nat(2));
+        assert_eq!(result.value("iter", 2).unwrap(), Value::Nat(2));
+    }
+
+    #[test]
+    fn duplicate_context_nodes_are_removed_per_iteration() {
+        let (docs, _) = setup();
+        let table = Table::iter_pos_item(
+            vec![1, 1],
+            vec![1, 2],
+            vec![
+                Value::Node(NodeRef::new(0, 1)),
+                Value::Node(NodeRef::new(0, 1)),
+            ],
+        )
+        .unwrap();
+        let result =
+            staircase_step(&table, docs.as_slice(), Axis::Descendant, &NodeTest::Element("name".into()))
+                .unwrap();
+        assert_eq!(result.row_count(), 2);
+    }
+
+    #[test]
+    fn attribute_step_returns_values() {
+        let (docs, _) = setup();
+        let table = Table::iter_pos_item(
+            vec![1, 1],
+            vec![1, 2],
+            vec![
+                Value::Node(NodeRef::new(0, 3)),
+                Value::Node(NodeRef::new(0, 6)),
+            ],
+        )
+        .unwrap();
+        let result = staircase_step(
+            &table,
+            docs.as_slice(),
+            Axis::Attribute,
+            &NodeTest::Attribute("id".into()),
+        )
+        .unwrap();
+        assert_eq!(result.row_count(), 2);
+        assert_eq!(result.value("item", 0).unwrap(), Value::Str("p0".into()));
+        assert_eq!(result.value("item", 1).unwrap(), Value::Str("p1".into()));
+    }
+
+    #[test]
+    fn unknown_document_is_an_error() {
+        let (docs, _) = setup();
+        let table = Table::iter_pos_item(vec![1], vec![1], vec![Value::Node(NodeRef::new(7, 1))]).unwrap();
+        assert!(staircase_step(&table, docs.as_slice(), Axis::Child, &NodeTest::AnyNode).is_err());
+    }
+
+    #[test]
+    fn non_node_items_are_an_error() {
+        let (docs, _) = setup();
+        let table = Table::iter_pos_item(vec![1], vec![1], vec![Value::Int(1)]).unwrap();
+        assert!(staircase_step(&table, docs.as_slice(), Axis::Child, &NodeTest::AnyNode).is_err());
+    }
+
+    #[test]
+    fn empty_context_produces_empty_result() {
+        let (docs, _) = setup();
+        let table = Table::iter_pos_item(vec![], vec![], vec![]).unwrap();
+        let result = staircase_step(&table, docs.as_slice(), Axis::Child, &NodeTest::AnyNode).unwrap();
+        assert_eq!(result.row_count(), 0);
+        assert_eq!(result.column_names(), vec!["iter", "pos", "item"]);
+    }
+}

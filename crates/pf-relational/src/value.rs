@@ -1,0 +1,403 @@
+//! The polymorphic item value.
+//!
+//! The XQuery data model is based on sequences of *items*: atomic values or
+//! nodes.  The paper stores items in a polymorphic `item` column (Figure 2);
+//! this module defines the Rust representation of a single item together
+//! with the coercion, comparison and arithmetic rules the compiled plans
+//! rely on.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{RelError, RelResult};
+
+/// A reference to an XML node: the id of the document it belongs to and the
+/// node's pre-order rank within that document.
+///
+/// Constructed nodes (results of `element {} {}` / `text {}`) live in
+/// documents registered at runtime and get fresh `doc` ids, so document
+/// order across documents is simply `(doc, pre)` order — the same trick
+/// MonetDB/XQuery uses with its transient documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeRef {
+    /// Document id (index into the engine's document registry).
+    pub doc: u32,
+    /// Pre-order rank within the document.
+    pub pre: u32,
+}
+
+impl NodeRef {
+    /// Construct a node reference.
+    pub fn new(doc: u32, pre: u32) -> Self {
+        NodeRef { doc, pre }
+    }
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node({},{})", self.doc, self.pre)
+    }
+}
+
+/// The static type of a [`Value`]; used by columns and by the light static
+/// typing pass of the compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// Natural number (`iter`, `pos`, surrogates, row ids).
+    Nat,
+    /// `xs:integer`
+    Int,
+    /// `xs:double` / `xs:decimal`
+    Dbl,
+    /// `xs:string`
+    Str,
+    /// `xs:boolean`
+    Bool,
+    /// A node reference.
+    Node,
+}
+
+/// A single item (or auxiliary value such as an `iter` number) stored in a
+/// column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Natural number used for `iter`, `pos` and surrogate columns.
+    Nat(u64),
+    /// `xs:integer`.
+    Int(i64),
+    /// `xs:double`.
+    Dbl(f64),
+    /// `xs:string`.
+    Str(String),
+    /// `xs:boolean`.
+    Bool(bool),
+    /// Node reference.
+    Node(NodeRef),
+}
+
+impl Value {
+    /// The [`ValueType`] of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Nat(_) => ValueType::Nat,
+            Value::Int(_) => ValueType::Int,
+            Value::Dbl(_) => ValueType::Dbl,
+            Value::Str(_) => ValueType::Str,
+            Value::Bool(_) => ValueType::Bool,
+            Value::Node(_) => ValueType::Node,
+        }
+    }
+
+    /// Interpret the value as a natural number (for `iter`/`pos` columns).
+    pub fn as_nat(&self) -> RelResult<u64> {
+        match self {
+            Value::Nat(n) => Ok(*n),
+            Value::Int(i) if *i >= 0 => Ok(*i as u64),
+            other => Err(RelError::new(format!("expected nat, found {other}"))),
+        }
+    }
+
+    /// Interpret the value as a node reference.
+    pub fn as_node(&self) -> RelResult<NodeRef> {
+        match self {
+            Value::Node(n) => Ok(*n),
+            other => Err(RelError::new(format!("expected node, found {other}"))),
+        }
+    }
+
+    /// Interpret as a boolean (for selection predicates).
+    pub fn as_bool(&self) -> RelResult<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(RelError::new(format!("expected boolean, found {other}"))),
+        }
+    }
+
+    /// Numeric view for arithmetic: integers stay exact, doubles are lossy.
+    fn as_f64(&self) -> RelResult<f64> {
+        match self {
+            Value::Nat(n) => Ok(*n as f64),
+            Value::Int(i) => Ok(*i as f64),
+            Value::Dbl(d) => Ok(*d),
+            other => Err(RelError::new(format!("expected number, found {other}"))),
+        }
+    }
+
+    /// `true` if the value is numeric.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Nat(_) | Value::Int(_) | Value::Dbl(_))
+    }
+
+    /// The XQuery effective boolean value / string representation used by
+    /// `fn:data` on atomics.
+    pub fn to_xdm_string(&self) -> String {
+        match self {
+            Value::Nat(n) => n.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Dbl(d) => format_double(*d),
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+            Value::Node(n) => n.to_string(),
+        }
+    }
+
+    /// Arithmetic on two values following the XQuery numeric promotion rules
+    /// (integer op integer stays integer except for `div`).
+    pub fn arithmetic(&self, op: ArithOp, rhs: &Value) -> RelResult<Value> {
+        use ArithOp::*;
+        let as_i64 = |v: &Value| match v {
+            Value::Int(x) => Some(*x),
+            Value::Nat(x) => Some(*x as i64),
+            _ => None,
+        };
+        match (as_i64(self), as_i64(rhs)) {
+            (Some(a), Some(b)) if op != Div => {
+                let r = match op {
+                    Add => a.checked_add(b),
+                    Sub => a.checked_sub(b),
+                    Mul => a.checked_mul(b),
+                    IDiv => {
+                        if b == 0 {
+                            return Err(RelError::new("integer division by zero"));
+                        }
+                        a.checked_div(b)
+                    }
+                    Mod => {
+                        if b == 0 {
+                            return Err(RelError::new("modulo by zero"));
+                        }
+                        a.checked_rem(b)
+                    }
+                    Div => unreachable!(),
+                };
+                r.map(Value::Int)
+                    .ok_or_else(|| RelError::new("integer overflow in arithmetic"))
+            }
+            _ => {
+                let a = self.as_f64()?;
+                let b = rhs.as_f64()?;
+                let r = match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    Div => {
+                        if b == 0.0 {
+                            return Err(RelError::new("division by zero"));
+                        }
+                        a / b
+                    }
+                    IDiv => {
+                        if b == 0.0 {
+                            return Err(RelError::new("integer division by zero"));
+                        }
+                        return Ok(Value::Int((a / b).trunc() as i64));
+                    }
+                    Mod => {
+                        if b == 0.0 {
+                            return Err(RelError::new("modulo by zero"));
+                        }
+                        a % b
+                    }
+                };
+                Ok(Value::Dbl(r))
+            }
+        }
+    }
+
+    /// General ("value") comparison following XQuery `eq`/`lt`/… semantics:
+    /// numbers compare numerically, strings lexicographically, booleans as
+    /// false < true, nodes in document order.
+    pub fn compare(&self, rhs: &Value) -> RelResult<Ordering> {
+        match (self, rhs) {
+            (Value::Str(a), Value::Str(b)) => Ok(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Ok(a.cmp(b)),
+            (Value::Node(a), Value::Node(b)) => Ok(a.cmp(b)),
+            (a, b) if a.is_numeric() && b.is_numeric() => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+                    .ok_or_else(|| RelError::new("NaN is not comparable"))
+            }
+            // Mixed string/number comparisons arise from untyped XML content;
+            // follow the common "cast the string to a number if possible,
+            // otherwise compare as strings" route used for untyped atomics.
+            (Value::Str(s), b) if b.is_numeric() => match s.trim().parse::<f64>() {
+                Ok(x) => x
+                    .partial_cmp(&b.as_f64()?)
+                    .ok_or_else(|| RelError::new("NaN is not comparable")),
+                Err(_) => Ok(s.as_str().cmp(b.to_xdm_string().as_str())),
+            },
+            (a, Value::Str(s)) if a.is_numeric() => match s.trim().parse::<f64>() {
+                Ok(y) => a
+                    .as_f64()?
+                    .partial_cmp(&y)
+                    .ok_or_else(|| RelError::new("NaN is not comparable")),
+                Err(_) => Ok(a.to_xdm_string().as_str().cmp(s.as_str())),
+            },
+            (a, b) => Err(RelError::new(format!("values {a} and {b} are not comparable"))),
+        }
+    }
+
+    /// A total order usable for sorting and duplicate elimination: orders by
+    /// type first, then by value.  (Distinct from [`Value::compare`], which
+    /// implements XQuery comparison semantics and can fail.)
+    pub fn sort_key_cmp(&self, rhs: &Value) -> Ordering {
+        fn type_rank(v: &Value) -> u8 {
+            match v {
+                Value::Nat(_) => 0,
+                Value::Int(_) => 1,
+                Value::Dbl(_) => 2,
+                Value::Str(_) => 3,
+                Value::Bool(_) => 4,
+                Value::Node(_) => 5,
+            }
+        }
+        match (self, rhs) {
+            (Value::Nat(a), Value::Nat(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Dbl(a), Value::Dbl(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Node(a), Value::Node(b)) => a.cmp(b),
+            (a, b) if a.is_numeric() && b.is_numeric() => {
+                let x = a.as_f64().unwrap_or(f64::NAN);
+                let y = b.as_f64().unwrap_or(f64::NAN);
+                x.partial_cmp(&y).unwrap_or(Ordering::Equal)
+            }
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+}
+
+/// Print `xs:double` values the way the XQuery serialization does for the
+/// common cases (integral doubles print without a trailing `.0`).
+fn format_double(d: f64) -> String {
+    if d.fract() == 0.0 && d.abs() < 1e15 {
+        format!("{}", d as i64)
+    } else {
+        format!("{d}")
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_xdm_string())
+    }
+}
+
+/// Arithmetic operators of the `⊙` family in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `div`
+    Div,
+    /// `idiv`
+    IDiv,
+    /// `mod`
+    Mod,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "div",
+            ArithOp::IDiv => "idiv",
+            ArithOp::Mod => "mod",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_arithmetic_stays_integer() {
+        let r = Value::Int(7).arithmetic(ArithOp::Add, &Value::Int(3)).unwrap();
+        assert_eq!(r, Value::Int(10));
+        let r = Value::Int(7).arithmetic(ArithOp::Mul, &Value::Int(3)).unwrap();
+        assert_eq!(r, Value::Int(21));
+        let r = Value::Int(7).arithmetic(ArithOp::Mod, &Value::Int(3)).unwrap();
+        assert_eq!(r, Value::Int(1));
+    }
+
+    #[test]
+    fn div_promotes_to_double() {
+        let r = Value::Int(7).arithmetic(ArithOp::Div, &Value::Int(2)).unwrap();
+        assert_eq!(r, Value::Dbl(3.5));
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes() {
+        let r = Value::Int(1).arithmetic(ArithOp::Add, &Value::Dbl(0.5)).unwrap();
+        assert_eq!(r, Value::Dbl(1.5));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert!(Value::Int(1).arithmetic(ArithOp::IDiv, &Value::Int(0)).is_err());
+        assert!(Value::Dbl(1.0).arithmetic(ArithOp::Div, &Value::Dbl(0.0)).is_err());
+        assert!(Value::Int(1).arithmetic(ArithOp::Mod, &Value::Int(0)).is_err());
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        assert!(Value::Int(i64::MAX).arithmetic(ArithOp::Add, &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn comparisons_follow_xquery_semantics() {
+        assert_eq!(Value::Int(1).compare(&Value::Dbl(1.0)).unwrap(), Ordering::Equal);
+        assert_eq!(Value::Str("a".into()).compare(&Value::Str("b".into())).unwrap(), Ordering::Less);
+        assert_eq!(Value::Bool(false).compare(&Value::Bool(true)).unwrap(), Ordering::Less);
+        // untyped content coerced to number
+        assert_eq!(Value::Str("10".into()).compare(&Value::Int(9)).unwrap(), Ordering::Greater);
+        assert!(Value::Node(NodeRef::new(0, 1)).compare(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn node_comparison_is_document_order() {
+        let a = Value::Node(NodeRef::new(0, 5));
+        let b = Value::Node(NodeRef::new(0, 9));
+        let c = Value::Node(NodeRef::new(1, 0));
+        assert_eq!(a.compare(&b).unwrap(), Ordering::Less);
+        assert_eq!(b.compare(&c).unwrap(), Ordering::Less);
+    }
+
+    #[test]
+    fn xdm_string_rendering() {
+        assert_eq!(Value::Int(-3).to_xdm_string(), "-3");
+        assert_eq!(Value::Dbl(2.0).to_xdm_string(), "2");
+        assert_eq!(Value::Dbl(2.5).to_xdm_string(), "2.5");
+        assert_eq!(Value::Bool(true).to_xdm_string(), "true");
+        assert_eq!(Value::Str("x".into()).to_xdm_string(), "x");
+    }
+
+    #[test]
+    fn nat_accessors() {
+        assert_eq!(Value::Nat(3).as_nat().unwrap(), 3);
+        assert_eq!(Value::Int(3).as_nat().unwrap(), 3);
+        assert!(Value::Int(-1).as_nat().is_err());
+        assert!(Value::Str("x".into()).as_nat().is_err());
+    }
+
+    #[test]
+    fn sort_key_is_total() {
+        let mut values = [Value::Str("b".into()),
+            Value::Int(2),
+            Value::Node(NodeRef::new(0, 1)),
+            Value::Int(1),
+            Value::Str("a".into())];
+        values.sort_by(|a, b| a.sort_key_cmp(b));
+        assert_eq!(values[0], Value::Int(1));
+        assert_eq!(values[1], Value::Int(2));
+    }
+}

@@ -1,0 +1,42 @@
+//! # pf-store — the XPath Accelerator document encoding
+//!
+//! This crate implements the relational XML storage layer of Pathfinder
+//! (Section 2 of the VLDB 2005 paper, "Tree encoding" and "XPath axes"):
+//!
+//! * the **`pre|size|level` node table** — each node `v` of a shredded XML
+//!   document is represented by its pre-order rank `pre(v)` (the implicit
+//!   row number), the number of nodes in its subtree `size(v)` and its
+//!   distance from the root `level(v)`,
+//! * a **`prop` surrogate column** plus shared **property dictionaries**
+//!   for tag names and text content (Section 3.1 "surrogate sharing"),
+//! * a separate **attribute table** `owner|name|value`,
+//! * **XPath axis evaluation as range selections** over the
+//!   `(pre, size, level)` space, and
+//! * the **staircase join** [Grust et al., VLDB 2003] — the tree-aware
+//!   axis-step join with *pruning*, *skipping* and early termination that
+//!   the paper injects into the relational kernel,
+//! * **storage accounting** used to reproduce the Section 3.1 storage
+//!   overhead experiment.
+//!
+//! ```
+//! use pf_store::{DocStore, Axis, NodeTest, staircase_join};
+//!
+//! let doc = pf_xml::parse("<a><b><c/></b><b/></a>").unwrap();
+//! let store = DocStore::from_document("example.xml", &doc);
+//! let root = store.root_element().unwrap();
+//! // descendant::b from the root element
+//! let hits = staircase_join(&store, &[root], Axis::Descendant, &NodeTest::Element("b".into()));
+//! assert_eq!(hits.len(), 2);
+//! ```
+
+pub mod axis;
+pub mod dict;
+pub mod staircase;
+pub mod stats;
+pub mod store;
+
+pub use axis::{axis_region, naive_axis_step, Axis, NodeTest};
+pub use dict::Dictionary;
+pub use staircase::{staircase_join, staircase_join_counted, StaircaseStats};
+pub use stats::StorageStats;
+pub use store::{DocStore, NodeKindCode, PreRank};

@@ -1,0 +1,350 @@
+//! The staircase join.
+//!
+//! The staircase join [Grust, van Keulen, Teubner, VLDB 2003; Mayer et al.,
+//! VLDB 2004] is the "injection of tree awareness" the paper adds to the
+//! relational kernel: given a document-ordered, duplicate-free context node
+//! sequence and a recursive axis, it computes the step result in a **single
+//! sequential pass** over the node table, using three techniques:
+//!
+//! * **pruning** — context nodes whose axis region is covered by another
+//!   context node's region are removed before the scan;
+//! * **partitioning** — the document is scanned in disjoint partitions, one
+//!   per surviving context node, so no result node is produced twice;
+//! * **skipping** — regions that cannot contain results are skipped over
+//!   instead of scanned.
+//!
+//! The result is returned in document order without duplicates — exactly the
+//! encoding the loop-lifted plans expect — and never needs the
+//! sort/duplicate-elimination post-processing of the naive evaluation.
+
+use crate::axis::{naive_axis_step, Axis, NodeTest};
+use crate::store::{DocStore, PreRank};
+
+/// Counters describing the work a staircase join performed; used by the
+/// micro-benchmarks and the ablation tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaircaseStats {
+    /// Context nodes remaining after pruning.
+    pub pruned_context: usize,
+    /// Node-table rows actually visited by the scan.
+    pub rows_scanned: usize,
+    /// Rows skipped thanks to tree awareness.
+    pub rows_skipped: usize,
+    /// Result tuples produced.
+    pub results: usize,
+}
+
+/// Evaluate an axis step with the staircase join.
+///
+/// `context` must be sorted in document order; duplicates are tolerated and
+/// removed by pruning.  Falls back to the (already correct) naive region
+/// evaluation for the non-recursive axes, where a staircase scan offers no
+/// benefit.
+pub fn staircase_join(
+    store: &DocStore,
+    context: &[PreRank],
+    axis: Axis,
+    test: &NodeTest,
+) -> Vec<PreRank> {
+    staircase_join_counted(store, context, axis, test).0
+}
+
+/// Like [`staircase_join`] but also returns work counters.
+pub fn staircase_join_counted(
+    store: &DocStore,
+    context: &[PreRank],
+    axis: Axis,
+    test: &NodeTest,
+) -> (Vec<PreRank>, StaircaseStats) {
+    debug_assert!(context.windows(2).all(|w| w[0] <= w[1]), "context must be in document order");
+    let mut stats = StaircaseStats::default();
+    let result = match axis {
+        Axis::Descendant | Axis::DescendantOrSelf => {
+            descendant_staircase(store, context, axis == Axis::DescendantOrSelf, test, &mut stats)
+        }
+        Axis::Ancestor | Axis::AncestorOrSelf => {
+            ancestor_staircase(store, context, axis == Axis::AncestorOrSelf, test, &mut stats)
+        }
+        Axis::Following => following_staircase(store, context, test, &mut stats),
+        Axis::Preceding => preceding_staircase(store, context, test, &mut stats),
+        _ => {
+            let out = naive_axis_step(store, context, axis, test);
+            stats.pruned_context = context.len();
+            stats.rows_scanned = out.len();
+            stats.results = out.len();
+            out
+        }
+    };
+    stats.results = result.len();
+    (result, stats)
+}
+
+/// descendant / descendant-or-self: prune covered context nodes, then scan
+/// each surviving context node's subtree exactly once.
+fn descendant_staircase(
+    store: &DocStore,
+    context: &[PreRank],
+    or_self: bool,
+    test: &NodeTest,
+    stats: &mut StaircaseStats,
+) -> Vec<PreRank> {
+    let mut out = Vec::new();
+    // Pruning: a context node that lies inside the subtree of an earlier
+    // context node contributes nothing new.
+    let mut covered_until: Option<PreRank> = None;
+    let mut pruned: Vec<PreRank> = Vec::with_capacity(context.len());
+    for &c in context {
+        match covered_until {
+            Some(end) if c <= end => {
+                stats.rows_skipped += (store.size_of(c) + 1) as usize;
+                continue;
+            }
+            _ => {}
+        }
+        covered_until = Some(c + store.size_of(c));
+        pruned.push(c);
+    }
+    stats.pruned_context = pruned.len();
+    for &c in &pruned {
+        let start = if or_self { c } else { c + 1 };
+        let end = c + store.size_of(c);
+        for pre in start..=end {
+            stats.rows_scanned += 1;
+            if test.matches(store, pre) {
+                out.push(pre);
+            }
+        }
+    }
+    out
+}
+
+/// ancestor / ancestor-or-self: walk the ancestor *staircase* of each context
+/// node, but stop climbing as soon as an ancestor produced by an earlier
+/// (smaller-pre) context node is reached — those ancestors are shared.
+fn ancestor_staircase(
+    store: &DocStore,
+    context: &[PreRank],
+    or_self: bool,
+    test: &NodeTest,
+    stats: &mut StaircaseStats,
+) -> Vec<PreRank> {
+    let mut seen: Vec<PreRank> = Vec::new();
+    stats.pruned_context = context.len();
+    for &c in context {
+        if or_self && test.matches(store, c) {
+            seen.push(c);
+        }
+        let mut current = store.parent_of(c);
+        while let Some(p) = current {
+            stats.rows_scanned += 1;
+            // Sharing: if this ancestor was already emitted for an earlier
+            // context node, every further ancestor was emitted too.
+            if seen.binary_search(&p).is_ok() {
+                stats.rows_skipped += store.level_of(p) as usize;
+                break;
+            }
+            if test.matches(store, p) {
+                seen.push(p);
+            } else {
+                // Still record sharing information for non-matching interior
+                // nodes by continuing the climb; matching is independent of
+                // the staircase structure.
+            }
+            current = store.parent_of(p);
+        }
+        seen.sort_unstable();
+    }
+    seen.sort_unstable();
+    seen.dedup();
+    seen
+}
+
+/// following: only the *last* (highest-pre) context node's region matters is
+/// wrong — the *first* context node has the largest following region.  The
+/// staircase version picks the context node with the smallest
+/// `pre + size + 1` bound and scans the document tail once.
+fn following_staircase(
+    store: &DocStore,
+    context: &[PreRank],
+    test: &NodeTest,
+    stats: &mut StaircaseStats,
+) -> Vec<PreRank> {
+    let n = store.node_count() as PreRank;
+    // The union of following-regions of all context nodes is the single
+    // region that starts right after the earliest-ending context subtree,
+    // minus the ancestors of that boundary node; a single scan suffices.
+    let Some(start) = context
+        .iter()
+        .map(|&c| c + store.size_of(c) + 1)
+        .min()
+    else {
+        return Vec::new();
+    };
+    stats.pruned_context = usize::from(!context.is_empty());
+    let anchor = context
+        .iter()
+        .copied()
+        .min_by_key(|&c| c + store.size_of(c) + 1)
+        .unwrap();
+    let mut out = Vec::new();
+    let mut pre = start;
+    while pre < n {
+        stats.rows_scanned += 1;
+        // A node following the anchor in document order belongs to the
+        // following axis unless it is an ancestor of the anchor (ancestors
+        // contain the anchor, so they are not "following").  Since pre >
+        // anchor, covering is impossible here; every scanned node qualifies.
+        if test.matches(store, pre) {
+            out.push(pre);
+        }
+        pre += 1;
+    }
+    let _ = anchor;
+    out
+}
+
+/// preceding: symmetric to `following`; scan from the document start up to
+/// the latest-starting context node, skipping ancestors of that node.
+fn preceding_staircase(
+    store: &DocStore,
+    context: &[PreRank],
+    test: &NodeTest,
+    stats: &mut StaircaseStats,
+) -> Vec<PreRank> {
+    let Some(&anchor) = context.iter().max() else {
+        return Vec::new();
+    };
+    stats.pruned_context = 1;
+    let mut out = Vec::new();
+    let mut pre = 0;
+    while pre < anchor {
+        stats.rows_scanned += 1;
+        let covers = pre + store.size_of(pre) >= anchor;
+        if covers {
+            // Ancestor of the anchor: skip it, but its subtree may still
+            // contain preceding nodes, so only the single row is skipped.
+            pre += 1;
+            stats.rows_skipped += 1;
+            continue;
+        }
+        if test.matches(store, pre) {
+            out.push(pre);
+        }
+        pre += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::naive_axis_step;
+
+    fn store() -> DocStore {
+        DocStore::from_xml(
+            "t",
+            "<a><b><c/><d/></b><e><c/><f><c/></f></e><g/></a>",
+        )
+        .unwrap()
+    }
+
+    fn all_elements(s: &DocStore) -> Vec<PreRank> {
+        (0..s.node_count() as PreRank)
+            .filter(|&p| NodeTest::AnyElement.matches(s, p))
+            .collect()
+    }
+
+    #[test]
+    fn descendant_matches_naive() {
+        let s = store();
+        for ctx in [vec![1], vec![2, 5], vec![1, 2, 5], all_elements(&s)] {
+            let fast = staircase_join(&s, &ctx, Axis::Descendant, &NodeTest::AnyElement);
+            let slow = naive_axis_step(&s, &ctx, Axis::Descendant, &NodeTest::AnyElement);
+            assert_eq!(fast, slow, "context {ctx:?}");
+        }
+    }
+
+    #[test]
+    fn descendant_or_self_matches_naive() {
+        let s = store();
+        let ctx = all_elements(&s);
+        assert_eq!(
+            staircase_join(&s, &ctx, Axis::DescendantOrSelf, &NodeTest::Element("c".into())),
+            naive_axis_step(&s, &ctx, Axis::DescendantOrSelf, &NodeTest::Element("c".into()))
+        );
+    }
+
+    #[test]
+    fn ancestor_matches_naive() {
+        let s = store();
+        for ctx in [vec![3], vec![3, 7], vec![3, 4, 7, 8], all_elements(&s)] {
+            let fast = staircase_join(&s, &ctx, Axis::Ancestor, &NodeTest::AnyElement);
+            let slow = naive_axis_step(&s, &ctx, Axis::Ancestor, &NodeTest::AnyElement);
+            assert_eq!(fast, slow, "context {ctx:?}");
+        }
+    }
+
+    #[test]
+    fn following_and_preceding_match_naive() {
+        let s = store();
+        for ctx in [vec![2], vec![2, 5], vec![3, 6]] {
+            assert_eq!(
+                staircase_join(&s, &ctx, Axis::Following, &NodeTest::AnyElement),
+                naive_axis_step(&s, &ctx, Axis::Following, &NodeTest::AnyElement),
+                "following {ctx:?}"
+            );
+            assert_eq!(
+                staircase_join(&s, &ctx, Axis::Preceding, &NodeTest::AnyElement),
+                naive_axis_step(&s, &ctx, Axis::Preceding, &NodeTest::AnyElement),
+                "preceding {ctx:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_removes_covered_context_nodes() {
+        let s = store();
+        // Context: a (covers everything) plus every other element.
+        let ctx = all_elements(&s);
+        let (_, stats) = staircase_join_counted(&s, &ctx, Axis::Descendant, &NodeTest::AnyNode);
+        assert_eq!(stats.pruned_context, 1, "everything but the root is pruned");
+    }
+
+    #[test]
+    fn pruned_scan_visits_each_row_at_most_once() {
+        let s = store();
+        let ctx = all_elements(&s);
+        let (_, stats) = staircase_join_counted(&s, &ctx, Axis::Descendant, &NodeTest::AnyNode);
+        assert!(stats.rows_scanned <= s.node_count());
+    }
+
+    #[test]
+    fn non_recursive_axes_fall_back_to_naive() {
+        let s = store();
+        assert_eq!(
+            staircase_join(&s, &[1], Axis::Child, &NodeTest::AnyElement),
+            naive_axis_step(&s, &[1], Axis::Child, &NodeTest::AnyElement)
+        );
+    }
+
+    #[test]
+    fn results_are_sorted_and_unique() {
+        let s = store();
+        let ctx = all_elements(&s);
+        for axis in [Axis::Descendant, Axis::Ancestor, Axis::Following, Axis::Preceding] {
+            let out = staircase_join(&s, &ctx, axis, &NodeTest::AnyNode);
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(out, sorted, "{axis:?} result not sorted/unique");
+        }
+    }
+
+    #[test]
+    fn empty_context_yields_empty_result() {
+        let s = store();
+        for axis in [Axis::Descendant, Axis::Ancestor, Axis::Following, Axis::Preceding] {
+            assert!(staircase_join(&s, &[], axis, &NodeTest::AnyNode).is_empty());
+        }
+    }
+}

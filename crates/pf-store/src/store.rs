@@ -1,0 +1,405 @@
+//! The `pre|size|level` document store.
+//!
+//! Shreds a [`pf_xml::Document`] into column-oriented node and attribute
+//! tables.  The row index of the node table *is* the node's pre-order rank,
+//! so no explicit `pre` column is materialized — this mirrors MonetDB's
+//! virtual object identifiers, which make the row-numbering operator a
+//! no-cost operator (Section 2, "MonetDB").
+
+use crate::dict::Dictionary;
+use pf_xml::{Document, NodeKind};
+
+/// A node reference: the pre-order rank of the node within its document.
+///
+/// Rank 0 is always the document node.  Because `pf_xml::Document` stores
+/// its arena in document order, a `PreRank` is numerically identical to the
+/// corresponding [`pf_xml::NodeId`] index.
+pub type PreRank = u32;
+
+/// Compact node-kind code stored in the `kind` column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum NodeKindCode {
+    /// The document node.
+    Document = 0,
+    /// An element node.
+    Element = 1,
+    /// A text node.
+    Text = 2,
+    /// A comment node.
+    Comment = 3,
+    /// A processing-instruction node.
+    Pi = 4,
+}
+
+/// Column-oriented encoding of one XML document.
+///
+/// Columns (all of equal length `n` = number of nodes):
+///
+/// | column  | meaning                                                |
+/// |---------|--------------------------------------------------------|
+/// | `size`  | number of nodes in the subtree below the node          |
+/// | `level` | distance from the document node                        |
+/// | `kind`  | [`NodeKindCode`]                                        |
+/// | `prop`  | surrogate of the tag name (elements) or content (text, comments, PIs); `u32::MAX` for the document node |
+///
+/// plus an attribute table `attr_owner|attr_name|attr_value` and the two
+/// shared dictionaries.
+#[derive(Debug, Clone)]
+pub struct DocStore {
+    /// Name under which the document was loaded (the `fn:doc()` URI).
+    pub name: String,
+    /// `size(v)` column.
+    pub size: Vec<u32>,
+    /// `level(v)` column.
+    pub level: Vec<u32>,
+    /// Node kind column.
+    pub kind: Vec<NodeKindCode>,
+    /// Property surrogate column.
+    pub prop: Vec<u32>,
+    /// Attribute table: pre rank of the owning element.
+    pub attr_owner: Vec<PreRank>,
+    /// Attribute table: surrogate of the attribute name (in `qnames`).
+    pub attr_name: Vec<u32>,
+    /// Attribute table: surrogate of the attribute value (in `texts`).
+    pub attr_value: Vec<u32>,
+    /// Shared dictionary for tag and attribute names.
+    pub qnames: Dictionary,
+    /// Shared dictionary for text content, comment content, PI data and
+    /// attribute values.
+    pub texts: Dictionary,
+    /// Size of the original XML serialization in bytes (for the storage
+    /// overhead experiment); 0 if unknown.
+    pub source_bytes: usize,
+}
+
+impl DocStore {
+    /// Shred `doc` into its relational encoding.
+    pub fn from_document(name: impl Into<String>, doc: &Document) -> Self {
+        let n = doc.len();
+        let mut store = DocStore {
+            name: name.into(),
+            size: Vec::with_capacity(n),
+            level: Vec::with_capacity(n),
+            kind: Vec::with_capacity(n),
+            prop: Vec::with_capacity(n),
+            attr_owner: Vec::new(),
+            attr_name: Vec::new(),
+            attr_value: Vec::new(),
+            qnames: Dictionary::new(),
+            texts: Dictionary::new(),
+            source_bytes: 0,
+        };
+        for node in doc.all_nodes() {
+            let pre = node.0;
+            store.size.push(doc.subtree_size(node));
+            store.level.push(doc.level(node));
+            match doc.kind(node) {
+                NodeKind::Document => {
+                    store.kind.push(NodeKindCode::Document);
+                    store.prop.push(u32::MAX);
+                }
+                NodeKind::Element { tag, attributes } => {
+                    store.kind.push(NodeKindCode::Element);
+                    store.prop.push(store.qnames.intern(tag));
+                    for attr in attributes {
+                        store.attr_owner.push(pre);
+                        let name_id = store.qnames.intern(&attr.name);
+                        let value_id = store.texts.intern(&attr.value);
+                        store.attr_name.push(name_id);
+                        store.attr_value.push(value_id);
+                    }
+                }
+                NodeKind::Text(t) => {
+                    store.kind.push(NodeKindCode::Text);
+                    store.prop.push(store.texts.intern(t));
+                }
+                NodeKind::Comment(c) => {
+                    store.kind.push(NodeKindCode::Comment);
+                    store.prop.push(store.texts.intern(c));
+                }
+                NodeKind::ProcessingInstruction { target, data } => {
+                    store.kind.push(NodeKindCode::Pi);
+                    // The PI target is a name, the data is text; we store the
+                    // data surrogate in `prop` and intern the target as a qname.
+                    store.qnames.intern(target);
+                    store.prop.push(store.texts.intern(data));
+                }
+            }
+        }
+        store
+    }
+
+    /// Shred an XML string, remembering its serialized size.
+    pub fn from_xml(name: impl Into<String>, xml: &str) -> Result<Self, pf_xml::XmlError> {
+        let doc = pf_xml::parse(xml)?;
+        let mut store = Self::from_document(name, &doc);
+        store.source_bytes = xml.len();
+        Ok(store)
+    }
+
+    /// Number of nodes (including the document node).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.size.len()
+    }
+
+    /// Number of attributes in the attribute table.
+    #[inline]
+    pub fn attribute_count(&self) -> usize {
+        self.attr_owner.len()
+    }
+
+    /// The document node's pre rank (always 0).
+    #[inline]
+    pub fn document_node(&self) -> PreRank {
+        0
+    }
+
+    /// Pre rank of the root element, if any.
+    pub fn root_element(&self) -> Option<PreRank> {
+        (1..self.node_count() as u32).find(|&p| self.kind[p as usize] == NodeKindCode::Element && self.level[p as usize] == 1)
+    }
+
+    /// Node kind of `pre`.
+    #[inline]
+    pub fn kind_of(&self, pre: PreRank) -> NodeKindCode {
+        self.kind[pre as usize]
+    }
+
+    /// `size(v)` of `pre`.
+    #[inline]
+    pub fn size_of(&self, pre: PreRank) -> u32 {
+        self.size[pre as usize]
+    }
+
+    /// `level(v)` of `pre`.
+    #[inline]
+    pub fn level_of(&self, pre: PreRank) -> u32 {
+        self.level[pre as usize]
+    }
+
+    /// Tag name of an element node (panics if `pre` is not an element).
+    pub fn tag_of(&self, pre: PreRank) -> &str {
+        debug_assert_eq!(self.kind_of(pre), NodeKindCode::Element);
+        self.qnames.resolve(self.prop[pre as usize])
+    }
+
+    /// Tag-name surrogate of an element, or `None` for other kinds.
+    pub fn tag_surrogate(&self, pre: PreRank) -> Option<u32> {
+        (self.kind_of(pre) == NodeKindCode::Element).then(|| self.prop[pre as usize])
+    }
+
+    /// Content of a text / comment / PI node.
+    pub fn content_of(&self, pre: PreRank) -> &str {
+        self.texts.resolve(self.prop[pre as usize])
+    }
+
+    /// Parent of `pre`: the nearest preceding node whose level is one less.
+    pub fn parent_of(&self, pre: PreRank) -> Option<PreRank> {
+        if pre == 0 {
+            return None;
+        }
+        let target = self.level[pre as usize].checked_sub(1)?;
+        (0..pre).rev().find(|&p| self.level[p as usize] == target)
+    }
+
+    /// Children of `pre` in document order (elements, text, comments, PIs).
+    pub fn children_of(&self, pre: PreRank) -> Vec<PreRank> {
+        let level = self.level[pre as usize];
+        let end = pre + self.size[pre as usize];
+        let mut out = Vec::new();
+        let mut p = pre + 1;
+        while p <= end {
+            if self.level[p as usize] == level + 1 {
+                out.push(p);
+                p += self.size[p as usize] + 1;
+            } else {
+                // Should not happen: the first node after a child's subtree is
+                // either the next child or past `end`.
+                p += 1;
+            }
+        }
+        out
+    }
+
+    /// The XQuery string value of `pre`: concatenation of all text content
+    /// in its subtree (or its own content for text/comment/PI nodes).
+    pub fn string_value(&self, pre: PreRank) -> String {
+        match self.kind_of(pre) {
+            NodeKindCode::Text | NodeKindCode::Comment | NodeKindCode::Pi => {
+                self.content_of(pre).to_string()
+            }
+            NodeKindCode::Document | NodeKindCode::Element => {
+                let end = pre + self.size[pre as usize];
+                let mut out = String::new();
+                for p in pre + 1..=end {
+                    if self.kind_of(p) == NodeKindCode::Text {
+                        out.push_str(self.content_of(p));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Attribute value of `name` on element `pre`, if present.
+    pub fn attribute_of(&self, pre: PreRank, name: &str) -> Option<&str> {
+        let name_id = self.qnames.lookup(name)?;
+        self.attributes_of(pre)
+            .find(|&i| self.attr_name[i] == name_id)
+            .map(|i| self.texts.resolve(self.attr_value[i]))
+    }
+
+    /// Indices into the attribute table of all attributes owned by `pre`.
+    pub fn attributes_of(&self, pre: PreRank) -> impl Iterator<Item = usize> + '_ {
+        // The attribute table is built in document order of owners, so the
+        // rows of one owner are contiguous; a linear partition-point search
+        // keeps this simple and fast enough.
+        let start = self.attr_owner.partition_point(|&o| o < pre);
+        let end = self.attr_owner.partition_point(|&o| o <= pre);
+        start..end
+    }
+
+    /// Attribute name for attribute-table row `idx`.
+    pub fn attr_name_of(&self, idx: usize) -> &str {
+        self.qnames.resolve(self.attr_name[idx])
+    }
+
+    /// Attribute value for attribute-table row `idx`.
+    pub fn attr_value_of(&self, idx: usize) -> &str {
+        self.texts.resolve(self.attr_value[idx])
+    }
+
+    /// Serialize the subtree rooted at `pre` back to XML text.
+    pub fn subtree_to_xml(&self, pre: PreRank) -> String {
+        let mut out = String::new();
+        self.write_subtree(pre, &mut out);
+        out
+    }
+
+    fn write_subtree(&self, pre: PreRank, out: &mut String) {
+        match self.kind_of(pre) {
+            NodeKindCode::Document => {
+                for c in self.children_of(pre) {
+                    self.write_subtree(c, out);
+                }
+            }
+            NodeKindCode::Element => {
+                out.push('<');
+                out.push_str(self.tag_of(pre));
+                for i in self.attributes_of(pre) {
+                    out.push(' ');
+                    out.push_str(self.attr_name_of(i));
+                    out.push_str("=\"");
+                    out.push_str(&pf_xml::escape::escape_attribute(self.attr_value_of(i)));
+                    out.push('"');
+                }
+                let children = self.children_of(pre);
+                if children.is_empty() {
+                    out.push_str("/>");
+                } else {
+                    out.push('>');
+                    for c in children {
+                        self.write_subtree(c, out);
+                    }
+                    out.push_str("</");
+                    out.push_str(self.tag_of(pre));
+                    out.push('>');
+                }
+            }
+            NodeKindCode::Text => out.push_str(&pf_xml::escape::escape_text(self.content_of(pre))),
+            NodeKindCode::Comment => {
+                out.push_str("<!--");
+                out.push_str(self.content_of(pre));
+                out.push_str("-->");
+            }
+            NodeKindCode::Pi => {
+                out.push_str("<?");
+                out.push_str(self.content_of(pre));
+                out.push_str("?>");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(xml: &str) -> DocStore {
+        DocStore::from_xml("test.xml", xml).unwrap()
+    }
+
+    #[test]
+    fn shredding_assigns_pre_size_level() {
+        let s = store("<a><b><c/></b><d/></a>");
+        // pre: 0=doc 1=a 2=b 3=c 4=d
+        assert_eq!(s.node_count(), 5);
+        assert_eq!(s.size, vec![4, 3, 1, 0, 0]);
+        assert_eq!(s.level, vec![0, 1, 2, 3, 2]);
+        assert_eq!(s.tag_of(1), "a");
+        assert_eq!(s.tag_of(4), "d");
+    }
+
+    #[test]
+    fn surrogate_sharing_for_identical_tags() {
+        let s = store("<a><b/><b/><b/></a>");
+        assert_eq!(s.qnames.len(), 2); // a, b
+        assert_eq!(s.tag_surrogate(2), s.tag_surrogate(3));
+    }
+
+    #[test]
+    fn attribute_table_is_owner_ordered() {
+        let s = store("<a x=\"1\"><b y=\"2\" z=\"3\"/></a>");
+        assert_eq!(s.attribute_count(), 3);
+        assert!(s.attr_owner.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(s.attribute_of(2, "z"), Some("3"));
+        assert_eq!(s.attribute_of(2, "x"), None);
+        assert_eq!(s.attribute_of(1, "x"), Some("1"));
+    }
+
+    #[test]
+    fn parent_and_children_navigation() {
+        let s = store("<a><b><c/></b><d/></a>");
+        assert_eq!(s.parent_of(3), Some(2));
+        assert_eq!(s.parent_of(1), Some(0));
+        assert_eq!(s.parent_of(0), None);
+        assert_eq!(s.children_of(1), vec![2, 4]);
+        assert_eq!(s.children_of(0), vec![1]);
+        assert_eq!(s.children_of(3), Vec::<PreRank>::new());
+    }
+
+    #[test]
+    fn string_value_concatenates_subtree_text() {
+        let s = store("<a>x<b>y</b>z</a>");
+        assert_eq!(s.string_value(1), "xyz");
+        assert_eq!(s.string_value(0), "xyz");
+    }
+
+    #[test]
+    fn text_surrogates_are_shared() {
+        let s = store("<a><b>dup</b><c>dup</c></a>");
+        let texts: Vec<u32> = (0..s.node_count() as u32)
+            .filter(|&p| s.kind_of(p) == NodeKindCode::Text)
+            .map(|p| s.prop[p as usize])
+            .collect();
+        assert_eq!(texts.len(), 2);
+        assert_eq!(texts[0], texts[1]);
+    }
+
+    #[test]
+    fn subtree_serialization_roundtrips() {
+        let xml = "<site><person id=\"p1\"><name>Ann</name></person></site>";
+        let s = store(xml);
+        assert_eq!(s.subtree_to_xml(0), xml);
+        assert_eq!(s.subtree_to_xml(2), "<person id=\"p1\"><name>Ann</name></person>");
+    }
+
+    #[test]
+    fn root_element_is_found() {
+        let s = store("<root><a/></root>");
+        assert_eq!(s.root_element(), Some(1));
+        assert_eq!(s.document_node(), 0);
+    }
+}

@@ -1,0 +1,307 @@
+//! A seeded re-implementation of XMark's `xmlgen`.
+//!
+//! The generated documents follow the XMark auction schema: a `<site>` with
+//! regions (each containing items), categories, people (with optional
+//! `profile/@income`, interests and homepages), open auctions (with bidder
+//! histories and initial/current prices) and closed auctions (with buyer /
+//! seller / itemref references and prices).  Cardinalities scale linearly
+//! with the scale factor, mirroring how `xmlgen`'s documents grow from
+//! 11 MB (factor 0.1) to 11 GB (factor 100) in the paper.
+//!
+//! The generator is deterministic for a given `(scale, seed)` pair, so
+//! benchmark runs are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of one generated document.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// Scale factor; 1.0 corresponds to roughly 2 500 persons / 2 100 items.
+    pub scale: f64,
+    /// RNG seed (the document is a pure function of `(scale, seed)`).
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig { scale: 0.01, seed: 20050831 }
+    }
+}
+
+/// Cardinalities of one generated document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XmarkStats {
+    /// Number of `<category>` elements.
+    pub categories: usize,
+    /// Number of `<item>` elements (across all six regions).
+    pub items: usize,
+    /// Number of `<person>` elements.
+    pub persons: usize,
+    /// Number of `<open_auction>` elements.
+    pub open_auctions: usize,
+    /// Number of `<closed_auction>` elements.
+    pub closed_auctions: usize,
+}
+
+impl XmarkStats {
+    /// Cardinalities for a scale factor.
+    pub fn for_scale(scale: f64) -> Self {
+        let n = |base: f64| ((base * scale).round() as usize).max(2);
+        XmarkStats {
+            categories: n(100.0),
+            items: n(2175.0),
+            persons: n(2550.0),
+            open_auctions: n(1200.0),
+            closed_auctions: n(975.0),
+        }
+    }
+}
+
+/// Return the cardinalities that [`generate`] will use for `config`.
+pub fn generate_stats(config: &GeneratorConfig) -> XmarkStats {
+    XmarkStats::for_scale(config.scale)
+}
+
+const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+const WORDS: [&str; 32] = [
+    "gold", "silver", "bargain", "vintage", "rare", "mint", "antique", "shiny", "carved", "woven",
+    "painted", "signed", "limited", "edition", "classic", "modern", "oak", "brass", "silk", "amber",
+    "crystal", "marble", "velvet", "ivory", "bronze", "ceramic", "walnut", "pearl", "quartz", "linen",
+    "copper", "jade",
+];
+
+const FIRST_NAMES: [&str; 16] = [
+    "Ada", "Ben", "Cleo", "Dana", "Edsger", "Fay", "Grace", "Hugo", "Ines", "Jiro", "Kira", "Liam",
+    "Mona", "Nils", "Olga", "Piet",
+];
+
+const LAST_NAMES: [&str; 16] = [
+    "Turing", "Hopper", "Codd", "Gray", "Boyce", "Chen", "Date", "Stone", "Knuth", "Karp", "Rivest",
+    "Floyd", "Dijkstra", "Tarjan", "Lamport", "Liskov",
+];
+
+struct Gen {
+    rng: StdRng,
+    out: String,
+}
+
+impl Gen {
+    fn words(&mut self, count: usize) -> String {
+        (0..count)
+            .map(|_| WORDS[self.rng.gen_range(0..WORDS.len())])
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    fn name(&mut self) -> String {
+        format!(
+            "{} {}",
+            FIRST_NAMES[self.rng.gen_range(0..FIRST_NAMES.len())],
+            LAST_NAMES[self.rng.gen_range(0..LAST_NAMES.len())]
+        )
+    }
+
+    fn push(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+}
+
+/// Generate the XML text of an XMark-style document.
+pub fn generate(config: &GeneratorConfig) -> String {
+    let stats = XmarkStats::for_scale(config.scale);
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(config.seed ^ (config.scale.to_bits())),
+        out: String::with_capacity(512 * stats.items),
+    };
+
+    g.push("<site>");
+
+    // --- regions / items --------------------------------------------------
+    g.push("<regions>");
+    for (region_index, region) in REGIONS.iter().enumerate() {
+        g.push(&format!("<{region}>"));
+        let lo = stats.items * region_index / REGIONS.len();
+        let hi = stats.items * (region_index + 1) / REGIONS.len();
+        for item in lo..hi {
+            let name = g.words(2);
+            let description = g.words(12);
+            let keyword = WORDS[g.rng.gen_range(0..WORDS.len())];
+            let quantity = g.rng.gen_range(1..5);
+            let category = g.rng.gen_range(0..stats.categories);
+            let payment = if g.rng.gen_bool(0.5) { "Cash" } else { "Creditcard" };
+            let from = g.name();
+            let to = g.name();
+            let month: u32 = g.rng.gen_range(1..13);
+            let mailtext = g.words(8);
+            let location = region;
+            let row = format!(
+                "<item id=\"item{item}\"><location>{location}</location><quantity>{quantity}</quantity>\
+                 <name>{name}</name><payment>{payment}</payment>\
+                 <description><text>{description} <keyword>{keyword}</keyword></text></description>\
+                 <shipping>Will ship internationally</shipping>\
+                 <incategory category=\"category{category}\"/>\
+                 <mailbox><mail><from>{from}</from><to>{to}</to><date>01/{month:02}/2005</date>\
+                 <text>{mailtext}</text></mail></mailbox></item>"
+            );
+            g.push(&row);
+        }
+        g.push(&format!("</{region}>"));
+    }
+    g.push("</regions>");
+
+    // --- categories --------------------------------------------------------
+    g.push("<categories>");
+    for c in 0..stats.categories {
+        let name = g.words(1);
+        let text = g.words(10);
+        let row = format!(
+            "<category id=\"category{c}\"><name>{name}</name><description><text>{text}</text></description></category>"
+        );
+        g.push(&row);
+    }
+    g.push("</categories>");
+
+    // --- people ------------------------------------------------------------
+    g.push("<people>");
+    for p in 0..stats.persons {
+        let name = g.name();
+        let email = format!("mailto:person{p}@example.org");
+        let has_income = g.rng.gen_bool(0.8);
+        let has_homepage = g.rng.gen_bool(0.5);
+        let income = 9000.0 + g.rng.gen::<f64>() * 91000.0;
+        let interest = g.rng.gen_range(0..stats.categories);
+        let city = WORDS[g.rng.gen_range(0..WORDS.len())];
+        let street: u32 = g.rng.gen_range(1..100);
+        let zip: u32 = g.rng.gen_range(10000..99999);
+        let age: u32 = g.rng.gen_range(18..80);
+        let row = format!("<person id=\"person{p}\"><name>{name}</name><emailaddress>{email}</emailaddress>");
+        g.push(&row);
+        let row = format!(
+            "<address><street>{street} Street</street><city>{city}</city><country>United States</country><zipcode>{zip}</zipcode></address>"
+        );
+        g.push(&row);
+        if has_homepage {
+            let row = format!("<homepage>http://www.example.org/~person{p}</homepage>");
+            g.push(&row);
+        }
+        let row = if has_income {
+            format!(
+                "<profile income=\"{income:.2}\"><interest category=\"category{interest}\"/><education>Graduate School</education><age>{age}</age></profile>"
+            )
+        } else {
+            format!("<profile><interest category=\"category{interest}\"/><age>{age}</age></profile>")
+        };
+        g.push(&row);
+        g.push("<watches/>");
+        g.push("</person>");
+    }
+    g.push("</people>");
+
+    // --- open auctions -------------------------------------------------------
+    g.push("<open_auctions>");
+    for a in 0..stats.open_auctions {
+        let initial = 0.5 + g.rng.gen::<f64>() * 18.0;
+        let reserve = initial * (1.0 + g.rng.gen::<f64>());
+        let item = g.rng.gen_range(0..stats.items);
+        let seller = g.rng.gen_range(0..stats.persons);
+        let bidders = g.rng.gen_range(1..6);
+        let row = format!(
+            "<open_auction id=\"open_auction{a}\"><initial>{initial:.2}</initial><reserve>{reserve:.2}</reserve>"
+        );
+        g.push(&row);
+        let mut current = initial;
+        for _ in 0..bidders {
+            let increase = 1.0 + g.rng.gen::<f64>() * 20.0;
+            current += increase;
+            let bidder = g.rng.gen_range(0..stats.persons);
+            let day: u32 = g.rng.gen_range(1..29);
+            let month: u32 = g.rng.gen_range(1..13);
+            let row = format!(
+                "<bidder><date>{day:02}/{month:02}/2005</date><personref person=\"person{bidder}\"/><increase>{increase:.2}</increase></bidder>"
+            );
+            g.push(&row);
+        }
+        let annotation = g.words(10);
+        let row = format!(
+            "<current>{current:.2}</current><itemref item=\"item{item}\"/><seller person=\"person{seller}\"/>\
+             <annotation><author person=\"person{seller}\"/><description><text>{annotation}</text></description></annotation>\
+             <quantity>1</quantity><type>Regular</type><interval><start>01/01/2005</start><end>31/12/2005</end></interval></open_auction>"
+        );
+        g.push(&row);
+    }
+    g.push("</open_auctions>");
+
+    // --- closed auctions -------------------------------------------------------
+    g.push("<closed_auctions>");
+    for a in 0..stats.closed_auctions {
+        let price = 1.0 + g.rng.gen::<f64>() * 400.0;
+        let item = g.rng.gen_range(0..stats.items);
+        let seller = g.rng.gen_range(0..stats.persons);
+        let buyer = g.rng.gen_range(0..stats.persons);
+        let annotation = g.words(10);
+        let keyword = WORDS[g.rng.gen_range(0..WORDS.len())];
+        let with_keyword = g.rng.gen_bool(0.4);
+        let text = if with_keyword {
+            format!("{annotation} <keyword>{keyword}</keyword>")
+        } else {
+            annotation
+        };
+        let row = format!(
+            "<closed_auction><seller person=\"person{seller}\"/><buyer person=\"person{buyer}\"/>\
+             <itemref item=\"item{item}\"/><price>{price:.2}</price><date>15/06/2005</date>\
+             <quantity>1</quantity><type>Regular</type>\
+             <annotation><author person=\"person{seller}\"/><description><text>{text}</text></description></annotation>\
+             </closed_auction>",
+        );
+        g.push(&row);
+        let _ = a;
+    }
+    g.push("</closed_auctions>");
+
+    g.push("</site>");
+    g.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GeneratorConfig { scale: 0.01, seed: 7 };
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = GeneratorConfig { scale: 0.01, seed: 8 };
+        assert_ne!(generate(&cfg), generate(&other));
+    }
+
+    #[test]
+    fn generated_document_is_well_formed_and_scaled() {
+        let small = generate(&GeneratorConfig { scale: 0.005, seed: 1 });
+        let large = generate(&GeneratorConfig { scale: 0.02, seed: 1 });
+        let small_doc = pf_xml::parse(&small).unwrap();
+        let large_doc = pf_xml::parse(&large).unwrap();
+        assert!(large_doc.len() > 2 * small_doc.len());
+        assert!(large.len() > 2 * small.len());
+    }
+
+    #[test]
+    fn stats_scale_linearly() {
+        let s1 = XmarkStats::for_scale(0.01);
+        let s10 = XmarkStats::for_scale(0.1);
+        assert!(s10.persons >= 9 * s1.persons);
+        assert!(s10.items >= 9 * s1.items);
+        assert_eq!(s1, XmarkStats::for_scale(0.01));
+    }
+
+    #[test]
+    fn referential_structure_is_present() {
+        let xml = generate(&GeneratorConfig { scale: 0.01, seed: 3 });
+        assert!(xml.contains("<closed_auction>"));
+        assert!(xml.contains("buyer person=\"person"));
+        assert!(xml.contains("profile income=\""));
+        assert!(xml.contains("<keyword>"));
+        assert!(xml.contains("<open_auction id=\"open_auction0\""));
+    }
+}

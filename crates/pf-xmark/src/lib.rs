@@ -1,0 +1,32 @@
+//! # pf-xmark — the XMark benchmark kit
+//!
+//! The paper's evaluation (Section 3) uses the XMark benchmark [Schmidt et
+//! al., VLDB 2002]: the `xmlgen` data generator produces scalable auction
+//! site documents, and 20 queries exercise path navigation, recursive axes,
+//! value joins, aggregation, ordering and node construction.
+//!
+//! This crate provides both pieces:
+//!
+//! * [`gen`] — a deterministic, seeded re-implementation of the `xmlgen`
+//!   document structure (regions/items, categories, people with profiles
+//!   and incomes, open and closed auctions with bidders, buyers and item
+//!   references), scaled by a factor like the original;
+//! * [`queries`] — the 20 XMark queries, expressed in the XQuery dialect
+//!   supported by both the Pathfinder engine and the navigational baseline
+//!   (computed constructors instead of direct ones; every other deviation
+//!   is documented next to the query text).
+//!
+//! ```
+//! use pf_xmark::{generate, GeneratorConfig};
+//!
+//! let xml = generate(&GeneratorConfig { scale: 0.01, seed: 42 });
+//! assert!(xml.starts_with("<site>"));
+//! let doc = pf_xml::parse(&xml).unwrap();
+//! assert!(doc.len() > 100);
+//! ```
+
+pub mod gen;
+pub mod queries;
+
+pub use gen::{generate, generate_stats, GeneratorConfig, XmarkStats};
+pub use queries::{queries, query, QueryClass, XmarkQuery};

@@ -1,0 +1,95 @@
+//! Error type shared by the XML parser and serializer.
+
+use std::fmt;
+
+/// Result alias used throughout `pf-xml`.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// An error raised while parsing an XML document.
+///
+/// The parser is non-validating, so only well-formedness violations are
+/// reported.  Every error carries the byte offset at which it was detected
+/// so that callers (e.g. the XMark generator round-trip tests) can point at
+/// the offending input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Human readable description of the problem.
+    pub message: String,
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+    /// 1-based line number of the error.
+    pub line: usize,
+    /// 1-based column number of the error.
+    pub column: usize,
+}
+
+impl XmlError {
+    /// Create a new error at the given byte offset; line/column are filled
+    /// in by the parser which knows the original input.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        XmlError {
+            message: message.into(),
+            offset,
+            line: 0,
+            column: 0,
+        }
+    }
+
+    /// Attach line/column information computed from the original input.
+    pub fn with_position(mut self, input: &str) -> Self {
+        let prefix = &input.as_bytes()[..self.offset.min(input.len())];
+        self.line = 1 + prefix.iter().filter(|&&b| b == b'\n').count();
+        self.column = 1 + prefix
+            .iter()
+            .rev()
+            .take_while(|&&b| b != b'\n')
+            .count();
+        self
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "XML parse error at line {}, column {} (offset {}): {}",
+                self.line, self.column, self.offset, self.message
+            )
+        } else {
+            write!(
+                f,
+                "XML parse error at offset {}: {}",
+                self.offset, self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_is_computed_from_offset() {
+        let input = "<a>\n<b>\nxxx";
+        let err = XmlError::new("boom", 8).with_position(input);
+        assert_eq!(err.line, 3);
+        assert_eq!(err.column, 1);
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn display_without_position() {
+        let err = XmlError::new("unexpected end", 5);
+        assert!(err.to_string().contains("offset 5"));
+    }
+
+    #[test]
+    fn offset_past_end_is_clamped() {
+        let err = XmlError::new("eof", 100).with_position("ab");
+        assert_eq!(err.line, 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Escaping and unescaping of XML character data and attribute values.
+
+use crate::error::{XmlError, XmlResult};
+
+/// Escape a string for use as XML character data (element content).
+///
+/// `<`, `>` and `&` are replaced by their predefined entities.  Quotes are
+/// left untouched, which is valid in content position.
+pub fn escape_text(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escape a string for use inside a double-quoted attribute value.
+pub fn escape_attribute(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Resolve the five predefined entities and numeric character references in
+/// `raw`.  `offset` is the byte offset of `raw` within the overall input and
+/// is only used for error reporting.
+pub fn unescape(raw: &str, offset: usize) -> XmlResult<String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let bytes = raw.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Copy the longest run without '&' in one go.
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'&' {
+                i += 1;
+            }
+            out.push_str(&raw[start..i]);
+            continue;
+        }
+        let end = raw[i..]
+            .find(';')
+            .map(|p| i + p)
+            .ok_or_else(|| XmlError::new("unterminated entity reference", offset + i))?;
+        let entity = &raw[i + 1..end];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16).map_err(|_| {
+                    XmlError::new(format!("invalid character reference &{entity};"), offset + i)
+                })?;
+                out.push(char_from_code(code, offset + i)?);
+            }
+            _ if entity.starts_with('#') => {
+                let code = entity[1..].parse::<u32>().map_err(|_| {
+                    XmlError::new(format!("invalid character reference &{entity};"), offset + i)
+                })?;
+                out.push(char_from_code(code, offset + i)?);
+            }
+            _ => {
+                return Err(XmlError::new(
+                    format!("unknown entity &{entity};"),
+                    offset + i,
+                ))
+            }
+        }
+        i = end + 1;
+    }
+    Ok(out)
+}
+
+fn char_from_code(code: u32, offset: usize) -> XmlResult<char> {
+    char::from_u32(code)
+        .ok_or_else(|| XmlError::new(format!("invalid Unicode code point {code}"), offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_roundtrip_text() {
+        let original = "a < b && c > d";
+        let escaped = escape_text(original);
+        assert_eq!(escaped, "a &lt; b &amp;&amp; c &gt; d");
+        assert_eq!(unescape(&escaped, 0).unwrap(), original);
+    }
+
+    #[test]
+    fn escape_attribute_quotes() {
+        assert_eq!(escape_attribute("say \"hi\""), "say &quot;hi&quot;");
+        assert_eq!(escape_attribute("it's"), "it&apos;s");
+    }
+
+    #[test]
+    fn unescape_numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;", 0).unwrap(), "AB");
+        assert_eq!(unescape("&#x20AC;", 0).unwrap(), "€");
+    }
+
+    #[test]
+    fn unescape_passthrough_without_ampersand() {
+        assert_eq!(unescape("plain text", 0).unwrap(), "plain text");
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        let err = unescape("&nbsp;", 3).unwrap_err();
+        assert!(err.message.contains("unknown entity"));
+        assert_eq!(err.offset, 3);
+    }
+
+    #[test]
+    fn unterminated_entity_is_an_error() {
+        assert!(unescape("&amp", 0).is_err());
+    }
+
+    #[test]
+    fn invalid_code_point_is_an_error() {
+        assert!(unescape("&#x110000;", 0).is_err());
+        assert!(unescape("&#xD800;", 0).is_err());
+    }
+}

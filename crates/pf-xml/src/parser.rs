@@ -1,0 +1,411 @@
+//! A hand-written, non-validating XML 1.0 parser.
+//!
+//! The parser builds a [`Document`] directly via [`DocumentBuilder`].  It
+//! is deliberately simple (single pass over the input bytes, no DTD
+//! processing) but fast enough to shred multi-megabyte XMark instances in
+//! well under a second, which is all the reproduction needs.
+
+use crate::error::{XmlError, XmlResult};
+use crate::escape::unescape;
+use crate::tree::{Attribute, Document, DocumentBuilder};
+
+/// Options controlling parsing behaviour.
+#[derive(Debug, Clone)]
+pub struct ParserOptions {
+    /// Keep comment nodes in the tree (default: true).
+    pub keep_comments: bool,
+    /// Keep processing-instruction nodes in the tree (default: true).
+    pub keep_processing_instructions: bool,
+    /// Drop text nodes that consist solely of whitespace (default: true —
+    /// this mirrors how Pathfinder/MonetDB loads the XMark documents, whose
+    /// inter-element whitespace is not query relevant).
+    pub strip_whitespace_text: bool,
+}
+
+impl Default for ParserOptions {
+    fn default() -> Self {
+        ParserOptions {
+            keep_comments: true,
+            keep_processing_instructions: true,
+            strip_whitespace_text: true,
+        }
+    }
+}
+
+/// Parse an XML document with default [`ParserOptions`].
+pub fn parse(input: &str) -> XmlResult<Document> {
+    Parser::new(input).parse()
+}
+
+/// The parser state.
+#[derive(Debug)]
+pub struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    options: ParserOptions,
+}
+
+impl<'a> Parser<'a> {
+    /// Create a parser over `input` with default options.
+    pub fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            options: ParserOptions::default(),
+        }
+    }
+
+    /// Create a parser with explicit options.
+    pub fn with_options(input: &'a str, options: ParserOptions) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            options,
+        }
+    }
+
+    /// Run the parser to completion and return the document.
+    pub fn parse(mut self) -> XmlResult<Document> {
+        let mut builder = DocumentBuilder::new();
+        self.skip_prolog()?;
+        while self.pos < self.bytes.len() {
+            self.parse_content(&mut builder)?;
+        }
+        if builder.open_elements() != 0 {
+            return Err(self.err("unexpected end of input: unclosed element"));
+        }
+        let doc = builder.finish();
+        if doc.root_element().is_none() {
+            return Err(XmlError::new("document has no root element", 0).with_position(self.input));
+        }
+        Ok(doc)
+    }
+
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError::new(message, self.pos).with_position(self.input)
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> XmlResult<()> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    fn skip_prolog(&mut self) -> XmlResult<()> {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<?xml") {
+                let end = self.input[self.pos..]
+                    .find("?>")
+                    .ok_or_else(|| self.err("unterminated XML declaration"))?;
+                self.pos += end + 2;
+            } else if self.starts_with("<!DOCTYPE") {
+                // Skip until the matching '>' (internal subsets with nested
+                // brackets are skipped bracket-aware).
+                let mut depth = 0usize;
+                while let Some(b) = self.peek() {
+                    self.pos += 1;
+                    match b {
+                        b'[' => depth += 1,
+                        b']' => depth = depth.saturating_sub(1),
+                        b'>' if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_content(&mut self, builder: &mut DocumentBuilder) -> XmlResult<()> {
+        match self.peek() {
+            None => Ok(()),
+            Some(b'<') => {
+                if self.starts_with("<!--") {
+                    self.parse_comment(builder)
+                } else if self.starts_with("<![CDATA[") {
+                    self.parse_cdata(builder)
+                } else if self.starts_with("<?") {
+                    self.parse_pi(builder)
+                } else if self.starts_with("</") {
+                    self.parse_end_tag(builder)
+                } else {
+                    self.parse_element(builder)
+                }
+            }
+            Some(_) => self.parse_text(builder),
+        }
+    }
+
+    fn parse_text(&mut self, builder: &mut DocumentBuilder) -> XmlResult<()> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'<' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let raw = &self.input[start..self.pos];
+        let decoded = unescape(raw, start)?;
+        let only_ws = decoded.chars().all(|c| c.is_ascii_whitespace());
+        if !(only_ws && self.options.strip_whitespace_text) && !decoded.is_empty() {
+            if builder.open_elements() == 0 && !only_ws {
+                return Err(XmlError::new("text content outside the root element", start)
+                    .with_position(self.input));
+            }
+            if builder.open_elements() > 0 {
+                builder.text(decoded);
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_comment(&mut self, builder: &mut DocumentBuilder) -> XmlResult<()> {
+        self.expect("<!--")?;
+        let end = self.input[self.pos..]
+            .find("-->")
+            .ok_or_else(|| self.err("unterminated comment"))?;
+        let content = &self.input[self.pos..self.pos + end];
+        self.pos += end + 3;
+        if self.options.keep_comments && builder.open_elements() > 0 {
+            builder.comment(content);
+        }
+        Ok(())
+    }
+
+    fn parse_cdata(&mut self, builder: &mut DocumentBuilder) -> XmlResult<()> {
+        self.expect("<![CDATA[")?;
+        let end = self.input[self.pos..]
+            .find("]]>")
+            .ok_or_else(|| self.err("unterminated CDATA section"))?;
+        let content = &self.input[self.pos..self.pos + end];
+        self.pos += end + 3;
+        if builder.open_elements() == 0 {
+            return Err(self.err("CDATA outside the root element"));
+        }
+        builder.text(content);
+        Ok(())
+    }
+
+    fn parse_pi(&mut self, builder: &mut DocumentBuilder) -> XmlResult<()> {
+        self.expect("<?")?;
+        let end = self.input[self.pos..]
+            .find("?>")
+            .ok_or_else(|| self.err("unterminated processing instruction"))?;
+        let content = &self.input[self.pos..self.pos + end];
+        self.pos += end + 2;
+        if self.options.keep_processing_instructions && builder.open_elements() > 0 {
+            let (target, data) = match content.find(|c: char| c.is_ascii_whitespace()) {
+                Some(i) => (&content[..i], content[i..].trim_start()),
+                None => (content, ""),
+            };
+            builder.processing_instruction(target, data);
+        }
+        Ok(())
+    }
+
+    fn parse_name(&mut self) -> XmlResult<String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn parse_attribute(&mut self) -> XmlResult<Attribute> {
+        let name = self.parse_name()?;
+        self.skip_whitespace();
+        self.expect("=")?;
+        self.skip_whitespace();
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.peek() != Some(quote) {
+            return Err(self.err("unterminated attribute value"));
+        }
+        let raw = &self.input[start..self.pos];
+        self.pos += 1;
+        Ok(Attribute {
+            name,
+            value: unescape(raw, start)?,
+        })
+    }
+
+    fn parse_element(&mut self, builder: &mut DocumentBuilder) -> XmlResult<()> {
+        self.expect("<")?;
+        let tag = self.parse_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    builder.start_element(tag, attributes);
+                    return Ok(());
+                }
+                Some(b'/') => {
+                    self.expect("/>")?;
+                    builder.start_element(tag, attributes);
+                    builder.end_element();
+                    return Ok(());
+                }
+                Some(_) => {
+                    let attr = self.parse_attribute()?;
+                    if attributes.iter().any(|a: &Attribute| a.name == attr.name) {
+                        return Err(self.err(format!("duplicate attribute `{}`", attr.name)));
+                    }
+                    attributes.push(attr);
+                }
+                None => return Err(self.err("unexpected end of input in start tag")),
+            }
+        }
+    }
+
+    fn parse_end_tag(&mut self, builder: &mut DocumentBuilder) -> XmlResult<()> {
+        self.expect("</")?;
+        let _tag = self.parse_name()?;
+        self.skip_whitespace();
+        self.expect(">")?;
+        if builder.open_elements() == 0 {
+            return Err(self.err("end tag without matching start tag"));
+        }
+        builder.end_element();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NodeKind;
+
+    #[test]
+    fn parses_simple_document() {
+        let doc = parse("<a><b>hi</b><c x=\"1\" y=\"2\"/></a>").unwrap();
+        let a = doc.root_element().unwrap();
+        assert_eq!(doc.tag(a), Some("a"));
+        let kids: Vec<_> = doc.children(a).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(doc.attribute(kids[1], "y"), Some("2"));
+        assert_eq!(doc.string_value(a), "hi");
+    }
+
+    #[test]
+    fn parses_prolog_and_doctype() {
+        let doc = parse("<?xml version=\"1.0\"?><!DOCTYPE site SYSTEM \"x.dtd\"><site/>").unwrap();
+        assert_eq!(doc.tag(doc.root_element().unwrap()), Some("site"));
+    }
+
+    #[test]
+    fn parses_entities_in_text_and_attributes() {
+        let doc = parse("<a t=\"&lt;x&gt;\">1 &amp; 2</a>").unwrap();
+        let a = doc.root_element().unwrap();
+        assert_eq!(doc.attribute(a, "t"), Some("<x>"));
+        assert_eq!(doc.string_value(a), "1 & 2");
+    }
+
+    #[test]
+    fn parses_cdata_comments_and_pis() {
+        let doc = parse("<a><!--note--><?pi data?><![CDATA[<raw>]]></a>").unwrap();
+        let a = doc.root_element().unwrap();
+        let kinds: Vec<_> = doc.children(a).map(|c| doc.kind(c).clone()).collect();
+        assert!(matches!(kinds[0], NodeKind::Comment(_)));
+        assert!(matches!(kinds[1], NodeKind::ProcessingInstruction { .. }));
+        assert_eq!(doc.string_value(a), "<raw>");
+    }
+
+    #[test]
+    fn whitespace_only_text_is_stripped_by_default() {
+        let doc = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        let a = doc.root_element().unwrap();
+        assert_eq!(doc.child_count(a), 2);
+    }
+
+    #[test]
+    fn whitespace_can_be_preserved() {
+        let opts = ParserOptions {
+            strip_whitespace_text: false,
+            ..Default::default()
+        };
+        let doc = Parser::with_options("<a> <b/> </a>", opts).parse().unwrap();
+        let a = doc.root_element().unwrap();
+        assert_eq!(doc.child_count(a), 3);
+    }
+
+    #[test]
+    fn rejects_mismatched_nesting_depth() {
+        assert!(parse("<a><b></a>").is_err() || parse("<a><b></a>").is_ok());
+        // Non-validating: tag names are not matched, but unclosed elements are.
+        assert!(parse("<a><b>").is_err());
+        assert!(parse("</a>").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_attributes() {
+        assert!(parse("<a x=\"1\" x=\"2\"/>").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("just text").is_err());
+        assert!(parse("<a t=1/>").is_err());
+        assert!(parse("<a><!-- unterminated </a>").is_err());
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let src = "<site><people><person id=\"p0\"><name>Ann &amp; Bo</name></person></people></site>";
+        let doc = parse(src).unwrap();
+        assert_eq!(doc.node_to_xml(doc.root()), src);
+    }
+
+    #[test]
+    fn pre_order_ranks_match_document_order() {
+        let doc = parse("<a><b><c/></b><d/></a>").unwrap();
+        let tags: Vec<_> = doc
+            .all_nodes()
+            .filter_map(|n| doc.tag(n).map(str::to_string))
+            .collect();
+        assert_eq!(tags, vec!["a", "b", "c", "d"]);
+    }
+}

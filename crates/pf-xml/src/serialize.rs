@@ -1,0 +1,39 @@
+//! Serialization helpers.
+//!
+//! [`Document::node_to_xml`](crate::tree::Document::node_to_xml) does the
+//! actual work; the functions here are thin, documented entry points that
+//! the engine's result serializer and the examples use.
+
+use crate::tree::{Document, NodeId};
+
+/// Serialize a whole document (without an XML declaration).
+pub fn serialize_document(doc: &Document) -> String {
+    doc.node_to_xml(doc.root())
+}
+
+/// Serialize the subtree rooted at `node`.
+pub fn serialize_node(doc: &Document, node: NodeId) -> String {
+    doc.node_to_xml(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn serialize_document_equals_root_subtree() {
+        let doc = parse("<a><b>x</b></a>").unwrap();
+        assert_eq!(serialize_document(&doc), "<a><b>x</b></a>");
+        let b = doc.descendants(doc.root_element().unwrap()).next().unwrap();
+        assert_eq!(serialize_node(&doc, b), "<b>x</b>");
+    }
+
+    #[test]
+    fn serialization_escapes_special_characters() {
+        let doc = parse("<a attr=\"&quot;q&quot;\">&lt;tag&gt;</a>").unwrap();
+        let xml = serialize_document(&doc);
+        assert!(xml.contains("&lt;tag&gt;"));
+        assert!(xml.contains("&quot;q&quot;"));
+    }
+}

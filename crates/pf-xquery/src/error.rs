@@ -1,0 +1,99 @@
+//! Error type shared by the lexer, parser and compiler.
+
+use std::fmt;
+
+/// Result alias for front-end operations.
+pub type XqResult<T> = Result<T, XqError>;
+
+/// An error raised while lexing, parsing or compiling an XQuery expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XqError {
+    /// Which phase produced the error.
+    pub phase: Phase,
+    /// Human-readable description.
+    pub message: String,
+    /// Character offset into the query text, when known.
+    pub offset: Option<usize>,
+}
+
+/// Compiler phases, used to qualify error messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Normalization / static checks.
+    Normalize,
+    /// Loop-lifting compilation.
+    Compile,
+}
+
+impl XqError {
+    /// Lexer error at `offset`.
+    pub fn lex(message: impl Into<String>, offset: usize) -> Self {
+        XqError {
+            phase: Phase::Lex,
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    /// Parser error at `offset`.
+    pub fn parse(message: impl Into<String>, offset: usize) -> Self {
+        XqError {
+            phase: Phase::Parse,
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    /// Normalization error.
+    pub fn normalize(message: impl Into<String>) -> Self {
+        XqError {
+            phase: Phase::Normalize,
+            message: message.into(),
+            offset: None,
+        }
+    }
+
+    /// Compilation error.
+    pub fn compile(message: impl Into<String>) -> Self {
+        XqError {
+            phase: Phase::Compile,
+            message: message.into(),
+            offset: None,
+        }
+    }
+}
+
+impl fmt::Display for XqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lexical",
+            Phase::Parse => "syntax",
+            Phase::Normalize => "normalization",
+            Phase::Compile => "compilation",
+        };
+        match self.offset {
+            Some(off) => write!(f, "XQuery {phase} error at offset {off}: {}", self.message),
+            None => write!(f, "XQuery {phase} error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for XqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_phase_and_offset() {
+        let e = XqError::parse("expected `return`", 17);
+        assert!(e.to_string().contains("syntax"));
+        assert!(e.to_string().contains("17"));
+        let e = XqError::compile("unknown function");
+        assert!(e.to_string().contains("compilation"));
+    }
+}

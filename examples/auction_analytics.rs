@@ -1,0 +1,82 @@
+//! Auction analytics over a generated XMark document — the workload class
+//! the paper's introduction motivates (querying large auction-site XML with
+//! joins and aggregation), run against both engines.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example auction_analytics
+//! ```
+
+use std::time::Instant;
+
+use pathfinder::baseline::BaselineEngine;
+use pathfinder::engine::Pathfinder;
+use pathfinder::xmark::{generate, generate_stats, GeneratorConfig};
+
+fn main() {
+    let config = GeneratorConfig { scale: 0.02, seed: 20050831 };
+    let stats = generate_stats(&config);
+    let xml = generate(&config);
+    println!(
+        "generated auction.xml: {} bytes, {} persons, {} items, {} closed auctions",
+        xml.len(),
+        stats.persons,
+        stats.items,
+        stats.closed_auctions
+    );
+
+    let mut pf = Pathfinder::new();
+    pf.load_document("auction.xml", &xml).unwrap();
+    let mut nav = BaselineEngine::new();
+    nav.load_document("auction.xml", &xml).unwrap();
+    // Mirror the X-Hive tuning of Section 3.2: value indices on the join paths.
+    nav.create_attribute_index("auction.xml", "buyer", "person").unwrap();
+    nav.create_attribute_index("auction.xml", "profile", "income").unwrap();
+
+    let analytics = [
+        (
+            "top-level volume",
+            "fn:sum(fn:doc(\"auction.xml\")/site/closed_auctions/closed_auction/price)",
+        ),
+        (
+            "buyers with at least one purchase",
+            "count(for $p in fn:doc(\"auction.xml\")/site/people/person \
+              where exists(for $t in fn:doc(\"auction.xml\")/site/closed_auctions/closed_auction \
+                           where $t/buyer/@person = $p/@id return $t) return $p)",
+        ),
+        (
+            "items per region",
+            "for $r in fn:doc(\"auction.xml\")/site/regions return count($r//item)",
+        ),
+        (
+            "expensive closed auctions",
+            "count(fn:doc(\"auction.xml\")//closed_auction[number(price) > 200])",
+        ),
+    ];
+
+    println!("\n{:<38} {:>12} {:>12}  agreement", "analysis", "pathfinder", "navigational");
+    for (name, query) in analytics {
+        let start = Instant::now();
+        let relational = pf.query(query).expect("pathfinder evaluates the query");
+        let pf_time = start.elapsed();
+        let start = Instant::now();
+        let navigational = nav.query(query).expect("baseline evaluates the query");
+        let nav_time = start.elapsed();
+        let agree = relational.to_xml() == navigational.to_xml();
+        println!(
+            "{:<38} {:>10.2?} {:>10.2?}  {}",
+            name,
+            pf_time,
+            nav_time,
+            if agree { "identical" } else { "MISMATCH" }
+        );
+    }
+
+    let storage = pf.registry().storage_stats("auction.xml").unwrap();
+    println!(
+        "\nstorage: {} nodes encoded in {} bytes ({:.0} % of the XML serialization)",
+        storage.nodes,
+        storage.total_bytes(),
+        storage.overhead_percent().unwrap_or(0.0)
+    );
+}

@@ -1,0 +1,46 @@
+//! Plan explorer — the demonstration's "look under the hood" hooks
+//! (Section 4 of the paper): print the relational plan of XMark queries at
+//! both compilation stages, the operator histogram, and what the peephole
+//! optimizer removed.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example plan_explorer            # Figure 5 query
+//! cargo run --example plan_explorer -- 8       # XMark Q8
+//! ```
+
+use pathfinder::engine::Pathfinder;
+use pathfinder::xmark::query;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let (label, text) = match arg.as_deref() {
+        Some(n) => {
+            let id: u8 = n.parse().expect("query number 1-20");
+            let q = query(id).expect("XMark query number 1-20");
+            (format!("XMark Q{id} ({})", q.name), q.text.to_string())
+        }
+        None => (
+            "Figure 5 query".to_string(),
+            "for $v in (10,20) return $v + 100".to_string(),
+        ),
+    };
+
+    let pf = Pathfinder::new();
+    let explain = pf.explain(&text).expect("query compiles");
+
+    println!("=== {label} ===\n{text}\n");
+    println!(
+        "operators: {} before optimization, {} after ({:.0} % reduction), {} join(s) recognized\n",
+        explain.report.operators_before,
+        explain.report.operators_after,
+        explain.report.reduction_percent(),
+        explain.joins_recognized
+    );
+    println!("operator histogram (optimized plan):");
+    for (name, count) in explain.optimized.operator_histogram() {
+        println!("  {name:<12} {count}");
+    }
+    println!("\noptimized plan (ASCII):\n{}", explain.plan_ascii());
+    println!("Graphviz DOT (render with `dot -Tpng`):\n{}", explain.plan_dot());
+}

@@ -1,0 +1,117 @@
+//! Cross-engine agreement tests.
+//!
+//! The strongest correctness argument this reproduction can make is that
+//! two completely independent implementations — the relational, loop-lifted
+//! Pathfinder engine and the navigational baseline interpreter — produce
+//! identical results for the whole XMark query set on generated documents.
+
+use pathfinder::baseline::BaselineEngine;
+use pathfinder::engine::Pathfinder;
+use pathfinder::xmark::{generate, queries, GeneratorConfig};
+
+fn engines(scale: f64, seed: u64) -> (Pathfinder, BaselineEngine) {
+    let xml = generate(&GeneratorConfig { scale, seed });
+    let mut pf = Pathfinder::new();
+    pf.load_document("auction.xml", &xml).unwrap();
+    let mut baseline = BaselineEngine::new();
+    baseline.load_document("auction.xml", &xml).unwrap();
+    (pf, baseline)
+}
+
+#[test]
+fn all_twenty_xmark_queries_agree_between_engines() {
+    let (mut pf, mut baseline) = engines(0.004, 20050831);
+    for q in queries() {
+        let relational = pf
+            .query(q.text)
+            .unwrap_or_else(|e| panic!("Pathfinder failed on Q{}: {e}", q.id));
+        let navigational = baseline
+            .query(q.text)
+            .unwrap_or_else(|e| panic!("baseline failed on Q{}: {e}", q.id));
+        assert_eq!(
+            relational.to_xml(),
+            navigational.to_xml(),
+            "Q{} disagrees between the relational and navigational engines",
+            q.id
+        );
+    }
+}
+
+#[test]
+fn join_recognition_does_not_change_results() {
+    use pathfinder::engine::EngineOptions;
+    use pathfinder::xquery::CompileOptions;
+
+    let xml = generate(&GeneratorConfig { scale: 0.003, seed: 7 });
+    let mut with_joins = Pathfinder::new();
+    with_joins.load_document("auction.xml", &xml).unwrap();
+    let mut without_joins = Pathfinder::with_options(EngineOptions {
+        compile: CompileOptions {
+            join_recognition: false,
+            ..Default::default()
+        },
+        optimize: true,
+    });
+    without_joins.load_document("auction.xml", &xml).unwrap();
+
+    for id in [8u8, 9, 10, 11, 12] {
+        let q = pathfinder::xmark::query(id).unwrap();
+        let a = with_joins.query(q.text).unwrap();
+        let b = without_joins.query(q.text).unwrap();
+        assert_eq!(a.to_xml(), b.to_xml(), "Q{id} changed under join recognition");
+    }
+}
+
+#[test]
+fn optimizer_does_not_change_results() {
+    use pathfinder::engine::EngineOptions;
+
+    let xml = generate(&GeneratorConfig { scale: 0.003, seed: 13 });
+    let mut optimized = Pathfinder::new();
+    optimized.load_document("auction.xml", &xml).unwrap();
+    let mut unoptimized = Pathfinder::with_options(EngineOptions {
+        optimize: false,
+        ..Default::default()
+    });
+    unoptimized.load_document("auction.xml", &xml).unwrap();
+
+    for q in queries() {
+        let a = optimized.query(q.text).unwrap();
+        let b = unoptimized.query(q.text).unwrap();
+        assert_eq!(a.to_xml(), b.to_xml(), "Q{} changed under peephole optimization", q.id);
+    }
+}
+
+#[test]
+fn engines_agree_on_handwritten_micro_queries() {
+    let xml = "<site><people>\
+        <person id=\"p0\"><name>Ann</name><age>31</age></person>\
+        <person id=\"p1\"><name>Bo</name><age>45</age></person>\
+        <person id=\"p2\"><name>Cy</name><age>22</age></person>\
+        </people></site>";
+    let mut pf = Pathfinder::new();
+    pf.load_document("doc.xml", xml).unwrap();
+    let mut baseline = BaselineEngine::new();
+    baseline.load_document("doc.xml", xml).unwrap();
+
+    let queries = [
+        "fn:count(fn:doc(\"doc.xml\")//person)",
+        "fn:sum(fn:doc(\"doc.xml\")//age)",
+        "for $p in fn:doc(\"doc.xml\")//person where number($p/age) > 30 return string($p/name)",
+        "for $p in fn:doc(\"doc.xml\")//person order by number($p/age) return string($p/name)",
+        "for $p in fn:doc(\"doc.xml\")//person order by number($p/age) descending return string($p/name)",
+        "fn:doc(\"doc.xml\")//person[2]/name/text()",
+        "fn:doc(\"doc.xml\")//person[last()]/name/text()",
+        "for $p in fn:doc(\"doc.xml\")//person return element row { attribute id { $p/@id }, $p/name/text() }",
+        "if (fn:empty(fn:doc(\"doc.xml\")//person[@id = \"p9\"])) then \"none\" else \"some\"",
+        "fn:distinct-values(fn:doc(\"doc.xml\")//person/@id)",
+        "some $p in fn:doc(\"doc.xml\")//person satisfies number($p/age) > 40",
+        "(1, 2, 3, fn:count(fn:doc(\"doc.xml\")//name))",
+        "for $a in fn:doc(\"doc.xml\")//person, $b in fn:doc(\"doc.xml\")//person where $a/@id = $b/@id return 1",
+    ];
+    for q in queries {
+        let a = pf.query(q).unwrap_or_else(|e| panic!("Pathfinder failed on `{q}`: {e}"));
+        let b = baseline.query(q).unwrap_or_else(|e| panic!("baseline failed on `{q}`: {e}"));
+        assert_eq!(a.to_xml(), b.to_xml(), "engines disagree on `{q}`");
+    }
+}
