@@ -289,13 +289,18 @@ impl AlgOp {
             | AlgOp::ThetaJoin { left, right, .. }
             | AlgOp::Cross { left, right } => vec![*left, *right],
             AlgOp::ElemConstruct {
-                loop_input, content, ..
+                loop_input,
+                content,
+                ..
             }
             | AlgOp::AttrConstruct {
-                loop_input, content, ..
+                loop_input,
+                content,
+                ..
             }
             | AlgOp::TextConstruct {
-                loop_input, content,
+                loop_input,
+                content,
             } => vec![*loop_input, *content],
         }
     }
@@ -336,13 +341,18 @@ impl AlgOp {
                 }
             }
             AlgOp::ElemConstruct {
-                loop_input, content, ..
+                loop_input,
+                content,
+                ..
             }
             | AlgOp::AttrConstruct {
-                loop_input, content, ..
+                loop_input,
+                content,
+                ..
             }
             | AlgOp::TextConstruct {
-                loop_input, content,
+                loop_input,
+                content,
             } => {
                 if index == 0 {
                     set(loop_input);
@@ -378,7 +388,9 @@ impl AlgOp {
             AlgOp::Union { .. } => "∪".to_string(),
             AlgOp::Difference { .. } => "\\".to_string(),
             AlgOp::EquiJoin {
-                left_col, right_col, ..
+                left_col,
+                right_col,
+                ..
             } => format!("⋈[{left_col}={right_col}]"),
             AlgOp::ThetaJoin {
                 left_col,
@@ -400,14 +412,21 @@ impl AlgOp {
                 }
             }
             AlgOp::BinaryMap {
-                target, left, op, right, ..
+                target,
+                left,
+                op,
+                right,
+                ..
             } => format!("⊙{target}:({left}{op:?}{right})"),
             AlgOp::UnaryMap {
                 target, op, source, ..
             } => format!("⊙{target}:{op:?}({source})"),
             AlgOp::Attach { target, value, .. } => format!("@{target}:={value}"),
             AlgOp::Aggregate {
-                target, func, value, ..
+                target,
+                func,
+                value,
+                ..
             } => format!("agg[{target}:={}({value})]", func.name()),
             AlgOp::Step { axis, test, .. } => format!("⇝[{}::{test:?}]", axis.name()),
             AlgOp::DocOrder { .. } => "ddo".to_string(),
@@ -466,7 +485,10 @@ mod tests {
         assert_eq!(op.symbol(), "%pos1:⟨iter,pos⟩/outer");
         let op = AlgOp::Project {
             input: 0,
-            columns: vec![("iter".into(), "outer".into()), ("pos".into(), "pos".into())],
+            columns: vec![
+                ("iter".into(), "outer".into()),
+                ("pos".into(), "pos".into()),
+            ],
         };
         assert_eq!(op.symbol(), "π[outer:iter,pos]");
     }

@@ -174,19 +174,19 @@ fn remove_redundant_order_ops(plan: &mut Plan, report: &mut OptimizeReport) -> b
     for id in plan.reachable() {
         match plan.op(id) {
             AlgOp::DocOrder { input }
-                if props.get(input).map(|p| p.doc_ordered).unwrap_or(false) => {
-                    let input = *input;
-                    redirect(plan, id, input);
-                    report.doc_orders_removed += 1;
-                    changed = true;
-                }
-            AlgOp::Distinct { input }
-                if props.get(input).map(|p| p.distinct).unwrap_or(false) => {
-                    let input = *input;
-                    redirect(plan, id, input);
-                    report.distincts_removed += 1;
-                    changed = true;
-                }
+                if props.get(input).map(|p| p.doc_ordered).unwrap_or(false) =>
+            {
+                let input = *input;
+                redirect(plan, id, input);
+                report.doc_orders_removed += 1;
+                changed = true;
+            }
+            AlgOp::Distinct { input } if props.get(input).map(|p| p.distinct).unwrap_or(false) => {
+                let input = *input;
+                redirect(plan, id, input);
+                report.distincts_removed += 1;
+                changed = true;
+            }
             _ => {}
         }
     }
@@ -272,7 +272,10 @@ mod tests {
         let l = lit(&mut b);
         let p1 = b.add(AlgOp::Project {
             input: l,
-            columns: vec![("iter".into(), "outer".into()), ("item".into(), "item".into())],
+            columns: vec![
+                ("iter".into(), "outer".into()),
+                ("item".into(), "item".into()),
+            ],
         });
         let p2 = b.add(AlgOp::Project {
             input: p1,

@@ -106,9 +106,9 @@ impl Plan {
                 AlgOp::FnData { .. } => "data",
                 AlgOp::FnRoot { .. } => "root",
                 AlgOp::Ebv { .. } => "ebv",
-                AlgOp::ElemConstruct { .. } | AlgOp::AttrConstruct { .. } | AlgOp::TextConstruct { .. } => {
-                    "construct"
-                }
+                AlgOp::ElemConstruct { .. }
+                | AlgOp::AttrConstruct { .. }
+                | AlgOp::TextConstruct { .. } => "construct",
                 AlgOp::Sort { .. } => "sort",
             };
             *hist.entry(name.to_string()).or_default() += 1;
@@ -169,11 +169,17 @@ mod tests {
         });
         let p1 = b.add(AlgOp::Project {
             input: lit,
-            columns: vec![("iter".into(), "iter".into()), ("item".into(), "item".into())],
+            columns: vec![
+                ("iter".into(), "iter".into()),
+                ("item".into(), "item".into()),
+            ],
         });
         let p2 = b.add(AlgOp::Project {
             input: lit,
-            columns: vec![("iter".into(), "iter1".into()), ("item".into(), "item1".into())],
+            columns: vec![
+                ("iter".into(), "iter1".into()),
+                ("item".into(), "item1".into()),
+            ],
         });
         let join = b.add(AlgOp::EquiJoin {
             left: p1,
@@ -215,7 +221,12 @@ mod tests {
     fn histogram_counts_shared_nodes_once() {
         let plan = small_plan();
         let hist = plan.operator_histogram();
-        let get = |name: &str| hist.iter().find(|(n, _)| n == name).map(|(_, c)| *c).unwrap_or(0);
+        let get = |name: &str| {
+            hist.iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, c)| *c)
+                .unwrap_or(0)
+        };
         assert_eq!(get("table"), 1);
         assert_eq!(get("project"), 2);
         assert_eq!(get("equi-join"), 1);

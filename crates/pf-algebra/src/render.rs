@@ -14,7 +14,11 @@ pub fn to_dot(plan: &Plan) -> String {
     let reachable = plan.reachable();
     for &id in &reachable {
         let label = plan.op(id).symbol().replace('"', "\\\"");
-        let shape_extra = if id == plan.root() { ", style=bold" } else { "" };
+        let shape_extra = if id == plan.root() {
+            ", style=bold"
+        } else {
+            ""
+        };
         out.push_str(&format!("  n{id} [label=\"{label}\"{shape_extra}];\n"));
     }
     for &id in &reachable {
@@ -39,7 +43,14 @@ pub fn to_ascii(plan: &Plan) -> String {
     }
     let mut out = String::new();
     let mut printed: HashMap<OpId, ()> = HashMap::new();
-    render_node(plan, plan.root(), 0, &reference_count, &mut printed, &mut out);
+    render_node(
+        plan,
+        plan.root(),
+        0,
+        &reference_count,
+        &mut printed,
+        &mut out,
+    );
     out
 }
 
@@ -57,7 +68,11 @@ fn render_node(
         out.push_str(&format!("{indent}*see #{id}\n"));
         return;
     }
-    let marker = if shared { format!(" [#{id}]") } else { String::new() };
+    let marker = if shared {
+        format!(" [#{id}]")
+    } else {
+        String::new()
+    };
     out.push_str(&format!("{indent}{}{marker}\n", plan.op(id).symbol()));
     printed.insert(id, ());
     for child in plan.op(id).children() {
@@ -110,7 +125,10 @@ mod tests {
         let plan = shared_plan();
         let ascii = to_ascii(&plan);
         assert!(ascii.contains("⋈[iter=iter1]"));
-        assert!(ascii.contains("*see #0"), "shared literal should be referenced: {ascii}");
+        assert!(
+            ascii.contains("*see #0"),
+            "shared literal should be referenced: {ascii}"
+        );
     }
 
     #[test]

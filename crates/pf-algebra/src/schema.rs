@@ -98,7 +98,9 @@ fn infer_one(plan: &Plan, id: OpId, props: &HashMap<OpId, Properties>) -> Proper
                 doc_ordered: l.doc_ordered,
             }
         }
-        AlgOp::EquiJoin { left, right, .. } | AlgOp::ThetaJoin { left, right, .. } | AlgOp::Cross { left, right } => {
+        AlgOp::EquiJoin { left, right, .. }
+        | AlgOp::ThetaJoin { left, right, .. }
+        | AlgOp::Cross { left, right } => {
             let l = get(props, *left);
             let r = get(props, *right);
             let mut columns = l.columns.clone();
@@ -167,11 +169,13 @@ fn infer_one(plan: &Plan, id: OpId, props: &HashMap<OpId, Properties>) -> Proper
             distinct: true,
             doc_ordered: false,
         },
-        AlgOp::ElemConstruct { .. } | AlgOp::TextConstruct { .. } | AlgOp::AttrConstruct { .. } => Properties {
-            columns: vec!["iter".into(), "pos".into(), "item".into()],
-            distinct: true,
-            doc_ordered: false,
-        },
+        AlgOp::ElemConstruct { .. } | AlgOp::TextConstruct { .. } | AlgOp::AttrConstruct { .. } => {
+            Properties {
+                columns: vec!["iter".into(), "pos".into(), "item".into()],
+                distinct: true,
+                doc_ordered: false,
+            }
+        }
         AlgOp::Sort { input, .. } => {
             let child = get(props, *input);
             Properties {
@@ -221,12 +225,18 @@ mod tests {
         });
         let proj = b.add(AlgOp::Project {
             input: lit,
-            columns: vec![("iter".into(), "outer".into()), ("item".into(), "item".into())],
+            columns: vec![
+                ("iter".into(), "outer".into()),
+                ("item".into(), "item".into()),
+            ],
         });
         let plan = b.finish(proj);
         let props = infer_schema(&plan);
         assert_eq!(props[&proj].columns, vec!["outer", "item"]);
-        assert!(!props[&proj].distinct, "dropping a column may introduce duplicates");
+        assert!(
+            !props[&proj].distinct,
+            "dropping a column may introduce duplicates"
+        );
     }
 
     #[test]

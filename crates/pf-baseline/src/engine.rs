@@ -84,7 +84,12 @@ impl BaselineEngine {
 
     /// Build a value index on `element/@attribute` of document `doc_name` —
     /// the tuning the paper applied to X-Hive (Section 3.2).
-    pub fn create_attribute_index(&mut self, doc_name: &str, element: &str, attribute: &str) -> Result<(), BaselineError> {
+    pub fn create_attribute_index(
+        &mut self,
+        doc_name: &str,
+        element: &str,
+        attribute: &str,
+    ) -> Result<(), BaselineError> {
         let doc_id = *self
             .by_name
             .get(doc_name)
@@ -110,7 +115,13 @@ impl BaselineEngine {
 
     /// Look up the elements of `element/@attribute = value` via an index,
     /// if one exists.
-    pub fn indexed_lookup(&self, doc_name: &str, element: &str, attribute: &str, value: &str) -> Option<&[NodeId]> {
+    pub fn indexed_lookup(
+        &self,
+        doc_name: &str,
+        element: &str,
+        attribute: &str,
+        value: &str,
+    ) -> Option<&[NodeId]> {
         let doc_id = *self.by_name.get(doc_name)?;
         self.attr_indices
             .get(&(doc_id, element.to_string(), attribute.to_string()))
@@ -194,7 +205,12 @@ impl BaselineEngine {
         }
     }
 
-    fn axis_step(&self, context: &[BValue], axis: Axis, test: &NodeTest) -> Result<Vec<BValue>, BaselineError> {
+    fn axis_step(
+        &self,
+        context: &[BValue],
+        axis: Axis,
+        test: &NodeTest,
+    ) -> Result<Vec<BValue>, BaselineError> {
         let mut out: Vec<BValue> = Vec::new();
         let mut seen: HashSet<(usize, u32)> = HashSet::new();
         for item in context {
@@ -218,7 +234,9 @@ impl BaselineEngine {
             let candidates: Vec<NodeId> = match axis {
                 Axis::Child => d.children(*node).collect(),
                 Axis::Descendant => d.descendants(*node).collect(),
-                Axis::DescendantOrSelf => std::iter::once(*node).chain(d.descendants(*node)).collect(),
+                Axis::DescendantOrSelf => {
+                    std::iter::once(*node).chain(d.descendants(*node)).collect()
+                }
                 Axis::SelfAxis => vec![*node],
                 Axis::Parent => d.parent(*node).into_iter().collect(),
                 Axis::Ancestor => d.ancestors(*node).collect(),
@@ -236,7 +254,8 @@ impl BaselineEngine {
                 Axis::Attribute => unreachable!(),
             };
             for candidate in candidates {
-                if self.node_test_matches(*doc, candidate, test) && seen.insert((*doc, candidate.0)) {
+                if self.node_test_matches(*doc, candidate, test) && seen.insert((*doc, candidate.0))
+                {
                     out.push(BValue::Node {
                         doc: *doc,
                         node: candidate,
@@ -294,7 +313,9 @@ impl BaselineEngine {
                     let mut inner = env.clone();
                     inner.vars.insert(var.clone(), vec![binding.clone()]);
                     if let Some(p) = pos_var {
-                        inner.vars.insert(p.clone(), vec![BValue::Int(index as i64 + 1)]);
+                        inner
+                            .vars
+                            .insert(p.clone(), vec![BValue::Int(index as i64 + 1)]);
                     }
                     if let Some(w) = where_clause {
                         let cond = self.eval(w, &inner)?;
@@ -306,7 +327,10 @@ impl BaselineEngine {
                         .iter()
                         .map(|k| {
                             let values = self.eval(&k.expr, &inner)?;
-                            Ok(values.first().map(|v| self.atomize(v)).unwrap_or(BValue::Str(String::new())))
+                            Ok(values
+                                .first()
+                                .map(|v| self.atomize(v))
+                                .unwrap_or(BValue::Str(String::new())))
                         })
                         .collect::<Result<Vec<_>, BaselineError>>()?;
                     let result = self.eval(body, &inner)?;
@@ -343,7 +367,11 @@ impl BaselineEngine {
             Expr::BinOp { op, left, right } => self.eval_binop(*op, left, right, env),
             Expr::Neg(inner) => {
                 let v = self.eval(inner, env)?;
-                match v.first().map(|v| self.atomize(v)).and_then(|v| v.as_number()) {
+                match v
+                    .first()
+                    .map(|v| self.atomize(v))
+                    .and_then(|v| v.as_number())
+                {
                     Some(n) => Ok(vec![BValue::Dbl(-n)]),
                     None => Ok(vec![]),
                 }
@@ -357,7 +385,11 @@ impl BaselineEngine {
                 // Positional predicate with a literal index.
                 if let Expr::IntLit(n) = pred.as_ref() {
                     let idx = *n as usize;
-                    return Ok(items.get(idx.wrapping_sub(1)).cloned().into_iter().collect());
+                    return Ok(items
+                        .get(idx.wrapping_sub(1))
+                        .cloned()
+                        .into_iter()
+                        .collect());
                 }
                 let total = items.len();
                 let mut out = Vec::new();
@@ -369,7 +401,11 @@ impl BaselineEngine {
                     let result = self.eval(pred, &inner)?;
                     // A single numeric predicate value is positional.
                     let keep = match result.as_slice() {
-                        [single] if !single.is_node() && single.as_number().is_some() && !matches!(single, BValue::Bool(_)) => {
+                        [single]
+                            if !single.is_node()
+                                && single.as_number().is_some()
+                                && !matches!(single, BValue::Bool(_)) =>
+                        {
                             single.as_number() == Some(index as f64 + 1.0)
                         }
                         other => self.ebv(other),
@@ -415,11 +451,19 @@ impl BaselineEngine {
                     .join(" ");
                 Ok(vec![BValue::Str(text)])
             }
-            Expr::Some { .. } => Err("quantified expressions must be normalized before evaluation".into()),
+            Expr::Some { .. } => {
+                Err("quantified expressions must be normalized before evaluation".into())
+            }
         }
     }
 
-    fn eval_binop(&mut self, op: BinOpKind, left: &Expr, right: &Expr, env: &Env) -> Result<Vec<BValue>, BaselineError> {
+    fn eval_binop(
+        &mut self,
+        op: BinOpKind,
+        left: &Expr,
+        right: &Expr,
+        env: &Env,
+    ) -> Result<Vec<BValue>, BaselineError> {
         match op {
             BinOpKind::And => {
                 let l = self.eval(left, env)?;
@@ -441,8 +485,12 @@ impl BaselineEngine {
                 let l = self.eval(left, env)?;
                 let r = self.eval(right, env)?;
                 let (Some(a), Some(b)) = (
-                    l.first().map(|v| self.atomize(v)).and_then(|v| v.as_number()),
-                    r.first().map(|v| self.atomize(v)).and_then(|v| v.as_number()),
+                    l.first()
+                        .map(|v| self.atomize(v))
+                        .and_then(|v| v.as_number()),
+                    r.first()
+                        .map(|v| self.atomize(v))
+                        .and_then(|v| v.as_number()),
                 ) else {
                     return Ok(vec![]);
                 };
@@ -470,7 +518,9 @@ impl BaselineEngine {
                     }
                     _ => unreachable!(),
                 };
-                if result.fract() == 0.0 && matches!(op, BinOpKind::Add | BinOpKind::Sub | BinOpKind::Mul) {
+                if result.fract() == 0.0
+                    && matches!(op, BinOpKind::Add | BinOpKind::Sub | BinOpKind::Mul)
+                {
                     Ok(vec![BValue::Int(result as i64)])
                 } else {
                     Ok(vec![BValue::Dbl(result)])
@@ -523,7 +573,12 @@ impl BaselineEngine {
         }
     }
 
-    fn eval_funcall(&mut self, name: &str, args: &[Expr], env: &Env) -> Result<Vec<BValue>, BaselineError> {
+    fn eval_funcall(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        env: &Env,
+    ) -> Result<Vec<BValue>, BaselineError> {
         match name {
             "doc" => {
                 let Some(Expr::StrLit(uri)) = args.first() else {
@@ -547,7 +602,10 @@ impl BaselineEngine {
                 Ok(items
                     .into_iter()
                     .filter_map(|v| match v {
-                        BValue::Node { doc, .. } => Some(BValue::Node { doc, node: NodeId(0) }),
+                        BValue::Node { doc, .. } => Some(BValue::Node {
+                            doc,
+                            node: NodeId(0),
+                        }),
                         _ => None,
                     })
                     .collect())
@@ -569,7 +627,10 @@ impl BaselineEngine {
             }
             "sum" => {
                 let items = self.eval(&args[0], env)?;
-                let total: f64 = items.iter().filter_map(|v| self.atomize(v).as_number()).sum();
+                let total: f64 = items
+                    .iter()
+                    .filter_map(|v| self.atomize(v).as_number())
+                    .sum();
                 if total.fract() == 0.0 {
                     Ok(vec![BValue::Int(total as i64)])
                 } else {
@@ -578,7 +639,10 @@ impl BaselineEngine {
             }
             "avg" | "min" | "max" => {
                 let items = self.eval(&args[0], env)?;
-                let numbers: Vec<f64> = items.iter().filter_map(|v| self.atomize(v).as_number()).collect();
+                let numbers: Vec<f64> = items
+                    .iter()
+                    .filter_map(|v| self.atomize(v).as_number())
+                    .collect();
                 if numbers.is_empty() {
                     return Ok(vec![]);
                 }
@@ -634,8 +698,14 @@ impl BaselineEngine {
             "contains" | "starts-with" => {
                 let l = self.eval(&args[0], env)?;
                 let r = self.eval(&args[1], env)?;
-                let a = l.first().map(|v| self.atomize(v).lexical()).unwrap_or_default();
-                let b = r.first().map(|v| self.atomize(v).lexical()).unwrap_or_default();
+                let a = l
+                    .first()
+                    .map(|v| self.atomize(v).lexical())
+                    .unwrap_or_default();
+                let b = r
+                    .first()
+                    .map(|v| self.atomize(v).lexical())
+                    .unwrap_or_default();
                 let result = if name == "contains" {
                     a.contains(&b)
                 } else {
@@ -647,16 +717,26 @@ impl BaselineEngine {
                 let mut out = String::new();
                 for arg in args {
                     let items = self.eval(arg, env)?;
-                    out.push_str(&items.first().map(|v| self.atomize(v).lexical()).unwrap_or_default());
+                    out.push_str(
+                        &items
+                            .first()
+                            .map(|v| self.atomize(v).lexical())
+                            .unwrap_or_default(),
+                    );
                 }
                 Ok(vec![BValue::Str(out)])
             }
             "string-length" => {
                 let items = self.eval(&args[0], env)?;
-                let s = items.first().map(|v| self.atomize(v).lexical()).unwrap_or_default();
+                let s = items
+                    .first()
+                    .map(|v| self.atomize(v).lexical())
+                    .unwrap_or_default();
                 Ok(vec![BValue::Int(s.chars().count() as i64)])
             }
-            other => Err(format!("function `fn:{other}` is not supported by the baseline engine")),
+            other => Err(format!(
+                "function `fn:{other}` is not supported by the baseline engine"
+            )),
         }
     }
 
@@ -687,7 +767,11 @@ impl BaselineEngine {
         }
     }
 
-    fn construct_element(&mut self, tag: &str, content: &[BValue]) -> Result<Vec<BValue>, BaselineError> {
+    fn construct_element(
+        &mut self,
+        tag: &str,
+        content: &[BValue],
+    ) -> Result<Vec<BValue>, BaselineError> {
         let mut attributes = Vec::new();
         let mut children = Vec::new();
         for value in content {
@@ -747,19 +831,41 @@ mod tests {
         let mut e = BaselineEngine::new();
         assert_eq!(e.query("1 + 2 * 3").unwrap().to_xml(), "7");
         assert_eq!(e.query("(1, 2, 3)").unwrap().to_xml(), "1 2 3");
-        assert_eq!(e.query("for $v in (10,20) return $v + 100").unwrap().to_xml(), "110 120");
+        assert_eq!(
+            e.query("for $v in (10,20) return $v + 100")
+                .unwrap()
+                .to_xml(),
+            "110 120"
+        );
     }
 
     #[test]
     fn path_navigation_and_predicates() {
         let mut e = engine();
-        assert_eq!(e.query("fn:count(fn:doc(\"doc.xml\")//person)").unwrap().to_xml(), "2");
         assert_eq!(
-            e.query("fn:doc(\"doc.xml\")//person[@id = \"p1\"]/name/text()").unwrap().to_xml(),
+            e.query("fn:count(fn:doc(\"doc.xml\")//person)")
+                .unwrap()
+                .to_xml(),
+            "2"
+        );
+        assert_eq!(
+            e.query("fn:doc(\"doc.xml\")//person[@id = \"p1\"]/name/text()")
+                .unwrap()
+                .to_xml(),
             "Bo"
         );
-        assert_eq!(e.query("fn:doc(\"doc.xml\")//person[2]/name/text()").unwrap().to_xml(), "Bo");
-        assert_eq!(e.query("fn:sum(fn:doc(\"doc.xml\")//age)").unwrap().to_xml(), "70");
+        assert_eq!(
+            e.query("fn:doc(\"doc.xml\")//person[2]/name/text()")
+                .unwrap()
+                .to_xml(),
+            "Bo"
+        );
+        assert_eq!(
+            e.query("fn:sum(fn:doc(\"doc.xml\")//age)")
+                .unwrap()
+                .to_xml(),
+            "70"
+        );
     }
 
     #[test]
@@ -802,11 +908,15 @@ mod tests {
     fn agrees_with_general_comparison_semantics() {
         let mut e = engine();
         assert_eq!(
-            e.query("fn:doc(\"doc.xml\")//person/age = 40").unwrap().to_xml(),
+            e.query("fn:doc(\"doc.xml\")//person/age = 40")
+                .unwrap()
+                .to_xml(),
             "true"
         );
         assert_eq!(
-            e.query("fn:doc(\"doc.xml\")//person/age = 99").unwrap().to_xml(),
+            e.query("fn:doc(\"doc.xml\")//person/age = 99")
+                .unwrap()
+                .to_xml(),
             "false"
         );
     }

@@ -95,13 +95,26 @@ mod tests {
     fn numeric_coercion() {
         assert_eq!(BValue::Str(" 42 ".into()).as_number(), Some(42.0));
         assert_eq!(BValue::Int(3).as_number(), Some(3.0));
-        assert_eq!(BValue::Attr { name: "a".into(), value: "1".into() }.as_number(), None);
+        assert_eq!(
+            BValue::Attr {
+                name: "a".into(),
+                value: "1".into()
+            }
+            .as_number(),
+            None
+        );
     }
 
     #[test]
     fn comparisons() {
-        assert_eq!(BValue::Str("10".into()).compare_atomic(&BValue::Int(9)), Ordering::Greater);
-        assert_eq!(BValue::Str("abc".into()).compare_atomic(&BValue::Str("abd".into())), Ordering::Less);
+        assert_eq!(
+            BValue::Str("10".into()).compare_atomic(&BValue::Int(9)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            BValue::Str("abc".into()).compare_atomic(&BValue::Str("abd".into())),
+            Ordering::Less
+        );
     }
 
     #[test]

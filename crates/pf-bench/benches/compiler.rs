@@ -16,21 +16,31 @@ fn compiler(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     for id in queries {
         let q = pf_xmark::query(id).unwrap();
-        group.bench_with_input(BenchmarkId::new("parse", format!("Q{id}")), &q.text, |b, text| {
-            b.iter(|| parse_query(text).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("compile", format!("Q{id}")), &q.text, |b, text| {
-            let core = normalize(&parse_query(text).unwrap()).unwrap();
-            b.iter(|| compile(&core, &CompileOptions::default()).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("optimize", format!("Q{id}")), &q.text, |b, text| {
-            let core = normalize(&parse_query(text).unwrap()).unwrap();
-            let compiled = compile(&core, &CompileOptions::default()).unwrap();
-            b.iter(|| {
-                let mut plan = compiled.plan.clone();
-                optimize(&mut plan)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parse", format!("Q{id}")),
+            &q.text,
+            |b, text| b.iter(|| parse_query(text).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compile", format!("Q{id}")),
+            &q.text,
+            |b, text| {
+                let core = normalize(&parse_query(text).unwrap()).unwrap();
+                b.iter(|| compile(&core, &CompileOptions::default()).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("optimize", format!("Q{id}")),
+            &q.text,
+            |b, text| {
+                let core = normalize(&parse_query(text).unwrap()).unwrap();
+                let compiled = compile(&core, &CompileOptions::default()).unwrap();
+                b.iter(|| {
+                    let mut plan = compiled.plan.clone();
+                    optimize(&mut plan)
+                })
+            },
+        );
     }
     group.finish();
 }

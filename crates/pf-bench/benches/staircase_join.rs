@@ -14,7 +14,10 @@ fn context_nodes(store: &DocStore, tag: &str) -> Vec<PreRank> {
 }
 
 fn staircase_vs_naive(c: &mut Criterion) {
-    let xml = generate(&GeneratorConfig { scale: 0.02, seed: 7 });
+    let xml = generate(&GeneratorConfig {
+        scale: 0.02,
+        seed: 7,
+    });
     let store = DocStore::from_xml("auction.xml", &xml).unwrap();
     // Context: every <person> element — overlapping descendant regions are
     // exactly the case pruning/skipping is designed for.
@@ -29,9 +32,13 @@ fn staircase_vs_naive(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("staircase", label), context, |b, ctx| {
             b.iter(|| staircase_join(&store, ctx, Axis::Descendant, &NodeTest::AnyElement))
         });
-        group.bench_with_input(BenchmarkId::new("naive_range_scan", label), context, |b, ctx| {
-            b.iter(|| naive_axis_step(&store, ctx, Axis::Descendant, &NodeTest::AnyElement))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("naive_range_scan", label),
+            context,
+            |b, ctx| {
+                b.iter(|| naive_axis_step(&store, ctx, Axis::Descendant, &NodeTest::AnyElement))
+            },
+        );
     }
     group.finish();
 

@@ -21,13 +21,17 @@ fn xmark_queries(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     for id in representative {
         let q = query(id).unwrap();
-        group.bench_with_input(BenchmarkId::new("pathfinder", format!("Q{id}")), &q, |b, q| {
-            b.iter(|| instance.pathfinder.query(q.text).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pathfinder", format!("Q{id}")),
+            &q,
+            |b, q| b.iter(|| instance.pathfinder.query(q.text).unwrap()),
+        );
         let q = query(id).unwrap();
-        group.bench_with_input(BenchmarkId::new("navigational", format!("Q{id}")), &q, |b, q| {
-            b.iter(|| instance.baseline.query(q.text).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("navigational", format!("Q{id}")),
+            &q,
+            |b, q| b.iter(|| instance.baseline.query(q.text).unwrap()),
+        );
     }
     group.finish();
 }

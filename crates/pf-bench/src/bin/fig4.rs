@@ -15,7 +15,10 @@ fn main() {
     // The paper normalizes to the 110 MB instance (the second of four); we
     // normalize to the middle configured scale.
     let reference_index = scales.len() / 2;
-    println!("# Figure 4 reproduction — execution times normalized to scale {}", scales[reference_index]);
+    println!(
+        "# Figure 4 reproduction — execution times normalized to scale {}",
+        scales[reference_index]
+    );
     println!("# (the paper normalizes to its 110 MB instance)");
     println!();
 

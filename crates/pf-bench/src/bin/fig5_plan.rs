@@ -18,9 +18,15 @@ fn main() {
 
     println!("# Figure 5 reproduction — plan for `{query}`");
     println!();
-    println!("## Plan as produced by the loop-lifting compiler ({} operators)", explain.unoptimized.operator_count());
+    println!(
+        "## Plan as produced by the loop-lifting compiler ({} operators)",
+        explain.unoptimized.operator_count()
+    );
     println!("{}", to_ascii(&explain.unoptimized));
-    println!("## Plan after peephole optimization ({} operators)", explain.optimized.operator_count());
+    println!(
+        "## Plan after peephole optimization ({} operators)",
+        explain.optimized.operator_count()
+    );
     println!("{}", to_ascii(&explain.optimized));
     println!("## Graphviz DOT of the optimized plan");
     println!("{}", to_dot(&explain.optimized));
@@ -31,5 +37,8 @@ fn main() {
     let fig3 = pf
         .query("for $v in (10,20), $w in (100,200) return $v + $w")
         .unwrap();
-    println!("## Figure 3(g) result of the nested FLWOR: {}", fig3.to_xml());
+    println!(
+        "## Figure 3(g) result of the nested FLWOR: {}",
+        fig3.to_xml()
+    );
 }

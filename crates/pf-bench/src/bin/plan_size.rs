@@ -23,7 +23,7 @@ fn main() {
     for q in queries() {
         let explain = pf.explain(q.text).expect("every XMark query compiles");
         let mut histogram = explain.optimized.operator_histogram();
-        histogram.sort_by(|a, b| b.1.cmp(&a.1));
+        histogram.sort_by_key(|(_, count)| std::cmp::Reverse(*count));
         let top: Vec<String> = histogram
             .iter()
             .take(3)

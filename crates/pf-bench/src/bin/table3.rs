@@ -41,7 +41,12 @@ fn main() {
     // Header: one (baseline, pathfinder) column pair per scale.
     let mut header = format!("{:>3} |", "Q");
     for instance in &instances {
-        header.push_str(&format!(" {:>10} {:>10} {:>8} |", format!("nav@{}", instance.scale), "pf", "speedup"));
+        header.push_str(&format!(
+            " {:>10} {:>10} {:>8} |",
+            format!("nav@{}", instance.scale),
+            "pf",
+            "speedup"
+        ));
     }
     println!("{header}");
     println!("{}", "-".repeat(header.len()));
@@ -82,9 +87,17 @@ fn main() {
                 }
                 baseline_history.insert(q.id, (instance.scale, nav_time));
                 nav_cell = seconds(nav_time);
-                speedup_cell = format!("{:.1}x", nav_time.as_secs_f64() / pf_time.as_secs_f64().max(1e-9));
+                speedup_cell = format!(
+                    "{:.1}x",
+                    nav_time.as_secs_f64() / pf_time.as_secs_f64().max(1e-9)
+                );
             }
-            row.push_str(&format!(" {:>10} {:>10} {:>8} |", nav_cell, seconds(pf_time), speedup_cell));
+            row.push_str(&format!(
+                " {:>10} {:>10} {:>8} |",
+                nav_cell,
+                seconds(pf_time),
+                speedup_cell
+            ));
         }
         println!("{row}");
     }

@@ -55,7 +55,12 @@ impl<'a> Executor<'a> {
             .ok_or_else(|| EngineError::msg("operator evaluated before its input"))
     }
 
-    fn eval(&mut self, plan: &Plan, id: OpId, results: &HashMap<OpId, Table>) -> EngineResult<Table> {
+    fn eval(
+        &mut self,
+        plan: &Plan,
+        id: OpId,
+        results: &HashMap<OpId, Table>,
+    ) -> EngineResult<Table> {
         let op = plan.op(id).clone();
         match op {
             AlgOp::Lit { columns, rows } => {
@@ -75,23 +80,33 @@ impl<'a> Executor<'a> {
                 Ok(table)
             }
             AlgOp::Doc { uri } => {
-                let doc_id = self
-                    .registry
-                    .id_of(&uri)
-                    .ok_or_else(|| EngineError::msg(format!("no document registered under `{uri}`")))?;
+                let doc_id = self.registry.id_of(&uri).ok_or_else(|| {
+                    EngineError::msg(format!("no document registered under `{uri}`"))
+                })?;
                 Ok(Table::new(vec![(
                     "item".into(),
                     Column::Node(vec![NodeRef::new(doc_id, 0)]),
                 )])?)
             }
             AlgOp::Project { input, columns } => {
-                let pairs: Vec<(&str, &str)> = columns.iter().map(|(s, t)| (s.as_str(), t.as_str())).collect();
+                let pairs: Vec<(&str, &str)> = columns
+                    .iter()
+                    .map(|(s, t)| (s.as_str(), t.as_str()))
+                    .collect();
                 Ok(ops::project(self.input(results, input)?, &pairs)?)
             }
-            AlgOp::Select { input, column } => Ok(ops::select_true(self.input(results, input)?, &column)?),
-            AlgOp::SelectEq { input, column, value } => {
-                Ok(ops::select_eq(self.input(results, input)?, &column, &value)?)
+            AlgOp::Select { input, column } => {
+                Ok(ops::select_true(self.input(results, input)?, &column)?)
             }
+            AlgOp::SelectEq {
+                input,
+                column,
+                value,
+            } => Ok(ops::select_eq(
+                self.input(results, input)?,
+                &column,
+                &value,
+            )?),
             AlgOp::Distinct { input } => Ok(ops::distinct(self.input(results, input)?)?),
             AlgOp::Union { left, right } => Ok(ops::union_disjoint(
                 self.input(results, left)?,
@@ -134,7 +149,12 @@ impl<'a> Executor<'a> {
                 target,
                 order_by,
                 partition,
-            } => self.row_number(self.input(results, input)?, &target, &order_by, partition.as_deref()),
+            } => self.row_number(
+                self.input(results, input)?,
+                &target,
+                &order_by,
+                partition.as_deref(),
+            ),
             AlgOp::BinaryMap {
                 input,
                 target,
@@ -159,16 +179,28 @@ impl<'a> Executor<'a> {
                 out.add_column(target, Column::from_values(values))?;
                 Ok(out)
             }
-            AlgOp::Attach { input, target, value } => {
-                Ok(ops::map_const(self.input(results, input)?, &target, &value)?)
-            }
+            AlgOp::Attach {
+                input,
+                target,
+                value,
+            } => Ok(ops::map_const(
+                self.input(results, input)?,
+                &target,
+                &value,
+            )?),
             AlgOp::Aggregate {
                 input,
                 group,
                 target,
                 func,
                 value,
-            } => Ok(ops::aggregate_by(self.input(results, input)?, &group, &target, func, &value)?),
+            } => Ok(ops::aggregate_by(
+                self.input(results, input)?,
+                &group,
+                &target,
+                func,
+                &value,
+            )?),
             AlgOp::Step { input, axis, test } => Ok(ops::staircase_step(
                 self.input(results, input)?,
                 self.registry,
@@ -197,7 +229,10 @@ impl<'a> Executor<'a> {
                 let content_table = self.input(results, content)?.clone();
                 self.construct_attributes(&loop_table, &name, &content_table)
             }
-            AlgOp::TextConstruct { loop_input, content } => {
+            AlgOp::TextConstruct {
+                loop_input,
+                content,
+            } => {
                 let loop_table = self.input(results, loop_input)?.clone();
                 let content_table = self.input(results, content)?.clone();
                 self.construct_texts(&loop_table, &content_table)
@@ -245,7 +280,9 @@ impl<'a> Executor<'a> {
             // Node identity / document order compare node references
             // directly; everything else operates on atomized values.
             let result = match (&l, &r, op) {
-                (Value::Node(_), Value::Node(_), BinaryOp::Cmp(_)) => ops::map::apply_binary(op, &l, &r)?,
+                (Value::Node(_), Value::Node(_), BinaryOp::Cmp(_)) => {
+                    ops::map::apply_binary(op, &l, &r)?
+                }
                 _ => ops::map::apply_binary(op, &self.atomize(&l), &self.atomize(&r))?,
             };
             values.push(result);
@@ -257,7 +294,9 @@ impl<'a> Executor<'a> {
 
     fn fn_data(&self, table: &Table) -> EngineResult<Table> {
         let item = table.column("item")?;
-        let values: Vec<Value> = (0..table.row_count()).map(|row| self.atomize(&item.get(row))).collect();
+        let values: Vec<Value> = (0..table.row_count())
+            .map(|row| self.atomize(&item.get(row)))
+            .collect();
         let mut columns = Vec::new();
         for (name, col) in table.columns() {
             if name == "item" {
@@ -339,13 +378,12 @@ impl<'a> Executor<'a> {
     fn doc_order(&self, table: &Table) -> EngineResult<Table> {
         let sorted = ops::sort_by(table, &["iter", "item"])?;
         let distinct = ops::setops::distinct_on(&sorted, &["iter", "item"])?;
-        let numbered = self.row_number(
-            &distinct,
-            "pos_ddo",
-            &[SortSpec::asc("item")],
-            Some("iter"),
-        )?;
-        Ok(ops::project(&numbered, &[("iter", "iter"), ("pos_ddo", "pos"), ("item", "item")])?)
+        let numbered =
+            self.row_number(&distinct, "pos_ddo", &[SortSpec::asc("item")], Some("iter"))?;
+        Ok(ops::project(
+            &numbered,
+            &[("iter", "iter"), ("pos_ddo", "pos"), ("item", "item")],
+        )?)
     }
 
     /// Row numbering with ascending/descending keys and optional
@@ -421,7 +459,12 @@ impl<'a> Executor<'a> {
     // (node copying lives in the free function `copy_subtree` below so that
     // it can run while the registry is only borrowed immutably)
 
-    fn construct_elements(&mut self, loop_table: &Table, tag: &str, content: &Table) -> EngineResult<Table> {
+    fn construct_elements(
+        &mut self,
+        loop_table: &Table,
+        tag: &str,
+        content: &Table,
+    ) -> EngineResult<Table> {
         let iter_col = loop_table.column("iter")?;
         let mut iters = Vec::new();
         let mut element_pres: Vec<u32> = Vec::new();
@@ -454,10 +497,9 @@ impl<'a> Executor<'a> {
             for value in children {
                 match value {
                     Value::Node(node) => {
-                        let store = self
-                            .registry
-                            .store(node.doc)
-                            .ok_or_else(|| EngineError::msg(format!("unknown document id {}", node.doc)))?;
+                        let store = self.registry.store(node.doc).ok_or_else(|| {
+                            EngineError::msg(format!("unknown document id {}", node.doc))
+                        })?;
                         copy_subtree(&mut builder, store, node.pre);
                         previous_was_atomic = false;
                     }
@@ -489,7 +531,12 @@ impl<'a> Executor<'a> {
         ])?)
     }
 
-    fn construct_attributes(&mut self, loop_table: &Table, name: &str, content: &Table) -> EngineResult<Table> {
+    fn construct_attributes(
+        &mut self,
+        loop_table: &Table,
+        name: &str,
+        content: &Table,
+    ) -> EngineResult<Table> {
         let iter_col = loop_table.column("iter")?;
         let mut iters = Vec::new();
         let mut items = Vec::new();
@@ -599,7 +646,8 @@ mod tests {
 
     fn registry() -> DocRegistry {
         let mut reg = DocRegistry::new();
-        reg.load_xml("doc.xml", "<a><b>1</b><b>2</b><c>x</c></a>").unwrap();
+        reg.load_xml("doc.xml", "<a><b>1</b><b>2</b><c>x</c></a>")
+            .unwrap();
         reg
     }
 
@@ -611,8 +659,13 @@ mod tests {
             columns: vec!["iter".into()],
             rows: vec![vec![Value::Nat(1)]],
         });
-        let doc = b.add(AlgOp::Doc { uri: "doc.xml".into() });
-        let crossed = b.add(AlgOp::Cross { left: loop0, right: doc });
+        let doc = b.add(AlgOp::Doc {
+            uri: "doc.xml".into(),
+        });
+        let crossed = b.add(AlgOp::Cross {
+            left: loop0,
+            right: doc,
+        });
         let step = b.add(AlgOp::Step {
             input: crossed,
             axis: Axis::Descendant,
@@ -642,7 +695,12 @@ mod tests {
         let flags: Vec<Value> = b.column("item").unwrap().iter_values().collect();
         assert_eq!(
             flags,
-            vec![Value::Bool(false), Value::Bool(false), Value::Bool(true), Value::Bool(true)]
+            vec![
+                Value::Bool(false),
+                Value::Bool(false),
+                Value::Bool(true),
+                Value::Bool(true)
+            ]
         );
     }
 
@@ -651,7 +709,10 @@ mod tests {
         let mut reg = registry();
         let exec = Executor::new(&mut reg);
         // node 2 is the first <b>; its string value is "1"
-        assert_eq!(exec.atomize(&Value::Node(NodeRef::new(0, 2))), Value::Str("1".into()));
+        assert_eq!(
+            exec.atomize(&Value::Node(NodeRef::new(0, 2))),
+            Value::Str("1".into())
+        );
         assert_eq!(exec.atomize(&Value::Int(5)), Value::Int(5));
     }
 
@@ -684,9 +745,13 @@ mod tests {
             vec![Value::Node(NodeRef::new(0, 2)), Value::Str("done".into())],
         )
         .unwrap();
-        let out = exec.construct_elements(&loop_table, "wrap", &content).unwrap();
+        let out = exec
+            .construct_elements(&loop_table, "wrap", &content)
+            .unwrap();
         assert_eq!(out.row_count(), 1);
-        let Value::Node(node) = out.value("item", 0).unwrap() else { panic!() };
+        let Value::Node(node) = out.value("item", 0).unwrap() else {
+            panic!()
+        };
         let store = reg.store(node.doc).unwrap();
         assert_eq!(store.subtree_to_xml(node.pre), "<wrap><b>1</b>done</wrap>");
     }

@@ -160,11 +160,15 @@ impl Pathfinder {
         let table = executor.run(&plan)?;
         let execute_time = exec_start.elapsed();
 
-        let result = QueryResult::from_table(&table, &self.registry, Timings {
-            compile: compile_time,
-            optimize: optimize_time,
-            execute: execute_time,
-        })?;
+        let result = QueryResult::from_table(
+            &table,
+            &self.registry,
+            Timings {
+                compile: compile_time,
+                optimize: optimize_time,
+                execute: execute_time,
+            },
+        )?;
         Ok(result)
     }
 }
@@ -184,7 +188,12 @@ mod tests {
         let mut pf = Pathfinder::new();
         assert_eq!(pf.query("1 + 2 * 3").unwrap().to_xml(), "7");
         assert_eq!(pf.query("(1, 2, 3)").unwrap().to_xml(), "1 2 3");
-        assert_eq!(pf.query("if (1 = 1) then \"yes\" else \"no\"").unwrap().to_xml(), "yes");
+        assert_eq!(
+            pf.query("if (1 = 1) then \"yes\" else \"no\"")
+                .unwrap()
+                .to_xml(),
+            "yes"
+        );
     }
 
     #[test]
@@ -206,19 +215,30 @@ mod tests {
     #[test]
     fn path_queries_over_documents() {
         let mut pf = engine_with("<site><person id=\"p0\"><name>Ann</name></person><person id=\"p1\"><name>Bo</name></person></site>");
-        assert_eq!(pf.query("fn:count(fn:doc(\"doc.xml\")//person)").unwrap().to_xml(), "2");
         assert_eq!(
-            pf.query("fn:doc(\"doc.xml\")//person[@id = \"p1\"]/name/text()").unwrap().to_xml(),
+            pf.query("fn:count(fn:doc(\"doc.xml\")//person)")
+                .unwrap()
+                .to_xml(),
+            "2"
+        );
+        assert_eq!(
+            pf.query("fn:doc(\"doc.xml\")//person[@id = \"p1\"]/name/text()")
+                .unwrap()
+                .to_xml(),
             "Bo"
         );
         // Adjacent text nodes serialize without a separator (only atomic
         // values are space separated).
         assert_eq!(
-            pf.query("for $p in fn:doc(\"doc.xml\")//person return $p/name/text()").unwrap().to_xml(),
+            pf.query("for $p in fn:doc(\"doc.xml\")//person return $p/name/text()")
+                .unwrap()
+                .to_xml(),
             "AnnBo"
         );
         assert_eq!(
-            pf.query("for $p in fn:doc(\"doc.xml\")//person return fn:string($p/name)").unwrap().to_xml(),
+            pf.query("for $p in fn:doc(\"doc.xml\")//person return fn:string($p/name)")
+                .unwrap()
+                .to_xml(),
             "Ann Bo"
         );
     }

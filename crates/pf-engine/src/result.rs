@@ -41,7 +41,11 @@ pub struct QueryResult {
 
 impl QueryResult {
     /// Build a result from the root operator's table.
-    pub fn from_table(table: &Table, registry: &DocRegistry, timings: Timings) -> EngineResult<Self> {
+    pub fn from_table(
+        table: &Table,
+        registry: &DocRegistry,
+        timings: Timings,
+    ) -> EngineResult<Self> {
         let pos_col = table.column("pos")?;
         let item_col = table.column("item")?;
         let mut rows: Vec<(u64, Value)> = (0..table.row_count())
@@ -50,7 +54,11 @@ impl QueryResult {
         rows.sort_by_key(|(pos, _)| *pos);
         let items: Vec<Value> = rows.into_iter().map(|(_, v)| v).collect();
         let xml = serialize_items(&items, registry)?;
-        Ok(QueryResult { items, xml, timings })
+        Ok(QueryResult {
+            items,
+            xml,
+            timings,
+        })
     }
 
     /// The result items in sequence order.
@@ -117,7 +125,11 @@ mod tests {
         let table = Table::iter_pos_item(
             vec![1, 1, 1],
             vec![2, 1, 3],
-            vec![Value::Node(NodeRef::new(0, 2)), Value::Int(1), Value::Str("z".into())],
+            vec![
+                Value::Node(NodeRef::new(0, 2)),
+                Value::Int(1),
+                Value::Str("z".into()),
+            ],
         )
         .unwrap();
         let result = QueryResult::from_table(&table, &registry, Timings::default()).unwrap();

@@ -1,0 +1,379 @@
+//! A minimal property-based testing harness exposing the subset of the
+//! `proptest` crate's API that this workspace's test suites use.
+//!
+//! Consumers depend on it under the name `proptest` (Cargo dependency
+//! rename), so the test files read exactly like standard proptest code.
+//! Inside a `#[test]`-annotated block the macro produces ordinary test
+//! functions:
+//!
+//! ```
+//! use pf_proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! # addition_commutes();
+//! ```
+//!
+//! Supported strategies: integer ranges (`0u8..5`), `proptest::bool::ANY`,
+//! tuples of strategies, `proptest::collection::vec(elem, len_range)`, and
+//! string strategies written as a simple character-class regex
+//! (`"[ a-z0-9]{0,12}"`). Cases are generated from a deterministic seed
+//! (override with `PF_PROPTEST_SEED`); failures report the case number and
+//! seed instead of shrinking.
+
+/// Strategy trait and implementations for primitive generators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A generator of random values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Produce one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    /// String strategy: a pattern of the form `[class]{lo,hi}` (also
+    /// `{n}`, `*`, `+`), where the class lists literal characters and
+    /// `a-z`-style ranges. This covers the character-class regexes used in
+    /// the workspace tests; anything else panics with a clear message.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let (alphabet, lo, hi) = parse_class_pattern(self);
+            let len = rng.gen_range(lo..=hi);
+            (0..len)
+                .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+                .collect()
+        }
+    }
+
+    fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+        fn fail(pattern: &str) -> ! {
+            panic!("pf-proptest string strategies support only \"[class]{{lo,hi}}\" patterns, got {pattern:?}")
+        }
+        let unsupported = || -> ! { fail(pattern) };
+        let mut chars = pattern.chars().peekable();
+        if chars.next() != Some('[') {
+            unsupported();
+        }
+        let mut alphabet = Vec::new();
+        loop {
+            let c = match chars.next() {
+                Some(']') => break,
+                Some('\\') => chars.next().unwrap_or_else(|| unsupported()),
+                Some(c) => c,
+                None => unsupported(),
+            };
+            if chars.peek() == Some(&'-') {
+                chars.next();
+                match chars.peek() {
+                    // Trailing '-' before ']' is a literal dash.
+                    Some(']') | None => {
+                        alphabet.push(c);
+                        alphabet.push('-');
+                    }
+                    Some(_) => {
+                        let end = chars.next().unwrap();
+                        assert!(c <= end, "invalid class range {c}-{end} in {pattern:?}");
+                        alphabet.extend(c..=end);
+                    }
+                }
+            } else {
+                alphabet.push(c);
+            }
+        }
+        assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+        let quantifier: String = chars.collect();
+        let (lo, hi) = match quantifier.as_str() {
+            "" => (1, 1),
+            "*" => (0, 8),
+            "+" => (1, 8),
+            q if q.starts_with('{') && q.ends_with('}') => {
+                let body = &q[1..q.len() - 1];
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse::<usize>().unwrap_or_else(|_| unsupported()),
+                        hi.trim().parse::<usize>().unwrap_or_else(|_| unsupported()),
+                    ),
+                    None => {
+                        let n = body
+                            .trim()
+                            .parse::<usize>()
+                            .unwrap_or_else(|_| unsupported());
+                        (n, n)
+                    }
+                }
+            }
+            _ => unsupported(),
+        };
+        assert!(lo <= hi, "empty quantifier range in {pattern:?}");
+        (alphabet, lo, hi)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `E` and a length range.
+    pub struct VecStrategy<E> {
+        element: E,
+        len: Range<usize>,
+    }
+
+    /// Generate `Vec`s whose lengths fall in `len` (half-open, like
+    /// `proptest::collection::vec`).
+    pub fn vec<E: Strategy>(element: E, len: Range<usize>) -> VecStrategy<E> {
+        assert!(
+            len.start < len.end,
+            "empty length range for collection::vec"
+        );
+        VecStrategy { element, len }
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.len.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Test-runner configuration and driver.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// How many cases to run per property (and the base RNG seed).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Drives one property: generates a fresh RNG per case and reports the
+    /// failing case number and seed on panic.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        /// Build a runner; the seed comes from `PF_PROPTEST_SEED` when set.
+        pub fn new(config: ProptestConfig) -> Self {
+            let seed = std::env::var("PF_PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x5041_5448_4649_4e44); // "PATHFIND"
+            TestRunner { config, seed }
+        }
+
+        /// Run `case` once per configured case with a per-case RNG.
+        pub fn run(&mut self, mut case: impl FnMut(&mut StdRng)) {
+            for case_index in 0..self.config.cases {
+                let case_seed = self.seed.wrapping_add(u64::from(case_index));
+                let mut rng = StdRng::seed_from_u64(case_seed);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    case(&mut rng);
+                }));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "property failed at case {case_index} (seed {case_seed}; \
+                         rerun with PF_PROPTEST_SEED={case_seed} and cases=1 to reproduce)"
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    }
+}
+
+/// Everything a proptest-style test file needs in scope.
+///
+/// Deliberately does not re-export the `bool` module (test files reach it
+/// as `proptest::bool::ANY`): importing a module named `bool` would shadow
+/// the primitive type in type positions.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a property (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body ($config); $($rest)*);
+    };
+    (@body ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                #[allow(unused_parens)]
+                runner.run(|rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_tuples_and_vecs_generate_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let strat = crate::collection::vec((0u8..5, crate::bool::ANY), 1..60);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 60);
+            assert!(v.iter().all(|(x, _)| *x < 5));
+        }
+    }
+
+    #[test]
+    fn string_class_pattern_generates_members() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let strat = "[ a-zA-Z0-9<>&']{0,12}";
+        let mut max_len = 0;
+        for _ in 0..500 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(s.len() <= 12);
+            max_len = max_len.max(s.len());
+            assert!(s
+                .chars()
+                .all(|c| c == ' ' || c.is_ascii_alphanumeric() || "<>&'".contains(c)));
+        }
+        assert!(
+            max_len >= 10,
+            "length distribution should reach near the cap"
+        );
+    }
+
+    #[test]
+    fn fixed_count_quantifier() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s: String = Strategy::generate(&"[ab]{4}", &mut rng);
+        assert_eq!(s.len(), 4);
+    }
+
+    crate::proptest! {
+        #![proptest_config(crate::test_runner::ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn the_macro_itself_works(a in 0u32..10, b in 0u32..10) {
+            crate::prop_assert!(a < 10);
+            crate::prop_assert_eq!(a + b, b + a);
+            crate::prop_assert_ne!(a, a + b + 1);
+        }
+    }
+}

@@ -209,7 +209,10 @@ mod tests {
     fn aggregation_of_non_numeric_fails() {
         let t = Table::new(vec![
             ("iter".into(), Column::Nat(vec![1])),
-            ("item".into(), Column::from_values(vec![Value::Str("abc".into())])),
+            (
+                "item".into(),
+                Column::from_values(vec![Value::Str("abc".into())]),
+            ),
         ])
         .unwrap();
         assert!(aggregate_by(&t, "iter", "s", AggFunc::Sum, "item").is_err());

@@ -58,7 +58,10 @@ pub fn equi_join(left: &Table, right: &Table, left_col: &str, right_col: &str) -
     // Build on the smaller side, probe with the larger.
     let mut index: HashMap<HashKey, Vec<usize>> = HashMap::with_capacity(right.row_count());
     for row in 0..right.row_count() {
-        index.entry(HashKey::of(&rcol.get(row))).or_default().push(row);
+        index
+            .entry(HashKey::of(&rcol.get(row)))
+            .or_default()
+            .push(row);
     }
     let mut pairs = Vec::new();
     for lrow in 0..left.row_count() {

@@ -228,8 +228,14 @@ mod tests {
 
     #[test]
     fn unary_operations() {
-        assert_eq!(apply_unary(UnaryOp::Not, &Value::Bool(true)).unwrap(), Value::Bool(false));
-        assert_eq!(apply_unary(UnaryOp::Neg, &Value::Int(4)).unwrap(), Value::Int(-4));
+        assert_eq!(
+            apply_unary(UnaryOp::Not, &Value::Bool(true)).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            apply_unary(UnaryOp::Neg, &Value::Int(4)).unwrap(),
+            Value::Int(-4)
+        );
         assert_eq!(
             apply_unary(UnaryOp::ToNumber, &Value::Str(" 42.5 ".into())).unwrap(),
             Value::Dbl(42.5)
@@ -245,8 +251,14 @@ mod tests {
     fn string_operations() {
         let a = Value::Str("hello world".into());
         let b = Value::Str("world".into());
-        assert_eq!(apply_binary(BinaryOp::Contains, &a, &b).unwrap(), Value::Bool(true));
-        assert_eq!(apply_binary(BinaryOp::StartsWith, &a, &b).unwrap(), Value::Bool(false));
+        assert_eq!(
+            apply_binary(BinaryOp::Contains, &a, &b).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            apply_binary(BinaryOp::StartsWith, &a, &b).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(
             apply_binary(BinaryOp::Concat, &Value::Str("a".into()), &Value::Int(1)).unwrap(),
             Value::Str("a1".into())
@@ -257,7 +269,11 @@ mod tests {
     #[test]
     fn map_const_attaches_constant() {
         let t = map_const(&table(), "c", &Value::Nat(1)).unwrap();
-        assert!(t.column("c").unwrap().iter_values().all(|v| v == Value::Nat(1)));
+        assert!(t
+            .column("c")
+            .unwrap()
+            .iter_values()
+            .all(|v| v == Value::Nat(1)));
     }
 
     #[test]

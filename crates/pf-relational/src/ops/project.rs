@@ -26,7 +26,8 @@ mod tests {
 
     #[test]
     fn projects_and_renames() {
-        let t = Table::iter_pos_item(vec![1, 2], vec![1, 1], vec![Value::Int(5), Value::Int(6)]).unwrap();
+        let t = Table::iter_pos_item(vec![1, 2], vec![1, 1], vec![Value::Int(5), Value::Int(6)])
+            .unwrap();
         let p = project(&t, &[("item", "res"), ("iter", "iter")]).unwrap();
         assert_eq!(p.column_names(), vec!["res", "iter"]);
         assert_eq!(p.value("res", 1).unwrap(), Value::Int(6));
@@ -48,7 +49,8 @@ mod tests {
 
     #[test]
     fn projection_does_not_eliminate_duplicates() {
-        let t = Table::iter_pos_item(vec![1, 1], vec![1, 2], vec![Value::Int(5), Value::Int(5)]).unwrap();
+        let t = Table::iter_pos_item(vec![1, 1], vec![1, 2], vec![Value::Int(5), Value::Int(5)])
+            .unwrap();
         let p = project(&t, &[("item", "item")]).unwrap();
         assert_eq!(p.row_count(), 2);
     }

@@ -84,7 +84,9 @@ mod tests {
     #[test]
     fn global_numbering_follows_order_by() {
         let t = row_number(&table(), "rank", &["item"], None).unwrap();
-        let ranks: Vec<u64> = (0..4).map(|r| t.value("rank", r).unwrap().as_nat().unwrap()).collect();
+        let ranks: Vec<u64> = (0..4)
+            .map(|r| t.value("rank", r).unwrap().as_nat().unwrap())
+            .collect();
         assert_eq!(ranks, vec![1, 2, 3, 4]);
         assert_eq!(t.value("item", 0).unwrap(), Value::Int(10));
         assert_eq!(t.value("item", 3).unwrap(), Value::Int(40));
@@ -110,7 +112,8 @@ mod tests {
     fn numbering_generates_new_scope_iters() {
         // The "for $v in (10,20)" pattern: numbering over (iter, pos) yields
         // the per-binding iteration numbers of Figure 3(b).
-        let t = Table::iter_pos_item(vec![1, 1], vec![1, 2], vec![Value::Int(10), Value::Int(20)]).unwrap();
+        let t = Table::iter_pos_item(vec![1, 1], vec![1, 2], vec![Value::Int(10), Value::Int(20)])
+            .unwrap();
         let t = row_number(&t, "inner", &["iter", "pos"], None).unwrap();
         assert_eq!(t.value("inner", 0).unwrap(), Value::Nat(1));
         assert_eq!(t.value("inner", 1).unwrap(), Value::Nat(2));

@@ -114,7 +114,11 @@ mod tests {
 
     #[test]
     fn difference_removes_matching_rows() {
-        let d = difference(&t(vec![1, 2, 3], vec![10, 20, 30]), &t(vec![2, 9], vec![20, 90])).unwrap();
+        let d = difference(
+            &t(vec![1, 2, 3], vec![10, 20, 30]),
+            &t(vec![2, 9], vec![20, 90]),
+        )
+        .unwrap();
         assert_eq!(d.row_count(), 2);
         assert_eq!(d.value("iter", 1).unwrap(), Value::Nat(3));
     }

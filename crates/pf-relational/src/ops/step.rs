@@ -152,11 +152,15 @@ mod tests {
     #[test]
     fn descendant_step_per_iteration() {
         let (docs, table) = setup();
-        let result =
-            staircase_step(&table, docs.as_slice(), Axis::Descendant, &NodeTest::Element("person".into()))
-                .unwrap();
+        let result = staircase_step(
+            &table,
+            docs.as_slice(),
+            Axis::Descendant,
+            &NodeTest::Element("person".into()),
+        )
+        .unwrap();
         assert_eq!(result.row_count(), 4); // 2 persons × 2 iterations
-        // Each iteration gets pos 1..2 in document order.
+                                           // Each iteration gets pos 1..2 in document order.
         assert_eq!(result.value("pos", 0).unwrap(), Value::Nat(1));
         assert_eq!(result.value("pos", 1).unwrap(), Value::Nat(2));
         assert_eq!(result.value("iter", 2).unwrap(), Value::Nat(2));
@@ -174,9 +178,13 @@ mod tests {
             ],
         )
         .unwrap();
-        let result =
-            staircase_step(&table, docs.as_slice(), Axis::Descendant, &NodeTest::Element("name".into()))
-                .unwrap();
+        let result = staircase_step(
+            &table,
+            docs.as_slice(),
+            Axis::Descendant,
+            &NodeTest::Element("name".into()),
+        )
+        .unwrap();
         assert_eq!(result.row_count(), 2);
     }
 
@@ -207,7 +215,8 @@ mod tests {
     #[test]
     fn unknown_document_is_an_error() {
         let (docs, _) = setup();
-        let table = Table::iter_pos_item(vec![1], vec![1], vec![Value::Node(NodeRef::new(7, 1))]).unwrap();
+        let table =
+            Table::iter_pos_item(vec![1], vec![1], vec![Value::Node(NodeRef::new(7, 1))]).unwrap();
         assert!(staircase_step(&table, docs.as_slice(), Axis::Child, &NodeTest::AnyNode).is_err());
     }
 
@@ -222,7 +231,8 @@ mod tests {
     fn empty_context_produces_empty_result() {
         let (docs, _) = setup();
         let table = Table::iter_pos_item(vec![], vec![], vec![]).unwrap();
-        let result = staircase_step(&table, docs.as_slice(), Axis::Child, &NodeTest::AnyNode).unwrap();
+        let result =
+            staircase_step(&table, docs.as_slice(), Axis::Child, &NodeTest::AnyNode).unwrap();
         assert_eq!(result.row_count(), 0);
         assert_eq!(result.column_names(), vec!["iter", "pos", "item"]);
     }

@@ -146,7 +146,12 @@ impl Table {
         let headers: Vec<String> = self.columns.iter().map(|(n, _)| n.clone()).collect();
         let mut rows: Vec<Vec<String>> = Vec::with_capacity(self.row_count());
         for r in 0..self.row_count() {
-            rows.push(self.columns.iter().map(|(_, c)| c.get(r).to_xdm_string()).collect());
+            rows.push(
+                self.columns
+                    .iter()
+                    .map(|(_, c)| c.get(r).to_xdm_string())
+                    .collect(),
+            );
         }
         let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
         for row in &rows {
@@ -165,7 +170,13 @@ impl Table {
         };
         out.push_str(&fmt_row(&headers, &widths));
         out.push('\n');
-        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
         out.push('\n');
         for row in &rows {
             out.push_str(&fmt_row(row, &widths));

@@ -233,7 +233,9 @@ impl Value {
                     .ok_or_else(|| RelError::new("NaN is not comparable")),
                 Err(_) => Ok(a.to_xdm_string().as_str().cmp(s.as_str())),
             },
-            (a, b) => Err(RelError::new(format!("values {a} and {b} are not comparable"))),
+            (a, b) => Err(RelError::new(format!(
+                "values {a} and {b} are not comparable"
+            ))),
         }
     }
 
@@ -321,46 +323,80 @@ mod tests {
 
     #[test]
     fn integer_arithmetic_stays_integer() {
-        let r = Value::Int(7).arithmetic(ArithOp::Add, &Value::Int(3)).unwrap();
+        let r = Value::Int(7)
+            .arithmetic(ArithOp::Add, &Value::Int(3))
+            .unwrap();
         assert_eq!(r, Value::Int(10));
-        let r = Value::Int(7).arithmetic(ArithOp::Mul, &Value::Int(3)).unwrap();
+        let r = Value::Int(7)
+            .arithmetic(ArithOp::Mul, &Value::Int(3))
+            .unwrap();
         assert_eq!(r, Value::Int(21));
-        let r = Value::Int(7).arithmetic(ArithOp::Mod, &Value::Int(3)).unwrap();
+        let r = Value::Int(7)
+            .arithmetic(ArithOp::Mod, &Value::Int(3))
+            .unwrap();
         assert_eq!(r, Value::Int(1));
     }
 
     #[test]
     fn div_promotes_to_double() {
-        let r = Value::Int(7).arithmetic(ArithOp::Div, &Value::Int(2)).unwrap();
+        let r = Value::Int(7)
+            .arithmetic(ArithOp::Div, &Value::Int(2))
+            .unwrap();
         assert_eq!(r, Value::Dbl(3.5));
     }
 
     #[test]
     fn mixed_arithmetic_promotes() {
-        let r = Value::Int(1).arithmetic(ArithOp::Add, &Value::Dbl(0.5)).unwrap();
+        let r = Value::Int(1)
+            .arithmetic(ArithOp::Add, &Value::Dbl(0.5))
+            .unwrap();
         assert_eq!(r, Value::Dbl(1.5));
     }
 
     #[test]
     fn division_by_zero_is_an_error() {
-        assert!(Value::Int(1).arithmetic(ArithOp::IDiv, &Value::Int(0)).is_err());
-        assert!(Value::Dbl(1.0).arithmetic(ArithOp::Div, &Value::Dbl(0.0)).is_err());
-        assert!(Value::Int(1).arithmetic(ArithOp::Mod, &Value::Int(0)).is_err());
+        assert!(Value::Int(1)
+            .arithmetic(ArithOp::IDiv, &Value::Int(0))
+            .is_err());
+        assert!(Value::Dbl(1.0)
+            .arithmetic(ArithOp::Div, &Value::Dbl(0.0))
+            .is_err());
+        assert!(Value::Int(1)
+            .arithmetic(ArithOp::Mod, &Value::Int(0))
+            .is_err());
     }
 
     #[test]
     fn overflow_is_detected() {
-        assert!(Value::Int(i64::MAX).arithmetic(ArithOp::Add, &Value::Int(1)).is_err());
+        assert!(Value::Int(i64::MAX)
+            .arithmetic(ArithOp::Add, &Value::Int(1))
+            .is_err());
     }
 
     #[test]
     fn comparisons_follow_xquery_semantics() {
-        assert_eq!(Value::Int(1).compare(&Value::Dbl(1.0)).unwrap(), Ordering::Equal);
-        assert_eq!(Value::Str("a".into()).compare(&Value::Str("b".into())).unwrap(), Ordering::Less);
-        assert_eq!(Value::Bool(false).compare(&Value::Bool(true)).unwrap(), Ordering::Less);
+        assert_eq!(
+            Value::Int(1).compare(&Value::Dbl(1.0)).unwrap(),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Value::Str("a".into())
+                .compare(&Value::Str("b".into()))
+                .unwrap(),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Bool(false).compare(&Value::Bool(true)).unwrap(),
+            Ordering::Less
+        );
         // untyped content coerced to number
-        assert_eq!(Value::Str("10".into()).compare(&Value::Int(9)).unwrap(), Ordering::Greater);
-        assert!(Value::Node(NodeRef::new(0, 1)).compare(&Value::Int(1)).is_err());
+        assert_eq!(
+            Value::Str("10".into()).compare(&Value::Int(9)).unwrap(),
+            Ordering::Greater
+        );
+        assert!(Value::Node(NodeRef::new(0, 1))
+            .compare(&Value::Int(1))
+            .is_err());
     }
 
     #[test]
@@ -391,11 +427,13 @@ mod tests {
 
     #[test]
     fn sort_key_is_total() {
-        let mut values = [Value::Str("b".into()),
+        let mut values = [
+            Value::Str("b".into()),
             Value::Int(2),
             Value::Node(NodeRef::new(0, 1)),
             Value::Int(1),
-            Value::Str("a".into())];
+            Value::Str("a".into()),
+        ];
         values.sort_by(|a, b| a.sort_key_cmp(b));
         assert_eq!(values[0], Value::Int(1));
         assert_eq!(values[1], Value::Int(2));

@@ -331,8 +331,14 @@ mod tests {
     #[test]
     fn child_axis() {
         let s = store();
-        assert_eq!(naive_axis_step(&s, &[1], Axis::Child, &NodeTest::AnyElement), vec![2, 5]);
-        assert_eq!(naive_axis_step(&s, &[2], Axis::Child, &NodeTest::Element("c".into())), vec![3]);
+        assert_eq!(
+            naive_axis_step(&s, &[1], Axis::Child, &NodeTest::AnyElement),
+            vec![2, 5]
+        );
+        assert_eq!(
+            naive_axis_step(&s, &[2], Axis::Child, &NodeTest::Element("c".into())),
+            vec![3]
+        );
     }
 
     #[test]
@@ -373,8 +379,14 @@ mod tests {
     #[test]
     fn parent_axis() {
         let s = store();
-        assert_eq!(naive_axis_step(&s, &[3], Axis::Parent, &NodeTest::AnyElement), vec![2]);
-        assert_eq!(naive_axis_step(&s, &[0], Axis::Parent, &NodeTest::AnyNode), Vec::<u32>::new());
+        assert_eq!(
+            naive_axis_step(&s, &[3], Axis::Parent, &NodeTest::AnyElement),
+            vec![2]
+        );
+        assert_eq!(
+            naive_axis_step(&s, &[0], Axis::Parent, &NodeTest::AnyNode),
+            Vec::<u32>::new()
+        );
     }
 
     #[test]

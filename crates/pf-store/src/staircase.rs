@@ -56,15 +56,26 @@ pub fn staircase_join_counted(
     axis: Axis,
     test: &NodeTest,
 ) -> (Vec<PreRank>, StaircaseStats) {
-    debug_assert!(context.windows(2).all(|w| w[0] <= w[1]), "context must be in document order");
+    debug_assert!(
+        context.windows(2).all(|w| w[0] <= w[1]),
+        "context must be in document order"
+    );
     let mut stats = StaircaseStats::default();
     let result = match axis {
-        Axis::Descendant | Axis::DescendantOrSelf => {
-            descendant_staircase(store, context, axis == Axis::DescendantOrSelf, test, &mut stats)
-        }
-        Axis::Ancestor | Axis::AncestorOrSelf => {
-            ancestor_staircase(store, context, axis == Axis::AncestorOrSelf, test, &mut stats)
-        }
+        Axis::Descendant | Axis::DescendantOrSelf => descendant_staircase(
+            store,
+            context,
+            axis == Axis::DescendantOrSelf,
+            test,
+            &mut stats,
+        ),
+        Axis::Ancestor | Axis::AncestorOrSelf => ancestor_staircase(
+            store,
+            context,
+            axis == Axis::AncestorOrSelf,
+            test,
+            &mut stats,
+        ),
         Axis::Following => following_staircase(store, context, test, &mut stats),
         Axis::Preceding => preceding_staircase(store, context, test, &mut stats),
         _ => {
@@ -173,11 +184,7 @@ fn following_staircase(
     // The union of following-regions of all context nodes is the single
     // region that starts right after the earliest-ending context subtree,
     // minus the ancestors of that boundary node; a single scan suffices.
-    let Some(start) = context
-        .iter()
-        .map(|&c| c + store.size_of(c) + 1)
-        .min()
-    else {
+    let Some(start) = context.iter().map(|&c| c + store.size_of(c) + 1).min() else {
         return Vec::new();
     };
     stats.pruned_context = usize::from(!context.is_empty());
@@ -241,11 +248,7 @@ mod tests {
     use crate::axis::naive_axis_step;
 
     fn store() -> DocStore {
-        DocStore::from_xml(
-            "t",
-            "<a><b><c/><d/></b><e><c/><f><c/></f></e><g/></a>",
-        )
-        .unwrap()
+        DocStore::from_xml("t", "<a><b><c/><d/></b><e><c/><f><c/></f></e><g/></a>").unwrap()
     }
 
     fn all_elements(s: &DocStore) -> Vec<PreRank> {
@@ -269,8 +272,18 @@ mod tests {
         let s = store();
         let ctx = all_elements(&s);
         assert_eq!(
-            staircase_join(&s, &ctx, Axis::DescendantOrSelf, &NodeTest::Element("c".into())),
-            naive_axis_step(&s, &ctx, Axis::DescendantOrSelf, &NodeTest::Element("c".into()))
+            staircase_join(
+                &s,
+                &ctx,
+                Axis::DescendantOrSelf,
+                &NodeTest::Element("c".into())
+            ),
+            naive_axis_step(
+                &s,
+                &ctx,
+                Axis::DescendantOrSelf,
+                &NodeTest::Element("c".into())
+            )
         );
     }
 
@@ -331,7 +344,12 @@ mod tests {
     fn results_are_sorted_and_unique() {
         let s = store();
         let ctx = all_elements(&s);
-        for axis in [Axis::Descendant, Axis::Ancestor, Axis::Following, Axis::Preceding] {
+        for axis in [
+            Axis::Descendant,
+            Axis::Ancestor,
+            Axis::Following,
+            Axis::Preceding,
+        ] {
             let out = staircase_join(&s, &ctx, axis, &NodeTest::AnyNode);
             let mut sorted = out.clone();
             sorted.sort_unstable();
@@ -343,7 +361,12 @@ mod tests {
     #[test]
     fn empty_context_yields_empty_result() {
         let s = store();
-        for axis in [Axis::Descendant, Axis::Ancestor, Axis::Following, Axis::Preceding] {
+        for axis in [
+            Axis::Descendant,
+            Axis::Ancestor,
+            Axis::Following,
+            Axis::Preceding,
+        ] {
             assert!(staircase_join(&s, &[], axis, &NodeTest::AnyNode).is_empty());
         }
     }

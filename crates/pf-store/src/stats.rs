@@ -59,13 +59,17 @@ impl StorageStats {
 
     /// Total encoded size in bytes.
     pub fn total_bytes(&self) -> usize {
-        self.node_table_bytes + self.attribute_table_bytes + self.qname_dict_bytes + self.text_dict_bytes
+        self.node_table_bytes
+            + self.attribute_table_bytes
+            + self.qname_dict_bytes
+            + self.text_dict_bytes
     }
 
     /// Encoded size as a percentage of the original XML size (the number the
     /// paper reports); `None` when the source size is unknown.
     pub fn overhead_percent(&self) -> Option<f64> {
-        (self.source_bytes > 0).then(|| 100.0 * self.total_bytes() as f64 / self.source_bytes as f64)
+        (self.source_bytes > 0)
+            .then(|| 100.0 * self.total_bytes() as f64 / self.source_bytes as f64)
     }
 }
 

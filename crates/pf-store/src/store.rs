@@ -158,7 +158,9 @@ impl DocStore {
 
     /// Pre rank of the root element, if any.
     pub fn root_element(&self) -> Option<PreRank> {
-        (1..self.node_count() as u32).find(|&p| self.kind[p as usize] == NodeKindCode::Element && self.level[p as usize] == 1)
+        (1..self.node_count() as u32).find(|&p| {
+            self.kind[p as usize] == NodeKindCode::Element && self.level[p as usize] == 1
+        })
     }
 
     /// Node kind of `pre`.
@@ -393,7 +395,10 @@ mod tests {
         let xml = "<site><person id=\"p1\"><name>Ann</name></person></site>";
         let s = store(xml);
         assert_eq!(s.subtree_to_xml(0), xml);
-        assert_eq!(s.subtree_to_xml(2), "<person id=\"p1\"><name>Ann</name></person>");
+        assert_eq!(
+            s.subtree_to_xml(2),
+            "<person id=\"p1\"><name>Ann</name></person>"
+        );
     }
 
     #[test]

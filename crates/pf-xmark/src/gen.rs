@@ -25,7 +25,10 @@ pub struct GeneratorConfig {
 
 impl Default for GeneratorConfig {
     fn default() -> Self {
-        GeneratorConfig { scale: 0.01, seed: 20050831 }
+        GeneratorConfig {
+            scale: 0.01,
+            seed: 20050831,
+        }
     }
 }
 
@@ -63,13 +66,20 @@ pub fn generate_stats(config: &GeneratorConfig) -> XmarkStats {
     XmarkStats::for_scale(config.scale)
 }
 
-const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+const REGIONS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
 
 const WORDS: [&str; 32] = [
     "gold", "silver", "bargain", "vintage", "rare", "mint", "antique", "shiny", "carved", "woven",
-    "painted", "signed", "limited", "edition", "classic", "modern", "oak", "brass", "silk", "amber",
-    "crystal", "marble", "velvet", "ivory", "bronze", "ceramic", "walnut", "pearl", "quartz", "linen",
-    "copper", "jade",
+    "painted", "signed", "limited", "edition", "classic", "modern", "oak", "brass", "silk",
+    "amber", "crystal", "marble", "velvet", "ivory", "bronze", "ceramic", "walnut", "pearl",
+    "quartz", "linen", "copper", "jade",
 ];
 
 const FIRST_NAMES: [&str; 16] = [
@@ -78,8 +88,8 @@ const FIRST_NAMES: [&str; 16] = [
 ];
 
 const LAST_NAMES: [&str; 16] = [
-    "Turing", "Hopper", "Codd", "Gray", "Boyce", "Chen", "Date", "Stone", "Knuth", "Karp", "Rivest",
-    "Floyd", "Dijkstra", "Tarjan", "Lamport", "Liskov",
+    "Turing", "Hopper", "Codd", "Gray", "Boyce", "Chen", "Date", "Stone", "Knuth", "Karp",
+    "Rivest", "Floyd", "Dijkstra", "Tarjan", "Lamport", "Liskov",
 ];
 
 struct Gen {
@@ -130,7 +140,11 @@ pub fn generate(config: &GeneratorConfig) -> String {
             let keyword = WORDS[g.rng.gen_range(0..WORDS.len())];
             let quantity = g.rng.gen_range(1..5);
             let category = g.rng.gen_range(0..stats.categories);
-            let payment = if g.rng.gen_bool(0.5) { "Cash" } else { "Creditcard" };
+            let payment = if g.rng.gen_bool(0.5) {
+                "Cash"
+            } else {
+                "Creditcard"
+            };
             let from = g.name();
             let to = g.name();
             let month: u32 = g.rng.gen_range(1..13);
@@ -176,7 +190,9 @@ pub fn generate(config: &GeneratorConfig) -> String {
         let street: u32 = g.rng.gen_range(1..100);
         let zip: u32 = g.rng.gen_range(10000..99999);
         let age: u32 = g.rng.gen_range(18..80);
-        let row = format!("<person id=\"person{p}\"><name>{name}</name><emailaddress>{email}</emailaddress>");
+        let row = format!(
+            "<person id=\"person{p}\"><name>{name}</name><emailaddress>{email}</emailaddress>"
+        );
         g.push(&row);
         let row = format!(
             "<address><street>{street} Street</street><city>{city}</city><country>United States</country><zipcode>{zip}</zipcode></address>"
@@ -191,7 +207,9 @@ pub fn generate(config: &GeneratorConfig) -> String {
                 "<profile income=\"{income:.2}\"><interest category=\"category{interest}\"/><education>Graduate School</education><age>{age}</age></profile>"
             )
         } else {
-            format!("<profile><interest category=\"category{interest}\"/><age>{age}</age></profile>")
+            format!(
+                "<profile><interest category=\"category{interest}\"/><age>{age}</age></profile>"
+            )
         };
         g.push(&row);
         g.push("<watches/>");
@@ -270,16 +288,28 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = GeneratorConfig { scale: 0.01, seed: 7 };
+        let cfg = GeneratorConfig {
+            scale: 0.01,
+            seed: 7,
+        };
         assert_eq!(generate(&cfg), generate(&cfg));
-        let other = GeneratorConfig { scale: 0.01, seed: 8 };
+        let other = GeneratorConfig {
+            scale: 0.01,
+            seed: 8,
+        };
         assert_ne!(generate(&cfg), generate(&other));
     }
 
     #[test]
     fn generated_document_is_well_formed_and_scaled() {
-        let small = generate(&GeneratorConfig { scale: 0.005, seed: 1 });
-        let large = generate(&GeneratorConfig { scale: 0.02, seed: 1 });
+        let small = generate(&GeneratorConfig {
+            scale: 0.005,
+            seed: 1,
+        });
+        let large = generate(&GeneratorConfig {
+            scale: 0.02,
+            seed: 1,
+        });
         let small_doc = pf_xml::parse(&small).unwrap();
         let large_doc = pf_xml::parse(&large).unwrap();
         assert!(large_doc.len() > 2 * small_doc.len());
@@ -297,7 +327,10 @@ mod tests {
 
     #[test]
     fn referential_structure_is_present() {
-        let xml = generate(&GeneratorConfig { scale: 0.01, seed: 3 });
+        let xml = generate(&GeneratorConfig {
+            scale: 0.01,
+            seed: 3,
+        });
         assert!(xml.contains("<closed_auction>"));
         assert!(xml.contains("buyer person=\"person"));
         assert!(xml.contains("profile income=\""));

@@ -48,46 +48,126 @@ pub const DOC_URI: &str = "auction.xml";
 pub fn queries() -> Vec<XmarkQuery> {
     use QueryClass::*;
     vec![
-        XmarkQuery { id: 1, name: "name of person #0", class: Path, text:
-            r#"for $b in doc("auction.xml")/site/people/person[@id = "person0"] return $b/name/text()"# },
-        XmarkQuery { id: 2, name: "initial increases of open auctions", class: Path, text:
-            r#"for $b in doc("auction.xml")/site/open_auctions/open_auction return element increase { $b/bidder[1]/increase/text() }"# },
-        XmarkQuery { id: 3, name: "auctions whose first bid doubled", class: Path, text:
-            r#"for $b in doc("auction.xml")/site/open_auctions/open_auction where number($b/bidder[1]/increase) * 2 <= number($b/bidder[last()]/increase) return element increase { attribute first { $b/bidder[1]/increase/text() }, attribute last { $b/bidder[last()]/increase/text() } }"# },
-        XmarkQuery { id: 4, name: "auctions a given person bid on first", class: Path, text:
-            r#"for $b in doc("auction.xml")/site/open_auctions/open_auction where $b/bidder[1]/personref/@person = "person1" return element history { $b/reserve/text() }"# },
-        XmarkQuery { id: 5, name: "closed auctions above a price", class: Path, text:
-            r#"count(for $i in doc("auction.xml")/site/closed_auctions/closed_auction where number($i/price) >= 40 return $i/price)"# },
-        XmarkQuery { id: 6, name: "items per region (descendant)", class: RecursiveAxes, text:
-            r#"for $b in doc("auction.xml")/site/regions return count($b//item)"# },
-        XmarkQuery { id: 7, name: "pieces of prose (descendant)", class: RecursiveAxes, text:
-            r#"for $p in doc("auction.xml")/site return count($p//description) + count($p//annotation) + count($p//emailaddress)"# },
-        XmarkQuery { id: 8, name: "items bought per person (join)", class: Join, text:
-            r#"for $p in doc("auction.xml")/site/people/person return element item { attribute person { $p/name/text() }, count(for $t in doc("auction.xml")/site/closed_auctions/closed_auction where $t/buyer/@person = $p/@id return $t) }"# },
-        XmarkQuery { id: 9, name: "items bought per person with item names (double join)", class: Join, text:
-            r#"for $p in doc("auction.xml")/site/people/person return element person { attribute name { $p/name/text() }, count(for $t in doc("auction.xml")/site/closed_auctions/closed_auction where $t/buyer/@person = $p/@id return (for $i in doc("auction.xml")/site/regions//item where $i/@id = $t/itemref/@item return $i/name/text())) }"# },
-        XmarkQuery { id: 10, name: "persons grouped by interest category (join + grouping)", class: Join, text:
-            r#"for $c in distinct-values(doc("auction.xml")/site/people/person/profile/interest/@category) return element categorygroup { attribute cat { $c }, count(for $p in doc("auction.xml")/site/people/person where $p/profile/interest/@category = $c return $p) }"# },
-        XmarkQuery { id: 11, name: "open auctions a person can afford (theta join)", class: Join, text:
-            r#"for $p in doc("auction.xml")/site/people/person return element items { attribute name { $p/name/text() }, count(for $o in doc("auction.xml")/site/open_auctions/open_auction/initial where number($p/profile/@income) > 5000 * number($o) return $o) }"# },
-        XmarkQuery { id: 12, name: "affordable auctions of wealthy persons (theta join)", class: Join, text:
-            r#"for $p in doc("auction.xml")/site/people/person where number($p/profile/@income) > 50000 return element items { attribute person { $p/name/text() }, count(for $o in doc("auction.xml")/site/open_auctions/open_auction/initial where number($p/profile/@income) > 5000 * number($o) return $o) }"# },
-        XmarkQuery { id: 13, name: "items in Australia with descriptions", class: Path, text:
-            r#"for $i in doc("auction.xml")/site/regions/australia/item return element item { attribute name { $i/name/text() }, $i/description }"# },
-        XmarkQuery { id: 14, name: "items whose description mentions gold (text search)", class: Path, text:
-            r#"for $i in doc("auction.xml")/site//item where contains(string($i/description), "gold") return $i/name/text()"# },
-        XmarkQuery { id: 15, name: "keywords in closed auction annotations (long path)", class: Path, text:
-            r#"for $a in doc("auction.xml")/site/closed_auctions/closed_auction/annotation/description/text/keyword/text() return element text { $a }"# },
-        XmarkQuery { id: 16, name: "sellers of auctions with keyword annotations", class: Path, text:
-            r#"for $a in doc("auction.xml")/site/closed_auctions/closed_auction where count($a/annotation/description/text/keyword) > 0 return element person { attribute id { $a/seller/@person } }"# },
-        XmarkQuery { id: 17, name: "persons without a homepage", class: Path, text:
-            r#"for $p in doc("auction.xml")/site/people/person where empty($p/homepage/text()) return element person { attribute name { $p/name/text() } }"# },
-        XmarkQuery { id: 18, name: "currency conversion of reserves (function application)", class: Path, text:
-            r#"for $i in doc("auction.xml")/site/open_auctions/open_auction return number($i/reserve) * 2.20371"# },
-        XmarkQuery { id: 19, name: "items ordered by location (order by)", class: Path, text:
-            r#"for $b in doc("auction.xml")/site/regions//item order by string($b/location) return element item { attribute name { $b/name/text() }, $b/location/text() }"# },
-        XmarkQuery { id: 20, name: "customers by income bracket (aggregation)", class: Path, text:
-            r#"element result { element preferred { count(doc("auction.xml")/site/people/person/profile[number(@income) >= 65000]) }, element standard { count(doc("auction.xml")/site/people/person/profile[number(@income) < 65000][number(@income) >= 30000]) }, element challenge { count(doc("auction.xml")/site/people/person/profile[number(@income) < 30000]) }, element na { count(for $p in doc("auction.xml")/site/people/person where empty($p/profile/@income) return $p) } }"# },
+        XmarkQuery {
+            id: 1,
+            name: "name of person #0",
+            class: Path,
+            text: r#"for $b in doc("auction.xml")/site/people/person[@id = "person0"] return $b/name/text()"#,
+        },
+        XmarkQuery {
+            id: 2,
+            name: "initial increases of open auctions",
+            class: Path,
+            text: r#"for $b in doc("auction.xml")/site/open_auctions/open_auction return element increase { $b/bidder[1]/increase/text() }"#,
+        },
+        XmarkQuery {
+            id: 3,
+            name: "auctions whose first bid doubled",
+            class: Path,
+            text: r#"for $b in doc("auction.xml")/site/open_auctions/open_auction where number($b/bidder[1]/increase) * 2 <= number($b/bidder[last()]/increase) return element increase { attribute first { $b/bidder[1]/increase/text() }, attribute last { $b/bidder[last()]/increase/text() } }"#,
+        },
+        XmarkQuery {
+            id: 4,
+            name: "auctions a given person bid on first",
+            class: Path,
+            text: r#"for $b in doc("auction.xml")/site/open_auctions/open_auction where $b/bidder[1]/personref/@person = "person1" return element history { $b/reserve/text() }"#,
+        },
+        XmarkQuery {
+            id: 5,
+            name: "closed auctions above a price",
+            class: Path,
+            text: r#"count(for $i in doc("auction.xml")/site/closed_auctions/closed_auction where number($i/price) >= 40 return $i/price)"#,
+        },
+        XmarkQuery {
+            id: 6,
+            name: "items per region (descendant)",
+            class: RecursiveAxes,
+            text: r#"for $b in doc("auction.xml")/site/regions return count($b//item)"#,
+        },
+        XmarkQuery {
+            id: 7,
+            name: "pieces of prose (descendant)",
+            class: RecursiveAxes,
+            text: r#"for $p in doc("auction.xml")/site return count($p//description) + count($p//annotation) + count($p//emailaddress)"#,
+        },
+        XmarkQuery {
+            id: 8,
+            name: "items bought per person (join)",
+            class: Join,
+            text: r#"for $p in doc("auction.xml")/site/people/person return element item { attribute person { $p/name/text() }, count(for $t in doc("auction.xml")/site/closed_auctions/closed_auction where $t/buyer/@person = $p/@id return $t) }"#,
+        },
+        XmarkQuery {
+            id: 9,
+            name: "items bought per person with item names (double join)",
+            class: Join,
+            text: r#"for $p in doc("auction.xml")/site/people/person return element person { attribute name { $p/name/text() }, count(for $t in doc("auction.xml")/site/closed_auctions/closed_auction where $t/buyer/@person = $p/@id return (for $i in doc("auction.xml")/site/regions//item where $i/@id = $t/itemref/@item return $i/name/text())) }"#,
+        },
+        XmarkQuery {
+            id: 10,
+            name: "persons grouped by interest category (join + grouping)",
+            class: Join,
+            text: r#"for $c in distinct-values(doc("auction.xml")/site/people/person/profile/interest/@category) return element categorygroup { attribute cat { $c }, count(for $p in doc("auction.xml")/site/people/person where $p/profile/interest/@category = $c return $p) }"#,
+        },
+        XmarkQuery {
+            id: 11,
+            name: "open auctions a person can afford (theta join)",
+            class: Join,
+            text: r#"for $p in doc("auction.xml")/site/people/person return element items { attribute name { $p/name/text() }, count(for $o in doc("auction.xml")/site/open_auctions/open_auction/initial where number($p/profile/@income) > 5000 * number($o) return $o) }"#,
+        },
+        XmarkQuery {
+            id: 12,
+            name: "affordable auctions of wealthy persons (theta join)",
+            class: Join,
+            text: r#"for $p in doc("auction.xml")/site/people/person where number($p/profile/@income) > 50000 return element items { attribute person { $p/name/text() }, count(for $o in doc("auction.xml")/site/open_auctions/open_auction/initial where number($p/profile/@income) > 5000 * number($o) return $o) }"#,
+        },
+        XmarkQuery {
+            id: 13,
+            name: "items in Australia with descriptions",
+            class: Path,
+            text: r#"for $i in doc("auction.xml")/site/regions/australia/item return element item { attribute name { $i/name/text() }, $i/description }"#,
+        },
+        XmarkQuery {
+            id: 14,
+            name: "items whose description mentions gold (text search)",
+            class: Path,
+            text: r#"for $i in doc("auction.xml")/site//item where contains(string($i/description), "gold") return $i/name/text()"#,
+        },
+        XmarkQuery {
+            id: 15,
+            name: "keywords in closed auction annotations (long path)",
+            class: Path,
+            text: r#"for $a in doc("auction.xml")/site/closed_auctions/closed_auction/annotation/description/text/keyword/text() return element text { $a }"#,
+        },
+        XmarkQuery {
+            id: 16,
+            name: "sellers of auctions with keyword annotations",
+            class: Path,
+            text: r#"for $a in doc("auction.xml")/site/closed_auctions/closed_auction where count($a/annotation/description/text/keyword) > 0 return element person { attribute id { $a/seller/@person } }"#,
+        },
+        XmarkQuery {
+            id: 17,
+            name: "persons without a homepage",
+            class: Path,
+            text: r#"for $p in doc("auction.xml")/site/people/person where empty($p/homepage/text()) return element person { attribute name { $p/name/text() } }"#,
+        },
+        XmarkQuery {
+            id: 18,
+            name: "currency conversion of reserves (function application)",
+            class: Path,
+            text: r#"for $i in doc("auction.xml")/site/open_auctions/open_auction return number($i/reserve) * 2.20371"#,
+        },
+        XmarkQuery {
+            id: 19,
+            name: "items ordered by location (order by)",
+            class: Path,
+            text: r#"for $b in doc("auction.xml")/site/regions//item order by string($b/location) return element item { attribute name { $b/name/text() }, $b/location/text() }"#,
+        },
+        XmarkQuery {
+            id: 20,
+            name: "customers by income bracket (aggregation)",
+            class: Path,
+            text: r#"element result { element preferred { count(doc("auction.xml")/site/people/person/profile[number(@income) >= 65000]) }, element standard { count(doc("auction.xml")/site/people/person/profile[number(@income) < 65000][number(@income) >= 30000]) }, element challenge { count(doc("auction.xml")/site/people/person/profile[number(@income) < 30000]) }, element na { count(for $p in doc("auction.xml")/site/people/person where empty($p/profile/@income) return $p) } }"#,
+        },
     ]
 }
 
@@ -105,8 +185,16 @@ mod tests {
         let all = queries();
         assert_eq!(all.len(), 20);
         assert!(all.iter().enumerate().all(|(i, q)| q.id as usize == i + 1));
-        assert_eq!(all.iter().filter(|q| q.class == QueryClass::Join).count(), 5);
-        assert_eq!(all.iter().filter(|q| q.class == QueryClass::RecursiveAxes).count(), 2);
+        assert_eq!(
+            all.iter().filter(|q| q.class == QueryClass::Join).count(),
+            5
+        );
+        assert_eq!(
+            all.iter()
+                .filter(|q| q.class == QueryClass::RecursiveAxes)
+                .count(),
+            2
+        );
     }
 
     #[test]
@@ -114,7 +202,8 @@ mod tests {
         for q in queries() {
             let ast = pf_xquery::parse_query(q.text)
                 .unwrap_or_else(|e| panic!("Q{} does not parse: {e}", q.id));
-            pf_xquery::normalize(&ast).unwrap_or_else(|e| panic!("Q{} does not normalize: {e}", q.id));
+            pf_xquery::normalize(&ast)
+                .unwrap_or_else(|e| panic!("Q{} does not normalize: {e}", q.id));
         }
     }
 
@@ -125,7 +214,11 @@ mod tests {
             let core = pf_xquery::normalize(&ast).unwrap();
             let compiled = pf_xquery::compile(&core, &pf_xquery::CompileOptions::default())
                 .unwrap_or_else(|e| panic!("Q{} does not compile: {e}", q.id));
-            assert!(compiled.plan.operator_count() > 3, "Q{} plan too small", q.id);
+            assert!(
+                compiled.plan.operator_count() > 3,
+                "Q{} plan too small",
+                q.id
+            );
         }
     }
 
@@ -135,8 +228,12 @@ mod tests {
             let q = query(id).unwrap();
             let ast = pf_xquery::parse_query(q.text).unwrap();
             let core = pf_xquery::normalize(&ast).unwrap();
-            let compiled = pf_xquery::compile(&core, &pf_xquery::CompileOptions::default()).unwrap();
-            assert!(compiled.joins_recognized >= 1, "Q{id} should be compiled into a join plan");
+            let compiled =
+                pf_xquery::compile(&core, &pf_xquery::CompileOptions::default()).unwrap();
+            assert!(
+                compiled.joins_recognized >= 1,
+                "Q{id} should be compiled into a join plan"
+            );
         }
     }
 

@@ -39,11 +39,7 @@ impl XmlError {
     pub fn with_position(mut self, input: &str) -> Self {
         let prefix = &input.as_bytes()[..self.offset.min(input.len())];
         self.line = 1 + prefix.iter().filter(|&&b| b == b'\n').count();
-        self.column = 1 + prefix
-            .iter()
-            .rev()
-            .take_while(|&&b| b != b'\n')
-            .count();
+        self.column = 1 + prefix.iter().rev().take_while(|&&b| b != b'\n').count();
         self
     }
 }

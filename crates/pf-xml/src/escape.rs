@@ -68,13 +68,19 @@ pub fn unescape(raw: &str, offset: usize) -> XmlResult<String> {
             "quot" => out.push('"'),
             _ if entity.starts_with("#x") || entity.starts_with("#X") => {
                 let code = u32::from_str_radix(&entity[2..], 16).map_err(|_| {
-                    XmlError::new(format!("invalid character reference &{entity};"), offset + i)
+                    XmlError::new(
+                        format!("invalid character reference &{entity};"),
+                        offset + i,
+                    )
                 })?;
                 out.push(char_from_code(code, offset + i)?);
             }
             _ if entity.starts_with('#') => {
                 let code = entity[1..].parse::<u32>().map_err(|_| {
-                    XmlError::new(format!("invalid character reference &{entity};"), offset + i)
+                    XmlError::new(
+                        format!("invalid character reference &{entity};"),
+                        offset + i,
+                    )
                 })?;
                 out.push(char_from_code(code, offset + i)?);
             }

@@ -171,10 +171,13 @@ impl<'a> Parser<'a> {
         let raw = &self.input[start..self.pos];
         let decoded = unescape(raw, start)?;
         let only_ws = decoded.chars().all(|c| c.is_ascii_whitespace());
-        if !(only_ws && self.options.strip_whitespace_text) && !decoded.is_empty() {
+        let stripped = only_ws && self.options.strip_whitespace_text;
+        if !stripped && !decoded.is_empty() {
             if builder.open_elements() == 0 && !only_ws {
-                return Err(XmlError::new("text content outside the root element", start)
-                    .with_position(self.input));
+                return Err(
+                    XmlError::new("text content outside the root element", start)
+                        .with_position(self.input),
+                );
             }
             if builder.open_elements() > 0 {
                 builder.text(decoded);
@@ -230,7 +233,8 @@ impl<'a> Parser<'a> {
     fn parse_name(&mut self) -> XmlResult<String> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if !ok {
                 break;
             }
@@ -394,7 +398,8 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_structure() {
-        let src = "<site><people><person id=\"p0\"><name>Ann &amp; Bo</name></person></people></site>";
+        let src =
+            "<site><people><person id=\"p0\"><name>Ann &amp; Bo</name></person></people></site>";
         let doc = parse(src).unwrap();
         assert_eq!(doc.node_to_xml(doc.root()), src);
     }

@@ -61,7 +61,12 @@ impl BinOpKind {
     pub fn is_comparison(&self) -> bool {
         matches!(
             self,
-            BinOpKind::Eq | BinOpKind::Ne | BinOpKind::Lt | BinOpKind::Le | BinOpKind::Gt | BinOpKind::Ge
+            BinOpKind::Eq
+                | BinOpKind::Ne
+                | BinOpKind::Lt
+                | BinOpKind::Le
+                | BinOpKind::Gt
+                | BinOpKind::Ge
         )
     }
 
@@ -69,7 +74,12 @@ impl BinOpKind {
     pub fn is_arithmetic(&self) -> bool {
         matches!(
             self,
-            BinOpKind::Add | BinOpKind::Sub | BinOpKind::Mul | BinOpKind::Div | BinOpKind::IDiv | BinOpKind::Mod
+            BinOpKind::Add
+                | BinOpKind::Sub
+                | BinOpKind::Mul
+                | BinOpKind::Div
+                | BinOpKind::IDiv
+                | BinOpKind::Mod
         )
     }
 }
@@ -213,7 +223,11 @@ impl Expr {
                     out.insert(name.clone());
                 }
             }
-            Expr::IntLit(_) | Expr::DecLit(_) | Expr::StrLit(_) | Expr::EmptySeq | Expr::ContextItem => {}
+            Expr::IntLit(_)
+            | Expr::DecLit(_)
+            | Expr::StrLit(_)
+            | Expr::EmptySeq
+            | Expr::ContextItem => {}
             Expr::Sequence(items) => {
                 for item in items {
                     item.collect_free(bound, out);
@@ -252,7 +266,11 @@ impl Expr {
                     bound.remove(p);
                 }
             }
-            Expr::Some { var, seq, satisfies } => {
+            Expr::Some {
+                var,
+                seq,
+                satisfies,
+            } => {
                 seq.collect_free(bound, out);
                 let added = bound.insert(var.clone());
                 satisfies.collect_free(bound, out);
@@ -346,7 +364,10 @@ mod tests {
         let free = e.free_vars();
         assert_eq!(
             free,
-            ["src", "w"].iter().map(|s| s.to_string()).collect::<HashSet<_>>()
+            ["src", "w"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<HashSet<_>>()
         );
     }
 

@@ -74,10 +74,7 @@ pub fn compile(expr: &Expr, options: &CompileOptions) -> XqResult<Compiled> {
         opts: options.clone(),
         joins_recognized: 0,
     };
-    let loop0 = ctx.lit(
-        vec!["iter"],
-        vec![vec![Value::Nat(1)]],
-    );
+    let loop0 = ctx.lit(vec!["iter"], vec![vec![Value::Nat(1)]]);
     let scope = Scope {
         loop_op: loop0,
         vars: HashMap::new(),
@@ -139,7 +136,13 @@ impl Ctx {
         })
     }
 
-    fn row_number(&mut self, input: OpId, target: &str, order_by: Vec<SortSpec>, partition: Option<&str>) -> OpId {
+    fn row_number(
+        &mut self,
+        input: OpId,
+        target: &str,
+        order_by: Vec<SortSpec>,
+        partition: Option<&str>,
+    ) -> OpId {
         self.b.add(AlgOp::RowNum {
             input,
             target: target.to_string(),
@@ -175,7 +178,10 @@ impl Ctx {
     /// Renumber `pos` to 1…k per iteration, preserving the current order.
     fn renumber_pos(&mut self, input: OpId) -> OpId {
         let numbered = self.row_number(input, "pos1", vec![SortSpec::asc("pos")], Some("iter"));
-        self.project(numbered, &[("iter", "iter"), ("pos1", "pos"), ("item", "item")])
+        self.project(
+            numbered,
+            &[("iter", "iter"), ("pos1", "pos"), ("item", "item")],
+        )
     }
 
     /// Effective boolean value per iteration, completed with `false` for
@@ -220,14 +226,20 @@ impl Ctx {
             vec![SortSpec::asc("ord"), SortSpec::asc("pos")],
             Some("iter"),
         );
-        Ok(self.project(numbered, &[("iter", "iter"), ("pos1", "pos"), ("item", "item")]))
+        Ok(self.project(
+            numbered,
+            &[("iter", "iter"), ("pos1", "pos"), ("item", "item")],
+        ))
     }
 
     /// Loop-lift variable relation `var_op` from the outer scope into the
     /// inner scope described by `map` (`inner|outer`).
     fn lift_var(&mut self, var_op: OpId, map: OpId) -> OpId {
         let joined = self.equi_join(var_op, map, "iter", "outer");
-        self.project(joined, &[("inner", "iter"), ("pos", "pos"), ("item", "item")])
+        self.project(
+            joined,
+            &[("inner", "iter"), ("pos", "pos"), ("item", "item")],
+        )
     }
 
     /// Restrict a variable relation to the iterations of `new_loop`
@@ -241,7 +253,13 @@ impl Ctx {
     /// Complete an `iter|value` aggregate with a default value for
     /// iterations of `loop_op` that have no group, producing a canonical
     /// sequence.
-    fn complete_aggregate(&mut self, agg: OpId, value_col: &str, loop_op: OpId, default: Option<Value>) -> OpId {
+    fn complete_aggregate(
+        &mut self,
+        agg: OpId,
+        value_col: &str,
+        loop_op: OpId,
+        default: Option<Value>,
+    ) -> OpId {
         let present_pairs = self.project(agg, &[("iter", "iter"), (value_col, "item")]);
         let with_pos = self.attach(present_pairs, "pos", Value::Nat(1));
         let present = self.canonical(with_pos);
@@ -299,7 +317,15 @@ impl Ctx {
                 where_clause,
                 order_by,
                 body,
-            } => self.compile_for(var, pos_var.as_deref(), seq, where_clause.as_deref(), order_by, body, scope),
+            } => self.compile_for(
+                var,
+                pos_var.as_deref(),
+                seq,
+                where_clause.as_deref(),
+                order_by,
+                body,
+                scope,
+            ),
             Expr::BinOp { op, left, right } => self.compile_binop(*op, left, right, scope),
             Expr::Neg(inner) => {
                 let q = self.compile_expr(inner, scope)?;
@@ -368,7 +394,13 @@ impl Ctx {
         }
     }
 
-    fn compile_if(&mut self, cond: &Expr, then_branch: &Expr, else_branch: &Expr, scope: &Scope) -> XqResult<OpId> {
+    fn compile_if(
+        &mut self,
+        cond: &Expr,
+        then_branch: &Expr,
+        else_branch: &Expr,
+        scope: &Scope,
+    ) -> XqResult<OpId> {
         let qc = self.compile_expr(cond, scope)?;
         let bools = self.ebv_bool(qc, scope.loop_op);
         let true_rows = self.b.add(AlgOp::Select {
@@ -387,15 +419,25 @@ impl Ctx {
             vars: HashMap::new(),
         };
         for (name, &op) in &scope.vars {
-            then_scope.vars.insert(name.clone(), self.restrict_var(op, loop_then));
-            else_scope.vars.insert(name.clone(), self.restrict_var(op, loop_else));
+            then_scope
+                .vars
+                .insert(name.clone(), self.restrict_var(op, loop_then));
+            else_scope
+                .vars
+                .insert(name.clone(), self.restrict_var(op, loop_else));
         }
         let q_then = self.compile_expr(then_branch, &then_scope)?;
         let q_else = self.compile_expr(else_branch, &else_scope)?;
         Ok(self.union(q_then, q_else))
     }
 
-    fn compile_binop(&mut self, op: BinOpKind, left: &Expr, right: &Expr, scope: &Scope) -> XqResult<OpId> {
+    fn compile_binop(
+        &mut self,
+        op: BinOpKind,
+        left: &Expr,
+        right: &Expr,
+        scope: &Scope,
+    ) -> XqResult<OpId> {
         match op {
             BinOpKind::And | BinOpKind::Or => {
                 let ql = self.compile_expr(left, scope)?;
@@ -404,7 +446,11 @@ impl Ctx {
                 let br = self.ebv_bool(qr, scope.loop_op);
                 let br_renamed = self.project(br, &[("iter", "iter1"), ("item", "item1")]);
                 let joined = self.equi_join(bl, br_renamed, "iter", "iter1");
-                let bin = if op == BinOpKind::And { BinaryOp::And } else { BinaryOp::Or };
+                let bin = if op == BinOpKind::And {
+                    BinaryOp::And
+                } else {
+                    BinaryOp::Or
+                };
                 let mapped = self.b.add(AlgOp::BinaryMap {
                     input: joined,
                     target: "res".into(),
@@ -441,8 +487,9 @@ impl Ctx {
             op => {
                 // General (existential) comparison, node identity and
                 // document order.
-                let cmp = comparison_operator(op)
-                    .ok_or_else(|| XqError::compile(format!("unsupported binary operator {op:?}")))?;
+                let cmp = comparison_operator(op).ok_or_else(|| {
+                    XqError::compile(format!("unsupported binary operator {op:?}"))
+                })?;
                 let ql = self.compile_expr(left, scope)?;
                 let qr = self.compile_expr(right, scope)?;
                 self.existential_comparison(ql, qr, cmp, scope.loop_op)
@@ -452,7 +499,13 @@ impl Ctx {
 
     /// `left θ right` with existential semantics over sequences, completed
     /// with `false` for iterations where either side is empty.
-    fn existential_comparison(&mut self, ql: OpId, qr: OpId, cmp: CmpOp, loop_op: OpId) -> XqResult<OpId> {
+    fn existential_comparison(
+        &mut self,
+        ql: OpId,
+        qr: OpId,
+        cmp: CmpOp,
+        loop_op: OpId,
+    ) -> XqResult<OpId> {
         let l = self.project(ql, &[("iter", "iter"), ("item", "item")]);
         let r = self.project(qr, &[("iter", "iter1"), ("item", "item1")]);
         let joined = self.equi_join(l, r, "iter", "iter1");
@@ -521,7 +574,12 @@ impl Ctx {
         // General predicate: open a per-item scope (exactly like `for`),
         // bind the context item, position() and last(), evaluate the
         // predicate's effective boolean value and keep the matching rows.
-        let numbered = self.row_number(q, "inner", vec![SortSpec::asc("iter"), SortSpec::asc("pos")], None);
+        let numbered = self.row_number(
+            q,
+            "inner",
+            vec![SortSpec::asc("iter"), SortSpec::asc("pos")],
+            None,
+        );
         let map = self.project(numbered, &[("inner", "inner"), ("iter", "outer")]);
         let inner_loop = self.project(numbered, &[("inner", "iter")]);
         let dot_pairs = self.project(numbered, &[("inner", "iter"), ("item", "item")]);
@@ -668,22 +726,21 @@ impl Ctx {
                 let pairs = self.project(mapped, &[("iter", "iter"), ("res", "item")]);
                 Ok(self.bool_to_seq(pairs))
             }
-            "position" => scope
-                .vars
-                .get("fs:position")
-                .copied()
-                .ok_or_else(|| XqError::compile("fn:position() is only available inside a predicate")),
-            "last" => scope
-                .vars
-                .get("fs:last")
-                .copied()
-                .ok_or_else(|| XqError::compile("fn:last() is only available inside a predicate")),
+            "position" => scope.vars.get("fs:position").copied().ok_or_else(|| {
+                XqError::compile("fn:position() is only available inside a predicate")
+            }),
+            "last" => {
+                scope.vars.get("fs:last").copied().ok_or_else(|| {
+                    XqError::compile("fn:last() is only available inside a predicate")
+                })
+            }
             "distinct-values" => {
                 let q = self.compile_expr(&args[0], scope)?;
                 let data = self.b.add(AlgOp::FnData { input: q });
                 let pairs = self.project(data, &[("iter", "iter"), ("item", "item")]);
                 let distinct = self.b.add(AlgOp::Distinct { input: pairs });
-                let numbered = self.row_number(distinct, "pos", vec![SortSpec::asc("item")], Some("iter"));
+                let numbered =
+                    self.row_number(distinct, "pos", vec![SortSpec::asc("item")], Some("iter"));
                 Ok(self.canonical(numbered))
             }
             "distinct-doc-order" => {
@@ -728,11 +785,14 @@ impl Ctx {
                         op: BinaryOp::Concat,
                         right: item1.clone(),
                     });
-                    acc = self.project(mapped, &[("iter", "iter"), ("pos", "pos"), ("res", "item")]);
+                    acc =
+                        self.project(mapped, &[("iter", "iter"), ("pos", "pos"), ("res", "item")]);
                 }
                 Ok(acc)
             }
-            other => Err(XqError::compile(format!("function `fn:{other}` is not supported by the compiler"))),
+            other => Err(XqError::compile(format!(
+                "function `fn:{other}` is not supported by the compiler"
+            ))),
         }
     }
 
@@ -750,7 +810,9 @@ impl Ctx {
         // --- join recognition --------------------------------------------
         if self.opts.join_recognition && pos_var.is_none() && order_by.is_empty() {
             if let Some(where_expr) = where_clause {
-                if let Some(result) = self.try_join_recognition(var, seq, where_expr, body, scope)? {
+                if let Some(result) =
+                    self.try_join_recognition(var, seq, where_expr, body, scope)?
+                {
                     self.joins_recognized += 1;
                     return Ok(result);
                 }
@@ -759,7 +821,12 @@ impl Ctx {
 
         // --- generic loop lifting ----------------------------------------
         let q_seq = self.compile_expr(seq, scope)?;
-        let numbered = self.row_number(q_seq, "inner", vec![SortSpec::asc("iter"), SortSpec::asc("pos")], None);
+        let numbered = self.row_number(
+            q_seq,
+            "inner",
+            vec![SortSpec::asc("iter"), SortSpec::asc("pos")],
+            None,
+        );
         let map = self.project(numbered, &[("inner", "inner"), ("iter", "outer")]);
         let inner_loop = self.project(numbered, &[("inner", "iter")]);
         let var_pairs = self.project(numbered, &[("inner", "iter"), ("item", "item")]);
@@ -801,7 +868,10 @@ impl Ctx {
             let data = self.b.add(AlgOp::FnData { input: q_key });
             let inner_name = format!("okey_inner{index}");
             let item_name = format!("okey{index}");
-            let key_pairs = self.project(data, &[("iter", inner_name.as_str()), ("item", item_name.as_str())]);
+            let key_pairs = self.project(
+                data,
+                &[("iter", inner_name.as_str()), ("item", item_name.as_str())],
+            );
             back = self.equi_join(back, key_pairs, "inner", &inner_name);
             sort_keys.push(if key.descending {
                 SortSpec::desc(item_name)
@@ -812,7 +882,10 @@ impl Ctx {
         sort_keys.push(SortSpec::asc("iter"));
         sort_keys.push(SortSpec::asc("pos"));
         let renumbered = self.row_number(back, "pos1", sort_keys, Some("outer"));
-        Ok(self.project(renumbered, &[("outer", "iter"), ("pos1", "pos"), ("item", "item")]))
+        Ok(self.project(
+            renumbered,
+            &[("outer", "iter"), ("pos1", "pos"), ("item", "item")],
+        ))
     }
 
     /// Attempt to compile `for $var in seq where <lhs θ rhs> return body` as
@@ -842,7 +915,8 @@ impl Ctx {
         let left_free = left.free_vars();
         let right_free = right.free_vars();
         // Exactly one side must depend on `$var`; the other side must not.
-        let (inner_expr, outer_expr, cmp) = if left_free.contains(var) && !right_free.contains(var) {
+        let (inner_expr, outer_expr, cmp) = if left_free.contains(var) && !right_free.contains(var)
+        {
             // left is the inner key: pairs must satisfy inner θ outer,
             // i.e. outer θ⁻¹ inner when the outer side is the join's left input.
             (left.as_ref(), right.as_ref(), cmp.mirror())
@@ -865,7 +939,12 @@ impl Ctx {
             vars: HashMap::new(),
         };
         let q_seq = self.compile_expr(seq, &single_scope)?;
-        let keyed = self.row_number(q_seq, "aid", vec![SortSpec::asc("iter"), SortSpec::asc("pos")], None);
+        let keyed = self.row_number(
+            q_seq,
+            "aid",
+            vec![SortSpec::asc("iter"), SortSpec::asc("pos")],
+            None,
+        );
         let items_by_aid = self.project(keyed, &[("aid", "aid2"), ("item", "item")]);
 
         // 2. Compile the inner key with $var bound per candidate binding.
@@ -973,9 +1052,20 @@ mod tests {
         // The query of Figure 5 of the paper.
         let compiled = compile_str("for $v in (10,20) return $v + 100");
         let hist = compiled.plan.operator_histogram();
-        let count = |name: &str| hist.iter().find(|(n, _)| n == name).map(|(_, c)| *c).unwrap_or(0);
-        assert!(count("rownum") >= 2, "numbering for the new scope and the back-mapping");
-        assert!(count("equi-join") >= 1, "loop-lifted addition joins on iter");
+        let count = |name: &str| {
+            hist.iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, c)| *c)
+                .unwrap_or(0)
+        };
+        assert!(
+            count("rownum") >= 2,
+            "numbering for the new scope and the back-mapping"
+        );
+        assert!(
+            count("equi-join") >= 1,
+            "loop-lifted addition joins on iter"
+        );
         assert!(count("project") >= 3);
     }
 
@@ -994,7 +1084,11 @@ mod tests {
         let compiled = compile_str(q);
         assert_eq!(compiled.joins_recognized, 1);
         let hist = compiled.plan.operator_histogram();
-        let thetas = hist.iter().find(|(n, _)| n == "theta-join").map(|(_, c)| *c).unwrap_or(0);
+        let thetas = hist
+            .iter()
+            .find(|(n, _)| n == "theta-join")
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
         assert_eq!(thetas, 0, "an equality predicate must become an equi-join");
     }
 
@@ -1006,7 +1100,11 @@ mod tests {
         let compiled = compile_str(q);
         assert_eq!(compiled.joins_recognized, 1);
         let hist = compiled.plan.operator_histogram();
-        let thetas = hist.iter().find(|(n, _)| n == "theta-join").map(|(_, c)| *c).unwrap_or(0);
+        let thetas = hist
+            .iter()
+            .find(|(n, _)| n == "theta-join")
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
         assert_eq!(thetas, 1);
     }
 
@@ -1041,7 +1139,11 @@ mod tests {
     fn doc_order_operators_are_inserted_and_optimizable() {
         let compiled = compile_str("doc(\"a.xml\")//person/name");
         let hist = compiled.plan.operator_histogram();
-        let ddo = hist.iter().find(|(n, _)| n == "ddo").map(|(_, c)| *c).unwrap_or(0);
+        let ddo = hist
+            .iter()
+            .find(|(n, _)| n == "ddo")
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
         assert_eq!(ddo, 2, "one ddo per location step");
         let mut plan = compiled.plan.clone();
         let report = pf_algebra::optimize(&mut plan);

@@ -109,96 +109,165 @@ pub fn tokenize(input: &str) -> XqResult<Vec<SpannedToken>> {
                 }
             }
             b'(' => {
-                tokens.push(SpannedToken { token: Token::LParen, offset: i });
+                tokens.push(SpannedToken {
+                    token: Token::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(SpannedToken { token: Token::RParen, offset: i });
+                tokens.push(SpannedToken {
+                    token: Token::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             b'[' => {
-                tokens.push(SpannedToken { token: Token::LBracket, offset: i });
+                tokens.push(SpannedToken {
+                    token: Token::LBracket,
+                    offset: i,
+                });
                 i += 1;
             }
             b']' => {
-                tokens.push(SpannedToken { token: Token::RBracket, offset: i });
+                tokens.push(SpannedToken {
+                    token: Token::RBracket,
+                    offset: i,
+                });
                 i += 1;
             }
             b'{' => {
-                tokens.push(SpannedToken { token: Token::LBrace, offset: i });
+                tokens.push(SpannedToken {
+                    token: Token::LBrace,
+                    offset: i,
+                });
                 i += 1;
             }
             b'}' => {
-                tokens.push(SpannedToken { token: Token::RBrace, offset: i });
+                tokens.push(SpannedToken {
+                    token: Token::RBrace,
+                    offset: i,
+                });
                 i += 1;
             }
             b',' => {
-                tokens.push(SpannedToken { token: Token::Comma, offset: i });
+                tokens.push(SpannedToken {
+                    token: Token::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             b'@' => {
-                tokens.push(SpannedToken { token: Token::At, offset: i });
+                tokens.push(SpannedToken {
+                    token: Token::At,
+                    offset: i,
+                });
                 i += 1;
             }
             b'+' => {
-                tokens.push(SpannedToken { token: Token::Plus, offset: i });
+                tokens.push(SpannedToken {
+                    token: Token::Plus,
+                    offset: i,
+                });
                 i += 1;
             }
             b'-' => {
-                tokens.push(SpannedToken { token: Token::Minus, offset: i });
+                tokens.push(SpannedToken {
+                    token: Token::Minus,
+                    offset: i,
+                });
                 i += 1;
             }
             b'*' => {
-                tokens.push(SpannedToken { token: Token::Star, offset: i });
+                tokens.push(SpannedToken {
+                    token: Token::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             b'=' => {
-                tokens.push(SpannedToken { token: Token::Eq, offset: i });
+                tokens.push(SpannedToken {
+                    token: Token::Eq,
+                    offset: i,
+                });
                 i += 1;
             }
             b'!' if bytes.get(i + 1) == Some(&b'=') => {
-                tokens.push(SpannedToken { token: Token::NotEq, offset: i });
+                tokens.push(SpannedToken {
+                    token: Token::NotEq,
+                    offset: i,
+                });
                 i += 2;
             }
             b'<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(SpannedToken { token: Token::Le, offset: i });
+                    tokens.push(SpannedToken {
+                        token: Token::Le,
+                        offset: i,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'<') {
-                    tokens.push(SpannedToken { token: Token::Before, offset: i });
+                    tokens.push(SpannedToken {
+                        token: Token::Before,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(SpannedToken { token: Token::Lt, offset: i });
+                    tokens.push(SpannedToken {
+                        token: Token::Lt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             b'>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(SpannedToken { token: Token::Ge, offset: i });
+                    tokens.push(SpannedToken {
+                        token: Token::Ge,
+                        offset: i,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(SpannedToken { token: Token::After, offset: i });
+                    tokens.push(SpannedToken {
+                        token: Token::After,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(SpannedToken { token: Token::Gt, offset: i });
+                    tokens.push(SpannedToken {
+                        token: Token::Gt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             b'/' => {
                 if bytes.get(i + 1) == Some(&b'/') {
-                    tokens.push(SpannedToken { token: Token::DoubleSlash, offset: i });
+                    tokens.push(SpannedToken {
+                        token: Token::DoubleSlash,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(SpannedToken { token: Token::Slash, offset: i });
+                    tokens.push(SpannedToken {
+                        token: Token::Slash,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             b':' => {
                 if bytes.get(i + 1) == Some(&b':') {
-                    tokens.push(SpannedToken { token: Token::DoubleColon, offset: i });
+                    tokens.push(SpannedToken {
+                        token: Token::DoubleColon,
+                        offset: i,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(SpannedToken { token: Token::Assign, offset: i });
+                    tokens.push(SpannedToken {
+                        token: Token::Assign,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
                     return Err(XqError::lex("unexpected `:`", i));
@@ -207,10 +276,16 @@ pub fn tokenize(input: &str) -> XqResult<Vec<SpannedToken>> {
             b'.' => {
                 if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
                     let (tok, len) = lex_number(input, i)?;
-                    tokens.push(SpannedToken { token: tok, offset: i });
+                    tokens.push(SpannedToken {
+                        token: tok,
+                        offset: i,
+                    });
                     i += len;
                 } else {
-                    tokens.push(SpannedToken { token: Token::Dot, offset: i });
+                    tokens.push(SpannedToken {
+                        token: Token::Dot,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
@@ -258,13 +333,19 @@ pub fn tokenize(input: &str) -> XqResult<Vec<SpannedToken>> {
             }
             b'0'..=b'9' => {
                 let (tok, len) = lex_number(input, i)?;
-                tokens.push(SpannedToken { token: tok, offset: i });
+                tokens.push(SpannedToken {
+                    token: tok,
+                    offset: i,
+                });
                 i += len;
             }
             _ => {
                 let len = name_length(&bytes[i..]);
                 if len == 0 {
-                    return Err(XqError::lex(format!("unexpected character `{}`", c as char), i));
+                    return Err(XqError::lex(
+                        format!("unexpected character `{}`", c as char),
+                        i,
+                    ));
                 }
                 tokens.push(SpannedToken {
                     token: Token::Name(input[i..i + len].to_string()),
@@ -290,7 +371,12 @@ fn name_length(bytes: &[u8]) -> usize {
             if !is_start {
                 return 0;
             }
-        } else if b == b':' && !seen_colon && len + 1 < bytes.len() && bytes[len + 1] != b':' && bytes[len + 1] != b'=' {
+        } else if b == b':'
+            && !seen_colon
+            && len + 1 < bytes.len()
+            && bytes[len + 1] != b':'
+            && bytes[len + 1] != b'='
+        {
             seen_colon = true;
             len += 1;
             continue;
@@ -359,7 +445,11 @@ mod tests {
     use super::*;
 
     fn toks(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]
@@ -439,8 +529,14 @@ mod tests {
 
     #[test]
     fn string_escapes_and_comments() {
-        assert_eq!(toks("\"he said \"\"hi\"\"\""), vec![Token::StringLit("he said \"hi\"".into())]);
-        assert_eq!(toks("1 (: a (: nested :) comment :) 2"), vec![Token::Integer(1), Token::Integer(2)]);
+        assert_eq!(
+            toks("\"he said \"\"hi\"\"\""),
+            vec![Token::StringLit("he said \"hi\"".into())]
+        );
+        assert_eq!(
+            toks("1 (: a (: nested :) comment :) 2"),
+            vec![Token::Integer(1), Token::Integer(2)]
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod normalize;
 pub mod parser;
 
 pub use ast::{BinOpKind, Expr};
-pub use compile::{compile, Compiled, CompileOptions};
+pub use compile::{compile, CompileOptions, Compiled};
 pub use error::{XqError, XqResult};
 pub use normalize::normalize;
 pub use parser::parse_query;

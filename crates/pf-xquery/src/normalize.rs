@@ -56,7 +56,11 @@ pub fn normalize(expr: &Expr) -> XqResult<Expr> {
 
 fn rewrite(expr: &Expr) -> Expr {
     match expr {
-        Expr::Some { var, seq, satisfies } => {
+        Expr::Some {
+            var,
+            seq,
+            satisfies,
+        } => {
             // some $x in S satisfies P  ≡  exists(for $x in S where P return 1)
             let inner = Expr::For {
                 var: var.clone(),
@@ -72,7 +76,8 @@ fn rewrite(expr: &Expr) -> Expr {
             }
         }
         Expr::FunCall { name, args }
-            if matches!(name.as_str(), "zero-or-one" | "exactly-one" | "one-or-more") && args.len() == 1 =>
+            if matches!(name.as_str(), "zero-or-one" | "exactly-one" | "one-or-more")
+                && args.len() == 1 =>
         {
             rewrite(&args[0])
         }
@@ -114,7 +119,9 @@ fn rewrite(expr: &Expr) -> Expr {
         } => {
             let cond = match rewrite(cond) {
                 // fn:boolean is implicit in condition position.
-                Expr::FunCall { name, mut args } if name == "boolean" && args.len() == 1 => args.remove(0),
+                Expr::FunCall { name, mut args } if name == "boolean" && args.len() == 1 => {
+                    args.remove(0)
+                }
                 other => other,
             };
             Expr::If {
@@ -165,10 +172,12 @@ fn check(expr: &Expr, bound: &mut HashSet<String>) -> XqResult<()> {
             let known = BUILTINS.iter().find(|(n, _, _)| n == name);
             match known {
                 None => Err(XqError::normalize(format!("unknown function `fn:{name}`"))),
-                Some((_, lo, hi)) if args.len() < *lo || args.len() > *hi => Err(XqError::normalize(format!(
-                    "function `fn:{name}` called with {} argument(s), expected {lo}..{hi}",
-                    args.len()
-                ))),
+                Some((_, lo, hi)) if args.len() < *lo || args.len() > *hi => {
+                    Err(XqError::normalize(format!(
+                        "function `fn:{name}` called with {} argument(s), expected {lo}..{hi}",
+                        args.len()
+                    )))
+                }
                 Some(_) => {
                     for a in args {
                         check(a, bound)?;
@@ -196,7 +205,10 @@ fn check(expr: &Expr, bound: &mut HashSet<String>) -> XqResult<()> {
         } => {
             check(seq, bound)?;
             let added = bound.insert(var.clone());
-            let added_pos = pos_var.as_ref().map(|p| bound.insert(p.clone())).unwrap_or(false);
+            let added_pos = pos_var
+                .as_ref()
+                .map(|p| bound.insert(p.clone()))
+                .unwrap_or(false);
             if let Some(w) = where_clause {
                 check(w, bound)?;
             }
@@ -212,7 +224,11 @@ fn check(expr: &Expr, bound: &mut HashSet<String>) -> XqResult<()> {
             }
             Ok(())
         }
-        Expr::Some { var, seq, satisfies } => {
+        Expr::Some {
+            var,
+            seq,
+            satisfies,
+        } => {
             check(seq, bound)?;
             let added = bound.insert(var.clone());
             check(satisfies, bound)?;
@@ -258,7 +274,11 @@ fn check(expr: &Expr, bound: &mut HashSet<String>) -> XqResult<()> {
             check(input, bound)?;
             check(pred, bound)
         }
-        Expr::IntLit(_) | Expr::DecLit(_) | Expr::StrLit(_) | Expr::EmptySeq | Expr::ContextItem => Ok(()),
+        Expr::IntLit(_)
+        | Expr::DecLit(_)
+        | Expr::StrLit(_)
+        | Expr::EmptySeq
+        | Expr::ContextItem => Ok(()),
     }
 }
 
@@ -271,9 +291,17 @@ mod tests {
     fn some_is_rewritten_to_exists() {
         let ast = parse_query("some $x in (1,2,3) satisfies $x = 2").unwrap();
         let core = normalize(&ast).unwrap();
-        let Expr::FunCall { name, args } = core else { panic!() };
+        let Expr::FunCall { name, args } = core else {
+            panic!()
+        };
         assert_eq!(name, "exists");
-        assert!(matches!(&args[0], Expr::For { where_clause: Some(_), .. }));
+        assert!(matches!(
+            &args[0],
+            Expr::For {
+                where_clause: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -286,7 +314,9 @@ mod tests {
             body: Box::new(ast),
         };
         let core = normalize(&ast).unwrap();
-        let Expr::Let { body, .. } = core else { panic!() };
+        let Expr::Let { body, .. } = core else {
+            panic!()
+        };
         assert!(matches!(*body, Expr::Var(_)));
     }
 
@@ -300,7 +330,10 @@ mod tests {
     #[test]
     fn unknown_functions_and_bad_arity_are_rejected() {
         let ast = parse_query("frobnicate(1)").unwrap();
-        assert!(normalize(&ast).unwrap_err().message.contains("unknown function"));
+        assert!(normalize(&ast)
+            .unwrap_err()
+            .message
+            .contains("unknown function"));
         let ast = parse_query("count(1, 2)").unwrap();
         assert!(normalize(&ast).unwrap_err().message.contains("expected"));
     }
@@ -315,7 +348,9 @@ mod tests {
     fn boolean_wrapper_in_condition_is_dropped() {
         let ast = parse_query("if (boolean((1,2))) then 1 else 2").unwrap();
         let core = normalize(&ast).unwrap();
-        let Expr::If { cond, .. } = core else { panic!() };
+        let Expr::If { cond, .. } = core else {
+            panic!()
+        };
         assert!(matches!(*cond, Expr::Sequence(_)));
     }
 }

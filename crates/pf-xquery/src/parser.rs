@@ -466,8 +466,10 @@ impl Parser {
                     return self.parse_step(Expr::ContextItem);
                 }
                 // Kind tests applied to the context item.
-                if matches!(name.as_str(), "text" | "node" | "comment" | "processing-instruction")
-                    && self.peek_ahead(1) == Some(&Token::LParen)
+                if matches!(
+                    name.as_str(),
+                    "text" | "node" | "comment" | "processing-instruction"
+                ) && self.peek_ahead(1) == Some(&Token::LParen)
                     && self.peek_ahead(2) == Some(&Token::RParen)
                 {
                     return self.parse_step(Expr::ContextItem);
@@ -679,20 +681,41 @@ mod tests {
         let e = parse_query("let $x := 1 + 2 * 3 return $x").unwrap();
         let Expr::Let { value, .. } = e else { panic!() };
         // 1 + (2 * 3)
-        let Expr::BinOp { op: BinOpKind::Add, right, .. } = *value else {
+        let Expr::BinOp {
+            op: BinOpKind::Add,
+            right,
+            ..
+        } = *value
+        else {
             panic!("expected +");
         };
-        assert!(matches!(*right, Expr::BinOp { op: BinOpKind::Mul, .. }));
+        assert!(matches!(
+            *right,
+            Expr::BinOp {
+                op: BinOpKind::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn parses_paths_with_predicates_and_attributes() {
         let e = parse_query("doc(\"auction.xml\")//person[@id = \"p0\"]/name/text()").unwrap();
         // Outermost is the text() step.
-        let Expr::PathStep { test: NodeTest::Text, input, .. } = e else {
+        let Expr::PathStep {
+            test: NodeTest::Text,
+            input,
+            ..
+        } = e
+        else {
             panic!("expected text() step, got {e:?}");
         };
-        let Expr::PathStep { test: NodeTest::Element(name), input, .. } = *input else {
+        let Expr::PathStep {
+            test: NodeTest::Element(name),
+            input,
+            ..
+        } = *input
+        else {
             panic!("expected name step");
         };
         assert_eq!(name, "name");
@@ -702,8 +725,21 @@ mod tests {
     #[test]
     fn parses_explicit_axes() {
         let e = parse_query("$a/descendant::item/ancestor::site").unwrap();
-        let Expr::PathStep { axis: Axis::Ancestor, input, .. } = e else { panic!() };
-        assert!(matches!(*input, Expr::PathStep { axis: Axis::Descendant, .. }));
+        let Expr::PathStep {
+            axis: Axis::Ancestor,
+            input,
+            ..
+        } = e
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            *input,
+            Expr::PathStep {
+                axis: Axis::Descendant,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -712,7 +748,14 @@ mod tests {
             "for $p in doc(\"a.xml\")//person where $p/@id = \"p1\" order by $p/name descending return $p",
         )
         .unwrap();
-        let Expr::For { where_clause, order_by, .. } = e else { panic!() };
+        let Expr::For {
+            where_clause,
+            order_by,
+            ..
+        } = e
+        else {
+            panic!()
+        };
         assert!(where_clause.is_some());
         assert_eq!(order_by.len(), 1);
         assert!(order_by[0].descending);
@@ -721,15 +764,28 @@ mod tests {
     #[test]
     fn parses_if_and_boolean_connectives() {
         let e = parse_query("if ($a = 1 and $b = 2 or $c) then \"x\" else ()").unwrap();
-        let Expr::If { cond, else_branch, .. } = e else { panic!() };
-        assert!(matches!(*cond, Expr::BinOp { op: BinOpKind::Or, .. }));
+        let Expr::If {
+            cond, else_branch, ..
+        } = e
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            *cond,
+            Expr::BinOp {
+                op: BinOpKind::Or,
+                ..
+            }
+        ));
         assert!(matches!(*else_branch, Expr::EmptySeq));
     }
 
     #[test]
     fn parses_constructors() {
         let e = parse_query("element result { attribute n { 1 }, text { \"hi\" }, $x }").unwrap();
-        let Expr::ElemConstr { tag, content } = e else { panic!() };
+        let Expr::ElemConstr { tag, content } = e else {
+            panic!()
+        };
         assert_eq!(tag, "result");
         assert_eq!(content.len(), 3);
         assert!(matches!(content[0], Expr::AttrConstr { .. }));
@@ -739,7 +795,9 @@ mod tests {
     #[test]
     fn parses_functions_with_prefixes() {
         let e = parse_query("fn:count(fs:distinct-doc-order($x//item))").unwrap();
-        let Expr::FunCall { name, args } = e else { panic!() };
+        let Expr::FunCall { name, args } = e else {
+            panic!()
+        };
         assert_eq!(name, "count");
         assert!(matches!(&args[0], Expr::FunCall { name, .. } if name == "distinct-doc-order"));
     }
@@ -747,9 +805,21 @@ mod tests {
     #[test]
     fn parses_node_identity_and_document_order() {
         let e = parse_query("$a is $b").unwrap();
-        assert!(matches!(e, Expr::BinOp { op: BinOpKind::Is, .. }));
+        assert!(matches!(
+            e,
+            Expr::BinOp {
+                op: BinOpKind::Is,
+                ..
+            }
+        ));
         let e = parse_query("$a << $b").unwrap();
-        assert!(matches!(e, Expr::BinOp { op: BinOpKind::Before, .. }));
+        assert!(matches!(
+            e,
+            Expr::BinOp {
+                op: BinOpKind::Before,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -768,16 +838,31 @@ mod tests {
     #[test]
     fn parses_positional_variable() {
         let e = parse_query("for $x at $i in $s return $i").unwrap();
-        let Expr::For { pos_var, .. } = e else { panic!() };
+        let Expr::For { pos_var, .. } = e else {
+            panic!()
+        };
         assert_eq!(pos_var.as_deref(), Some("i"));
     }
 
     #[test]
     fn parses_wildcard_and_leading_slash() {
         let e = parse_query("$a/*").unwrap();
-        assert!(matches!(e, Expr::PathStep { test: NodeTest::AnyElement, .. }));
+        assert!(matches!(
+            e,
+            Expr::PathStep {
+                test: NodeTest::AnyElement,
+                ..
+            }
+        ));
         let e = parse_query("$a//text()").unwrap();
-        assert!(matches!(e, Expr::PathStep { axis: Axis::Descendant, test: NodeTest::Text, .. }));
+        assert!(matches!(
+            e,
+            Expr::PathStep {
+                axis: Axis::Descendant,
+                test: NodeTest::Text,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -793,6 +878,12 @@ mod tests {
     #[test]
     fn negative_numbers_and_unary_plus() {
         let e = parse_query("-3 + +4").unwrap();
-        assert!(matches!(e, Expr::BinOp { op: BinOpKind::Add, .. }));
+        assert!(matches!(
+            e,
+            Expr::BinOp {
+                op: BinOpKind::Add,
+                ..
+            }
+        ));
     }
 }

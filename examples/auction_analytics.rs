@@ -14,7 +14,10 @@ use pathfinder::engine::Pathfinder;
 use pathfinder::xmark::{generate, generate_stats, GeneratorConfig};
 
 fn main() {
-    let config = GeneratorConfig { scale: 0.02, seed: 20050831 };
+    let config = GeneratorConfig {
+        scale: 0.02,
+        seed: 20050831,
+    };
     let stats = generate_stats(&config);
     let xml = generate(&config);
     println!(
@@ -30,8 +33,10 @@ fn main() {
     let mut nav = BaselineEngine::new();
     nav.load_document("auction.xml", &xml).unwrap();
     // Mirror the X-Hive tuning of Section 3.2: value indices on the join paths.
-    nav.create_attribute_index("auction.xml", "buyer", "person").unwrap();
-    nav.create_attribute_index("auction.xml", "profile", "income").unwrap();
+    nav.create_attribute_index("auction.xml", "buyer", "person")
+        .unwrap();
+    nav.create_attribute_index("auction.xml", "profile", "income")
+        .unwrap();
 
     let analytics = [
         (
@@ -54,7 +59,10 @@ fn main() {
         ),
     ];
 
-    println!("\n{:<38} {:>12} {:>12}  agreement", "analysis", "pathfinder", "navigational");
+    println!(
+        "\n{:<38} {:>12} {:>12}  agreement",
+        "analysis", "pathfinder", "navigational"
+    );
     for (name, query) in analytics {
         let start = Instant::now();
         let relational = pf.query(query).expect("pathfinder evaluates the query");

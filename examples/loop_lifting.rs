@@ -13,12 +13,8 @@ use pathfinder::relational::{Table, Value};
 
 fn main() {
     // Figure 3(a): the literal sequence (10,20) in the top-level scope s0.
-    let fig3a = Table::iter_pos_item(
-        vec![1, 1],
-        vec![1, 2],
-        vec![Value::Int(10), Value::Int(20)],
-    )
-    .unwrap();
+    let fig3a =
+        Table::iter_pos_item(vec![1, 1], vec![1, 2], vec![Value::Int(10), Value::Int(20)]).unwrap();
     println!("(a) (10,20) in scope s0:\n{}", fig3a.to_ascii());
 
     // Figure 3(b): row numbering introduces the iterations of scope s1 —

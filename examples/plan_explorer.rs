@@ -42,5 +42,8 @@ fn main() {
         println!("  {name:<12} {count}");
     }
     println!("\noptimized plan (ASCII):\n{}", explain.plan_ascii());
-    println!("Graphviz DOT (render with `dot -Tpng`):\n{}", explain.plan_dot());
+    println!(
+        "Graphviz DOT (render with `dot -Tpng`):\n{}",
+        explain.plan_dot()
+    );
 }

@@ -42,7 +42,10 @@ fn join_recognition_does_not_change_results() {
     use pathfinder::engine::EngineOptions;
     use pathfinder::xquery::CompileOptions;
 
-    let xml = generate(&GeneratorConfig { scale: 0.003, seed: 7 });
+    let xml = generate(&GeneratorConfig {
+        scale: 0.003,
+        seed: 7,
+    });
     let mut with_joins = Pathfinder::new();
     with_joins.load_document("auction.xml", &xml).unwrap();
     let mut without_joins = Pathfinder::with_options(EngineOptions {
@@ -58,7 +61,11 @@ fn join_recognition_does_not_change_results() {
         let q = pathfinder::xmark::query(id).unwrap();
         let a = with_joins.query(q.text).unwrap();
         let b = without_joins.query(q.text).unwrap();
-        assert_eq!(a.to_xml(), b.to_xml(), "Q{id} changed under join recognition");
+        assert_eq!(
+            a.to_xml(),
+            b.to_xml(),
+            "Q{id} changed under join recognition"
+        );
     }
 }
 
@@ -66,7 +73,10 @@ fn join_recognition_does_not_change_results() {
 fn optimizer_does_not_change_results() {
     use pathfinder::engine::EngineOptions;
 
-    let xml = generate(&GeneratorConfig { scale: 0.003, seed: 13 });
+    let xml = generate(&GeneratorConfig {
+        scale: 0.003,
+        seed: 13,
+    });
     let mut optimized = Pathfinder::new();
     optimized.load_document("auction.xml", &xml).unwrap();
     let mut unoptimized = Pathfinder::with_options(EngineOptions {
@@ -78,7 +88,12 @@ fn optimizer_does_not_change_results() {
     for q in queries() {
         let a = optimized.query(q.text).unwrap();
         let b = unoptimized.query(q.text).unwrap();
-        assert_eq!(a.to_xml(), b.to_xml(), "Q{} changed under peephole optimization", q.id);
+        assert_eq!(
+            a.to_xml(),
+            b.to_xml(),
+            "Q{} changed under peephole optimization",
+            q.id
+        );
     }
 }
 
@@ -110,8 +125,12 @@ fn engines_agree_on_handwritten_micro_queries() {
         "for $a in fn:doc(\"doc.xml\")//person, $b in fn:doc(\"doc.xml\")//person where $a/@id = $b/@id return 1",
     ];
     for q in queries {
-        let a = pf.query(q).unwrap_or_else(|e| panic!("Pathfinder failed on `{q}`: {e}"));
-        let b = baseline.query(q).unwrap_or_else(|e| panic!("baseline failed on `{q}`: {e}"));
+        let a = pf
+            .query(q)
+            .unwrap_or_else(|e| panic!("Pathfinder failed on `{q}`: {e}"));
+        let b = baseline
+            .query(q)
+            .unwrap_or_else(|e| panic!("baseline failed on `{q}`: {e}"));
         assert_eq!(a.to_xml(), b.to_xml(), "engines disagree on `{q}`");
     }
 }

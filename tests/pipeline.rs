@@ -8,7 +8,10 @@ use pathfinder::xquery::CompileOptions;
 
 #[test]
 fn xmark_documents_shred_and_account_storage() {
-    let config = GeneratorConfig { scale: 0.01, seed: 99 };
+    let config = GeneratorConfig {
+        scale: 0.01,
+        seed: 99,
+    };
     let xml = generate(&config);
     let stats = generate_stats(&config);
     let store = DocStore::from_xml("auction.xml", &xml).unwrap();
@@ -21,35 +24,56 @@ fn xmark_documents_shred_and_account_storage() {
     assert_eq!(storage.source_bytes, xml.len());
     assert!(storage.total_bytes() > 0);
     let overhead = storage.overhead_percent().unwrap();
-    assert!(overhead > 50.0 && overhead < 300.0, "implausible overhead {overhead}");
+    assert!(
+        overhead > 50.0 && overhead < 300.0,
+        "implausible overhead {overhead}"
+    );
 }
 
 #[test]
 fn staircase_join_prunes_and_skips_on_xmark_documents() {
-    let xml = generate(&GeneratorConfig { scale: 0.01, seed: 3 });
+    let xml = generate(&GeneratorConfig {
+        scale: 0.01,
+        seed: 3,
+    });
     let store = DocStore::from_xml("auction.xml", &xml).unwrap();
     let everything: Vec<u32> = (0..store.node_count() as u32).collect();
-    let (result, stats) = staircase_join_counted(&store, &everything, Axis::Descendant, &NodeTest::AnyElement);
+    let (result, stats) =
+        staircase_join_counted(&store, &everything, Axis::Descendant, &NodeTest::AnyElement);
     // With every node as context, pruning must collapse the context to the
     // document node and scan each row at most once.
     assert_eq!(stats.pruned_context, 1);
     assert!(stats.rows_scanned <= store.node_count());
-    assert_eq!(result.len(), (0..store.node_count() as u32)
-        .filter(|&p| NodeTest::AnyElement.matches(&store, p))
-        .count());
+    assert_eq!(
+        result.len(),
+        (0..store.node_count() as u32)
+            .filter(|&p| NodeTest::AnyElement.matches(&store, p))
+            .count()
+    );
 }
 
 #[test]
 fn explain_exposes_the_compilation_stages() {
-    let xml = generate(&GeneratorConfig { scale: 0.005, seed: 5 });
+    let xml = generate(&GeneratorConfig {
+        scale: 0.005,
+        seed: 5,
+    });
     let mut pf = Pathfinder::new();
     pf.load_document("auction.xml", &xml).unwrap();
     for q in queries() {
         let explain = pf.explain(q.text).unwrap();
-        assert!(explain.report.operators_after <= explain.report.operators_before, "Q{}", q.id);
+        assert!(
+            explain.report.operators_after <= explain.report.operators_before,
+            "Q{}",
+            q.id
+        );
         assert!(explain.unoptimized.operator_count() >= explain.optimized.operator_count());
         if q.class == QueryClass::Join {
-            assert!(explain.joins_recognized >= 1, "Q{} should compile into a join plan", q.id);
+            assert!(
+                explain.joins_recognized >= 1,
+                "Q{} should compile into a join plan",
+                q.id
+            );
         }
         // Plans render in both formats.
         assert!(explain.plan_ascii().lines().count() > 1);
@@ -65,7 +89,10 @@ fn join_recognition_avoids_quadratic_intermediates() {
     let q8 = pathfinder::xmark::query(8).unwrap();
     let with = Pathfinder::new().explain(q8.text).unwrap();
     let without = Pathfinder::with_options(EngineOptions {
-        compile: CompileOptions { join_recognition: false, ..Default::default() },
+        compile: CompileOptions {
+            join_recognition: false,
+            ..Default::default()
+        },
         optimize: true,
     })
     .explain(q8.text)
@@ -85,7 +112,10 @@ fn join_recognition_avoids_quadratic_intermediates() {
 
 #[test]
 fn timings_are_reported_and_queries_are_repeatable() {
-    let xml = generate(&GeneratorConfig { scale: 0.005, seed: 11 });
+    let xml = generate(&GeneratorConfig {
+        scale: 0.005,
+        seed: 11,
+    });
     let mut pf = Pathfinder::new();
     pf.load_document("auction.xml", &xml).unwrap();
     let q = pathfinder::xmark::query(8).unwrap();
@@ -108,14 +138,30 @@ fn engine_reports_errors_for_bad_input() {
 
 #[test]
 fn scale_factors_change_document_and_query_results_monotonically() {
-    let small = generate(&GeneratorConfig { scale: 0.004, seed: 1 });
-    let large = generate(&GeneratorConfig { scale: 0.02, seed: 1 });
+    let small = generate(&GeneratorConfig {
+        scale: 0.004,
+        seed: 1,
+    });
+    let large = generate(&GeneratorConfig {
+        scale: 0.02,
+        seed: 1,
+    });
     let mut pf_small = Pathfinder::new();
     pf_small.load_document("auction.xml", &small).unwrap();
     let mut pf_large = Pathfinder::new();
     pf_large.load_document("auction.xml", &large).unwrap();
     let count_query = "fn:count(fn:doc(\"auction.xml\")/site/people/person)";
-    let small_count: i64 = pf_small.query(count_query).unwrap().to_xml().parse().unwrap();
-    let large_count: i64 = pf_large.query(count_query).unwrap().to_xml().parse().unwrap();
+    let small_count: i64 = pf_small
+        .query(count_query)
+        .unwrap()
+        .to_xml()
+        .parse()
+        .unwrap();
+    let large_count: i64 = pf_large
+        .query(count_query)
+        .unwrap()
+        .to_xml()
+        .parse()
+        .unwrap();
     assert!(large_count > 3 * small_count);
 }

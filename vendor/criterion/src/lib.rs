@@ -1,0 +1,302 @@
+//! Offline shim for the subset of the `criterion` 0.5 API used by this
+//! workspace.
+//!
+//! See `vendor/README.md` for scope. Each benchmark warms up for the
+//! configured warm-up time, then repeatedly times single iterations until
+//! the measurement time budget is spent (bounded below by the sample size),
+//! and prints mean / median / min wall-clock figures. There is no outlier
+//! rejection, regression analysis or HTML report — this is a thin harness
+//! that keeps `cargo bench` runnable and its numbers honest on an offline
+//! box.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identity function that hides `x` from the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A named benchmark id, optionally parameterized (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id consisting of the parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Passed to the closure under test; `iter` runs and times the payload.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    config: Config,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly; one sample = one call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run without recording.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(routine());
+        }
+        // Measurement: record per-call wall-clock times until both the
+        // sample floor and the time budget are met.
+        let measure_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            let enough_samples = self.samples.len() >= self.config.sample_size;
+            let out_of_budget = measure_start.elapsed() >= self.config.measurement_time;
+            if enough_samples && out_of_budget {
+                break;
+            }
+            // Hard cap so very fast routines terminate promptly.
+            if self.samples.len() >= 50 * self.config.sample_size {
+                break;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Parse command-line configuration. The shim accepts and ignores the
+    /// harness arguments cargo passes (`--bench`, filters, ...).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            config: self.config,
+            _parent: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let config = self.config;
+        run_one(&id.to_string(), config, f);
+        self
+    }
+
+    /// Print the trailing summary (no-op in the shim).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Minimum number of recorded samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Target measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.config, f);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.config, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(label: &str, config: Config, mut f: F)
+where
+    F: FnMut(&mut Bencher<'_>),
+{
+    let mut samples = Vec::with_capacity(config.sample_size);
+    let mut bencher = Bencher {
+        samples: &mut samples,
+        config,
+    };
+    f(&mut bencher);
+    if samples.is_empty() {
+        println!("{label:<40} (no samples recorded)");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!(
+        "{label:<40} mean {:>12} median {:>12} min {:>12} ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(median),
+        fmt_duration(min),
+        samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group function named `$name` that runs each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_at_least_sample_size() {
+        let config = Config {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(1),
+        };
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            config,
+        };
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            counter
+        });
+        assert!(samples.len() >= 5);
+        assert!(counter > samples.len() as u64, "warm-up must also run");
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("parse", "Q1").to_string(), "parse/Q1");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        group.finish();
+        assert!(ran);
+    }
+}
