@@ -3,7 +3,7 @@
 //! Every operator corresponds to a row of Table 1 in the paper (plus the
 //! handful of helpers — aggregation, document access, node construction —
 //! that the loop-lifting compilation scheme needs).  Children are referenced
-//! by [`OpId`](crate::plan::OpId), so plans are DAGs and common
+//! by [`crate::plan::OpId`], so plans are DAGs and common
 //! subexpressions can be shared.
 
 use pf_relational::ops::{AggFunc, BinaryOp, UnaryOp};

@@ -2,7 +2,7 @@
 //!
 //! "Query plans can become quite large (XMark query Q8, e.g., prior to
 //! optimization, compiles to a plan DAG of 120 operators).  This complexity
-//! may significantly be reduced by peep-hole style optimization [5]."
+//! may significantly be reduced by peep-hole style optimization \[5\]."
 //!
 //! The rewrites implemented here are local (peephole) and exploit the
 //! algebra's restrictions and the inferred properties of

@@ -81,6 +81,50 @@ impl Plan {
         self.reachable().len()
     }
 
+    /// How many times each operator's result is consumed.
+    ///
+    /// Indexed by [`OpId`]; counts parent *edges* among reachable operators
+    /// (an operator referenced twice by the same parent, e.g. a self-cross,
+    /// counts twice).  The root gets one extra consumer — the final result
+    /// hand-off — so its count never drops to zero during execution.
+    /// Unreachable operators have count 0.
+    pub fn consumer_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.ops.len()];
+        for id in self.reachable() {
+            for child in self.ops[id].children() {
+                counts[child] += 1;
+            }
+        }
+        counts[self.root] += 1;
+        counts
+    }
+
+    /// The evaluation schedule with last-use annotations.
+    ///
+    /// Returns the reachable operators in topological order (children before
+    /// parents); each entry pairs the operator to evaluate with the set of
+    /// operator results that become *dead* once that step has run — i.e.
+    /// results whose last consumer is this step.  An executor that frees the
+    /// dead set after every step keeps only the live frontier of the DAG
+    /// resident instead of every intermediate of the plan.  The root is
+    /// never listed as dead (its result is the query answer).
+    pub fn last_use_schedule(&self) -> Vec<(OpId, Vec<OpId>)> {
+        let mut remaining = self.consumer_counts();
+        self.reachable()
+            .into_iter()
+            .map(|id| {
+                let mut dead = Vec::new();
+                for child in self.ops[id].children() {
+                    remaining[child] -= 1;
+                    if remaining[child] == 0 {
+                        dead.push(child);
+                    }
+                }
+                (id, dead)
+            })
+            .collect()
+    }
+
     /// Count reachable operators per symbol family (for plan statistics).
     pub fn operator_histogram(&self) -> Vec<(String, usize)> {
         use std::collections::BTreeMap;
@@ -236,5 +280,66 @@ mod tests {
     #[should_panic(expected = "root id out of bounds")]
     fn invalid_root_panics() {
         Plan::new(vec![], 0);
+    }
+
+    #[test]
+    fn consumer_counts_count_edges_and_protect_the_root() {
+        let plan = small_plan();
+        let counts = plan.consumer_counts();
+        // The literal feeds both projections; each projection feeds the
+        // join; the join (root) gets the synthetic final consumer.
+        assert_eq!(counts, vec![2, 1, 1, 1]);
+
+        // A self-cross references its child twice.
+        let mut b = PlanBuilder::new();
+        let lit = b.add(AlgOp::Lit {
+            columns: vec!["iter".into()],
+            rows: vec![vec![Value::Nat(1)]],
+        });
+        let cross = b.add(AlgOp::Cross {
+            left: lit,
+            right: lit,
+        });
+        let plan = b.finish(cross);
+        assert_eq!(plan.consumer_counts(), vec![2, 1]);
+    }
+
+    #[test]
+    fn consumer_counts_ignore_unreachable_operators() {
+        let mut b = PlanBuilder::new();
+        let lit = b.add(AlgOp::Lit {
+            columns: vec!["iter".into()],
+            rows: vec![],
+        });
+        let orphan = b.add(AlgOp::Distinct { input: lit });
+        let keep = b.add(AlgOp::Distinct { input: lit });
+        let plan = b.finish(keep);
+        assert_eq!(plan.consumer_counts()[orphan], 0);
+        // Only the reachable consumer of the literal is counted.
+        assert_eq!(plan.consumer_counts()[lit], 1);
+    }
+
+    #[test]
+    fn last_use_schedule_frees_results_at_their_last_consumer() {
+        let plan = small_plan();
+        let schedule = plan.last_use_schedule();
+        // Same order as `reachable`, with last-use annotations.
+        let order: Vec<OpId> = schedule.iter().map(|(id, _)| *id).collect();
+        assert_eq!(order, plan.reachable());
+        let dead_at = |id: OpId| -> Vec<OpId> {
+            schedule
+                .iter()
+                .find(|(step, _)| *step == id)
+                .map(|(_, dead)| dead.clone())
+                .unwrap()
+        };
+        // The literal (op 0) dies once the *second* projection has run; the
+        // two projections die at the join; the root never dies.
+        let second_projection = order[order.iter().position(|&i| i == 3).unwrap() - 1];
+        assert!(dead_at(second_projection).contains(&0));
+        let mut at_join = dead_at(3);
+        at_join.sort_unstable();
+        assert_eq!(at_join, vec![1, 2]);
+        assert!(!schedule.iter().any(|(_, dead)| dead.contains(&plan.root())));
     }
 }

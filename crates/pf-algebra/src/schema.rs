@@ -1,7 +1,7 @@
 //! Schema and property inference.
 //!
 //! The paper attributes much of Pathfinder's optimization potential to "a
-//! careful consideration of order properties of relational operators" [3]
+//! careful consideration of order properties of relational operators" \[3\]
 //! together with the restrictions that hold for compiled plans.  This module
 //! infers, per operator, the output column set and two such properties:
 //!

@@ -1,6 +1,7 @@
 //! The navigational interpreter.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use pf_store::{Axis, NodeTest};
 use pf_xml::{Attribute, Document, DocumentBuilder, NodeId, NodeKind};
@@ -51,9 +52,13 @@ struct Env {
 }
 
 /// The navigational engine.
+///
+/// Documents are held behind [`Arc`]s so a parsed document can be shared
+/// with other consumers (e.g. the benchmark harness loads one parse into
+/// both engines) without a copy.
 #[derive(Debug, Default)]
 pub struct BaselineEngine {
-    docs: Vec<Document>,
+    docs: Vec<Arc<Document>>,
     by_name: HashMap<String, usize>,
     /// `(doc, element tag, attribute name) → value → element nodes`.
     attr_indices: HashMap<(usize, String, String), HashMap<String, Vec<NodeId>>>,
@@ -74,6 +79,12 @@ impl BaselineEngine {
 
     /// Register an already parsed document under `name`.
     pub fn load_parsed(&mut self, name: &str, doc: Document) {
+        self.load_shared(name, Arc::new(doc));
+    }
+
+    /// Register a shared parsed document under `name` without copying it —
+    /// the caller keeps its handle, the engine bumps the reference count.
+    pub fn load_shared(&mut self, name: &str, doc: Arc<Document>) {
         if let Some(&id) = self.by_name.get(name) {
             self.docs[id] = doc;
         } else {
@@ -804,7 +815,7 @@ impl BaselineEngine {
         builder.end_element();
         let doc = builder.finish();
         let doc_id = self.docs.len();
-        self.docs.push(doc);
+        self.docs.push(Arc::new(doc));
         Ok(vec![BValue::Node {
             doc: doc_id,
             node: NodeId(1),

@@ -15,9 +15,9 @@ fn table(rows: usize, groups: u64, seed: u64) -> Table {
     let poss: Vec<u64> = (1..=rows as u64).collect();
     let items: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..1000)).collect();
     Table::new(vec![
-        ("iter".into(), Column::Nat(iters)),
-        ("pos".into(), Column::Nat(poss)),
-        ("item".into(), Column::Int(items)),
+        ("iter".into(), Column::nats(iters)),
+        ("pos".into(), Column::nats(poss)),
+        ("item".into(), Column::ints(items)),
     ])
     .unwrap()
 }

@@ -1,0 +1,169 @@
+//! Memory profile of the plan executor — peak resident intermediate rows
+//! and wall time for XMark Q1–Q20.
+//!
+//! For every query the binary reports:
+//!
+//! * `peak cells` — the maximum number of physically resident column cells
+//!   the executor held at any step (with last-use eviction and zero-copy
+//!   sharing; each shared buffer counted once);
+//! * `retain-all` — the cells the pre-refactor executor (deep-copying
+//!   columns and keeping every operator's result alive until the query
+//!   finishes) would have held resident at the end;
+//! * the logical peak row count, the eviction count and the wall-clock
+//!   time of the whole query.
+//!
+//! ```text
+//! cargo run --release -p pf-bench --bin mem_profile -- [scale] [output.json]
+//! cargo run --release -p pf-bench --bin mem_profile -- 0.05 BENCH_pr2.json
+//! ```
+//!
+//! A machine-readable summary is written to the output path (default
+//! `BENCH_pr2.json`); `scripts/bench.sh` wraps this invocation.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use pf_bench::{prepare, seconds, time};
+use pf_xmark::queries;
+
+struct QueryProfile {
+    id: u8,
+    name: &'static str,
+    peak_resident_rows: usize,
+    rows_produced: usize,
+    peak_resident_cells: usize,
+    cells_produced: usize,
+    evicted_results: usize,
+    operators: usize,
+    wall: Duration,
+    result_len: usize,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.05);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_pr2.json".to_string());
+
+    println!("# Executor memory profile — XMark Q1–Q20 at scale {scale}");
+    let mut instance = prepare(scale);
+    println!("# document: {} bytes of XML", instance.xml_bytes);
+    println!();
+    println!(
+        "{:>3} | {:>12} {:>12} {:>12} {:>9} {:>7} | {:>9} | {:>8}",
+        "Q", "peak cells", "retain-all", "peak rows", "evicted", "ops", "time (s)", "items"
+    );
+    println!("{}", "-".repeat(91));
+
+    let mut profiles: Vec<QueryProfile> = Vec::new();
+    for q in queries() {
+        let (outcome, wall) = time(|| instance.pathfinder.query_profiled(q.text));
+        let (result, stats) =
+            outcome.unwrap_or_else(|e| panic!("Pathfinder failed on Q{}: {e}", q.id));
+        println!(
+            "{:>3} | {:>12} {:>12} {:>12} {:>9} {:>7} | {:>9} | {:>8}",
+            format!("Q{}", q.id),
+            stats.peak_resident_cells,
+            stats.cells_produced,
+            stats.peak_resident_rows,
+            stats.evicted_results,
+            stats.operators_evaluated,
+            seconds(wall),
+            result.len()
+        );
+        profiles.push(QueryProfile {
+            id: q.id,
+            name: q.name,
+            peak_resident_rows: stats.peak_resident_rows,
+            rows_produced: stats.rows_produced,
+            peak_resident_cells: stats.peak_resident_cells,
+            cells_produced: stats.cells_produced,
+            evicted_results: stats.evicted_results,
+            operators: stats.operators_evaluated,
+            wall,
+            result_len: result.len(),
+        });
+    }
+
+    let total_peak: usize = profiles.iter().map(|p| p.peak_resident_cells).sum();
+    let total_retained: usize = profiles.iter().map(|p| p.cells_produced).sum();
+    let total_wall: Duration = profiles.iter().map(|p| p.wall).sum();
+    println!("{}", "-".repeat(91));
+    println!(
+        "sum | {:>12} {:>12} {:>41} | {:>9} |",
+        total_peak,
+        total_retained,
+        "",
+        seconds(total_wall)
+    );
+    println!(
+        "\n# eviction + zero-copy sharing keep {:.1}% of the retain-everything resident cells",
+        100.0 * total_peak as f64 / total_retained.max(1) as f64
+    );
+
+    let json = render_json(scale, instance.xml_bytes, &profiles);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("# wrote {out_path}");
+}
+
+/// Hand-rolled JSON rendering (the workspace deliberately has no serde).
+fn render_json(scale: f64, xml_bytes: usize, profiles: &[QueryProfile]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"mem_profile\",");
+    let _ = writeln!(out, "  \"scale\": {scale},");
+    let _ = writeln!(out, "  \"xml_bytes\": {xml_bytes},");
+    let total_peak_cells: usize = profiles.iter().map(|p| p.peak_resident_cells).sum();
+    let total_retained_cells: usize = profiles.iter().map(|p| p.cells_produced).sum();
+    let total_peak: usize = profiles.iter().map(|p| p.peak_resident_rows).sum();
+    let total_retained: usize = profiles.iter().map(|p| p.rows_produced).sum();
+    let total_wall: f64 = profiles.iter().map(|p| p.wall.as_secs_f64()).sum();
+    let _ = writeln!(out, "  \"total_peak_resident_cells\": {total_peak_cells},");
+    let _ = writeln!(out, "  \"total_retain_all_cells\": {total_retained_cells},");
+    let _ = writeln!(out, "  \"total_peak_resident_rows\": {total_peak},");
+    let _ = writeln!(out, "  \"total_retain_all_rows\": {total_retained},");
+    let _ = writeln!(out, "  \"total_wall_seconds\": {total_wall:.6},");
+    out.push_str("  \"queries\": [\n");
+    for (i, p) in profiles.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"id\": {}, \"name\": {}, \"peak_resident_cells\": {}, \
+             \"retain_all_cells\": {}, \"peak_resident_rows\": {}, \
+             \"retain_all_rows\": {}, \"evicted_results\": {}, \"operators\": {}, \
+             \"wall_seconds\": {:.6}, \"result_items\": {}}}",
+            p.id,
+            json_string(p.name),
+            p.peak_resident_cells,
+            p.cells_produced,
+            p.peak_resident_rows,
+            p.rows_produced,
+            p.evicted_results,
+            p.operators,
+            p.wall.as_secs_f64(),
+            p.result_len
+        );
+        out.push_str(if i + 1 < profiles.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping for the static query names.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -5,6 +5,7 @@
 //! here prepare documents of a given scale factor for both engines and time
 //! query executions.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pf_baseline::BaselineEngine;
@@ -49,16 +50,18 @@ pub struct Instance {
 }
 
 /// Generate one instance and load it into both engines.
+///
+/// The generated XML is parsed once; the parsed document is shared with the
+/// baseline engine (zero-copy) and shredded into the Pathfinder store.
 pub fn prepare(scale: f64) -> Instance {
     let xml = generate(&GeneratorConfig { scale, seed: SEED });
+    let doc = Arc::new(pf_xml::parse(&xml).expect("generated document is well-formed"));
     let mut pathfinder = Pathfinder::new();
     pathfinder
-        .load_document("auction.xml", &xml)
-        .expect("generated document is well-formed");
+        .load_parsed("auction.xml", &doc)
+        .expect("shredding cannot fail on a parsed document");
     let mut baseline = BaselineEngine::new();
-    baseline
-        .load_document("auction.xml", &xml)
-        .expect("generated document is well-formed");
+    baseline.load_shared("auction.xml", Arc::clone(&doc));
     baseline
         .create_attribute_index("auction.xml", "buyer", "person")
         .expect("document loaded");

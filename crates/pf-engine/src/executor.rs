@@ -7,8 +7,14 @@
 //! handful of XQuery-specific shorthands (ε, τ, `fn:data`, `ebv`,
 //! `fs:distinct-doc-order`) are implemented here because they need access to
 //! the document registry.
+//!
+//! Intermediate results are held behind [`Arc`]s and evicted at their last
+//! use (per [`Plan::last_use_schedule`]): peak resident rows track the live
+//! frontier of the DAG, not the whole plan.  Operators are borrowed from the
+//! plan, never cloned.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pf_algebra::{AlgOp, OpId, Plan, SortSpec};
 use pf_relational::ops::{self, BinaryOp, HashKey};
@@ -23,6 +29,63 @@ use crate::registry::DocRegistry;
 /// column (they are consumed by the enclosing element constructor and never
 /// escape the engine).
 const ATTR_MARKER: &str = "\u{1}attr\u{1}";
+
+/// Memory-discipline statistics of one plan execution.
+///
+/// Two accountings are reported side by side:
+///
+/// * **Logical** (`rows_produced`, `peak_resident_rows`) counts every live
+///   table at its full row count, ignoring buffer sharing — `rows_produced`
+///   is what the pre-refactor executor (deep-copying columns and retaining
+///   every operator result until the end of the query) held resident when
+///   the query finished.
+/// * **Physical** (`cells_produced`, `peak_resident_cells`) counts column
+///   *cells* and counts each shared buffer exactly once (via
+///   [`Column::buffer_id`]), so zero-copy outputs (projection, attach, …)
+///   do not inflate the numbers.  `peak_resident_cells` is what this
+///   executor actually held at its worst moment; `cells_produced` is the
+///   retain-everything, share-nothing total it is compared against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Operators evaluated (= reachable plan size).
+    pub operators_evaluated: usize,
+    /// Total rows produced across all operators (logical accounting).
+    pub rows_produced: usize,
+    /// Maximum live table rows at any step (logical accounting: shared
+    /// buffers are counted once per table that references them).
+    pub peak_resident_rows: usize,
+    /// Total column cells produced across all operators, as if every
+    /// output column were materialized (the pre-refactor memory model).
+    pub cells_produced: usize,
+    /// Maximum physically resident column cells at any step — each shared
+    /// buffer counted once, however many live tables reference it.
+    pub peak_resident_cells: usize,
+    /// Intermediate results freed before the end of the query.
+    pub evicted_results: usize,
+}
+
+/// Fetch a previously computed operator result from the slot arena.
+fn fetch(slots: &[Option<Arc<Table>>], id: OpId) -> EngineResult<&Table> {
+    slots
+        .get(id)
+        .and_then(|slot| slot.as_deref())
+        .ok_or_else(|| EngineError::msg("operator evaluated before its input"))
+}
+
+/// Physically resident column cells across the live slots: each distinct
+/// buffer is counted once, so tables that share columns do not double-count.
+fn resident_cells(slots: &[Option<Arc<Table>>]) -> usize {
+    let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut cells = 0usize;
+    for table in slots.iter().flatten() {
+        for (_, col) in table.columns() {
+            if seen.insert(col.buffer_id()) {
+                cells += col.len();
+            }
+        }
+    }
+    cells
+}
 
 /// Plan interpreter bound to a document registry.
 #[derive(Debug)]
@@ -39,53 +102,76 @@ impl<'a> Executor<'a> {
 
     /// Evaluate `plan` and return the root operator's table.
     pub fn run(&mut self, plan: &Plan) -> EngineResult<Table> {
-        let mut results: HashMap<OpId, Table> = HashMap::new();
-        for id in plan.reachable() {
-            let table = self.eval(plan, id, &results)?;
-            results.insert(id, table);
+        Ok(self.execute(plan, false)?.0)
+    }
+
+    /// Evaluate `plan`, returning the root table and the memory-discipline
+    /// statistics of the run (including the per-step physical-cell
+    /// accounting, which plain [`Executor::run`] skips).
+    pub fn run_with_stats(&mut self, plan: &Plan) -> EngineResult<(Table, ExecStats)> {
+        self.execute(plan, true)
+    }
+
+    fn execute(&mut self, plan: &Plan, profile_cells: bool) -> EngineResult<(Table, ExecStats)> {
+        let schedule = plan.last_use_schedule();
+        let mut slots: Vec<Option<Arc<Table>>> = vec![None; plan.ops().len()];
+        let mut stats = ExecStats::default();
+        let mut resident_rows = 0usize;
+        for (id, dead_after) in &schedule {
+            let table = self.eval(plan, *id, &slots)?;
+            let rows = table.row_count();
+            stats.operators_evaluated += 1;
+            stats.rows_produced += rows;
+            stats.cells_produced += table.columns().iter().map(|(_, c)| c.len()).sum::<usize>();
+            resident_rows += rows;
+            slots[*id] = Some(Arc::new(table));
+            // The operator's inputs and its output coexist while it runs, so
+            // the peaks are sampled before the dead set is dropped.
+            stats.peak_resident_rows = stats.peak_resident_rows.max(resident_rows);
+            if profile_cells {
+                // O(live slots × columns) with a dedup set — only paid on
+                // the profiled entry points, not on every query.
+                stats.peak_resident_cells = stats.peak_resident_cells.max(resident_cells(&slots));
+            }
+            for &dead in dead_after {
+                if let Some(freed) = slots[dead].take() {
+                    resident_rows -= freed.row_count();
+                    stats.evicted_results += 1;
+                }
+            }
         }
-        results
-            .remove(&plan.root())
-            .ok_or_else(|| EngineError::msg("plan produced no result"))
+        let root = slots[plan.root()]
+            .take()
+            .ok_or_else(|| EngineError::msg("plan produced no result"))?;
+        let table = Arc::try_unwrap(root).unwrap_or_else(|shared| (*shared).clone());
+        Ok((table, stats))
     }
 
-    fn input<'t>(&self, results: &'t HashMap<OpId, Table>, id: OpId) -> EngineResult<&'t Table> {
-        results
-            .get(&id)
-            .ok_or_else(|| EngineError::msg("operator evaluated before its input"))
-    }
-
-    fn eval(
-        &mut self,
-        plan: &Plan,
-        id: OpId,
-        results: &HashMap<OpId, Table>,
-    ) -> EngineResult<Table> {
-        let op = plan.op(id).clone();
-        match op {
+    fn eval(&mut self, plan: &Plan, id: OpId, slots: &[Option<Arc<Table>>]) -> EngineResult<Table> {
+        match plan.op(id) {
             AlgOp::Lit { columns, rows } => {
                 let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(rows.len()); columns.len()];
-                for row in &rows {
+                for row in rows {
                     for (i, v) in row.iter().enumerate() {
                         cols[i].push(v.clone());
                     }
                 }
                 let table = Table::new(
                     columns
-                        .into_iter()
+                        .iter()
                         .zip(cols)
-                        .map(|(name, values)| (name, Column::from_values(values)))
+                        .map(|(name, values)| (name.clone(), Column::from_values(values)))
                         .collect(),
                 )?;
                 Ok(table)
             }
             AlgOp::Doc { uri } => {
-                let doc_id = self.registry.id_of(&uri).ok_or_else(|| {
+                let doc_id = self.registry.id_of(uri).ok_or_else(|| {
                     EngineError::msg(format!("no document registered under `{uri}`"))
                 })?;
                 Ok(Table::new(vec![(
                     "item".into(),
-                    Column::Node(vec![NodeRef::new(doc_id, 0)]),
+                    Column::nodes(vec![NodeRef::new(doc_id, 0)]),
                 )])?)
             }
             AlgOp::Project { input, columns } => {
@@ -93,28 +179,22 @@ impl<'a> Executor<'a> {
                     .iter()
                     .map(|(s, t)| (s.as_str(), t.as_str()))
                     .collect();
-                Ok(ops::project(self.input(results, input)?, &pairs)?)
+                Ok(ops::project(fetch(slots, *input)?, &pairs)?)
             }
-            AlgOp::Select { input, column } => {
-                Ok(ops::select_true(self.input(results, input)?, &column)?)
-            }
+            AlgOp::Select { input, column } => Ok(ops::select_true(fetch(slots, *input)?, column)?),
             AlgOp::SelectEq {
                 input,
                 column,
                 value,
-            } => Ok(ops::select_eq(
-                self.input(results, input)?,
-                &column,
-                &value,
-            )?),
-            AlgOp::Distinct { input } => Ok(ops::distinct(self.input(results, input)?)?),
+            } => Ok(ops::select_eq(fetch(slots, *input)?, column, value)?),
+            AlgOp::Distinct { input } => Ok(ops::distinct(fetch(slots, *input)?)?),
             AlgOp::Union { left, right } => Ok(ops::union_disjoint(
-                self.input(results, left)?,
-                self.input(results, right)?,
+                fetch(slots, *left)?,
+                fetch(slots, *right)?,
             )?),
             AlgOp::Difference { left, right } => Ok(ops::difference(
-                self.input(results, left)?,
-                self.input(results, right)?,
+                fetch(slots, *left)?,
+                fetch(slots, *right)?,
             )?),
             AlgOp::EquiJoin {
                 left,
@@ -122,10 +202,10 @@ impl<'a> Executor<'a> {
                 left_col,
                 right_col,
             } => Ok(ops::equi_join(
-                self.input(results, left)?,
-                self.input(results, right)?,
-                &left_col,
-                &right_col,
+                fetch(slots, *left)?,
+                fetch(slots, *right)?,
+                left_col,
+                right_col,
             )?),
             AlgOp::ThetaJoin {
                 left,
@@ -134,25 +214,24 @@ impl<'a> Executor<'a> {
                 op,
                 right_col,
             } => Ok(ops::theta_join(
-                self.input(results, left)?,
-                self.input(results, right)?,
-                &left_col,
-                op,
-                &right_col,
+                fetch(slots, *left)?,
+                fetch(slots, *right)?,
+                left_col,
+                *op,
+                right_col,
             )?),
-            AlgOp::Cross { left, right } => Ok(ops::cross(
-                self.input(results, left)?,
-                self.input(results, right)?,
-            )?),
+            AlgOp::Cross { left, right } => {
+                Ok(ops::cross(fetch(slots, *left)?, fetch(slots, *right)?)?)
+            }
             AlgOp::RowNum {
                 input,
                 target,
                 order_by,
                 partition,
             } => self.row_number(
-                self.input(results, input)?,
-                &target,
-                &order_by,
+                fetch(slots, *input)?,
+                target,
+                order_by,
                 partition.as_deref(),
             ),
             AlgOp::BinaryMap {
@@ -161,33 +240,29 @@ impl<'a> Executor<'a> {
                 left,
                 op,
                 right,
-            } => self.binary_map(self.input(results, input)?, &target, &left, op, &right),
+            } => self.binary_map(fetch(slots, *input)?, target, left, *op, right),
             AlgOp::UnaryMap {
                 input,
                 target,
                 op,
                 source,
             } => {
-                let table = self.input(results, input)?;
-                let col = table.column(&source)?;
+                let table = fetch(slots, *input)?;
+                let col = table.column(source)?;
                 let mut values = Vec::with_capacity(table.row_count());
                 for row in 0..table.row_count() {
                     let v = self.atomize(&col.get(row));
-                    values.push(ops::map::apply_unary(op, &v)?);
+                    values.push(ops::map::apply_unary(*op, &v)?);
                 }
                 let mut out = table.clone();
-                out.add_column(target, Column::from_values(values))?;
+                out.add_column(target.clone(), Column::from_values(values))?;
                 Ok(out)
             }
             AlgOp::Attach {
                 input,
                 target,
                 value,
-            } => Ok(ops::map_const(
-                self.input(results, input)?,
-                &target,
-                &value,
-            )?),
+            } => Ok(ops::map_const(fetch(slots, *input)?, target, value)?),
             AlgOp::Aggregate {
                 input,
                 group,
@@ -195,51 +270,41 @@ impl<'a> Executor<'a> {
                 func,
                 value,
             } => Ok(ops::aggregate_by(
-                self.input(results, input)?,
-                &group,
-                &target,
-                func,
-                &value,
+                fetch(slots, *input)?,
+                group,
+                target,
+                *func,
+                value,
             )?),
             AlgOp::Step { input, axis, test } => Ok(ops::staircase_step(
-                self.input(results, input)?,
+                fetch(slots, *input)?,
                 self.registry,
-                axis,
-                &test,
+                *axis,
+                test,
             )?),
-            AlgOp::DocOrder { input } => self.doc_order(self.input(results, input)?),
-            AlgOp::FnData { input } => self.fn_data(self.input(results, input)?),
-            AlgOp::FnRoot { input } => self.fn_root(self.input(results, input)?),
-            AlgOp::Ebv { input } => self.ebv(self.input(results, input)?),
+            AlgOp::DocOrder { input } => self.doc_order(fetch(slots, *input)?),
+            AlgOp::FnData { input } => self.fn_data(fetch(slots, *input)?),
+            AlgOp::FnRoot { input } => self.fn_root(fetch(slots, *input)?),
+            AlgOp::Ebv { input } => self.ebv(fetch(slots, *input)?),
             AlgOp::ElemConstruct {
                 loop_input,
                 tag,
                 content,
-            } => {
-                let loop_table = self.input(results, loop_input)?.clone();
-                let content_table = self.input(results, content)?.clone();
-                self.construct_elements(&loop_table, &tag, &content_table)
-            }
+            } => self.construct_elements(fetch(slots, *loop_input)?, tag, fetch(slots, *content)?),
             AlgOp::AttrConstruct {
                 loop_input,
                 name,
                 content,
             } => {
-                let loop_table = self.input(results, loop_input)?.clone();
-                let content_table = self.input(results, content)?.clone();
-                self.construct_attributes(&loop_table, &name, &content_table)
+                self.construct_attributes(fetch(slots, *loop_input)?, name, fetch(slots, *content)?)
             }
             AlgOp::TextConstruct {
                 loop_input,
                 content,
-            } => {
-                let loop_table = self.input(results, loop_input)?.clone();
-                let content_table = self.input(results, content)?.clone();
-                self.construct_texts(&loop_table, &content_table)
-            }
+            } => self.construct_texts(fetch(slots, *loop_input)?, fetch(slots, *content)?),
             AlgOp::Sort { input, by } => {
                 let columns: Vec<&str> = by.iter().map(|s| s.column.as_str()).collect();
-                Ok(ops::sort_by(self.input(results, input)?, &columns)?)
+                Ok(ops::sort_by(fetch(slots, *input)?, &columns)?)
             }
         }
     }
@@ -368,7 +433,7 @@ impl<'a> Executor<'a> {
             bools.push(Value::Bool(ebv));
         }
         Ok(Table::new(vec![
-            ("iter".into(), Column::Nat(iters)),
+            ("iter".into(), Column::nats(iters)),
             ("item".into(), Column::from_values(bools)),
         ])?)
     }
@@ -435,7 +500,7 @@ impl<'a> Executor<'a> {
             }
         }
         let mut out = sorted;
-        out.add_column(target, Column::Nat(numbering))?;
+        out.add_column(target, Column::nats(numbering))?;
         Ok(out)
     }
 
@@ -525,8 +590,8 @@ impl<'a> Executor<'a> {
             .collect();
         let poss = vec![1u64; iters.len()];
         Ok(Table::new(vec![
-            ("iter".into(), Column::Nat(iters)),
-            ("pos".into(), Column::Nat(poss)),
+            ("iter".into(), Column::nats(iters)),
+            ("pos".into(), Column::nats(poss)),
             ("item".into(), Column::from_values(items)),
         ])?)
     }
@@ -553,8 +618,8 @@ impl<'a> Executor<'a> {
         }
         let poss = vec![1u64; iters.len()];
         Ok(Table::new(vec![
-            ("iter".into(), Column::Nat(iters)),
-            ("pos".into(), Column::Nat(poss)),
+            ("iter".into(), Column::nats(iters)),
+            ("pos".into(), Column::nats(poss)),
             ("item".into(), Column::from_values(items)),
         ])?)
     }
@@ -596,8 +661,8 @@ impl<'a> Executor<'a> {
             .collect();
         let poss = vec![1u64; iters.len()];
         Ok(Table::new(vec![
-            ("iter".into(), Column::Nat(iters)),
-            ("pos".into(), Column::Nat(poss)),
+            ("iter".into(), Column::nats(iters)),
+            ("pos".into(), Column::nats(poss)),
             ("item".into(), Column::from_values(items)),
         ])?)
     }
@@ -738,7 +803,7 @@ mod tests {
     fn element_construction_copies_subtrees() {
         let mut reg = registry();
         let mut exec = Executor::new(&mut reg);
-        let loop_table = Table::new(vec![("iter".into(), Column::Nat(vec![1]))]).unwrap();
+        let loop_table = Table::new(vec![("iter".into(), Column::nats(vec![1]))]).unwrap();
         let content = Table::iter_pos_item(
             vec![1, 1],
             vec![1, 2],
@@ -754,5 +819,126 @@ mod tests {
         };
         let store = reg.store(node.doc).unwrap();
         assert_eq!(store.subtree_to_xml(node.pre), "<wrap><b>1</b>done</wrap>");
+    }
+
+    /// A linear 4-operator chain over the sample document: each result is
+    /// dead as soon as its single consumer has run.
+    fn chain_plan() -> Plan {
+        let mut b = PlanBuilder::new();
+        let loop0 = b.add(AlgOp::Lit {
+            columns: vec!["iter".into()],
+            rows: vec![vec![Value::Nat(1)]],
+        });
+        let doc = b.add(AlgOp::Doc {
+            uri: "doc.xml".into(),
+        });
+        let crossed = b.add(AlgOp::Cross {
+            left: loop0,
+            right: doc,
+        });
+        let step = b.add(AlgOp::Step {
+            input: crossed,
+            axis: Axis::Descendant,
+            test: NodeTest::Element("b".into()),
+        });
+        b.finish(step)
+    }
+
+    #[test]
+    fn executor_evicts_dead_intermediates() {
+        let mut reg = registry();
+        let plan = chain_plan();
+        let (table, stats) = Executor::new(&mut reg).run_with_stats(&plan).unwrap();
+        assert_eq!(table.row_count(), 2);
+        assert_eq!(stats.operators_evaluated, 4);
+        // Every non-root result is freed at its last use…
+        assert_eq!(stats.evicted_results, 3);
+        // …so the peak resident rows stay below the retain-everything total.
+        assert!(stats.peak_resident_rows < stats.rows_produced);
+        assert!(stats.peak_resident_rows > 0);
+        assert!(stats.peak_resident_cells < stats.cells_produced);
+        assert!(stats.peak_resident_cells > 0);
+    }
+
+    #[test]
+    fn physical_accounting_counts_shared_buffers_once() {
+        // lit → project(rename) → project(rename): every output shares the
+        // literal's buffers, so the physically resident cells never exceed
+        // one copy of the data while the logical accounting sees three
+        // coexisting tables after the first projection.
+        let mut b = PlanBuilder::new();
+        let lit = b.add(AlgOp::Lit {
+            columns: vec!["iter".into(), "item".into()],
+            rows: (1..=8)
+                .map(|i| vec![Value::Nat(i), Value::Int(i as i64 * 10)])
+                .collect(),
+        });
+        let p1 = b.add(AlgOp::Project {
+            input: lit,
+            columns: vec![("iter".into(), "a".into()), ("item".into(), "b".into())],
+        });
+        let p2 = b.add(AlgOp::Project {
+            input: p1,
+            columns: vec![("a".into(), "c".into()), ("b".into(), "d".into())],
+        });
+        let plan = b.finish(p2);
+        let mut reg = registry();
+        let (_, stats) = Executor::new(&mut reg).run_with_stats(&plan).unwrap();
+        // Logical: at the p1 step the literal and the projection (8 rows
+        // each) are both live → peak 16.  Physical: one shared buffer set.
+        assert_eq!(stats.peak_resident_rows, 16);
+        assert_eq!(stats.peak_resident_cells, 16); // 8 rows × 2 unique buffers
+        assert_eq!(stats.cells_produced, 48); // 3 tables × 2 columns × 8 rows
+    }
+
+    #[test]
+    fn shared_subexpressions_stay_live_until_their_last_consumer() {
+        // A diamond: the literal feeds two projections that join back
+        // together.  The literal must survive until the second projection
+        // has run, then be evicted.
+        let mut b = PlanBuilder::new();
+        let lit = b.add(AlgOp::Lit {
+            columns: vec!["iter".into(), "item".into()],
+            rows: vec![
+                vec![Value::Nat(1), Value::Int(10)],
+                vec![Value::Nat(2), Value::Int(20)],
+            ],
+        });
+        let p1 = b.add(AlgOp::Project {
+            input: lit,
+            columns: vec![
+                ("iter".into(), "iter".into()),
+                ("item".into(), "item".into()),
+            ],
+        });
+        let p2 = b.add(AlgOp::Project {
+            input: lit,
+            columns: vec![
+                ("iter".into(), "iter1".into()),
+                ("item".into(), "item1".into()),
+            ],
+        });
+        let join = b.add(AlgOp::EquiJoin {
+            left: p1,
+            right: p2,
+            left_col: "iter".into(),
+            right_col: "iter1".into(),
+        });
+        let plan = b.finish(join);
+        let mut reg = registry();
+        let (table, stats) = Executor::new(&mut reg).run_with_stats(&plan).unwrap();
+        assert_eq!(table.row_count(), 2);
+        assert_eq!(table.value("item1", 1).unwrap(), Value::Int(20));
+        assert_eq!(stats.evicted_results, 3);
+    }
+
+    #[test]
+    fn run_matches_run_with_stats() {
+        let mut reg = registry();
+        let plan = chain_plan();
+        let plain = Executor::new(&mut reg).run(&plan).unwrap();
+        let mut reg2 = registry();
+        let (profiled, _) = Executor::new(&mut reg2).run_with_stats(&plan).unwrap();
+        assert_eq!(plain, profiled);
     }
 }

@@ -30,7 +30,7 @@ pub mod result;
 use std::time::Instant;
 
 pub use error::{EngineError, EngineResult};
-pub use executor::Executor;
+pub use executor::{ExecStats, Executor};
 pub use registry::DocRegistry;
 pub use result::{QueryResult, Timings};
 
@@ -142,6 +142,13 @@ impl Pathfinder {
 
     /// Parse, compile, optimize, execute and serialize `query`.
     pub fn query(&mut self, query: &str) -> EngineResult<QueryResult> {
+        Ok(self.query_profiled(query)?.0)
+    }
+
+    /// Like [`Pathfinder::query`], but also report the executor's
+    /// memory-discipline statistics (peak resident intermediate rows,
+    /// total rows produced, evictions).
+    pub fn query_profiled(&mut self, query: &str) -> EngineResult<(QueryResult, ExecStats)> {
         let started = Instant::now();
         let ast = parse_query(query)?;
         let core = normalize(&ast)?;
@@ -157,7 +164,7 @@ impl Pathfinder {
 
         let exec_start = Instant::now();
         let mut executor = Executor::new(&mut self.registry);
-        let table = executor.run(&plan)?;
+        let (table, stats) = executor.run_with_stats(&plan)?;
         let execute_time = exec_start.elapsed();
 
         let result = QueryResult::from_table(
@@ -169,7 +176,7 @@ impl Pathfinder {
                 execute: execute_time,
             },
         )?;
-        Ok(result)
+        Ok((result, stats))
     }
 }
 

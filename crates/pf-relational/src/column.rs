@@ -4,45 +4,91 @@
 //! frequent `iter`/`pos` columns get a dedicated `Nat` representation (they
 //! are the bulk of every loop-lifted table); the polymorphic `item` column
 //! of Figure 2 is represented by the `Item` variant.
+//!
+//! Payloads are behind [`Arc`]s, mirroring how MonetDB shares BATs between
+//! the consumers of an intermediate result: cloning a column is an O(1)
+//! reference-count bump, never a copy of the cell data.  Mutation goes
+//! through [`Arc::make_mut`], i.e. columns are copy-on-write — a uniquely
+//! owned column is mutated in place, a shared one is copied first.
+
+use std::sync::Arc;
 
 use crate::error::{RelError, RelResult};
 use crate::value::{NodeRef, Value, ValueType};
 
 /// A homogeneous column of values.
+///
+/// Clones are O(1) and share the underlying buffer (see the module docs).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Column {
     /// Natural numbers (`iter`, `pos`, surrogates).
-    Nat(Vec<u64>),
+    Nat(Arc<Vec<u64>>),
     /// Integers.
-    Int(Vec<i64>),
+    Int(Arc<Vec<i64>>),
     /// Doubles.
-    Dbl(Vec<f64>),
+    Dbl(Arc<Vec<f64>>),
     /// Strings.
-    Str(Vec<String>),
+    Str(Arc<Vec<String>>),
     /// Booleans.
-    Bool(Vec<bool>),
+    Bool(Arc<Vec<bool>>),
     /// Node references.
-    Node(Vec<NodeRef>),
+    Node(Arc<Vec<NodeRef>>),
     /// The polymorphic item column.
-    Item(Vec<Value>),
+    Item(Arc<Vec<Value>>),
 }
 
 impl Column {
+    /// A `Nat` column owning `values`.
+    pub fn nats(values: Vec<u64>) -> Column {
+        Column::Nat(Arc::new(values))
+    }
+
+    /// An `Int` column owning `values`.
+    pub fn ints(values: Vec<i64>) -> Column {
+        Column::Int(Arc::new(values))
+    }
+
+    /// A `Dbl` column owning `values`.
+    pub fn dbls(values: Vec<f64>) -> Column {
+        Column::Dbl(Arc::new(values))
+    }
+
+    /// A `Str` column owning `values`.
+    pub fn strs(values: Vec<String>) -> Column {
+        Column::Str(Arc::new(values))
+    }
+
+    /// A `Bool` column owning `values`.
+    pub fn bools(values: Vec<bool>) -> Column {
+        Column::Bool(Arc::new(values))
+    }
+
+    /// A `Node` column owning `values`.
+    pub fn nodes(values: Vec<NodeRef>) -> Column {
+        Column::Node(Arc::new(values))
+    }
+
+    /// A polymorphic item column owning `values` (no type detection — use
+    /// [`Column::from_values`] to get a typed column when possible).
+    pub fn items(values: Vec<Value>) -> Column {
+        Column::Item(Arc::new(values))
+    }
+
     /// An empty column of the given type.
     pub fn empty(ty: ValueType) -> Column {
         match ty {
-            ValueType::Nat => Column::Nat(Vec::new()),
-            ValueType::Int => Column::Int(Vec::new()),
-            ValueType::Dbl => Column::Dbl(Vec::new()),
-            ValueType::Str => Column::Str(Vec::new()),
-            ValueType::Bool => Column::Bool(Vec::new()),
-            ValueType::Node => Column::Node(Vec::new()),
+            ValueType::Nat => Column::nats(Vec::new()),
+            ValueType::Int => Column::ints(Vec::new()),
+            ValueType::Dbl => Column::dbls(Vec::new()),
+            ValueType::Str => Column::strs(Vec::new()),
+            ValueType::Bool => Column::bools(Vec::new()),
+            ValueType::Node => Column::nodes(Vec::new()),
         }
     }
 
     /// An empty polymorphic item column.
     pub fn empty_item() -> Column {
-        Column::Item(Vec::new())
+        Column::items(Vec::new())
     }
 
     /// Number of rows.
@@ -63,6 +109,40 @@ impl Column {
         self.len() == 0
     }
 
+    /// Opaque identity of the underlying shared buffer.
+    ///
+    /// Two columns report the same id iff they share one allocation, so a
+    /// resident-memory accounting that sums `len()` over *distinct* ids
+    /// counts each shared buffer exactly once.  Ids are only meaningful
+    /// between columns that are alive at the same time (a freed buffer's
+    /// address may be reused).
+    pub fn buffer_id(&self) -> usize {
+        match self {
+            Column::Nat(v) => Arc::as_ptr(v) as usize,
+            Column::Int(v) => Arc::as_ptr(v) as usize,
+            Column::Dbl(v) => Arc::as_ptr(v) as usize,
+            Column::Str(v) => Arc::as_ptr(v) as usize,
+            Column::Bool(v) => Arc::as_ptr(v) as usize,
+            Column::Node(v) => Arc::as_ptr(v) as usize,
+            Column::Item(v) => Arc::as_ptr(v) as usize,
+        }
+    }
+
+    /// `true` if `self` and `other` share the same underlying buffer (the
+    /// zero-copy invariant the plan executor relies on).
+    pub fn shares_data(&self, other: &Column) -> bool {
+        match (self, other) {
+            (Column::Nat(a), Column::Nat(b)) => Arc::ptr_eq(a, b),
+            (Column::Int(a), Column::Int(b)) => Arc::ptr_eq(a, b),
+            (Column::Dbl(a), Column::Dbl(b)) => Arc::ptr_eq(a, b),
+            (Column::Str(a), Column::Str(b)) => Arc::ptr_eq(a, b),
+            (Column::Bool(a), Column::Bool(b)) => Arc::ptr_eq(a, b),
+            (Column::Node(a), Column::Node(b)) => Arc::ptr_eq(a, b),
+            (Column::Item(a), Column::Item(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
     /// Read row `i` as a [`Value`].
     pub fn get(&self, i: usize) -> Value {
         match self {
@@ -77,17 +157,19 @@ impl Column {
     }
 
     /// Append a value, converting it to the column type where possible.
+    ///
+    /// Copy-on-write: a shared buffer is copied before the append.
     pub fn push(&mut self, value: Value) -> RelResult<()> {
         match (self, value) {
-            (Column::Nat(v), val) => v.push(val.as_nat()?),
-            (Column::Int(v), Value::Int(i)) => v.push(i),
-            (Column::Int(v), Value::Nat(n)) => v.push(n as i64),
-            (Column::Dbl(v), Value::Dbl(d)) => v.push(d),
-            (Column::Dbl(v), Value::Int(i)) => v.push(i as f64),
-            (Column::Str(v), Value::Str(s)) => v.push(s),
-            (Column::Bool(v), Value::Bool(b)) => v.push(b),
-            (Column::Node(v), Value::Node(n)) => v.push(n),
-            (Column::Item(v), val) => v.push(val),
+            (Column::Nat(v), val) => Arc::make_mut(v).push(val.as_nat()?),
+            (Column::Int(v), Value::Int(i)) => Arc::make_mut(v).push(i),
+            (Column::Int(v), Value::Nat(n)) => Arc::make_mut(v).push(n as i64),
+            (Column::Dbl(v), Value::Dbl(d)) => Arc::make_mut(v).push(d),
+            (Column::Dbl(v), Value::Int(i)) => Arc::make_mut(v).push(i as f64),
+            (Column::Str(v), Value::Str(s)) => Arc::make_mut(v).push(s),
+            (Column::Bool(v), Value::Bool(b)) => Arc::make_mut(v).push(b),
+            (Column::Node(v), Value::Node(n)) => Arc::make_mut(v).push(n),
+            (Column::Item(v), val) => Arc::make_mut(v).push(val),
             (col, val) => {
                 return Err(RelError::new(format!(
                     "cannot push {val} into a column of type {:?}",
@@ -125,19 +207,19 @@ impl Column {
             }
             col
         } else {
-            Column::Item(values)
+            Column::items(values)
         }
     }
 
     /// Build a `Nat` column.
     pub fn from_nats(values: Vec<u64>) -> Column {
-        Column::Nat(values)
+        Column::nats(values)
     }
 
     /// View as a slice of nats, if this is a `Nat` column.
     pub fn as_nats(&self) -> Option<&[u64]> {
         match self {
-            Column::Nat(v) => Some(v),
+            Column::Nat(v) => Some(v.as_slice()),
             _ => None,
         }
     }
@@ -145,27 +227,29 @@ impl Column {
     /// Gather: build a new column containing `rows[i]`-th elements.
     pub fn gather(&self, rows: &[usize]) -> Column {
         match self {
-            Column::Nat(v) => Column::Nat(rows.iter().map(|&r| v[r]).collect()),
-            Column::Int(v) => Column::Int(rows.iter().map(|&r| v[r]).collect()),
-            Column::Dbl(v) => Column::Dbl(rows.iter().map(|&r| v[r]).collect()),
-            Column::Str(v) => Column::Str(rows.iter().map(|&r| v[r].clone()).collect()),
-            Column::Bool(v) => Column::Bool(rows.iter().map(|&r| v[r]).collect()),
-            Column::Node(v) => Column::Node(rows.iter().map(|&r| v[r]).collect()),
-            Column::Item(v) => Column::Item(rows.iter().map(|&r| v[r].clone()).collect()),
+            Column::Nat(v) => Column::nats(rows.iter().map(|&r| v[r]).collect()),
+            Column::Int(v) => Column::ints(rows.iter().map(|&r| v[r]).collect()),
+            Column::Dbl(v) => Column::dbls(rows.iter().map(|&r| v[r]).collect()),
+            Column::Str(v) => Column::strs(rows.iter().map(|&r| v[r].clone()).collect()),
+            Column::Bool(v) => Column::bools(rows.iter().map(|&r| v[r]).collect()),
+            Column::Node(v) => Column::nodes(rows.iter().map(|&r| v[r]).collect()),
+            Column::Item(v) => Column::items(rows.iter().map(|&r| v[r].clone()).collect()),
         }
     }
 
     /// Concatenate another column of a compatible representation onto this
-    /// one (used by disjoint union).
+    /// one (used by disjoint union).  Copy-on-write applies: a shared left
+    /// buffer is copied once before extension.
     pub fn append(&mut self, other: &Column) -> RelResult<()> {
         match (&mut *self, other) {
-            (Column::Nat(a), Column::Nat(b)) => a.extend_from_slice(b),
-            (Column::Int(a), Column::Int(b)) => a.extend_from_slice(b),
-            (Column::Dbl(a), Column::Dbl(b)) => a.extend_from_slice(b),
-            (Column::Str(a), Column::Str(b)) => a.extend_from_slice(b),
-            (Column::Bool(a), Column::Bool(b)) => a.extend_from_slice(b),
-            (Column::Node(a), Column::Node(b)) => a.extend_from_slice(b),
+            (Column::Nat(a), Column::Nat(b)) => Arc::make_mut(a).extend_from_slice(b),
+            (Column::Int(a), Column::Int(b)) => Arc::make_mut(a).extend_from_slice(b),
+            (Column::Dbl(a), Column::Dbl(b)) => Arc::make_mut(a).extend_from_slice(b),
+            (Column::Str(a), Column::Str(b)) => Arc::make_mut(a).extend_from_slice(b),
+            (Column::Bool(a), Column::Bool(b)) => Arc::make_mut(a).extend_from_slice(b),
+            (Column::Node(a), Column::Node(b)) => Arc::make_mut(a).extend_from_slice(b),
             (Column::Item(a), b) => {
+                let a = Arc::make_mut(a);
                 for i in 0..b.len() {
                     a.push(b.get(i));
                 }
@@ -177,7 +261,7 @@ impl Column {
                 for i in 0..b.len() {
                     items.push(b.get(i));
                 }
-                *a = Column::Item(items);
+                *a = Column::items(items);
             }
         }
         Ok(())
@@ -243,5 +327,52 @@ mod tests {
         assert!(Column::empty(ValueType::Bool).is_empty());
         assert!(Column::empty_item().is_empty());
         assert_eq!(Column::from_values(vec![]).len(), 0);
+    }
+
+    #[test]
+    fn clone_is_zero_copy() {
+        let col = Column::nats(vec![1, 2, 3]);
+        let copy = col.clone();
+        assert!(col.shares_data(&copy));
+        assert_eq!(col, copy);
+        // Different buffers with equal contents still compare equal but do
+        // not share data.
+        let rebuilt = Column::nats(vec![1, 2, 3]);
+        assert!(!col.shares_data(&rebuilt));
+        assert_eq!(col, rebuilt);
+    }
+
+    #[test]
+    fn copy_on_write_detaches_shared_buffers() {
+        let original = Column::nats(vec![1, 2]);
+        let mut copy = original.clone();
+        copy.push(Value::Nat(3)).unwrap();
+        // The writer got a private buffer; the original is unchanged.
+        assert_eq!(original.len(), 2);
+        assert_eq!(copy.len(), 3);
+        assert!(!original.shares_data(&copy));
+    }
+
+    #[test]
+    fn unique_columns_mutate_in_place() {
+        let mut col = Column::nats(Vec::with_capacity(4));
+        let before = match &col {
+            Column::Nat(v) => v.as_ptr(),
+            _ => unreachable!(),
+        };
+        col.push(Value::Nat(1)).unwrap();
+        let after = match &col {
+            Column::Nat(v) => v.as_ptr(),
+            _ => unreachable!(),
+        };
+        // No other owner → Arc::make_mut reuses the allocation.
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn shares_data_distinguishes_variants() {
+        let a = Column::nats(vec![]);
+        let b = Column::ints(vec![]);
+        assert!(!a.shares_data(&b));
     }
 }

@@ -8,7 +8,7 @@
 //!
 //! | paper operator | function |
 //! |----------------|----------|
-//! | π (projection, renaming)        | [`ops::project`] |
+//! | π (projection, renaming)        | [`ops::project()`](fn@ops::project) |
 //! | σ (row selection)               | [`ops::select`] |
 //! | ∪̇ , \\ (disjoint union, difference) | [`ops::union_disjoint`], [`ops::difference`] |
 //! | δ (duplicate elimination)       | [`ops::distinct`] |

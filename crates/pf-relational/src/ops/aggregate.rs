@@ -159,8 +159,8 @@ mod tests {
 
     fn table() -> Table {
         Table::new(vec![
-            ("iter".into(), Column::Nat(vec![1, 1, 2, 2, 2])),
-            ("item".into(), Column::Int(vec![10, 20, 5, 7, 9])),
+            ("iter".into(), Column::nats(vec![1, 1, 2, 2, 2])),
+            ("item".into(), Column::ints(vec![10, 20, 5, 7, 9])),
         ])
         .unwrap()
     }
@@ -194,7 +194,7 @@ mod tests {
     #[test]
     fn sum_coerces_untyped_strings() {
         let t = Table::new(vec![
-            ("iter".into(), Column::Nat(vec![1, 1])),
+            ("iter".into(), Column::nats(vec![1, 1])),
             (
                 "item".into(),
                 Column::from_values(vec![Value::Str("10".into()), Value::Str("2.5".into())]),
@@ -208,7 +208,7 @@ mod tests {
     #[test]
     fn aggregation_of_non_numeric_fails() {
         let t = Table::new(vec![
-            ("iter".into(), Column::Nat(vec![1])),
+            ("iter".into(), Column::nats(vec![1])),
             (
                 "item".into(),
                 Column::from_values(vec![Value::Str("abc".into())]),
@@ -221,8 +221,8 @@ mod tests {
     #[test]
     fn group_order_is_first_appearance() {
         let t = Table::new(vec![
-            ("iter".into(), Column::Nat(vec![5, 3, 5])),
-            ("item".into(), Column::Int(vec![1, 1, 1])),
+            ("iter".into(), Column::nats(vec![5, 3, 5])),
+            ("item".into(), Column::ints(vec![1, 1, 1])),
         ])
         .unwrap();
         let r = aggregate_by(&t, "iter", "c", AggFunc::Count, "item").unwrap();

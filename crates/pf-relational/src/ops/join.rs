@@ -119,16 +119,16 @@ mod tests {
 
     fn left() -> Table {
         Table::new(vec![
-            ("iter".into(), Column::Nat(vec![1, 2, 3])),
-            ("item".into(), Column::Int(vec![10, 20, 30])),
+            ("iter".into(), Column::nats(vec![1, 2, 3])),
+            ("item".into(), Column::ints(vec![10, 20, 30])),
         ])
         .unwrap()
     }
 
     fn right() -> Table {
         Table::new(vec![
-            ("iter1".into(), Column::Nat(vec![2, 3, 3, 4])),
-            ("item1".into(), Column::Int(vec![200, 300, 301, 400])),
+            ("iter1".into(), Column::nats(vec![2, 3, 3, 4])),
+            ("item1".into(), Column::ints(vec![200, 300, 301, 400])),
         ])
         .unwrap()
     }
@@ -150,8 +150,8 @@ mod tests {
     #[test]
     fn equi_join_with_no_matches_is_empty() {
         let r = Table::new(vec![
-            ("iter1".into(), Column::Nat(vec![9])),
-            ("item1".into(), Column::Int(vec![1])),
+            ("iter1".into(), Column::nats(vec![9])),
+            ("item1".into(), Column::ints(vec![1])),
         ])
         .unwrap();
         let j = equi_join(&left(), &r, "iter", "iter1").unwrap();

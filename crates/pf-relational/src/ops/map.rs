@@ -190,9 +190,9 @@ mod tests {
 
     fn table() -> Table {
         Table::new(vec![
-            ("iter".into(), Column::Nat(vec![1, 2, 3])),
-            ("a".into(), Column::Int(vec![10, 20, 30])),
-            ("b".into(), Column::Int(vec![3, 20, 7])),
+            ("iter".into(), Column::nats(vec![1, 2, 3])),
+            ("a".into(), Column::ints(vec![10, 20, 30])),
+            ("b".into(), Column::ints(vec![3, 20, 7])),
         ])
         .unwrap()
     }
@@ -216,8 +216,8 @@ mod tests {
     #[test]
     fn boolean_connectives() {
         let t = Table::new(vec![
-            ("x".into(), Column::Bool(vec![true, true, false])),
-            ("y".into(), Column::Bool(vec![true, false, false])),
+            ("x".into(), Column::bools(vec![true, true, false])),
+            ("y".into(), Column::bools(vec![true, false, false])),
         ])
         .unwrap();
         let t = map_binary(&t, "and", "x", BinaryOp::And, "y").unwrap();
@@ -274,6 +274,24 @@ mod tests {
             .unwrap()
             .iter_values()
             .all(|v| v == Value::Nat(1)));
+    }
+
+    #[test]
+    fn map_shares_untouched_input_columns() {
+        let t = table();
+        let out = map_binary(&t, "sum", "a", BinaryOp::Arith(ArithOp::Add), "b").unwrap();
+        // ⊙ appends one new column; the input columns are shared, not copied.
+        for name in ["iter", "a", "b"] {
+            assert!(out
+                .column(name)
+                .unwrap()
+                .shares_data(t.column(name).unwrap()));
+        }
+        let out = map_const(&t, "c", &Value::Nat(1)).unwrap();
+        assert!(out
+            .column("iter")
+            .unwrap()
+            .shares_data(t.column("iter").unwrap()));
     }
 
     #[test]

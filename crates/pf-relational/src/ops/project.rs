@@ -48,6 +48,31 @@ mod tests {
     }
 
     #[test]
+    fn projection_shares_input_buffers() {
+        let t = Table::iter_pos_item(vec![1, 2], vec![1, 1], vec![Value::Int(5), Value::Int(6)])
+            .unwrap();
+        let p = project(
+            &t,
+            &[("iter", "inner"), ("iter", "outer"), ("item", "item")],
+        )
+        .unwrap();
+        // π is a pure column-keeping operator: every output column is the
+        // input buffer under a new name, not a copy.
+        assert!(p
+            .column("inner")
+            .unwrap()
+            .shares_data(t.column("iter").unwrap()));
+        assert!(p
+            .column("outer")
+            .unwrap()
+            .shares_data(t.column("iter").unwrap()));
+        assert!(p
+            .column("item")
+            .unwrap()
+            .shares_data(t.column("item").unwrap()));
+    }
+
+    #[test]
     fn projection_does_not_eliminate_duplicates() {
         let t = Table::iter_pos_item(vec![1, 1], vec![1, 2], vec![Value::Int(5), Value::Int(5)])
             .unwrap();

@@ -63,7 +63,7 @@ pub fn row_number(
         }
     }
     let mut out = sorted;
-    out.add_column(target, Column::Nat(numbering))?;
+    out.add_column(target, Column::nats(numbering))?;
     Ok(out)
 }
 
@@ -74,9 +74,9 @@ mod tests {
 
     fn table() -> Table {
         Table::new(vec![
-            ("iter".into(), Column::Nat(vec![2, 1, 2, 1])),
-            ("pos".into(), Column::Nat(vec![1, 2, 2, 1])),
-            ("item".into(), Column::Int(vec![30, 20, 40, 10])),
+            ("iter".into(), Column::nats(vec![2, 1, 2, 1])),
+            ("pos".into(), Column::nats(vec![1, 2, 2, 1])),
+            ("item".into(), Column::ints(vec![30, 20, 40, 10])),
         ])
         .unwrap()
     }

@@ -40,9 +40,9 @@ mod tests {
 
     fn table() -> Table {
         Table::new(vec![
-            ("iter".into(), Column::Nat(vec![1, 2, 3])),
-            ("flag".into(), Column::Bool(vec![true, false, true])),
-            ("item".into(), Column::Int(vec![10, 20, 30])),
+            ("iter".into(), Column::nats(vec![1, 2, 3])),
+            ("flag".into(), Column::bools(vec![true, false, true])),
+            ("item".into(), Column::ints(vec![10, 20, 30])),
         ])
         .unwrap()
     }
@@ -72,6 +72,17 @@ mod tests {
     fn select_true_requires_boolean_column() {
         assert!(select_true(&table(), "item").is_err());
         assert!(select_true(&table(), "missing").is_err());
+    }
+
+    #[test]
+    fn selection_keeping_every_row_is_zero_copy() {
+        let src = table();
+        let all = select_by(&src, |_| Ok(true)).unwrap();
+        // The identity gather shares the input buffers.
+        assert!(all
+            .column("item")
+            .unwrap()
+            .shares_data(src.column("item").unwrap()));
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub fn union_disjoint(left: &Table, right: &Table) -> RelResult<Table> {
             right.column_names()
         )));
     }
+    // A union with an empty side shares the other side's columns (O(1)).
+    if left.row_count() == 0 {
+        return Ok(right.clone());
+    }
+    if right.row_count() == 0 {
+        return Ok(left.clone());
+    }
     let mut columns = Vec::with_capacity(left.column_count());
     for ((name, lcol), (_, rcol)) in left.columns().iter().zip(right.columns()) {
         let mut col = lcol.clone();
@@ -85,8 +92,8 @@ mod tests {
 
     fn t(iters: Vec<u64>, items: Vec<i64>) -> Table {
         Table::new(vec![
-            ("iter".into(), Column::Nat(iters)),
-            ("item".into(), Column::Int(items)),
+            ("iter".into(), Column::nats(iters)),
+            ("item".into(), Column::ints(items)),
         ])
         .unwrap()
     }
@@ -107,8 +114,24 @@ mod tests {
     }
 
     #[test]
+    fn union_with_empty_side_is_zero_copy() {
+        let populated = t(vec![1, 2], vec![10, 20]);
+        let empty = t(vec![], vec![]);
+        let u = union_disjoint(&empty, &populated).unwrap();
+        assert!(u
+            .column("item")
+            .unwrap()
+            .shares_data(populated.column("item").unwrap()));
+        let u = union_disjoint(&populated, &empty).unwrap();
+        assert!(u
+            .column("item")
+            .unwrap()
+            .shares_data(populated.column("item").unwrap()));
+    }
+
+    #[test]
     fn union_rejects_mismatched_schemas() {
-        let other = Table::new(vec![("x".into(), Column::Nat(vec![1]))]).unwrap();
+        let other = Table::new(vec![("x".into(), Column::nats(vec![1]))]).unwrap();
         assert!(union_disjoint(&t(vec![1], vec![1]), &other).is_err());
     }
 
@@ -125,7 +148,7 @@ mod tests {
 
     #[test]
     fn difference_requires_columns_present_in_right() {
-        let right = Table::new(vec![("iter".into(), Column::Nat(vec![1]))]).unwrap();
+        let right = Table::new(vec![("iter".into(), Column::nats(vec![1]))]).unwrap();
         assert!(difference(&t(vec![1], vec![1]), &right).is_err());
     }
 

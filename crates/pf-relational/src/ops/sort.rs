@@ -1,6 +1,6 @@
 //! Sorting (order refinement).
 //!
-//! Pathfinder's careful treatment of order properties [3] means most plans
+//! Pathfinder's careful treatment of order properties \[3\] means most plans
 //! avoid explicit sorts; when one is needed (e.g. `order by` or restoring
 //! document order after a union), this stable multi-column sort is used.
 
@@ -10,9 +10,9 @@ use crate::table::Table;
 /// Compute the permutation that sorts `input` by `columns` (stable,
 /// ascending, using the total sort order of values).
 pub fn sort_rows_by(input: &Table, columns: &[&str]) -> RelResult<Vec<usize>> {
-    let cols: Vec<_> = columns
+    let cols: Vec<&_> = columns
         .iter()
-        .map(|c| input.column(c).cloned())
+        .map(|c| input.column(c))
         .collect::<RelResult<Vec<_>>>()?;
     let mut order: Vec<usize> = (0..input.row_count()).collect();
     order.sort_by(|&a, &b| {
@@ -41,8 +41,8 @@ mod tests {
 
     fn table() -> Table {
         Table::new(vec![
-            ("iter".into(), Column::Nat(vec![2, 1, 2, 1])),
-            ("item".into(), Column::Int(vec![5, 9, 3, 9])),
+            ("iter".into(), Column::nats(vec![2, 1, 2, 1])),
+            ("item".into(), Column::ints(vec![5, 9, 3, 9])),
         ])
         .unwrap()
     }

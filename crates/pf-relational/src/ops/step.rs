@@ -14,7 +14,9 @@ use pf_store::{staircase_join, Axis, DocStore, NodeTest, PreRank};
 use crate::column::Column;
 use crate::error::{RelError, RelResult};
 use crate::table::Table;
-use crate::value::{NodeRef, Value};
+use crate::value::NodeRef;
+#[cfg(test)]
+use crate::value::Value;
 
 /// Resolves document ids found in [`NodeRef`]s to their stores.
 pub trait DocResolver {
@@ -68,7 +70,11 @@ pub fn staircase_step<R: DocResolver + ?Sized>(
 
     let mut iters: Vec<u64> = Vec::new();
     let mut poss: Vec<u64> = Vec::new();
-    let mut items: Vec<Value> = Vec::new();
+    // The axis decides the output item type up front, so the item column is
+    // built in its typed representation directly (no polymorphic detour):
+    // attribute steps yield strings, every other axis yields node refs.
+    let mut node_items: Vec<NodeRef> = Vec::new();
+    let mut str_items: Vec<String> = Vec::new();
 
     for iter in iter_order {
         let by_doc = &groups[&iter];
@@ -87,7 +93,7 @@ pub fn staircase_step<R: DocResolver + ?Sized>(
                     pos += 1;
                     iters.push(iter);
                     poss.push(pos);
-                    items.push(Value::Str(value));
+                    str_items.push(value);
                 }
             } else {
                 let result = staircase_join(store, &context, axis, test);
@@ -95,16 +101,26 @@ pub fn staircase_step<R: DocResolver + ?Sized>(
                     pos += 1;
                     iters.push(iter);
                     poss.push(pos);
-                    items.push(Value::Node(NodeRef::new(doc_id, pre)));
+                    node_items.push(NodeRef::new(doc_id, pre));
                 }
             }
         }
     }
 
+    // An empty step keeps the polymorphic representation `from_values`
+    // would have produced, so downstream unions see the same column kinds
+    // as before this fast path existed.
+    let item_col = if iters.is_empty() {
+        Column::empty_item()
+    } else if axis == Axis::Attribute {
+        Column::strs(str_items)
+    } else {
+        Column::nodes(node_items)
+    };
     Table::new(vec![
-        ("iter".into(), Column::Nat(iters)),
-        ("pos".into(), Column::Nat(poss)),
-        ("item".into(), Column::from_values(items)),
+        ("iter".into(), Column::nats(iters)),
+        ("pos".into(), Column::nats(poss)),
+        ("item".into(), item_col),
     ])
 }
 

@@ -6,6 +6,8 @@
 //! `item1`, …).  Rows are implicitly numbered 0…n−1 — those row ids serve as
 //! MonetDB's virtual OIDs.
 
+use std::collections::HashSet;
+
 use crate::column::Column;
 use crate::error::{RelError, RelResult};
 use crate::value::Value;
@@ -25,6 +27,11 @@ pub mod names {
 }
 
 /// A relational table.
+///
+/// Columns are [`Arc`](std::sync::Arc)-backed, so cloning a table never
+/// copies cell data — a clone costs one reference-count bump per column.
+/// Operators that keep columns unchanged (projection/rename, attach, …)
+/// therefore share their input's buffers with their output.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Table {
     columns: Vec<(String, Column)>,
@@ -45,8 +52,9 @@ impl Table {
                 return Err(RelError::new("columns have differing lengths"));
             }
         }
-        for (i, (name, _)) in columns.iter().enumerate() {
-            if columns[i + 1..].iter().any(|(n, _)| n == name) {
+        let mut seen: HashSet<&str> = HashSet::with_capacity(columns.len());
+        for (name, _) in &columns {
+            if !seen.insert(name.as_str()) {
                 return Err(RelError::new(format!("duplicate column name `{name}`")));
             }
         }
@@ -79,7 +87,24 @@ impl Table {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, c)| c)
-            .ok_or_else(|| RelError::new(format!("unknown column `{name}`")))
+            .ok_or_else(|| {
+                RelError::new(format!(
+                    "unknown column `{name}` (available: {})",
+                    self.describe_schema()
+                ))
+            })
+    }
+
+    /// Human-readable schema description used in error messages.
+    fn describe_schema(&self) -> String {
+        if self.columns.is_empty() {
+            return "no columns".to_string();
+        }
+        self.columns
+            .iter()
+            .map(|(n, _)| format!("`{n}`"))
+            .collect::<Vec<_>>()
+            .join(", ")
     }
 
     /// All `(name, column)` pairs.
@@ -120,7 +145,14 @@ impl Table {
 
     /// Build a new table containing only the given rows (in the given
     /// order) of this table.
+    ///
+    /// When `rows` is the identity permutation (every row, in order) the
+    /// result shares this table's column buffers instead of copying them —
+    /// selections and sorts that keep everything in place are zero-copy.
     pub fn gather_rows(&self, rows: &[usize]) -> Table {
+        if rows.len() == self.row_count() && rows.iter().enumerate().all(|(i, &r)| i == r) {
+            return self.clone();
+        }
         Table {
             columns: self
                 .columns
@@ -133,8 +165,8 @@ impl Table {
     /// Convenience constructor for the ubiquitous `iter|pos|item` tables.
     pub fn iter_pos_item(iters: Vec<u64>, poss: Vec<u64>, items: Vec<Value>) -> RelResult<Table> {
         Table::new(vec![
-            (names::ITER.to_string(), Column::Nat(iters)),
-            (names::POS.to_string(), Column::Nat(poss)),
+            (names::ITER.to_string(), Column::nats(iters)),
+            (names::POS.to_string(), Column::nats(poss)),
             (names::ITEM.to_string(), Column::from_values(items)),
         ])
     }
@@ -202,13 +234,13 @@ mod tests {
     #[test]
     fn construction_checks_lengths_and_names() {
         assert!(Table::new(vec![
-            ("a".into(), Column::Nat(vec![1, 2])),
-            ("b".into(), Column::Nat(vec![1])),
+            ("a".into(), Column::nats(vec![1, 2])),
+            ("b".into(), Column::nats(vec![1])),
         ])
         .is_err());
         assert!(Table::new(vec![
-            ("a".into(), Column::Nat(vec![1])),
-            ("a".into(), Column::Nat(vec![2])),
+            ("a".into(), Column::nats(vec![1])),
+            ("a".into(), Column::nats(vec![2])),
         ])
         .is_err());
     }
@@ -227,9 +259,9 @@ mod tests {
     #[test]
     fn add_column_validates() {
         let mut t = sample();
-        assert!(t.add_column("iter", Column::Nat(vec![1, 2, 3])).is_err());
-        assert!(t.add_column("extra", Column::Nat(vec![1])).is_err());
-        assert!(t.add_column("extra", Column::Nat(vec![1, 2, 3])).is_ok());
+        assert!(t.add_column("iter", Column::nats(vec![1, 2, 3])).is_err());
+        assert!(t.add_column("extra", Column::nats(vec![1])).is_err());
+        assert!(t.add_column("extra", Column::nats(vec![1, 2, 3])).is_ok());
         assert_eq!(t.column_count(), 4);
     }
 

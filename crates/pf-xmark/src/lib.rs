@@ -11,7 +11,7 @@
 //!   document structure (regions/items, categories, people with profiles
 //!   and incomes, open and closed auctions with bidders, buyers and item
 //!   references), scaled by a factor like the original;
-//! * [`queries`] — the 20 XMark queries, expressed in the XQuery dialect
+//! * [`mod@queries`] — the 20 XMark queries, expressed in the XQuery dialect
 //!   supported by both the Pathfinder engine and the navigational baseline
 //!   (computed constructors instead of direct ones; every other deviation
 //!   is documented next to the query text).

@@ -19,7 +19,7 @@
 //! * Arithmetic and comparisons become equi-joins on `iter` followed by a
 //!   column-wise `⊙` operator — again exactly the Figure 5 shape.
 //!
-//! **Join recognition** ([3], "Pathfinder compiles these queries into join
+//! **Join recognition** (\[3\], "Pathfinder compiles these queries into join
 //! plans"): a nested `for $x in SEQ where A θ B return …` whose sequence is
 //! independent of the enclosing loop and whose `where` clause compares a
 //! key of `$x` against a key of the outer scope is compiled into an

@@ -13,7 +13,7 @@
 //! ```
 //!
 //! Execution of the plan is the job of `pf-engine`; this crate is purely the
-//! compiler.  The compiler optionally performs **join recognition** [3]: a
+//! compiler.  The compiler optionally performs **join recognition** \[3\]: a
 //! nested `for … where key1 θ key2 …` over a loop-independent sequence is
 //! compiled into an equi-/theta-join between the two key relations instead
 //! of a per-iteration cross product — the optimization that makes the XMark

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Run the executor memory profile over XMark Q1-Q20 and emit the
+# machine-readable summary BENCH_pr2.json.
+#
+#   ./scripts/bench.sh                # scale 0.05, writes BENCH_pr2.json
+#   ./scripts/bench.sh 0.2           # custom scale factor
+#   ./scripts/bench.sh 0.2 out.json  # custom scale and output path
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+scale="${1:-0.05}"
+out="${2:-BENCH_pr2.json}"
+
+cargo run --release -p pf-bench --bin mem_profile -- "$scale" "$out"

@@ -115,8 +115,8 @@ proptest! {
     ) {
         let n = keys.len().min(values.len());
         let table = Table::new(vec![
-            ("iter".into(), Column::Nat(keys[..n].to_vec())),
-            ("item".into(), Column::Int(values[..n].to_vec())),
+            ("iter".into(), Column::nats(keys[..n].to_vec())),
+            ("item".into(), Column::ints(values[..n].to_vec())),
         ]).unwrap();
 
         // distinct is idempotent.
@@ -127,8 +127,8 @@ proptest! {
 
         // union with an empty relation of the same schema is identity.
         let empty = Table::new(vec![
-            ("iter".into(), Column::Nat(vec![])),
-            ("item".into(), Column::Int(vec![])),
+            ("iter".into(), Column::nats(vec![])),
+            ("item".into(), Column::ints(vec![])),
         ]).unwrap();
         let u = union_disjoint(&table, &empty).unwrap();
         prop_assert_eq!(u.row_count(), table.row_count());
