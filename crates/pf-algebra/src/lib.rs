@@ -25,6 +25,6 @@ pub mod schema;
 
 pub use ops::{AlgOp, SortSpec};
 pub use optimize::{optimize, OptimizeReport};
-pub use plan::{OpId, Plan, PlanBuilder};
+pub use plan::{OpId, Plan, PlanBuilder, ReadySetBooks};
 pub use render::{to_ascii, to_dot};
 pub use schema::{infer_schema, Properties};

@@ -87,6 +87,9 @@ impl BaselineEngine {
     pub fn load_shared(&mut self, name: &str, doc: Arc<Document>) {
         if let Some(&id) = self.by_name.get(name) {
             self.docs[id] = doc;
+            // Value indices hold NodeIds of the replaced parse; drop them
+            // rather than serve nodes of the old document.
+            self.attr_indices.retain(|(doc_id, _, _), _| *doc_id != id);
         } else {
             self.by_name.insert(name.to_string(), self.docs.len());
             self.docs.push(doc);
@@ -913,6 +916,26 @@ mod tests {
         let hits = e.indexed_lookup("doc.xml", "person", "id", "p1").unwrap();
         assert_eq!(hits.len(), 1);
         assert!(e.indexed_lookup("doc.xml", "person", "id", "p9").is_none());
+    }
+
+    #[test]
+    fn reloading_a_document_drops_its_stale_indices() {
+        let mut e = engine();
+        e.create_attribute_index("doc.xml", "person", "id").unwrap();
+        assert_eq!(e.index_count(), 1);
+        // Replacing the document invalidates the NodeIds the index holds.
+        e.load_document("doc.xml", "<site><person id=\"p7\"/></site>")
+            .unwrap();
+        assert_eq!(e.index_count(), 0);
+        assert!(e.indexed_lookup("doc.xml", "person", "id", "p1").is_none());
+        // A fresh index over the new parse works.
+        e.create_attribute_index("doc.xml", "person", "id").unwrap();
+        assert_eq!(
+            e.indexed_lookup("doc.xml", "person", "id", "p7")
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]

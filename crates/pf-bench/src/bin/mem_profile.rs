@@ -23,7 +23,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use pf_bench::{prepare, seconds, time};
+use pf_bench::{json_string, prepare_with_threads, seconds, time};
 use pf_xmark::queries;
 
 struct QueryProfile {
@@ -48,7 +48,10 @@ fn main() {
     let out_path = args.next().unwrap_or_else(|| "BENCH_pr2.json".to_string());
 
     println!("# Executor memory profile — XMark Q1–Q20 at scale {scale}");
-    let mut instance = prepare(scale);
+    // The resident-memory peaks are schedule-dependent; pin the sequential
+    // executor so the numbers are reproducible and comparable across runs
+    // and machines (the thread-scaling profile is `thread_scaling`).
+    let mut instance = prepare_with_threads(scale, 1);
     println!("# document: {} bytes of XML", instance.xml_bytes);
     println!();
     println!(
@@ -114,6 +117,7 @@ fn render_json(scale: f64, xml_bytes: usize, profiles: &[QueryProfile]) -> Strin
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"mem_profile\",");
     let _ = writeln!(out, "  \"scale\": {scale},");
+    let _ = writeln!(out, "  \"threads\": 1,");
     let _ = writeln!(out, "  \"xml_bytes\": {xml_bytes},");
     let total_peak_cells: usize = profiles.iter().map(|p| p.peak_resident_cells).sum();
     let total_retained_cells: usize = profiles.iter().map(|p| p.cells_produced).sum();
@@ -147,23 +151,5 @@ fn render_json(scale: f64, xml_bytes: usize, profiles: &[QueryProfile]) -> Strin
         out.push_str(if i + 1 < profiles.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
-    out
-}
-
-/// Minimal JSON string escaping for the static query names.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
     out
 }

@@ -1,0 +1,275 @@
+//! Thread-scaling profile of the parallel ready-set executor — wall time
+//! for XMark Q1–Q20 at 1/2/4/8 worker threads.
+//!
+//! For every query and every thread count the binary reports the
+//! best-of-`PF_SCALING_RUNS` wall-clock time of a full `query_profiled`
+//! call (after one warm-up run, so the plan cache is hot and compile time
+//! is out of the picture) plus the execute-stage time on its own.  Every
+//! run's serialized result is compared against the reference produced at
+//! the *first* profiled thread count (`1` unless `PF_SCALING_THREADS`
+//! says otherwise — keep a `1` in the list to compare parallel runs
+//! against the sequential executor); a scheduling bug would show up here
+//! before it shows up in the numbers.
+//!
+//! ```text
+//! cargo run --release -p pf-bench --bin thread_scaling -- [scale] [output.json]
+//! cargo run --release -p pf-bench --bin thread_scaling -- 0.05 BENCH_pr3.json
+//! ```
+//!
+//! Environment knobs: `PF_SCALING_THREADS` (comma-separated thread counts,
+//! default `1,2,4,8`) and `PF_SCALING_RUNS` (timed runs per cell, best is
+//! kept; default 3).  A machine-readable summary is written to the output
+//! path (default `BENCH_pr3.json`); `scripts/bench.sh` wraps this
+//! invocation.  Speedups only materialize when the host actually has
+//! cores: the JSON records `available_parallelism` so a flat profile on a
+//! one-core box explains itself.
+
+use std::fmt::Write as _;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pf_bench::{json_string, seconds, time, SEED};
+use pf_engine::{EngineOptions, Pathfinder};
+use pf_xmark::{generate, queries, GeneratorConfig};
+
+struct Cell {
+    /// Best wall time of a whole warm query (plan cache hit).
+    wall: Duration,
+    /// Execute-stage time of that best run.
+    execute: Duration,
+}
+
+struct QueryScaling {
+    id: u8,
+    name: &'static str,
+    items: usize,
+    cells: Vec<Cell>,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.05);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    let threads = thread_counts();
+    let runs = runs_per_cell();
+
+    println!("# Thread-scaling profile — XMark Q1–Q20 at scale {scale}");
+    let xml = generate(&GeneratorConfig { scale, seed: SEED });
+    let doc = Arc::new(pf_xml::parse(&xml).expect("generated document is well-formed"));
+    println!("# document: {} bytes of XML", xml.len());
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("# host parallelism: {cores} core(s); best of {runs} run(s) per cell");
+
+    // One engine per thread count, all sharing the parsed document.
+    let mut engines: Vec<Pathfinder> = threads
+        .iter()
+        .map(|&n| {
+            let mut pf = Pathfinder::with_options(EngineOptions {
+                threads: n,
+                ..EngineOptions::default()
+            });
+            pf.load_parsed("auction.xml", &doc)
+                .expect("shredding cannot fail on a parsed document");
+            pf
+        })
+        .collect();
+
+    let header: Vec<String> = threads
+        .iter()
+        .map(|n| format!("{:>10}", format!("t={n} (s)")))
+        .collect();
+    println!();
+    println!("{:>3} | {} | {:>8}", "Q", header.join(" | "), "items");
+    println!("{}", "-".repeat(9 + 13 * threads.len()));
+
+    let mut profiles: Vec<QueryScaling> = Vec::new();
+    for q in queries() {
+        let mut reference: Option<String> = None;
+        let mut items = 0usize;
+        let mut cells: Vec<Cell> = Vec::new();
+        for (t_idx, _) in threads.iter().enumerate() {
+            let engine = &mut engines[t_idx];
+            // Warm-up: compiles into the plan cache and yields the result
+            // for the cross-thread-count agreement check.
+            let warm = engine
+                .query(q.text)
+                .unwrap_or_else(|e| panic!("Q{} failed at t={}: {e}", q.id, threads[t_idx]));
+            match &reference {
+                None => {
+                    items = warm.len();
+                    reference = Some(warm.to_xml());
+                }
+                Some(expected) => assert_eq!(
+                    *expected,
+                    warm.to_xml(),
+                    "Q{}: results diverge at t={}",
+                    q.id,
+                    threads[t_idx]
+                ),
+            }
+            let mut best: Option<Cell> = None;
+            for _ in 0..runs {
+                let (outcome, wall) = time(|| engine.query(q.text));
+                let result = outcome
+                    .unwrap_or_else(|e| panic!("Q{} failed at t={}: {e}", q.id, threads[t_idx]));
+                // Outside the timed region: every run (not just the
+                // warm-up) must serialize identically to the reference.
+                assert_eq!(
+                    reference.as_deref(),
+                    Some(result.to_xml().as_str()),
+                    "Q{}: timed run diverged at t={}",
+                    q.id,
+                    threads[t_idx]
+                );
+                if best.as_ref().is_none_or(|b| wall < b.wall) {
+                    best = Some(Cell {
+                        wall,
+                        execute: result.timings().execute,
+                    });
+                }
+            }
+            cells.push(best.expect("at least one timed run"));
+        }
+        let row: Vec<String> = cells
+            .iter()
+            .map(|c| format!("{:>10}", seconds(c.wall)))
+            .collect();
+        println!(
+            "{:>3} | {} | {:>8}",
+            format!("Q{}", q.id),
+            row.join(" | "),
+            items
+        );
+        profiles.push(QueryScaling {
+            id: q.id,
+            name: q.name,
+            items,
+            cells,
+        });
+    }
+
+    let totals: Vec<Duration> = (0..threads.len())
+        .map(|i| profiles.iter().map(|p| p.cells[i].wall).sum())
+        .collect();
+    println!("{}", "-".repeat(9 + 13 * threads.len()));
+    let total_row: Vec<String> = totals
+        .iter()
+        .map(|d| format!("{:>10}", seconds(*d)))
+        .collect();
+    println!("sum | {} |", total_row.join(" | "));
+    if let (Some(base), Some(best)) = (totals.first(), totals.iter().min()) {
+        println!(
+            "\n# best total speedup over t={}: {:.2}x",
+            threads[0],
+            base.as_secs_f64() / best.as_secs_f64().max(f64::EPSILON)
+        );
+    }
+
+    let json = render_json(scale, xml.len(), cores, runs, &threads, &profiles);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("# wrote {out_path}");
+}
+
+/// Thread counts to profile, honouring `PF_SCALING_THREADS`.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("PF_SCALING_THREADS") {
+        Ok(spec) => {
+            let counts: Vec<usize> = spec
+                .split(',')
+                .filter_map(|s| s.trim().parse::<usize>().ok())
+                .filter(|n| *n > 0)
+                .collect();
+            if counts.is_empty() {
+                vec![1, 2, 4, 8]
+            } else {
+                counts
+            }
+        }
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// Timed runs per (query, thread count) cell, honouring `PF_SCALING_RUNS`.
+fn runs_per_cell() -> usize {
+    std::env::var("PF_SCALING_RUNS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(3)
+}
+
+/// Hand-rolled JSON rendering (the workspace deliberately has no serde).
+fn render_json(
+    scale: f64,
+    xml_bytes: usize,
+    cores: usize,
+    runs: usize,
+    threads: &[usize],
+    profiles: &[QueryScaling],
+) -> String {
+    let join_f64 = |values: &[f64]| {
+        values
+            .iter()
+            .map(|v| format!("{v:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"thread_scaling\",");
+    let _ = writeln!(out, "  \"scale\": {scale},");
+    let _ = writeln!(out, "  \"xml_bytes\": {xml_bytes},");
+    let _ = writeln!(out, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(out, "  \"runs_per_cell\": {runs},");
+    let _ = writeln!(
+        out,
+        "  \"threads\": [{}],",
+        threads
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let totals: Vec<f64> = (0..threads.len())
+        .map(|i| profiles.iter().map(|p| p.cells[i].wall.as_secs_f64()).sum())
+        .collect();
+    let base_total = totals.first().copied().unwrap_or(0.0);
+    let total_speedups: Vec<f64> = totals
+        .iter()
+        .map(|t| base_total / t.max(f64::EPSILON))
+        .collect();
+    let _ = writeln!(out, "  \"total_wall_seconds\": [{}],", join_f64(&totals));
+    let _ = writeln!(
+        out,
+        "  \"total_speedup_vs_first\": [{}],",
+        join_f64(&total_speedups)
+    );
+    out.push_str("  \"queries\": [\n");
+    for (i, p) in profiles.iter().enumerate() {
+        let walls: Vec<f64> = p.cells.iter().map(|c| c.wall.as_secs_f64()).collect();
+        let executes: Vec<f64> = p.cells.iter().map(|c| c.execute.as_secs_f64()).collect();
+        let base = walls.first().copied().unwrap_or(0.0);
+        let speedups: Vec<f64> = walls.iter().map(|w| base / w.max(f64::EPSILON)).collect();
+        let _ = write!(
+            out,
+            "    {{\"id\": {}, \"name\": {}, \"result_items\": {}, \
+             \"wall_seconds\": [{}], \"execute_seconds\": [{}], \
+             \"speedup_vs_first\": [{}]}}",
+            p.id,
+            json_string(p.name),
+            p.items,
+            join_f64(&walls),
+            join_f64(&executes),
+            join_f64(&speedups)
+        );
+        out.push_str(if i + 1 < profiles.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

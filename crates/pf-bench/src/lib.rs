@@ -53,10 +53,22 @@ pub struct Instance {
 ///
 /// The generated XML is parsed once; the parsed document is shared with the
 /// baseline engine (zero-copy) and shredded into the Pathfinder store.
+/// The Pathfinder engine uses the default thread count (`PF_THREADS` /
+/// available parallelism); measurements that must be schedule-independent
+/// should use [`prepare_with_threads`] and pin `threads = 1`.
 pub fn prepare(scale: f64) -> Instance {
+    prepare_with_threads(scale, 0)
+}
+
+/// Like [`prepare`], with an explicit executor thread count for the
+/// Pathfinder engine (`0` = default, `1` = sequential path).
+pub fn prepare_with_threads(scale: f64, threads: usize) -> Instance {
     let xml = generate(&GeneratorConfig { scale, seed: SEED });
     let doc = Arc::new(pf_xml::parse(&xml).expect("generated document is well-formed"));
-    let mut pathfinder = Pathfinder::new();
+    let mut pathfinder = Pathfinder::with_options(pf_engine::EngineOptions {
+        threads,
+        ..pf_engine::EngineOptions::default()
+    });
     pathfinder
         .load_parsed("auction.xml", &doc)
         .expect("shredding cannot fail on a parsed document");
@@ -87,6 +99,26 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 /// Table 3 of the paper).
 pub fn seconds(d: Duration) -> String {
     format!("{:.4}", d.as_secs_f64())
+}
+
+/// Minimal JSON string escaping, shared by the hand-rolled JSON emitters of
+/// the profile binaries (the workspace deliberately has no serde).
+pub fn json_string(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]

@@ -1,22 +1,44 @@
 //! The plan executor: interprets a `pf-algebra` plan over the column store.
 //!
-//! Operators are evaluated in topological order (children before parents),
-//! so shared subexpressions of the DAG are computed exactly once — this is
-//! the "single algebraic query" execution model of the paper.  Most
-//! operators map 1:1 onto the physical operators of `pf-relational`; the
-//! handful of XQuery-specific shorthands (ε, τ, `fn:data`, `ebv`,
-//! `fs:distinct-doc-order`) are implemented here because they need access to
-//! the document registry.
+//! Operators are evaluated in **ready-set order**: the executor keeps, for
+//! every operator of the DAG, the number of inputs that are not yet
+//! materialized; operators whose count is zero form the *ready set* and may
+//! run in any order — or concurrently.  With one thread the ready set is
+//! drained in the classic topological order (children before parents,
+//! identical to the pre-parallel executor, bit for bit); with more threads
+//! the independent branches of the DAG fan out onto a scoped worker pool
+//! ([`std::thread::scope`] — no extra dependencies) while one coordinator
+//! thread retains the *pinned* operators.  Shared subexpressions are still
+//! computed exactly once — this is the "single algebraic query" execution
+//! model of the paper, now exploiting the plan's join-graph independence.
+//!
+//! **Pinned vs pure.**  The node-constructing operators (ε, attribute and τ
+//! text construction) append transient documents to the [`DocRegistry`] and
+//! therefore determine document ids; they are *pinned*: only the
+//! coordinator thread runs them, one at a time, in topological plan order,
+//! so constructed ids — and with them document order across transient
+//! fragments — are identical at every thread count.  Every other operator
+//! is *pure*: it only reads the registry (which hands out [`Arc`] store
+//! snapshots from behind a lock) and its inputs, so any worker may evaluate
+//! it as soon as its inputs are published.  Determinism does not depend on
+//! scheduling: each operator is a pure function of its input tables, so
+//! every thread count produces the same result table.
 //!
 //! Intermediate results are held behind [`Arc`]s and evicted at their last
-//! use (per [`Plan::last_use_schedule`]): peak resident rows track the live
-//! frontier of the DAG, not the whole plan.  Operators are borrowed from the
-//! plan, never cloned.
+//! use — sequentially per [`Plan::last_use_schedule`], in parallel when the
+//! per-operator consumer count (from [`Plan::consumer_counts`]) drops to
+//! zero: peak resident rows track the live frontier of the DAG, not the
+//! whole plan.  Physical cell accounting is incremental (per
+//! [`Column::buffer_id`] refcounts, updated on publish/evict), so profiling
+//! no longer rescans the live slots after every operator.  Operators are
+//! borrowed from the plan, never cloned.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::num::NonZeroUsize;
+use std::sync::{Arc, Condvar, Mutex};
 
-use pf_algebra::{AlgOp, OpId, Plan, SortSpec};
+use pf_algebra::{AlgOp, OpId, Plan, ReadySetBooks, SortSpec};
 use pf_relational::ops::{self, BinaryOp, HashKey};
 use pf_relational::{Column, NodeRef, Table, Value};
 use pf_store::{DocStore, NodeKindCode};
@@ -45,6 +67,12 @@ const ATTR_MARKER: &str = "\u{1}attr\u{1}";
 ///   do not inflate the numbers.  `peak_resident_cells` is what this
 ///   executor actually held at its worst moment; `cells_produced` is the
 ///   retain-everything, share-nothing total it is compared against.
+///
+/// The totals (`operators_evaluated`, `rows_produced`, `cells_produced`,
+/// `evicted_results`) are identical at every thread count; the two peaks
+/// depend on which branches happened to be resident together, so parallel
+/// runs may report higher peaks than `threads = 1` (which reproduces the
+/// sequential numbers exactly).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Operators evaluated (= reachable plan size).
@@ -64,82 +92,466 @@ pub struct ExecStats {
     pub evicted_results: usize,
 }
 
-/// Fetch a previously computed operator result from the slot arena.
-fn fetch(slots: &[Option<Arc<Table>>], id: OpId) -> EngineResult<&Table> {
-    slots
-        .get(id)
-        .and_then(|slot| slot.as_deref())
-        .ok_or_else(|| EngineError::msg("operator evaluated before its input"))
+/// The thread count the executor uses when none is requested explicitly:
+/// the `PF_THREADS` environment variable if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    match std::env::var("PF_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+    }
 }
 
-/// Physically resident column cells across the live slots: each distinct
-/// buffer is counted once, so tables that share columns do not double-count.
-fn resident_cells(slots: &[Option<Arc<Table>>]) -> usize {
-    let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
-    let mut cells = 0usize;
-    for table in slots.iter().flatten() {
+/// `true` for operators that must run on the coordinator thread, in plan
+/// order: the node constructors register transient documents and thereby
+/// assign document ids, which have to be reproducible across thread counts.
+fn is_pinned(op: &AlgOp) -> bool {
+    matches!(
+        op,
+        AlgOp::ElemConstruct { .. } | AlgOp::AttrConstruct { .. } | AlgOp::TextConstruct { .. }
+    )
+}
+
+/// The materialized inputs an operator evaluation may read.
+///
+/// The sequential path hands the whole slot arena over; the parallel path
+/// gathers [`Arc`] clones of exactly the operator's inputs when the
+/// operator is claimed (the arena itself stays behind the scheduler lock).
+enum Inputs<'t> {
+    /// Borrow of the sequential executor's slot arena.
+    Slots(&'t [Option<Arc<Table>>]),
+    /// The claimed operator's inputs, gathered under the scheduler lock.
+    Gathered(&'t [(OpId, Arc<Table>)]),
+}
+
+impl Inputs<'_> {
+    /// Fetch a previously computed operator result.
+    fn get(&self, id: OpId) -> EngineResult<&Table> {
+        match self {
+            Inputs::Slots(slots) => slots.get(id).and_then(|slot| slot.as_deref()),
+            Inputs::Gathered(list) => list.iter().find(|(i, _)| *i == id).map(|(_, t)| &**t),
+        }
+        .ok_or_else(|| EngineError::msg("operator evaluated before its input"))
+    }
+}
+
+/// Incremental physical-cell accounting: reference counts per column
+/// buffer.  `publish`/`evict` are O(columns of the table), replacing the
+/// former O(live slots × columns) rescan after every operator.
+#[derive(Debug, Default)]
+struct CellLedger {
+    /// `buffer_id → (live tables referencing it, cell count)`.
+    buffers: HashMap<usize, (usize, usize)>,
+    /// Physically resident cells right now (each buffer counted once).
+    resident: usize,
+}
+
+impl CellLedger {
+    fn publish(&mut self, table: &Table) {
         for (_, col) in table.columns() {
-            if seen.insert(col.buffer_id()) {
-                cells += col.len();
+            let entry = self
+                .buffers
+                .entry(col.buffer_id())
+                .or_insert((0, col.len()));
+            entry.0 += 1;
+            if entry.0 == 1 {
+                self.resident += entry.1;
             }
         }
     }
-    cells
+
+    fn evict(&mut self, table: &Table) {
+        for (_, col) in table.columns() {
+            let id = col.buffer_id();
+            let entry = self
+                .buffers
+                .get_mut(&id)
+                .expect("evicted buffer was never published");
+            entry.0 -= 1;
+            if entry.0 == 0 {
+                self.resident -= entry.1;
+                // Remove so a later allocation reusing the address starts
+                // fresh (buffer ids are derived from heap addresses).
+                self.buffers.remove(&id);
+            }
+        }
+    }
+}
+
+/// Per-operator memo of resolved document stores: one registry lock
+/// acquisition (and `Arc` clone) per distinct document id instead of one
+/// per row in atomizing loops.  Safe to hold across an operator evaluation
+/// because a document id's store never changes while a query runs — loads
+/// require `&mut DocRegistry`, and constructors only append fresh ids.
+struct StoreCache<'a> {
+    registry: &'a DocRegistry,
+    memo: HashMap<u32, Option<Arc<DocStore>>>,
+}
+
+impl<'a> StoreCache<'a> {
+    fn new(registry: &'a DocRegistry) -> Self {
+        StoreCache {
+            registry,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The store for `doc`, resolved through the registry at most once.
+    fn store(&mut self, doc: u32) -> Option<&DocStore> {
+        let registry = self.registry;
+        self.memo
+            .entry(doc)
+            .or_insert_with(|| registry.store(doc))
+            .as_deref()
+    }
+
+    /// Atomize a value: nodes become their string value, atomics pass
+    /// through (the implicit atomization XQuery applies to operands of
+    /// arithmetic, comparisons and string functions).
+    fn atomize(&mut self, value: &Value) -> Value {
+        match value {
+            Value::Node(node) => {
+                let text = self
+                    .store(node.doc)
+                    .map(|s| s.string_value(node.pre))
+                    .unwrap_or_default();
+                Value::Str(text)
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+/// Mutable scheduler state shared by the coordinator and the workers.
+struct ParState {
+    slots: Vec<Option<Arc<Table>>>,
+    /// Unmet input edges per operator (ready when 0).
+    waiting: Vec<usize>,
+    /// Remaining consumer edges per operator (evict when 0).
+    remaining: Vec<usize>,
+    /// Ready *pure* operators, as positions in the topological order (the
+    /// smallest position is claimed first, approximating the sequential
+    /// executor's memory-friendly order).
+    ready: BinaryHeap<Reverse<usize>>,
+    /// Index of the next pinned operator (into `ParCtx::pinned_order`).
+    next_pinned: usize,
+    /// Operators published so far.
+    completed: usize,
+    stats: ExecStats,
+    resident_rows: usize,
+    ledger: CellLedger,
+    error: Option<EngineError>,
+}
+
+/// Immutable context of one parallel run.
+struct ParCtx<'e, 'p> {
+    exec: &'e Executor<'e>,
+    plan: &'p Plan,
+    /// Reachable operators in topological order.
+    topo_order: Vec<OpId>,
+    /// Position of each operator in `topo_order` (by OpId).
+    topo_pos: Vec<usize>,
+    /// Pinned operators in topological order.
+    pinned_order: Vec<OpId>,
+    /// Consumer edges (inverse adjacency) by OpId.
+    consumers: Vec<Vec<OpId>>,
+    state: Mutex<ParState>,
+    wake: Condvar,
+}
+
+impl ParCtx<'_, '_> {
+    /// `true` once every reachable operator has published or a branch
+    /// failed.
+    fn finished(&self, state: &ParState) -> bool {
+        state.error.is_some() || state.completed == self.topo_order.len()
+    }
+
+    /// Work loop run by every thread.  Only the coordinator claims pinned
+    /// operators (strictly in plan order); everyone claims pure ready
+    /// operators.
+    fn work(&self, coordinator: bool) {
+        let mut state = self.state.lock().expect("scheduler lock poisoned");
+        loop {
+            if self.finished(&state) {
+                return;
+            }
+            let claimed = self.claim(&mut state, coordinator);
+            let Some(id) = claimed else {
+                state = self
+                    .wake
+                    .wait(state)
+                    .expect("scheduler lock poisoned during wait");
+                continue;
+            };
+            let gathered: Vec<(OpId, Arc<Table>)> = self
+                .plan
+                .op(id)
+                .children()
+                .iter()
+                .map(|&child| {
+                    let table = state.slots[child]
+                        .clone()
+                        .expect("ready operator with unpublished input");
+                    (child, table)
+                })
+                .collect();
+            drop(state);
+            // A panicking operator must not strand its peers: without the
+            // catch, the panicking thread would die before publishing or
+            // notifying and every other thread would wait on the condvar
+            // forever (the sequential path propagates panics; here they
+            // surface as an engine error instead).
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.exec.eval(self.plan, id, &Inputs::Gathered(&gathered))
+            }))
+            .unwrap_or_else(|payload| {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                Err(EngineError::msg(format!("operator panicked: {message}")))
+            });
+            drop(gathered);
+            state = self.state.lock().expect("scheduler lock poisoned");
+            match outcome {
+                Ok(table) => self.publish(&mut state, id, table),
+                Err(e) => {
+                    // First failure wins; everyone drains on the flag.
+                    state.error.get_or_insert(e);
+                    self.wake.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Claim the next operator this thread may run, if any.
+    fn claim(&self, state: &mut ParState, coordinator: bool) -> Option<OpId> {
+        if coordinator {
+            if let Some(&id) = self.pinned_order.get(state.next_pinned) {
+                if state.waiting[id] == 0 {
+                    state.next_pinned += 1;
+                    return Some(id);
+                }
+            }
+        }
+        state.ready.pop().map(|Reverse(pos)| self.topo_order[pos])
+    }
+
+    /// Record a published result: account it, evict inputs that lost their
+    /// last consumer, and move parents whose inputs are now complete into
+    /// the ready set.
+    fn publish(&self, state: &mut ParState, id: OpId, table: Table) {
+        let rows = table.row_count();
+        state.stats.operators_evaluated += 1;
+        state.stats.rows_produced += rows;
+        state.stats.cells_produced += table.columns().iter().map(|(_, c)| c.len()).sum::<usize>();
+        state.resident_rows += rows;
+        let table = Arc::new(table);
+        state.ledger.publish(&table);
+        state.slots[id] = Some(table);
+        // Inputs and output coexist while an operator runs, so the peaks
+        // are sampled before the inputs are released.
+        state.stats.peak_resident_rows = state.stats.peak_resident_rows.max(state.resident_rows);
+        state.stats.peak_resident_cells =
+            state.stats.peak_resident_cells.max(state.ledger.resident);
+        for child in self.plan.op(id).children() {
+            state.remaining[child] -= 1;
+            if state.remaining[child] == 0 {
+                if let Some(freed) = state.slots[child].take() {
+                    state.resident_rows -= freed.row_count();
+                    state.ledger.evict(&freed);
+                    state.stats.evicted_results += 1;
+                }
+            }
+        }
+        for &parent in &self.consumers[id] {
+            state.waiting[parent] -= 1;
+            if state.waiting[parent] == 0 && !is_pinned(self.plan.op(parent)) {
+                state.ready.push(Reverse(self.topo_pos[parent]));
+            }
+        }
+        state.completed += 1;
+        self.wake.notify_all();
+    }
 }
 
 /// Plan interpreter bound to a document registry.
+///
+/// The registry is only ever read-shared during execution (node
+/// constructors append transient documents through its interior lock), so
+/// the executor borrows it immutably and may be shared across the worker
+/// threads of a parallel run.
 #[derive(Debug)]
 pub struct Executor<'a> {
-    registry: &'a mut DocRegistry,
+    registry: &'a DocRegistry,
+    threads: usize,
 }
 
 impl<'a> Executor<'a> {
     /// Create an executor over `registry` (constructed nodes are registered
-    /// there).
-    pub fn new(registry: &'a mut DocRegistry) -> Self {
-        Executor { registry }
+    /// there) using the default thread count ([`default_threads`]).
+    pub fn new(registry: &'a DocRegistry) -> Self {
+        Executor::with_threads(registry, 0)
+    }
+
+    /// Create an executor with an explicit worker thread count.
+    ///
+    /// `1` selects the sequential path (identical, step for step, to the
+    /// pre-parallel executor); `0` resolves to [`default_threads`].
+    pub fn with_threads(registry: &'a DocRegistry, threads: usize) -> Self {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        Executor { registry, threads }
+    }
+
+    /// The number of threads this executor evaluates plans with.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Evaluate `plan` and return the root operator's table.
-    pub fn run(&mut self, plan: &Plan) -> EngineResult<Table> {
-        Ok(self.execute(plan, false)?.0)
+    pub fn run(&self, plan: &Plan) -> EngineResult<Table> {
+        Ok(self.execute(plan)?.0)
     }
 
     /// Evaluate `plan`, returning the root table and the memory-discipline
-    /// statistics of the run (including the per-step physical-cell
-    /// accounting, which plain [`Executor::run`] skips).
-    pub fn run_with_stats(&mut self, plan: &Plan) -> EngineResult<(Table, ExecStats)> {
-        self.execute(plan, true)
+    /// statistics of the run.
+    pub fn run_with_stats(&self, plan: &Plan) -> EngineResult<(Table, ExecStats)> {
+        self.execute(plan)
     }
 
-    fn execute(&mut self, plan: &Plan, profile_cells: bool) -> EngineResult<(Table, ExecStats)> {
+    fn execute(&self, plan: &Plan) -> EngineResult<(Table, ExecStats)> {
+        if self.threads <= 1 {
+            return self.execute_sequential(plan);
+        }
+        // One topological pass derives every scheduler book.  The worker
+        // count is capped by the widest dependency level: a chain-shaped
+        // plan (width 1) has nothing to fan out and takes the sequential
+        // path without spawning a single thread.  (Level width slightly
+        // under-estimates the maximum antichain of exotic DAG shapes, but
+        // it is the right order of magnitude and comes free with the
+        // books.)
+        let books = plan.ready_set_books();
+        let threads = self.threads.min(books.width().max(1));
+        if threads <= 1 {
+            self.execute_sequential(plan)
+        } else {
+            self.execute_parallel(plan, threads, books)
+        }
+    }
+
+    /// The sequential interpreter: topological order with last-use
+    /// eviction, exactly as before the ready-set scheduler existed.
+    fn execute_sequential(&self, plan: &Plan) -> EngineResult<(Table, ExecStats)> {
         let schedule = plan.last_use_schedule();
         let mut slots: Vec<Option<Arc<Table>>> = vec![None; plan.ops().len()];
         let mut stats = ExecStats::default();
         let mut resident_rows = 0usize;
+        let mut ledger = CellLedger::default();
         for (id, dead_after) in &schedule {
-            let table = self.eval(plan, *id, &slots)?;
+            let table = self.eval(plan, *id, &Inputs::Slots(&slots))?;
             let rows = table.row_count();
             stats.operators_evaluated += 1;
             stats.rows_produced += rows;
             stats.cells_produced += table.columns().iter().map(|(_, c)| c.len()).sum::<usize>();
             resident_rows += rows;
-            slots[*id] = Some(Arc::new(table));
+            let table = Arc::new(table);
+            ledger.publish(&table);
+            slots[*id] = Some(table);
             // The operator's inputs and its output coexist while it runs, so
             // the peaks are sampled before the dead set is dropped.
             stats.peak_resident_rows = stats.peak_resident_rows.max(resident_rows);
-            if profile_cells {
-                // O(live slots × columns) with a dedup set — only paid on
-                // the profiled entry points, not on every query.
-                stats.peak_resident_cells = stats.peak_resident_cells.max(resident_cells(&slots));
-            }
+            stats.peak_resident_cells = stats.peak_resident_cells.max(ledger.resident);
             for &dead in dead_after {
                 if let Some(freed) = slots[dead].take() {
                     resident_rows -= freed.row_count();
+                    ledger.evict(&freed);
                     stats.evicted_results += 1;
                 }
             }
         }
+        Self::take_root(&mut slots, plan, stats)
+    }
+
+    /// The ready-set scheduler: pure operators fan out onto `threads - 1`
+    /// scoped workers plus this thread; pinned operators run on this
+    /// (coordinator) thread in plan order.
+    fn execute_parallel(
+        &self,
+        plan: &Plan,
+        threads: usize,
+        books: ReadySetBooks,
+    ) -> EngineResult<(Table, ExecStats)> {
+        let ReadySetBooks {
+            topo_order,
+            input_edges: waiting,
+            consumers,
+            consumer_counts: remaining,
+            ..
+        } = books;
+        let mut topo_pos = vec![usize::MAX; plan.ops().len()];
+        for (pos, &id) in topo_order.iter().enumerate() {
+            topo_pos[id] = pos;
+        }
+        let pinned_order: Vec<OpId> = topo_order
+            .iter()
+            .copied()
+            .filter(|&id| is_pinned(plan.op(id)))
+            .collect();
+        let ready: BinaryHeap<Reverse<usize>> = topo_order
+            .iter()
+            .filter(|&&id| waiting[id] == 0 && !is_pinned(plan.op(id)))
+            .map(|&id| Reverse(topo_pos[id]))
+            .collect();
+        let ctx = ParCtx {
+            exec: self,
+            plan,
+            topo_pos,
+            pinned_order,
+            consumers,
+            state: Mutex::new(ParState {
+                slots: vec![None; plan.ops().len()],
+                waiting,
+                remaining,
+                ready,
+                next_pinned: 0,
+                completed: 0,
+                stats: ExecStats::default(),
+                resident_rows: 0,
+                ledger: CellLedger::default(),
+                error: None,
+            }),
+            wake: Condvar::new(),
+            topo_order,
+        };
+        std::thread::scope(|scope| {
+            for _ in 1..threads {
+                scope.spawn(|| ctx.work(false));
+            }
+            ctx.work(true);
+        });
+        let mut state = ctx.state.into_inner().expect("scheduler lock poisoned");
+        if let Some(error) = state.error.take() {
+            return Err(error);
+        }
+        let stats = state.stats;
+        Self::take_root(&mut state.slots, plan, stats)
+    }
+
+    fn take_root(
+        slots: &mut [Option<Arc<Table>>],
+        plan: &Plan,
+        stats: ExecStats,
+    ) -> EngineResult<(Table, ExecStats)> {
         let root = slots[plan.root()]
             .take()
             .ok_or_else(|| EngineError::msg("plan produced no result"))?;
@@ -147,7 +559,7 @@ impl<'a> Executor<'a> {
         Ok((table, stats))
     }
 
-    fn eval(&mut self, plan: &Plan, id: OpId, slots: &[Option<Arc<Table>>]) -> EngineResult<Table> {
+    fn eval(&self, plan: &Plan, id: OpId, inputs: &Inputs<'_>) -> EngineResult<Table> {
         match plan.op(id) {
             AlgOp::Lit { columns, rows } => {
                 let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(rows.len()); columns.len()];
@@ -179,31 +591,30 @@ impl<'a> Executor<'a> {
                     .iter()
                     .map(|(s, t)| (s.as_str(), t.as_str()))
                     .collect();
-                Ok(ops::project(fetch(slots, *input)?, &pairs)?)
+                Ok(ops::project(inputs.get(*input)?, &pairs)?)
             }
-            AlgOp::Select { input, column } => Ok(ops::select_true(fetch(slots, *input)?, column)?),
+            AlgOp::Select { input, column } => Ok(ops::select_true(inputs.get(*input)?, column)?),
             AlgOp::SelectEq {
                 input,
                 column,
                 value,
-            } => Ok(ops::select_eq(fetch(slots, *input)?, column, value)?),
-            AlgOp::Distinct { input } => Ok(ops::distinct(fetch(slots, *input)?)?),
+            } => Ok(ops::select_eq(inputs.get(*input)?, column, value)?),
+            AlgOp::Distinct { input } => Ok(ops::distinct(inputs.get(*input)?)?),
             AlgOp::Union { left, right } => Ok(ops::union_disjoint(
-                fetch(slots, *left)?,
-                fetch(slots, *right)?,
+                inputs.get(*left)?,
+                inputs.get(*right)?,
             )?),
-            AlgOp::Difference { left, right } => Ok(ops::difference(
-                fetch(slots, *left)?,
-                fetch(slots, *right)?,
-            )?),
+            AlgOp::Difference { left, right } => {
+                Ok(ops::difference(inputs.get(*left)?, inputs.get(*right)?)?)
+            }
             AlgOp::EquiJoin {
                 left,
                 right,
                 left_col,
                 right_col,
             } => Ok(ops::equi_join(
-                fetch(slots, *left)?,
-                fetch(slots, *right)?,
+                inputs.get(*left)?,
+                inputs.get(*right)?,
                 left_col,
                 right_col,
             )?),
@@ -214,44 +625,40 @@ impl<'a> Executor<'a> {
                 op,
                 right_col,
             } => Ok(ops::theta_join(
-                fetch(slots, *left)?,
-                fetch(slots, *right)?,
+                inputs.get(*left)?,
+                inputs.get(*right)?,
                 left_col,
                 *op,
                 right_col,
             )?),
             AlgOp::Cross { left, right } => {
-                Ok(ops::cross(fetch(slots, *left)?, fetch(slots, *right)?)?)
+                Ok(ops::cross(inputs.get(*left)?, inputs.get(*right)?)?)
             }
             AlgOp::RowNum {
                 input,
                 target,
                 order_by,
                 partition,
-            } => self.row_number(
-                fetch(slots, *input)?,
-                target,
-                order_by,
-                partition.as_deref(),
-            ),
+            } => self.row_number(inputs.get(*input)?, target, order_by, partition.as_deref()),
             AlgOp::BinaryMap {
                 input,
                 target,
                 left,
                 op,
                 right,
-            } => self.binary_map(fetch(slots, *input)?, target, left, *op, right),
+            } => self.binary_map(inputs.get(*input)?, target, left, *op, right),
             AlgOp::UnaryMap {
                 input,
                 target,
                 op,
                 source,
             } => {
-                let table = fetch(slots, *input)?;
+                let table = inputs.get(*input)?;
                 let col = table.column(source)?;
+                let mut cache = StoreCache::new(self.registry);
                 let mut values = Vec::with_capacity(table.row_count());
                 for row in 0..table.row_count() {
-                    let v = self.atomize(&col.get(row));
+                    let v = cache.atomize(&col.get(row));
                     values.push(ops::map::apply_unary(*op, &v)?);
                 }
                 let mut out = table.clone();
@@ -262,7 +669,7 @@ impl<'a> Executor<'a> {
                 input,
                 target,
                 value,
-            } => Ok(ops::map_const(fetch(slots, *input)?, target, value)?),
+            } => Ok(ops::map_const(inputs.get(*input)?, target, value)?),
             AlgOp::Aggregate {
                 input,
                 group,
@@ -270,62 +677,51 @@ impl<'a> Executor<'a> {
                 func,
                 value,
             } => Ok(ops::aggregate_by(
-                fetch(slots, *input)?,
+                inputs.get(*input)?,
                 group,
                 target,
                 *func,
                 value,
             )?),
             AlgOp::Step { input, axis, test } => Ok(ops::staircase_step(
-                fetch(slots, *input)?,
+                inputs.get(*input)?,
                 self.registry,
                 *axis,
                 test,
             )?),
-            AlgOp::DocOrder { input } => self.doc_order(fetch(slots, *input)?),
-            AlgOp::FnData { input } => self.fn_data(fetch(slots, *input)?),
-            AlgOp::FnRoot { input } => self.fn_root(fetch(slots, *input)?),
-            AlgOp::Ebv { input } => self.ebv(fetch(slots, *input)?),
+            AlgOp::DocOrder { input } => self.doc_order(inputs.get(*input)?),
+            AlgOp::FnData { input } => self.fn_data(inputs.get(*input)?),
+            AlgOp::FnRoot { input } => self.fn_root(inputs.get(*input)?),
+            AlgOp::Ebv { input } => self.ebv(inputs.get(*input)?),
             AlgOp::ElemConstruct {
                 loop_input,
                 tag,
                 content,
-            } => self.construct_elements(fetch(slots, *loop_input)?, tag, fetch(slots, *content)?),
+            } => self.construct_elements(inputs.get(*loop_input)?, tag, inputs.get(*content)?),
             AlgOp::AttrConstruct {
                 loop_input,
                 name,
                 content,
-            } => {
-                self.construct_attributes(fetch(slots, *loop_input)?, name, fetch(slots, *content)?)
-            }
+            } => self.construct_attributes(inputs.get(*loop_input)?, name, inputs.get(*content)?),
             AlgOp::TextConstruct {
                 loop_input,
                 content,
-            } => self.construct_texts(fetch(slots, *loop_input)?, fetch(slots, *content)?),
+            } => self.construct_texts(inputs.get(*loop_input)?, inputs.get(*content)?),
             AlgOp::Sort { input, by } => {
                 let columns: Vec<&str> = by.iter().map(|s| s.column.as_str()).collect();
-                Ok(ops::sort_by(fetch(slots, *input)?, &columns)?)
+                Ok(ops::sort_by(inputs.get(*input)?, &columns)?)
             }
         }
     }
 
     // ----- value helpers --------------------------------------------------
 
-    /// Atomize a value: nodes become their string value, atomics pass
-    /// through (the implicit atomization XQuery applies to operands of
-    /// arithmetic, comparisons and string functions).
+    /// One-shot atomization (see [`StoreCache::atomize`]); production row
+    /// loops build their own [`StoreCache`] so the registry is locked once
+    /// per document, not once per row.
+    #[cfg(test)]
     fn atomize(&self, value: &Value) -> Value {
-        match value {
-            Value::Node(node) => {
-                let text = self
-                    .registry
-                    .store(node.doc)
-                    .map(|s| s.string_value(node.pre))
-                    .unwrap_or_default();
-                Value::Str(text)
-            }
-            other => other.clone(),
-        }
+        StoreCache::new(self.registry).atomize(value)
     }
 
     fn binary_map(
@@ -338,6 +734,7 @@ impl<'a> Executor<'a> {
     ) -> EngineResult<Table> {
         let lcol = table.column(left)?;
         let rcol = table.column(right)?;
+        let mut cache = StoreCache::new(self.registry);
         let mut values = Vec::with_capacity(table.row_count());
         for row in 0..table.row_count() {
             let l = lcol.get(row);
@@ -348,7 +745,7 @@ impl<'a> Executor<'a> {
                 (Value::Node(_), Value::Node(_), BinaryOp::Cmp(_)) => {
                     ops::map::apply_binary(op, &l, &r)?
                 }
-                _ => ops::map::apply_binary(op, &self.atomize(&l), &self.atomize(&r))?,
+                _ => ops::map::apply_binary(op, &cache.atomize(&l), &cache.atomize(&r))?,
             };
             values.push(result);
         }
@@ -359,8 +756,9 @@ impl<'a> Executor<'a> {
 
     fn fn_data(&self, table: &Table) -> EngineResult<Table> {
         let item = table.column("item")?;
+        let mut cache = StoreCache::new(self.registry);
         let values: Vec<Value> = (0..table.row_count())
-            .map(|row| self.atomize(&item.get(row)))
+            .map(|row| cache.atomize(&item.get(row)))
             .collect();
         let mut columns = Vec::new();
         for (name, col) in table.columns() {
@@ -521,11 +919,11 @@ impl<'a> Executor<'a> {
         Ok(rows.into_iter().map(|(_, v)| v).collect())
     }
 
-    // (node copying lives in the free function `copy_subtree` below so that
-    // it can run while the registry is only borrowed immutably)
+    // (node copying lives in the free function `copy_subtree` below; it
+    // reads stores through the registry's shared handles)
 
     fn construct_elements(
-        &mut self,
+        &self,
         loop_table: &Table,
         tag: &str,
         content: &Table,
@@ -533,6 +931,7 @@ impl<'a> Executor<'a> {
         let iter_col = loop_table.column("iter")?;
         let mut iters = Vec::new();
         let mut element_pres: Vec<u32> = Vec::new();
+        let mut cache = StoreCache::new(self.registry);
         // All elements constructed by one ε operator share a single
         // transient document (like MonetDB/XQuery's transient fragments):
         // each constructed element becomes a child of that document's root,
@@ -562,7 +961,7 @@ impl<'a> Executor<'a> {
             for value in children {
                 match value {
                     Value::Node(node) => {
-                        let store = self.registry.store(node.doc).ok_or_else(|| {
+                        let store = cache.store(node.doc).ok_or_else(|| {
                             EngineError::msg(format!("unknown document id {}", node.doc))
                         })?;
                         copy_subtree(&mut builder, store, node.pre);
@@ -597,7 +996,7 @@ impl<'a> Executor<'a> {
     }
 
     fn construct_attributes(
-        &mut self,
+        &self,
         loop_table: &Table,
         name: &str,
         content: &Table,
@@ -605,12 +1004,13 @@ impl<'a> Executor<'a> {
         let iter_col = loop_table.column("iter")?;
         let mut iters = Vec::new();
         let mut items = Vec::new();
+        let mut cache = StoreCache::new(self.registry);
         for row in 0..loop_table.row_count() {
             let iter = iter_col.get(row).as_nat()?;
             let values = Self::content_of_iteration(content, iter)?;
             let text = values
                 .iter()
-                .map(|v| self.atomize(v).to_xdm_string())
+                .map(|v| cache.atomize(v).to_xdm_string())
                 .collect::<Vec<_>>()
                 .join(" ");
             iters.push(iter);
@@ -624,10 +1024,11 @@ impl<'a> Executor<'a> {
         ])?)
     }
 
-    fn construct_texts(&mut self, loop_table: &Table, content: &Table) -> EngineResult<Table> {
+    fn construct_texts(&self, loop_table: &Table, content: &Table) -> EngineResult<Table> {
         let iter_col = loop_table.column("iter")?;
         let mut iters = Vec::new();
         let mut pres: Vec<u32> = Vec::new();
+        let mut cache = StoreCache::new(self.registry);
         // All text nodes constructed by one τ operator share one transient
         // document; distinct content per iteration keeps one node each (the
         // builder merges adjacent text nodes, so separate them by building
@@ -640,7 +1041,7 @@ impl<'a> Executor<'a> {
             let values = Self::content_of_iteration(content, iter)?;
             let text = values
                 .iter()
-                .map(|v| self.atomize(v).to_xdm_string())
+                .map(|v| cache.atomize(v).to_xdm_string())
                 .collect::<Vec<_>>()
                 .join(" ");
             // Wrap every text node in a marker element so that adjacent text
@@ -718,7 +1119,7 @@ mod tests {
 
     #[test]
     fn executes_doc_and_step() {
-        let mut reg = registry();
+        let reg = registry();
         let mut b = PlanBuilder::new();
         let loop0 = b.add(AlgOp::Lit {
             columns: vec!["iter".into()],
@@ -737,14 +1138,14 @@ mod tests {
             test: NodeTest::Element("b".into()),
         });
         let plan = b.finish(step);
-        let table = Executor::new(&mut reg).run(&plan).unwrap();
+        let table = Executor::new(&reg).run(&plan).unwrap();
         assert_eq!(table.row_count(), 2);
     }
 
     #[test]
     fn ebv_semantics() {
-        let mut reg = registry();
-        let exec = Executor::new(&mut reg);
+        let reg = registry();
+        let exec = Executor::new(&reg);
         let t = Table::iter_pos_item(
             vec![1, 2, 3, 4],
             vec![1, 1, 1, 1],
@@ -771,8 +1172,8 @@ mod tests {
 
     #[test]
     fn atomization_resolves_node_string_values() {
-        let mut reg = registry();
-        let exec = Executor::new(&mut reg);
+        let reg = registry();
+        let exec = Executor::new(&reg);
         // node 2 is the first <b>; its string value is "1"
         assert_eq!(
             exec.atomize(&Value::Node(NodeRef::new(0, 2))),
@@ -783,8 +1184,8 @@ mod tests {
 
     #[test]
     fn descending_row_number() {
-        let mut reg = registry();
-        let exec = Executor::new(&mut reg);
+        let reg = registry();
+        let exec = Executor::new(&reg);
         let t = Table::iter_pos_item(
             vec![1, 1, 1],
             vec![1, 2, 3],
@@ -801,8 +1202,8 @@ mod tests {
 
     #[test]
     fn element_construction_copies_subtrees() {
-        let mut reg = registry();
-        let mut exec = Executor::new(&mut reg);
+        let reg = registry();
+        let exec = Executor::new(&reg);
         let loop_table = Table::new(vec![("iter".into(), Column::nats(vec![1]))]).unwrap();
         let content = Table::iter_pos_item(
             vec![1, 1],
@@ -846,9 +1247,9 @@ mod tests {
 
     #[test]
     fn executor_evicts_dead_intermediates() {
-        let mut reg = registry();
+        let reg = registry();
         let plan = chain_plan();
-        let (table, stats) = Executor::new(&mut reg).run_with_stats(&plan).unwrap();
+        let (table, stats) = Executor::new(&reg).run_with_stats(&plan).unwrap();
         assert_eq!(table.row_count(), 2);
         assert_eq!(stats.operators_evaluated, 4);
         // Every non-root result is freed at its last use…
@@ -882,8 +1283,8 @@ mod tests {
             columns: vec![("a".into(), "c".into()), ("b".into(), "d".into())],
         });
         let plan = b.finish(p2);
-        let mut reg = registry();
-        let (_, stats) = Executor::new(&mut reg).run_with_stats(&plan).unwrap();
+        let reg = registry();
+        let (_, stats) = Executor::new(&reg).run_with_stats(&plan).unwrap();
         // Logical: at the p1 step the literal and the projection (8 rows
         // each) are both live → peak 16.  Physical: one shared buffer set.
         assert_eq!(stats.peak_resident_rows, 16);
@@ -925,8 +1326,8 @@ mod tests {
             right_col: "iter1".into(),
         });
         let plan = b.finish(join);
-        let mut reg = registry();
-        let (table, stats) = Executor::new(&mut reg).run_with_stats(&plan).unwrap();
+        let reg = registry();
+        let (table, stats) = Executor::new(&reg).run_with_stats(&plan).unwrap();
         assert_eq!(table.row_count(), 2);
         assert_eq!(table.value("item1", 1).unwrap(), Value::Int(20));
         assert_eq!(stats.evicted_results, 3);
@@ -934,11 +1335,194 @@ mod tests {
 
     #[test]
     fn run_matches_run_with_stats() {
-        let mut reg = registry();
+        let reg = registry();
         let plan = chain_plan();
-        let plain = Executor::new(&mut reg).run(&plan).unwrap();
-        let mut reg2 = registry();
-        let (profiled, _) = Executor::new(&mut reg2).run_with_stats(&plan).unwrap();
+        let plain = Executor::new(&reg).run(&plan).unwrap();
+        let reg2 = registry();
+        let (profiled, _) = Executor::new(&reg2).run_with_stats(&plan).unwrap();
         assert_eq!(plain, profiled);
+    }
+
+    // ----- ready-set / parallel scheduler ---------------------------------
+
+    /// A diamond over the sample document whose two branches are
+    /// independent (a `b`-step and a `c`-step) joined by a cross product.
+    fn diamond_plan() -> Plan {
+        let mut b = PlanBuilder::new();
+        let loop0 = b.add(AlgOp::Lit {
+            columns: vec!["iter".into()],
+            rows: vec![vec![Value::Nat(1)]],
+        });
+        let doc = b.add(AlgOp::Doc {
+            uri: "doc.xml".into(),
+        });
+        let crossed = b.add(AlgOp::Cross {
+            left: loop0,
+            right: doc,
+        });
+        let left = b.add(AlgOp::Step {
+            input: crossed,
+            axis: Axis::Descendant,
+            test: NodeTest::Element("b".into()),
+        });
+        let right = b.add(AlgOp::Step {
+            input: crossed,
+            axis: Axis::Descendant,
+            test: NodeTest::Element("c".into()),
+        });
+        let lcount = b.add(AlgOp::Aggregate {
+            input: left,
+            group: "iter".into(),
+            target: "n_b".into(),
+            func: ops::AggFunc::Count,
+            value: "item".into(),
+        });
+        let rcount = b.add(AlgOp::Aggregate {
+            input: right,
+            group: "iter".into(),
+            target: "n_c".into(),
+            func: ops::AggFunc::Count,
+            value: "item".into(),
+        });
+        let renamed = b.add(AlgOp::Project {
+            input: rcount,
+            columns: vec![
+                ("iter".into(), "iter2".into()),
+                ("n_c".into(), "n_c".into()),
+            ],
+        });
+        let joined = b.add(AlgOp::Cross {
+            left: lcount,
+            right: renamed,
+        });
+        b.finish(joined)
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_run() {
+        let reg = registry();
+        let plan = diamond_plan();
+        let sequential = Executor::with_threads(&reg, 1).run(&plan).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = Executor::with_threads(&reg, threads).run(&plan).unwrap();
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_totals_match_sequential_totals() {
+        let reg = registry();
+        let plan = diamond_plan();
+        let (_, seq) = Executor::with_threads(&reg, 1)
+            .run_with_stats(&plan)
+            .unwrap();
+        let (_, par) = Executor::with_threads(&reg, 4)
+            .run_with_stats(&plan)
+            .unwrap();
+        // Work totals are schedule-independent; only the peaks may differ.
+        assert_eq!(seq.operators_evaluated, par.operators_evaluated);
+        assert_eq!(seq.rows_produced, par.rows_produced);
+        assert_eq!(seq.cells_produced, par.cells_produced);
+        assert_eq!(seq.evicted_results, par.evicted_results);
+        assert!(par.peak_resident_rows >= seq.peak_resident_rows);
+    }
+
+    #[test]
+    fn pinned_constructors_get_identical_doc_ids_at_any_thread_count() {
+        // Two constructor operators: their transient documents must be
+        // registered in plan order regardless of the worker count, so the
+        // result tables (which embed document ids in node refs) are equal.
+        let build = || {
+            let mut b = PlanBuilder::new();
+            let loop0 = b.add(AlgOp::Lit {
+                columns: vec!["iter".into()],
+                rows: vec![vec![Value::Nat(1)]],
+            });
+            let content_a = b.add(AlgOp::Lit {
+                columns: vec!["iter".into(), "pos".into(), "item".into()],
+                rows: vec![vec![Value::Nat(1), Value::Nat(1), Value::Str("x".into())]],
+            });
+            let content_b = b.add(AlgOp::Lit {
+                columns: vec!["iter".into(), "pos".into(), "item".into()],
+                rows: vec![vec![Value::Nat(1), Value::Nat(1), Value::Str("y".into())]],
+            });
+            let ea = b.add(AlgOp::ElemConstruct {
+                loop_input: loop0,
+                tag: "a".into(),
+                content: content_a,
+            });
+            let eb = b.add(AlgOp::ElemConstruct {
+                loop_input: loop0,
+                tag: "b".into(),
+                content: content_b,
+            });
+            let union = b.add(AlgOp::Union {
+                left: ea,
+                right: eb,
+            });
+            b.finish(union)
+        };
+        let reg1 = registry();
+        let sequential = Executor::with_threads(&reg1, 1).run(&build()).unwrap();
+        let reg4 = registry();
+        let parallel = Executor::with_threads(&reg4, 4).run(&build()).unwrap();
+        // Node refs (including transient document ids) agree because both
+        // registries assigned ids in the same order.
+        assert_eq!(sequential, parallel);
+        assert_eq!(reg1.constructed_count(), 2);
+        assert_eq!(reg4.constructed_count(), 2);
+    }
+
+    #[test]
+    fn parallel_errors_propagate_without_hanging() {
+        let reg = registry();
+        let mut b = PlanBuilder::new();
+        let ok = b.add(AlgOp::Doc {
+            uri: "doc.xml".into(),
+        });
+        let missing = b.add(AlgOp::Doc {
+            uri: "missing.xml".into(),
+        });
+        let crossed = b.add(AlgOp::Cross {
+            left: ok,
+            right: missing,
+        });
+        let plan = b.finish(crossed);
+        let err = Executor::with_threads(&reg, 4).run(&plan);
+        assert!(err.is_err());
+        assert!(err.unwrap_err().to_string().contains("missing.xml"));
+    }
+
+    #[test]
+    fn parallel_operator_panics_become_errors_not_hangs() {
+        // A malformed literal (row wider than the schema) panics inside
+        // eval; a second leaf widens the plan so the parallel path runs.
+        // The panic must surface as an error on every thread count instead
+        // of stranding the worker pool on the condvar.
+        let reg = registry();
+        let mut b = PlanBuilder::new();
+        let bad = b.add(AlgOp::Lit {
+            columns: vec!["iter".into()],
+            rows: vec![vec![Value::Nat(1), Value::Nat(2)]],
+        });
+        let good = b.add(AlgOp::Lit {
+            columns: vec!["item".into()],
+            rows: vec![vec![Value::Int(7)]],
+        });
+        let crossed = b.add(AlgOp::Cross {
+            left: bad,
+            right: good,
+        });
+        let plan = b.finish(crossed);
+        let err = Executor::with_threads(&reg, 4).run(&plan);
+        assert!(err.is_err());
+        assert!(err.unwrap_err().to_string().contains("panicked"));
+    }
+
+    #[test]
+    fn with_threads_zero_resolves_to_a_positive_count() {
+        let reg = registry();
+        assert!(Executor::with_threads(&reg, 0).threads() >= 1);
+        assert_eq!(Executor::with_threads(&reg, 3).threads(), 3);
     }
 }

@@ -27,10 +27,12 @@ pub mod executor;
 pub mod registry;
 pub mod result;
 
-use std::time::Instant;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 pub use error::{EngineError, EngineResult};
-pub use executor::{ExecStats, Executor};
+pub use executor::{default_threads, ExecStats, Executor};
 pub use registry::DocRegistry;
 pub use result::{QueryResult, Timings};
 
@@ -44,6 +46,11 @@ pub struct EngineOptions {
     pub compile: CompileOptions,
     /// Run the peephole optimizer before execution (on by default).
     pub optimize: bool,
+    /// Executor worker threads: `1` runs the sequential path, `0` (the
+    /// default) resolves via [`default_threads`] — the `PF_THREADS`
+    /// environment variable if set, otherwise the machine's available
+    /// parallelism.  Results are identical at every setting.
+    pub threads: usize,
 }
 
 impl Default for EngineOptions {
@@ -51,6 +58,7 @@ impl Default for EngineOptions {
         EngineOptions {
             compile: CompileOptions::default(),
             optimize: true,
+            threads: 0,
         }
     }
 }
@@ -82,10 +90,19 @@ impl Explain {
 
 /// The Pathfinder engine: a document registry plus the compile/execute
 /// pipeline.
+///
+/// Compiled-and-optimized plans are cached by query text: the compile
+/// stage dominates small-document queries, and since the executor borrows
+/// operators from the plan (never clones them), a cached [`Arc<Plan>`] is
+/// directly reusable.  Cache effectiveness is reported per query via
+/// [`Timings::plan_cache_hits`] / [`Timings::plan_cache_misses`].
 #[derive(Debug, Default)]
 pub struct Pathfinder {
     registry: DocRegistry,
     options: EngineOptions,
+    plan_cache: HashMap<String, Arc<Plan>>,
+    plan_cache_hits: usize,
+    plan_cache_misses: usize,
 }
 
 impl Pathfinder {
@@ -99,12 +116,28 @@ impl Pathfinder {
         Pathfinder {
             registry: DocRegistry::new(),
             options,
+            ..Pathfinder::default()
         }
     }
 
     /// Access to the document registry (e.g. for storage statistics).
     pub fn registry(&self) -> &DocRegistry {
         &self.registry
+    }
+
+    /// Number of compiled plans currently cached.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.len()
+    }
+
+    /// Cumulative plan-cache hits and misses since this engine was created.
+    pub fn plan_cache_stats(&self) -> (usize, usize) {
+        (self.plan_cache_hits, self.plan_cache_misses)
+    }
+
+    /// Drop all cached plans (hit/miss counters are kept).
+    pub fn clear_plan_cache(&mut self) {
+        self.plan_cache.clear();
     }
 
     /// Shred and register an XML document under `name` (the URI passed to
@@ -149,6 +182,37 @@ impl Pathfinder {
     /// memory-discipline statistics (peak resident intermediate rows,
     /// total rows produced, evictions).
     pub fn query_profiled(&mut self, query: &str) -> EngineResult<(QueryResult, ExecStats)> {
+        let (plan, compile_time, optimize_time) = self.plan_for(query)?;
+
+        let exec_start = Instant::now();
+        let executor = Executor::with_threads(&self.registry, self.options.threads);
+        let (table, stats) = executor.run_with_stats(&plan)?;
+        let execute_time = exec_start.elapsed();
+
+        let result = QueryResult::from_table(
+            &table,
+            &self.registry,
+            Timings {
+                compile: compile_time,
+                optimize: optimize_time,
+                execute: execute_time,
+                plan_cache_hits: self.plan_cache_hits,
+                plan_cache_misses: self.plan_cache_misses,
+            },
+        )?;
+        Ok((result, stats))
+    }
+
+    /// The compiled-and-optimized plan for `query`: served from the plan
+    /// cache when possible, compiled (and cached) otherwise.  Returns the
+    /// plan with the compile and optimize stage timings — both
+    /// [`Duration::ZERO`] on a cache hit, because the stages are skipped
+    /// entirely.
+    fn plan_for(&mut self, query: &str) -> EngineResult<(Arc<Plan>, Duration, Duration)> {
+        if let Some(plan) = self.plan_cache.get(query) {
+            self.plan_cache_hits += 1;
+            return Ok((Arc::clone(plan), Duration::ZERO, Duration::ZERO));
+        }
         let started = Instant::now();
         let ast = parse_query(query)?;
         let core = normalize(&ast)?;
@@ -162,21 +226,10 @@ impl Pathfinder {
         }
         let optimize_time = opt_start.elapsed();
 
-        let exec_start = Instant::now();
-        let mut executor = Executor::new(&mut self.registry);
-        let (table, stats) = executor.run_with_stats(&plan)?;
-        let execute_time = exec_start.elapsed();
-
-        let result = QueryResult::from_table(
-            &table,
-            &self.registry,
-            Timings {
-                compile: compile_time,
-                optimize: optimize_time,
-                execute: execute_time,
-            },
-        )?;
-        Ok((result, stats))
+        self.plan_cache_misses += 1;
+        let plan = Arc::new(plan);
+        self.plan_cache.insert(query.to_string(), Arc::clone(&plan));
+        Ok((plan, compile_time, optimize_time))
     }
 }
 
@@ -272,5 +325,71 @@ mod tests {
     fn unknown_document_is_an_error() {
         let mut pf = Pathfinder::new();
         assert!(pf.query("fn:doc(\"missing.xml\")//a").is_err());
+    }
+
+    #[test]
+    fn plan_cache_skips_the_compile_stage_on_the_second_run() {
+        let mut pf = engine_with("<a><b>1</b><b>2</b></a>");
+        let q = "fn:count(fn:doc(\"doc.xml\")//b)";
+
+        let first = pf.query(q).unwrap();
+        assert_eq!(first.to_xml(), "2");
+        assert_eq!(first.timings().plan_cache_hits, 0);
+        assert_eq!(first.timings().plan_cache_misses, 1);
+        assert!(first.timings().compile > std::time::Duration::ZERO);
+        assert_eq!(pf.plan_cache_len(), 1);
+
+        let second = pf.query(q).unwrap();
+        assert_eq!(second.to_xml(), "2");
+        assert_eq!(second.timings().plan_cache_hits, 1);
+        assert_eq!(second.timings().plan_cache_misses, 1);
+        // The compile and optimize stages did not run at all.
+        assert_eq!(second.timings().compile, std::time::Duration::ZERO);
+        assert_eq!(second.timings().optimize, std::time::Duration::ZERO);
+        assert_eq!(pf.plan_cache_stats(), (1, 1));
+
+        // A different query is a miss; clearing drops the plans but keeps
+        // the counters.
+        pf.query("1 + 1").unwrap();
+        assert_eq!(pf.plan_cache_stats(), (1, 2));
+        assert_eq!(pf.plan_cache_len(), 2);
+        pf.clear_plan_cache();
+        assert_eq!(pf.plan_cache_len(), 0);
+        assert_eq!(pf.plan_cache_stats(), (1, 2));
+    }
+
+    #[test]
+    fn cached_plans_see_reloaded_documents() {
+        // The cache is keyed by query text only: plans reference documents
+        // by URI, resolved at execution time, so reloading a document does
+        // not serve stale results.
+        let mut pf = engine_with("<a><b>1</b></a>");
+        let q = "fn:count(fn:doc(\"doc.xml\")//b)";
+        assert_eq!(pf.query(q).unwrap().to_xml(), "1");
+        pf.load_document("doc.xml", "<a><b>1</b><b>2</b><b>3</b></a>")
+            .unwrap();
+        assert_eq!(pf.query(q).unwrap().to_xml(), "3");
+        assert_eq!(pf.plan_cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let make = |threads: usize| {
+            let mut pf = Pathfinder::with_options(EngineOptions {
+                threads,
+                ..EngineOptions::default()
+            });
+            pf.load_document(
+                "doc.xml",
+                "<site><p><n>Ann</n></p><p><n>Bo</n></p><q>9</q></site>",
+            )
+            .unwrap();
+            pf
+        };
+        let q = "for $p in fn:doc(\"doc.xml\")//p return element row { $p/n/text() }";
+        let sequential = make(1).query(q).unwrap();
+        let parallel = make(4).query(q).unwrap();
+        assert_eq!(sequential.to_xml(), parallel.to_xml());
+        assert_eq!(sequential.len(), parallel.len());
     }
 }

@@ -5,8 +5,21 @@
 //! run time) share one id space; a [`pf_relational::NodeRef`] therefore
 //! uniquely identifies any node the engine can ever produce, and document
 //! order across documents is simply `(doc, pre)` order.
+//!
+//! The registry is **read-shared during execution**: lookups take `&self`
+//! and hand out [`Arc`] store handles, and [`DocRegistry::register_constructed`]
+//! also takes `&self` (the store table lives behind a [`RwLock`]).  This is
+//! what lets the parallel executor fan pure operators out to worker threads
+//! while node-constructing operators, pinned to the coordinator, append
+//! transient documents — readers never observe a half-registered document,
+//! and a resolved [`Arc<DocStore>`] stays valid regardless of later
+//! registrations.  Loading documents (`load_xml` / `load_document`) still
+//! requires `&mut self`: documents may not be (re)loaded while a query is
+//! running.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
 
 use pf_relational::ops::DocResolver;
 use pf_store::{DocStore, StorageStats};
@@ -15,9 +28,9 @@ use pf_xml::Document;
 /// Registry of all documents known to an engine instance.
 #[derive(Debug, Default)]
 pub struct DocRegistry {
-    stores: Vec<DocStore>,
+    stores: RwLock<Vec<Arc<DocStore>>>,
     by_name: HashMap<String, u32>,
-    constructed: usize,
+    constructed: AtomicUsize,
 }
 
 impl DocRegistry {
@@ -40,21 +53,27 @@ impl DocRegistry {
     }
 
     fn insert(&mut self, name: &str, store: DocStore) -> u32 {
+        let stores = self.stores.get_mut().expect("registry lock poisoned");
         if let Some(&id) = self.by_name.get(name) {
-            self.stores[id as usize] = store;
+            stores[id as usize] = Arc::new(store);
             return id;
         }
-        let id = self.stores.len() as u32;
-        self.stores.push(store);
+        let id = stores.len() as u32;
+        stores.push(Arc::new(store));
         self.by_name.insert(name.to_string(), id);
         id
     }
 
     /// Register a transient (constructed) document and return its id.
-    pub fn register_constructed(&mut self, store: DocStore) -> u32 {
-        let id = self.stores.len() as u32;
-        self.constructed += 1;
-        self.stores.push(store);
+    ///
+    /// Takes `&self`: constructors run while the executor shares the
+    /// registry across threads.  Concurrent readers either see the store
+    /// table before or after the append, never in between.
+    pub fn register_constructed(&self, store: DocStore) -> u32 {
+        let mut stores = self.stores.write().expect("registry lock poisoned");
+        let id = stores.len() as u32;
+        self.constructed.fetch_add(1, Ordering::Relaxed);
+        stores.push(Arc::new(store));
         id
     }
 
@@ -64,35 +83,39 @@ impl DocRegistry {
     }
 
     /// The store with id `id`.
-    pub fn store(&self, id: u32) -> Option<&DocStore> {
-        self.stores.get(id as usize)
+    pub fn store(&self, id: u32) -> Option<Arc<DocStore>> {
+        self.stores
+            .read()
+            .expect("registry lock poisoned")
+            .get(id as usize)
+            .cloned()
     }
 
     /// Number of registered documents (persistent + constructed).
     pub fn len(&self) -> usize {
-        self.stores.len()
+        self.stores.read().expect("registry lock poisoned").len()
     }
 
     /// `true` when no documents are registered.
     pub fn is_empty(&self) -> bool {
-        self.stores.is_empty()
+        self.len() == 0
     }
 
     /// Number of transient documents created by constructors so far.
     pub fn constructed_count(&self) -> usize {
-        self.constructed
+        self.constructed.load(Ordering::Relaxed)
     }
 
     /// Storage statistics of the document registered under `name`.
     pub fn storage_stats(&self, name: &str) -> Option<StorageStats> {
         self.id_of(name)
             .and_then(|id| self.store(id))
-            .map(StorageStats::measure)
+            .map(|store| StorageStats::measure(&store))
     }
 }
 
 impl DocResolver for DocRegistry {
-    fn resolve(&self, doc: u32) -> Option<&DocStore> {
+    fn resolve(&self, doc: u32) -> Option<Arc<DocStore>> {
         self.store(doc)
     }
 }
@@ -130,5 +153,46 @@ mod tests {
         assert_eq!(id, 1);
         assert_eq!(reg.constructed_count(), 1);
         assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn resolved_stores_survive_later_registrations() {
+        let mut reg = DocRegistry::new();
+        let id = reg.load_xml("a.xml", "<a><b/></a>").unwrap();
+        let held = reg.store(id).unwrap();
+        for i in 0..8 {
+            let store = DocStore::from_xml(format!("#c{i}"), "<r/>").unwrap();
+            reg.register_constructed(store);
+        }
+        // The handle resolved before the appends still reads the same data.
+        assert_eq!(held.node_count(), 3);
+        assert_eq!(reg.len(), 9);
+    }
+
+    #[test]
+    fn concurrent_readers_and_constructor_registrations() {
+        let mut reg = DocRegistry::new();
+        reg.load_xml("a.xml", "<a><b/><b/></a>").unwrap();
+        std::thread::scope(|scope| {
+            let reg = &reg;
+            // Readers hammer lookups while one "pinned" thread registers
+            // transient documents.
+            for _ in 0..3 {
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        let store = reg.store(0).expect("document 0 is always present");
+                        assert_eq!(store.node_count(), 4);
+                    }
+                });
+            }
+            scope.spawn(move || {
+                for i in 0..50 {
+                    let store = DocStore::from_xml(format!("#c{i}"), "<r>x</r>").unwrap();
+                    reg.register_constructed(store);
+                }
+            });
+        });
+        assert_eq!(reg.constructed_count(), 50);
+        assert_eq!(reg.len(), 51);
     }
 }

@@ -13,15 +13,21 @@ use pf_relational::{Table, Value};
 use crate::error::{EngineError, EngineResult};
 use crate::registry::DocRegistry;
 
-/// Wall-clock timings of the three pipeline stages.
+/// Wall-clock timings of the three pipeline stages, plus the plan-cache
+/// counters of the engine that ran the query.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Timings {
-    /// Parse + normalize + loop-lifting compilation.
+    /// Parse + normalize + loop-lifting compilation ([`Duration::ZERO`]
+    /// when the plan was served from the plan cache).
     pub compile: Duration,
-    /// Peephole optimization.
+    /// Peephole optimization ([`Duration::ZERO`] on a plan-cache hit).
     pub optimize: Duration,
     /// Plan execution (including result serialization inputs).
     pub execute: Duration,
+    /// Cumulative plan-cache hits of the engine, as of this query.
+    pub plan_cache_hits: usize,
+    /// Cumulative plan-cache misses of the engine, as of this query.
+    pub plan_cache_misses: usize,
 }
 
 impl Timings {
@@ -154,6 +160,7 @@ mod tests {
             compile: Duration::from_millis(2),
             optimize: Duration::from_millis(3),
             execute: Duration::from_millis(5),
+            ..Timings::default()
         };
         assert_eq!(t.total(), Duration::from_millis(10));
     }

@@ -8,6 +8,7 @@
 //! `fs:distinct-doc-order` applied after an XPath step.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pf_store::{staircase_join, Axis, DocStore, NodeTest, PreRank};
 
@@ -19,20 +20,26 @@ use crate::value::NodeRef;
 use crate::value::Value;
 
 /// Resolves document ids found in [`NodeRef`]s to their stores.
+///
+/// Stores are handed out as [`Arc`] handles rather than borrows so that a
+/// resolver may keep its store table behind a lock (documents constructed
+/// mid-query are registered concurrently with readers on other threads):
+/// the caller holds the snapshot it resolved, independent of the
+/// resolver's internal state.
 pub trait DocResolver {
     /// The store for document `doc`, if registered.
-    fn resolve(&self, doc: u32) -> Option<&DocStore>;
+    fn resolve(&self, doc: u32) -> Option<Arc<DocStore>>;
 }
 
-impl DocResolver for [DocStore] {
-    fn resolve(&self, doc: u32) -> Option<&DocStore> {
-        self.get(doc as usize)
+impl DocResolver for [Arc<DocStore>] {
+    fn resolve(&self, doc: u32) -> Option<Arc<DocStore>> {
+        self.get(doc as usize).cloned()
     }
 }
 
-impl DocResolver for Vec<DocStore> {
-    fn resolve(&self, doc: u32) -> Option<&DocStore> {
-        self.get(doc as usize)
+impl DocResolver for Vec<Arc<DocStore>> {
+    fn resolve(&self, doc: u32) -> Option<Arc<DocStore>> {
+        self.get(doc as usize).cloned()
     }
 }
 
@@ -75,6 +82,10 @@ pub fn staircase_step<R: DocResolver + ?Sized>(
     // attribute steps yield strings, every other axis yields node refs.
     let mut node_items: Vec<NodeRef> = Vec::new();
     let mut str_items: Vec<String> = Vec::new();
+    // Resolve each document once per call, not once per iteration group —
+    // a resolver may sit behind a lock, and a step typically touches one
+    // document across thousands of groups.
+    let mut stores: HashMap<u32, Arc<DocStore>> = HashMap::new();
 
     for iter in iter_order {
         let by_doc = &groups[&iter];
@@ -82,9 +93,13 @@ pub fn staircase_step<R: DocResolver + ?Sized>(
         docs_sorted.sort_unstable();
         let mut pos = 0u64;
         for doc_id in docs_sorted {
-            let store = docs
-                .resolve(doc_id)
-                .ok_or_else(|| RelError::new(format!("unknown document id {doc_id}")))?;
+            let store = match stores.entry(doc_id) {
+                std::collections::hash_map::Entry::Occupied(slot) => slot.into_mut(),
+                std::collections::hash_map::Entry::Vacant(slot) => slot.insert(
+                    docs.resolve(doc_id)
+                        .ok_or_else(|| RelError::new(format!("unknown document id {doc_id}")))?,
+                ),
+            };
             let mut context = by_doc[&doc_id].clone();
             context.sort_unstable();
             context.dedup();
@@ -146,7 +161,7 @@ fn attribute_step(store: &DocStore, context: &[PreRank], test: &NodeTest) -> Vec
 mod tests {
     use super::*;
 
-    fn setup() -> (Vec<DocStore>, Table) {
+    fn setup() -> (Vec<Arc<DocStore>>, Table) {
         let store = DocStore::from_xml(
             "t",
             "<site><people><person id=\"p0\"><name>Ann</name></person><person id=\"p1\"><name>Bo</name></person></people></site>",
@@ -162,7 +177,7 @@ mod tests {
             ],
         )
         .unwrap();
-        (vec![store], table)
+        (vec![Arc::new(store)], table)
     }
 
     #[test]

@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
-# Run the executor memory profile over XMark Q1-Q20 and emit the
-# machine-readable summary BENCH_pr2.json.
+# Run the executor profiles over XMark Q1-Q20 and emit the machine-readable
+# summaries:
 #
-#   ./scripts/bench.sh                # scale 0.05, writes BENCH_pr2.json
-#   ./scripts/bench.sh 0.2           # custom scale factor
-#   ./scripts/bench.sh 0.2 out.json  # custom scale and output path
+#   BENCH_pr2.json — memory profile (peak resident cells vs retain-all)
+#   BENCH_pr3.json — thread-scaling profile of the parallel executor
+#                    (wall time at 1/2/4/8 threads; see PF_SCALING_THREADS
+#                    and PF_SCALING_RUNS)
+#
+#   ./scripts/bench.sh                       # scale 0.05, default outputs
+#   ./scripts/bench.sh 0.2                   # custom scale factor
+#   ./scripts/bench.sh 0.2 mem.json scal.json  # custom scale and outputs
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 scale="${1:-0.05}"
-out="${2:-BENCH_pr2.json}"
+mem_out="${2:-BENCH_pr2.json}"
+scaling_out="${3:-BENCH_pr3.json}"
 
-cargo run --release -p pf-bench --bin mem_profile -- "$scale" "$out"
+cargo run --release -p pf-bench --bin mem_profile -- "$scale" "$mem_out"
+cargo run --release -p pf-bench --bin thread_scaling -- "$scale" "$scaling_out"

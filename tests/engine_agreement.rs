@@ -54,6 +54,7 @@ fn join_recognition_does_not_change_results() {
             ..Default::default()
         },
         optimize: true,
+        ..Default::default()
     });
     without_joins.load_document("auction.xml", &xml).unwrap();
 

@@ -38,10 +38,10 @@ fn optimized_and_unoptimized_plans_agree_on_all_xmark_queries() {
             q.id
         );
 
-        let raw_table = Executor::new(&mut registry)
+        let raw_table = Executor::new(&registry)
             .run(&unoptimized)
             .unwrap_or_else(|e| panic!("Q{} unoptimized plan failed: {e}", q.id));
-        let opt_table = Executor::new(&mut registry)
+        let opt_table = Executor::new(&registry)
             .run(&optimized)
             .unwrap_or_else(|e| panic!("Q{} optimized plan failed: {e}", q.id));
 
@@ -84,13 +84,13 @@ fn eviction_does_not_change_results_on_shared_dags() {
     let core = normalize(&ast).unwrap();
     let plan = compile(&core, &CompileOptions::default()).unwrap().plan;
 
-    let (table, stats) = Executor::new(&mut registry).run_with_stats(&plan).unwrap();
+    let (table, stats) = Executor::new(&registry).run_with_stats(&plan).unwrap();
     assert!(stats.evicted_results > 0, "no intermediate was evicted");
     assert!(
         stats.peak_resident_rows <= stats.rows_produced,
         "peak exceeds the retain-everything total"
     );
-    let (again, _) = Executor::new(&mut registry).run_with_stats(&plan).unwrap();
+    let (again, _) = Executor::new(&registry).run_with_stats(&plan).unwrap();
     let a = QueryResult::from_table(&table, &registry, Timings::default()).unwrap();
     let b = QueryResult::from_table(&again, &registry, Timings::default()).unwrap();
     assert_eq!(a.to_xml(), b.to_xml());

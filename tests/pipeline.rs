@@ -94,6 +94,7 @@ fn join_recognition_avoids_quadratic_intermediates() {
             ..Default::default()
         },
         optimize: true,
+        ..Default::default()
     })
     .explain(q8.text)
     .unwrap();
