@@ -19,12 +19,14 @@
 
 pub mod ops;
 pub mod optimize;
+pub mod physical;
 pub mod plan;
 pub mod render;
 pub mod schema;
 
 pub use ops::{AlgOp, SortSpec};
 pub use optimize::{optimize, OptimizeReport};
+pub use physical::{PhysKind, PhysNode, PhysNodeId, PhysicalBooks, PhysicalPlan};
 pub use plan::{OpId, Plan, PlanBuilder, ReadySetBooks};
 pub use render::{to_ascii, to_dot};
 pub use schema::{infer_schema, Properties};

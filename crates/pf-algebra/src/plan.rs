@@ -101,6 +101,13 @@ impl Plan {
     /// dead set after every step keeps only the live frontier of the DAG
     /// resident instead of every intermediate of the plan.  The root is
     /// never listed as dead (its result is the query answer).
+    ///
+    /// This is an *analysis* view of the logical plan (plan inspection,
+    /// tests, future spill budgeting).  The engine's executor no longer
+    /// walks it directly: it schedules physical nodes and evicts via the
+    /// node-granular consumer counts of
+    /// [`crate::PhysicalPlan::books`], which collapse onto this schedule
+    /// when every operator is its own node (fusion off).
     pub fn last_use_schedule(&self) -> Vec<(OpId, Vec<OpId>)> {
         let mut remaining = self.consumer_counts();
         self.reachable()

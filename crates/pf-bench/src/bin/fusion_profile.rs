@@ -1,0 +1,309 @@
+//! Fusion profile of the physical-plan executor — XMark Q1–Q20 with
+//! operator fusion on vs. off.
+//!
+//! For every query the binary runs both configurations (two engines
+//! sharing one parsed document) and reports, per configuration, the
+//! best-of-`PF_FUSION_RUNS` wall-clock time of a warm `query_profiled`
+//! call (plan cache hot, compile time out of the picture) plus the
+//! executor statistics of that run: `tables_elided` / `fused_ops` (what
+//! the pipelines saved), total operators, and the peak physically
+//! resident column cells.  Every run's serialization is cross-checked
+//! between the two configurations — fusion is required to be
+//! byte-invisible in the results.
+//!
+//! ```text
+//! cargo run --release -p pf-bench --bin fusion_profile -- [scale] [output.json] [threads]
+//! cargo run --release -p pf-bench --bin fusion_profile -- 0.05 BENCH_pr4.json 1
+//! ```
+//!
+//! `threads` defaults to `0` (the engine default — `PF_THREADS` or the
+//! host parallelism); pass `1` for schedule-independent, reproducible
+//! peak-cell numbers.  `PF_FUSION_RUNS` sets the timed runs per cell
+//! (best kept, default 3).  A machine-readable summary is written to the
+//! output path (default `BENCH_pr4.json`); `scripts/bench.sh` wraps this
+//! invocation.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pf_bench::{json_string, seconds, time, SEED};
+use pf_engine::{EngineOptions, ExecStats, Pathfinder};
+use pf_xmark::{generate, queries, GeneratorConfig};
+
+/// Measurements of one (query, fusion setting) cell.
+struct Cell {
+    wall: Duration,
+    stats: ExecStats,
+}
+
+struct QueryProfile {
+    id: u8,
+    name: &'static str,
+    items: usize,
+    /// `[fusion on, fusion off]`.
+    cells: [Cell; 2],
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.05);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_pr4.json".to_string());
+    let threads: usize = args
+        .next()
+        .map(|s| s.parse().expect("threads must be an integer"))
+        .unwrap_or(0);
+    let runs = runs_per_cell();
+
+    println!("# Fusion profile — XMark Q1–Q20 at scale {scale}, fusion on vs off");
+    let xml = generate(&GeneratorConfig { scale, seed: SEED });
+    let doc = Arc::new(pf_xml::parse(&xml).expect("generated document is well-formed"));
+    println!("# document: {} bytes of XML", xml.len());
+
+    // One engine per fusion setting, sharing the parsed document.
+    let mut engines: Vec<Pathfinder> = [true, false]
+        .into_iter()
+        .map(|fusion| {
+            let mut pf = Pathfinder::with_options(EngineOptions {
+                fusion,
+                threads,
+                ..EngineOptions::default()
+            });
+            pf.load_parsed("auction.xml", &doc)
+                .expect("shredding cannot fail on a parsed document");
+            pf
+        })
+        .collect();
+    let resolved_threads =
+        pf_engine::Executor::with_threads(engines[0].registry(), threads).threads();
+    println!("# executor threads: {resolved_threads}; best of {runs} run(s) per cell");
+
+    println!();
+    println!(
+        "{:>3} | {:>10} {:>10} | {:>7} {:>7} {:>7} | {:>12} {:>12} | {:>8}",
+        "Q", "on (s)", "off (s)", "ops", "fused", "elided", "peak on", "peak off", "items"
+    );
+    println!("{}", "-".repeat(103));
+
+    let mut profiles: Vec<QueryProfile> = Vec::new();
+    for q in queries() {
+        let mut reference: Option<String> = None;
+        let mut items = 0usize;
+        let mut cells: Vec<Cell> = Vec::new();
+        for (idx, fusion) in [true, false].into_iter().enumerate() {
+            let engine = &mut engines[idx];
+            // Warm-up: compiles into the plan cache and yields the result
+            // for the fused-vs-unfused agreement check.
+            let warm = engine
+                .query(q.text)
+                .unwrap_or_else(|e| panic!("Q{} failed at fusion = {fusion}: {e}", q.id));
+            match &reference {
+                None => {
+                    items = warm.len();
+                    reference = Some(warm.to_xml());
+                }
+                Some(expected) => assert_eq!(
+                    *expected,
+                    warm.to_xml(),
+                    "Q{}: fused and unfused serializations diverge",
+                    q.id
+                ),
+            }
+            let mut best: Option<Cell> = None;
+            for _ in 0..runs {
+                let (outcome, wall) = time(|| engine.query_profiled(q.text));
+                let (result, stats) = outcome
+                    .unwrap_or_else(|e| panic!("Q{} failed at fusion = {fusion}: {e}", q.id));
+                assert_eq!(
+                    reference.as_deref(),
+                    Some(result.to_xml().as_str()),
+                    "Q{}: timed run diverged at fusion = {fusion}",
+                    q.id
+                );
+                if best.as_ref().is_none_or(|b| wall < b.wall) {
+                    best = Some(Cell { wall, stats });
+                }
+            }
+            cells.push(best.expect("at least one timed run"));
+        }
+        let cells: [Cell; 2] = cells
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("exactly two fusion settings"));
+        let on = &cells[0];
+        let off = &cells[1];
+        println!(
+            "{:>3} | {:>10} {:>10} | {:>7} {:>7} {:>7} | {:>12} {:>12} | {:>8}",
+            format!("Q{}", q.id),
+            seconds(on.wall),
+            seconds(off.wall),
+            on.stats.operators_evaluated,
+            on.stats.fused_ops,
+            on.stats.tables_elided,
+            on.stats.peak_resident_cells,
+            off.stats.peak_resident_cells,
+            items
+        );
+        profiles.push(QueryProfile {
+            id: q.id,
+            name: q.name,
+            items,
+            cells,
+        });
+    }
+
+    let total_ops: usize = profiles
+        .iter()
+        .map(|p| p.cells[0].stats.operators_evaluated)
+        .sum();
+    let total_elided: usize = profiles
+        .iter()
+        .map(|p| p.cells[0].stats.tables_elided)
+        .sum();
+    let wall_on: Duration = profiles.iter().map(|p| p.cells[0].wall).sum();
+    let wall_off: Duration = profiles.iter().map(|p| p.cells[1].wall).sum();
+    println!("{}", "-".repeat(103));
+    println!(
+        "sum | {:>10} {:>10} | {:>7} {:>15} {:>7} |",
+        seconds(wall_on),
+        seconds(wall_off),
+        total_ops,
+        "",
+        total_elided
+    );
+    println!(
+        "\n# fusion elides {:.1}% of all intermediate tables ({} of {} operators) \
+         and runs {:.2}x the unfused wall time",
+        100.0 * total_elided as f64 / total_ops.max(1) as f64,
+        total_elided,
+        total_ops,
+        wall_on.as_secs_f64() / wall_off.as_secs_f64().max(f64::EPSILON)
+    );
+
+    let json = render_json(scale, xml.len(), resolved_threads, runs, &profiles);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("# wrote {out_path}");
+}
+
+/// Timed runs per (query, fusion) cell, honouring `PF_FUSION_RUNS`.
+fn runs_per_cell() -> usize {
+    std::env::var("PF_FUSION_RUNS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(3)
+}
+
+/// Hand-rolled JSON rendering (the workspace deliberately has no serde).
+fn render_json(
+    scale: f64,
+    xml_bytes: usize,
+    threads: usize,
+    runs: usize,
+    profiles: &[QueryProfile],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"fusion_profile\",");
+    let _ = writeln!(out, "  \"scale\": {scale},");
+    let _ = writeln!(out, "  \"xml_bytes\": {xml_bytes},");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"runs_per_cell\": {runs},");
+    let total_ops: usize = profiles
+        .iter()
+        .map(|p| p.cells[0].stats.operators_evaluated)
+        .sum();
+    let total_fused: usize = profiles.iter().map(|p| p.cells[0].stats.fused_ops).sum();
+    let total_elided: usize = profiles
+        .iter()
+        .map(|p| p.cells[0].stats.tables_elided)
+        .sum();
+    let wall_on: f64 = profiles.iter().map(|p| p.cells[0].wall.as_secs_f64()).sum();
+    let wall_off: f64 = profiles.iter().map(|p| p.cells[1].wall.as_secs_f64()).sum();
+    let peak_on: usize = profiles
+        .iter()
+        .map(|p| p.cells[0].stats.peak_resident_cells)
+        .sum();
+    let peak_off: usize = profiles
+        .iter()
+        .map(|p| p.cells[1].stats.peak_resident_cells)
+        .sum();
+    let _ = writeln!(out, "  \"total_operators\": {total_ops},");
+    let _ = writeln!(out, "  \"total_fused_ops\": {total_fused},");
+    let _ = writeln!(out, "  \"total_tables_elided\": {total_elided},");
+    let _ = writeln!(
+        out,
+        "  \"elided_fraction\": {:.6},",
+        total_elided as f64 / total_ops.max(1) as f64
+    );
+    // The queries where fusion bites hardest (≥ 30% of all operator
+    // results never materialize); step/join-dominated queries have little
+    // to fuse by design — their operators are pipeline breakers.
+    let fusable: Vec<&QueryProfile> = profiles
+        .iter()
+        .filter(|p| {
+            p.cells[0].stats.tables_elided as f64
+                >= 0.3 * p.cells[0].stats.operators_evaluated as f64
+        })
+        .collect();
+    let _ = writeln!(
+        out,
+        "  \"fusable_queries\": [{}],",
+        fusable
+            .iter()
+            .map(|p| p.id.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let fusable_elided: usize = fusable.iter().map(|p| p.cells[0].stats.tables_elided).sum();
+    let fusable_ops: usize = fusable
+        .iter()
+        .map(|p| p.cells[0].stats.operators_evaluated)
+        .sum();
+    let _ = writeln!(
+        out,
+        "  \"elided_fraction_fusable_queries\": {:.6},",
+        fusable_elided as f64 / fusable_ops.max(1) as f64
+    );
+    let _ = writeln!(out, "  \"total_wall_seconds_fusion_on\": {wall_on:.6},");
+    let _ = writeln!(out, "  \"total_wall_seconds_fusion_off\": {wall_off:.6},");
+    let _ = writeln!(
+        out,
+        "  \"wall_ratio_on_vs_off\": {:.6},",
+        wall_on / wall_off.max(f64::EPSILON)
+    );
+    let _ = writeln!(out, "  \"total_peak_cells_fusion_on\": {peak_on},");
+    let _ = writeln!(out, "  \"total_peak_cells_fusion_off\": {peak_off},");
+    out.push_str("  \"queries\": [\n");
+    for (i, p) in profiles.iter().enumerate() {
+        let on = &p.cells[0];
+        let off = &p.cells[1];
+        let _ = write!(
+            out,
+            "    {{\"id\": {}, \"name\": {}, \"result_items\": {}, \
+             \"operators\": {}, \"fused_ops\": {}, \"tables_elided\": {}, \
+             \"elided_fraction\": {:.6}, \
+             \"wall_seconds_on\": {:.6}, \"wall_seconds_off\": {:.6}, \
+             \"peak_cells_on\": {}, \"peak_cells_off\": {}, \
+             \"evicted_on\": {}, \"evicted_off\": {}}}",
+            p.id,
+            json_string(p.name),
+            p.items,
+            on.stats.operators_evaluated,
+            on.stats.fused_ops,
+            on.stats.tables_elided,
+            on.stats.tables_elided as f64 / on.stats.operators_evaluated.max(1) as f64,
+            on.wall.as_secs_f64(),
+            off.wall.as_secs_f64(),
+            on.stats.peak_resident_cells,
+            off.stats.peak_resident_cells,
+            on.stats.evicted_results,
+            off.stats.evicted_results
+        );
+        out.push_str(if i + 1 < profiles.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -23,7 +23,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use pf_bench::{json_string, prepare_with_threads, seconds, time};
+use pf_bench::{json_string, prepare_with_options, seconds, time};
 use pf_xmark::queries;
 
 struct QueryProfile {
@@ -51,7 +51,18 @@ fn main() {
     // The resident-memory peaks are schedule-dependent; pin the sequential
     // executor so the numbers are reproducible and comparable across runs
     // and machines (the thread-scaling profile is `thread_scaling`).
-    let mut instance = prepare_with_threads(scale, 1);
+    // Fusion is pinned *off* as well: this profile measures the unfused
+    // eviction + zero-copy memory discipline, the baseline that
+    // `fusion_profile` (BENCH_pr4.json) compares the fused executor
+    // against.
+    let mut instance = prepare_with_options(
+        scale,
+        pf_engine::EngineOptions {
+            threads: 1,
+            fusion: false,
+            ..pf_engine::EngineOptions::default()
+        },
+    );
     println!("# document: {} bytes of XML", instance.xml_bytes);
     println!();
     println!(
@@ -118,6 +129,7 @@ fn render_json(scale: f64, xml_bytes: usize, profiles: &[QueryProfile]) -> Strin
     let _ = writeln!(out, "  \"bench\": \"mem_profile\",");
     let _ = writeln!(out, "  \"scale\": {scale},");
     let _ = writeln!(out, "  \"threads\": 1,");
+    let _ = writeln!(out, "  \"fusion\": false,");
     let _ = writeln!(out, "  \"xml_bytes\": {xml_bytes},");
     let total_peak_cells: usize = profiles.iter().map(|p| p.peak_resident_cells).sum();
     let total_retained_cells: usize = profiles.iter().map(|p| p.cells_produced).sum();

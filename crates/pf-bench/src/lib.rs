@@ -63,12 +63,21 @@ pub fn prepare(scale: f64) -> Instance {
 /// Like [`prepare`], with an explicit executor thread count for the
 /// Pathfinder engine (`0` = default, `1` = sequential path).
 pub fn prepare_with_threads(scale: f64, threads: usize) -> Instance {
+    prepare_with_options(
+        scale,
+        pf_engine::EngineOptions {
+            threads,
+            ..pf_engine::EngineOptions::default()
+        },
+    )
+}
+
+/// Like [`prepare`], with full control over the Pathfinder engine options
+/// (thread count, operator fusion, plan-cache capacity, …).
+pub fn prepare_with_options(scale: f64, options: pf_engine::EngineOptions) -> Instance {
     let xml = generate(&GeneratorConfig { scale, seed: SEED });
     let doc = Arc::new(pf_xml::parse(&xml).expect("generated document is well-formed"));
-    let mut pathfinder = Pathfinder::with_options(pf_engine::EngineOptions {
-        threads,
-        ..pf_engine::EngineOptions::default()
-    });
+    let mut pathfinder = Pathfinder::with_options(options);
     pathfinder
         .load_parsed("auction.xml", &doc)
         .expect("shredding cannot fail on a parsed document");

@@ -1,16 +1,28 @@
-//! The plan executor: interprets a `pf-algebra` plan over the column store.
+//! The plan executor: runs compiled physical plans over the column store.
 //!
-//! Operators are evaluated in **ready-set order**: the executor keeps, for
-//! every operator of the DAG, the number of inputs that are not yet
-//! materialized; operators whose count is zero form the *ready set* and may
+//! The executor no longer interprets the logical [`Plan`] one operator at a
+//! time: it executes a [`PhysicalPlan`] — the logical DAG regrouped into
+//! *pipeline breakers* (interpreted exactly as before) and *fused
+//! pipelines* (single-consumer chains of π/σ/attach/⊙ evaluated in one
+//! pass by `pf-relational`'s fused kernel, with **zero intermediate table
+//! allocations**).  The physical plan is compiled once per (cached)
+//! logical plan; [`ExecStats::fused_ops`] / [`ExecStats::tables_elided`]
+//! report what fusion saved, and `EngineOptions::fusion` (or `PF_FUSION=0`)
+//! turns it off, which reproduces the pre-fusion interpretation step for
+//! step.
+//!
+//! Physical nodes are evaluated in **ready-set order**: the executor
+//! keeps, for every node, the number of inputs that are not yet
+//! materialized; nodes whose count is zero form the *ready set* and may
 //! run in any order — or concurrently.  With one thread the ready set is
 //! drained in the classic topological order (children before parents,
 //! identical to the pre-parallel executor, bit for bit); with more threads
 //! the independent branches of the DAG fan out onto a scoped worker pool
 //! ([`std::thread::scope`] — no extra dependencies) while one coordinator
-//! thread retains the *pinned* operators.  Shared subexpressions are still
-//! computed exactly once — this is the "single algebraic query" execution
-//! model of the paper, now exploiting the plan's join-graph independence.
+//! thread retains the *pinned* operators.  A whole pipeline is one work
+//! unit.  Shared subexpressions are still computed exactly once — this is
+//! the "single algebraic query" execution model of the paper, now
+//! exploiting the plan's join-graph independence.
 //!
 //! **Pinned vs pure.**  The node-constructing operators (ε, attribute and τ
 //! text construction) append transient documents to the [`DocRegistry`] and
@@ -25,9 +37,11 @@
 //! every thread count produces the same result table.
 //!
 //! Intermediate results are held behind [`Arc`]s and evicted at their last
-//! use — sequentially per [`Plan::last_use_schedule`], in parallel when the
-//! per-operator consumer count (from [`Plan::consumer_counts`]) drops to
-//! zero: peak resident rows track the live frontier of the DAG, not the
+//! use: both paths decrement the per-result consumer counts of
+//! [`PhysicalPlan::books`] (`result_consumers`, which count consuming
+//! *node* edges plus a synthetic final consumer protecting the root) as
+//! each node publishes, and free a result the moment its count reaches
+//! zero — peak resident rows track the live frontier of the DAG, not the
 //! whole plan.  Physical cell accounting is incremental (per
 //! [`Column::buffer_id`] refcounts, updated on publish/evict), so profiling
 //! no longer rescans the live slots after every operator.  Operators are
@@ -36,9 +50,11 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::num::NonZeroUsize;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-use pf_algebra::{AlgOp, OpId, Plan, ReadySetBooks, SortSpec};
+use pf_algebra::{
+    AlgOp, OpId, PhysKind, PhysNode, PhysNodeId, PhysicalBooks, PhysicalPlan, Plan, SortSpec,
+};
 use pf_relational::ops::{self, BinaryOp, HashKey};
 use pf_relational::{Column, NodeRef, Table, Value};
 use pf_store::{DocStore, NodeKindCode};
@@ -90,6 +106,12 @@ pub struct ExecStats {
     pub peak_resident_cells: usize,
     /// Intermediate results freed before the end of the query.
     pub evicted_results: usize,
+    /// Logical operators that ran inside fused pipelines (0 with fusion
+    /// disabled).
+    pub fused_ops: usize,
+    /// Intermediate tables fusion elided — one per interior pipeline edge
+    /// that the unfused interpreter would have materialized.
+    pub tables_elided: usize,
 }
 
 /// The thread count the executor uses when none is requested explicitly:
@@ -104,6 +126,28 @@ pub fn default_threads() -> usize {
         _ => std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1),
+    }
+}
+
+/// The fusion default when none is requested explicitly: `PF_FUSION`
+/// set to `0`, `false`, `off` or `no` disables operator fusion; anything
+/// else (including an unset variable) enables it.  The variable is read
+/// once per process — an executor is constructed per query, and the
+/// default would otherwise cost an environment lookup on every call.
+pub fn default_fusion() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| fusion_flag(std::env::var("PF_FUSION").ok().as_deref()))
+}
+
+/// Parse a `PF_FUSION`-style setting (split out of [`default_fusion`] so
+/// the parsing is testable without mutating the process environment).
+fn fusion_flag(value: Option<&str>) -> bool {
+    match value {
+        Some(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off" | "no"
+        ),
+        None => true,
     }
 }
 
@@ -227,20 +271,37 @@ impl<'a> StoreCache<'a> {
     }
 }
 
+/// Account one published node result into the running statistics.
+///
+/// Shared by the sequential and parallel paths so the work totals are
+/// schedule-independent by construction: a breaker contributes one
+/// evaluated operator, a pipeline contributes all the operators it covers
+/// plus the intermediate tables it never allocated.
+fn account_publish(stats: &mut ExecStats, node: &PhysNode, table: &Table) {
+    stats.operators_evaluated += node.op_count();
+    if let PhysKind::Pipeline { ops, .. } = &node.kind {
+        stats.fused_ops += ops.len();
+        stats.tables_elided += ops.len() - 1;
+    }
+    stats.rows_produced += table.row_count();
+    stats.cells_produced += table.columns().iter().map(|(_, c)| c.len()).sum::<usize>();
+}
+
 /// Mutable scheduler state shared by the coordinator and the workers.
 struct ParState {
     slots: Vec<Option<Arc<Table>>>,
-    /// Unmet input edges per operator (ready when 0).
+    /// Unmet input edges per physical node (ready when 0).
     waiting: Vec<usize>,
-    /// Remaining consumer edges per operator (evict when 0).
+    /// Remaining consumer edges per published result, by [`OpId`] (evict
+    /// when 0).
     remaining: Vec<usize>,
-    /// Ready *pure* operators, as positions in the topological order (the
-    /// smallest position is claimed first, approximating the sequential
-    /// executor's memory-friendly order).
-    ready: BinaryHeap<Reverse<usize>>,
-    /// Index of the next pinned operator (into `ParCtx::pinned_order`).
+    /// Ready *pure* nodes, by node id — node ids are topological
+    /// positions, so claiming the smallest id first approximates the
+    /// sequential executor's memory-friendly order.
+    ready: BinaryHeap<Reverse<PhysNodeId>>,
+    /// Index of the next pinned node (into `ParCtx::pinned_order`).
     next_pinned: usize,
-    /// Operators published so far.
+    /// Nodes published so far.
     completed: usize,
     stats: ExecStats,
     resident_rows: usize,
@@ -252,28 +313,26 @@ struct ParState {
 struct ParCtx<'e, 'p> {
     exec: &'e Executor<'e>,
     plan: &'p Plan,
-    /// Reachable operators in topological order.
-    topo_order: Vec<OpId>,
-    /// Position of each operator in `topo_order` (by OpId).
-    topo_pos: Vec<usize>,
-    /// Pinned operators in topological order.
-    pinned_order: Vec<OpId>,
-    /// Consumer edges (inverse adjacency) by OpId.
-    consumers: Vec<Vec<OpId>>,
+    physical: &'p PhysicalPlan,
+    /// Pinned nodes in topological order.
+    pinned_order: Vec<PhysNodeId>,
+    /// `true` per node if it must run on the coordinator.
+    pinned: Vec<bool>,
+    /// Consumer edges (inverse adjacency) per node.
+    consumers: Vec<Vec<PhysNodeId>>,
     state: Mutex<ParState>,
     wake: Condvar,
 }
 
 impl ParCtx<'_, '_> {
-    /// `true` once every reachable operator has published or a branch
-    /// failed.
+    /// `true` once every physical node has published or a branch failed.
     fn finished(&self, state: &ParState) -> bool {
-        state.error.is_some() || state.completed == self.topo_order.len()
+        state.error.is_some() || state.completed == self.physical.nodes().len()
     }
 
     /// Work loop run by every thread.  Only the coordinator claims pinned
-    /// operators (strictly in plan order); everyone claims pure ready
-    /// operators.
+    /// nodes (strictly in plan order); everyone claims pure ready nodes —
+    /// breakers and whole fused pipelines alike are single work units.
     fn work(&self, coordinator: bool) {
         let mut state = self.state.lock().expect("scheduler lock poisoned");
         loop {
@@ -281,23 +340,22 @@ impl ParCtx<'_, '_> {
                 return;
             }
             let claimed = self.claim(&mut state, coordinator);
-            let Some(id) = claimed else {
+            let Some(node_id) = claimed else {
                 state = self
                     .wake
                     .wait(state)
                     .expect("scheduler lock poisoned during wait");
                 continue;
             };
-            let gathered: Vec<(OpId, Arc<Table>)> = self
-                .plan
-                .op(id)
-                .children()
+            let node = &self.physical.nodes()[node_id];
+            let gathered: Vec<(OpId, Arc<Table>)> = node
+                .inputs
                 .iter()
-                .map(|&child| {
-                    let table = state.slots[child]
+                .map(|&input| {
+                    let table = state.slots[input]
                         .clone()
-                        .expect("ready operator with unpublished input");
-                    (child, table)
+                        .expect("ready node with unpublished input");
+                    (input, table)
                 })
                 .collect();
             drop(state);
@@ -307,7 +365,8 @@ impl ParCtx<'_, '_> {
             // forever (the sequential path propagates panics; here they
             // surface as an engine error instead).
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.exec.eval(self.plan, id, &Inputs::Gathered(&gathered))
+                self.exec
+                    .eval_node(self.plan, node, &Inputs::Gathered(&gathered))
             }))
             .unwrap_or_else(|payload| {
                 let message = payload
@@ -320,7 +379,7 @@ impl ParCtx<'_, '_> {
             drop(gathered);
             state = self.state.lock().expect("scheduler lock poisoned");
             match outcome {
-                Ok(table) => self.publish(&mut state, id, table),
+                Ok(table) => self.publish(&mut state, node_id, table),
                 Err(e) => {
                     // First failure wins; everyone drains on the flag.
                     state.error.get_or_insert(e);
@@ -330,8 +389,8 @@ impl ParCtx<'_, '_> {
         }
     }
 
-    /// Claim the next operator this thread may run, if any.
-    fn claim(&self, state: &mut ParState, coordinator: bool) -> Option<OpId> {
+    /// Claim the next node this thread may run, if any.
+    fn claim(&self, state: &mut ParState, coordinator: bool) -> Option<PhysNodeId> {
         if coordinator {
             if let Some(&id) = self.pinned_order.get(state.next_pinned) {
                 if state.waiting[id] == 0 {
@@ -340,40 +399,38 @@ impl ParCtx<'_, '_> {
                 }
             }
         }
-        state.ready.pop().map(|Reverse(pos)| self.topo_order[pos])
+        state.ready.pop().map(|Reverse(id)| id)
     }
 
     /// Record a published result: account it, evict inputs that lost their
-    /// last consumer, and move parents whose inputs are now complete into
+    /// last consumer, and move nodes whose inputs are now complete into
     /// the ready set.
-    fn publish(&self, state: &mut ParState, id: OpId, table: Table) {
-        let rows = table.row_count();
-        state.stats.operators_evaluated += 1;
-        state.stats.rows_produced += rows;
-        state.stats.cells_produced += table.columns().iter().map(|(_, c)| c.len()).sum::<usize>();
-        state.resident_rows += rows;
+    fn publish(&self, state: &mut ParState, node_id: PhysNodeId, table: Table) {
+        let node = &self.physical.nodes()[node_id];
+        account_publish(&mut state.stats, node, &table);
+        state.resident_rows += table.row_count();
         let table = Arc::new(table);
         state.ledger.publish(&table);
-        state.slots[id] = Some(table);
-        // Inputs and output coexist while an operator runs, so the peaks
-        // are sampled before the inputs are released.
+        state.slots[node.output] = Some(table);
+        // Inputs and output coexist while a node runs, so the peaks are
+        // sampled before the inputs are released.
         state.stats.peak_resident_rows = state.stats.peak_resident_rows.max(state.resident_rows);
         state.stats.peak_resident_cells =
             state.stats.peak_resident_cells.max(state.ledger.resident);
-        for child in self.plan.op(id).children() {
-            state.remaining[child] -= 1;
-            if state.remaining[child] == 0 {
-                if let Some(freed) = state.slots[child].take() {
+        for &input in &node.inputs {
+            state.remaining[input] -= 1;
+            if state.remaining[input] == 0 {
+                if let Some(freed) = state.slots[input].take() {
                     state.resident_rows -= freed.row_count();
                     state.ledger.evict(&freed);
                     state.stats.evicted_results += 1;
                 }
             }
         }
-        for &parent in &self.consumers[id] {
+        for &parent in &self.consumers[node_id] {
             state.waiting[parent] -= 1;
-            if state.waiting[parent] == 0 && !is_pinned(self.plan.op(parent)) {
-                state.ready.push(Reverse(self.topo_pos[parent]));
+            if state.waiting[parent] == 0 && !self.pinned[parent] {
+                state.ready.push(Reverse(parent));
             }
         }
         state.completed += 1;
@@ -391,11 +448,13 @@ impl ParCtx<'_, '_> {
 pub struct Executor<'a> {
     registry: &'a DocRegistry,
     threads: usize,
+    fusion: bool,
 }
 
 impl<'a> Executor<'a> {
     /// Create an executor over `registry` (constructed nodes are registered
-    /// there) using the default thread count ([`default_threads`]).
+    /// there) using the default thread count ([`default_threads`]) and the
+    /// default fusion setting ([`default_fusion`]).
     pub fn new(registry: &'a DocRegistry) -> Self {
         Executor::with_threads(registry, 0)
     }
@@ -404,13 +463,27 @@ impl<'a> Executor<'a> {
     ///
     /// `1` selects the sequential path (identical, step for step, to the
     /// pre-parallel executor); `0` resolves to [`default_threads`].
+    /// Operator fusion starts at the [`default_fusion`] setting; override
+    /// it with [`Executor::with_fusion`].
     pub fn with_threads(registry: &'a DocRegistry, threads: usize) -> Self {
         let threads = if threads == 0 {
             default_threads()
         } else {
             threads
         };
-        Executor { registry, threads }
+        Executor {
+            registry,
+            threads,
+            fusion: default_fusion(),
+        }
+    }
+
+    /// Enable or disable operator fusion (the A/B escape hatch behind
+    /// `EngineOptions::fusion` / `PF_FUSION=0`).  Results are identical
+    /// either way; only the number of materialized intermediates changes.
+    pub fn with_fusion(mut self, fusion: bool) -> Self {
+        self.fusion = fusion;
+        self
     }
 
     /// The number of threads this executor evaluates plans with.
@@ -418,105 +491,152 @@ impl<'a> Executor<'a> {
         self.threads
     }
 
+    /// `true` when this executor fuses operator pipelines.
+    pub fn fusion_enabled(&self) -> bool {
+        self.fusion
+    }
+
     /// Evaluate `plan` and return the root operator's table.
     pub fn run(&self, plan: &Plan) -> EngineResult<Table> {
-        Ok(self.execute(plan)?.0)
+        Ok(self.run_with_stats(plan)?.0)
     }
 
     /// Evaluate `plan`, returning the root table and the memory-discipline
     /// statistics of the run.
     pub fn run_with_stats(&self, plan: &Plan) -> EngineResult<(Table, ExecStats)> {
+        let (table, stats) = self.execute(plan)?;
+        Ok((
+            Arc::try_unwrap(table).unwrap_or_else(|shared| (*shared).clone()),
+            stats,
+        ))
+    }
+
+    /// Evaluate `plan`, returning the root table behind its [`Arc`] handle
+    /// (ready to hand to the streaming serializer without a copy) and the
+    /// statistics of the run.  Compiles the physical plan on the fly; use
+    /// [`Executor::run_physical`] to reuse a cached compilation.
+    pub fn run_shared(&self, plan: &Plan) -> EngineResult<(Arc<Table>, ExecStats)> {
         self.execute(plan)
     }
 
-    fn execute(&self, plan: &Plan) -> EngineResult<(Table, ExecStats)> {
-        if self.threads <= 1 {
-            return self.execute_sequential(plan);
+    /// Evaluate a pre-compiled physical plan (see [`PhysicalPlan::compile`];
+    /// the engine caches one per cached logical plan).  `physical` must
+    /// have been compiled from this very `plan`.
+    pub fn run_physical(
+        &self,
+        plan: &Plan,
+        physical: &PhysicalPlan,
+    ) -> EngineResult<(Arc<Table>, ExecStats)> {
+        if !physical.matches(plan) {
+            return Err(EngineError::msg(
+                "physical plan was compiled from a different logical plan",
+            ));
         }
-        // One topological pass derives every scheduler book.  The worker
-        // count is capped by the widest dependency level: a chain-shaped
-        // plan (width 1) has nothing to fan out and takes the sequential
-        // path without spawning a single thread.  (Level width slightly
-        // under-estimates the maximum antichain of exotic DAG shapes, but
-        // it is the right order of magnitude and comes free with the
-        // books.)
-        let books = plan.ready_set_books();
+        self.execute_physical(plan, physical)
+    }
+
+    fn execute(&self, plan: &Plan) -> EngineResult<(Arc<Table>, ExecStats)> {
+        let physical = PhysicalPlan::compile(plan, self.fusion);
+        self.execute_physical(plan, &physical)
+    }
+
+    fn execute_physical(
+        &self,
+        plan: &Plan,
+        physical: &PhysicalPlan,
+    ) -> EngineResult<(Arc<Table>, ExecStats)> {
+        // One pass over the physical nodes derives every scheduler book.
+        let books = physical.books();
+        if self.threads <= 1 {
+            return self.execute_sequential(plan, physical, books);
+        }
+        // The worker count is capped by the widest dependency level: a
+        // chain-shaped plan (width 1) has nothing to fan out and takes the
+        // sequential path without spawning a single thread.  (Level width
+        // slightly under-estimates the maximum antichain of exotic DAG
+        // shapes, but it is the right order of magnitude and comes free
+        // with the books.)
         let threads = self.threads.min(books.width().max(1));
         if threads <= 1 {
-            self.execute_sequential(plan)
+            self.execute_sequential(plan, physical, books)
         } else {
-            self.execute_parallel(plan, threads, books)
+            self.execute_parallel(plan, physical, threads, books)
         }
     }
 
-    /// The sequential interpreter: topological order with last-use
-    /// eviction, exactly as before the ready-set scheduler existed.
-    fn execute_sequential(&self, plan: &Plan) -> EngineResult<(Table, ExecStats)> {
-        let schedule = plan.last_use_schedule();
+    /// The sequential path: physical nodes in topological order with
+    /// last-use eviction — with fusion disabled this is operator for
+    /// operator the pre-fusion interpreter.
+    fn execute_sequential(
+        &self,
+        plan: &Plan,
+        physical: &PhysicalPlan,
+        books: PhysicalBooks,
+    ) -> EngineResult<(Arc<Table>, ExecStats)> {
+        let mut remaining = books.result_consumers;
         let mut slots: Vec<Option<Arc<Table>>> = vec![None; plan.ops().len()];
         let mut stats = ExecStats::default();
         let mut resident_rows = 0usize;
         let mut ledger = CellLedger::default();
-        for (id, dead_after) in &schedule {
-            let table = self.eval(plan, *id, &Inputs::Slots(&slots))?;
-            let rows = table.row_count();
-            stats.operators_evaluated += 1;
-            stats.rows_produced += rows;
-            stats.cells_produced += table.columns().iter().map(|(_, c)| c.len()).sum::<usize>();
-            resident_rows += rows;
+        for node in physical.nodes() {
+            let table = self.eval_node(plan, node, &Inputs::Slots(&slots))?;
+            account_publish(&mut stats, node, &table);
+            resident_rows += table.row_count();
             let table = Arc::new(table);
             ledger.publish(&table);
-            slots[*id] = Some(table);
-            // The operator's inputs and its output coexist while it runs, so
+            slots[node.output] = Some(table);
+            // The node's inputs and its output coexist while it runs, so
             // the peaks are sampled before the dead set is dropped.
             stats.peak_resident_rows = stats.peak_resident_rows.max(resident_rows);
             stats.peak_resident_cells = stats.peak_resident_cells.max(ledger.resident);
-            for &dead in dead_after {
-                if let Some(freed) = slots[dead].take() {
-                    resident_rows -= freed.row_count();
-                    ledger.evict(&freed);
-                    stats.evicted_results += 1;
+            for &input in &node.inputs {
+                remaining[input] -= 1;
+                if remaining[input] == 0 {
+                    if let Some(freed) = slots[input].take() {
+                        resident_rows -= freed.row_count();
+                        ledger.evict(&freed);
+                        stats.evicted_results += 1;
+                    }
                 }
             }
         }
         Self::take_root(&mut slots, plan, stats)
     }
 
-    /// The ready-set scheduler: pure operators fan out onto `threads - 1`
-    /// scoped workers plus this thread; pinned operators run on this
-    /// (coordinator) thread in plan order.
+    /// The ready-set scheduler: pure nodes (breakers and whole pipelines)
+    /// fan out onto `threads - 1` scoped workers plus this thread; pinned
+    /// nodes run on this (coordinator) thread in plan order.
     fn execute_parallel(
         &self,
         plan: &Plan,
+        physical: &PhysicalPlan,
         threads: usize,
-        books: ReadySetBooks,
-    ) -> EngineResult<(Table, ExecStats)> {
-        let ReadySetBooks {
-            topo_order,
+        books: PhysicalBooks,
+    ) -> EngineResult<(Arc<Table>, ExecStats)> {
+        let PhysicalBooks {
             input_edges: waiting,
             consumers,
-            consumer_counts: remaining,
+            result_consumers: remaining,
             ..
         } = books;
-        let mut topo_pos = vec![usize::MAX; plan.ops().len()];
-        for (pos, &id) in topo_order.iter().enumerate() {
-            topo_pos[id] = pos;
-        }
-        let pinned_order: Vec<OpId> = topo_order
+        let pinned: Vec<bool> = physical
+            .nodes()
             .iter()
-            .copied()
-            .filter(|&id| is_pinned(plan.op(id)))
+            .map(|node| matches!(node.kind, PhysKind::Breaker) && is_pinned(plan.op(node.output)))
             .collect();
-        let ready: BinaryHeap<Reverse<usize>> = topo_order
-            .iter()
-            .filter(|&&id| waiting[id] == 0 && !is_pinned(plan.op(id)))
-            .map(|&id| Reverse(topo_pos[id]))
+        let pinned_order: Vec<PhysNodeId> = (0..physical.nodes().len())
+            .filter(|&id| pinned[id])
+            .collect();
+        let ready: BinaryHeap<Reverse<PhysNodeId>> = (0..physical.nodes().len())
+            .filter(|&id| waiting[id] == 0 && !pinned[id])
+            .map(Reverse)
             .collect();
         let ctx = ParCtx {
             exec: self,
             plan,
-            topo_pos,
+            physical,
             pinned_order,
+            pinned,
             consumers,
             state: Mutex::new(ParState {
                 slots: vec![None; plan.ops().len()],
@@ -531,7 +651,6 @@ impl<'a> Executor<'a> {
                 error: None,
             }),
             wake: Condvar::new(),
-            topo_order,
         };
         std::thread::scope(|scope| {
             for _ in 1..threads {
@@ -551,12 +670,25 @@ impl<'a> Executor<'a> {
         slots: &mut [Option<Arc<Table>>],
         plan: &Plan,
         stats: ExecStats,
-    ) -> EngineResult<(Table, ExecStats)> {
+    ) -> EngineResult<(Arc<Table>, ExecStats)> {
         let root = slots[plan.root()]
             .take()
             .ok_or_else(|| EngineError::msg("plan produced no result"))?;
-        let table = Arc::try_unwrap(root).unwrap_or_else(|shared| (*shared).clone());
-        Ok((table, stats))
+        Ok((root, stats))
+    }
+
+    /// Evaluate one physical node: breakers go through the single-operator
+    /// interpreter, pipelines through the fused kernel (with the engine's
+    /// atomization semantics wired in via a [`StoreCache`]).
+    fn eval_node(&self, plan: &Plan, node: &PhysNode, inputs: &Inputs<'_>) -> EngineResult<Table> {
+        match &node.kind {
+            PhysKind::Breaker => self.eval(plan, node.output, inputs),
+            PhysKind::Pipeline { steps, .. } => {
+                let input = inputs.get(node.inputs[0])?;
+                let mut cache = StoreCache::new(self.registry);
+                Ok(ops::run_pipeline(input, steps, &mut |v| cache.atomize(v))?)
+            }
+        }
     }
 
     fn eval(&self, plan: &Plan, id: OpId, inputs: &Inputs<'_>) -> EngineResult<Table> {
@@ -1261,12 +1393,8 @@ mod tests {
         assert!(stats.peak_resident_cells > 0);
     }
 
-    #[test]
-    fn physical_accounting_counts_shared_buffers_once() {
-        // lit → project(rename) → project(rename): every output shares the
-        // literal's buffers, so the physically resident cells never exceed
-        // one copy of the data while the logical accounting sees three
-        // coexisting tables after the first projection.
+    /// lit → project(rename) → project(rename) over 8 rows.
+    fn projection_chain_plan() -> Plan {
         let mut b = PlanBuilder::new();
         let lit = b.add(AlgOp::Lit {
             columns: vec!["iter".into(), "item".into()],
@@ -1282,14 +1410,153 @@ mod tests {
             input: p1,
             columns: vec![("a".into(), "c".into()), ("b".into(), "d".into())],
         });
-        let plan = b.finish(p2);
+        b.finish(p2)
+    }
+
+    #[test]
+    fn physical_accounting_counts_shared_buffers_once() {
+        // lit → project(rename) → project(rename): every output shares the
+        // literal's buffers, so the physically resident cells never exceed
+        // one copy of the data while the logical accounting sees three
+        // coexisting tables after the first projection.  Fusion is pinned
+        // off: this test pins down the *unfused* accounting model.
+        let plan = projection_chain_plan();
         let reg = registry();
-        let (_, stats) = Executor::new(&reg).run_with_stats(&plan).unwrap();
+        let (_, stats) = Executor::new(&reg)
+            .with_fusion(false)
+            .run_with_stats(&plan)
+            .unwrap();
         // Logical: at the p1 step the literal and the projection (8 rows
         // each) are both live → peak 16.  Physical: one shared buffer set.
         assert_eq!(stats.peak_resident_rows, 16);
         assert_eq!(stats.peak_resident_cells, 16); // 8 rows × 2 unique buffers
         assert_eq!(stats.cells_produced, 48); // 3 tables × 2 columns × 8 rows
+        assert_eq!(stats.fused_ops, 0);
+        assert_eq!(stats.tables_elided, 0);
+    }
+
+    #[test]
+    fn fusion_elides_the_interior_projection() {
+        // The same chain with fusion on: the two projections fuse into one
+        // pipeline, the interior table is never allocated, and the result
+        // is identical.
+        let plan = projection_chain_plan();
+        let reg = registry();
+        let (fused, stats) = Executor::new(&reg)
+            .with_fusion(true)
+            .run_with_stats(&plan)
+            .unwrap();
+        let (unfused, off) = Executor::new(&reg)
+            .with_fusion(false)
+            .run_with_stats(&plan)
+            .unwrap();
+        assert_eq!(fused, unfused);
+        assert_eq!(stats.fused_ops, 2);
+        assert_eq!(stats.tables_elided, 1);
+        assert_eq!(stats.operators_evaluated, off.operators_evaluated);
+        // Only two tables materialize: the literal and the pipeline output.
+        assert_eq!(stats.cells_produced, 32);
+        assert_eq!(stats.evicted_results, 1);
+    }
+
+    #[test]
+    fn fused_and_unfused_runs_agree_on_selective_chains() {
+        // lit → attach → map(>) → select → project → distinct: everything
+        // above the literal fuses into one pipeline (δ is a fusable
+        // selection-vector pass); values, schema and row order must match
+        // the unfused run exactly.
+        let reg = registry();
+        let mut b = PlanBuilder::new();
+        let lit = b.add(AlgOp::Lit {
+            columns: vec!["iter".into(), "item".into()],
+            rows: (1..=6)
+                .map(|i| vec![Value::Nat(i), Value::Int(i as i64)])
+                .collect(),
+        });
+        let attach = b.add(AlgOp::Attach {
+            input: lit,
+            target: "limit".into(),
+            value: Value::Int(3),
+        });
+        let map = b.add(AlgOp::BinaryMap {
+            input: attach,
+            target: "keep".into(),
+            left: "item".into(),
+            op: ops::BinaryOp::Cmp(ops::CmpOp::Gt),
+            right: "limit".into(),
+        });
+        let select = b.add(AlgOp::Select {
+            input: map,
+            column: "keep".into(),
+        });
+        let project = b.add(AlgOp::Project {
+            input: select,
+            columns: vec![
+                ("iter".into(), "iter".into()),
+                ("item".into(), "item".into()),
+            ],
+        });
+        let distinct = b.add(AlgOp::Distinct { input: project });
+        let plan = b.finish(distinct);
+        let (fused, on) = Executor::new(&reg)
+            .with_fusion(true)
+            .run_with_stats(&plan)
+            .unwrap();
+        let (unfused, off) = Executor::new(&reg)
+            .with_fusion(false)
+            .run_with_stats(&plan)
+            .unwrap();
+        assert_eq!(fused, unfused);
+        assert_eq!(fused.row_count(), 3);
+        assert_eq!(on.fused_ops, 5);
+        assert_eq!(on.tables_elided, 4);
+        assert_eq!(off.tables_elided, 0);
+        assert_eq!(on.operators_evaluated, off.operators_evaluated);
+    }
+
+    #[test]
+    fn fused_pipelines_surface_operator_errors_not_panics() {
+        // A select over a non-boolean column sits inside a fused chain;
+        // the fused kernel must report the same error as the unfused path.
+        let reg = registry();
+        let build = || {
+            let mut b = PlanBuilder::new();
+            let lit = b.add(AlgOp::Lit {
+                columns: vec!["iter".into(), "item".into()],
+                rows: vec![vec![Value::Nat(1), Value::Int(5)]],
+            });
+            let attach = b.add(AlgOp::Attach {
+                input: lit,
+                target: "flag".into(),
+                value: Value::Int(7),
+            });
+            let select = b.add(AlgOp::Select {
+                input: attach,
+                column: "flag".into(),
+            });
+            let distinct = b.add(AlgOp::Distinct { input: select });
+            b.finish(distinct)
+        };
+        let fused = Executor::new(&reg)
+            .with_fusion(true)
+            .run(&build())
+            .unwrap_err();
+        let unfused = Executor::new(&reg)
+            .with_fusion(false)
+            .run(&build())
+            .unwrap_err();
+        assert_eq!(fused.to_string(), unfused.to_string());
+    }
+
+    #[test]
+    fn fusion_flag_parsing() {
+        assert!(fusion_flag(None));
+        assert!(fusion_flag(Some("1")));
+        assert!(fusion_flag(Some("on")));
+        assert!(!fusion_flag(Some("0")));
+        assert!(!fusion_flag(Some("false")));
+        assert!(!fusion_flag(Some("OFF")));
+        assert!(!fusion_flag(Some(" no ")));
     }
 
     #[test]

@@ -32,11 +32,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub use error::{EngineError, EngineResult};
-pub use executor::{default_threads, ExecStats, Executor};
+pub use executor::{default_fusion, default_threads, ExecStats, Executor};
 pub use registry::DocRegistry;
-pub use result::{QueryResult, Timings};
+pub use result::{serialize_table, QueryResult, Timings};
 
-use pf_algebra::{optimize, OptimizeReport, Plan};
+use pf_algebra::{optimize, OptimizeReport, PhysicalPlan, Plan};
 use pf_xquery::{compile, normalize, parse_query, CompileOptions};
 
 /// Engine-level options.
@@ -51,7 +51,19 @@ pub struct EngineOptions {
     /// environment variable if set, otherwise the machine's available
     /// parallelism.  Results are identical at every setting.
     pub threads: usize,
+    /// Fuse single-consumer operator chains into physical pipelines (the
+    /// default is [`default_fusion`]: on, unless `PF_FUSION` says `0` /
+    /// `false` / `off` / `no`).  Results are identical either way; fusion
+    /// only changes how many intermediate tables materialize.
+    pub fusion: bool,
+    /// Maximum number of compiled plans the per-engine plan cache retains;
+    /// when full, the least-recently-hit plan is evicted.  `0` disables
+    /// caching entirely.
+    pub plan_cache_capacity: usize,
 }
+
+/// Default capacity of the per-engine plan cache.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
 
 impl Default for EngineOptions {
     fn default() -> Self {
@@ -59,6 +71,8 @@ impl Default for EngineOptions {
             compile: CompileOptions::default(),
             optimize: true,
             threads: 0,
+            fusion: default_fusion(),
+            plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
         }
     }
 }
@@ -88,19 +102,38 @@ impl Explain {
     }
 }
 
+/// One plan-cache entry: the optimized logical plan, its physical
+/// compilation (fused per the engine's `fusion` option), and the LRU
+/// bookkeeping.
+#[derive(Debug)]
+struct CachedPlan {
+    plan: Arc<Plan>,
+    physical: Arc<PhysicalPlan>,
+    /// Logical timestamp of the last hit (or the insertion); the entry
+    /// with the smallest stamp is evicted when the cache is full.
+    last_hit: u64,
+}
+
 /// The Pathfinder engine: a document registry plus the compile/execute
 /// pipeline.
 ///
-/// Compiled-and-optimized plans are cached by query text: the compile
-/// stage dominates small-document queries, and since the executor borrows
-/// operators from the plan (never clones them), a cached [`Arc<Plan>`] is
-/// directly reusable.  Cache effectiveness is reported per query via
+/// Compiled-and-optimized plans — *and their physical compilations* — are
+/// cached per query: the compile stage dominates small-document queries,
+/// and since the executor borrows operators from the plan (never clones
+/// them), a cached [`Arc<Plan>`] / [`Arc<PhysicalPlan>`] pair is directly
+/// reusable.  Cache keys are the query text with whitespace runs outside
+/// string literals collapsed, so trivially reformatted queries share one
+/// plan; the cache is capped ([`EngineOptions::plan_cache_capacity`],
+/// default [`DEFAULT_PLAN_CACHE_CAPACITY`]) with least-recently-hit
+/// eviction.  Cache effectiveness is reported per query via
 /// [`Timings::plan_cache_hits`] / [`Timings::plan_cache_misses`].
 #[derive(Debug, Default)]
 pub struct Pathfinder {
     registry: DocRegistry,
     options: EngineOptions,
-    plan_cache: HashMap<String, Arc<Plan>>,
+    plan_cache: HashMap<String, CachedPlan>,
+    /// Logical clock driving the last-hit stamps.
+    cache_clock: u64,
     plan_cache_hits: usize,
     plan_cache_misses: usize,
 }
@@ -180,17 +213,18 @@ impl Pathfinder {
 
     /// Like [`Pathfinder::query`], but also report the executor's
     /// memory-discipline statistics (peak resident intermediate rows,
-    /// total rows produced, evictions).
+    /// total rows produced, evictions, fusion savings).
     pub fn query_profiled(&mut self, query: &str) -> EngineResult<(QueryResult, ExecStats)> {
-        let (plan, compile_time, optimize_time) = self.plan_for(query)?;
+        let (plan, physical, compile_time, optimize_time) = self.plan_for(query)?;
 
         let exec_start = Instant::now();
-        let executor = Executor::with_threads(&self.registry, self.options.threads);
-        let (table, stats) = executor.run_with_stats(&plan)?;
+        let executor = Executor::with_threads(&self.registry, self.options.threads)
+            .with_fusion(self.options.fusion);
+        let (table, stats) = executor.run_physical(&plan, &physical)?;
         let execute_time = exec_start.elapsed();
 
         let result = QueryResult::from_table(
-            &table,
+            table,
             &self.registry,
             Timings {
                 compile: compile_time,
@@ -203,15 +237,27 @@ impl Pathfinder {
         Ok((result, stats))
     }
 
-    /// The compiled-and-optimized plan for `query`: served from the plan
-    /// cache when possible, compiled (and cached) otherwise.  Returns the
-    /// plan with the compile and optimize stage timings — both
-    /// [`Duration::ZERO`] on a cache hit, because the stages are skipped
-    /// entirely.
-    fn plan_for(&mut self, query: &str) -> EngineResult<(Arc<Plan>, Duration, Duration)> {
-        if let Some(plan) = self.plan_cache.get(query) {
+    /// The compiled-and-optimized plan for `query`, with its physical
+    /// compilation: served from the plan cache when possible, compiled
+    /// (and cached) otherwise.  Returns the plans with the compile and
+    /// optimize stage timings — both [`Duration::ZERO`] on a cache hit,
+    /// because the stages are skipped entirely.
+    #[allow(clippy::type_complexity)]
+    fn plan_for(
+        &mut self,
+        query: &str,
+    ) -> EngineResult<(Arc<Plan>, Arc<PhysicalPlan>, Duration, Duration)> {
+        let key = normalize_cache_key(query);
+        if let Some(cached) = self.plan_cache.get_mut(&key) {
             self.plan_cache_hits += 1;
-            return Ok((Arc::clone(plan), Duration::ZERO, Duration::ZERO));
+            self.cache_clock += 1;
+            cached.last_hit = self.cache_clock;
+            return Ok((
+                Arc::clone(&cached.plan),
+                Arc::clone(&cached.physical),
+                Duration::ZERO,
+                Duration::ZERO,
+            ));
         }
         let started = Instant::now();
         let ast = parse_query(query)?;
@@ -224,13 +270,93 @@ impl Pathfinder {
         if self.options.optimize {
             optimize(&mut plan);
         }
+        let physical = Arc::new(PhysicalPlan::compile(&plan, self.options.fusion));
         let optimize_time = opt_start.elapsed();
 
         self.plan_cache_misses += 1;
         let plan = Arc::new(plan);
-        self.plan_cache.insert(query.to_string(), Arc::clone(&plan));
-        Ok((plan, compile_time, optimize_time))
+        if self.options.plan_cache_capacity > 0 {
+            self.cache_clock += 1;
+            self.plan_cache.insert(
+                key,
+                CachedPlan {
+                    plan: Arc::clone(&plan),
+                    physical: Arc::clone(&physical),
+                    last_hit: self.cache_clock,
+                },
+            );
+            if self.plan_cache.len() > self.options.plan_cache_capacity {
+                // Evict the least-recently-hit entry.  A linear scan is
+                // fine at the default capacity of 256; the cache is per
+                // engine and off the execution hot path.
+                if let Some(coldest) = self
+                    .plan_cache
+                    .iter()
+                    .min_by_key(|(_, entry)| entry.last_hit)
+                    .map(|(k, _)| k.clone())
+                {
+                    self.plan_cache.remove(&coldest);
+                }
+            }
+        }
+        Ok((plan, physical, compile_time, optimize_time))
     }
+}
+
+/// Normalize a query text into its plan-cache key: collapse every run of
+/// whitespace *outside string literals* into a single space and trim the
+/// ends, so trivially reformatted queries share one cached plan.  String
+/// literal bodies are copied verbatim (whitespace inside them is
+/// significant), and whitespace runs are never removed entirely — only
+/// collapsed — so two queries with different token boundaries can never
+/// fold onto the same key.  Comments `(: … :)` (which may nest, per the
+/// lexer) are tracked so a quote character *inside* a comment does not
+/// desynchronize the literal tracking; comment bodies themselves are
+/// whitespace-collapsed like code, which is safe because the lexer
+/// discards them.
+fn normalize_cache_key(query: &str) -> String {
+    let mut out = String::with_capacity(query.len());
+    let mut chars = query.chars().peekable();
+    let mut pending_space = false;
+    let mut comment_depth = 0usize;
+    while let Some(c) = chars.next() {
+        if c.is_whitespace() {
+            pending_space = true;
+            continue;
+        }
+        if pending_space && !out.is_empty() {
+            out.push(' ');
+        }
+        pending_space = false;
+        out.push(c);
+        if c == '(' && chars.peek() == Some(&':') {
+            out.push(chars.next().expect("peeked"));
+            comment_depth += 1;
+            continue;
+        }
+        if comment_depth > 0 {
+            // Inside a comment quotes are plain text; only watch for the
+            // (possibly nested) comment delimiters.
+            if c == ':' && chars.peek() == Some(&')') {
+                out.push(chars.next().expect("peeked"));
+                comment_depth -= 1;
+            }
+            continue;
+        }
+        if c == '"' || c == '\'' {
+            // Copy the literal body verbatim up to (and including) the
+            // closing quote.  Doubled quotes — the XQuery escape — read as
+            // one literal closing and the next immediately reopening,
+            // which round-trips unchanged through this loop.
+            for body in chars.by_ref() {
+                out.push(body);
+                if body == c {
+                    break;
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -356,6 +482,125 @@ mod tests {
         pf.clear_plan_cache();
         assert_eq!(pf.plan_cache_len(), 0);
         assert_eq!(pf.plan_cache_stats(), (1, 2));
+    }
+
+    #[test]
+    fn reformatted_queries_share_one_cached_plan() {
+        let mut pf = engine_with("<a><b>1</b><b>2</b></a>");
+        let q = "for $b in fn:doc(\"doc.xml\")//b return fn:string($b)";
+        assert_eq!(pf.query(q).unwrap().to_xml(), "1 2");
+        // The same query reformatted — indentation, newlines and doubled
+        // spaces outside string literals collapse onto the cached key.
+        let reformatted = "for  $b in\n    fn:doc(\"doc.xml\")//b\n  return fn:string($b)";
+        assert_eq!(pf.query(reformatted).unwrap().to_xml(), "1 2");
+        assert_eq!(pf.plan_cache_stats(), (1, 1), "reformat must hit");
+        assert_eq!(pf.plan_cache_len(), 1);
+
+        // Whitespace *inside* a string literal is significant: a different
+        // literal body is a different plan.
+        pf.query("fn:concat(\"a b\", \"c\")").unwrap();
+        pf.query("fn:concat(\"a  b\", \"c\")").unwrap();
+        assert_eq!(pf.plan_cache_stats(), (1, 3));
+        assert_eq!(pf.plan_cache_len(), 3);
+    }
+
+    #[test]
+    fn normalization_collapses_outside_literals_only() {
+        assert_eq!(
+            normalize_cache_key("  for   $x in\n\t(1,2)\nreturn $x  "),
+            "for $x in (1,2) return $x"
+        );
+        // Literal bodies survive verbatim, including the doubled-quote
+        // escape and the other quote kind.
+        assert_eq!(
+            normalize_cache_key("concat(\"a  b\",  'c  d')"),
+            "concat(\"a  b\", 'c  d')"
+        );
+        assert_eq!(
+            normalize_cache_key("\"he said \"\"hi   there\"\"\""),
+            "\"he said \"\"hi   there\"\"\""
+        );
+        // Collapsing never merges tokens: `a - b` and `a-b` stay distinct.
+        assert_ne!(normalize_cache_key("a - b"), normalize_cache_key("a-b"));
+        // An unterminated literal simply runs to the end without panicking.
+        assert_eq!(normalize_cache_key("\"open  end"), "\"open  end");
+    }
+
+    #[test]
+    fn quotes_inside_comments_do_not_desync_literal_tracking() {
+        // A quote inside a comment must not open a pseudo-literal: the
+        // literal after the comment keeps its body verbatim, so these two
+        // queries (different string contents) get different cache keys.
+        let a = normalize_cache_key("(: \" :) \"a  b\"");
+        let b = normalize_cache_key("(: \" :) \"a b\"");
+        assert_ne!(a, b);
+        assert!(a.ends_with("\"a  b\""), "literal body collapsed: {a}");
+        // Nested comments close correctly too.
+        let nested = normalize_cache_key("(: x (: ' :) y :) 'c  d'");
+        assert!(
+            nested.ends_with("'c  d'"),
+            "literal body collapsed: {nested}"
+        );
+        // Unterminated comments run to the end without panicking.
+        assert_eq!(normalize_cache_key("(: open   comment"), "(: open comment");
+    }
+
+    #[test]
+    fn plan_cache_evicts_the_least_recently_hit_plan() {
+        let mut pf = Pathfinder::with_options(EngineOptions {
+            plan_cache_capacity: 2,
+            ..EngineOptions::default()
+        });
+        pf.query("1 + 1").unwrap();
+        pf.query("2 + 2").unwrap();
+        assert_eq!(pf.plan_cache_len(), 2);
+        // Touch "1 + 1" so "2 + 2" becomes the coldest entry…
+        pf.query("1 + 1").unwrap();
+        // …and a third query evicts it.
+        pf.query("3 + 3").unwrap();
+        assert_eq!(pf.plan_cache_len(), 2);
+        let (hits, misses) = pf.plan_cache_stats();
+        assert_eq!((hits, misses), (1, 3));
+        // "1 + 1" is still cached; "2 + 2" was evicted and recompiles.
+        pf.query("1 + 1").unwrap();
+        assert_eq!(pf.plan_cache_stats().0, 2);
+        pf.query("2 + 2").unwrap();
+        assert_eq!(pf.plan_cache_stats(), (2, 4));
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_plan_cache() {
+        let mut pf = Pathfinder::with_options(EngineOptions {
+            plan_cache_capacity: 0,
+            ..EngineOptions::default()
+        });
+        pf.query("1 + 1").unwrap();
+        pf.query("1 + 1").unwrap();
+        assert_eq!(pf.plan_cache_len(), 0);
+        assert_eq!(pf.plan_cache_stats(), (0, 2));
+    }
+
+    #[test]
+    fn fusion_on_and_off_serialize_identically() {
+        let make = |fusion: bool| {
+            let mut pf = Pathfinder::with_options(EngineOptions {
+                fusion,
+                ..EngineOptions::default()
+            });
+            pf.load_document(
+                "doc.xml",
+                "<site><p><n>Ann</n><x>3</x></p><p><n>Bo</n><x>9</x></p></site>",
+            )
+            .unwrap();
+            pf
+        };
+        let q = "for $p in fn:doc(\"doc.xml\")//p where $p/x > 5 return fn:string($p/n)";
+        let (on, on_stats) = make(true).query_profiled(q).unwrap();
+        let (off, off_stats) = make(false).query_profiled(q).unwrap();
+        assert_eq!(on.to_xml(), off.to_xml());
+        assert_eq!(on_stats.operators_evaluated, off_stats.operators_evaluated);
+        assert!(on_stats.tables_elided > 0, "this plan has fusable chains");
+        assert_eq!(off_stats.tables_elided, 0);
     }
 
     #[test]

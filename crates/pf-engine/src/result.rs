@@ -5,10 +5,23 @@
 //! relational result is the root operator's `iter|pos|item` table in the
 //! top-level scope; serialization walks the items in `pos` order, printing
 //! atomic values (space separated) and serializing node items to XML.
+//!
+//! Serialization **streams straight out of the root table's columns**: a
+//! [`QueryResult`] keeps the executor's [`Arc<Table>`] handle (plus a
+//! handle on each document store it references) and [`QueryResult::to_xml`] /
+//! [`QueryResult::write_xml`] walk the `pos`-ordered rows, writing node
+//! subtrees via [`pf_store::DocStore::write_subtree_xml`] — no
+//! item-value vector is ever built for serialization.  The classic
+//! [`QueryResult::items`] view is materialized lazily, only when it is
+//! actually asked for.  [`serialize_table`] is the free-standing streaming
+//! entry point for callers that hold a table and a registry themselves.
 
+use std::fmt;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
-use pf_relational::{Table, Value};
+use pf_relational::{Column, Table, Value};
+use pf_store::DocStore;
 
 use crate::error::{EngineError, EngineResult};
 use crate::registry::DocRegistry;
@@ -20,7 +33,8 @@ pub struct Timings {
     /// Parse + normalize + loop-lifting compilation ([`Duration::ZERO`]
     /// when the plan was served from the plan cache).
     pub compile: Duration,
-    /// Peephole optimization ([`Duration::ZERO`] on a plan-cache hit).
+    /// Peephole optimization and physical-plan compilation
+    /// ([`Duration::ZERO`] on a plan-cache hit).
     pub optimize: Duration,
     /// Plan execution (including result serialization inputs).
     pub execute: Duration,
@@ -38,53 +52,95 @@ impl Timings {
 }
 
 /// The result of a query.
+///
+/// Holds the root table behind the executor's [`Arc`] handle; the
+/// serialized form streams out of the columns on demand and the item
+/// vector is built lazily (see the module docs).
 #[derive(Debug, Clone)]
 pub struct QueryResult {
-    items: Vec<Value>,
-    xml: String,
+    table: Arc<Table>,
+    /// The document stores the result actually references, resolved when
+    /// the query finished (indexed by document id; unreferenced ids stay
+    /// `None`).  Node items resolve against these without touching the
+    /// registry lock again, and results that contain no nodes retain no
+    /// stores at all — dropping or reloading documents in the engine is
+    /// never blocked by an atomic-only result.
+    stores: Vec<Option<Arc<DocStore>>>,
+    /// Row permutation bringing the table into `pos` order (`None` when
+    /// the rows already are — the common case).
+    order: Option<Vec<usize>>,
+    /// The classic materialized item view, built on first use.
+    items: OnceLock<Vec<Value>>,
     timings: Timings,
 }
 
 impl QueryResult {
     /// Build a result from the root operator's table.
+    ///
+    /// Validates the result shape eagerly — the `pos`/`item` columns must
+    /// exist, positions must be naturals, and every node item must point
+    /// at a registered document — so the lazy accessors cannot fail later.
     pub fn from_table(
-        table: &Table,
+        table: Arc<Table>,
         registry: &DocRegistry,
         timings: Timings,
     ) -> EngineResult<Self> {
-        let pos_col = table.column("pos")?;
-        let item_col = table.column("item")?;
-        let mut rows: Vec<(u64, Value)> = (0..table.row_count())
-            .map(|row| Ok((pos_col.get(row).as_nat()?, item_col.get(row))))
-            .collect::<Result<Vec<_>, pf_relational::RelError>>()?;
-        rows.sort_by_key(|(pos, _)| *pos);
-        let items: Vec<Value> = rows.into_iter().map(|(_, v)| v).collect();
-        let xml = serialize_items(&items, registry)?;
+        let order = pos_order(&table)?;
+        let stores = resolve_stores(table.column("item")?, registry)?;
         Ok(QueryResult {
-            items,
-            xml,
+            table,
+            stores,
+            order,
+            items: OnceLock::new(),
             timings,
         })
     }
 
-    /// The result items in sequence order.
+    /// The result items in sequence order (materialized on first call).
     pub fn items(&self) -> &[Value] {
-        &self.items
+        self.items.get_or_init(|| {
+            let item_col = self
+                .table
+                .column("item")
+                .expect("item column validated at construction");
+            match &self.order {
+                None => item_col.iter_values().collect(),
+                Some(order) => order.iter().map(|&row| item_col.get(row)).collect(),
+            }
+        })
     }
 
     /// Number of items in the result sequence.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.table.row_count()
     }
 
     /// `true` for the empty sequence.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.table.row_count() == 0
+    }
+
+    /// The result table itself (one row per item, in table order).
+    pub fn table(&self) -> &Arc<Table> {
+        &self.table
     }
 
     /// The serialized result.
     pub fn to_xml(&self) -> String {
-        self.xml.clone()
+        let mut out = String::new();
+        self.write_xml(&mut out)
+            .expect("streaming into a String cannot fail");
+        out
+    }
+
+    /// Stream the serialized result into `out` without building any
+    /// intermediate item vector or string.
+    pub fn write_xml(&self, out: &mut impl fmt::Write) -> EngineResult<()> {
+        let item_col = self
+            .table
+            .column("item")
+            .expect("item column validated at construction");
+        write_rows(item_col, self.order.as_deref(), &self.stores, out)
     }
 
     /// Pipeline timings for this query.
@@ -93,36 +149,141 @@ impl QueryResult {
     }
 }
 
-/// Serialize a sequence of items: nodes as XML subtrees, atomics as their
-/// lexical form, with a single space between adjacent atomic values.
-fn serialize_items(items: &[Value], registry: &DocRegistry) -> EngineResult<String> {
-    let mut out = String::new();
+/// Serialize a result table straight out of its columns, in `pos` order:
+/// nodes as XML subtrees (streamed via
+/// [`pf_store::DocStore::write_subtree_xml`]), atomics as their lexical
+/// form, with a single space between adjacent atomic values.  No item
+/// vector is materialized.
+pub fn serialize_table(
+    table: &Table,
+    registry: &DocRegistry,
+    out: &mut impl fmt::Write,
+) -> EngineResult<()> {
+    let order = pos_order(table)?;
+    let item_col = table.column("item")?;
+    let stores = resolve_stores(item_col, registry)?;
+    write_rows(item_col, order.as_deref(), &stores, out)
+}
+
+/// The row permutation bringing `table` into `pos` order, or `None` when
+/// the rows already are.  Ties keep table order (stable sort), matching
+/// the materializing serializer this replaces.
+fn pos_order(table: &Table) -> EngineResult<Option<Vec<usize>>> {
+    fn sorted_order(keys: &[u64]) -> Option<Vec<usize>> {
+        if keys.windows(2).all(|w| w[0] <= w[1]) {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by_key(|&row| keys[row]);
+        Some(order)
+    }
+    let pos_col = table.column("pos")?;
+    match pos_col.as_nats() {
+        // The typed fast path sorts indices against the borrowed buffer.
+        Some(nats) => Ok(sorted_order(nats)),
+        None => {
+            let keys: Vec<u64> = (0..pos_col.len())
+                .map(|row| pos_col.get(row).as_nat())
+                .collect::<Result<_, pf_relational::RelError>>()?;
+            Ok(sorted_order(&keys))
+        }
+    }
+}
+
+/// Resolve every document store the item column references — done once at
+/// result construction, so the streaming serializer has no failure paths
+/// left and the result retains only the stores it actually needs.
+fn resolve_stores(
+    item_col: &Column,
+    registry: &DocRegistry,
+) -> EngineResult<Vec<Option<Arc<DocStore>>>> {
+    let mut stores: Vec<Option<Arc<DocStore>>> = Vec::new();
+    let mut resolve = |doc: u32| -> EngineResult<()> {
+        let idx = doc as usize;
+        if idx >= stores.len() {
+            stores.resize(idx + 1, None);
+        }
+        if stores[idx].is_none() {
+            stores[idx] = Some(
+                registry
+                    .store(doc)
+                    .ok_or_else(|| EngineError::msg(format!("unknown document id {doc}")))?,
+            );
+        }
+        Ok(())
+    };
+    if let Some(nodes) = item_col.as_nodes() {
+        for node in nodes {
+            resolve(node.doc)?;
+        }
+    } else if let Some(items) = item_col.as_items() {
+        for item in items {
+            if let Value::Node(node) = item {
+                resolve(node.doc)?;
+            }
+        }
+    }
+    // Other typed representations cannot contain nodes.
+    Ok(stores)
+}
+
+/// The shared streaming core: walk the item column in the given row
+/// order, writing nodes as XML and atomics space-separated.
+fn write_rows(
+    item_col: &Column,
+    order: Option<&[usize]>,
+    stores: &[Option<Arc<DocStore>>],
+    out: &mut impl fmt::Write,
+) -> EngineResult<()> {
     let mut previous_was_atomic = false;
-    for item in items {
+    let mut write_item = |item: &Value, out: &mut dyn fmt::Write| -> fmt::Result {
         match item {
             Value::Node(node) => {
-                let store = registry
-                    .store(node.doc)
-                    .ok_or_else(|| EngineError::msg(format!("unknown document id {}", node.doc)))?;
-                out.push_str(&store.subtree_to_xml(node.pre));
+                let store = stores[node.doc as usize]
+                    .as_ref()
+                    .expect("referenced stores resolved at construction");
+                store.write_subtree_xml(node.pre, out)?;
                 previous_was_atomic = false;
             }
             atomic => {
                 if previous_was_atomic {
-                    out.push(' ');
+                    out.write_char(' ')?;
                 }
-                out.push_str(&atomic.to_xdm_string());
+                out.write_str(&atomic.to_xdm_string())?;
                 previous_was_atomic = true;
             }
         }
-    }
-    Ok(out)
+        Ok(())
+    };
+    let result = match order {
+        None => {
+            // Fast path: no permutation, and `Node`/`Item` columns stream
+            // without per-row value clones.
+            if let Some(nodes) = item_col.as_nodes() {
+                nodes
+                    .iter()
+                    .try_for_each(|n| write_item(&Value::Node(*n), out))
+            } else if let Some(items) = item_col.as_items() {
+                items.iter().try_for_each(|item| write_item(item, out))
+            } else {
+                (0..item_col.len()).try_for_each(|row| write_item(&item_col.get(row), out))
+            }
+        }
+        Some(order) => order
+            .iter()
+            .try_for_each(|&row| write_item(&item_col.get(row), out)),
+    };
+    result.map_err(|_| EngineError::msg("serialization sink failed"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pf_relational::NodeRef;
+
+    fn result_of(table: Table, registry: &DocRegistry) -> QueryResult {
+        QueryResult::from_table(Arc::new(table), registry, Timings::default()).unwrap()
+    }
 
     #[test]
     fn serializes_atomics_with_spaces_and_nodes_inline() {
@@ -138,7 +299,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let result = QueryResult::from_table(&table, &registry, Timings::default()).unwrap();
+        let result = result_of(table, &registry);
         // pos order: 1 (int), 2 (node <y>), 3 ("z")
         assert_eq!(result.to_xml(), "1<y>7</y>z");
         assert_eq!(result.len(), 3);
@@ -149,9 +310,71 @@ mod tests {
     fn empty_result() {
         let registry = DocRegistry::new();
         let table = Table::iter_pos_item(vec![], vec![], vec![]).unwrap();
-        let result = QueryResult::from_table(&table, &registry, Timings::default()).unwrap();
+        let result = result_of(table, &registry);
         assert!(result.is_empty());
         assert_eq!(result.to_xml(), "");
+        assert!(result.items().is_empty());
+    }
+
+    #[test]
+    fn items_are_lazy_and_pos_ordered() {
+        let registry = DocRegistry::new();
+        let table = Table::iter_pos_item(
+            vec![1, 1, 1],
+            vec![3, 1, 2],
+            vec![Value::Int(30), Value::Int(10), Value::Int(20)],
+        )
+        .unwrap();
+        let result = result_of(table, &registry);
+        // Serialization never builds the item vector…
+        assert_eq!(result.to_xml(), "10 20 30");
+        assert!(result.items.get().is_none(), "to_xml materialized items");
+        // …which appears, in pos order, only when asked for.
+        assert_eq!(
+            result.items(),
+            &[Value::Int(10), Value::Int(20), Value::Int(30)]
+        );
+        assert!(result.items.get().is_some());
+    }
+
+    #[test]
+    fn write_xml_streams_into_any_sink() {
+        let registry = DocRegistry::new();
+        let table =
+            Table::iter_pos_item(vec![1, 1], vec![1, 2], vec![Value::Int(4), Value::Int(2)])
+                .unwrap();
+        let result = result_of(table, &registry);
+        let mut sink = String::new();
+        result.write_xml(&mut sink).unwrap();
+        assert_eq!(sink, "4 2");
+    }
+
+    #[test]
+    fn serialize_table_streams_without_a_query_result() {
+        let mut registry = DocRegistry::new();
+        registry.load_xml("d", "<x><y>7</y></x>").unwrap();
+        let table = Table::iter_pos_item(
+            vec![1, 1],
+            vec![2, 1],
+            vec![Value::Node(NodeRef::new(0, 2)), Value::Str("n".into())],
+        )
+        .unwrap();
+        let mut out = String::new();
+        serialize_table(&table, &registry, &mut out).unwrap();
+        assert_eq!(out, "n<y>7</y>");
+    }
+
+    #[test]
+    fn unknown_document_ids_fail_at_construction() {
+        let registry = DocRegistry::new();
+        let table =
+            Table::iter_pos_item(vec![1], vec![1], vec![Value::Node(NodeRef::new(9, 0))]).unwrap();
+        let err = QueryResult::from_table(Arc::new(table), &registry, Timings::default());
+        assert!(err.is_err());
+        assert!(err
+            .unwrap_err()
+            .to_string()
+            .contains("unknown document id 9"));
     }
 
     #[test]

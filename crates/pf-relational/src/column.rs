@@ -224,6 +224,22 @@ impl Column {
         }
     }
 
+    /// View as a slice of node references, if this is a `Node` column.
+    pub fn as_nodes(&self) -> Option<&[NodeRef]> {
+        match self {
+            Column::Node(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// View as a slice of values, if this is a polymorphic `Item` column.
+    pub fn as_items(&self) -> Option<&[Value]> {
+        match self {
+            Column::Item(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
     /// Gather: build a new column containing `rows[i]`-th elements.
     pub fn gather(&self, rows: &[usize]) -> Column {
         match self {

@@ -20,6 +20,22 @@ impl RelError {
             message: message.into(),
         }
     }
+
+    /// The canonical "unknown column" error, listing the schema the lookup
+    /// searched.  Every column lookup — [`crate::Table::column`] as well as
+    /// the fused pipeline kernels, which resolve columns against a virtual
+    /// schema that never materializes as a `Table` — reports misses through
+    /// this constructor, so the message (including the available-column
+    /// listing) is identical on the fused and unfused execution paths.
+    pub fn unknown_column<'a>(name: &str, available: impl Iterator<Item = &'a str>) -> Self {
+        let names: Vec<String> = available.map(|n| format!("`{n}`")).collect();
+        let schema = if names.is_empty() {
+            "no columns".to_string()
+        } else {
+            names.join(", ")
+        };
+        RelError::new(format!("unknown column `{name}` (available: {schema})"))
+    }
 }
 
 impl fmt::Display for RelError {

@@ -8,6 +8,7 @@
 pub mod aggregate;
 pub mod join;
 pub mod map;
+pub mod pipeline;
 pub mod project;
 pub mod rownum;
 pub mod select;
@@ -18,6 +19,7 @@ pub mod step;
 pub use aggregate::{aggregate_by, AggFunc};
 pub use join::{cross, equi_join, theta_join};
 pub use map::{map_binary, map_const, map_unary, BinaryOp, CmpOp, UnaryOp};
+pub use pipeline::{run_pipeline, FusedStep};
 pub use project::project;
 pub use rownum::row_number;
 pub use select::{select_by, select_eq, select_true};

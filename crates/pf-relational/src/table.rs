@@ -88,23 +88,8 @@ impl Table {
             .find(|(n, _)| n == name)
             .map(|(_, c)| c)
             .ok_or_else(|| {
-                RelError::new(format!(
-                    "unknown column `{name}` (available: {})",
-                    self.describe_schema()
-                ))
+                RelError::unknown_column(name, self.columns.iter().map(|(n, _)| n.as_str()))
             })
-    }
-
-    /// Human-readable schema description used in error messages.
-    fn describe_schema(&self) -> String {
-        if self.columns.is_empty() {
-            return "no columns".to_string();
-        }
-        self.columns
-            .iter()
-            .map(|(n, _)| format!("`{n}`"))
-            .collect::<Vec<_>>()
-            .join(", ")
     }
 
     /// All `(name, column)` pairs.

@@ -276,52 +276,65 @@ impl DocStore {
     /// Serialize the subtree rooted at `pre` back to XML text.
     pub fn subtree_to_xml(&self, pre: PreRank) -> String {
         let mut out = String::new();
-        self.write_subtree(pre, &mut out);
+        self.write_subtree_xml(pre, &mut out)
+            .expect("writing into a String cannot fail");
         out
     }
 
-    fn write_subtree(&self, pre: PreRank, out: &mut String) {
+    /// Stream the subtree rooted at `pre` as XML into any
+    /// [`std::fmt::Write`] sink — the serializer behind
+    /// [`DocStore::subtree_to_xml`], exposed so result serialization can
+    /// write straight out of the store without an intermediate string per
+    /// node.
+    pub fn write_subtree_xml<W: std::fmt::Write + ?Sized>(
+        &self,
+        pre: PreRank,
+        out: &mut W,
+    ) -> std::fmt::Result {
         match self.kind_of(pre) {
             NodeKindCode::Document => {
                 for c in self.children_of(pre) {
-                    self.write_subtree(c, out);
+                    self.write_subtree_xml(c, out)?;
                 }
             }
             NodeKindCode::Element => {
-                out.push('<');
-                out.push_str(self.tag_of(pre));
+                out.write_char('<')?;
+                out.write_str(self.tag_of(pre))?;
                 for i in self.attributes_of(pre) {
-                    out.push(' ');
-                    out.push_str(self.attr_name_of(i));
-                    out.push_str("=\"");
-                    out.push_str(&pf_xml::escape::escape_attribute(self.attr_value_of(i)));
-                    out.push('"');
+                    out.write_char(' ')?;
+                    out.write_str(self.attr_name_of(i))?;
+                    out.write_str("=\"")?;
+                    out.write_str(&pf_xml::escape::escape_attribute(self.attr_value_of(i)))?;
+                    out.write_char('"')?;
                 }
                 let children = self.children_of(pre);
                 if children.is_empty() {
-                    out.push_str("/>");
+                    out.write_str("/>")?;
                 } else {
-                    out.push('>');
+                    out.write_char('>')?;
                     for c in children {
-                        self.write_subtree(c, out);
+                        self.write_subtree_xml(c, out)?;
                     }
-                    out.push_str("</");
-                    out.push_str(self.tag_of(pre));
-                    out.push('>');
+                    out.write_str("</")?;
+                    out.write_str(self.tag_of(pre))?;
+                    out.write_char('>')?;
                 }
             }
-            NodeKindCode::Text => out.push_str(&pf_xml::escape::escape_text(self.content_of(pre))),
+            NodeKindCode::Text => {
+                out.write_str(&pf_xml::escape::escape_text(self.content_of(pre)))?
+            }
             NodeKindCode::Comment => {
-                out.push_str("<!--");
-                out.push_str(self.content_of(pre));
-                out.push_str("-->");
+                out.write_str("<!--")?;
+                out.write_str(self.content_of(pre))?;
+                out.write_str("-->")?;
             }
             NodeKindCode::Pi => {
-                out.push_str("<?");
-                out.push_str(self.content_of(pre));
-                out.push_str("?>");
+                out.write_str("<?")?;
+                out.write_str(self.content_of(pre))?;
+                out.write_str("?>")?;
             }
         }
+        Ok(())
     }
 }
 

@@ -2,14 +2,18 @@
 # Run the executor profiles over XMark Q1-Q20 and emit the machine-readable
 # summaries:
 #
-#   BENCH_pr2.json — memory profile (peak resident cells vs retain-all)
+#   BENCH_pr2.json — memory profile (peak resident cells vs retain-all;
+#                    fusion pinned off — the unfused baseline)
 #   BENCH_pr3.json — thread-scaling profile of the parallel executor
 #                    (wall time at 1/2/4/8 threads; see PF_SCALING_THREADS
 #                    and PF_SCALING_RUNS)
+#   BENCH_pr4.json — fusion profile (fused vs unfused physical plans:
+#                    wall time, tables elided, peak cells; see
+#                    PF_FUSION_RUNS)
 #
 #   ./scripts/bench.sh                       # scale 0.05, default outputs
 #   ./scripts/bench.sh 0.2                   # custom scale factor
-#   ./scripts/bench.sh 0.2 mem.json scal.json  # custom scale and outputs
+#   ./scripts/bench.sh 0.2 mem.json scal.json fus.json  # custom outputs
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,6 +21,9 @@ cd "$(dirname "$0")/.."
 scale="${1:-0.05}"
 mem_out="${2:-BENCH_pr2.json}"
 scaling_out="${3:-BENCH_pr3.json}"
+fusion_out="${4:-BENCH_pr4.json}"
 
 cargo run --release -p pf-bench --bin mem_profile -- "$scale" "$mem_out"
 cargo run --release -p pf-bench --bin thread_scaling -- "$scale" "$scaling_out"
+# Threads pinned to 1 so the peak-cell numbers are schedule-independent.
+cargo run --release -p pf-bench --bin fusion_profile -- "$scale" "$fusion_out" 1

@@ -1,0 +1,145 @@
+//! Fused vs. unfused physical plans must be indistinguishable.
+//!
+//! Operator fusion regroups the logical DAG into pipelines, but every
+//! fused kernel reproduces the unfused operator semantics exactly — same
+//! values, same row order, same constructed documents.  This suite pins
+//! that down end to end: all 20 XMark queries plus a constructor-heavy
+//! query run with fusion on and off, at 1 and 4 executor threads, and
+//! every configuration must serialize **byte-identically**.  The fused
+//! runs must also actually fuse: `tables_elided` has to be positive on at
+//! least one fusable query (in aggregate it eliminates a large fraction
+//! of all intermediate tables — see `BENCH_pr4.json`).
+
+use std::sync::Arc;
+
+use pathfinder::engine::{EngineOptions, Pathfinder};
+use pathfinder::xmark::{generate, queries, GeneratorConfig};
+
+/// One engine per (fusion, threads) configuration, all sharing the parsed
+/// document.
+fn engines(xml: &str) -> Vec<((bool, usize), Pathfinder)> {
+    let doc = Arc::new(pathfinder::xml::parse(xml).expect("generated XML is well-formed"));
+    [(true, 1), (true, 4), (false, 1), (false, 4)]
+        .into_iter()
+        .map(|(fusion, threads)| {
+            let mut pf = Pathfinder::with_options(EngineOptions {
+                fusion,
+                threads,
+                ..EngineOptions::default()
+            });
+            pf.load_parsed("auction.xml", &doc).unwrap();
+            ((fusion, threads), pf)
+        })
+        .collect()
+}
+
+#[test]
+fn all_xmark_queries_agree_between_fused_and_unfused_runs() {
+    let xml = generate(&GeneratorConfig {
+        scale: 0.004,
+        seed: 20050831,
+    });
+    let mut engines = engines(&xml);
+    let mut total_elided = 0usize;
+
+    for q in queries() {
+        let mut reference: Option<String> = None;
+        for ((fusion, threads), pf) in &mut engines {
+            let (result, stats) = pf.query_profiled(q.text).unwrap_or_else(|e| {
+                panic!(
+                    "Q{} failed at fusion = {fusion}, threads = {threads}: {e}",
+                    q.id
+                )
+            });
+            let xml_out = result.to_xml();
+            match &reference {
+                None => reference = Some(xml_out),
+                Some(expected) => assert_eq!(
+                    *expected, xml_out,
+                    "Q{}: serialization diverges at fusion = {fusion}, threads = {threads}",
+                    q.id
+                ),
+            }
+            if *fusion {
+                total_elided += stats.tables_elided;
+            } else {
+                assert_eq!(
+                    stats.tables_elided, 0,
+                    "Q{}: unfused run reported elided tables",
+                    q.id
+                );
+                assert_eq!(stats.fused_ops, 0);
+            }
+        }
+    }
+    assert!(
+        total_elided > 0,
+        "fusion never elided a table across the whole XMark set"
+    );
+}
+
+#[test]
+fn constructor_heavy_query_agrees_between_fused_and_unfused_runs() {
+    // Node constructors are pinned pipeline breakers: their transient
+    // document ids must come out identically whether the surrounding pure
+    // chains run fused or not, at any thread count.
+    let xml = generate(&GeneratorConfig {
+        scale: 0.004,
+        seed: 20050831,
+    });
+    let query = r#"for $p in doc("auction.xml")/site/people/person
+return element card {
+    attribute id { $p/@id },
+    element who { $p/name/text() },
+    element mail { element inner { $p/emailaddress/text() } },
+    text { "person-card" }
+}"#;
+    let mut reference: Option<String> = None;
+    for ((fusion, threads), mut pf) in engines(&xml) {
+        let result = pf
+            .query(query)
+            .unwrap_or_else(|e| panic!("failed at fusion = {fusion}, threads = {threads}: {e}"));
+        assert!(!result.is_empty(), "constructor query produced no items");
+        let xml_out = result.to_xml();
+        match &reference {
+            None => reference = Some(xml_out),
+            Some(expected) => assert_eq!(
+                *expected, xml_out,
+                "constructor query diverges at fusion = {fusion}, threads = {threads}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn fused_stats_totals_are_schedule_independent() {
+    // The fusion savings are a property of the physical plan, not of the
+    // schedule: 1-thread and 4-thread fused runs must report identical
+    // fused_ops / tables_elided / operators_evaluated on every query.
+    let xml = generate(&GeneratorConfig {
+        scale: 0.003,
+        seed: 7,
+    });
+    let mut engines = engines(&xml);
+    for q in queries() {
+        let mut fused_totals = Vec::new();
+        for ((fusion, _), pf) in &mut engines {
+            if !*fusion {
+                continue;
+            }
+            let (_, stats) = pf
+                .query_profiled(q.text)
+                .unwrap_or_else(|e| panic!("Q{} failed: {e}", q.id));
+            fused_totals.push((
+                stats.fused_ops,
+                stats.tables_elided,
+                stats.operators_evaluated,
+            ));
+        }
+        assert_eq!(
+            fused_totals[0], fused_totals[1],
+            "Q{}: fusion totals differ between thread counts",
+            q.id
+        );
+    }
+}

@@ -9,6 +9,8 @@
 //! so the comparison exercises exactly the executor path (including
 //! last-use eviction on the much larger unoptimized DAGs).
 
+use std::sync::Arc;
+
 use pathfinder::algebra::optimize;
 use pathfinder::engine::{DocRegistry, Executor, QueryResult, Timings};
 use pathfinder::xmark::{generate, queries, GeneratorConfig};
@@ -55,9 +57,9 @@ fn optimized_and_unoptimized_plans_agree_on_all_xmark_queries() {
         // …and identical serialized content (constructed nodes get fresh
         // transient document ids per run, so the tables are compared through
         // the serializer, which resolves node references).
-        let raw = QueryResult::from_table(&raw_table, &registry, Timings::default())
+        let raw = QueryResult::from_table(Arc::new(raw_table), &registry, Timings::default())
             .unwrap_or_else(|e| panic!("Q{} unoptimized serialization failed: {e}", q.id));
-        let opt = QueryResult::from_table(&opt_table, &registry, Timings::default())
+        let opt = QueryResult::from_table(Arc::new(opt_table), &registry, Timings::default())
             .unwrap_or_else(|e| panic!("Q{} optimized serialization failed: {e}", q.id));
         assert_eq!(
             raw.to_xml(),
@@ -91,7 +93,7 @@ fn eviction_does_not_change_results_on_shared_dags() {
         "peak exceeds the retain-everything total"
     );
     let (again, _) = Executor::new(&registry).run_with_stats(&plan).unwrap();
-    let a = QueryResult::from_table(&table, &registry, Timings::default()).unwrap();
-    let b = QueryResult::from_table(&again, &registry, Timings::default()).unwrap();
+    let a = QueryResult::from_table(Arc::new(table), &registry, Timings::default()).unwrap();
+    let b = QueryResult::from_table(Arc::new(again), &registry, Timings::default()).unwrap();
     assert_eq!(a.to_xml(), b.to_xml());
 }
