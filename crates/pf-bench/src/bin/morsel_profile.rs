@@ -1,0 +1,318 @@
+//! Morsel-parallelism profile — per-operator wall times for XMark Q1–Q20
+//! at 1/2/4/8 worker threads on the persistent pool, plus a
+//! constructor-scaling check.
+//!
+//! For every thread count the binary runs each query through
+//! `query_op_profiled` (after a warm-up, so the plan cache is hot) and
+//! accumulates the per-operator-kind execution times of the best run —
+//! this is where intra-operator parallelism shows up: with morsels
+//! enabled, the `step` / `rownum` / `sort` / `pipeline` rows shrink as
+//! threads increase (on a multi-core host; the JSON records
+//! `available_parallelism`, so a flat profile on a one-core box explains
+//! itself).  Every run's serialization is compared against the thread=1
+//! reference, and the engine is asserted to have spawned exactly one
+//! worker pool however many queries it ran.
+//!
+//! The binary also measures a constructor-heavy query at N and 4N
+//! iterations: with the one-pass content index the ratio is ~4 (linear);
+//! the old per-iteration rescan would show ~16 (quadratic).
+//!
+//! ```text
+//! cargo run --release -p pf-bench --bin morsel_profile -- [scale] [output.json]
+//! cargo run --release -p pf-bench --bin morsel_profile -- 0.05 BENCH_pr5.json
+//! ```
+//!
+//! Environment knobs: `PF_MORSEL_THREADS` (comma-separated thread counts,
+//! default `1,2,4,8`), `PF_MORSEL_RUNS` (timed runs per cell, best kept;
+//! default 2), and `PF_MORSEL` (morsel size; the engine default applies
+//! when unset).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pf_bench::{json_string, seconds, time, SEED};
+use pf_engine::{EngineOptions, Pathfinder};
+use pf_xmark::{generate, queries, GeneratorConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.05);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_pr5.json".to_string());
+    let threads = thread_counts();
+    let runs = runs_per_cell();
+
+    println!("# Morsel-parallelism profile — XMark Q1–Q20 at scale {scale}");
+    let xml = generate(&GeneratorConfig { scale, seed: SEED });
+    let doc = Arc::new(pf_xml::parse(&xml).expect("generated document is well-formed"));
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("# document: {} bytes of XML", xml.len());
+    println!("# host parallelism: {cores} core(s); best of {runs} run(s) per cell");
+
+    // One engine per thread count, all sharing the parsed document.
+    let mut engines: Vec<Pathfinder> = threads
+        .iter()
+        .map(|&n| {
+            let mut pf = Pathfinder::with_options(EngineOptions {
+                threads: n,
+                ..EngineOptions::default()
+            });
+            pf.load_parsed("auction.xml", &doc)
+                .expect("shredding cannot fail on a parsed document");
+            pf
+        })
+        .collect();
+
+    // kind → wall seconds per thread count (summed over queries, best run
+    // per query), plus node/row counts (identical at every thread count).
+    let mut per_op: BTreeMap<&'static str, (Vec<f64>, usize, usize)> = BTreeMap::new();
+    let mut totals: Vec<Duration> = vec![Duration::ZERO; threads.len()];
+
+    for q in queries() {
+        let mut reference: Option<String> = None;
+        for (t_idx, &t) in threads.iter().enumerate() {
+            let engine = &mut engines[t_idx];
+            let warm = engine
+                .query(q.text)
+                .unwrap_or_else(|e| panic!("Q{} failed at t={t}: {e}", q.id));
+            match &reference {
+                None => reference = Some(warm.to_xml()),
+                Some(expected) => assert_eq!(
+                    *expected,
+                    warm.to_xml(),
+                    "Q{}: results diverge at t={t}",
+                    q.id
+                ),
+            }
+            let mut best: Option<(Duration, pf_engine::OpProfile)> = None;
+            for _ in 0..runs {
+                let (outcome, wall) = time(|| engine.query_op_profiled(q.text));
+                let (result, _, profile) =
+                    outcome.unwrap_or_else(|e| panic!("Q{} failed at t={t}: {e}", q.id));
+                assert_eq!(
+                    reference.as_deref(),
+                    Some(result.to_xml().as_str()),
+                    "Q{}: timed run diverged at t={t}",
+                    q.id
+                );
+                if best.as_ref().is_none_or(|(w, _)| wall < *w) {
+                    best = Some((wall, profile));
+                }
+            }
+            let (wall, profile) = best.expect("at least one timed run");
+            totals[t_idx] += wall;
+            for entry in &profile.entries {
+                let slot = per_op
+                    .entry(entry.kind)
+                    .or_insert_with(|| (vec![0.0; threads.len()], 0, 0));
+                slot.0[t_idx] += entry.total.as_secs_f64();
+                if t_idx == 0 {
+                    slot.1 += entry.nodes;
+                    slot.2 += entry.rows;
+                }
+            }
+        }
+    }
+
+    // Every engine that ran parallel queries spawned exactly one pool.
+    for (engine, &t) in engines.iter().zip(&threads) {
+        let expected = usize::from(t > 1);
+        assert_eq!(
+            engine.worker_pool_spawns(),
+            expected,
+            "t={t}: the pool must be created once per engine, not per query"
+        );
+    }
+
+    let header: Vec<String> = threads
+        .iter()
+        .map(|n| format!("{:>10}", format!("t={n} (s)")))
+        .collect();
+    println!();
+    println!(
+        "{:>14} | {} | {:>6} | {:>9}",
+        "operator",
+        header.join(" | "),
+        "nodes",
+        "rows"
+    );
+    println!("{}", "-".repeat(17 + 13 * threads.len() + 22));
+    for (kind, (walls, nodes, rows)) in &per_op {
+        let row: Vec<String> = walls
+            .iter()
+            .map(|w| format!("{:>10}", format!("{w:.6}")))
+            .collect();
+        println!("{kind:>14} | {} | {nodes:>6} | {rows:>9}", row.join(" | "));
+    }
+    println!("{}", "-".repeat(17 + 13 * threads.len() + 22));
+    let total_row: Vec<String> = totals
+        .iter()
+        .map(|d| format!("{:>10}", seconds(*d)))
+        .collect();
+    println!("{:>14} | {} |", "total wall", total_row.join(" | "));
+
+    // Constructor scaling: linear in the iteration count since the
+    // one-pass content index replaced the per-iteration rescan.
+    let small = 2000usize;
+    let large = 4 * small;
+    let t_small = constructor_time(small);
+    let t_large = constructor_time(large);
+    let ratio = t_large.as_secs_f64() / t_small.as_secs_f64().max(f64::EPSILON);
+    println!(
+        "\n# constructor scaling: {small} iters {} → {large} iters {} ({ratio:.2}x; \
+         ~4 = linear, ~16 = quadratic)",
+        seconds(t_small),
+        seconds(t_large)
+    );
+    assert!(
+        ratio < 10.0,
+        "constructor time grows super-linearly ({ratio:.2}x for 4x the iterations)"
+    );
+
+    let json = render_json(
+        scale,
+        xml.len(),
+        cores,
+        runs,
+        &threads,
+        &per_op,
+        &totals,
+        (small, t_small, large, t_large, ratio),
+    );
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("# wrote {out_path}");
+}
+
+/// Best-of-3 wall time of a constructor query over `n` iterations.
+fn constructor_time(n: usize) -> Duration {
+    let mut xml = String::with_capacity(n * 16 + 8);
+    xml.push_str("<r>");
+    for i in 0..n {
+        let _ = write!(xml, "<x>{i}</x>");
+    }
+    xml.push_str("</r>");
+    let mut pf = Pathfinder::new();
+    pf.load_document("c.xml", &xml).expect("well-formed");
+    let q = "for $x in fn:doc(\"c.xml\")//x return element e { $x/text() }";
+    let warm = pf.query(q).expect("constructor query");
+    assert_eq!(warm.len(), n);
+    (0..3)
+        .map(|_| time(|| pf.query(q).expect("constructor query")).1)
+        .min()
+        .expect("three runs")
+}
+
+/// Thread counts to profile, honouring `PF_MORSEL_THREADS`.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("PF_MORSEL_THREADS") {
+        Ok(spec) => {
+            let counts: Vec<usize> = spec
+                .split(',')
+                .filter_map(|s| s.trim().parse::<usize>().ok())
+                .filter(|n| *n > 0)
+                .collect();
+            if counts.is_empty() {
+                vec![1, 2, 4, 8]
+            } else {
+                counts
+            }
+        }
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// Timed runs per (query, thread count) cell, honouring `PF_MORSEL_RUNS`.
+fn runs_per_cell() -> usize {
+    std::env::var("PF_MORSEL_RUNS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(2)
+}
+
+/// Hand-rolled JSON rendering (the workspace deliberately has no serde).
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    scale: f64,
+    xml_bytes: usize,
+    cores: usize,
+    runs: usize,
+    threads: &[usize],
+    per_op: &BTreeMap<&'static str, (Vec<f64>, usize, usize)>,
+    totals: &[Duration],
+    constructor: (usize, Duration, usize, Duration, f64),
+) -> String {
+    let join_f64 = |values: &[f64]| {
+        values
+            .iter()
+            .map(|v| format!("{v:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"morsel_profile\",");
+    let _ = writeln!(out, "  \"scale\": {scale},");
+    let _ = writeln!(out, "  \"xml_bytes\": {xml_bytes},");
+    let _ = writeln!(out, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(out, "  \"runs_per_cell\": {runs},");
+    let _ = writeln!(out, "  \"default_morsel_rows\": {},", {
+        let rows = pf_engine::default_morsel_rows();
+        if rows == usize::MAX {
+            "\"inf\"".to_string()
+        } else {
+            rows.to_string()
+        }
+    });
+    let _ = writeln!(
+        out,
+        "  \"threads\": [{}],",
+        threads
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let total_seconds: Vec<f64> = totals.iter().map(Duration::as_secs_f64).collect();
+    let _ = writeln!(
+        out,
+        "  \"total_wall_seconds\": [{}],",
+        join_f64(&total_seconds)
+    );
+    out.push_str("  \"operators\": [\n");
+    for (i, (kind, (walls, nodes, rows))) in per_op.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"kind\": {}, \"nodes\": {nodes}, \"rows\": {rows}, \
+             \"wall_seconds\": [{}]}}",
+            json_string(kind),
+            join_f64(walls)
+        );
+        out.push_str(if i + 1 < per_op.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let (small, t_small, large, t_large, ratio) = constructor;
+    let _ = writeln!(out, "  \"constructor_scaling\": {{");
+    let _ = writeln!(out, "    \"iterations\": [{small}, {large}],");
+    let _ = writeln!(
+        out,
+        "    \"wall_seconds\": [{:.6}, {:.6}],",
+        t_small.as_secs_f64(),
+        t_large.as_secs_f64()
+    );
+    let _ = writeln!(out, "    \"ratio\": {ratio:.3},");
+    let _ = writeln!(
+        out,
+        "    \"note\": \"4x iterations; ~4 = linear (fixed), ~16 = quadratic (old gather)\""
+    );
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+    out
+}

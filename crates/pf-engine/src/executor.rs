@@ -47,20 +47,22 @@
 //! no longer rescans the live slots after every operator.  Operators are
 //! borrowed from the plan, never cloned.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::num::NonZeroUsize;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::ops::Range;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use pf_algebra::{
     AlgOp, OpId, PhysKind, PhysNode, PhysNodeId, PhysicalBooks, PhysicalPlan, Plan, SortSpec,
 };
-use pf_relational::ops::{self, BinaryOp, HashKey};
-use pf_relational::{Column, NodeRef, Table, Value};
-use pf_store::{DocStore, NodeKindCode};
+use pf_relational::ops::{self, BinaryOp, SortKeys};
+use pf_relational::{Column, NodeRef, RelResult, Table, Value};
+use pf_store::{Axis, DocStore, NodeKindCode, NodeTest};
 use pf_xml::{Attribute, DocumentBuilder};
 
 use crate::error::{EngineError, EngineResult};
+use crate::pool::{QuerySession, WorkerPool};
 use crate::registry::DocRegistry;
 
 /// Marker prefix used to smuggle constructed attributes through the `item`
@@ -148,6 +150,118 @@ fn fusion_flag(value: Option<&str>) -> bool {
             "0" | "false" | "off" | "no"
         ),
         None => true,
+    }
+}
+
+/// Default morsel size (input rows per partitioned-operator chunk) when
+/// neither `EngineOptions::morsel_rows` nor `PF_MORSEL` says otherwise.
+pub const DEFAULT_MORSEL_ROWS: usize = 4096;
+
+/// The morsel size used when none is requested explicitly: the `PF_MORSEL`
+/// environment variable if set (`morsel_flag` syntax), otherwise
+/// [`DEFAULT_MORSEL_ROWS`].
+pub fn default_morsel_rows() -> usize {
+    morsel_flag(std::env::var("PF_MORSEL").ok().as_deref())
+}
+
+/// Parse a `PF_MORSEL`-style setting: a positive integer is the morsel
+/// size in input rows; `off`, `none`, `inf` or `max` disable
+/// intra-operator partitioning entirely (one infinite morsel); anything
+/// else (including an unset variable or `0`) selects
+/// [`DEFAULT_MORSEL_ROWS`] — `0` consistently means "use the default" for
+/// this knob, in the environment variable, `EngineOptions::morsel_rows`
+/// and [`Executor::with_morsel_rows`] alike.
+fn morsel_flag(value: Option<&str>) -> usize {
+    match value {
+        Some(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "inf" | "max" => usize::MAX,
+            "0" => DEFAULT_MORSEL_ROWS,
+            trimmed => trimmed.parse::<usize>().unwrap_or(DEFAULT_MORSEL_ROWS),
+        },
+        None => DEFAULT_MORSEL_ROWS,
+    }
+}
+
+/// Per-operator-kind wall-clock accounting of one plan execution, collected
+/// when [`Executor::with_op_profile`] asks for it (the `morsel_profile`
+/// bench bin reports these at several thread counts).  Unlike [`ExecStats`],
+/// timings are inherently schedule-dependent; the *shape* (kinds, node and
+/// row counts) is not.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpProfile {
+    /// One entry per operator kind that ran, sorted by kind name.
+    pub entries: Vec<OpTiming>,
+}
+
+/// Accumulated timing of one operator kind (see [`OpProfile`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpTiming {
+    /// Operator kind (`"step"`, `"rownum"`, `"pipeline"`, …).
+    pub kind: &'static str,
+    /// Physical nodes of this kind evaluated.
+    pub nodes: usize,
+    /// Output rows those nodes produced.
+    pub rows: usize,
+    /// Total wall time spent evaluating them (summed across threads).
+    pub total: Duration,
+}
+
+/// Accumulator behind [`OpProfile`].
+type OpTimes = HashMap<&'static str, (usize, usize, Duration)>;
+
+fn record_op_time(times: &mut OpTimes, kind: &'static str, rows: usize, elapsed: Duration) {
+    let entry = times.entry(kind).or_insert((0, 0, Duration::ZERO));
+    entry.0 += 1;
+    entry.1 += rows;
+    entry.2 += elapsed;
+}
+
+fn finish_profile(times: Option<OpTimes>) -> OpProfile {
+    let mut entries: Vec<OpTiming> = times
+        .unwrap_or_default()
+        .into_iter()
+        .map(|(kind, (nodes, rows, total))| OpTiming {
+            kind,
+            nodes,
+            rows,
+            total,
+        })
+        .collect();
+    entries.sort_by_key(|e| e.kind);
+    OpProfile { entries }
+}
+
+/// The profile key of one physical node.
+fn node_kind(plan: &Plan, node: &PhysNode) -> &'static str {
+    match &node.kind {
+        PhysKind::Pipeline { .. } => "pipeline",
+        PhysKind::Breaker => match plan.op(node.output) {
+            AlgOp::Lit { .. } => "lit",
+            AlgOp::Doc { .. } => "doc",
+            AlgOp::Project { .. } => "project",
+            AlgOp::Select { .. } => "select",
+            AlgOp::SelectEq { .. } => "select_eq",
+            AlgOp::Distinct { .. } => "distinct",
+            AlgOp::Union { .. } => "union",
+            AlgOp::Difference { .. } => "difference",
+            AlgOp::EquiJoin { .. } => "equi_join",
+            AlgOp::ThetaJoin { .. } => "theta_join",
+            AlgOp::Cross { .. } => "cross",
+            AlgOp::RowNum { .. } => "rownum",
+            AlgOp::BinaryMap { .. } => "binary_map",
+            AlgOp::UnaryMap { .. } => "unary_map",
+            AlgOp::Attach { .. } => "attach",
+            AlgOp::Aggregate { .. } => "aggregate",
+            AlgOp::Step { .. } => "step",
+            AlgOp::DocOrder { .. } => "doc_order",
+            AlgOp::FnData { .. } => "fn_data",
+            AlgOp::FnRoot { .. } => "fn_root",
+            AlgOp::Ebv { .. } => "ebv",
+            AlgOp::ElemConstruct { .. } => "elem_construct",
+            AlgOp::AttrConstruct { .. } => "attr_construct",
+            AlgOp::TextConstruct { .. } => "text_construct",
+            AlgOp::Sort { .. } => "sort",
+        },
     }
 }
 
@@ -271,6 +385,47 @@ impl<'a> StoreCache<'a> {
     }
 }
 
+/// The content rows of a constructor operator, grouped by iteration in
+/// **one pass** and sorted by `pos` within each group.
+///
+/// The old per-iteration gather rescanned the whole content table for
+/// every loop row, making constructor-heavy queries O(iterations × rows);
+/// this index costs one scan plus one per-group sort, and
+/// [`ContentIndex::content_of`] is a hash lookup.
+struct ContentIndex {
+    groups: HashMap<u64, Vec<Value>>,
+}
+
+impl ContentIndex {
+    fn build(content: &Table) -> EngineResult<ContentIndex> {
+        let iter_col = content.column("iter")?;
+        let pos_col = content.column("pos")?;
+        let item_col = content.column("item")?;
+        let mut keyed: HashMap<u64, Vec<(u64, Value)>> = HashMap::new();
+        for row in 0..content.row_count() {
+            keyed
+                .entry(iter_col.get(row).as_nat()?)
+                .or_default()
+                .push((pos_col.get(row).as_nat()?, item_col.get(row)));
+        }
+        let groups = keyed
+            .into_iter()
+            .map(|(iter, mut rows)| {
+                // Stable by pos, like the gather this replaces: equal
+                // positions keep table order.
+                rows.sort_by_key(|(pos, _)| *pos);
+                (iter, rows.into_iter().map(|(_, v)| v).collect())
+            })
+            .collect();
+        Ok(ContentIndex { groups })
+    }
+
+    /// The content values of `iter`, in `pos` order.
+    fn content_of(&self, iter: u64) -> &[Value] {
+        self.groups.get(&iter).map_or(&[], Vec::as_slice)
+    }
+}
+
 /// Account one published node result into the running statistics.
 ///
 /// Shared by the sequential and parallel paths so the work totals are
@@ -295,10 +450,6 @@ struct ParState {
     /// Remaining consumer edges per published result, by [`OpId`] (evict
     /// when 0).
     remaining: Vec<usize>,
-    /// Ready *pure* nodes, by node id — node ids are topological
-    /// positions, so claiming the smallest id first approximates the
-    /// sequential executor's memory-friendly order.
-    ready: BinaryHeap<Reverse<PhysNodeId>>,
     /// Index of the next pinned node (into `ParCtx::pinned_order`).
     next_pinned: usize,
     /// Nodes published so far.
@@ -306,14 +457,24 @@ struct ParState {
     stats: ExecStats,
     resident_rows: usize,
     ledger: CellLedger,
+    op_times: Option<OpTimes>,
     error: Option<EngineError>,
 }
 
 /// Immutable context of one parallel run.
+///
+/// Ready *pure* nodes are streamed to the worker pool as **node jobs**
+/// ([`ParCtx::spawn_node`]); pinned nodes are claimed by the coordinator in
+/// plan order.  There is no per-query thread: the persistent pool's
+/// workers pull node jobs (and the morsel jobs partitioned operators
+/// submit) from one queue pair, and any thread that has to wait — the
+/// coordinator for a pinned input, a morsel submitter for its chunks —
+/// helps execute queued jobs instead of blocking.
 struct ParCtx<'e, 'p> {
     exec: &'e Executor<'e>,
     plan: &'p Plan,
     physical: &'p PhysicalPlan,
+    pool: Arc<WorkerPool>,
     /// Pinned nodes in topological order.
     pinned_order: Vec<PhysNodeId>,
     /// `true` per node if it must run on the coordinator.
@@ -321,7 +482,6 @@ struct ParCtx<'e, 'p> {
     /// Consumer edges (inverse adjacency) per node.
     consumers: Vec<Vec<PhysNodeId>>,
     state: Mutex<ParState>,
-    wake: Condvar,
 }
 
 impl ParCtx<'_, '_> {
@@ -330,26 +490,39 @@ impl ParCtx<'_, '_> {
         state.error.is_some() || state.completed == self.physical.nodes().len()
     }
 
-    /// Work loop run by every thread.  Only the coordinator claims pinned
-    /// nodes (strictly in plan order); everyone claims pure ready nodes —
-    /// breakers and whole fused pipelines alike are single work units.
-    fn work(&self, coordinator: bool) {
-        let mut state = self.state.lock().expect("scheduler lock poisoned");
-        loop {
-            if self.finished(&state) {
+    /// The next pinned node the coordinator may run, if its inputs are in.
+    fn claim_pinned(&self, state: &mut ParState) -> Option<PhysNodeId> {
+        let &id = self.pinned_order.get(state.next_pinned)?;
+        if state.waiting[id] == 0 {
+            state.next_pinned += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    /// Submit node `id` to the pool (called when its inputs are complete).
+    fn spawn_node<'s>(&'s self, session: &'s QuerySession, id: PhysNodeId) {
+        // SAFETY: the session is drained before `self` (and the session
+        // itself) go out of scope in `execute_parallel`, so the borrows
+        // this job captures outlive every possible execution of it.
+        unsafe {
+            session.submit(Box::new(move || self.run_node(session, id)));
+        }
+    }
+
+    /// Evaluate one ready node and publish its result — the body of every
+    /// node job, also run inline by the coordinator for pinned nodes.
+    fn run_node(&self, session: &QuerySession, node_id: PhysNodeId) {
+        let node = &self.physical.nodes()[node_id];
+        let gathered: Vec<(OpId, Arc<Table>)> = {
+            let state = self.state.lock().expect("scheduler lock poisoned");
+            if state.error.is_some() {
+                // A sibling already failed; don't start new work (the
+                // queued jobs drain as no-ops).
                 return;
             }
-            let claimed = self.claim(&mut state, coordinator);
-            let Some(node_id) = claimed else {
-                state = self
-                    .wake
-                    .wait(state)
-                    .expect("scheduler lock poisoned during wait");
-                continue;
-            };
-            let node = &self.physical.nodes()[node_id];
-            let gathered: Vec<(OpId, Arc<Table>)> = node
-                .inputs
+            node.inputs
                 .iter()
                 .map(|&input| {
                     let table = state.slots[input]
@@ -357,55 +530,62 @@ impl ParCtx<'_, '_> {
                         .expect("ready node with unpublished input");
                     (input, table)
                 })
-                .collect();
-            drop(state);
-            // A panicking operator must not strand its peers: without the
-            // catch, the panicking thread would die before publishing or
-            // notifying and every other thread would wait on the condvar
-            // forever (the sequential path propagates panics; here they
-            // surface as an engine error instead).
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.exec
-                    .eval_node(self.plan, node, &Inputs::Gathered(&gathered))
-            }))
-            .unwrap_or_else(|payload| {
-                let message = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".into());
-                Err(EngineError::msg(format!("operator panicked: {message}")))
-            });
-            drop(gathered);
-            state = self.state.lock().expect("scheduler lock poisoned");
+                .collect()
+        };
+        let started = self.exec.profile_ops.then(Instant::now);
+        // A panicking operator must not strand its peers: without the
+        // catch, the panicking thread would die before publishing and
+        // every other thread would wait forever (the sequential path
+        // propagates panics; here they surface as an engine error).
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.exec
+                .eval_node(self.plan, node, &Inputs::Gathered(&gathered))
+        }))
+        .unwrap_or_else(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(EngineError::msg(format!("operator panicked: {message}")))
+        });
+        let elapsed = started.map(|s| s.elapsed());
+        drop(gathered);
+        let newly_ready = {
+            let mut state = self.state.lock().expect("scheduler lock poisoned");
             match outcome {
-                Ok(table) => self.publish(&mut state, node_id, table),
+                Ok(table) => {
+                    if let (Some(times), Some(elapsed)) = (&mut state.op_times, elapsed) {
+                        record_op_time(
+                            times,
+                            node_kind(self.plan, node),
+                            table.row_count(),
+                            elapsed,
+                        );
+                    }
+                    self.publish(&mut state, node_id, table)
+                }
                 Err(e) => {
                     // First failure wins; everyone drains on the flag.
                     state.error.get_or_insert(e);
-                    self.wake.notify_all();
+                    Vec::new()
                 }
             }
+        };
+        for id in newly_ready {
+            self.spawn_node(session, id);
         }
-    }
-
-    /// Claim the next node this thread may run, if any.
-    fn claim(&self, state: &mut ParState, coordinator: bool) -> Option<PhysNodeId> {
-        if coordinator {
-            if let Some(&id) = self.pinned_order.get(state.next_pinned) {
-                if state.waiting[id] == 0 {
-                    state.next_pinned += 1;
-                    return Some(id);
-                }
-            }
-        }
-        state.ready.pop().map(|Reverse(id)| id)
+        // Publishing may have made a pinned node ready, completed the
+        // plan, or recorded an error — wake whoever waits on that.
+        self.pool.bump();
     }
 
     /// Record a published result: account it, evict inputs that lost their
-    /// last consumer, and move nodes whose inputs are now complete into
-    /// the ready set.
-    fn publish(&self, state: &mut ParState, node_id: PhysNodeId, table: Table) {
+    /// last consumer, and return the *pure* nodes whose inputs are now
+    /// complete (the caller submits them as jobs; pinned nodes are left
+    /// for the coordinator).
+    #[must_use]
+    fn publish(&self, state: &mut ParState, node_id: PhysNodeId, table: Table) -> Vec<PhysNodeId> {
         let node = &self.physical.nodes()[node_id];
         account_publish(&mut state.stats, node, &table);
         state.resident_rows += table.row_count();
@@ -427,14 +607,20 @@ impl ParCtx<'_, '_> {
                 }
             }
         }
+        let mut newly_ready = Vec::new();
         for &parent in &self.consumers[node_id] {
             state.waiting[parent] -= 1;
             if state.waiting[parent] == 0 && !self.pinned[parent] {
-                state.ready.push(Reverse(parent));
+                newly_ready.push(parent);
             }
         }
+        // Node ids are topological positions; submitting the smallest
+        // first approximates the sequential executor's memory-friendly
+        // order.  (No duplicates possible: `waiting` counts edges, so even
+        // a parent consuming this result twice hits zero exactly once.)
+        newly_ready.sort_unstable();
         state.completed += 1;
-        self.wake.notify_all();
+        newly_ready
     }
 }
 
@@ -449,6 +635,18 @@ pub struct Executor<'a> {
     registry: &'a DocRegistry,
     threads: usize,
     fusion: bool,
+    /// Input rows per morsel for partitioned operators (`usize::MAX`
+    /// disables intra-operator partitioning).
+    morsel_rows: usize,
+    /// Collect per-operator-kind timings ([`OpProfile`]).
+    profile_ops: bool,
+    /// The engine's persistent pool, when one was handed in
+    /// ([`Executor::with_pool`] — `Pathfinder` creates one pool and
+    /// reuses it for every query).
+    shared_pool: Option<Arc<WorkerPool>>,
+    /// Fallback pool for standalone executors (spawned lazily, at most
+    /// once per executor).
+    own_pool: OnceLock<Arc<WorkerPool>>,
 }
 
 impl<'a> Executor<'a> {
@@ -464,7 +662,9 @@ impl<'a> Executor<'a> {
     /// `1` selects the sequential path (identical, step for step, to the
     /// pre-parallel executor); `0` resolves to [`default_threads`].
     /// Operator fusion starts at the [`default_fusion`] setting; override
-    /// it with [`Executor::with_fusion`].
+    /// it with [`Executor::with_fusion`].  The morsel size starts at
+    /// [`default_morsel_rows`]; override it with
+    /// [`Executor::with_morsel_rows`].
     pub fn with_threads(registry: &'a DocRegistry, threads: usize) -> Self {
         let threads = if threads == 0 {
             default_threads()
@@ -475,6 +675,10 @@ impl<'a> Executor<'a> {
             registry,
             threads,
             fusion: default_fusion(),
+            morsel_rows: default_morsel_rows(),
+            profile_ops: false,
+            shared_pool: None,
+            own_pool: OnceLock::new(),
         }
     }
 
@@ -486,6 +690,35 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Set the morsel size (input rows per chunk) for partitioned
+    /// operators; `0` resolves to [`default_morsel_rows`], `usize::MAX`
+    /// disables intra-operator partitioning.  Results and work totals are
+    /// identical at every setting.
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = if rows == 0 {
+            default_morsel_rows()
+        } else {
+            rows
+        };
+        self
+    }
+
+    /// Evaluate plans on `pool` instead of lazily spawning one.  This is
+    /// how the persistent, per-engine pool reaches the executor: the
+    /// engine constructs one executor per query but hands every one the
+    /// same pool, so no query ever spawns a thread.
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.shared_pool = Some(pool);
+        self
+    }
+
+    /// Collect a per-operator-kind timing profile ([`OpProfile`], returned
+    /// by [`Executor::run_physical_profiled`]).
+    pub fn with_op_profile(mut self, profile: bool) -> Self {
+        self.profile_ops = profile;
+        self
+    }
+
     /// The number of threads this executor evaluates plans with.
     pub fn threads(&self) -> usize {
         self.threads
@@ -494,6 +727,33 @@ impl<'a> Executor<'a> {
     /// `true` when this executor fuses operator pipelines.
     pub fn fusion_enabled(&self) -> bool {
         self.fusion
+    }
+
+    /// The morsel size (input rows per partitioned-operator chunk).
+    pub fn morsel_rows(&self) -> usize {
+        self.morsel_rows
+    }
+
+    /// The worker pool this executor runs on (the shared one when
+    /// provided, else an own pool spawned on first use).  Only meaningful
+    /// when `threads > 1`.
+    fn pool(&self) -> &Arc<WorkerPool> {
+        if let Some(pool) = &self.shared_pool {
+            return pool;
+        }
+        self.own_pool
+            .get_or_init(|| Arc::new(WorkerPool::new(self.threads.saturating_sub(1))))
+    }
+
+    /// The chunk size for a morselizable operator over `rows` input rows,
+    /// or `None` to run it sequentially.  Depends only on the executor
+    /// configuration and the row count — never on scheduling — so the
+    /// partitioning (and with it every merge) is deterministic.
+    fn morsel_chunk_rows(&self, rows: usize) -> Option<usize> {
+        if self.threads <= 1 || self.morsel_rows == usize::MAX || rows <= self.morsel_rows {
+            return None;
+        }
+        Some(self.morsel_rows)
     }
 
     /// Evaluate `plan` and return the root operator's table.
@@ -527,6 +787,17 @@ impl<'a> Executor<'a> {
         plan: &Plan,
         physical: &PhysicalPlan,
     ) -> EngineResult<(Arc<Table>, ExecStats)> {
+        let (table, stats, _) = self.run_physical_profiled(plan, physical)?;
+        Ok((table, stats))
+    }
+
+    /// Like [`Executor::run_physical`], but also return the per-operator
+    /// timing profile (only populated under [`Executor::with_op_profile`]).
+    pub fn run_physical_profiled(
+        &self,
+        plan: &Plan,
+        physical: &PhysicalPlan,
+    ) -> EngineResult<(Arc<Table>, ExecStats, OpProfile)> {
         if !physical.matches(plan) {
             return Err(EngineError::msg(
                 "physical plan was compiled from a different logical plan",
@@ -537,49 +808,61 @@ impl<'a> Executor<'a> {
 
     fn execute(&self, plan: &Plan) -> EngineResult<(Arc<Table>, ExecStats)> {
         let physical = PhysicalPlan::compile(plan, self.fusion);
-        self.execute_physical(plan, &physical)
+        let (table, stats, _) = self.execute_physical(plan, &physical)?;
+        Ok((table, stats))
     }
 
     fn execute_physical(
         &self,
         plan: &Plan,
         physical: &PhysicalPlan,
-    ) -> EngineResult<(Arc<Table>, ExecStats)> {
+    ) -> EngineResult<(Arc<Table>, ExecStats, OpProfile)> {
         // One pass over the physical nodes derives every scheduler book.
         let books = physical.books();
         if self.threads <= 1 {
             return self.execute_sequential(plan, physical, books);
         }
-        // The worker count is capped by the widest dependency level: a
-        // chain-shaped plan (width 1) has nothing to fan out and takes the
-        // sequential path without spawning a single thread.  (Level width
+        // A chain-shaped plan (width 1) has no *branch* parallelism to fan
+        // out, so the scheduler itself stays sequential — but its big
+        // operators still run their morsels on the pool.  (Level width
         // slightly under-estimates the maximum antichain of exotic DAG
         // shapes, but it is the right order of magnitude and comes free
         // with the books.)
-        let threads = self.threads.min(books.width().max(1));
-        if threads <= 1 {
+        if books.width() <= 1 {
             self.execute_sequential(plan, physical, books)
         } else {
-            self.execute_parallel(plan, physical, threads, books)
+            self.execute_parallel(plan, physical, books)
         }
     }
 
-    /// The sequential path: physical nodes in topological order with
-    /// last-use eviction — with fusion disabled this is operator for
-    /// operator the pre-fusion interpreter.
+    /// The sequential dispatch path: physical nodes in topological order
+    /// with last-use eviction — with fusion disabled and one thread this
+    /// is operator for operator the pre-fusion interpreter.  With more
+    /// threads, individual operators still partition onto the pool
+    /// (morsels); only the dispatch order is sequential.
     fn execute_sequential(
         &self,
         plan: &Plan,
         physical: &PhysicalPlan,
         books: PhysicalBooks,
-    ) -> EngineResult<(Arc<Table>, ExecStats)> {
+    ) -> EngineResult<(Arc<Table>, ExecStats, OpProfile)> {
         let mut remaining = books.result_consumers;
         let mut slots: Vec<Option<Arc<Table>>> = vec![None; plan.ops().len()];
         let mut stats = ExecStats::default();
         let mut resident_rows = 0usize;
         let mut ledger = CellLedger::default();
+        let mut op_times: Option<OpTimes> = self.profile_ops.then(HashMap::new);
         for node in physical.nodes() {
+            let started = self.profile_ops.then(Instant::now);
             let table = self.eval_node(plan, node, &Inputs::Slots(&slots))?;
+            if let (Some(times), Some(started)) = (&mut op_times, started) {
+                record_op_time(
+                    times,
+                    node_kind(plan, node),
+                    table.row_count(),
+                    started.elapsed(),
+                );
+            }
             account_publish(&mut stats, node, &table);
             resident_rows += table.row_count();
             let table = Arc::new(table);
@@ -600,19 +883,20 @@ impl<'a> Executor<'a> {
                 }
             }
         }
-        Self::take_root(&mut slots, plan, stats)
+        Self::take_root(&mut slots, plan, stats, finish_profile(op_times))
     }
 
-    /// The ready-set scheduler: pure nodes (breakers and whole pipelines)
-    /// fan out onto `threads - 1` scoped workers plus this thread; pinned
-    /// nodes run on this (coordinator) thread in plan order.
+    /// The ready-set scheduler on the persistent pool: pure nodes
+    /// (breakers and whole fused pipelines) stream to the pool as node
+    /// jobs as they become ready; pinned nodes run on this (coordinator)
+    /// thread in plan order.  No thread is spawned — the pool outlives the
+    /// query.
     fn execute_parallel(
         &self,
         plan: &Plan,
         physical: &PhysicalPlan,
-        threads: usize,
         books: PhysicalBooks,
-    ) -> EngineResult<(Arc<Table>, ExecStats)> {
+    ) -> EngineResult<(Arc<Table>, ExecStats, OpProfile)> {
         let PhysicalBooks {
             input_edges: waiting,
             consumers,
@@ -627,14 +911,15 @@ impl<'a> Executor<'a> {
         let pinned_order: Vec<PhysNodeId> = (0..physical.nodes().len())
             .filter(|&id| pinned[id])
             .collect();
-        let ready: BinaryHeap<Reverse<PhysNodeId>> = (0..physical.nodes().len())
+        let seed: Vec<PhysNodeId> = (0..physical.nodes().len())
             .filter(|&id| waiting[id] == 0 && !pinned[id])
-            .map(Reverse)
             .collect();
+        let pool = Arc::clone(self.pool());
         let ctx = ParCtx {
             exec: self,
             plan,
             physical,
+            pool: Arc::clone(&pool),
             pinned_order,
             pinned,
             consumers,
@@ -642,51 +927,213 @@ impl<'a> Executor<'a> {
                 slots: vec![None; plan.ops().len()],
                 waiting,
                 remaining,
-                ready,
                 next_pinned: 0,
                 completed: 0,
                 stats: ExecStats::default(),
                 resident_rows: 0,
                 ledger: CellLedger::default(),
+                op_times: self.profile_ops.then(HashMap::new),
                 error: None,
             }),
-            wake: Condvar::new(),
         };
-        std::thread::scope(|scope| {
-            for _ in 1..threads {
-                scope.spawn(|| ctx.work(false));
+        // The session is dropped (and thereby drained) before `ctx` goes
+        // out of scope — the safety contract of the erased node jobs.
+        let session = QuerySession::new(Arc::clone(&pool));
+        for id in &seed {
+            ctx.spawn_node(&session, *id);
+        }
+        // Coordinator loop: run pinned nodes in plan order as they become
+        // ready; in between, help the pool with queued node and morsel
+        // jobs (or sleep until a publish changes the picture).
+        loop {
+            let claimed = {
+                let mut state = ctx.state.lock().expect("scheduler lock poisoned");
+                if ctx.finished(&state) {
+                    break;
+                }
+                ctx.claim_pinned(&mut state)
+            };
+            match claimed {
+                Some(id) => ctx.run_node(&session, id),
+                None => pool.help_until(false, || {
+                    let state = ctx.state.lock().expect("scheduler lock poisoned");
+                    ctx.finished(&state) || {
+                        // Peek without consuming: is the next pinned ready?
+                        let next = ctx.pinned_order.get(state.next_pinned).copied();
+                        next.is_some_and(|id| state.waiting[id] == 0)
+                    }
+                }),
             }
-            ctx.work(true);
-        });
+        }
+        session.drain();
+        if let Some(payload) = session.take_panic() {
+            // A scheduler-level bug (operator panics are converted to
+            // errors inside the job); surface it like the sequential path
+            // would.
+            std::panic::resume_unwind(payload);
+        }
+        drop(session);
         let mut state = ctx.state.into_inner().expect("scheduler lock poisoned");
         if let Some(error) = state.error.take() {
             return Err(error);
         }
         let stats = state.stats;
-        Self::take_root(&mut state.slots, plan, stats)
+        let profile = finish_profile(state.op_times.take());
+        Self::take_root(&mut state.slots, plan, stats, profile)
     }
 
     fn take_root(
         slots: &mut [Option<Arc<Table>>],
         plan: &Plan,
         stats: ExecStats,
-    ) -> EngineResult<(Arc<Table>, ExecStats)> {
+        profile: OpProfile,
+    ) -> EngineResult<(Arc<Table>, ExecStats, OpProfile)> {
         let root = slots[plan.root()]
             .take()
             .ok_or_else(|| EngineError::msg("plan produced no result"))?;
-        Ok((root, stats))
+        Ok((root, stats, profile))
     }
 
     /// Evaluate one physical node: breakers go through the single-operator
     /// interpreter, pipelines through the fused kernel (with the engine's
-    /// atomization semantics wired in via a [`StoreCache`]).
+    /// atomization semantics wired in via a [`StoreCache`]).  Pipelines
+    /// over large inputs run as morsels when the executor is parallel and
+    /// every step is row-local.
     fn eval_node(&self, plan: &Plan, node: &PhysNode, inputs: &Inputs<'_>) -> EngineResult<Table> {
         match &node.kind {
             PhysKind::Breaker => self.eval(plan, node.output, inputs),
             PhysKind::Pipeline { steps, .. } => {
                 let input = inputs.get(node.inputs[0])?;
-                let mut cache = StoreCache::new(self.registry);
-                Ok(ops::run_pipeline(input, steps, &mut |v| cache.atomize(v))?)
+                match self.morsel_chunk_rows(input.row_count()) {
+                    Some(chunk) if ops::steps_chunkable(steps) => {
+                        self.run_pipeline_morsels(input, steps, chunk)
+                    }
+                    _ => {
+                        let mut cache = StoreCache::new(self.registry);
+                        Ok(ops::run_pipeline(input, steps, &mut |v| cache.atomize(v))?)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Chunked pipeline evaluation: every `chunk`-row input range runs the
+    /// whole fused chain on a pool task; the per-range outputs concatenate
+    /// (in range order) to exactly the whole-input result.  When any chunk
+    /// errors, the pipeline is re-run unchunked and *that* error is
+    /// surfaced: a chunk can fail at a later step than the whole-input
+    /// pass would (it only sees its own rows at each step), so the
+    /// re-run — cheap, an error path — is what keeps error messages
+    /// independent of the morsel size and thread count.
+    fn run_pipeline_morsels(
+        &self,
+        input: &Table,
+        steps: &[ops::FusedStep],
+        chunk: usize,
+    ) -> EngineResult<Table> {
+        let rows = input.row_count();
+        let ranges: Vec<Range<usize>> = (0..rows)
+            .step_by(chunk)
+            .map(|lo| lo..(lo + chunk).min(rows))
+            .collect();
+        let mut results: Vec<Option<RelResult<Table>>> = ranges.iter().map(|_| None).collect();
+        let registry = self.registry;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = results
+            .iter_mut()
+            .zip(&ranges)
+            .map(|(slot, range)| {
+                let range = range.clone();
+                Box::new(move || {
+                    let mut cache = StoreCache::new(registry);
+                    *slot = Some(ops::run_pipeline_range(input, steps, range, &mut |v| {
+                        cache.atomize(v)
+                    }));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        self.pool().run_scoped(tasks);
+        let mut chunks = Vec::with_capacity(results.len());
+        for result in results {
+            match result.expect("every pipeline morsel ran") {
+                Ok(table) => chunks.push(table),
+                Err(chunk_error) => {
+                    // Canonical error: the whole-input pass.  It cannot
+                    // succeed where a chunk failed — steps are row-local,
+                    // so the failing row reaches the same step with the
+                    // same value — but keep the chunk error as a fallback.
+                    let mut cache = StoreCache::new(self.registry);
+                    return match ops::run_pipeline(input, steps, &mut |v| cache.atomize(v)) {
+                        Err(whole_error) => Err(whole_error.into()),
+                        Ok(_) => Err(chunk_error.into()),
+                    };
+                }
+            }
+        }
+        Ok(Table::concat_rows(chunks)?)
+    }
+
+    /// The stable sort permutation of `table` under `specs`, chunk-sorted
+    /// on the pool and merged when the input is large enough to morselize
+    /// (bit-identical to the sequential sort either way).
+    fn sort_permutation(&self, table: &Table, specs: &[(&str, bool)]) -> EngineResult<Vec<usize>> {
+        let keys = SortKeys::for_columns(table, specs)?;
+        let rows = table.row_count();
+        match self.morsel_chunk_rows(rows) {
+            None => Ok(keys.stable_permutation(rows)),
+            Some(chunk) => {
+                let mut perm: Vec<usize> = (0..rows).collect();
+                let keys_ref = &keys;
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = perm
+                    .chunks_mut(chunk)
+                    .map(|run| {
+                        Box::new(move || keys_ref.sort_run(run)) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                self.pool().run_scoped(tasks);
+                Ok(keys.merge_sorted_runs(perm, chunk))
+            }
+        }
+    }
+
+    /// Sort `table` by the given ascending columns (the `Sort` operator
+    /// and `fs:distinct-doc-order`'s pre-sort), morsel-parallel when
+    /// worthwhile.
+    fn sort_table(&self, table: &Table, columns: &[&str]) -> EngineResult<Table> {
+        let specs: Vec<(&str, bool)> = columns.iter().map(|&c| (c, false)).collect();
+        let order = self.sort_permutation(table, &specs)?;
+        Ok(table.gather_rows(&order))
+    }
+
+    /// The staircase step, partitioned into context-range shards on the
+    /// pool when the total context is large enough (shard evaluation is
+    /// infallible once the plan is built; the merge re-establishes the
+    /// per-iteration `pos` numbering deterministically).
+    fn step(&self, table: &Table, axis: Axis, test: &NodeTest) -> EngineResult<Table> {
+        let plan = ops::plan_step(table, self.registry, axis)?;
+        match self.morsel_chunk_rows(plan.context_rows()) {
+            None => {
+                let shards = plan.shards(usize::MAX);
+                let chunk = plan.eval_shards(&shards, test);
+                Ok(plan.merge(vec![chunk])?)
+            }
+            Some(target) => {
+                let runs = plan.shard_runs(target);
+                let mut results: Vec<Option<ops::StepChunk>> = runs.iter().map(|_| None).collect();
+                let plan_ref = &plan;
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = results
+                    .iter_mut()
+                    .zip(&runs)
+                    .map(|(slot, run)| {
+                        Box::new(move || *slot = Some(plan_ref.eval_shards(run, test)))
+                            as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                self.pool().run_scoped(tasks);
+                let chunks: Vec<ops::StepChunk> = results
+                    .into_iter()
+                    .map(|c| c.expect("every step morsel ran"))
+                    .collect();
+                Ok(plan.merge(chunks)?)
             }
         }
     }
@@ -815,12 +1262,7 @@ impl<'a> Executor<'a> {
                 *func,
                 value,
             )?),
-            AlgOp::Step { input, axis, test } => Ok(ops::staircase_step(
-                inputs.get(*input)?,
-                self.registry,
-                *axis,
-                test,
-            )?),
+            AlgOp::Step { input, axis, test } => self.step(inputs.get(*input)?, *axis, test),
             AlgOp::DocOrder { input } => self.doc_order(inputs.get(*input)?),
             AlgOp::FnData { input } => self.fn_data(inputs.get(*input)?),
             AlgOp::FnRoot { input } => self.fn_root(inputs.get(*input)?),
@@ -841,7 +1283,7 @@ impl<'a> Executor<'a> {
             } => self.construct_texts(inputs.get(*loop_input)?, inputs.get(*content)?),
             AlgOp::Sort { input, by } => {
                 let columns: Vec<&str> = by.iter().map(|s| s.column.as_str()).collect();
-                Ok(ops::sort_by(inputs.get(*input)?, &columns)?)
+                self.sort_table(inputs.get(*input)?, &columns)
             }
         }
     }
@@ -971,7 +1413,7 @@ impl<'a> Executor<'a> {
     /// `fs:distinct-doc-order`: per iteration, sort items into document
     /// order and drop duplicates, renumbering `pos`.
     fn doc_order(&self, table: &Table) -> EngineResult<Table> {
-        let sorted = ops::sort_by(table, &["iter", "item"])?;
+        let sorted = self.sort_table(table, &["iter", "item"])?;
         let distinct = ops::setops::distinct_on(&sorted, &["iter", "item"])?;
         let numbered =
             self.row_number(&distinct, "pos_ddo", &[SortSpec::asc("item")], Some("iter"))?;
@@ -983,6 +1425,12 @@ impl<'a> Executor<'a> {
 
     /// Row numbering with ascending/descending keys and optional
     /// partitioning (the physical `%` operator).
+    ///
+    /// One kernel with `pf_relational::ops::row_number_by`: the typed sort
+    /// keys are extracted once ([`SortKeys`] — the comparator never
+    /// materializes per-row [`Value`]s), the permutation is chunk-sorted
+    /// on the pool when the input is large enough, and
+    /// [`ops::row_number_permuted`] applies the numbering.
     fn row_number(
         &self,
         table: &Table,
@@ -990,66 +1438,22 @@ impl<'a> Executor<'a> {
         order_by: &[SortSpec],
         partition: Option<&str>,
     ) -> EngineResult<Table> {
-        let mut key_cols = Vec::new();
-        if let Some(p) = partition {
-            key_cols.push((table.column(p)?.clone(), false));
-        }
-        for spec in order_by {
-            key_cols.push((table.column(&spec.column)?.clone(), spec.descending));
-        }
-        let mut order: Vec<usize> = (0..table.row_count()).collect();
-        order.sort_by(|&a, &b| {
-            for (col, descending) in &key_cols {
-                let mut cmp = col.get(a).sort_key_cmp(&col.get(b));
-                if *descending {
-                    cmp = cmp.reverse();
-                }
-                if cmp != std::cmp::Ordering::Equal {
-                    return cmp;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-        let sorted = table.gather_rows(&order);
-        let mut numbering: Vec<u64> = Vec::with_capacity(sorted.row_count());
-        match partition {
-            None => numbering.extend(1..=sorted.row_count() as u64),
-            Some(p) => {
-                let pcol = sorted.column(p)?;
-                let mut counter = 0u64;
-                let mut previous: Option<HashKey> = None;
-                for row in 0..sorted.row_count() {
-                    let key = HashKey::of(&pcol.get(row));
-                    if previous.as_ref() != Some(&key) {
-                        counter = 0;
-                        previous = Some(key);
-                    }
-                    counter += 1;
-                    numbering.push(counter);
-                }
-            }
-        }
-        let mut out = sorted;
-        out.add_column(target, Column::nats(numbering))?;
-        Ok(out)
+        // The partition-first sort-spec convention lives in ONE place —
+        // `rownum::sort_spec` — so the permutation computed here always
+        // matches what `row_number_permuted`'s numbering expects.
+        let order_by: Vec<ops::OrderSpec> = order_by
+            .iter()
+            .map(|s| ops::OrderSpec {
+                column: s.column.clone(),
+                descending: s.descending,
+            })
+            .collect();
+        let specs = ops::rownum::sort_spec(&order_by, partition);
+        let order = self.sort_permutation(table, &specs)?;
+        Ok(ops::row_number_permuted(table, target, partition, &order)?)
     }
 
     // ----- node construction (ε, τ) ---------------------------------------
-
-    /// Gather the content rows of one iteration, in `pos` order.
-    fn content_of_iteration(content: &Table, iter: u64) -> EngineResult<Vec<Value>> {
-        let iter_col = content.column("iter")?;
-        let pos_col = content.column("pos")?;
-        let item_col = content.column("item")?;
-        let mut rows: Vec<(u64, Value)> = Vec::new();
-        for row in 0..content.row_count() {
-            if iter_col.get(row).as_nat()? == iter {
-                rows.push((pos_col.get(row).as_nat()?, item_col.get(row)));
-            }
-        }
-        rows.sort_by_key(|(pos, _)| *pos);
-        Ok(rows.into_iter().map(|(_, v)| v).collect())
-    }
 
     // (node copying lives in the free function `copy_subtree` below; it
     // reads stores through the registry's shared handles)
@@ -1064,6 +1468,7 @@ impl<'a> Executor<'a> {
         let mut iters = Vec::new();
         let mut element_pres: Vec<u32> = Vec::new();
         let mut cache = StoreCache::new(self.registry);
+        let index = ContentIndex::build(content)?;
         // All elements constructed by one ε operator share a single
         // transient document (like MonetDB/XQuery's transient fragments):
         // each constructed element becomes a child of that document's root,
@@ -1071,12 +1476,12 @@ impl<'a> Executor<'a> {
         let mut builder = DocumentBuilder::new();
         for row in 0..loop_table.row_count() {
             let iter = iter_col.get(row).as_nat()?;
-            let values = Self::content_of_iteration(content, iter)?;
+            let values = index.content_of(iter);
             // Split constructed attributes from content proper.
             let mut attributes = Vec::new();
             let mut children = Vec::new();
             for value in values {
-                match &value {
+                match value {
                     Value::Str(s) if s.starts_with(ATTR_MARKER) => {
                         let rest = &s[ATTR_MARKER.len()..];
                         let (name, attr_value) = rest.split_once('\u{1}').unwrap_or((rest, ""));
@@ -1137,10 +1542,11 @@ impl<'a> Executor<'a> {
         let mut iters = Vec::new();
         let mut items = Vec::new();
         let mut cache = StoreCache::new(self.registry);
+        let index = ContentIndex::build(content)?;
         for row in 0..loop_table.row_count() {
             let iter = iter_col.get(row).as_nat()?;
-            let values = Self::content_of_iteration(content, iter)?;
-            let text = values
+            let text = index
+                .content_of(iter)
                 .iter()
                 .map(|v| cache.atomize(v).to_xdm_string())
                 .collect::<Vec<_>>()
@@ -1168,10 +1574,11 @@ impl<'a> Executor<'a> {
         // instead wrap each in a dedicated element-less document slot by
         // tracking the node id the builder returns).
         let mut builder = DocumentBuilder::new();
+        let index = ContentIndex::build(content)?;
         for row in 0..loop_table.row_count() {
             let iter = iter_col.get(row).as_nat()?;
-            let values = Self::content_of_iteration(content, iter)?;
-            let text = values
+            let text = index
+                .content_of(iter)
                 .iter()
                 .map(|v| cache.atomize(v).to_xdm_string())
                 .collect::<Vec<_>>()
@@ -1784,6 +2191,156 @@ mod tests {
         let err = Executor::with_threads(&reg, 4).run(&plan);
         assert!(err.is_err());
         assert!(err.unwrap_err().to_string().contains("panicked"));
+    }
+
+    // ----- morsel-parallel operators ---------------------------------------
+
+    /// A plan whose hot operators are all morselizable: a 64-row literal
+    /// through a fusable chain (attach + compare + select), a row
+    /// numbering, a sort, and a staircase step over the sample document.
+    fn morsel_plan() -> Plan {
+        let mut b = PlanBuilder::new();
+        let lit = b.add(AlgOp::Lit {
+            columns: vec!["iter".into(), "item".into()],
+            rows: (1..=64)
+                .map(|i| vec![Value::Nat(i), Value::Int((i as i64 * 37) % 29)])
+                .collect(),
+        });
+        let attach = b.add(AlgOp::Attach {
+            input: lit,
+            target: "limit".into(),
+            value: Value::Int(10),
+        });
+        let map = b.add(AlgOp::BinaryMap {
+            input: attach,
+            target: "keep".into(),
+            left: "item".into(),
+            op: ops::BinaryOp::Cmp(ops::CmpOp::Gt),
+            right: "limit".into(),
+        });
+        let select = b.add(AlgOp::Select {
+            input: map,
+            column: "keep".into(),
+        });
+        let rownum = b.add(AlgOp::RowNum {
+            input: select,
+            target: "rank".into(),
+            order_by: vec![SortSpec::desc("item"), SortSpec::asc("iter")],
+            partition: None,
+        });
+        let sorted = b.add(AlgOp::Sort {
+            input: rownum,
+            by: vec![SortSpec::asc("iter")],
+        });
+        b.finish(sorted)
+    }
+
+    #[test]
+    fn morselized_operators_reproduce_the_sequential_tables_exactly() {
+        let reg = registry();
+        let plan = morsel_plan();
+        let reference = Executor::with_threads(&reg, 1).run(&plan).unwrap();
+        for threads in [2, 4] {
+            for morsel in [1, 2, 7, 4096, usize::MAX] {
+                let table = Executor::with_threads(&reg, threads)
+                    .with_morsel_rows(morsel)
+                    .run(&plan)
+                    .unwrap();
+                assert_eq!(table, reference, "threads {threads}, morsel {morsel}");
+            }
+        }
+    }
+
+    #[test]
+    fn morselized_step_matches_the_sequential_step() {
+        // Context = every <b> and <c> across many iterations; a tiny
+        // morsel size forces context-range shards through the pool.
+        let reg = registry();
+        let mut b = PlanBuilder::new();
+        let lit = b.add(AlgOp::Lit {
+            columns: vec!["iter".into(), "item".into()],
+            rows: (1..=32)
+                .map(|i| vec![Value::Nat(i), Value::Node(NodeRef::new(0, 1))])
+                .collect(),
+        });
+        let step = b.add(AlgOp::Step {
+            input: lit,
+            axis: Axis::Descendant,
+            test: NodeTest::AnyElement,
+        });
+        let plan = b.finish(step);
+        let reference = Executor::with_threads(&reg, 1).run(&plan).unwrap();
+        assert!(reference.row_count() > 0);
+        let morselized = Executor::with_threads(&reg, 4)
+            .with_morsel_rows(2)
+            .run(&plan)
+            .unwrap();
+        assert_eq!(morselized, reference);
+    }
+
+    #[test]
+    fn morselized_pipeline_errors_match_the_sequential_error() {
+        // A fused select over a non-boolean column, forced through the
+        // chunked path: the lowest-range error must surface, identical to
+        // the sequential message.
+        let build = || {
+            let mut b = PlanBuilder::new();
+            let lit = b.add(AlgOp::Lit {
+                columns: vec!["iter".into(), "item".into()],
+                rows: (1..=16)
+                    .map(|i| vec![Value::Nat(i), Value::Int(i as i64)])
+                    .collect(),
+            });
+            let attach = b.add(AlgOp::Attach {
+                input: lit,
+                target: "flag".into(),
+                value: Value::Int(7),
+            });
+            let select = b.add(AlgOp::Select {
+                input: attach,
+                column: "flag".into(),
+            });
+            let sort = b.add(AlgOp::Sort {
+                input: select,
+                by: vec![SortSpec::asc("iter")],
+            });
+            b.finish(sort)
+        };
+        let reg = registry();
+        let sequential = Executor::with_threads(&reg, 1).run(&build()).unwrap_err();
+        let morselized = Executor::with_threads(&reg, 4)
+            .with_morsel_rows(2)
+            .run(&build())
+            .unwrap_err();
+        assert_eq!(sequential.to_string(), morselized.to_string());
+    }
+
+    #[test]
+    fn standalone_executors_spawn_their_own_pool_at_most_once() {
+        let reg = registry();
+        let exec = Executor::with_threads(&reg, 4).with_morsel_rows(2);
+        let plan = morsel_plan();
+        let first = exec.run(&plan).unwrap();
+        let generation = exec.pool().generation();
+        for _ in 0..3 {
+            assert_eq!(exec.run(&plan).unwrap(), first);
+        }
+        assert_eq!(
+            exec.pool().generation(),
+            generation,
+            "one pool per executor"
+        );
+    }
+
+    #[test]
+    fn morsel_flag_parsing() {
+        assert_eq!(morsel_flag(None), DEFAULT_MORSEL_ROWS);
+        assert_eq!(morsel_flag(Some("128")), 128);
+        assert_eq!(morsel_flag(Some(" 7 ")), 7);
+        assert_eq!(morsel_flag(Some("0")), DEFAULT_MORSEL_ROWS);
+        assert_eq!(morsel_flag(Some("off")), usize::MAX);
+        assert_eq!(morsel_flag(Some("INF")), usize::MAX);
+        assert_eq!(morsel_flag(Some("garbage")), DEFAULT_MORSEL_ROWS);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 pub mod error;
 pub mod executor;
+pub mod pool;
 pub mod registry;
 pub mod result;
 
@@ -32,7 +33,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub use error::{EngineError, EngineResult};
-pub use executor::{default_fusion, default_threads, ExecStats, Executor};
+pub use executor::{
+    default_fusion, default_morsel_rows, default_threads, ExecStats, Executor, OpProfile, OpTiming,
+    DEFAULT_MORSEL_ROWS,
+};
+pub use pool::WorkerPool;
 pub use registry::DocRegistry;
 pub use result::{serialize_table, QueryResult, Timings};
 
@@ -56,6 +61,14 @@ pub struct EngineOptions {
     /// `false` / `off` / `no`).  Results are identical either way; fusion
     /// only changes how many intermediate tables materialize.
     pub fusion: bool,
+    /// Input rows per morsel for intra-operator parallelism (partitioned
+    /// sorts, row numberings, staircase shards and fused-pipeline chunks
+    /// on the worker pool).  `0` (the default) resolves via
+    /// [`default_morsel_rows`] — the `PF_MORSEL` environment variable if
+    /// set, otherwise [`DEFAULT_MORSEL_ROWS`]; `usize::MAX` disables the
+    /// partitioning.  Results, serialization and work totals are identical
+    /// at every setting.
+    pub morsel_rows: usize,
     /// Maximum number of compiled plans the per-engine plan cache retains;
     /// when full, the least-recently-hit plan is evicted.  `0` disables
     /// caching entirely.
@@ -72,6 +85,7 @@ impl Default for EngineOptions {
             optimize: true,
             threads: 0,
             fusion: default_fusion(),
+            morsel_rows: 0,
             plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
         }
     }
@@ -136,6 +150,13 @@ pub struct Pathfinder {
     cache_clock: u64,
     plan_cache_hits: usize,
     plan_cache_misses: usize,
+    /// The engine's persistent worker pool: created at most once (on the
+    /// first parallel query) and reused for every query after — no
+    /// per-query thread spawns.
+    pool: Option<Arc<WorkerPool>>,
+    /// How many pools this engine has ever spawned (asserted ≤ 1 by the
+    /// pool-reuse tests).
+    pools_created: usize,
 }
 
 impl Pathfinder {
@@ -215,12 +236,43 @@ impl Pathfinder {
     /// memory-discipline statistics (peak resident intermediate rows,
     /// total rows produced, evictions, fusion savings).
     pub fn query_profiled(&mut self, query: &str) -> EngineResult<(QueryResult, ExecStats)> {
+        let (result, stats, _) = self.query_run(query, false)?;
+        Ok((result, stats))
+    }
+
+    /// Like [`Pathfinder::query_profiled`], but additionally collect the
+    /// per-operator-kind wall-time profile of the execution (the
+    /// `morsel_profile` bench bin reports these at several thread counts).
+    pub fn query_op_profiled(
+        &mut self,
+        query: &str,
+    ) -> EngineResult<(QueryResult, ExecStats, OpProfile)> {
+        self.query_run(query, true)
+    }
+
+    fn query_run(
+        &mut self,
+        query: &str,
+        profile_ops: bool,
+    ) -> EngineResult<(QueryResult, ExecStats, OpProfile)> {
         let (plan, physical, compile_time, optimize_time) = self.plan_for(query)?;
 
         let exec_start = Instant::now();
-        let executor = Executor::with_threads(&self.registry, self.options.threads)
-            .with_fusion(self.options.fusion);
-        let (table, stats) = executor.run_physical(&plan, &physical)?;
+        let threads = if self.options.threads == 0 {
+            default_threads()
+        } else {
+            self.options.threads
+        };
+        // Resolve the pool before the executor borrows the registry.
+        let pool = (threads > 1).then(|| self.worker_pool(threads));
+        let mut executor = Executor::with_threads(&self.registry, threads)
+            .with_fusion(self.options.fusion)
+            .with_morsel_rows(self.options.morsel_rows)
+            .with_op_profile(profile_ops);
+        if let Some(pool) = pool {
+            executor = executor.with_pool(pool);
+        }
+        let (table, stats, profile) = executor.run_physical_profiled(&plan, &physical)?;
         let execute_time = exec_start.elapsed();
 
         let result = QueryResult::from_table(
@@ -234,7 +286,32 @@ impl Pathfinder {
                 plan_cache_misses: self.plan_cache_misses,
             },
         )?;
-        Ok((result, stats))
+        Ok((result, stats, profile))
+    }
+
+    /// The engine's persistent worker pool, created on first use and
+    /// reused for every subsequent query (executors are built per query,
+    /// but they all run on this one pool — the per-query `thread::scope`
+    /// spawn/join of the earlier executor is gone).
+    fn worker_pool(&mut self, threads: usize) -> Arc<WorkerPool> {
+        if self.pool.is_none() {
+            self.pool = Some(Arc::new(WorkerPool::new(threads.saturating_sub(1))));
+            self.pools_created += 1;
+        }
+        Arc::clone(self.pool.as_ref().expect("pool was just created"))
+    }
+
+    /// How many worker pools this engine has spawned so far (stays at 1
+    /// however many parallel queries run; 0 until the first one).
+    pub fn worker_pool_spawns(&self) -> usize {
+        self.pools_created
+    }
+
+    /// The generation stamp of the engine's pool (see
+    /// [`WorkerPool::generation`]); `None` before the first parallel
+    /// query.
+    pub fn worker_pool_generation(&self) -> Option<u64> {
+        self.pool.as_ref().map(|p| p.generation())
     }
 
     /// The compiled-and-optimized plan for `query`, with its physical
@@ -314,7 +391,11 @@ impl Pathfinder {
 /// desynchronize the literal tracking; comment bodies themselves are
 /// whitespace-collapsed like code, which is safe because the lexer
 /// discards them.
-fn normalize_cache_key(query: &str) -> String {
+///
+/// Public so the invariant — *distinct queries never fold onto one key* —
+/// can be property-tested from outside the crate; it is not part of the
+/// stable engine API.
+pub fn normalize_cache_key(query: &str) -> String {
     let mut out = String::with_capacity(query.len());
     let mut chars = query.chars().peekable();
     let mut pending_space = false;
@@ -615,6 +696,88 @@ mod tests {
             .unwrap();
         assert_eq!(pf.query(q).unwrap().to_xml(), "3");
         assert_eq!(pf.plan_cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn the_worker_pool_is_created_once_per_engine_and_reused() {
+        let mut pf = Pathfinder::with_options(EngineOptions {
+            threads: 4,
+            ..EngineOptions::default()
+        });
+        pf.load_document("doc.xml", "<a><b>1</b><b>2</b><c>3</c></a>")
+            .unwrap();
+        assert_eq!(pf.worker_pool_spawns(), 0, "no pool before the first query");
+        assert!(pf.worker_pool_generation().is_none());
+
+        // A query with independent branches exercises the parallel path.
+        let q = "fn:count(fn:doc(\"doc.xml\")//b) + fn:count(fn:doc(\"doc.xml\")//c)";
+        assert_eq!(pf.query(q).unwrap().to_xml(), "3");
+        assert_eq!(pf.worker_pool_spawns(), 1);
+        let generation = pf.worker_pool_generation().expect("pool exists now");
+
+        // Ten more queries (cache hits and misses alike): still one pool,
+        // same generation — no per-query thread spawn.
+        for i in 0..10 {
+            pf.query(q).unwrap();
+            pf.query(&format!("{i} + {i}")).unwrap();
+        }
+        assert_eq!(pf.worker_pool_spawns(), 1);
+        assert_eq!(pf.worker_pool_generation(), Some(generation));
+    }
+
+    #[test]
+    fn sequential_engines_never_spawn_a_pool() {
+        let mut pf = Pathfinder::with_options(EngineOptions {
+            threads: 1,
+            ..EngineOptions::default()
+        });
+        pf.query("1 + 1").unwrap();
+        assert_eq!(pf.worker_pool_spawns(), 0);
+    }
+
+    #[test]
+    fn morsel_sizes_do_not_change_results_or_work_totals() {
+        let make = |morsel_rows: usize| {
+            let mut pf = Pathfinder::with_options(EngineOptions {
+                threads: 4,
+                morsel_rows,
+                ..EngineOptions::default()
+            });
+            pf.load_document(
+                "doc.xml",
+                "<site><p><n>Ann</n><x>3</x></p><p><n>Bo</n><x>9</x></p><p><n>Cy</n><x>7</x></p></site>",
+            )
+            .unwrap();
+            pf
+        };
+        let q = "for $p in fn:doc(\"doc.xml\")//p where $p/x > 5 return fn:string($p/n)";
+        let (reference, ref_stats) = make(usize::MAX).query_profiled(q).unwrap();
+        for morsel in [1, 2, 0] {
+            let (result, stats) = make(morsel).query_profiled(q).unwrap();
+            assert_eq!(reference.to_xml(), result.to_xml(), "morsel_rows {morsel}");
+            assert_eq!(ref_stats.rows_produced, stats.rows_produced);
+            assert_eq!(ref_stats.operators_evaluated, stats.operators_evaluated);
+            assert_eq!(ref_stats.cells_produced, stats.cells_produced);
+            assert_eq!(ref_stats.evicted_results, stats.evicted_results);
+        }
+    }
+
+    #[test]
+    fn op_profile_reports_per_operator_timings() {
+        let mut pf = engine_with("<a><b>1</b><b>2</b></a>");
+        let (result, _, profile) = pf
+            .query_op_profiled("fn:count(fn:doc(\"doc.xml\")//b)")
+            .unwrap();
+        assert_eq!(result.to_xml(), "2");
+        assert!(!profile.entries.is_empty());
+        let kinds: Vec<&str> = profile.entries.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"step"), "kinds: {kinds:?}");
+        // Entries are sorted by kind and cover every evaluated node.
+        let mut sorted = kinds.clone();
+        sorted.sort_unstable();
+        assert_eq!(kinds, sorted);
+        // The plain profiled path collects no per-op timings (zero cost).
+        let (_, _) = pf.query_profiled("1 + 1").unwrap();
     }
 
     #[test]

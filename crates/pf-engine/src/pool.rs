@@ -1,0 +1,501 @@
+//! The persistent worker pool.
+//!
+//! PR 3's parallel executor spawned and joined `threads − 1` OS threads
+//! *per query* via [`std::thread::scope`]; a sub-millisecond query paid
+//! that setup on every call.  A [`WorkerPool`] is owned by the engine
+//! ([`crate::Pathfinder`] creates exactly one and reuses it for every
+//! query): its workers are spawned once, park on a condition variable when
+//! idle, and receive **jobs** per query — both the ready-set node jobs of
+//! the parallel executor and the **morsel** tasks of partitioned operators
+//! (chunked sorts, staircase shards, pipeline ranges).
+//!
+//! Two job classes share one queue pair:
+//!
+//! * **Morsel jobs** are the partitioned inner loops of one operator.
+//!   They are always submitted through [`WorkerPool::run_scoped`], which
+//!   *blocks until every task finished* — the tasks may therefore borrow
+//!   the caller's stack (the classic scoped-threads contract), and the
+//!   submitting thread drains its own task group, so progress never
+//!   depends on a worker being free (no deadlock when every worker is
+//!   busy).
+//! * **Node jobs** are whole physical-plan nodes, streamed dynamically by
+//!   the ready-set scheduler through a `QuerySession`; the session is
+//!   drained before the query returns, which re-establishes the same
+//!   borrow safety for the per-query scheduler state.
+//!
+//! Workers prefer morsel jobs over node jobs: morsels finish an operator
+//! that is already running, node jobs start new ones.  A thread *waiting*
+//! (for a scoped group or for scheduler progress) helps execute queued
+//! jobs instead of blocking — waiting threads and workers are
+//! indistinguishable, which is what makes intra-operator parallelism
+//! compose with inter-operator parallelism on one fixed set of threads.
+//!
+//! Wake-ups use an epoch counter: every state change a waiter could be
+//! waiting for (job pushed, task group drained, scheduler publish — via
+//! `WorkerPool::bump`) increments the epoch and notifies under the queue
+//! lock, so a waiter that sampled the epoch before checking its predicate
+//! can never miss the wake-up.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A type-erased, lifetime-erased job (see the safety notes on the
+/// submission paths: every erased job is executed before the borrows it
+/// captures go out of scope).
+type RawJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counts pools ever created in this process; [`WorkerPool::generation`]
+/// exposes each pool's birth number so tests can assert that an engine
+/// reuses one pool instead of spawning per query.
+static POOL_GENERATIONS: AtomicU64 = AtomicU64::new(0);
+
+#[derive(Default)]
+struct Queues {
+    morsel: VecDeque<RawJob>,
+    node: VecDeque<RawJob>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queues: Mutex<Queues>,
+    wake: Condvar,
+    /// Wake-up epoch (see the module docs).
+    epoch: AtomicU64,
+}
+
+impl PoolShared {
+    /// Announce a state change: bump the epoch and notify every waiter.
+    /// Taking the queue lock around the notify closes the race against a
+    /// waiter that checked its predicate and is about to wait.
+    fn bump(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        let _guard = self.queues.lock().expect("pool lock poisoned");
+        self.wake.notify_all();
+    }
+}
+
+/// A fixed set of parked OS threads executing jobs for one engine.
+///
+/// Created once (per [`crate::Pathfinder`], or lazily per standalone
+/// [`crate::Executor`]) and reused across queries; dropped, it shuts its
+/// workers down and joins them.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+    generation: u64,
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .field("generation", &self.generation)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `workers` parked threads (0 is allowed: every job
+    /// then runs on the threads that wait on the pool, typically the
+    /// query's coordinator).
+    pub fn new(workers: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            queues: Mutex::new(Queues::default()),
+            wake: Condvar::new(),
+            epoch: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pf-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            workers,
+            generation: POOL_GENERATIONS.fetch_add(1, Ordering::SeqCst) + 1,
+        }
+    }
+
+    /// Number of worker threads (excluding the threads that submit work
+    /// and help while waiting).
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// This pool's birth number (process-wide, 1-based): constant for the
+    /// pool's lifetime, so an engine that reuses its pool reports the same
+    /// generation for every query.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Announce externally-managed progress (the executor calls this after
+    /// publishing a result, so threads waiting on scheduler state re-check
+    /// it).
+    pub(crate) fn bump(&self) {
+        self.shared.bump();
+    }
+
+    fn push_job(&self, morsel: bool, job: RawJob) {
+        let mut q = self.shared.queues.lock().expect("pool lock poisoned");
+        if morsel {
+            q.morsel.push_back(job);
+        } else {
+            q.node.push_back(job);
+        }
+        self.shared.epoch.fetch_add(1, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+    }
+
+    fn try_pop(&self, morsel_only: bool) -> Option<RawJob> {
+        let mut q = self.shared.queues.lock().expect("pool lock poisoned");
+        q.morsel.pop_front().or_else(|| {
+            if morsel_only {
+                None
+            } else {
+                q.node.pop_front()
+            }
+        })
+    }
+
+    /// Execute queued jobs — sleeping when there are none — until `done()`
+    /// returns true.  `done` is always evaluated with no pool lock held
+    /// (it may take other locks); any event that can flip it must go
+    /// through [`PoolShared::bump`] (or a job push), or the waiter could
+    /// sleep through it.
+    pub(crate) fn help_until(&self, morsel_only: bool, mut done: impl FnMut() -> bool) {
+        loop {
+            let epoch = self.shared.epoch.load(Ordering::SeqCst);
+            if done() {
+                return;
+            }
+            if let Some(job) = self.try_pop(morsel_only) {
+                job();
+                continue;
+            }
+            let mut q = self.shared.queues.lock().expect("pool lock poisoned");
+            while self.shared.epoch.load(Ordering::SeqCst) == epoch
+                && q.morsel.is_empty()
+                && (morsel_only || q.node.is_empty())
+            {
+                q = self.shared.wake.wait(q).expect("pool lock poisoned");
+            }
+        }
+    }
+
+    /// Run `tasks` to completion on the pool **plus the calling thread**
+    /// and return once every task finished.  Tasks may borrow from the
+    /// caller's stack (they cannot outlive this call); a panicking task is
+    /// caught, the remaining tasks still run, and the first panic is
+    /// resumed on the calling thread afterwards.
+    ///
+    /// The calling thread drains the group itself (and, once its group is
+    /// empty, helps with *other* morsel jobs while waiting for stragglers),
+    /// so completion never depends on a worker being idle.
+    pub fn run_scoped<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let total = tasks.len();
+        // SAFETY: the tasks are erased to 'static so they can sit in the
+        // 'static queues, but every one of them is executed (or at least
+        // begun and finished) before this function returns — `remaining`
+        // only reaches 0 when each task has run to completion, and we wait
+        // for exactly that below.  Borrows captured by the tasks therefore
+        // never dangle.  Drain jobs left in the queue after that hold only
+        // the (empty) group, never a task.
+        let erased: VecDeque<RawJob> = tasks
+            .into_iter()
+            .map(|task| unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, RawJob>(task)
+            })
+            .collect();
+        let group = Arc::new(ScopedGroup {
+            tasks: Mutex::new(erased),
+            remaining: AtomicUsize::new(total),
+            panic: Mutex::new(None),
+        });
+        // One drain job per worker that could usefully help (the calling
+        // thread takes one share itself).
+        let helpers = self.workers.min(total.saturating_sub(1));
+        for _ in 0..helpers {
+            let group = Arc::clone(&group);
+            let shared = Arc::clone(&self.shared);
+            self.push_job(true, Box::new(move || drain_group(&shared, &group)));
+        }
+        drain_group(&self.shared, &group);
+        self.help_until(true, || group.remaining.load(Ordering::SeqCst) == 0);
+        let payload = group.panic.lock().expect("group lock poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queues.lock().expect("pool lock poisoned");
+            q.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One `run_scoped` task group.
+struct ScopedGroup {
+    tasks: Mutex<VecDeque<RawJob>>,
+    /// Tasks not yet run to completion (claimed-but-running tasks count).
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// Pop and run the group's tasks until it is empty (executed by workers
+/// via drain jobs and by the submitting thread directly).
+fn drain_group(shared: &PoolShared, group: &ScopedGroup) {
+    loop {
+        let task = group.tasks.lock().expect("group lock poisoned").pop_front();
+        let Some(task) = task else { return };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+            group
+                .panic
+                .lock()
+                .expect("group lock poisoned")
+                .get_or_insert(payload);
+        }
+        if group.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last task done: wake the submitter (and anyone else waiting).
+            shared.bump();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut q = shared.queues.lock().expect("pool lock poisoned");
+    loop {
+        let job = q.morsel.pop_front().or_else(|| q.node.pop_front());
+        if let Some(job) = job {
+            drop(q);
+            // Jobs arrive pre-wrapped in catch_unwind (groups and
+            // sessions); this outer catch only shields the pool itself
+            // from a hypothetical unwinding bug, keeping the worker alive.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            q = shared.queues.lock().expect("pool lock poisoned");
+            continue;
+        }
+        if q.shutdown {
+            return;
+        }
+        q = shared.wake.wait(q).expect("pool lock poisoned");
+    }
+}
+
+/// The per-query handle the parallel executor streams node jobs through.
+///
+/// Tracks how many submitted jobs have not yet finished; [`QuerySession::drain`]
+/// (also called on drop) runs the stragglers on the current thread, so by
+/// the time the executor's stack frame unwinds, no erased job that borrows
+/// it can still exist — the safety argument for [`QuerySession::submit`].
+pub(crate) struct QuerySession {
+    pool: Arc<WorkerPool>,
+    pending: Arc<SessionPending>,
+}
+
+struct SessionPending {
+    count: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl QuerySession {
+    pub(crate) fn new(pool: Arc<WorkerPool>) -> QuerySession {
+        QuerySession {
+            pool,
+            pending: Arc::new(SessionPending {
+                count: AtomicUsize::new(0),
+                panic: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Submit a node job.
+    ///
+    /// # Safety
+    ///
+    /// Everything `job` borrows must stay alive until this session is
+    /// drained (the executor drops the session — which drains — before the
+    /// scheduler state the jobs borrow leaves scope).
+    pub(crate) unsafe fn submit<'env>(&self, job: Box<dyn FnOnce() + Send + 'env>) {
+        self.pending.count.fetch_add(1, Ordering::SeqCst);
+        let erased = std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, RawJob>(job);
+        let pending = Arc::clone(&self.pending);
+        let shared = Arc::clone(&self.pool.shared);
+        self.pool.push_job(
+            false,
+            Box::new(move || {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(erased)) {
+                    pending
+                        .panic
+                        .lock()
+                        .expect("session lock poisoned")
+                        .get_or_insert(payload);
+                }
+                if pending.count.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    shared.bump();
+                }
+            }),
+        );
+    }
+
+    /// Run (or wait out) every outstanding job of this session.
+    pub(crate) fn drain(&self) {
+        let pending = &self.pending;
+        self.pool
+            .help_until(false, || pending.count.load(Ordering::SeqCst) == 0);
+    }
+
+    /// The first panic payload a job produced, if any (the executor
+    /// resumes it on the coordinator after draining).
+    pub(crate) fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.pending
+            .panic
+            .lock()
+            .expect("session lock poisoned")
+            .take()
+    }
+}
+
+impl Drop for QuerySession {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scoped_tasks_run_to_completion_and_may_borrow() {
+        let pool = WorkerPool::new(2);
+        let mut results = vec![0usize; 64];
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = results
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| Box::new(move || *slot = i * i) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        pool.run_scoped(tasks);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, i * i);
+        }
+    }
+
+    #[test]
+    fn run_scoped_works_without_any_workers() {
+        // A zero-worker pool degenerates to the calling thread draining
+        // the whole group itself.
+        let pool = WorkerPool::new(0);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..16)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_scoped(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn a_panicking_task_does_not_strand_its_group() {
+        let pool = WorkerPool::new(1);
+        let done = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+            .map(|i| {
+                let done = &done;
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("task 3 exploded");
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run_scoped(tasks)));
+        assert!(outcome.is_err(), "the panic is resumed on the caller");
+        assert_eq!(done.load(Ordering::SeqCst), 7, "the other tasks still ran");
+        // The pool survives and runs further work.
+        let after = AtomicUsize::new(0);
+        pool.run_scoped(vec![Box::new(|| {
+            after.fetch_add(1, Ordering::SeqCst);
+        })]);
+        assert_eq!(after.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn the_pool_is_reused_across_scopes_without_respawning() {
+        let pool = WorkerPool::new(2);
+        let generation = pool.generation();
+        for _ in 0..10 {
+            let hits = AtomicUsize::new(0);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|_| {
+                    let hits = &hits;
+                    Box::new(move || {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_scoped(tasks);
+            assert_eq!(hits.load(Ordering::SeqCst), 4);
+        }
+        // Same pool, same generation: no thread was spawned in between.
+        assert_eq!(pool.generation(), generation);
+        assert_eq!(pool.worker_count(), 2);
+    }
+
+    #[test]
+    fn sessions_drain_their_jobs_and_surface_panics() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let session = QuerySession::new(Arc::clone(&pool));
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..16 {
+            let counter = Arc::clone(&counter);
+            // 'static jobs: the erasure is a no-op, trivially safe.
+            unsafe {
+                session.submit(Box::new(move || {
+                    if i == 5 {
+                        panic!("job 5 exploded");
+                    }
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+        }
+        session.drain();
+        assert_eq!(counter.load(Ordering::SeqCst), 15);
+        assert!(session.take_panic().is_some());
+        assert!(session.take_panic().is_none(), "payload is taken once");
+    }
+
+    #[test]
+    fn generations_are_distinct_per_pool() {
+        let a = WorkerPool::new(0);
+        let b = WorkerPool::new(0);
+        assert!(b.generation() > a.generation());
+    }
+}

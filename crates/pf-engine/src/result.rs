@@ -16,6 +16,7 @@
 //! actually asked for.  [`serialize_table`] is the free-standing streaming
 //! entry point for callers that hold a table and a registry themselves.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
@@ -60,12 +61,13 @@ impl Timings {
 pub struct QueryResult {
     table: Arc<Table>,
     /// The document stores the result actually references, resolved when
-    /// the query finished (indexed by document id; unreferenced ids stay
-    /// `None`).  Node items resolve against these without touching the
-    /// registry lock again, and results that contain no nodes retain no
-    /// stores at all — dropping or reloading documents in the engine is
-    /// never blocked by an atomic-only result.
-    stores: Vec<Option<Arc<DocStore>>>,
+    /// the query finished and keyed by document id.  Node items resolve
+    /// against these without touching the registry lock again, and the
+    /// map holds exactly the referenced stores — a result referencing one
+    /// high transient document id costs one entry, not `id + 1` slots of a
+    /// dense table, and results that contain no nodes retain no stores at
+    /// all.
+    stores: HashMap<u32, Arc<DocStore>>,
     /// Row permutation bringing the table into `pos` order (`None` when
     /// the rows already are — the common case).
     order: Option<Vec<usize>>,
@@ -192,19 +194,17 @@ fn pos_order(table: &Table) -> EngineResult<Option<Vec<usize>>> {
 
 /// Resolve every document store the item column references — done once at
 /// result construction, so the streaming serializer has no failure paths
-/// left and the result retains only the stores it actually needs.
+/// left and the result retains only the stores it actually needs (a map,
+/// not a dense id-indexed table: transient document ids can be arbitrarily
+/// high after a run of constructor-heavy queries).
 fn resolve_stores(
     item_col: &Column,
     registry: &DocRegistry,
-) -> EngineResult<Vec<Option<Arc<DocStore>>>> {
-    let mut stores: Vec<Option<Arc<DocStore>>> = Vec::new();
+) -> EngineResult<HashMap<u32, Arc<DocStore>>> {
+    let mut stores: HashMap<u32, Arc<DocStore>> = HashMap::new();
     let mut resolve = |doc: u32| -> EngineResult<()> {
-        let idx = doc as usize;
-        if idx >= stores.len() {
-            stores.resize(idx + 1, None);
-        }
-        if stores[idx].is_none() {
-            stores[idx] = Some(
+        if let std::collections::hash_map::Entry::Vacant(slot) = stores.entry(doc) {
+            slot.insert(
                 registry
                     .store(doc)
                     .ok_or_else(|| EngineError::msg(format!("unknown document id {doc}")))?,
@@ -232,15 +232,15 @@ fn resolve_stores(
 fn write_rows(
     item_col: &Column,
     order: Option<&[usize]>,
-    stores: &[Option<Arc<DocStore>>],
+    stores: &HashMap<u32, Arc<DocStore>>,
     out: &mut impl fmt::Write,
 ) -> EngineResult<()> {
     let mut previous_was_atomic = false;
     let mut write_item = |item: &Value, out: &mut dyn fmt::Write| -> fmt::Result {
         match item {
             Value::Node(node) => {
-                let store = stores[node.doc as usize]
-                    .as_ref()
+                let store = stores
+                    .get(&node.doc)
                     .expect("referenced stores resolved at construction");
                 store.write_subtree_xml(node.pre, out)?;
                 previous_was_atomic = false;

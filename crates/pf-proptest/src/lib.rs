@@ -71,6 +71,77 @@ pub mod strategy {
         }
     }
 
+    /// Extension adapters mirroring the real crate's combinator methods.
+    pub trait StrategyExt: Strategy + Sized {
+        /// Map generated values through `f` (`Strategy::prop_map`).
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F> {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + Sized> StrategyExt for S {}
+
+    /// The [`StrategyExt::prop_map`] adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value
+    /// (`proptest::prelude::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A uniform choice between boxed strategies of one value type — the
+    /// engine behind [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build a union; `options` must be non-empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let pick = rng.gen_range(0..self.options.len());
+            self.options[pick].generate(rng)
+        }
+    }
+
+    /// Box a strategy for [`Union`] (used by the `prop_oneof!` expansion;
+    /// a function rather than an `as` cast so type inference connects the
+    /// arms' value types).
+    pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(strategy)
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
     /// String strategy: a pattern of the form `[class]{lo,hi}` (also
     /// `{n}`, `*`, `+`), where the class lists literal characters and
     /// `a-z`-style ranges. This covers the character-class regexes used in
@@ -271,9 +342,43 @@ pub mod test_runner {
 /// as `proptest::bool::ANY`): importing a module named `bool` would shadow
 /// the primitive type in type positions.
 pub mod prelude {
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy, StrategyExt};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform-choice selection strategies (`proptest::sample::select`).
+pub mod sample {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The [`select`] strategy.
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Pick uniformly from `options` (cloned per case); must be non-empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select needs options");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// Choose uniformly between strategy arms that share one value type
+/// (`proptest::prop_oneof!`; weights are not supported by the shim).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
 }
 
 /// Assert a condition inside a property (panics like `assert!`).

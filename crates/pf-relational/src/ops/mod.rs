@@ -14,18 +14,20 @@ pub mod rownum;
 pub mod select;
 pub mod setops;
 pub mod sort;
+pub mod sortkeys;
 pub mod step;
 
 pub use aggregate::{aggregate_by, AggFunc};
 pub use join::{cross, equi_join, theta_join};
 pub use map::{map_binary, map_const, map_unary, BinaryOp, CmpOp, UnaryOp};
-pub use pipeline::{run_pipeline, FusedStep};
+pub use pipeline::{run_pipeline, run_pipeline_range, steps_chunkable, FusedStep};
 pub use project::project;
-pub use rownum::row_number;
+pub use rownum::{row_number, row_number_by, row_number_permuted, OrderSpec};
 pub use select::{select_by, select_eq, select_true};
 pub use setops::{difference, distinct, union_disjoint};
 pub use sort::sort_by;
-pub use step::{staircase_step, DocResolver};
+pub use sortkeys::{KeyCol, SortKeys};
+pub use step::{plan_step, staircase_step, DocResolver, StepChunk, StepPlan, StepShard};
 
 use crate::value::Value;
 

@@ -262,6 +262,44 @@ pub fn run_pipeline(
     atomize: &mut dyn FnMut(&Value) -> Value,
 ) -> RelResult<Table> {
     let mut vt = VirtualTable::new(input);
+    apply_steps(&mut vt, steps, atomize)?;
+    vt.finish()
+}
+
+/// Is every step of this pipeline row-local, i.e. may the pipeline be
+/// evaluated over disjoint input-row chunks whose outputs concatenate to
+/// the whole-input result?  Selections, projections, attaches and maps
+/// qualify; δ does not (duplicate elimination needs to see every row).
+pub fn steps_chunkable(steps: &[FusedStep]) -> bool {
+    !steps.iter().any(|s| matches!(s, FusedStep::Distinct))
+}
+
+/// Evaluate a pipeline over the input rows `rows.start..rows.end` only —
+/// the **morsel body** of a chunked pipeline evaluation.  For a
+/// [`steps_chunkable`] pipeline, concatenating the chunk outputs in range
+/// order reproduces [`run_pipeline`] over the whole input row for row
+/// (chunks are processed independently, so a worker pool may evaluate them
+/// concurrently; every error a chunk can hit, the whole-input run hits
+/// too).
+pub fn run_pipeline_range(
+    input: &Table,
+    steps: &[FusedStep],
+    rows: std::ops::Range<usize>,
+    atomize: &mut dyn FnMut(&Value) -> Value,
+) -> RelResult<Table> {
+    debug_assert!(rows.end <= input.row_count());
+    let mut vt = VirtualTable::new(input);
+    vt.sel = Some(rows.collect());
+    apply_steps(&mut vt, steps, atomize)?;
+    vt.finish()
+}
+
+/// The shared interpreter loop of [`run_pipeline`] / [`run_pipeline_range`].
+fn apply_steps(
+    vt: &mut VirtualTable,
+    steps: &[FusedStep],
+    atomize: &mut dyn FnMut(&Value) -> Value,
+) -> RelResult<()> {
     for step in steps {
         match step {
             FusedStep::Project { columns } => {
@@ -356,7 +394,7 @@ pub fn run_pipeline(
             }
         }
     }
-    vt.finish()
+    Ok(())
 }
 
 #[cfg(test)]
@@ -681,6 +719,39 @@ mod tests {
         .unwrap();
         assert_eq!(out.value("s", 0).unwrap(), Value::Int(4));
         assert_eq!(out.value("s", 1).unwrap(), Value::Int(8));
+    }
+
+    #[test]
+    fn chunked_evaluation_concatenates_to_the_whole_run() {
+        let t = input();
+        let steps = [
+            FusedStep::MapBinary {
+                target: "cmp".into(),
+                left: "a".into(),
+                op: BinaryOp::Cmp(CmpOp::Gt),
+                right: "b".into(),
+            },
+            FusedStep::SelectTrue {
+                column: "cmp".into(),
+            },
+            FusedStep::Project {
+                columns: vec![("iter".into(), "iter".into()), ("a".into(), "item".into())],
+            },
+        ];
+        assert!(steps_chunkable(&steps));
+        assert!(!steps_chunkable(&[FusedStep::Distinct]));
+        let whole = run_pipeline(&t, &steps, &mut identity()).unwrap();
+        for chunk in 1..=t.row_count() {
+            let mut pieces = Vec::new();
+            let mut lo = 0;
+            while lo < t.row_count() {
+                let hi = (lo + chunk).min(t.row_count());
+                pieces.push(run_pipeline_range(&t, &steps, lo..hi, &mut identity()).unwrap());
+                lo = hi;
+            }
+            let merged = Table::concat_rows(pieces).unwrap();
+            assert_eq!(merged, whole, "chunk size {chunk}");
+        }
     }
 
     #[test]

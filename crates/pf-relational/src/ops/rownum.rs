@@ -6,11 +6,61 @@
 //! `for` loop opens a new scope and (b) to restore sequence `pos` values
 //! when results are mapped back to an outer scope (the `%pos1:⟨iter,pos⟩/outer`
 //! node in Figure 5).
+//!
+//! There is **one** numbering kernel, [`row_number_by`], shared by the
+//! relational layer and the plan executor: it supports descending keys and
+//! sorts via the typed [`SortKeys`]
+//! comparator (keys are extracted once; comparisons never materialize
+//! [`Value`](crate::value::Value)s).  The sort permutation can also be
+//! computed elsewhere — e.g. chunk-sorted on a worker pool and merged — and
+//! handed to [`row_number_permuted`], which applies the numbering; both
+//! entry points produce bit-identical tables for the same logical order.
 
 use crate::column::Column;
 use crate::error::RelResult;
-use crate::ops::sort::sort_rows_by;
+use crate::ops::sortkeys::{KeyCol, SortKeys};
 use crate::table::Table;
+
+/// One ordering key of a row numbering: a column and its direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderSpec {
+    /// The key column.
+    pub column: String,
+    /// `true` for descending order.
+    pub descending: bool,
+}
+
+impl OrderSpec {
+    /// An ascending key.
+    pub fn asc(column: impl Into<String>) -> OrderSpec {
+        OrderSpec {
+            column: column.into(),
+            descending: false,
+        }
+    }
+
+    /// A descending key.
+    pub fn desc(column: impl Into<String>) -> OrderSpec {
+        OrderSpec {
+            column: column.into(),
+            descending: true,
+        }
+    }
+}
+
+/// The `(column, descending)` sort specification of a row numbering: the
+/// partition column (always ascending) first, then the order keys.
+pub fn sort_spec<'a>(
+    order_by: &'a [OrderSpec],
+    partition_by: Option<&'a str>,
+) -> Vec<(&'a str, bool)> {
+    let mut specs: Vec<(&str, bool)> = Vec::with_capacity(order_by.len() + 1);
+    if let Some(p) = partition_by {
+        specs.push((p, false));
+    }
+    specs.extend(order_by.iter().map(|s| (s.column.as_str(), s.descending)));
+    specs
+}
 
 /// Append a 1-based numbering column `target`.
 ///
@@ -20,42 +70,55 @@ use crate::table::Table;
 /// are re-ordered to the sort order used for numbering, which is what the
 /// compiled plans expect (they immediately consume the numbering as the new
 /// `iter` or `pos` column).
+pub fn row_number_by(
+    input: &Table,
+    target: &str,
+    order_by: &[OrderSpec],
+    partition_by: Option<&str>,
+) -> RelResult<Table> {
+    let specs = sort_spec(order_by, partition_by);
+    let keys = SortKeys::for_columns(input, &specs)?;
+    let order = keys.stable_permutation(input.row_count());
+    row_number_permuted(input, target, partition_by, &order)
+}
+
+/// Ascending-only convenience wrapper around [`row_number_by`].
 pub fn row_number(
     input: &Table,
     target: &str,
     order_by: &[&str],
     partition_by: Option<&str>,
 ) -> RelResult<Table> {
-    // Validate columns up front for good error messages.
-    for c in order_by {
-        input.column(c)?;
-    }
+    let specs: Vec<OrderSpec> = order_by.iter().map(|&c| OrderSpec::asc(c)).collect();
+    row_number_by(input, target, &specs, partition_by)
+}
+
+/// Apply a row numbering given a pre-computed sort permutation (`order`
+/// must be the stable permutation for the [`sort_spec`] of this numbering;
+/// the parallel executor computes it with chunk sorts merged on a worker
+/// pool).  Gathers the rows into sort order, then numbers them —
+/// restarting at each partition boundary, detected with the typed
+/// [`KeyCol`] comparator, so no per-row key values are materialized.
+pub fn row_number_permuted(
+    input: &Table,
+    target: &str,
+    partition_by: Option<&str>,
+    order: &[usize],
+) -> RelResult<Table> {
     if let Some(p) = partition_by {
         input.column(p)?;
     }
-
-    let mut sort_cols: Vec<&str> = Vec::new();
-    if let Some(p) = partition_by {
-        sort_cols.push(p);
-    }
-    sort_cols.extend_from_slice(order_by);
-    let order = sort_rows_by(input, &sort_cols)?;
-    let sorted = input.gather_rows(&order);
-
-    let mut numbering: Vec<u64> = Vec::with_capacity(sorted.row_count());
+    let sorted = input.gather_rows(order);
+    let rows = sorted.row_count();
+    let mut numbering: Vec<u64> = Vec::with_capacity(rows);
     match partition_by {
-        None => {
-            numbering.extend((1..=sorted.row_count() as u64).collect::<Vec<_>>());
-        }
+        None => numbering.extend(1..=rows as u64),
         Some(p) => {
-            let pcol = sorted.column(p)?;
+            let key = KeyCol::of(sorted.column(p)?);
             let mut counter = 0u64;
-            let mut previous: Option<crate::ops::HashKey> = None;
-            for row in 0..sorted.row_count() {
-                let key = crate::ops::HashKey::of(&pcol.get(row));
-                if previous.as_ref() != Some(&key) {
+            for row in 0..rows {
+                if row == 0 || !key.rows_equal(row - 1, row) {
                     counter = 0;
-                    previous = Some(key);
                 }
                 counter += 1;
                 numbering.push(counter);
@@ -117,6 +180,37 @@ mod tests {
         let t = row_number(&t, "inner", &["iter", "pos"], None).unwrap();
         assert_eq!(t.value("inner", 0).unwrap(), Value::Nat(1));
         assert_eq!(t.value("inner", 1).unwrap(), Value::Nat(2));
+    }
+
+    #[test]
+    fn descending_keys_number_from_the_top() {
+        let t = row_number_by(&table(), "rank", &[OrderSpec::desc("item")], Some("iter")).unwrap();
+        // Within iter 1: 20 before 10; within iter 2: 40 before 30.
+        let rows: Vec<(u64, i64, u64)> = (0..4)
+            .map(|r| {
+                (
+                    t.value("iter", r).unwrap().as_nat().unwrap(),
+                    match t.value("item", r).unwrap() {
+                        Value::Int(i) => i,
+                        other => panic!("unexpected {other}"),
+                    },
+                    t.value("rank", r).unwrap().as_nat().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(rows, vec![(1, 20, 1), (1, 10, 2), (2, 40, 1), (2, 30, 2)]);
+    }
+
+    #[test]
+    fn permuted_entry_matches_the_direct_kernel() {
+        let t = table();
+        let order_by = [OrderSpec::asc("pos")];
+        let direct = row_number_by(&t, "n", &order_by, Some("iter")).unwrap();
+        let specs = sort_spec(&order_by, Some("iter"));
+        let keys = SortKeys::for_columns(&t, &specs).unwrap();
+        let order = keys.stable_permutation(t.row_count());
+        let permuted = row_number_permuted(&t, "n", Some("iter"), &order).unwrap();
+        assert_eq!(direct, permuted);
     }
 
     #[test]

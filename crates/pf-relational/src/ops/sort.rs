@@ -5,26 +5,16 @@
 //! document order after a union), this stable multi-column sort is used.
 
 use crate::error::RelResult;
+use crate::ops::sortkeys::SortKeys;
 use crate::table::Table;
 
 /// Compute the permutation that sorts `input` by `columns` (stable,
-/// ascending, using the total sort order of values).
+/// ascending, using the total sort order of values).  Keys are extracted
+/// once ([`SortKeys`]); the comparator never materializes values.
 pub fn sort_rows_by(input: &Table, columns: &[&str]) -> RelResult<Vec<usize>> {
-    let cols: Vec<&_> = columns
-        .iter()
-        .map(|c| input.column(c))
-        .collect::<RelResult<Vec<_>>>()?;
-    let mut order: Vec<usize> = (0..input.row_count()).collect();
-    order.sort_by(|&a, &b| {
-        for col in &cols {
-            let ord = col.get(a).sort_key_cmp(&col.get(b));
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
-            }
-        }
-        std::cmp::Ordering::Equal
-    });
-    Ok(order)
+    let specs: Vec<(&str, bool)> = columns.iter().map(|&c| (c, false)).collect();
+    let keys = SortKeys::for_columns(input, &specs)?;
+    Ok(keys.stable_permutation(input.row_count()))
 }
 
 /// Sort `input` by `columns` (stable, ascending).

@@ -1,0 +1,295 @@
+//! Typed sort keys — allocation-free comparators for sorts and row numbering.
+//!
+//! The first executor sorted by calling [`Column::get`] inside the
+//! comparator, materializing two [`Value`]s (and, for string columns, two
+//! heap allocations) per comparison — O(n log n) allocations per sort.
+//! [`SortKeys`] extracts a typed, borrowed view of every key column *once*
+//! and compares rows straight against the underlying buffers, reproducing
+//! [`Value::sort_key_cmp`] exactly (columns are homogeneous, so the
+//! same-type arms apply; the polymorphic item column compares by reference).
+//!
+//! The keys are also the unit of **morsel parallelism** for sorts: a
+//! permutation can be chunk-sorted on worker threads ([`SortKeys::sort_run`]
+//! over disjoint index runs) and then merged ([`SortKeys::merge_sorted_runs`],
+//! a stable pairwise merge).  Because the runs are contiguous index ranges
+//! and the merge takes from the left run on ties, the merged permutation is
+//! **bit-identical** to a single stable sort — results cannot depend on the
+//! morsel size or the thread count.
+
+use std::cmp::Ordering;
+
+use crate::column::Column;
+use crate::error::RelResult;
+use crate::table::Table;
+use crate::value::{NodeRef, Value};
+
+/// A borrowed, typed view of one key column.
+#[derive(Debug, Clone, Copy)]
+pub enum KeyCol<'a> {
+    /// Natural numbers.
+    Nat(&'a [u64]),
+    /// Integers.
+    Int(&'a [i64]),
+    /// Doubles.
+    Dbl(&'a [f64]),
+    /// Strings (compared without cloning).
+    Str(&'a [String]),
+    /// Booleans.
+    Bool(&'a [bool]),
+    /// Node references (document order).
+    Node(&'a [NodeRef]),
+    /// The polymorphic item column (compared by reference via
+    /// [`Value::sort_key_cmp`]).
+    Item(&'a [Value]),
+}
+
+impl<'a> KeyCol<'a> {
+    /// Borrow a typed view of `column`.
+    pub fn of(column: &'a Column) -> KeyCol<'a> {
+        match column {
+            Column::Nat(v) => KeyCol::Nat(v),
+            Column::Int(v) => KeyCol::Int(v),
+            Column::Dbl(v) => KeyCol::Dbl(v),
+            Column::Str(v) => KeyCol::Str(v),
+            Column::Bool(v) => KeyCol::Bool(v),
+            Column::Node(v) => KeyCol::Node(v),
+            Column::Item(v) => KeyCol::Item(v),
+        }
+    }
+
+    /// Compare rows `a` and `b` of this column — exactly
+    /// [`Value::sort_key_cmp`] of the two cells, without materializing
+    /// them (`NaN` doubles sort last via
+    /// [`nan_last_cmp`](crate::value::nan_last_cmp), keeping the order
+    /// total — a precondition for run merges matching one stable sort).
+    pub fn cmp_rows(&self, a: usize, b: usize) -> Ordering {
+        match self {
+            KeyCol::Nat(v) => v[a].cmp(&v[b]),
+            KeyCol::Int(v) => v[a].cmp(&v[b]),
+            KeyCol::Dbl(v) => crate::value::nan_last_cmp(v[a], v[b]),
+            KeyCol::Str(v) => v[a].cmp(&v[b]),
+            KeyCol::Bool(v) => v[a].cmp(&v[b]),
+            KeyCol::Node(v) => v[a].cmp(&v[b]),
+            KeyCol::Item(v) => v[a].sort_key_cmp(&v[b]),
+        }
+    }
+
+    /// `true` when rows `a` and `b` carry equal keys (used for partition
+    /// boundaries in row numbering).
+    pub fn rows_equal(&self, a: usize, b: usize) -> bool {
+        self.cmp_rows(a, b) == Ordering::Equal
+    }
+}
+
+/// The extracted key columns of one sort, in significance order, each with
+/// its direction.
+#[derive(Debug, Clone)]
+pub struct SortKeys<'a> {
+    keys: Vec<(KeyCol<'a>, bool)>,
+}
+
+impl<'a> SortKeys<'a> {
+    /// Extract the keys for `specs` (`(column, descending)` pairs) from
+    /// `table`.  Unknown columns error with the schema-listing message of
+    /// [`Table::column`].
+    pub fn for_columns(table: &'a Table, specs: &[(&str, bool)]) -> RelResult<SortKeys<'a>> {
+        let keys = specs
+            .iter()
+            .map(|&(name, descending)| Ok((KeyCol::of(table.column(name)?), descending)))
+            .collect::<RelResult<Vec<_>>>()?;
+        Ok(SortKeys { keys })
+    }
+
+    /// Compare rows `a` and `b` under the full composite key.
+    pub fn cmp_rows(&self, a: usize, b: usize) -> Ordering {
+        for (key, descending) in &self.keys {
+            let mut ord = key.cmp_rows(a, b);
+            if *descending {
+                ord = ord.reverse();
+            }
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// The stable permutation sorting rows `0..rows` by these keys.
+    pub fn stable_permutation(&self, rows: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..rows).collect();
+        self.sort_run(&mut order);
+        order
+    }
+
+    /// Stable-sort one run of row indices in place (the morsel body: runs
+    /// are disjoint, so they may be sorted concurrently).
+    pub fn sort_run(&self, run: &mut [usize]) {
+        run.sort_by(|&a, &b| self.cmp_rows(a, b));
+    }
+
+    /// Merge a permutation consisting of consecutive sorted runs of
+    /// `run_len` rows each (the last run may be shorter) into one sorted
+    /// permutation.
+    ///
+    /// The merge is stable — ties take from the left run, and every index
+    /// in a left run is smaller than every index in a right run — so the
+    /// result is identical to [`SortKeys::stable_permutation`], whatever
+    /// the run length.
+    pub fn merge_sorted_runs(&self, perm: Vec<usize>, run_len: usize) -> Vec<usize> {
+        let n = perm.len();
+        if run_len == 0 || run_len >= n {
+            return perm;
+        }
+        let mut src = perm;
+        let mut dst = vec![0usize; n];
+        let mut width = run_len;
+        while width < n {
+            let mut start = 0;
+            while start < n {
+                let mid = (start + width).min(n);
+                let end = (start + 2 * width).min(n);
+                let (mut i, mut j, mut k) = (start, mid, start);
+                while i < mid && j < end {
+                    if self.cmp_rows(src[i], src[j]) != Ordering::Greater {
+                        dst[k] = src[i];
+                        i += 1;
+                    } else {
+                        dst[k] = src[j];
+                        j += 1;
+                    }
+                    k += 1;
+                }
+                dst[k..k + (mid - i)].copy_from_slice(&src[i..mid]);
+                let k = k + (mid - i);
+                dst[k..k + (end - j)].copy_from_slice(&src[j..end]);
+                start = end;
+            }
+            std::mem::swap(&mut src, &mut dst);
+            width *= 2;
+        }
+        src
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn table() -> Table {
+        Table::new(vec![
+            ("iter".into(), Column::nats(vec![2, 1, 2, 1, 1])),
+            ("item".into(), Column::ints(vec![30, 20, 40, 20, 10])),
+            (
+                "mixed".into(),
+                Column::items(vec![
+                    Value::Int(1),
+                    Value::Str("a".into()),
+                    Value::Nat(1),
+                    Value::Bool(true),
+                    Value::Dbl(0.5),
+                ]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    /// The typed comparator must agree with the Value-materializing one on
+    /// every column representation, including the polymorphic item column.
+    #[test]
+    fn typed_cmp_matches_value_sort_key_cmp() {
+        let t = table();
+        for name in ["iter", "item", "mixed"] {
+            let col = t.column(name).unwrap();
+            let key = KeyCol::of(col);
+            for a in 0..t.row_count() {
+                for b in 0..t.row_count() {
+                    assert_eq!(
+                        key.cmp_rows(a, b),
+                        col.get(a).sort_key_cmp(&col.get(b)),
+                        "column {name}, rows ({a}, {b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stable_permutation_matches_materializing_sort() {
+        let t = table();
+        let keys = SortKeys::for_columns(&t, &[("iter", false), ("item", false)]).unwrap();
+        let fast = keys.stable_permutation(t.row_count());
+        let mut slow: Vec<usize> = (0..t.row_count()).collect();
+        let a = t.column("iter").unwrap();
+        let b = t.column("item").unwrap();
+        slow.sort_by(|&x, &y| {
+            a.get(x)
+                .sort_key_cmp(&a.get(y))
+                .then(b.get(x).sort_key_cmp(&b.get(y)))
+        });
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn descending_keys_reverse_but_stay_stable() {
+        let t = table();
+        let keys = SortKeys::for_columns(&t, &[("item", true)]).unwrap();
+        let order = keys.stable_permutation(t.row_count());
+        // items: 30, 20, 40, 20, 10 → desc: 40, 30, 20, 20, 10; the two
+        // 20s keep their original relative order (row 1 before row 3).
+        assert_eq!(order, vec![2, 0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn merged_runs_equal_one_stable_sort_at_every_run_length() {
+        let t = table();
+        let keys = SortKeys::for_columns(&t, &[("iter", false), ("item", true)]).unwrap();
+        let n = t.row_count();
+        let reference = keys.stable_permutation(n);
+        for run_len in 1..=n + 1 {
+            let mut perm: Vec<usize> = (0..n).collect();
+            for run in perm.chunks_mut(run_len) {
+                keys.sort_run(run);
+            }
+            let merged = keys.merge_sorted_runs(perm, run_len);
+            assert_eq!(merged, reference, "run_len {run_len}");
+        }
+    }
+
+    #[test]
+    fn nan_doubles_sort_last_and_merges_stay_deterministic() {
+        // NaN-as-equal-to-everything is intransitive and would make the
+        // merged permutation depend on the run length; NaN-last keeps the
+        // order total, so every chunking merges to the same permutation.
+        let t = Table::new(vec![(
+            "d".into(),
+            Column::dbls(vec![5.0, f64::NAN, 3.0, f64::NAN, 1.0, 4.0]),
+        )])
+        .unwrap();
+        let keys = SortKeys::for_columns(&t, &[("d", false)]).unwrap();
+        let n = t.row_count();
+        let reference = keys.stable_permutation(n);
+        assert_eq!(
+            reference,
+            vec![4, 2, 5, 0, 1, 3],
+            "numbers first, NaNs last"
+        );
+        for run_len in 1..=n {
+            let mut perm: Vec<usize> = (0..n).collect();
+            for run in perm.chunks_mut(run_len) {
+                keys.sort_run(run);
+            }
+            assert_eq!(
+                keys.merge_sorted_runs(perm, run_len),
+                reference,
+                "run_len {run_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let t = table();
+        assert!(SortKeys::for_columns(&t, &[("missing", false)]).is_err());
+    }
+}

@@ -6,11 +6,29 @@
 //! is the `iter|pos|item` table of step results per iteration, in document
 //! order and duplicate-free within each iteration — exactly the contract of
 //! `fs:distinct-doc-order` applied after an XPath step.
+//!
+//! The evaluation is split into three phases so the executor can run the
+//! scan phase as **morsels** on a worker pool:
+//!
+//! 1. [`plan_step`] groups the context rows by `(iter, doc)`, resolves
+//!    every document store once, sorts/dedups each context and — for the
+//!    descendant axes — pre-prunes it ([`pf_store::descendant_prune`]),
+//!    producing a [`StepPlan`] of independent work items;
+//! 2. [`StepPlan::shards`] partitions the work into row-bounded shards
+//!    ([`StepPlan::eval_shards`] evaluates any subset; shards of a
+//!    descendant context are sub-ranges of the pruned context, whose
+//!    subtree scans are disjoint);
+//! 3. [`StepPlan::merge`] concatenates the shard outputs in plan order and
+//!    assigns the per-iteration `pos` numbering.
+//!
+//! Evaluating all shards in one go and merging reproduces the single-pass
+//! evaluation **bit for bit**, so [`staircase_step`] (the sequential entry
+//! point) is just phases 1–3 run back to back.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use pf_store::{staircase_join, Axis, DocStore, NodeTest, PreRank};
+use pf_store::{descendant_scan, staircase_join, Axis, DocStore, NodeTest, PreRank};
 
 use crate::column::Column;
 use crate::error::{RelError, RelResult};
@@ -43,21 +61,55 @@ impl DocResolver for Vec<Arc<DocStore>> {
     }
 }
 
-/// Evaluate one XPath location step for every iteration of a loop-lifted
-/// context table.
-///
-/// * `input` must have an `iter` column and a node-valued `item` column.
-/// * The result has schema `iter|pos|item`, where `pos` re-establishes
-///   sequence order (document order) within each iteration.
-/// * The attribute axis is handled here as well (it reads the attribute
-///   table rather than the node table); attribute *values* are returned as
-///   strings, mirroring how the engine consumes `@attr` steps.
-pub fn staircase_step<R: DocResolver + ?Sized>(
+/// One independent unit of a planned step: the (sorted, deduplicated,
+/// possibly pre-pruned) context of one `(iter, doc)` group.
+#[derive(Debug)]
+struct StepItem {
+    iter: u64,
+    doc: u32,
+    store: Arc<DocStore>,
+    context: Vec<PreRank>,
+    /// May this item's context be split across shards?  `true` for the
+    /// descendant axes (pruned contexts root disjoint subtrees) and the
+    /// attribute axis (per-context-node lookups); the remaining axes are
+    /// evaluated whole.
+    splittable: bool,
+}
+
+/// A grouped, store-resolved step evaluation, ready to be sharded across
+/// workers (or evaluated in one piece).  Shared immutably across threads.
+#[derive(Debug)]
+pub struct StepPlan {
+    axis: Axis,
+    items: Vec<StepItem>,
+}
+
+/// One shard of a [`StepPlan`]: a context sub-range of one work item.
+#[derive(Debug, Clone)]
+pub struct StepShard {
+    item: usize,
+    lo: usize,
+    hi: usize,
+}
+
+/// The rows one shard (or shard run) produced, in plan order.  `pos` is
+/// assigned later, by [`StepPlan::merge`], because a partitioned iteration
+/// spans shards.
+#[derive(Debug, Default)]
+pub struct StepChunk {
+    iters: Vec<u64>,
+    nodes: Vec<NodeRef>,
+    strs: Vec<String>,
+}
+
+/// Phase 1: group, resolve and order the context rows of `input` (see the
+/// module docs).  `input` must have an `iter` column and a node-valued
+/// `item` column; unknown documents are reported here.
+pub fn plan_step<R: DocResolver + ?Sized>(
     input: &Table,
     docs: &R,
     axis: Axis,
-    test: &NodeTest,
-) -> RelResult<Table> {
+) -> RelResult<StepPlan> {
     let iter_col = input.column("iter")?;
     let item_col = input.column("item")?;
 
@@ -75,23 +127,19 @@ pub fn staircase_step<R: DocResolver + ?Sized>(
     }
     iter_order.sort_unstable();
 
-    let mut iters: Vec<u64> = Vec::new();
-    let mut poss: Vec<u64> = Vec::new();
-    // The axis decides the output item type up front, so the item column is
-    // built in its typed representation directly (no polymorphic detour):
-    // attribute steps yield strings, every other axis yields node refs.
-    let mut node_items: Vec<NodeRef> = Vec::new();
-    let mut str_items: Vec<String> = Vec::new();
-    // Resolve each document once per call, not once per iteration group —
+    // Resolve each document once per plan, not once per iteration group —
     // a resolver may sit behind a lock, and a step typically touches one
     // document across thousands of groups.
     let mut stores: HashMap<u32, Arc<DocStore>> = HashMap::new();
-
+    let splittable = matches!(
+        axis,
+        Axis::Descendant | Axis::DescendantOrSelf | Axis::Attribute
+    );
+    let mut items = Vec::new();
     for iter in iter_order {
         let by_doc = &groups[&iter];
         let mut docs_sorted: Vec<u32> = by_doc.keys().copied().collect();
         docs_sorted.sort_unstable();
-        let mut pos = 0u64;
         for doc_id in docs_sorted {
             let store = match stores.entry(doc_id) {
                 std::collections::hash_map::Entry::Occupied(slot) => slot.into_mut(),
@@ -103,40 +151,195 @@ pub fn staircase_step<R: DocResolver + ?Sized>(
             let mut context = by_doc[&doc_id].clone();
             context.sort_unstable();
             context.dedup();
-            if axis == Axis::Attribute {
-                for value in attribute_step(store, &context, test) {
-                    pos += 1;
-                    iters.push(iter);
-                    poss.push(pos);
-                    str_items.push(value);
+            if matches!(axis, Axis::Descendant | Axis::DescendantOrSelf) {
+                // Pre-prune so shards scan disjoint subtrees; the in-join
+                // pruning pass then has nothing left to remove, whatever
+                // the shard boundaries.
+                context = pf_store::descendant_prune(store, &context).0;
+            }
+            items.push(StepItem {
+                iter,
+                doc: doc_id,
+                store: Arc::clone(store),
+                context,
+                splittable,
+            });
+        }
+    }
+    Ok(StepPlan { axis, items })
+}
+
+impl StepPlan {
+    /// Total context rows across all work items — the morsel weight of
+    /// this step.
+    pub fn context_rows(&self) -> usize {
+        self.items.iter().map(|i| i.context.len()).sum()
+    }
+
+    /// Phase 2: partition the work into shards of at most `target_rows`
+    /// context nodes each (splittable items are cut into context
+    /// sub-ranges; the rest stay whole).  Pass `usize::MAX` for one shard
+    /// per item.  The shard list depends only on the plan and
+    /// `target_rows`, never on scheduling.
+    pub fn shards(&self, target_rows: usize) -> Vec<StepShard> {
+        let target = target_rows.max(1);
+        let mut shards = Vec::new();
+        for (item_idx, item) in self.items.iter().enumerate() {
+            let len = item.context.len();
+            if item.splittable && len > target {
+                let mut lo = 0;
+                while lo < len {
+                    let hi = (lo + target).min(len);
+                    shards.push(StepShard {
+                        item: item_idx,
+                        lo,
+                        hi,
+                    });
+                    lo = hi;
                 }
             } else {
-                let result = staircase_join(store, &context, axis, test);
-                for pre in result {
-                    pos += 1;
-                    iters.push(iter);
-                    poss.push(pos);
-                    node_items.push(NodeRef::new(doc_id, pre));
+                shards.push(StepShard {
+                    item: item_idx,
+                    lo: 0,
+                    hi: len,
+                });
+            }
+        }
+        shards
+    }
+
+    /// Group consecutive shards into runs of roughly `target_rows` context
+    /// nodes (one task per run keeps tiny morsel sizes from exploding into
+    /// thousands of jobs).
+    pub fn shard_runs(&self, target_rows: usize) -> Vec<Vec<StepShard>> {
+        let shards = self.shards(target_rows);
+        let mut runs: Vec<Vec<StepShard>> = Vec::new();
+        let mut current: Vec<StepShard> = Vec::new();
+        let mut weight = 0usize;
+        for shard in shards {
+            let w = shard.hi - shard.lo;
+            if !current.is_empty() && weight + w > target_rows {
+                runs.push(std::mem::take(&mut current));
+                weight = 0;
+            }
+            weight += w;
+            current.push(shard);
+        }
+        if !current.is_empty() {
+            runs.push(current);
+        }
+        runs
+    }
+
+    /// Phase 3a: evaluate a run of shards (any thread; `&self` is shared
+    /// immutably).  Infallible: contexts and stores were validated by
+    /// [`plan_step`].
+    pub fn eval_shards(&self, shards: &[StepShard], test: &NodeTest) -> StepChunk {
+        let mut chunk = StepChunk::default();
+        for shard in shards {
+            let item = &self.items[shard.item];
+            let context = &item.context[shard.lo..shard.hi];
+            match self.axis {
+                Axis::Attribute => {
+                    for value in attribute_step(&item.store, context, test) {
+                        chunk.iters.push(item.iter);
+                        chunk.strs.push(value);
+                    }
+                }
+                Axis::Descendant | Axis::DescendantOrSelf => {
+                    let mut pres = Vec::new();
+                    descendant_scan(
+                        &item.store,
+                        context,
+                        self.axis == Axis::DescendantOrSelf,
+                        test,
+                        &mut pres,
+                    );
+                    chunk
+                        .iters
+                        .extend(std::iter::repeat_n(item.iter, pres.len()));
+                    chunk
+                        .nodes
+                        .extend(pres.into_iter().map(|pre| NodeRef::new(item.doc, pre)));
+                }
+                axis => {
+                    let result = staircase_join(&item.store, context, axis, test);
+                    chunk
+                        .iters
+                        .extend(std::iter::repeat_n(item.iter, result.len()));
+                    chunk
+                        .nodes
+                        .extend(result.into_iter().map(|pre| NodeRef::new(item.doc, pre)));
                 }
             }
         }
+        chunk
     }
 
-    // An empty step keeps the polymorphic representation `from_values`
-    // would have produced, so downstream unions see the same column kinds
-    // as before this fast path existed.
-    let item_col = if iters.is_empty() {
-        Column::empty_item()
-    } else if axis == Axis::Attribute {
-        Column::strs(str_items)
-    } else {
-        Column::nodes(node_items)
-    };
-    Table::new(vec![
-        ("iter".into(), Column::nats(iters)),
-        ("pos".into(), Column::nats(poss)),
-        ("item".into(), item_col),
-    ])
+    /// Phase 3b: concatenate shard-run outputs (in shard order) into the
+    /// `iter|pos|item` result table, assigning the per-iteration `pos`
+    /// numbering.  Deterministic: depends only on the chunks' contents and
+    /// order.
+    pub fn merge(&self, chunks: Vec<StepChunk>) -> RelResult<Table> {
+        let rows: usize = chunks.iter().map(|c| c.iters.len()).sum();
+        let mut iters: Vec<u64> = Vec::with_capacity(rows);
+        let mut poss: Vec<u64> = Vec::with_capacity(rows);
+        let mut node_items: Vec<NodeRef> = Vec::with_capacity(rows);
+        let mut str_items: Vec<String> = Vec::with_capacity(rows);
+        let mut pos = 0u64;
+        for chunk in chunks {
+            for iter in &chunk.iters {
+                // Iterations are contiguous across chunks (work items are
+                // sorted by iter), so `pos` restarts exactly at iteration
+                // boundaries.
+                if iters.last() != Some(iter) {
+                    pos = 0;
+                }
+                pos += 1;
+                iters.push(*iter);
+                poss.push(pos);
+            }
+            node_items.extend(chunk.nodes);
+            str_items.extend(chunk.strs);
+        }
+        // An empty step keeps the polymorphic representation `from_values`
+        // would have produced, so downstream unions see the same column
+        // kinds as before this fast path existed.
+        let item_col = if iters.is_empty() {
+            Column::empty_item()
+        } else if self.axis == Axis::Attribute {
+            Column::strs(str_items)
+        } else {
+            Column::nodes(node_items)
+        };
+        Table::new(vec![
+            ("iter".into(), Column::nats(iters)),
+            ("pos".into(), Column::nats(poss)),
+            ("item".into(), item_col),
+        ])
+    }
+}
+
+/// Evaluate one XPath location step for every iteration of a loop-lifted
+/// context table (the sequential entry point: plan, evaluate every shard
+/// in one run, merge).
+///
+/// * `input` must have an `iter` column and a node-valued `item` column.
+/// * The result has schema `iter|pos|item`, where `pos` re-establishes
+///   sequence order (document order) within each iteration.
+/// * The attribute axis is handled here as well (it reads the attribute
+///   table rather than the node table); attribute *values* are returned as
+///   strings, mirroring how the engine consumes `@attr` steps.
+pub fn staircase_step<R: DocResolver + ?Sized>(
+    input: &Table,
+    docs: &R,
+    axis: Axis,
+    test: &NodeTest,
+) -> RelResult<Table> {
+    let plan = plan_step(input, docs, axis)?;
+    let shards = plan.shards(usize::MAX);
+    let chunk = plan.eval_shards(&shards, test);
+    plan.merge(vec![chunk])
 }
 
 /// The attribute axis: look up attribute values in the attribute table.
@@ -195,6 +398,45 @@ mod tests {
         assert_eq!(result.value("pos", 0).unwrap(), Value::Nat(1));
         assert_eq!(result.value("pos", 1).unwrap(), Value::Nat(2));
         assert_eq!(result.value("iter", 2).unwrap(), Value::Nat(2));
+    }
+
+    #[test]
+    fn sharded_evaluation_matches_the_sequential_entry_point() {
+        // Many context nodes in one iteration plus a second iteration:
+        // shard the plan at every context-row target and check the merged
+        // result is bit-identical to the one-pass evaluation.
+        let store = Arc::new(
+            DocStore::from_xml(
+                "t",
+                "<r><a><b/><b/></a><a><b/></a><a/><a><b/><b/><b/></a></r>",
+            )
+            .unwrap(),
+        );
+        let n = store.node_count() as u32;
+        let all: Vec<Value> = (0..n).map(|p| Value::Node(NodeRef::new(0, p))).collect();
+        let iters: Vec<u64> = (0..n as usize).map(|i| 1 + (i as u64 % 2)).collect();
+        let table = Table::iter_pos_item(iters, vec![1; n as usize], all).unwrap();
+        let docs = vec![store];
+        for axis in [
+            Axis::Descendant,
+            Axis::DescendantOrSelf,
+            Axis::Child,
+            Axis::Ancestor,
+            Axis::Following,
+        ] {
+            let whole =
+                staircase_step(&table, docs.as_slice(), axis, &NodeTest::AnyElement).unwrap();
+            let plan = plan_step(&table, docs.as_slice(), axis).unwrap();
+            for target in [1usize, 2, 3, 7, usize::MAX] {
+                let chunks: Vec<StepChunk> = plan
+                    .shard_runs(target)
+                    .iter()
+                    .map(|run| plan.eval_shards(run, &NodeTest::AnyElement))
+                    .collect();
+                let merged = plan.merge(chunks).unwrap();
+                assert_eq!(merged, whole, "axis {axis:?}, target {target}");
+            }
+        }
     }
 
     #[test]

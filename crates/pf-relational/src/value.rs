@@ -240,8 +240,10 @@ impl Value {
     }
 
     /// A total order usable for sorting and duplicate elimination: orders by
-    /// type first, then by value.  (Distinct from [`Value::compare`], which
-    /// implements XQuery comparison semantics and can fail.)
+    /// type first, then by value; `NaN` doubles sort after every number
+    /// (and equal to each other — see [`nan_last_cmp`]).  (Distinct from
+    /// [`Value::compare`], which implements XQuery comparison semantics
+    /// and can fail.)
     pub fn sort_key_cmp(&self, rhs: &Value) -> Ordering {
         fn type_rank(v: &Value) -> u8 {
             match v {
@@ -256,17 +258,34 @@ impl Value {
         match (self, rhs) {
             (Value::Nat(a), Value::Nat(b)) => a.cmp(b),
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
-            (Value::Dbl(a), Value::Dbl(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Value::Dbl(a), Value::Dbl(b)) => nan_last_cmp(*a, *b),
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (Value::Node(a), Value::Node(b)) => a.cmp(b),
             (a, b) if a.is_numeric() && b.is_numeric() => {
                 let x = a.as_f64().unwrap_or(f64::NAN);
                 let y = b.as_f64().unwrap_or(f64::NAN);
-                x.partial_cmp(&y).unwrap_or(Ordering::Equal)
+                nan_last_cmp(x, y)
             }
             (a, b) => type_rank(a).cmp(&type_rank(b)),
         }
+    }
+}
+
+/// A genuinely total double comparison for sorting: ordinary values by
+/// `partial_cmp`, and `NaN` equal to `NaN` but **after** every number.
+///
+/// Treating `NaN` as equal to everything (the previous behavior) is not
+/// transitive — `5.0 = NaN = 3.0` but `5.0 > 3.0` — which both trips the
+/// standard library's sort-total-order assertion on larger inputs and
+/// makes a chunk-sort-then-merge produce a different permutation than one
+/// stable sort, i.e. sort results would depend on the morsel size.
+pub fn nan_last_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("non-NaN doubles compare"),
     }
 }
 
@@ -423,6 +442,23 @@ mod tests {
         assert_eq!(Value::Int(3).as_nat().unwrap(), 3);
         assert!(Value::Int(-1).as_nat().is_err());
         assert!(Value::Str("x".into()).as_nat().is_err());
+    }
+
+    #[test]
+    fn nan_sorts_after_every_number_and_equal_to_itself() {
+        assert_eq!(nan_last_cmp(f64::NAN, f64::NAN), Ordering::Equal);
+        assert_eq!(nan_last_cmp(f64::NAN, f64::INFINITY), Ordering::Greater);
+        assert_eq!(nan_last_cmp(1.0, f64::NAN), Ordering::Less);
+        assert_eq!(nan_last_cmp(1.0, 2.0), Ordering::Less);
+        // Through sort_key_cmp, including the mixed-numeric arm.
+        assert_eq!(
+            Value::Dbl(f64::NAN).sort_key_cmp(&Value::Int(7)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Int(7).sort_key_cmp(&Value::Dbl(f64::NAN)),
+            Ordering::Less
+        );
     }
 
     #[test]

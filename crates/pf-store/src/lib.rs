@@ -37,6 +37,8 @@ pub mod store;
 
 pub use axis::{axis_region, naive_axis_step, Axis, NodeTest};
 pub use dict::Dictionary;
-pub use staircase::{staircase_join, staircase_join_counted, StaircaseStats};
+pub use staircase::{
+    descendant_prune, descendant_scan, staircase_join, staircase_join_counted, StaircaseStats,
+};
 pub use stats::StorageStats;
 pub use store::{DocStore, NodeKindCode, PreRank};

@@ -90,6 +90,59 @@ pub fn staircase_join_counted(
     (result, stats)
 }
 
+/// Prune a document-ordered context for the descendant(-or-self)
+/// staircase: drop every context node that lies inside the subtree of an
+/// earlier context node (its axis region is covered).  Returns the pruned
+/// context and the number of node-table rows the pruning saved.
+///
+/// The surviving context nodes root **disjoint** subtrees in document
+/// order, which is what makes the scan partitionable: the results for any
+/// split of the pruned context into consecutive slices (see
+/// [`descendant_scan`]) concatenate to the full result — the iter-range /
+/// context-range entry the morsel-parallel executor uses.
+pub fn descendant_prune(store: &DocStore, context: &[PreRank]) -> (Vec<PreRank>, usize) {
+    let mut covered_until: Option<PreRank> = None;
+    let mut pruned: Vec<PreRank> = Vec::with_capacity(context.len());
+    let mut skipped = 0usize;
+    for &c in context {
+        match covered_until {
+            Some(end) if c <= end => {
+                skipped += (store.size_of(c) + 1) as usize;
+                continue;
+            }
+            _ => {}
+        }
+        covered_until = Some(c + store.size_of(c));
+        pruned.push(c);
+    }
+    (pruned, skipped)
+}
+
+/// Scan the subtrees of a slice of an already-pruned context (the
+/// partitioned half of the descendant staircase; see [`descendant_prune`]).
+/// Results are appended to `out` in document order.  Returns the number of
+/// node-table rows visited.
+pub fn descendant_scan(
+    store: &DocStore,
+    pruned: &[PreRank],
+    or_self: bool,
+    test: &NodeTest,
+    out: &mut Vec<PreRank>,
+) -> usize {
+    let mut scanned = 0usize;
+    for &c in pruned {
+        let start = if or_self { c } else { c + 1 };
+        let end = c + store.size_of(c);
+        for pre in start..=end {
+            scanned += 1;
+            if test.matches(store, pre) {
+                out.push(pre);
+            }
+        }
+    }
+    scanned
+}
+
 /// descendant / descendant-or-self: prune covered context nodes, then scan
 /// each surviving context node's subtree exactly once.
 fn descendant_staircase(
@@ -99,33 +152,11 @@ fn descendant_staircase(
     test: &NodeTest,
     stats: &mut StaircaseStats,
 ) -> Vec<PreRank> {
-    let mut out = Vec::new();
-    // Pruning: a context node that lies inside the subtree of an earlier
-    // context node contributes nothing new.
-    let mut covered_until: Option<PreRank> = None;
-    let mut pruned: Vec<PreRank> = Vec::with_capacity(context.len());
-    for &c in context {
-        match covered_until {
-            Some(end) if c <= end => {
-                stats.rows_skipped += (store.size_of(c) + 1) as usize;
-                continue;
-            }
-            _ => {}
-        }
-        covered_until = Some(c + store.size_of(c));
-        pruned.push(c);
-    }
+    let (pruned, skipped) = descendant_prune(store, context);
+    stats.rows_skipped += skipped;
     stats.pruned_context = pruned.len();
-    for &c in &pruned {
-        let start = if or_self { c } else { c + 1 };
-        let end = c + store.size_of(c);
-        for pre in start..=end {
-            stats.rows_scanned += 1;
-            if test.matches(store, pre) {
-                out.push(pre);
-            }
-        }
-    }
+    let mut out = Vec::new();
+    stats.rows_scanned += descendant_scan(store, &pruned, or_self, test, &mut out);
     out
 }
 
@@ -355,6 +386,20 @@ mod tests {
             sorted.sort_unstable();
             sorted.dedup();
             assert_eq!(out, sorted, "{axis:?} result not sorted/unique");
+        }
+    }
+
+    #[test]
+    fn partitioned_descendant_scans_concatenate_to_the_full_join() {
+        let s = store();
+        let ctx = all_elements(&s);
+        let (pruned, _) = descendant_prune(&s, &ctx);
+        let whole = staircase_join(&s, &ctx, Axis::Descendant, &NodeTest::AnyNode);
+        for split in 0..=pruned.len() {
+            let mut out = Vec::new();
+            descendant_scan(&s, &pruned[..split], false, &NodeTest::AnyNode, &mut out);
+            descendant_scan(&s, &pruned[split..], false, &NodeTest::AnyNode, &mut out);
+            assert_eq!(out, whole, "split at {split}");
         }
     }
 

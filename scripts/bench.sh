@@ -10,10 +10,14 @@
 #   BENCH_pr4.json — fusion profile (fused vs unfused physical plans:
 #                    wall time, tables elided, peak cells; see
 #                    PF_FUSION_RUNS)
+#   BENCH_pr5.json — morsel profile (per-operator wall times at
+#                    1/2/4/8 threads on the persistent pool, plus the
+#                    constructor linear-scaling check; see
+#                    PF_MORSEL_THREADS, PF_MORSEL_RUNS, PF_MORSEL)
 #
 #   ./scripts/bench.sh                       # scale 0.05, default outputs
 #   ./scripts/bench.sh 0.2                   # custom scale factor
-#   ./scripts/bench.sh 0.2 mem.json scal.json fus.json  # custom outputs
+#   ./scripts/bench.sh 0.2 mem.json scal.json fus.json morsel.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,8 +26,10 @@ scale="${1:-0.05}"
 mem_out="${2:-BENCH_pr2.json}"
 scaling_out="${3:-BENCH_pr3.json}"
 fusion_out="${4:-BENCH_pr4.json}"
+morsel_out="${5:-BENCH_pr5.json}"
 
 cargo run --release -p pf-bench --bin mem_profile -- "$scale" "$mem_out"
 cargo run --release -p pf-bench --bin thread_scaling -- "$scale" "$scaling_out"
 # Threads pinned to 1 so the peak-cell numbers are schedule-independent.
 cargo run --release -p pf-bench --bin fusion_profile -- "$scale" "$fusion_out" 1
+cargo run --release -p pf-bench --bin morsel_profile -- "$scale" "$morsel_out"

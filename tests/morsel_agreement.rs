@@ -1,0 +1,179 @@
+//! Determinism of the morsel-parallel executor on the persistent pool.
+//!
+//! Intra-operator parallelism must be invisible: partitioned sorts, row
+//! numberings, staircase shards and chunked fused pipelines merge
+//! deterministically, so the serialized result, the row counts and the
+//! schedule-independent [`ExecStats`] totals of every query are
+//! **byte-identical** across
+//!
+//! * thread counts (`1` — the sequential executor — vs `4`),
+//! * morsel sizes (tiny — every big operator splits into many chunks —
+//!   vs the default vs `∞` — no intra-operator partitioning at all), and
+//! * fusion on/off (chunked pipelines vs chunked single operators).
+//!
+//! This suite pins that down for all 20 XMark queries plus a
+//! constructor-heavy query, comparing every configuration against the
+//! sequential, unpartitioned reference of the same fusion setting (work
+//! totals differ *between* fusion settings by design — elided tables —
+//! so the reference is per fusion flag).
+
+use std::sync::Arc;
+
+use pathfinder::engine::{EngineOptions, ExecStats, Pathfinder};
+use pathfinder::xmark::{generate, queries, GeneratorConfig};
+
+const CONSTRUCTOR_QUERY: &str = r#"for $p in doc("auction.xml")/site/people/person
+return element card {
+    attribute id { $p/@id },
+    element who { $p/name/text() },
+    element mail { element inner { $p/emailaddress/text() } },
+    text { "person-card" }
+}"#;
+
+struct Config {
+    threads: usize,
+    morsel_rows: usize,
+    label: &'static str,
+}
+
+const CONFIGS: &[Config] = &[
+    Config {
+        threads: 1,
+        morsel_rows: usize::MAX,
+        label: "t1/∞",
+    },
+    Config {
+        threads: 1,
+        morsel_rows: 2,
+        label: "t1/tiny",
+    },
+    Config {
+        threads: 4,
+        morsel_rows: usize::MAX,
+        label: "t4/∞",
+    },
+    Config {
+        threads: 4,
+        morsel_rows: 0,
+        label: "t4/default",
+    },
+    Config {
+        threads: 4,
+        morsel_rows: 2,
+        label: "t4/tiny",
+    },
+];
+
+fn engine(xml_doc: &Arc<pathfinder::xml::Document>, fusion: bool, config: &Config) -> Pathfinder {
+    let mut pf = Pathfinder::with_options(EngineOptions {
+        threads: config.threads,
+        morsel_rows: config.morsel_rows,
+        fusion,
+        ..EngineOptions::default()
+    });
+    pf.load_parsed("auction.xml", xml_doc).unwrap();
+    pf
+}
+
+/// The schedule-independent slice of [`ExecStats`] (peaks legitimately
+/// vary with scheduling and buffer sharing).
+type Totals = (usize, usize, usize, usize, usize, usize);
+
+fn totals(stats: &ExecStats) -> Totals {
+    (
+        stats.operators_evaluated,
+        stats.rows_produced,
+        stats.cells_produced,
+        stats.evicted_results,
+        stats.fused_ops,
+        stats.tables_elided,
+    )
+}
+
+#[test]
+fn all_queries_agree_across_threads_morsels_and_fusion() {
+    let xml = generate(&GeneratorConfig {
+        scale: 0.003,
+        seed: 20050831,
+    });
+    let doc = Arc::new(pathfinder::xml::parse(&xml).expect("generated XML is well-formed"));
+
+    let mut query_texts: Vec<(String, String)> = queries()
+        .iter()
+        .map(|q| (format!("Q{}", q.id), q.text.to_string()))
+        .collect();
+    query_texts.push(("constructor".into(), CONSTRUCTOR_QUERY.into()));
+
+    for fusion in [true, false] {
+        // Reference: sequential, unpartitioned, this fusion setting.
+        let mut reference_engine = engine(&doc, fusion, &CONFIGS[0]);
+        let references: Vec<(String, usize, Totals)> = query_texts
+            .iter()
+            .map(|(name, text)| {
+                let (result, stats) = reference_engine
+                    .query_profiled(text)
+                    .unwrap_or_else(|e| panic!("{name} failed on the reference: {e}"));
+                (result.to_xml(), result.len(), totals(&stats))
+            })
+            .collect();
+
+        for config in &CONFIGS[1..] {
+            let mut pf = engine(&doc, fusion, config);
+            for ((name, text), (ref_xml, ref_len, ref_totals)) in
+                query_texts.iter().zip(&references)
+            {
+                let (result, stats) = pf.query_profiled(text).unwrap_or_else(|e| {
+                    panic!("{name} failed at {} (fusion {fusion}): {e}", config.label)
+                });
+                assert_eq!(
+                    *ref_xml,
+                    result.to_xml(),
+                    "{name}: serialization diverges at {} (fusion {fusion})",
+                    config.label
+                );
+                assert_eq!(
+                    *ref_len,
+                    result.len(),
+                    "{name}: row count diverges at {} (fusion {fusion})",
+                    config.label
+                );
+                assert_eq!(
+                    *ref_totals,
+                    totals(&stats),
+                    "{name}: work totals diverge at {} (fusion {fusion})",
+                    config.label
+                );
+            }
+            // One pool, however many queries this configuration ran.
+            if config.threads > 1 {
+                assert_eq!(pf.worker_pool_spawns(), 1, "{}", config.label);
+            } else {
+                assert_eq!(pf.worker_pool_spawns(), 0, "{}", config.label);
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_morselized_runs_are_stable() {
+    // Re-running the same query on the same engine (same pool, hot plan
+    // cache) must serialize identically every time.
+    let xml = generate(&GeneratorConfig {
+        scale: 0.003,
+        seed: 7,
+    });
+    let doc = Arc::new(pathfinder::xml::parse(&xml).unwrap());
+    let mut pf = Pathfinder::with_options(EngineOptions {
+        threads: 4,
+        morsel_rows: 2,
+        ..EngineOptions::default()
+    });
+    pf.load_parsed("auction.xml", &doc).unwrap();
+    let q8 = pathfinder::xmark::query(8).unwrap();
+    let first = pf.query(q8.text).expect("first morselized run");
+    for _ in 0..3 {
+        let again = pf.query(q8.text).expect("repeated morselized run");
+        assert_eq!(first.to_xml(), again.to_xml());
+    }
+    assert_eq!(pf.worker_pool_spawns(), 1);
+}
