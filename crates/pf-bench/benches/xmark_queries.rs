@@ -24,7 +24,7 @@ fn xmark_queries(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("pathfinder", format!("Q{id}")),
             &q,
-            |b, q| b.iter(|| instance.pathfinder.query(q.text).unwrap()),
+            |b, q| b.iter(|| instance.pathfinder.session().query(q.text).unwrap()),
         );
         let q = query(id).unwrap();
         group.bench_with_input(

@@ -35,7 +35,7 @@ fn main() {
     for q in queries() {
         let mut timings = Vec::new();
         for instance in instances.iter_mut() {
-            let (result, elapsed) = time(|| instance.pathfinder.query(q.text));
+            let (result, elapsed) = time(|| instance.pathfinder.session().query(q.text));
             result.expect("pathfinder evaluates every XMark query");
             timings.push(elapsed.as_secs_f64());
         }

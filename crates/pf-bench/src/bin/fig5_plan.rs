@@ -13,7 +13,7 @@ use pf_engine::Pathfinder;
 
 fn main() {
     let query = "for $v in (10,20) return $v + 100";
-    let mut pf = Pathfinder::new();
+    let pf = Pathfinder::new();
     let explain = pf.explain(query).expect("the Figure 5 query compiles");
 
     println!("# Figure 5 reproduction — plan for `{query}`");
@@ -31,10 +31,11 @@ fn main() {
     println!("## Graphviz DOT of the optimized plan");
     println!("{}", to_dot(&explain.optimized));
 
-    let result = pf.query(query).unwrap();
+    let result = pf.session().query(query).unwrap();
     println!("## Result: {}", result.to_xml());
 
     let fig3 = pf
+        .session()
         .query("for $v in (10,20), $w in (100,200) return $v + $w")
         .unwrap();
     println!(

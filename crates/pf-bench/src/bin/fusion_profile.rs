@@ -3,7 +3,7 @@
 //!
 //! For every query the binary runs both configurations (two engines
 //! sharing one parsed document) and reports, per configuration, the
-//! best-of-`PF_FUSION_RUNS` wall-clock time of a warm `query_profiled`
+//! best-of-`PF_FUSION_RUNS` wall-clock time of a warm `Profile::Stats` query
 //! call (plan cache hot, compile time out of the picture) plus the
 //! executor statistics of that run: `tables_elided` / `fused_ops` (what
 //! the pipelines saved), total operators, and the peak physically
@@ -64,10 +64,10 @@ fn main() {
     println!("# document: {} bytes of XML", xml.len());
 
     // One engine per fusion setting, sharing the parsed document.
-    let mut engines: Vec<Pathfinder> = [true, false]
+    let engines: Vec<Pathfinder> = [true, false]
         .into_iter()
         .map(|fusion| {
-            let mut pf = Pathfinder::with_options(EngineOptions {
+            let pf = Pathfinder::with_options(EngineOptions {
                 fusion,
                 threads,
                 ..EngineOptions::default()
@@ -94,10 +94,11 @@ fn main() {
         let mut items = 0usize;
         let mut cells: Vec<Cell> = Vec::new();
         for (idx, fusion) in [true, false].into_iter().enumerate() {
-            let engine = &mut engines[idx];
+            let engine = &engines[idx];
             // Warm-up: compiles into the plan cache and yields the result
             // for the fused-vs-unfused agreement check.
             let warm = engine
+                .session()
                 .query(q.text)
                 .unwrap_or_else(|e| panic!("Q{} failed at fusion = {fusion}: {e}", q.id));
             match &reference {
@@ -114,9 +115,13 @@ fn main() {
             }
             let mut best: Option<Cell> = None;
             for _ in 0..runs {
-                let (outcome, wall) = time(|| engine.query_profiled(q.text));
-                let (result, stats) = outcome
+                let (outcome, wall) = time(|| engine.query_with(q.text, pf_engine::Profile::Stats));
+                let outcome = outcome
                     .unwrap_or_else(|e| panic!("Q{} failed at fusion = {fusion}: {e}", q.id));
+                let (result, stats) = (
+                    outcome.result,
+                    outcome.stats.expect("Profile::Stats returns stats"),
+                );
                 assert_eq!(
                     reference.as_deref(),
                     Some(result.to_xml().as_str()),

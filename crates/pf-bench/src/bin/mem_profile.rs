@@ -55,7 +55,7 @@ fn main() {
     // eviction + zero-copy memory discipline, the baseline that
     // `fusion_profile` (BENCH_pr4.json) compares the fused executor
     // against.
-    let mut instance = prepare_with_options(
+    let instance = prepare_with_options(
         scale,
         pf_engine::EngineOptions {
             threads: 1,
@@ -73,9 +73,16 @@ fn main() {
 
     let mut profiles: Vec<QueryProfile> = Vec::new();
     for q in queries() {
-        let (outcome, wall) = time(|| instance.pathfinder.query_profiled(q.text));
-        let (result, stats) =
-            outcome.unwrap_or_else(|e| panic!("Pathfinder failed on Q{}: {e}", q.id));
+        let (outcome, wall) = time(|| {
+            instance
+                .pathfinder
+                .query_with(q.text, pf_engine::Profile::Stats)
+        });
+        let outcome = outcome.unwrap_or_else(|e| panic!("Pathfinder failed on Q{}: {e}", q.id));
+        let (result, stats) = (
+            outcome.result,
+            outcome.stats.expect("Profile::Stats returns stats"),
+        );
         println!(
             "{:>3} | {:>12} {:>12} {:>12} {:>9} {:>7} | {:>9} | {:>8}",
             format!("Q{}", q.id),

@@ -3,7 +3,7 @@
 //! constructor-scaling check.
 //!
 //! For every thread count the binary runs each query through
-//! `query_op_profiled` (after a warm-up, so the plan cache is hot) and
+//! `Profile::Ops` query (after a warm-up, so the plan cache is hot) and
 //! accumulates the per-operator-kind execution times of the best run —
 //! this is where intra-operator parallelism shows up: with morsels
 //! enabled, the `step` / `rownum` / `sort` / `pipeline` rows shrink as
@@ -57,10 +57,10 @@ fn main() {
     println!("# host parallelism: {cores} core(s); best of {runs} run(s) per cell");
 
     // One engine per thread count, all sharing the parsed document.
-    let mut engines: Vec<Pathfinder> = threads
+    let engines: Vec<Pathfinder> = threads
         .iter()
         .map(|&n| {
-            let mut pf = Pathfinder::with_options(EngineOptions {
+            let pf = Pathfinder::with_options(EngineOptions {
                 threads: n,
                 ..EngineOptions::default()
             });
@@ -78,8 +78,9 @@ fn main() {
     for q in queries() {
         let mut reference: Option<String> = None;
         for (t_idx, &t) in threads.iter().enumerate() {
-            let engine = &mut engines[t_idx];
+            let engine = &engines[t_idx];
             let warm = engine
+                .session()
                 .query(q.text)
                 .unwrap_or_else(|e| panic!("Q{} failed at t={t}: {e}", q.id));
             match &reference {
@@ -93,9 +94,12 @@ fn main() {
             }
             let mut best: Option<(Duration, pf_engine::OpProfile)> = None;
             for _ in 0..runs {
-                let (outcome, wall) = time(|| engine.query_op_profiled(q.text));
-                let (result, _, profile) =
-                    outcome.unwrap_or_else(|e| panic!("Q{} failed at t={t}: {e}", q.id));
+                let (outcome, wall) = time(|| engine.query_with(q.text, pf_engine::Profile::Ops));
+                let outcome = outcome.unwrap_or_else(|e| panic!("Q{} failed at t={t}: {e}", q.id));
+                let (result, profile) = (
+                    outcome.result,
+                    outcome.ops.expect("Profile::Ops returns the op profile"),
+                );
                 assert_eq!(
                     reference.as_deref(),
                     Some(result.to_xml().as_str()),
@@ -198,13 +202,13 @@ fn constructor_time(n: usize) -> Duration {
         let _ = write!(xml, "<x>{i}</x>");
     }
     xml.push_str("</r>");
-    let mut pf = Pathfinder::new();
+    let pf = Pathfinder::new();
     pf.load_document("c.xml", &xml).expect("well-formed");
     let q = "for $x in fn:doc(\"c.xml\")//x return element e { $x/text() }";
-    let warm = pf.query(q).expect("constructor query");
+    let warm = pf.session().query(q).expect("constructor query");
     assert_eq!(warm.len(), n);
     (0..3)
-        .map(|_| time(|| pf.query(q).expect("constructor query")).1)
+        .map(|_| time(|| pf.session().query(q).expect("constructor query")).1)
         .min()
         .expect("three runs")
 }

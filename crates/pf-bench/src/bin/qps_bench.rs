@@ -1,0 +1,254 @@
+//! Experiment E6 — concurrent query serving: sustained throughput and
+//! tail latency of one shared engine under a mixed XMark stream.
+//!
+//! For each session count (default 1, 4, 8) the binary opens that many
+//! [`pf_engine::Session`]s on **one** engine, gives every session the
+//! whole 20-query XMark set for `PF_QPS_ROUNDS` rounds (each session
+//! starts at a different offset, so the in-flight mix stays heterogeneous
+//! the whole run), and reports
+//!
+//! * sustained **QPS** — total queries divided by the wall time of the
+//!   whole run, and
+//! * **p50 / p99** per-query latency across every query of every session.
+//!
+//! The plan cache is warmed before timing (compile time is PR 2's story;
+//! this experiment measures serving).  Every result is checked against a
+//! sequential reference — a wrong answer fails the run, so the numbers
+//! can never come from a racy shortcut.
+//!
+//! ```text
+//! cargo run --release -p pf-bench --bin qps_bench -- [scale] [output.json]
+//! cargo run --release -p pf-bench --bin qps_bench -- 0.02 BENCH_pr6.json
+//! ```
+//!
+//! Environment knobs: `PF_QPS_SESSIONS` (comma-separated session counts,
+//! default `1,4,8`), `PF_QPS_ROUNDS` (rounds of the 20-query set per
+//! session, default 3), plus the engine's usual `PF_THREADS` /
+//! `PF_FUSION` / `PF_MORSEL`.  A machine-readable summary is written to
+//! the output path (default `BENCH_pr6.json`); `scripts/bench.sh` wraps
+//! this invocation.  On a one-core box the session counts mostly measure
+//! fair interleaving, not parallel speedup — the JSON records
+//! `available_parallelism` so a flat profile explains itself.
+
+use std::fmt::Write as _;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pf_bench::{seconds, SEED};
+use pf_engine::Pathfinder;
+use pf_xmark::{generate, queries, GeneratorConfig};
+
+struct SessionPoint {
+    sessions: usize,
+    queries_run: usize,
+    wall: Duration,
+    qps: f64,
+    p50: Duration,
+    p99: Duration,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.02);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_pr6.json".to_string());
+    let session_counts = session_counts();
+    let rounds = rounds_per_session();
+
+    println!("# Concurrent serving profile — mixed XMark stream, shared engine");
+    let xml = generate(&GeneratorConfig { scale, seed: SEED });
+    let doc = Arc::new(pf_xml::parse(&xml).expect("generated document is well-formed"));
+    println!("# document: {} bytes of XML", xml.len());
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("# host parallelism: {cores} core(s); {rounds} round(s) of Q1-Q20 per session");
+
+    // Sequential reference results for the correctness check.
+    let reference_engine = Pathfinder::new();
+    reference_engine.load_parsed("auction.xml", &doc).unwrap();
+    let reference: Vec<String> = queries()
+        .iter()
+        .map(|q| {
+            reference_engine
+                .session()
+                .query(q.text)
+                .unwrap_or_else(|e| panic!("Q{} failed on the reference: {e}", q.id))
+                .to_xml()
+        })
+        .collect();
+
+    println!();
+    println!(
+        "{:>8} | {:>8} | {:>10} | {:>10} | {:>10} | {:>8}",
+        "sessions", "queries", "wall (s)", "p50 (s)", "p99 (s)", "QPS"
+    );
+    println!("{}", "-".repeat(70));
+
+    let mut points: Vec<SessionPoint> = Vec::new();
+    for &sessions in &session_counts {
+        let pf = Pathfinder::new();
+        pf.load_parsed("auction.xml", &doc).unwrap();
+        // Warm the plan cache (and record admission estimates).
+        for q in queries() {
+            pf.session()
+                .query(q.text)
+                .unwrap_or_else(|e| panic!("Q{} failed on warm-up: {e}", q.id));
+        }
+
+        let started = Instant::now();
+        let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..sessions)
+                .map(|offset| {
+                    let session = pf.session();
+                    let reference = &reference;
+                    scope.spawn(move || {
+                        let qs = queries();
+                        let mut lats = Vec::with_capacity(rounds * qs.len());
+                        for round in 0..rounds {
+                            for i in 0..qs.len() {
+                                let idx = (i + offset * 5 + round) % qs.len();
+                                let q = &qs[idx];
+                                let q_start = Instant::now();
+                                let result = session.query(q.text).unwrap_or_else(|e| {
+                                    panic!("Q{} failed at {sessions} sessions: {e}", q.id)
+                                });
+                                lats.push(q_start.elapsed());
+                                assert_eq!(
+                                    reference[idx],
+                                    result.to_xml(),
+                                    "Q{} diverged at {sessions} sessions",
+                                    q.id
+                                );
+                            }
+                        }
+                        lats
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("session thread"))
+                .collect()
+        });
+        let wall = started.elapsed();
+        assert!(
+            pf.worker_pool_spawns() <= 1,
+            "per-query pool creation under load"
+        );
+
+        latencies.sort_unstable();
+        let queries_run = latencies.len();
+        let qps = queries_run as f64 / wall.as_secs_f64().max(f64::EPSILON);
+        let p50 = percentile(&latencies, 50);
+        let p99 = percentile(&latencies, 99);
+        println!(
+            "{:>8} | {:>8} | {:>10} | {:>10} | {:>10} | {:>8.1}",
+            sessions,
+            queries_run,
+            seconds(wall),
+            seconds(p50),
+            seconds(p99),
+            qps
+        );
+        points.push(SessionPoint {
+            sessions,
+            queries_run,
+            wall,
+            qps,
+            p50,
+            p99,
+        });
+    }
+
+    if let (Some(base), Some(best)) = (
+        points.first(),
+        points.iter().max_by(|a, b| a.qps.total_cmp(&b.qps)),
+    ) {
+        println!(
+            "\n# best sustained QPS: {:.1} at {} session(s) ({:.2}x the 1-session rate)",
+            best.qps,
+            best.sessions,
+            best.qps / base.qps.max(f64::EPSILON)
+        );
+    }
+
+    let json = render_json(scale, xml.len(), cores, rounds, &points);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("# wrote {out_path}");
+}
+
+/// The `p`-th percentile of an ascending-sorted latency vector
+/// (nearest-rank on the `(n-1)`-scaled index).
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+/// Session counts to profile, honouring `PF_QPS_SESSIONS`.
+fn session_counts() -> Vec<usize> {
+    match std::env::var("PF_QPS_SESSIONS") {
+        Ok(spec) => {
+            let counts: Vec<usize> = spec
+                .split(',')
+                .filter_map(|s| s.trim().parse::<usize>().ok())
+                .filter(|n| *n > 0)
+                .collect();
+            if counts.is_empty() {
+                vec![1, 4, 8]
+            } else {
+                counts
+            }
+        }
+        Err(_) => vec![1, 4, 8],
+    }
+}
+
+/// Rounds of the 20-query set per session, honouring `PF_QPS_ROUNDS`.
+fn rounds_per_session() -> usize {
+    std::env::var("PF_QPS_ROUNDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(3)
+}
+
+/// Hand-rolled JSON rendering (the workspace deliberately has no serde).
+fn render_json(
+    scale: f64,
+    xml_bytes: usize,
+    cores: usize,
+    rounds: usize,
+    points: &[SessionPoint],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"qps\",");
+    let _ = writeln!(out, "  \"scale\": {scale},");
+    let _ = writeln!(out, "  \"xml_bytes\": {xml_bytes},");
+    let _ = writeln!(out, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(out, "  \"rounds_per_session\": {rounds},");
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"sessions\": {}, \"queries\": {}, \"wall_s\": {}, \"qps\": {:.3}, \
+             \"p50_s\": {}, \"p99_s\": {}}}{comma}",
+            p.sessions,
+            p.queries_run,
+            seconds(p.wall),
+            p.qps,
+            seconds(p.p50),
+            seconds(p.p99),
+        );
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}

@@ -21,7 +21,7 @@ fn main() {
     );
     for scale in scales() {
         let xml = generate(&GeneratorConfig { scale, seed: SEED });
-        let mut pf = Pathfinder::new();
+        let pf = Pathfinder::new();
         pf.load_document("auction.xml", &xml).unwrap();
         let stats = pf.registry().storage_stats("auction.xml").unwrap();
         println!(

@@ -59,7 +59,7 @@ fn main() {
         let mut row = format!("{:>3} |", format!("Q{}", q.id));
         for instance in instances.iter_mut() {
             // Pathfinder.
-            let (pf_result, pf_time) = time(|| instance.pathfinder.query(q.text));
+            let (pf_result, pf_time) = time(|| instance.pathfinder.session().query(q.text));
             pf_result.expect("pathfinder evaluates every XMark query");
             // Navigational baseline with DNF extrapolation: assume the
             // nested-loop joins grow quadratically with the scale factor.

@@ -2,7 +2,7 @@
 //! for XMark Q1–Q20 at 1/2/4/8 worker threads.
 //!
 //! For every query and every thread count the binary reports the
-//! best-of-`PF_SCALING_RUNS` wall-clock time of a full `query_profiled`
+//! best-of-`PF_SCALING_RUNS` wall-clock time of a full warm query
 //! call (after one warm-up run, so the plan cache is hot and compile time
 //! is out of the picture) plus the execute-stage time on its own.  Every
 //! run's serialized result is compared against the reference produced at
@@ -67,10 +67,10 @@ fn main() {
     println!("# host parallelism: {cores} core(s); best of {runs} run(s) per cell");
 
     // One engine per thread count, all sharing the parsed document.
-    let mut engines: Vec<Pathfinder> = threads
+    let engines: Vec<Pathfinder> = threads
         .iter()
         .map(|&n| {
-            let mut pf = Pathfinder::with_options(EngineOptions {
+            let pf = Pathfinder::with_options(EngineOptions {
                 threads: n,
                 ..EngineOptions::default()
             });
@@ -94,10 +94,11 @@ fn main() {
         let mut items = 0usize;
         let mut cells: Vec<Cell> = Vec::new();
         for (t_idx, _) in threads.iter().enumerate() {
-            let engine = &mut engines[t_idx];
+            let engine = &engines[t_idx];
             // Warm-up: compiles into the plan cache and yields the result
             // for the cross-thread-count agreement check.
             let warm = engine
+                .session()
                 .query(q.text)
                 .unwrap_or_else(|e| panic!("Q{} failed at t={}: {e}", q.id, threads[t_idx]));
             match &reference {
@@ -115,7 +116,7 @@ fn main() {
             }
             let mut best: Option<Cell> = None;
             for _ in 0..runs {
-                let (outcome, wall) = time(|| engine.query(q.text));
+                let (outcome, wall) = time(|| engine.session().query(q.text));
                 let result = outcome
                     .unwrap_or_else(|e| panic!("Q{} failed at t={}: {e}", q.id, threads[t_idx]));
                 // Outside the timed region: every run (not just the

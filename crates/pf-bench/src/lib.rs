@@ -77,7 +77,7 @@ pub fn prepare_with_threads(scale: f64, threads: usize) -> Instance {
 pub fn prepare_with_options(scale: f64, options: pf_engine::EngineOptions) -> Instance {
     let xml = generate(&GeneratorConfig { scale, seed: SEED });
     let doc = Arc::new(pf_xml::parse(&xml).expect("generated document is well-formed"));
-    let mut pathfinder = Pathfinder::with_options(options);
+    let pathfinder = Pathfinder::with_options(options);
     pathfinder
         .load_parsed("auction.xml", &doc)
         .expect("shredding cannot fail on a parsed document");
@@ -139,7 +139,7 @@ mod tests {
         let mut instance = prepare(0.002);
         assert!(instance.xml_bytes > 1000);
         let q = pf_xmark::query(1).unwrap();
-        let a = instance.pathfinder.query(q.text).unwrap();
+        let a = instance.pathfinder.session().query(q.text).unwrap();
         let b = instance.baseline.query(q.text).unwrap();
         assert_eq!(a.to_xml(), b.to_xml());
     }

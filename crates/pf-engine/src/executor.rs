@@ -640,6 +640,10 @@ pub struct Executor<'a> {
     morsel_rows: usize,
     /// Collect per-operator-kind timings ([`OpProfile`]).
     profile_ops: bool,
+    /// The fair-scheduling lane this executor's pool jobs queue on (the
+    /// engine stamps each query execution with a fresh tag; standalone
+    /// executors run on tag 0).
+    query_tag: u64,
     /// The engine's persistent pool, when one was handed in
     /// ([`Executor::with_pool`] — `Pathfinder` creates one pool and
     /// reuses it for every query).
@@ -677,6 +681,7 @@ impl<'a> Executor<'a> {
             fusion: default_fusion(),
             morsel_rows: default_morsel_rows(),
             profile_ops: false,
+            query_tag: 0,
             shared_pool: None,
             own_pool: OnceLock::new(),
         }
@@ -716,6 +721,15 @@ impl<'a> Executor<'a> {
     /// by [`Executor::run_physical_profiled`]).
     pub fn with_op_profile(mut self, profile: bool) -> Self {
         self.profile_ops = profile;
+        self
+    }
+
+    /// Tag every pool job this executor submits with `tag` (see
+    /// [`crate::pool::QueryTag`]): jobs of distinct tags are scheduled
+    /// round-robin, which is how concurrent queries sharing one engine
+    /// pool get fair treatment.
+    pub fn with_query_tag(mut self, tag: u64) -> Self {
+        self.query_tag = tag;
         self
     }
 
@@ -938,7 +952,7 @@ impl<'a> Executor<'a> {
         };
         // The session is dropped (and thereby drained) before `ctx` goes
         // out of scope — the safety contract of the erased node jobs.
-        let session = QuerySession::new(Arc::clone(&pool));
+        let session = QuerySession::new(Arc::clone(&pool), self.query_tag);
         for id in &seed {
             ctx.spawn_node(&session, *id);
         }
@@ -1051,7 +1065,7 @@ impl<'a> Executor<'a> {
                 }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
-        self.pool().run_scoped(tasks);
+        self.pool().run_scoped_tagged(self.query_tag, tasks);
         let mut chunks = Vec::with_capacity(results.len());
         for result in results {
             match result.expect("every pipeline morsel ran") {
@@ -1089,7 +1103,7 @@ impl<'a> Executor<'a> {
                         Box::new(move || keys_ref.sort_run(run)) as Box<dyn FnOnce() + Send + '_>
                     })
                     .collect();
-                self.pool().run_scoped(tasks);
+                self.pool().run_scoped_tagged(self.query_tag, tasks);
                 Ok(keys.merge_sorted_runs(perm, chunk))
             }
         }
@@ -1128,7 +1142,7 @@ impl<'a> Executor<'a> {
                             as Box<dyn FnOnce() + Send + '_>
                     })
                     .collect();
-                self.pool().run_scoped(tasks);
+                self.pool().run_scoped_tagged(self.query_tag, tasks);
                 let chunks: Vec<ops::StepChunk> = results
                     .into_iter()
                     .map(|c| c.expect("every step morsel ran"))
@@ -1650,7 +1664,7 @@ mod tests {
     use pf_store::{Axis, NodeTest};
 
     fn registry() -> DocRegistry {
-        let mut reg = DocRegistry::new();
+        let reg = DocRegistry::new();
         reg.load_xml("doc.xml", "<a><b>1</b><b>2</b><c>x</c></a>")
             .unwrap();
         reg

@@ -14,37 +14,76 @@
 //! paper) via [`Pathfinder::explain`].
 //!
 //! ```
+//! use pf_engine::{Pathfinder, Profile};
+//!
+//! let pf = Pathfinder::new();
+//! pf.load_document("doc.xml", "<a><b>1</b><b>2</b></a>").unwrap();
+//! let outcome = pf.query_with("fn:sum(fn:doc(\"doc.xml\")//b)", Profile::None).unwrap();
+//! assert_eq!(outcome.result.to_xml(), "3");
+//! ```
+//!
+//! ## Concurrent serving
+//!
+//! Every entry point takes `&self`: the plan cache, the worker pool and
+//! the document registry are interior-mutable, so one engine — typically
+//! behind an [`std::sync::Arc`] — serves many clients at once.  Each
+//! client opens a [`Session`], queries run as query-tagged jobs on the
+//! engine's one persistent [`WorkerPool`] (fair round-robin across
+//! in-flight queries), every execution reads a frozen snapshot of the
+//! document registry (a concurrent reload can never tear a running
+//! query), and an [`AdmissionController`] keeps the summed memory
+//! frontier of the running queries under
+//! [`EngineOptions::memory_budget_rows`].
+//!
+//! ```
 //! use pf_engine::Pathfinder;
 //!
-//! let mut pf = Pathfinder::new();
+//! let pf = Pathfinder::new();
 //! pf.load_document("doc.xml", "<a><b>1</b><b>2</b></a>").unwrap();
-//! let result = pf.query("fn:sum(fn:doc(\"doc.xml\")//b)").unwrap();
-//! assert_eq!(result.to_xml(), "3");
+//! std::thread::scope(|scope| {
+//!     for _ in 0..2 {
+//!         let session = pf.session();
+//!         scope.spawn(move || {
+//!             let r = session.query("fn:count(fn:doc(\"doc.xml\")//b)").unwrap();
+//!             assert_eq!(r.to_xml(), "2");
+//!         });
+//!     }
+//! });
 //! ```
 
+pub mod admission;
 pub mod error;
 pub mod executor;
 pub mod pool;
 pub mod registry;
 pub mod result;
+pub mod session;
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+pub use admission::{AdmissionController, AdmissionPermit, AdmissionStats};
 pub use error::{EngineError, EngineResult};
 pub use executor::{
     default_fusion, default_morsel_rows, default_threads, ExecStats, Executor, OpProfile, OpTiming,
     DEFAULT_MORSEL_ROWS,
 };
-pub use pool::WorkerPool;
+pub use pool::{QueryTag, WorkerPool};
 pub use registry::DocRegistry;
 pub use result::{serialize_table, QueryResult, Timings};
+pub use session::Session;
 
 use pf_algebra::{optimize, OptimizeReport, PhysicalPlan, Plan};
 use pf_xquery::{compile, normalize, parse_query, CompileOptions};
 
 /// Engine-level options.
+///
+/// Construct via the fluent [`EngineOptionsBuilder`]
+/// (`EngineOptions::builder().threads(4).fusion(false).build()`); the
+/// struct fields stay public for back-compat with the older
+/// `EngineOptions { threads: 4, ..Default::default() }` literal style.
 #[derive(Debug, Clone)]
 pub struct EngineOptions {
     /// Options forwarded to the loop-lifting compiler.
@@ -73,6 +112,15 @@ pub struct EngineOptions {
     /// when full, the least-recently-hit plan is evicted.  `0` disables
     /// caching entirely.
     pub plan_cache_capacity: usize,
+    /// Admission-control budget: the maximum *summed estimated memory
+    /// frontier* (in resident intermediate rows, the unit of
+    /// [`ExecStats::peak_resident_rows`]) of the queries running
+    /// concurrently.  A query whose estimate would bust the budget waits
+    /// for admission instead of starting; estimates are the peaks
+    /// recorded on the cached plan by earlier runs (first runs are
+    /// admitted optimistically at 0).  [`usize::MAX`] (the default)
+    /// disables the gate.
+    pub memory_budget_rows: usize,
 }
 
 /// Default capacity of the per-engine plan cache.
@@ -87,7 +135,132 @@ impl Default for EngineOptions {
             fusion: default_fusion(),
             morsel_rows: 0,
             plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            memory_budget_rows: usize::MAX,
         }
+    }
+}
+
+impl EngineOptions {
+    /// Start a fluent [`EngineOptionsBuilder`] from the defaults.
+    pub fn builder() -> EngineOptionsBuilder {
+        EngineOptionsBuilder::new()
+    }
+}
+
+/// Fluent builder for [`EngineOptions`] — the preferred construction
+/// style since PR 6 (struct literals with `..Default::default()` keep
+/// working, but new knobs read better chained):
+///
+/// ```
+/// use pf_engine::{EngineOptions, Pathfinder};
+///
+/// let pf = Pathfinder::with_options(
+///     EngineOptions::builder()
+///         .threads(4)
+///         .morsel_rows(1024)
+///         .fusion(true)
+///         .plan_cache_capacity(64)
+///         .memory_budget_rows(1_000_000)
+///         .build(),
+/// );
+/// assert_eq!(pf.admission().budget_rows(), 1_000_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptionsBuilder {
+    options: EngineOptions,
+}
+
+impl EngineOptionsBuilder {
+    /// A builder initialized with [`EngineOptions::default`].
+    pub fn new() -> Self {
+        EngineOptionsBuilder::default()
+    }
+
+    /// Executor worker threads (see [`EngineOptions::threads`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
+        self
+    }
+
+    /// Morsel size in input rows (see [`EngineOptions::morsel_rows`]).
+    pub fn morsel_rows(mut self, rows: usize) -> Self {
+        self.options.morsel_rows = rows;
+        self
+    }
+
+    /// Enable or disable operator fusion (see [`EngineOptions::fusion`]).
+    pub fn fusion(mut self, fusion: bool) -> Self {
+        self.options.fusion = fusion;
+        self
+    }
+
+    /// Run the peephole optimizer (see [`EngineOptions::optimize`]).
+    pub fn optimize(mut self, optimize: bool) -> Self {
+        self.options.optimize = optimize;
+        self
+    }
+
+    /// Plan-cache capacity (see [`EngineOptions::plan_cache_capacity`]).
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.options.plan_cache_capacity = capacity;
+        self
+    }
+
+    /// Admission-control memory budget in estimated frontier rows (see
+    /// [`EngineOptions::memory_budget_rows`]).
+    pub fn memory_budget_rows(mut self, rows: usize) -> Self {
+        self.options.memory_budget_rows = rows;
+        self
+    }
+
+    /// Options forwarded to the loop-lifting compiler.
+    pub fn compile(mut self, compile: CompileOptions) -> Self {
+        self.options.compile = compile;
+        self
+    }
+
+    /// Finish the chain.
+    pub fn build(self) -> EngineOptions {
+        self.options
+    }
+}
+
+/// How much execution telemetry [`Pathfinder::query_with`] should return
+/// alongside the result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Profile {
+    /// Result only ([`QueryOutcome::stats`] and [`QueryOutcome::ops`] are
+    /// `None`).
+    #[default]
+    None,
+    /// Also return the executor's memory-discipline statistics
+    /// ([`ExecStats`]).
+    Stats,
+    /// Statistics plus the per-operator-kind wall-time profile
+    /// ([`OpProfile`]).
+    Ops,
+}
+
+/// Everything one [`Pathfinder::query_with`] call produced.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The query result (serialization, items, timings).
+    pub result: QueryResult,
+    /// Executor statistics, under [`Profile::Stats`] and [`Profile::Ops`].
+    pub stats: Option<ExecStats>,
+    /// Per-operator timing profile, under [`Profile::Ops`].
+    pub ops: Option<OpProfile>,
+}
+
+impl QueryOutcome {
+    /// The serialized result (delegates to [`QueryResult::to_xml`]).
+    pub fn to_xml(&self) -> String {
+        self.result.to_xml()
+    }
+
+    /// Pipeline timings (delegates to [`QueryResult::timings`]).
+    pub fn timings(&self) -> Timings {
+        self.result.timings()
     }
 }
 
@@ -117,8 +290,8 @@ impl Explain {
 }
 
 /// One plan-cache entry: the optimized logical plan, its physical
-/// compilation (fused per the engine's `fusion` option), and the LRU
-/// bookkeeping.
+/// compilation (fused per the engine's `fusion` option), the LRU
+/// bookkeeping, and the admission estimate learned from earlier runs.
 #[derive(Debug)]
 struct CachedPlan {
     plan: Arc<Plan>,
@@ -126,10 +299,45 @@ struct CachedPlan {
     /// Logical timestamp of the last hit (or the insertion); the entry
     /// with the smallest stamp is evicted when the cache is full.
     last_hit: u64,
+    /// Largest `peak_resident_rows` any execution of this plan reported —
+    /// the admission-control estimate for the next run (`None` until the
+    /// first execution finishes).
+    peak_rows: Option<usize>,
+}
+
+/// The interior-mutable plan cache (map + clock + counters behind one
+/// mutex, so hits, misses, introspection and clearing all work through
+/// `&self` from any session).
+#[derive(Debug, Default)]
+struct PlanCache {
+    entries: HashMap<String, CachedPlan>,
+    /// Logical clock driving the last-hit stamps.
+    clock: u64,
+    hits: usize,
+    misses: usize,
+}
+
+/// A compiled query ready for admission and execution.
+struct Planned {
+    key: String,
+    plan: Arc<Plan>,
+    physical: Arc<PhysicalPlan>,
+    compile_time: Duration,
+    optimize_time: Duration,
+    /// Admission estimate (recorded peak of earlier runs; 0 when unknown).
+    estimate_rows: usize,
+    /// Cumulative cache counters as of this query, for [`Timings`].
+    cache_hits: usize,
+    cache_misses: usize,
 }
 
 /// The Pathfinder engine: a document registry plus the compile/execute
 /// pipeline.
+///
+/// Every entry point takes `&self` — the registry, plan cache, worker
+/// pool and admission gate are interior-mutable — so one engine serves
+/// many concurrent [`Session`]s (from scoped threads, or share the engine
+/// with `Arc<Pathfinder>`).
 ///
 /// Compiled-and-optimized plans — *and their physical compilations* — are
 /// cached per query: the compile stage dominates small-document queries,
@@ -145,18 +353,20 @@ struct CachedPlan {
 pub struct Pathfinder {
     registry: DocRegistry,
     options: EngineOptions,
-    plan_cache: HashMap<String, CachedPlan>,
-    /// Logical clock driving the last-hit stamps.
-    cache_clock: u64,
-    plan_cache_hits: usize,
-    plan_cache_misses: usize,
+    cache: Mutex<PlanCache>,
     /// The engine's persistent worker pool: created at most once (on the
     /// first parallel query) and reused for every query after — no
     /// per-query thread spawns.
-    pool: Option<Arc<WorkerPool>>,
+    pool: OnceLock<Arc<WorkerPool>>,
     /// How many pools this engine has ever spawned (asserted ≤ 1 by the
     /// pool-reuse tests).
-    pools_created: usize,
+    pools_created: AtomicUsize,
+    /// The memory-budget gate every query passes before starting.
+    admission: OnceLock<AdmissionController>,
+    /// Stamps each query execution with a fresh fair-scheduling tag.
+    query_tags: AtomicU64,
+    /// Stamps each opened [`Session`] with an id.
+    session_ids: AtomicU64,
 }
 
 impl Pathfinder {
@@ -168,7 +378,6 @@ impl Pathfinder {
     /// A new engine with explicit options.
     pub fn with_options(options: EngineOptions) -> Self {
         Pathfinder {
-            registry: DocRegistry::new(),
             options,
             ..Pathfinder::default()
         }
@@ -179,30 +388,58 @@ impl Pathfinder {
         &self.registry
     }
 
+    /// The options this engine was built with.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// The engine's admission controller (budget and live counters; see
+    /// [`EngineOptions::memory_budget_rows`]).
+    pub fn admission(&self) -> &AdmissionController {
+        self.admission
+            .get_or_init(|| AdmissionController::new(self.options.memory_budget_rows))
+    }
+
+    /// Open a [`Session`] — the per-client handle for concurrent serving.
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self, self.session_ids.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
     /// Number of compiled plans currently cached.
     pub fn plan_cache_len(&self) -> usize {
-        self.plan_cache.len()
+        self.cache
+            .lock()
+            .expect("plan cache poisoned")
+            .entries
+            .len()
     }
 
     /// Cumulative plan-cache hits and misses since this engine was created.
     pub fn plan_cache_stats(&self) -> (usize, usize) {
-        (self.plan_cache_hits, self.plan_cache_misses)
+        let cache = self.cache.lock().expect("plan cache poisoned");
+        (cache.hits, cache.misses)
     }
 
-    /// Drop all cached plans (hit/miss counters are kept).
-    pub fn clear_plan_cache(&mut self) {
-        self.plan_cache.clear();
+    /// Drop all cached plans (hit/miss counters are kept).  Takes `&self`:
+    /// any session may clear the cache while others keep querying.
+    pub fn clear_plan_cache(&self) {
+        self.cache
+            .lock()
+            .expect("plan cache poisoned")
+            .entries
+            .clear();
     }
 
     /// Shred and register an XML document under `name` (the URI passed to
-    /// `fn:doc`).
-    pub fn load_document(&mut self, name: &str, xml: &str) -> EngineResult<()> {
+    /// `fn:doc`).  Takes `&self`: loads may race with running queries,
+    /// which keep reading their own admission-time snapshots.
+    pub fn load_document(&self, name: &str, xml: &str) -> EngineResult<()> {
         self.registry.load_xml(name, xml)?;
         Ok(())
     }
 
     /// Register an already parsed document under `name`.
-    pub fn load_parsed(&mut self, name: &str, doc: &pf_xml::Document) -> EngineResult<()> {
+    pub fn load_parsed(&self, name: &str, doc: &pf_xml::Document) -> EngineResult<()> {
         self.registry.load_document(name, doc);
         Ok(())
     }
@@ -227,35 +464,23 @@ impl Pathfinder {
         })
     }
 
-    /// Parse, compile, optimize, execute and serialize `query`.
-    pub fn query(&mut self, query: &str) -> EngineResult<QueryResult> {
-        Ok(self.query_profiled(query)?.0)
-    }
-
-    /// Like [`Pathfinder::query`], but also report the executor's
-    /// memory-discipline statistics (peak resident intermediate rows,
-    /// total rows produced, evictions, fusion savings).
-    pub fn query_profiled(&mut self, query: &str) -> EngineResult<(QueryResult, ExecStats)> {
-        let (result, stats, _) = self.query_run(query, false)?;
-        Ok((result, stats))
-    }
-
-    /// Like [`Pathfinder::query_profiled`], but additionally collect the
-    /// per-operator-kind wall-time profile of the execution (the
-    /// `morsel_profile` bench bin reports these at several thread counts).
-    pub fn query_op_profiled(
-        &mut self,
-        query: &str,
-    ) -> EngineResult<(QueryResult, ExecStats, OpProfile)> {
-        self.query_run(query, true)
-    }
-
-    fn query_run(
-        &mut self,
-        query: &str,
-        profile_ops: bool,
-    ) -> EngineResult<(QueryResult, ExecStats, OpProfile)> {
-        let (plan, physical, compile_time, optimize_time) = self.plan_for(query)?;
+    /// Parse, compile, optimize, execute and serialize `query` — the one
+    /// execution entry point (PR 6 collapsed `query` / `query_profiled` /
+    /// `query_op_profiled` into this).  `profile` selects how much
+    /// telemetry rides along in the [`QueryOutcome`].
+    ///
+    /// Takes `&self`: any number of sessions/threads may call this
+    /// concurrently on one engine.  The call admission-gates against
+    /// [`EngineOptions::memory_budget_rows`], snapshots the document
+    /// registry (concurrent reloads cannot tear this query), and runs as
+    /// query-tagged jobs on the engine's persistent pool with round-robin
+    /// fairness across in-flight queries.
+    pub fn query_with(&self, query: &str, profile: Profile) -> EngineResult<QueryOutcome> {
+        let planned = self.plan_for(query)?;
+        // Admission first, snapshot second: the query's view of the
+        // registry is as of the moment it is *admitted* (not submitted).
+        let _permit = self.admission().admit(planned.estimate_rows);
+        let snapshot = self.registry.snapshot();
 
         let exec_start = Instant::now();
         let threads = if self.options.threads == 0 {
@@ -263,79 +488,149 @@ impl Pathfinder {
         } else {
             self.options.threads
         };
-        // Resolve the pool before the executor borrows the registry.
         let pool = (threads > 1).then(|| self.worker_pool(threads));
-        let mut executor = Executor::with_threads(&self.registry, threads)
+        let tag = self.query_tags.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut executor = Executor::with_threads(&snapshot, threads)
             .with_fusion(self.options.fusion)
             .with_morsel_rows(self.options.morsel_rows)
-            .with_op_profile(profile_ops);
+            .with_op_profile(matches!(profile, Profile::Ops))
+            .with_query_tag(tag);
         if let Some(pool) = pool {
             executor = executor.with_pool(pool);
         }
-        let (table, stats, profile) = executor.run_physical_profiled(&plan, &physical)?;
+        let (table, stats, ops) =
+            executor.run_physical_profiled(&planned.plan, &planned.physical)?;
         let execute_time = exec_start.elapsed();
+        self.record_peak(&planned.key, stats.peak_resident_rows);
 
         let result = QueryResult::from_table(
             table,
-            &self.registry,
+            &snapshot,
             Timings {
-                compile: compile_time,
-                optimize: optimize_time,
+                compile: planned.compile_time,
+                optimize: planned.optimize_time,
                 execute: execute_time,
-                plan_cache_hits: self.plan_cache_hits,
-                plan_cache_misses: self.plan_cache_misses,
+                plan_cache_hits: planned.cache_hits,
+                plan_cache_misses: planned.cache_misses,
             },
         )?;
-        Ok((result, stats, profile))
+        Ok(QueryOutcome {
+            result,
+            stats: match profile {
+                Profile::None => None,
+                Profile::Stats | Profile::Ops => Some(stats),
+            },
+            ops: matches!(profile, Profile::Ops).then_some(ops),
+        })
+    }
+
+    /// Parse, compile, optimize, execute and serialize `query`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `query_with(query, Profile::None)` (or a `Session`)"
+    )]
+    pub fn query(&self, query: &str) -> EngineResult<QueryResult> {
+        Ok(self.query_with(query, Profile::None)?.result)
+    }
+
+    /// Like `query`, but also report the executor's memory-discipline
+    /// statistics (peak resident intermediate rows, total rows produced,
+    /// evictions, fusion savings).
+    #[deprecated(since = "0.2.0", note = "use `query_with(query, Profile::Stats)`")]
+    pub fn query_profiled(&self, query: &str) -> EngineResult<(QueryResult, ExecStats)> {
+        let outcome = self.query_with(query, Profile::Stats)?;
+        let stats = outcome.stats.expect("Profile::Stats returns stats");
+        Ok((outcome.result, stats))
+    }
+
+    /// Like `query_profiled`, but additionally collect the per-operator-kind
+    /// wall-time profile of the execution (the `morsel_profile` bench bin
+    /// reports these at several thread counts).
+    #[deprecated(since = "0.2.0", note = "use `query_with(query, Profile::Ops)`")]
+    pub fn query_op_profiled(
+        &self,
+        query: &str,
+    ) -> EngineResult<(QueryResult, ExecStats, OpProfile)> {
+        let outcome = self.query_with(query, Profile::Ops)?;
+        let stats = outcome.stats.expect("Profile::Ops returns stats");
+        let ops = outcome.ops.expect("Profile::Ops returns the op profile");
+        Ok((outcome.result, stats, ops))
     }
 
     /// The engine's persistent worker pool, created on first use and
     /// reused for every subsequent query (executors are built per query,
     /// but they all run on this one pool — the per-query `thread::scope`
     /// spawn/join of the earlier executor is gone).
-    fn worker_pool(&mut self, threads: usize) -> Arc<WorkerPool> {
-        if self.pool.is_none() {
-            self.pool = Some(Arc::new(WorkerPool::new(threads.saturating_sub(1))));
-            self.pools_created += 1;
-        }
-        Arc::clone(self.pool.as_ref().expect("pool was just created"))
+    fn worker_pool(&self, threads: usize) -> Arc<WorkerPool> {
+        Arc::clone(self.pool.get_or_init(|| {
+            self.pools_created.fetch_add(1, Ordering::SeqCst);
+            Arc::new(WorkerPool::new(threads.saturating_sub(1)))
+        }))
     }
 
     /// How many worker pools this engine has spawned so far (stays at 1
     /// however many parallel queries run; 0 until the first one).
     pub fn worker_pool_spawns(&self) -> usize {
-        self.pools_created
+        self.pools_created.load(Ordering::SeqCst)
     }
 
     /// The generation stamp of the engine's pool (see
     /// [`WorkerPool::generation`]); `None` before the first parallel
     /// query.
     pub fn worker_pool_generation(&self) -> Option<u64> {
-        self.pool.as_ref().map(|p| p.generation())
+        self.pool.get().map(|p| p.generation())
+    }
+
+    /// Record the observed execution peak on the cached plan, feeding the
+    /// admission estimate of the next run (the largest observed peak wins:
+    /// parallel schedules can legitimately hold more branches resident
+    /// than sequential ones, and admission should budget for the worst).
+    fn record_peak(&self, key: &str, peak_rows: usize) {
+        let mut cache = self.cache.lock().expect("plan cache poisoned");
+        if let Some(entry) = cache.entries.get_mut(key) {
+            entry.peak_rows = Some(entry.peak_rows.unwrap_or(0).max(peak_rows));
+        }
     }
 
     /// The compiled-and-optimized plan for `query`, with its physical
     /// compilation: served from the plan cache when possible, compiled
     /// (and cached) otherwise.  Returns the plans with the compile and
     /// optimize stage timings — both [`Duration::ZERO`] on a cache hit,
-    /// because the stages are skipped entirely.
-    #[allow(clippy::type_complexity)]
-    fn plan_for(
-        &mut self,
-        query: &str,
-    ) -> EngineResult<(Arc<Plan>, Arc<PhysicalPlan>, Duration, Duration)> {
+    /// because the stages are skipped entirely.  Distinct queries compile
+    /// outside the cache lock, so sessions never serialize on each
+    /// other's compile stage.
+    fn plan_for(&self, query: &str) -> EngineResult<Planned> {
         let key = normalize_cache_key(query);
-        if let Some(cached) = self.plan_cache.get_mut(&key) {
-            self.plan_cache_hits += 1;
-            self.cache_clock += 1;
-            cached.last_hit = self.cache_clock;
-            return Ok((
-                Arc::clone(&cached.plan),
-                Arc::clone(&cached.physical),
-                Duration::ZERO,
-                Duration::ZERO,
-            ));
+        {
+            let mut cache = self.cache.lock().expect("plan cache poisoned");
+            if let Some(cached) = cache.entries.get(&key) {
+                let plan = Arc::clone(&cached.plan);
+                let physical = Arc::clone(&cached.physical);
+                let estimate_rows = cached.peak_rows.unwrap_or(0);
+                cache.hits += 1;
+                cache.clock += 1;
+                let stamp = cache.clock;
+                cache
+                    .entries
+                    .get_mut(&key)
+                    .expect("entry just looked up")
+                    .last_hit = stamp;
+                return Ok(Planned {
+                    key,
+                    plan,
+                    physical,
+                    compile_time: Duration::ZERO,
+                    optimize_time: Duration::ZERO,
+                    estimate_rows,
+                    cache_hits: cache.hits,
+                    cache_misses: cache.misses,
+                });
+            }
         }
+        // Miss: compile with no lock held (concurrent sessions compiling
+        // *different* queries proceed in parallel; two sessions racing on
+        // the *same* new query both compile and the later insert wins —
+        // harmless, the plans are identical).
         let started = Instant::now();
         let ast = parse_query(query)?;
         let core = normalize(&ast)?;
@@ -349,34 +644,46 @@ impl Pathfinder {
         }
         let physical = Arc::new(PhysicalPlan::compile(&plan, self.options.fusion));
         let optimize_time = opt_start.elapsed();
-
-        self.plan_cache_misses += 1;
         let plan = Arc::new(plan);
+
+        let mut cache = self.cache.lock().expect("plan cache poisoned");
+        cache.misses += 1;
         if self.options.plan_cache_capacity > 0 {
-            self.cache_clock += 1;
-            self.plan_cache.insert(
-                key,
+            cache.clock += 1;
+            let stamp = cache.clock;
+            cache.entries.insert(
+                key.clone(),
                 CachedPlan {
                     plan: Arc::clone(&plan),
                     physical: Arc::clone(&physical),
-                    last_hit: self.cache_clock,
+                    last_hit: stamp,
+                    peak_rows: None,
                 },
             );
-            if self.plan_cache.len() > self.options.plan_cache_capacity {
+            if cache.entries.len() > self.options.plan_cache_capacity {
                 // Evict the least-recently-hit entry.  A linear scan is
                 // fine at the default capacity of 256; the cache is per
                 // engine and off the execution hot path.
-                if let Some(coldest) = self
-                    .plan_cache
+                if let Some(coldest) = cache
+                    .entries
                     .iter()
                     .min_by_key(|(_, entry)| entry.last_hit)
                     .map(|(k, _)| k.clone())
                 {
-                    self.plan_cache.remove(&coldest);
+                    cache.entries.remove(&coldest);
                 }
             }
         }
-        Ok((plan, physical, compile_time, optimize_time))
+        Ok(Planned {
+            key,
+            plan,
+            physical,
+            compile_time,
+            optimize_time,
+            estimate_rows: 0,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+        })
     }
 }
 
@@ -445,77 +752,78 @@ mod tests {
     use super::*;
 
     fn engine_with(xml: &str) -> Pathfinder {
-        let mut pf = Pathfinder::new();
+        let pf = Pathfinder::new();
         pf.load_document("doc.xml", xml).unwrap();
         pf
     }
 
+    fn run(pf: &Pathfinder, q: &str) -> QueryResult {
+        pf.query_with(q, Profile::None).unwrap().result
+    }
+
     #[test]
     fn arithmetic_without_documents() {
-        let mut pf = Pathfinder::new();
-        assert_eq!(pf.query("1 + 2 * 3").unwrap().to_xml(), "7");
-        assert_eq!(pf.query("(1, 2, 3)").unwrap().to_xml(), "1 2 3");
+        let pf = Pathfinder::new();
+        assert_eq!(run(&pf, "1 + 2 * 3").to_xml(), "7");
+        assert_eq!(run(&pf, "(1, 2, 3)").to_xml(), "1 2 3");
         assert_eq!(
-            pf.query("if (1 = 1) then \"yes\" else \"no\"")
-                .unwrap()
-                .to_xml(),
+            run(&pf, "if (1 = 1) then \"yes\" else \"no\"").to_xml(),
             "yes"
         );
     }
 
     #[test]
     fn figure3_nested_flwor() {
-        let mut pf = Pathfinder::new();
-        let r = pf
-            .query("for $v in (10,20), $w in (100,200) return $v + $w")
-            .unwrap();
+        let pf = Pathfinder::new();
+        let r = run(&pf, "for $v in (10,20), $w in (100,200) return $v + $w");
         assert_eq!(r.to_xml(), "110 210 120 220");
     }
 
     #[test]
     fn figure5_query() {
-        let mut pf = Pathfinder::new();
-        let r = pf.query("for $v in (10,20) return $v + 100").unwrap();
+        let pf = Pathfinder::new();
+        let r = run(&pf, "for $v in (10,20) return $v + 100");
         assert_eq!(r.to_xml(), "110 120");
     }
 
     #[test]
     fn path_queries_over_documents() {
-        let mut pf = engine_with("<site><person id=\"p0\"><name>Ann</name></person><person id=\"p1\"><name>Bo</name></person></site>");
+        let pf = engine_with("<site><person id=\"p0\"><name>Ann</name></person><person id=\"p1\"><name>Bo</name></person></site>");
         assert_eq!(
-            pf.query("fn:count(fn:doc(\"doc.xml\")//person)")
-                .unwrap()
-                .to_xml(),
+            run(&pf, "fn:count(fn:doc(\"doc.xml\")//person)").to_xml(),
             "2"
         );
         assert_eq!(
-            pf.query("fn:doc(\"doc.xml\")//person[@id = \"p1\"]/name/text()")
-                .unwrap()
-                .to_xml(),
+            run(&pf, "fn:doc(\"doc.xml\")//person[@id = \"p1\"]/name/text()").to_xml(),
             "Bo"
         );
         // Adjacent text nodes serialize without a separator (only atomic
         // values are space separated).
         assert_eq!(
-            pf.query("for $p in fn:doc(\"doc.xml\")//person return $p/name/text()")
-                .unwrap()
-                .to_xml(),
+            run(
+                &pf,
+                "for $p in fn:doc(\"doc.xml\")//person return $p/name/text()"
+            )
+            .to_xml(),
             "AnnBo"
         );
         assert_eq!(
-            pf.query("for $p in fn:doc(\"doc.xml\")//person return fn:string($p/name)")
-                .unwrap()
-                .to_xml(),
+            run(
+                &pf,
+                "for $p in fn:doc(\"doc.xml\")//person return fn:string($p/name)"
+            )
+            .to_xml(),
             "Ann Bo"
         );
     }
 
     #[test]
     fn element_construction() {
-        let mut pf = engine_with("<a><b>1</b><b>2</b></a>");
-        let r = pf
-            .query("element out { attribute n { fn:count(fn:doc(\"doc.xml\")//b) }, text { \"total\" } }")
-            .unwrap();
+        let pf = engine_with("<a><b>1</b><b>2</b></a>");
+        let r = run(
+            &pf,
+            "element out { attribute n { fn:count(fn:doc(\"doc.xml\")//b) }, text { \"total\" } }",
+        );
         assert_eq!(r.to_xml(), "<out n=\"2\">total</out>");
     }
 
@@ -530,23 +838,103 @@ mod tests {
 
     #[test]
     fn unknown_document_is_an_error() {
-        let mut pf = Pathfinder::new();
-        assert!(pf.query("fn:doc(\"missing.xml\")//a").is_err());
+        let pf = Pathfinder::new();
+        assert!(pf
+            .query_with("fn:doc(\"missing.xml\")//a", Profile::None)
+            .is_err());
+    }
+
+    #[test]
+    fn profile_levels_gate_the_telemetry() {
+        let pf = engine_with("<a><b>1</b><b>2</b></a>");
+        let q = "fn:count(fn:doc(\"doc.xml\")//b)";
+        let none = pf.query_with(q, Profile::None).unwrap();
+        assert_eq!(none.to_xml(), "2");
+        assert!(none.stats.is_none());
+        assert!(none.ops.is_none());
+        let stats = pf.query_with(q, Profile::Stats).unwrap();
+        assert!(stats.stats.is_some());
+        assert!(stats.ops.is_none());
+        let ops = pf.query_with(q, Profile::Ops).unwrap();
+        assert!(ops.stats.is_some());
+        assert!(ops.ops.is_some());
+    }
+
+    /// The PR 6 façade keeps the pre-session entry points alive as thin
+    /// wrappers; this is the one place that still calls them.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_answer() {
+        let pf = engine_with("<a><b>1</b><b>2</b></a>");
+        let q = "fn:sum(fn:doc(\"doc.xml\")//b)";
+        assert_eq!(pf.query(q).unwrap().to_xml(), "3");
+        let (r, stats) = pf.query_profiled(q).unwrap();
+        assert_eq!(r.to_xml(), "3");
+        assert!(stats.rows_produced > 0);
+        let (r, _, profile) = pf.query_op_profiled(q).unwrap();
+        assert_eq!(r.to_xml(), "3");
+        assert!(!profile.entries.is_empty());
+    }
+
+    #[test]
+    fn options_builder_chains_every_knob() {
+        let options = EngineOptions::builder()
+            .threads(3)
+            .morsel_rows(128)
+            .fusion(false)
+            .optimize(false)
+            .plan_cache_capacity(7)
+            .memory_budget_rows(9_000)
+            .build();
+        assert_eq!(options.threads, 3);
+        assert_eq!(options.morsel_rows, 128);
+        assert!(!options.fusion);
+        assert!(!options.optimize);
+        assert_eq!(options.plan_cache_capacity, 7);
+        assert_eq!(options.memory_budget_rows, 9_000);
+        // The struct-literal style (back-compat) still composes with it.
+        let literal = EngineOptions {
+            threads: 2,
+            ..EngineOptions::builder().fusion(false).build()
+        };
+        assert_eq!(literal.threads, 2);
+        assert!(!literal.fusion);
+    }
+
+    #[test]
+    fn admission_estimates_come_from_recorded_peaks() {
+        let pf = engine_with("<a><b>1</b><b>2</b><b>3</b></a>");
+        let q = "for $b in fn:doc(\"doc.xml\")//b return fn:string($b)";
+        // First run: unknown plan, admitted at estimate 0.
+        pf.query_with(q, Profile::Stats).unwrap();
+        let peak = {
+            let cache = pf.cache.lock().unwrap();
+            let entry = cache.entries.values().next().expect("one cached plan");
+            entry.peak_rows.expect("peak recorded after the run")
+        };
+        assert!(peak > 0, "a real query holds intermediate rows");
+        // Second run is admitted against the recorded peak; counters move.
+        pf.query_with(q, Profile::None).unwrap();
+        let stats = pf.admission().stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.running, 0);
+        assert_eq!(stats.charged_rows, 0);
+        assert_eq!(pf.admission().budget_rows(), usize::MAX);
     }
 
     #[test]
     fn plan_cache_skips_the_compile_stage_on_the_second_run() {
-        let mut pf = engine_with("<a><b>1</b><b>2</b></a>");
+        let pf = engine_with("<a><b>1</b><b>2</b></a>");
         let q = "fn:count(fn:doc(\"doc.xml\")//b)";
 
-        let first = pf.query(q).unwrap();
+        let first = run(&pf, q);
         assert_eq!(first.to_xml(), "2");
         assert_eq!(first.timings().plan_cache_hits, 0);
         assert_eq!(first.timings().plan_cache_misses, 1);
         assert!(first.timings().compile > std::time::Duration::ZERO);
         assert_eq!(pf.plan_cache_len(), 1);
 
-        let second = pf.query(q).unwrap();
+        let second = run(&pf, q);
         assert_eq!(second.to_xml(), "2");
         assert_eq!(second.timings().plan_cache_hits, 1);
         assert_eq!(second.timings().plan_cache_misses, 1);
@@ -557,7 +945,7 @@ mod tests {
 
         // A different query is a miss; clearing drops the plans but keeps
         // the counters.
-        pf.query("1 + 1").unwrap();
+        run(&pf, "1 + 1");
         assert_eq!(pf.plan_cache_stats(), (1, 2));
         assert_eq!(pf.plan_cache_len(), 2);
         pf.clear_plan_cache();
@@ -567,20 +955,20 @@ mod tests {
 
     #[test]
     fn reformatted_queries_share_one_cached_plan() {
-        let mut pf = engine_with("<a><b>1</b><b>2</b></a>");
+        let pf = engine_with("<a><b>1</b><b>2</b></a>");
         let q = "for $b in fn:doc(\"doc.xml\")//b return fn:string($b)";
-        assert_eq!(pf.query(q).unwrap().to_xml(), "1 2");
+        assert_eq!(run(&pf, q).to_xml(), "1 2");
         // The same query reformatted — indentation, newlines and doubled
         // spaces outside string literals collapse onto the cached key.
         let reformatted = "for  $b in\n    fn:doc(\"doc.xml\")//b\n  return fn:string($b)";
-        assert_eq!(pf.query(reformatted).unwrap().to_xml(), "1 2");
+        assert_eq!(run(&pf, reformatted).to_xml(), "1 2");
         assert_eq!(pf.plan_cache_stats(), (1, 1), "reformat must hit");
         assert_eq!(pf.plan_cache_len(), 1);
 
         // Whitespace *inside* a string literal is significant: a different
         // literal body is a different plan.
-        pf.query("fn:concat(\"a b\", \"c\")").unwrap();
-        pf.query("fn:concat(\"a  b\", \"c\")").unwrap();
+        run(&pf, "fn:concat(\"a b\", \"c\")");
+        run(&pf, "fn:concat(\"a  b\", \"c\")");
         assert_eq!(pf.plan_cache_stats(), (1, 3));
         assert_eq!(pf.plan_cache_len(), 3);
     }
@@ -628,35 +1016,29 @@ mod tests {
 
     #[test]
     fn plan_cache_evicts_the_least_recently_hit_plan() {
-        let mut pf = Pathfinder::with_options(EngineOptions {
-            plan_cache_capacity: 2,
-            ..EngineOptions::default()
-        });
-        pf.query("1 + 1").unwrap();
-        pf.query("2 + 2").unwrap();
+        let pf = Pathfinder::with_options(EngineOptions::builder().plan_cache_capacity(2).build());
+        run(&pf, "1 + 1");
+        run(&pf, "2 + 2");
         assert_eq!(pf.plan_cache_len(), 2);
         // Touch "1 + 1" so "2 + 2" becomes the coldest entry…
-        pf.query("1 + 1").unwrap();
+        run(&pf, "1 + 1");
         // …and a third query evicts it.
-        pf.query("3 + 3").unwrap();
+        run(&pf, "3 + 3");
         assert_eq!(pf.plan_cache_len(), 2);
         let (hits, misses) = pf.plan_cache_stats();
         assert_eq!((hits, misses), (1, 3));
         // "1 + 1" is still cached; "2 + 2" was evicted and recompiles.
-        pf.query("1 + 1").unwrap();
+        run(&pf, "1 + 1");
         assert_eq!(pf.plan_cache_stats().0, 2);
-        pf.query("2 + 2").unwrap();
+        run(&pf, "2 + 2");
         assert_eq!(pf.plan_cache_stats(), (2, 4));
     }
 
     #[test]
     fn zero_capacity_disables_the_plan_cache() {
-        let mut pf = Pathfinder::with_options(EngineOptions {
-            plan_cache_capacity: 0,
-            ..EngineOptions::default()
-        });
-        pf.query("1 + 1").unwrap();
-        pf.query("1 + 1").unwrap();
+        let pf = Pathfinder::with_options(EngineOptions::builder().plan_cache_capacity(0).build());
+        run(&pf, "1 + 1");
+        run(&pf, "1 + 1");
         assert_eq!(pf.plan_cache_len(), 0);
         assert_eq!(pf.plan_cache_stats(), (0, 2));
     }
@@ -664,10 +1046,7 @@ mod tests {
     #[test]
     fn fusion_on_and_off_serialize_identically() {
         let make = |fusion: bool| {
-            let mut pf = Pathfinder::with_options(EngineOptions {
-                fusion,
-                ..EngineOptions::default()
-            });
+            let pf = Pathfinder::with_options(EngineOptions::builder().fusion(fusion).build());
             pf.load_document(
                 "doc.xml",
                 "<site><p><n>Ann</n><x>3</x></p><p><n>Bo</n><x>9</x></p></site>",
@@ -676,9 +1055,10 @@ mod tests {
             pf
         };
         let q = "for $p in fn:doc(\"doc.xml\")//p where $p/x > 5 return fn:string($p/n)";
-        let (on, on_stats) = make(true).query_profiled(q).unwrap();
-        let (off, off_stats) = make(false).query_profiled(q).unwrap();
+        let on = make(true).query_with(q, Profile::Stats).unwrap();
+        let off = make(false).query_with(q, Profile::Stats).unwrap();
         assert_eq!(on.to_xml(), off.to_xml());
+        let (on_stats, off_stats) = (on.stats.unwrap(), off.stats.unwrap());
         assert_eq!(on_stats.operators_evaluated, off_stats.operators_evaluated);
         assert!(on_stats.tables_elided > 0, "this plan has fusable chains");
         assert_eq!(off_stats.tables_elided, 0);
@@ -687,23 +1067,20 @@ mod tests {
     #[test]
     fn cached_plans_see_reloaded_documents() {
         // The cache is keyed by query text only: plans reference documents
-        // by URI, resolved at execution time, so reloading a document does
-        // not serve stale results.
-        let mut pf = engine_with("<a><b>1</b></a>");
+        // by URI, resolved per query against the admission-time snapshot,
+        // so reloading a document does not serve stale results.
+        let pf = engine_with("<a><b>1</b></a>");
         let q = "fn:count(fn:doc(\"doc.xml\")//b)";
-        assert_eq!(pf.query(q).unwrap().to_xml(), "1");
+        assert_eq!(run(&pf, q).to_xml(), "1");
         pf.load_document("doc.xml", "<a><b>1</b><b>2</b><b>3</b></a>")
             .unwrap();
-        assert_eq!(pf.query(q).unwrap().to_xml(), "3");
+        assert_eq!(run(&pf, q).to_xml(), "3");
         assert_eq!(pf.plan_cache_stats(), (1, 1));
     }
 
     #[test]
     fn the_worker_pool_is_created_once_per_engine_and_reused() {
-        let mut pf = Pathfinder::with_options(EngineOptions {
-            threads: 4,
-            ..EngineOptions::default()
-        });
+        let pf = Pathfinder::with_options(EngineOptions::builder().threads(4).build());
         pf.load_document("doc.xml", "<a><b>1</b><b>2</b><c>3</c></a>")
             .unwrap();
         assert_eq!(pf.worker_pool_spawns(), 0, "no pool before the first query");
@@ -711,15 +1088,15 @@ mod tests {
 
         // A query with independent branches exercises the parallel path.
         let q = "fn:count(fn:doc(\"doc.xml\")//b) + fn:count(fn:doc(\"doc.xml\")//c)";
-        assert_eq!(pf.query(q).unwrap().to_xml(), "3");
+        assert_eq!(run(&pf, q).to_xml(), "3");
         assert_eq!(pf.worker_pool_spawns(), 1);
         let generation = pf.worker_pool_generation().expect("pool exists now");
 
         // Ten more queries (cache hits and misses alike): still one pool,
         // same generation — no per-query thread spawn.
         for i in 0..10 {
-            pf.query(q).unwrap();
-            pf.query(&format!("{i} + {i}")).unwrap();
+            run(&pf, q);
+            run(&pf, &format!("{i} + {i}"));
         }
         assert_eq!(pf.worker_pool_spawns(), 1);
         assert_eq!(pf.worker_pool_generation(), Some(generation));
@@ -727,22 +1104,20 @@ mod tests {
 
     #[test]
     fn sequential_engines_never_spawn_a_pool() {
-        let mut pf = Pathfinder::with_options(EngineOptions {
-            threads: 1,
-            ..EngineOptions::default()
-        });
-        pf.query("1 + 1").unwrap();
+        let pf = Pathfinder::with_options(EngineOptions::builder().threads(1).build());
+        run(&pf, "1 + 1");
         assert_eq!(pf.worker_pool_spawns(), 0);
     }
 
     #[test]
     fn morsel_sizes_do_not_change_results_or_work_totals() {
         let make = |morsel_rows: usize| {
-            let mut pf = Pathfinder::with_options(EngineOptions {
-                threads: 4,
-                morsel_rows,
-                ..EngineOptions::default()
-            });
+            let pf = Pathfinder::with_options(
+                EngineOptions::builder()
+                    .threads(4)
+                    .morsel_rows(morsel_rows)
+                    .build(),
+            );
             pf.load_document(
                 "doc.xml",
                 "<site><p><n>Ann</n><x>3</x></p><p><n>Bo</n><x>9</x></p><p><n>Cy</n><x>7</x></p></site>",
@@ -751,10 +1126,12 @@ mod tests {
             pf
         };
         let q = "for $p in fn:doc(\"doc.xml\")//p where $p/x > 5 return fn:string($p/n)";
-        let (reference, ref_stats) = make(usize::MAX).query_profiled(q).unwrap();
+        let reference = make(usize::MAX).query_with(q, Profile::Stats).unwrap();
+        let ref_stats = reference.stats.unwrap();
         for morsel in [1, 2, 0] {
-            let (result, stats) = make(morsel).query_profiled(q).unwrap();
-            assert_eq!(reference.to_xml(), result.to_xml(), "morsel_rows {morsel}");
+            let outcome = make(morsel).query_with(q, Profile::Stats).unwrap();
+            let stats = outcome.stats.unwrap();
+            assert_eq!(reference.to_xml(), outcome.to_xml(), "morsel_rows {morsel}");
             assert_eq!(ref_stats.rows_produced, stats.rows_produced);
             assert_eq!(ref_stats.operators_evaluated, stats.operators_evaluated);
             assert_eq!(ref_stats.cells_produced, stats.cells_produced);
@@ -764,11 +1141,12 @@ mod tests {
 
     #[test]
     fn op_profile_reports_per_operator_timings() {
-        let mut pf = engine_with("<a><b>1</b><b>2</b></a>");
-        let (result, _, profile) = pf
-            .query_op_profiled("fn:count(fn:doc(\"doc.xml\")//b)")
+        let pf = engine_with("<a><b>1</b><b>2</b></a>");
+        let outcome = pf
+            .query_with("fn:count(fn:doc(\"doc.xml\")//b)", Profile::Ops)
             .unwrap();
-        assert_eq!(result.to_xml(), "2");
+        assert_eq!(outcome.to_xml(), "2");
+        let profile = outcome.ops.unwrap();
         assert!(!profile.entries.is_empty());
         let kinds: Vec<&str> = profile.entries.iter().map(|e| e.kind).collect();
         assert!(kinds.contains(&"step"), "kinds: {kinds:?}");
@@ -777,16 +1155,17 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(kinds, sorted);
         // The plain profiled path collects no per-op timings (zero cost).
-        let (_, _) = pf.query_profiled("1 + 1").unwrap();
+        assert!(pf
+            .query_with("1 + 1", Profile::Stats)
+            .unwrap()
+            .ops
+            .is_none());
     }
 
     #[test]
     fn explicit_thread_counts_agree() {
         let make = |threads: usize| {
-            let mut pf = Pathfinder::with_options(EngineOptions {
-                threads,
-                ..EngineOptions::default()
-            });
+            let pf = Pathfinder::with_options(EngineOptions::builder().threads(threads).build());
             pf.load_document(
                 "doc.xml",
                 "<site><p><n>Ann</n></p><p><n>Bo</n></p><q>9</q></site>",
@@ -795,8 +1174,8 @@ mod tests {
             pf
         };
         let q = "for $p in fn:doc(\"doc.xml\")//p return element row { $p/n/text() }";
-        let sequential = make(1).query(q).unwrap();
-        let parallel = make(4).query(q).unwrap();
+        let sequential = run(&make(1), q);
+        let parallel = run(&make(4), q);
         assert_eq!(sequential.to_xml(), parallel.to_xml());
         assert_eq!(sequential.len(), parallel.len());
     }

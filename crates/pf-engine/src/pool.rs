@@ -30,6 +30,15 @@
 //! indistinguishable, which is what makes intra-operator parallelism
 //! compose with inter-operator parallelism on one fixed set of threads.
 //!
+//! **Fairness across queries.**  Since PR 6 one engine serves many
+//! concurrent queries over this single pool, every job carries the
+//! [`QueryTag`] of the query that submitted it and the queues are
+//! organized as per-tag *lanes*.  Dequeue picks round-robin across lanes
+//! (within the morsel-before-node preference): after a lane supplies a
+//! job it rotates to the back, so a query flooding the pool with jobs
+//! cannot starve a lighter concurrent query — each in-flight query gets
+//! roughly one job slot per scheduling round.
+//!
 //! Wake-ups use an epoch counter: every state change a waiter could be
 //! waiting for (job pushed, task group drained, scheduler publish — via
 //! `WorkerPool::bump`) increments the epoch and notifies under the queue
@@ -54,11 +63,87 @@ type RawJob = Box<dyn FnOnce() + Send + 'static>;
 /// reuses one pool instead of spawning per query.
 static POOL_GENERATIONS: AtomicU64 = AtomicU64::new(0);
 
+/// Identifies the query a job belongs to, for fair scheduling across the
+/// concurrent queries sharing one pool.  The engine stamps every query
+/// execution with a fresh tag; standalone executors and pool-level tests
+/// use tag `0`.
+pub type QueryTag = u64;
+
+/// The job queues of one query: a morsel FIFO and a node FIFO.
 #[derive(Default)]
-struct Queues {
+struct Lane {
+    tag: QueryTag,
     morsel: VecDeque<RawJob>,
     node: VecDeque<RawJob>,
+}
+
+impl Lane {
+    fn is_empty(&self) -> bool {
+        self.morsel.is_empty() && self.node.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct Queues {
+    /// One lane per query with queued jobs, in round-robin rotation order.
+    lanes: VecDeque<Lane>,
     shutdown: bool,
+}
+
+impl Queues {
+    fn push(&mut self, tag: QueryTag, morsel: bool, job: RawJob) {
+        let lane = match self.lanes.iter_mut().find(|l| l.tag == tag) {
+            Some(lane) => lane,
+            None => {
+                self.lanes.push_back(Lane {
+                    tag,
+                    ..Lane::default()
+                });
+                self.lanes.back_mut().expect("lane was just pushed")
+            }
+        };
+        if morsel {
+            lane.morsel.push_back(job);
+        } else {
+            lane.node.push_back(job);
+        }
+    }
+
+    /// The fair pick: the first lane (in rotation order) with a morsel
+    /// job, else — unless `morsel_only` — the first lane with a node job.
+    /// The supplying lane rotates to the back (and is dropped once empty),
+    /// so consecutive picks cycle through the queries with queued work.
+    fn pop(&mut self, morsel_only: bool) -> Option<RawJob> {
+        let idx = self
+            .lanes
+            .iter()
+            .position(|l| !l.morsel.is_empty())
+            .or_else(|| {
+                if morsel_only {
+                    None
+                } else {
+                    self.lanes.iter().position(|l| !l.node.is_empty())
+                }
+            })?;
+        let lane = &mut self.lanes[idx];
+        let job = lane
+            .morsel
+            .pop_front()
+            .or_else(|| lane.node.pop_front())
+            .expect("lane selected non-empty");
+        let lane = self.lanes.remove(idx).expect("index in bounds");
+        if !lane.is_empty() {
+            self.lanes.push_back(lane);
+        }
+        Some(job)
+    }
+
+    /// `true` when a `pop(morsel_only)` would find a job.
+    fn has_jobs(&self, morsel_only: bool) -> bool {
+        self.lanes
+            .iter()
+            .any(|l| !l.morsel.is_empty() || (!morsel_only && !l.node.is_empty()))
+    }
 }
 
 struct PoolShared {
@@ -147,26 +232,16 @@ impl WorkerPool {
         self.shared.bump();
     }
 
-    fn push_job(&self, morsel: bool, job: RawJob) {
+    fn push_job(&self, tag: QueryTag, morsel: bool, job: RawJob) {
         let mut q = self.shared.queues.lock().expect("pool lock poisoned");
-        if morsel {
-            q.morsel.push_back(job);
-        } else {
-            q.node.push_back(job);
-        }
+        q.push(tag, morsel, job);
         self.shared.epoch.fetch_add(1, Ordering::SeqCst);
         self.shared.wake.notify_all();
     }
 
     fn try_pop(&self, morsel_only: bool) -> Option<RawJob> {
         let mut q = self.shared.queues.lock().expect("pool lock poisoned");
-        q.morsel.pop_front().or_else(|| {
-            if morsel_only {
-                None
-            } else {
-                q.node.pop_front()
-            }
-        })
+        q.pop(morsel_only)
     }
 
     /// Execute queued jobs — sleeping when there are none — until `done()`
@@ -185,10 +260,7 @@ impl WorkerPool {
                 continue;
             }
             let mut q = self.shared.queues.lock().expect("pool lock poisoned");
-            while self.shared.epoch.load(Ordering::SeqCst) == epoch
-                && q.morsel.is_empty()
-                && (morsel_only || q.node.is_empty())
-            {
+            while self.shared.epoch.load(Ordering::SeqCst) == epoch && !q.has_jobs(morsel_only) {
                 q = self.shared.wake.wait(q).expect("pool lock poisoned");
             }
         }
@@ -204,6 +276,17 @@ impl WorkerPool {
     /// empty, helps with *other* morsel jobs while waiting for stragglers),
     /// so completion never depends on a worker being idle.
     pub fn run_scoped<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        self.run_scoped_tagged(0, tasks);
+    }
+
+    /// [`WorkerPool::run_scoped`] with an explicit [`QueryTag`]: the drain
+    /// jobs queue on `tag`'s lane, so the morsels of concurrent queries
+    /// are scheduled round-robin instead of first-come-first-served.
+    pub fn run_scoped_tagged<'env>(
+        &self,
+        tag: QueryTag,
+        tasks: Vec<Box<dyn FnOnce() + Send + 'env>>,
+    ) {
         if tasks.is_empty() {
             return;
         }
@@ -232,7 +315,7 @@ impl WorkerPool {
         for _ in 0..helpers {
             let group = Arc::clone(&group);
             let shared = Arc::clone(&self.shared);
-            self.push_job(true, Box::new(move || drain_group(&shared, &group)));
+            self.push_job(tag, true, Box::new(move || drain_group(&shared, &group)));
         }
         drain_group(&self.shared, &group);
         self.help_until(true, || group.remaining.load(Ordering::SeqCst) == 0);
@@ -287,7 +370,7 @@ fn drain_group(shared: &PoolShared, group: &ScopedGroup) {
 fn worker_loop(shared: &PoolShared) {
     let mut q = shared.queues.lock().expect("pool lock poisoned");
     loop {
-        let job = q.morsel.pop_front().or_else(|| q.node.pop_front());
+        let job = q.pop(false);
         if let Some(job) = job {
             drop(q);
             // Jobs arrive pre-wrapped in catch_unwind (groups and
@@ -312,6 +395,7 @@ fn worker_loop(shared: &PoolShared) {
 /// it can still exist — the safety argument for [`QuerySession::submit`].
 pub(crate) struct QuerySession {
     pool: Arc<WorkerPool>,
+    tag: QueryTag,
     pending: Arc<SessionPending>,
 }
 
@@ -321,9 +405,10 @@ struct SessionPending {
 }
 
 impl QuerySession {
-    pub(crate) fn new(pool: Arc<WorkerPool>) -> QuerySession {
+    pub(crate) fn new(pool: Arc<WorkerPool>, tag: QueryTag) -> QuerySession {
         QuerySession {
             pool,
+            tag,
             pending: Arc::new(SessionPending {
                 count: AtomicUsize::new(0),
                 panic: Mutex::new(None),
@@ -344,6 +429,7 @@ impl QuerySession {
         let pending = Arc::clone(&self.pending);
         let shared = Arc::clone(&self.pool.shared);
         self.pool.push_job(
+            self.tag,
             false,
             Box::new(move || {
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(erased)) {
@@ -472,7 +558,7 @@ mod tests {
     #[test]
     fn sessions_drain_their_jobs_and_surface_panics() {
         let pool = Arc::new(WorkerPool::new(2));
-        let session = QuerySession::new(Arc::clone(&pool));
+        let session = QuerySession::new(Arc::clone(&pool), 1);
         let counter = Arc::new(AtomicUsize::new(0));
         for i in 0..16 {
             let counter = Arc::clone(&counter);
@@ -497,5 +583,69 @@ mod tests {
         let a = WorkerPool::new(0);
         let b = WorkerPool::new(0);
         assert!(b.generation() > a.generation());
+    }
+
+    /// Queue a batch of jobs for two query tags and drain with a
+    /// zero-worker pool: the round-robin lanes must interleave the tags
+    /// instead of finishing the first query's backlog before the second
+    /// query gets a slot.
+    #[test]
+    fn dequeue_alternates_across_query_tags() {
+        let pool = WorkerPool::new(0);
+        let order: Arc<Mutex<Vec<QueryTag>>> = Arc::new(Mutex::new(Vec::new()));
+        for tag in [1u64, 2u64] {
+            for _ in 0..4 {
+                let order = Arc::clone(&order);
+                pool.push_job(
+                    tag,
+                    false,
+                    Box::new(move || order.lock().unwrap().push(tag)),
+                );
+            }
+        }
+        // Drain on this thread (no workers exist to race with).
+        pool.help_until(false, || {
+            !pool.shared.queues.lock().unwrap().has_jobs(false)
+        });
+        let order = order.lock().unwrap();
+        assert_eq!(*order, vec![1, 2, 1, 2, 1, 2, 1, 2]);
+    }
+
+    /// Morsel jobs keep their global preference over node jobs, but both
+    /// classes rotate fairly across tags.
+    #[test]
+    fn morsels_stay_preferred_but_rotate_fairly() {
+        let mut q = Queues::default();
+        let log: Arc<Mutex<Vec<(QueryTag, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let push = |q: &mut Queues, tag: QueryTag, morsel: bool| {
+            let log = Arc::clone(&log);
+            q.push(
+                tag,
+                morsel,
+                Box::new(move || log.lock().unwrap().push((tag, morsel))),
+            );
+        };
+        push(&mut q, 1, false);
+        push(&mut q, 1, true);
+        push(&mut q, 2, false);
+        push(&mut q, 2, true);
+        while let Some(job) = q.pop(false) {
+            job();
+        }
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec![(1, true), (2, true), (1, false), (2, false)]
+        );
+    }
+
+    #[test]
+    fn morsel_only_pop_skips_node_jobs() {
+        let mut q = Queues::default();
+        q.push(7, false, Box::new(|| {}));
+        assert!(q.has_jobs(false));
+        assert!(!q.has_jobs(true));
+        assert!(q.pop(true).is_none());
+        assert!(q.pop(false).is_some());
+        assert!(!q.has_jobs(false));
     }
 }

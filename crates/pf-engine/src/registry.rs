@@ -6,16 +6,24 @@
 //! uniquely identifies any node the engine can ever produce, and document
 //! order across documents is simply `(doc, pre)` order.
 //!
-//! The registry is **read-shared during execution**: lookups take `&self`
-//! and hand out [`Arc`] store handles, and [`DocRegistry::register_constructed`]
-//! also takes `&self` (the store table lives behind a [`RwLock`]).  This is
-//! what lets the parallel executor fan pure operators out to worker threads
-//! while node-constructing operators, pinned to the coordinator, append
-//! transient documents — readers never observe a half-registered document,
-//! and a resolved [`Arc<DocStore>`] stays valid regardless of later
-//! registrations.  Loading documents (`load_xml` / `load_document`) still
-//! requires `&mut self`: documents may not be (re)loaded while a query is
-//! running.
+//! The registry is **fully interior-mutable**: every operation — loading,
+//! lookup, transient registration — takes `&self` (the store table and the
+//! name index live behind one [`RwLock`]), so an engine shared across
+//! threads can admit documents and serve queries without any `&mut`
+//! borrow.  Readers never observe a half-registered document, and a
+//! resolved [`Arc<DocStore>`] stays valid regardless of later
+//! registrations or reloads.
+//!
+//! **Snapshots.**  [`DocRegistry::snapshot`] clones the registry's current
+//! state into a fresh, independent `DocRegistry` (the store handles are
+//! `Arc`-shared; the clone is O(documents), not O(bytes)).  The engine
+//! opens one snapshot per admitted query: the query resolves `fn:doc`
+//! against the frozen view — a reload racing with the query can never tear
+//! its reads — and registers its constructed transient documents into the
+//! snapshot, so transient ids are deterministic per query (they always
+//! start at the persistent document count) and the transients are freed
+//! when the query's results drop, instead of accumulating in the engine
+//! for its whole lifetime.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -25,11 +33,18 @@ use pf_relational::ops::DocResolver;
 use pf_store::{DocStore, StorageStats};
 use pf_xml::Document;
 
+/// The lock-protected registry state: the id-indexed store table and the
+/// name index over the persistent entries.
+#[derive(Debug, Default)]
+struct RegState {
+    stores: Vec<Arc<DocStore>>,
+    by_name: HashMap<String, u32>,
+}
+
 /// Registry of all documents known to an engine instance.
 #[derive(Debug, Default)]
 pub struct DocRegistry {
-    stores: RwLock<Vec<Arc<DocStore>>>,
-    by_name: HashMap<String, u32>,
+    state: RwLock<RegState>,
     constructed: AtomicUsize,
 }
 
@@ -40,28 +55,44 @@ impl DocRegistry {
     }
 
     /// Shred and register an XML string under `name`.  Re-loading the same
-    /// name replaces the previous version.
-    pub fn load_xml(&mut self, name: &str, xml: &str) -> Result<u32, pf_xml::XmlError> {
+    /// name replaces the previous version.  Takes `&self`: loads may race
+    /// with running queries, which read from their own snapshots.
+    pub fn load_xml(&self, name: &str, xml: &str) -> Result<u32, pf_xml::XmlError> {
         let store = DocStore::from_xml(name, xml)?;
         Ok(self.insert(name, store))
     }
 
     /// Shred and register a parsed document under `name`.
-    pub fn load_document(&mut self, name: &str, doc: &Document) -> u32 {
+    pub fn load_document(&self, name: &str, doc: &Document) -> u32 {
         let store = DocStore::from_document(name, doc);
         self.insert(name, store)
     }
 
-    fn insert(&mut self, name: &str, store: DocStore) -> u32 {
-        let stores = self.stores.get_mut().expect("registry lock poisoned");
-        if let Some(&id) = self.by_name.get(name) {
-            stores[id as usize] = Arc::new(store);
+    fn insert(&self, name: &str, store: DocStore) -> u32 {
+        let mut state = self.state.write().expect("registry lock poisoned");
+        if let Some(&id) = state.by_name.get(name) {
+            state.stores[id as usize] = Arc::new(store);
             return id;
         }
-        let id = stores.len() as u32;
-        stores.push(Arc::new(store));
-        self.by_name.insert(name.to_string(), id);
+        let id = state.stores.len() as u32;
+        state.stores.push(Arc::new(store));
+        state.by_name.insert(name.to_string(), id);
         id
+    }
+
+    /// A frozen, independent copy of the registry as of this call: later
+    /// loads or transient registrations on either side are invisible to
+    /// the other.  Store payloads are shared ([`Arc`]), so the snapshot
+    /// costs one `Vec`/`HashMap` clone, not a re-parse.
+    pub fn snapshot(&self) -> DocRegistry {
+        let state = self.state.read().expect("registry lock poisoned");
+        DocRegistry {
+            state: RwLock::new(RegState {
+                stores: state.stores.clone(),
+                by_name: state.by_name.clone(),
+            }),
+            constructed: AtomicUsize::new(0),
+        }
     }
 
     /// Register a transient (constructed) document and return its id.
@@ -70,30 +101,40 @@ impl DocRegistry {
     /// registry across threads.  Concurrent readers either see the store
     /// table before or after the append, never in between.
     pub fn register_constructed(&self, store: DocStore) -> u32 {
-        let mut stores = self.stores.write().expect("registry lock poisoned");
-        let id = stores.len() as u32;
+        let mut state = self.state.write().expect("registry lock poisoned");
+        let id = state.stores.len() as u32;
         self.constructed.fetch_add(1, Ordering::Relaxed);
-        stores.push(Arc::new(store));
+        state.stores.push(Arc::new(store));
         id
     }
 
     /// The id of the document registered under `name`.
     pub fn id_of(&self, name: &str) -> Option<u32> {
-        self.by_name.get(name).copied()
+        self.state
+            .read()
+            .expect("registry lock poisoned")
+            .by_name
+            .get(name)
+            .copied()
     }
 
     /// The store with id `id`.
     pub fn store(&self, id: u32) -> Option<Arc<DocStore>> {
-        self.stores
+        self.state
             .read()
             .expect("registry lock poisoned")
+            .stores
             .get(id as usize)
             .cloned()
     }
 
     /// Number of registered documents (persistent + constructed).
     pub fn len(&self) -> usize {
-        self.stores.read().expect("registry lock poisoned").len()
+        self.state
+            .read()
+            .expect("registry lock poisoned")
+            .stores
+            .len()
     }
 
     /// `true` when no documents are registered.
@@ -126,7 +167,7 @@ mod tests {
 
     #[test]
     fn load_and_lookup() {
-        let mut reg = DocRegistry::new();
+        let reg = DocRegistry::new();
         let id = reg.load_xml("a.xml", "<a><b/></a>").unwrap();
         assert_eq!(reg.id_of("a.xml"), Some(id));
         assert_eq!(reg.store(id).unwrap().node_count(), 3);
@@ -136,7 +177,7 @@ mod tests {
 
     #[test]
     fn reloading_replaces_in_place() {
-        let mut reg = DocRegistry::new();
+        let reg = DocRegistry::new();
         let id1 = reg.load_xml("a.xml", "<a/>").unwrap();
         let id2 = reg.load_xml("a.xml", "<a><b/><c/></a>").unwrap();
         assert_eq!(id1, id2);
@@ -146,7 +187,7 @@ mod tests {
 
     #[test]
     fn constructed_documents_get_fresh_ids() {
-        let mut reg = DocRegistry::new();
+        let reg = DocRegistry::new();
         reg.load_xml("a.xml", "<a/>").unwrap();
         let store = DocStore::from_xml("#c", "<r>1</r>").unwrap();
         let id = reg.register_constructed(store);
@@ -157,7 +198,7 @@ mod tests {
 
     #[test]
     fn resolved_stores_survive_later_registrations() {
-        let mut reg = DocRegistry::new();
+        let reg = DocRegistry::new();
         let id = reg.load_xml("a.xml", "<a><b/></a>").unwrap();
         let held = reg.store(id).unwrap();
         for i in 0..8 {
@@ -170,8 +211,30 @@ mod tests {
     }
 
     #[test]
+    fn snapshots_are_frozen_and_independent() {
+        let reg = DocRegistry::new();
+        reg.load_xml("a.xml", "<a><b/></a>").unwrap();
+        let snap = reg.snapshot();
+        // A reload after the snapshot is invisible to it…
+        reg.load_xml("a.xml", "<a><b/><b/><b/></a>").unwrap();
+        assert_eq!(snap.store(0).unwrap().node_count(), 3);
+        assert_eq!(reg.store(0).unwrap().node_count(), 5);
+        // …and a new document never appears in it.
+        reg.load_xml("late.xml", "<z/>").unwrap();
+        assert_eq!(snap.id_of("late.xml"), None);
+        assert_eq!(snap.len(), 1);
+        // Transients registered into the snapshot stay out of the engine
+        // registry; ids start at the snapshot's persistent count.
+        let store = DocStore::from_xml("#c", "<r/>").unwrap();
+        assert_eq!(snap.register_constructed(store), 1);
+        assert_eq!(snap.constructed_count(), 1);
+        assert_eq!(reg.constructed_count(), 0);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
     fn concurrent_readers_and_constructor_registrations() {
-        let mut reg = DocRegistry::new();
+        let reg = DocRegistry::new();
         reg.load_xml("a.xml", "<a><b/><b/></a>").unwrap();
         std::thread::scope(|scope| {
             let reg = &reg;
@@ -194,5 +257,34 @@ mod tests {
         });
         assert_eq!(reg.constructed_count(), 50);
         assert_eq!(reg.len(), 51);
+    }
+
+    #[test]
+    fn concurrent_loads_and_snapshots_are_consistent() {
+        let reg = DocRegistry::new();
+        reg.load_xml("d.xml", "<a><b/></a>").unwrap();
+        std::thread::scope(|scope| {
+            let reg = &reg;
+            scope.spawn(move || {
+                for i in 0..100 {
+                    let xml = if i % 2 == 0 {
+                        "<a><b/></a>"
+                    } else {
+                        "<a><b/><b/><b/></a>"
+                    };
+                    reg.load_xml("d.xml", xml).unwrap();
+                }
+            });
+            for _ in 0..2 {
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        let snap = reg.snapshot();
+                        // Every snapshot sees exactly one whole version.
+                        let n = snap.store(0).unwrap().node_count();
+                        assert!(n == 3 || n == 5, "torn snapshot: {n} nodes");
+                    }
+                });
+            }
+        });
     }
 }

@@ -287,7 +287,7 @@ mod tests {
 
     #[test]
     fn serializes_atomics_with_spaces_and_nodes_inline() {
-        let mut registry = DocRegistry::new();
+        let registry = DocRegistry::new();
         registry.load_xml("d", "<x><y>7</y></x>").unwrap();
         let table = Table::iter_pos_item(
             vec![1, 1, 1],
@@ -351,7 +351,7 @@ mod tests {
 
     #[test]
     fn serialize_table_streams_without_a_query_result() {
-        let mut registry = DocRegistry::new();
+        let registry = DocRegistry::new();
         registry.load_xml("d", "<x><y>7</y></x>").unwrap();
         let table = Table::iter_pos_item(
             vec![1, 1],

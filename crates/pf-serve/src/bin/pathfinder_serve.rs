@@ -1,0 +1,99 @@
+//! `pathfinder-serve` — serve one shared engine over TCP.
+//!
+//! ```text
+//! pathfinder-serve [--addr HOST:PORT] [--threads N] [--morsel ROWS]
+//!                  [--budget ROWS] [--load NAME=PATH]...
+//! ```
+//!
+//! Defaults: `--addr 127.0.0.1:4044`, engine options from the usual
+//! `PF_THREADS` / `PF_FUSION` / `PF_MORSEL` environment knobs, unlimited
+//! admission budget.  `--load` preloads documents before the first client
+//! connects.  The protocol is documented in the `pf_serve` crate docs;
+//! any client can stop the server with `SHUTDOWN`.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use pf_engine::{EngineOptions, Pathfinder};
+use pf_serve::Server;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pathfinder-serve [--addr HOST:PORT] [--threads N] [--morsel ROWS] \
+         [--budget ROWS] [--load NAME=PATH]..."
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:4044".to_string();
+    let mut builder = EngineOptions::builder();
+    let mut preloads: Vec<(String, String)> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--threads" => {
+                builder = builder.threads(value("--threads").parse().expect("--threads: number"));
+            }
+            "--morsel" => {
+                builder = builder.morsel_rows(value("--morsel").parse().expect("--morsel: number"));
+            }
+            "--budget" => {
+                builder = builder
+                    .memory_budget_rows(value("--budget").parse().expect("--budget: number"));
+            }
+            "--load" => {
+                let spec = value("--load");
+                let Some((name, path)) = spec.split_once('=') else {
+                    eprintln!("--load expects NAME=PATH, got {spec}");
+                    return usage();
+                };
+                preloads.push((name.to_string(), path.to_string()));
+            }
+            _ => return usage(),
+        }
+    }
+
+    let engine = Arc::new(Pathfinder::with_options(builder.build()));
+    for (name, path) in &preloads {
+        let xml = match std::fs::read_to_string(path) {
+            Ok(xml) => xml,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = engine.load_document(name, &xml) {
+            eprintln!("cannot load {name} from {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("loaded {name} from {path}");
+    }
+
+    let server = match Server::bind(engine, &addr) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => println!("pathfinder-serve listening on {bound}"),
+        Err(e) => {
+            eprintln!("cannot resolve bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("server error: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("pathfinder-serve stopped");
+    ExitCode::SUCCESS
+}

@@ -28,7 +28,7 @@ fn main() {
         stats.closed_auctions
     );
 
-    let mut pf = Pathfinder::new();
+    let pf = Pathfinder::new();
     pf.load_document("auction.xml", &xml).unwrap();
     let mut nav = BaselineEngine::new();
     nav.load_document("auction.xml", &xml).unwrap();
@@ -65,7 +65,10 @@ fn main() {
     );
     for (name, query) in analytics {
         let start = Instant::now();
-        let relational = pf.query(query).expect("pathfinder evaluates the query");
+        let relational = pf
+            .session()
+            .query(query)
+            .expect("pathfinder evaluates the query");
         let pf_time = start.elapsed();
         let start = Instant::now();
         let navigational = nav.query(query).expect("baseline evaluates the query");

@@ -35,8 +35,9 @@ fn main() {
 
     // Figures 3(c)-(g) are produced by the engine itself; run the query and
     // show the final result, which must equal Figure 3(g)'s item column.
-    let mut pf = Pathfinder::new();
+    let pf = Pathfinder::new();
     let result = pf
+        .session()
         .query("for $v in (10,20), $w in (100,200) return $v + $w")
         .unwrap();
     println!("(g) overall result in scope s0: {}", result.to_xml());

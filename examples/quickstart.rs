@@ -9,7 +9,10 @@
 use pathfinder::engine::Pathfinder;
 
 fn main() {
-    let mut pf = Pathfinder::new();
+    // One engine, any number of concurrent sessions (`Session` is the
+    // per-client handle; every engine entry point takes `&self`).
+    let pf = Pathfinder::new();
+    let session = pf.session();
 
     // A tiny auction-flavoured document.
     pf.load_document(
@@ -23,11 +26,11 @@ fn main() {
     .expect("well-formed XML");
 
     // 1. Simple aggregation over a path.
-    let total = pf.query("fn:sum(fn:doc(\"bids.xml\")//bid)").unwrap();
+    let total = session.query("fn:sum(fn:doc(\"bids.xml\")//bid)").unwrap();
     println!("total bid volume      : {}", total.to_xml());
 
     // 2. FLWOR with a predicate and element construction.
-    let hot = pf
+    let hot = session
         .query(
             "for $a in fn:doc(\"bids.xml\")//auction \
              where count($a/bid) >= 2 \
@@ -37,13 +40,15 @@ fn main() {
     println!("auctions with >1 bid  : {}", hot.to_xml());
 
     // 3. The paper's Figure 3 query: nested iteration, loop-lifted.
-    let fig3 = pf
+    let fig3 = session
         .query("for $v in (10,20), $w in (100,200) return $v + $w")
         .unwrap();
     println!("figure 3 query        : {}", fig3.to_xml());
 
     // 4. Look under the hood: the relational plan of the Figure 5 query.
-    let explain = pf.explain("for $v in (10,20) return $v + 100").unwrap();
+    let explain = session
+        .explain("for $v in (10,20) return $v + 100")
+        .unwrap();
     println!(
         "figure 5 plan         : {} operators before, {} after peephole optimization",
         explain.report.operators_before, explain.report.operators_after

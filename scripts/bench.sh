@@ -14,10 +14,14 @@
 #                    1/2/4/8 threads on the persistent pool, plus the
 #                    constructor linear-scaling check; see
 #                    PF_MORSEL_THREADS, PF_MORSEL_RUNS, PF_MORSEL)
+#   BENCH_pr6.json — concurrent-serving profile (sustained QPS and
+#                    p50/p99 latency of a mixed XMark stream at 1/4/8
+#                    sessions on one shared engine; see PF_QPS_SESSIONS
+#                    and PF_QPS_ROUNDS)
 #
 #   ./scripts/bench.sh                       # scale 0.05, default outputs
 #   ./scripts/bench.sh 0.2                   # custom scale factor
-#   ./scripts/bench.sh 0.2 mem.json scal.json fus.json morsel.json
+#   ./scripts/bench.sh 0.2 mem.json scal.json fus.json morsel.json qps.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,9 +31,11 @@ mem_out="${2:-BENCH_pr2.json}"
 scaling_out="${3:-BENCH_pr3.json}"
 fusion_out="${4:-BENCH_pr4.json}"
 morsel_out="${5:-BENCH_pr5.json}"
+qps_out="${6:-BENCH_pr6.json}"
 
 cargo run --release -p pf-bench --bin mem_profile -- "$scale" "$mem_out"
 cargo run --release -p pf-bench --bin thread_scaling -- "$scale" "$scaling_out"
 # Threads pinned to 1 so the peak-cell numbers are schedule-independent.
 cargo run --release -p pf-bench --bin fusion_profile -- "$scale" "$fusion_out" 1
 cargo run --release -p pf-bench --bin morsel_profile -- "$scale" "$morsel_out"
+cargo run --release -p pf-bench --bin qps_bench -- "$scale" "$qps_out"

@@ -158,15 +158,16 @@ fn constructor_queries_scale_linearly_in_iteration_count() {
 
     // Best-of-3 wall time of the constructor query over n iterations.
     fn best_time(n: usize) -> Duration {
-        let mut pf = pathfinder::engine::Pathfinder::new();
+        let pf = pathfinder::engine::Pathfinder::new();
         pf.load_document("c.xml", &doc_with(n)).unwrap();
+        let session = pf.session();
         let q = "for $x in fn:doc(\"c.xml\")//x return element e { $x/text() }";
-        let warm = pf.query(q).unwrap();
+        let warm = session.query(q).unwrap();
         assert_eq!(warm.len(), n);
         (0..3)
             .map(|_| {
                 let started = Instant::now();
-                pf.query(q).unwrap();
+                session.query(q).unwrap();
                 started.elapsed()
             })
             .min()

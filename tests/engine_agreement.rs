@@ -11,7 +11,7 @@ use pathfinder::xmark::{generate, queries, GeneratorConfig};
 
 fn engines(scale: f64, seed: u64) -> (Pathfinder, BaselineEngine) {
     let xml = generate(&GeneratorConfig { scale, seed });
-    let mut pf = Pathfinder::new();
+    let pf = Pathfinder::new();
     pf.load_document("auction.xml", &xml).unwrap();
     let mut baseline = BaselineEngine::new();
     baseline.load_document("auction.xml", &xml).unwrap();
@@ -20,9 +20,10 @@ fn engines(scale: f64, seed: u64) -> (Pathfinder, BaselineEngine) {
 
 #[test]
 fn all_twenty_xmark_queries_agree_between_engines() {
-    let (mut pf, mut baseline) = engines(0.004, 20050831);
+    let (pf, mut baseline) = engines(0.004, 20050831);
     for q in queries() {
         let relational = pf
+            .session()
             .query(q.text)
             .unwrap_or_else(|e| panic!("Pathfinder failed on Q{}: {e}", q.id));
         let navigational = baseline
@@ -46,9 +47,9 @@ fn join_recognition_does_not_change_results() {
         scale: 0.003,
         seed: 7,
     });
-    let mut with_joins = Pathfinder::new();
+    let with_joins = Pathfinder::new();
     with_joins.load_document("auction.xml", &xml).unwrap();
-    let mut without_joins = Pathfinder::with_options(EngineOptions {
+    let without_joins = Pathfinder::with_options(EngineOptions {
         compile: CompileOptions {
             join_recognition: false,
             ..Default::default()
@@ -60,8 +61,8 @@ fn join_recognition_does_not_change_results() {
 
     for id in [8u8, 9, 10, 11, 12] {
         let q = pathfinder::xmark::query(id).unwrap();
-        let a = with_joins.query(q.text).unwrap();
-        let b = without_joins.query(q.text).unwrap();
+        let a = with_joins.session().query(q.text).unwrap();
+        let b = without_joins.session().query(q.text).unwrap();
         assert_eq!(
             a.to_xml(),
             b.to_xml(),
@@ -78,17 +79,17 @@ fn optimizer_does_not_change_results() {
         scale: 0.003,
         seed: 13,
     });
-    let mut optimized = Pathfinder::new();
+    let optimized = Pathfinder::new();
     optimized.load_document("auction.xml", &xml).unwrap();
-    let mut unoptimized = Pathfinder::with_options(EngineOptions {
+    let unoptimized = Pathfinder::with_options(EngineOptions {
         optimize: false,
         ..Default::default()
     });
     unoptimized.load_document("auction.xml", &xml).unwrap();
 
     for q in queries() {
-        let a = optimized.query(q.text).unwrap();
-        let b = unoptimized.query(q.text).unwrap();
+        let a = optimized.session().query(q.text).unwrap();
+        let b = unoptimized.session().query(q.text).unwrap();
         assert_eq!(
             a.to_xml(),
             b.to_xml(),
@@ -105,7 +106,7 @@ fn engines_agree_on_handwritten_micro_queries() {
         <person id=\"p1\"><name>Bo</name><age>45</age></person>\
         <person id=\"p2\"><name>Cy</name><age>22</age></person>\
         </people></site>";
-    let mut pf = Pathfinder::new();
+    let pf = Pathfinder::new();
     pf.load_document("doc.xml", xml).unwrap();
     let mut baseline = BaselineEngine::new();
     baseline.load_document("doc.xml", xml).unwrap();
@@ -127,6 +128,7 @@ fn engines_agree_on_handwritten_micro_queries() {
     ];
     for q in queries {
         let a = pf
+            .session()
             .query(q)
             .unwrap_or_else(|e| panic!("Pathfinder failed on `{q}`: {e}"));
         let b = baseline

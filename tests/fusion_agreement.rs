@@ -12,8 +12,16 @@
 
 use std::sync::Arc;
 
-use pathfinder::engine::{EngineOptions, Pathfinder};
+use pathfinder::engine::{
+    EngineOptions, EngineResult, ExecStats, Pathfinder, Profile, QueryResult,
+};
 use pathfinder::xmark::{generate, queries, GeneratorConfig};
+
+fn profiled(pf: &Pathfinder, query: &str) -> EngineResult<(QueryResult, ExecStats)> {
+    let outcome = pf.query_with(query, Profile::Stats)?;
+    let stats = outcome.stats.expect("Profile::Stats returns stats");
+    Ok((outcome.result, stats))
+}
 
 /// One engine per (fusion, threads) configuration, all sharing the parsed
 /// document.
@@ -22,7 +30,7 @@ fn engines(xml: &str) -> Vec<((bool, usize), Pathfinder)> {
     [(true, 1), (true, 4), (false, 1), (false, 4)]
         .into_iter()
         .map(|(fusion, threads)| {
-            let mut pf = Pathfinder::with_options(EngineOptions {
+            let pf = Pathfinder::with_options(EngineOptions {
                 fusion,
                 threads,
                 ..EngineOptions::default()
@@ -39,13 +47,13 @@ fn all_xmark_queries_agree_between_fused_and_unfused_runs() {
         scale: 0.004,
         seed: 20050831,
     });
-    let mut engines = engines(&xml);
+    let engines = engines(&xml);
     let mut total_elided = 0usize;
 
     for q in queries() {
         let mut reference: Option<String> = None;
-        for ((fusion, threads), pf) in &mut engines {
-            let (result, stats) = pf.query_profiled(q.text).unwrap_or_else(|e| {
+        for ((fusion, threads), pf) in &engines {
+            let (result, stats) = profiled(pf, q.text).unwrap_or_else(|e| {
                 panic!(
                     "Q{} failed at fusion = {fusion}, threads = {threads}: {e}",
                     q.id
@@ -95,8 +103,9 @@ return element card {
     text { "person-card" }
 }"#;
     let mut reference: Option<String> = None;
-    for ((fusion, threads), mut pf) in engines(&xml) {
+    for ((fusion, threads), pf) in engines(&xml) {
         let result = pf
+            .session()
             .query(query)
             .unwrap_or_else(|e| panic!("failed at fusion = {fusion}, threads = {threads}: {e}"));
         assert!(!result.is_empty(), "constructor query produced no items");
@@ -120,16 +129,15 @@ fn fused_stats_totals_are_schedule_independent() {
         scale: 0.003,
         seed: 7,
     });
-    let mut engines = engines(&xml);
+    let engines = engines(&xml);
     for q in queries() {
         let mut fused_totals = Vec::new();
-        for ((fusion, _), pf) in &mut engines {
+        for ((fusion, _), pf) in &engines {
             if !*fusion {
                 continue;
             }
-            let (_, stats) = pf
-                .query_profiled(q.text)
-                .unwrap_or_else(|e| panic!("Q{} failed: {e}", q.id));
+            let (_, stats) =
+                profiled(pf, q.text).unwrap_or_else(|e| panic!("Q{} failed: {e}", q.id));
             fused_totals.push((
                 stats.fused_ops,
                 stats.tables_elided,

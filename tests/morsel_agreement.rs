@@ -19,7 +19,9 @@
 
 use std::sync::Arc;
 
-use pathfinder::engine::{EngineOptions, ExecStats, Pathfinder};
+use pathfinder::engine::{
+    EngineOptions, EngineResult, ExecStats, Pathfinder, Profile, QueryResult,
+};
 use pathfinder::xmark::{generate, queries, GeneratorConfig};
 
 const CONSTRUCTOR_QUERY: &str = r#"for $p in doc("auction.xml")/site/people/person
@@ -64,8 +66,14 @@ const CONFIGS: &[Config] = &[
     },
 ];
 
+fn profiled(pf: &Pathfinder, query: &str) -> EngineResult<(QueryResult, ExecStats)> {
+    let outcome = pf.query_with(query, Profile::Stats)?;
+    let stats = outcome.stats.expect("Profile::Stats returns stats");
+    Ok((outcome.result, stats))
+}
+
 fn engine(xml_doc: &Arc<pathfinder::xml::Document>, fusion: bool, config: &Config) -> Pathfinder {
-    let mut pf = Pathfinder::with_options(EngineOptions {
+    let pf = Pathfinder::with_options(EngineOptions {
         threads: config.threads,
         morsel_rows: config.morsel_rows,
         fusion,
@@ -106,23 +114,22 @@ fn all_queries_agree_across_threads_morsels_and_fusion() {
 
     for fusion in [true, false] {
         // Reference: sequential, unpartitioned, this fusion setting.
-        let mut reference_engine = engine(&doc, fusion, &CONFIGS[0]);
+        let reference_engine = engine(&doc, fusion, &CONFIGS[0]);
         let references: Vec<(String, usize, Totals)> = query_texts
             .iter()
             .map(|(name, text)| {
-                let (result, stats) = reference_engine
-                    .query_profiled(text)
+                let (result, stats) = profiled(&reference_engine, text)
                     .unwrap_or_else(|e| panic!("{name} failed on the reference: {e}"));
                 (result.to_xml(), result.len(), totals(&stats))
             })
             .collect();
 
         for config in &CONFIGS[1..] {
-            let mut pf = engine(&doc, fusion, config);
+            let pf = engine(&doc, fusion, config);
             for ((name, text), (ref_xml, ref_len, ref_totals)) in
                 query_texts.iter().zip(&references)
             {
-                let (result, stats) = pf.query_profiled(text).unwrap_or_else(|e| {
+                let (result, stats) = profiled(&pf, text).unwrap_or_else(|e| {
                     panic!("{name} failed at {} (fusion {fusion}): {e}", config.label)
                 });
                 assert_eq!(
@@ -163,16 +170,19 @@ fn repeated_morselized_runs_are_stable() {
         seed: 7,
     });
     let doc = Arc::new(pathfinder::xml::parse(&xml).unwrap());
-    let mut pf = Pathfinder::with_options(EngineOptions {
+    let pf = Pathfinder::with_options(EngineOptions {
         threads: 4,
         morsel_rows: 2,
         ..EngineOptions::default()
     });
     pf.load_parsed("auction.xml", &doc).unwrap();
     let q8 = pathfinder::xmark::query(8).unwrap();
-    let first = pf.query(q8.text).expect("first morselized run");
+    let first = pf.session().query(q8.text).expect("first morselized run");
     for _ in 0..3 {
-        let again = pf.query(q8.text).expect("repeated morselized run");
+        let again = pf
+            .session()
+            .query(q8.text)
+            .expect("repeated morselized run");
         assert_eq!(first.to_xml(), again.to_xml());
     }
     assert_eq!(pf.worker_pool_spawns(), 1);

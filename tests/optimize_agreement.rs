@@ -22,7 +22,7 @@ fn optimized_and_unoptimized_plans_agree_on_all_xmark_queries() {
         scale: 0.004,
         seed: 20050831,
     });
-    let mut registry = DocRegistry::new();
+    let registry = DocRegistry::new();
     registry.load_xml("auction.xml", &xml).unwrap();
 
     for q in queries() {
@@ -79,7 +79,7 @@ fn eviction_does_not_change_results_on_shared_dags() {
         scale: 0.004,
         seed: 7,
     });
-    let mut registry = DocRegistry::new();
+    let registry = DocRegistry::new();
     registry.load_xml("auction.xml", &xml).unwrap();
     let q = pathfinder::xmark::query(8).unwrap();
     let ast = parse_query(q.text).unwrap();

@@ -12,13 +12,21 @@
 
 use std::sync::Arc;
 
-use pathfinder::engine::{EngineOptions, Pathfinder};
+use pathfinder::engine::{
+    EngineOptions, EngineResult, ExecStats, Pathfinder, Profile, QueryResult,
+};
 use pathfinder::xmark::{generate, queries, GeneratorConfig};
+
+fn profiled(pf: &Pathfinder, query: &str) -> EngineResult<(QueryResult, ExecStats)> {
+    let outcome = pf.query_with(query, Profile::Stats)?;
+    let stats = outcome.stats.expect("Profile::Stats returns stats");
+    Ok((outcome.result, stats))
+}
 
 fn engine_pair(xml: &str) -> (Pathfinder, Pathfinder) {
     let doc = Arc::new(pathfinder::xml::parse(xml).expect("generated XML is well-formed"));
     let make = |threads: usize| {
-        let mut pf = Pathfinder::with_options(EngineOptions {
+        let pf = Pathfinder::with_options(EngineOptions {
             threads,
             ..EngineOptions::default()
         });
@@ -34,14 +42,12 @@ fn all_xmark_queries_agree_between_one_and_four_threads() {
         scale: 0.004,
         seed: 20050831,
     });
-    let (mut sequential, mut parallel) = engine_pair(&xml);
+    let (sequential, parallel) = engine_pair(&xml);
 
     for q in queries() {
-        let (seq, seq_stats) = sequential
-            .query_profiled(q.text)
+        let (seq, seq_stats) = profiled(&sequential, q.text)
             .unwrap_or_else(|e| panic!("Q{} failed at threads = 1: {e}", q.id));
-        let (par, par_stats) = parallel
-            .query_profiled(q.text)
+        let (par, par_stats) = profiled(&parallel, q.text)
             .unwrap_or_else(|e| panic!("Q{} failed at threads = 4: {e}", q.id));
 
         assert_eq!(
@@ -87,7 +93,7 @@ fn constructor_heavy_query_agrees_across_thread_counts() {
         scale: 0.004,
         seed: 20050831,
     });
-    let (mut sequential, mut parallel) = engine_pair(&xml);
+    let (sequential, parallel) = engine_pair(&xml);
     let query = r#"for $p in doc("auction.xml")/site/people/person
 return element card {
     attribute id { $p/@id },
@@ -96,8 +102,8 @@ return element card {
     text { "person-card" }
 }"#;
 
-    let seq = sequential.query(query).expect("threads = 1");
-    let par = parallel.query(query).expect("threads = 4");
+    let seq = sequential.session().query(query).expect("threads = 1");
+    let par = parallel.session().query(query).expect("threads = 4");
     assert!(!seq.is_empty(), "constructor query produced no items");
     assert_eq!(seq.to_xml(), par.to_xml());
     assert_eq!(seq.len(), par.len());
@@ -112,11 +118,17 @@ fn repeated_parallel_runs_are_stable() {
         scale: 0.003,
         seed: 7,
     });
-    let (_, mut parallel) = engine_pair(&xml);
+    let (_, parallel) = engine_pair(&xml);
     let q8 = pathfinder::xmark::query(8).unwrap();
-    let first = parallel.query(q8.text).expect("first parallel run");
+    let first = parallel
+        .session()
+        .query(q8.text)
+        .expect("first parallel run");
     for _ in 0..3 {
-        let again = parallel.query(q8.text).expect("repeated parallel run");
+        let again = parallel
+            .session()
+            .query(q8.text)
+            .expect("repeated parallel run");
         assert_eq!(first.to_xml(), again.to_xml());
     }
 }

@@ -58,7 +58,7 @@ fn explain_exposes_the_compilation_stages() {
         scale: 0.005,
         seed: 5,
     });
-    let mut pf = Pathfinder::new();
+    let pf = Pathfinder::new();
     pf.load_document("auction.xml", &xml).unwrap();
     for q in queries() {
         let explain = pf.explain(q.text).unwrap();
@@ -117,11 +117,11 @@ fn timings_are_reported_and_queries_are_repeatable() {
         scale: 0.005,
         seed: 11,
     });
-    let mut pf = Pathfinder::new();
+    let pf = Pathfinder::new();
     pf.load_document("auction.xml", &xml).unwrap();
     let q = pathfinder::xmark::query(8).unwrap();
-    let first = pf.query(q.text).unwrap();
-    let second = pf.query(q.text).unwrap();
+    let first = pf.session().query(q.text).unwrap();
+    let second = pf.session().query(q.text).unwrap();
     assert_eq!(first.to_xml(), second.to_xml(), "repeated runs must agree");
     assert!(first.timings().total().as_nanos() > 0);
     assert!(!first.is_empty());
@@ -129,12 +129,12 @@ fn timings_are_reported_and_queries_are_repeatable() {
 
 #[test]
 fn engine_reports_errors_for_bad_input() {
-    let mut pf = Pathfinder::new();
+    let pf = Pathfinder::new();
     assert!(pf.load_document("bad.xml", "<a><b></a>").is_err());
-    assert!(pf.query("for $x in").is_err());
-    assert!(pf.query("frobnicate(1)").is_err());
-    assert!(pf.query("$undefined + 1").is_err());
-    assert!(pf.query("fn:doc(\"missing.xml\")//a").is_err());
+    assert!(pf.session().query("for $x in").is_err());
+    assert!(pf.session().query("frobnicate(1)").is_err());
+    assert!(pf.session().query("$undefined + 1").is_err());
+    assert!(pf.session().query("fn:doc(\"missing.xml\")//a").is_err());
 }
 
 #[test]
@@ -147,18 +147,20 @@ fn scale_factors_change_document_and_query_results_monotonically() {
         scale: 0.02,
         seed: 1,
     });
-    let mut pf_small = Pathfinder::new();
+    let pf_small = Pathfinder::new();
     pf_small.load_document("auction.xml", &small).unwrap();
-    let mut pf_large = Pathfinder::new();
+    let pf_large = Pathfinder::new();
     pf_large.load_document("auction.xml", &large).unwrap();
     let count_query = "fn:count(fn:doc(\"auction.xml\")/site/people/person)";
     let small_count: i64 = pf_small
+        .session()
         .query(count_query)
         .unwrap()
         .to_xml()
         .parse()
         .unwrap();
     let large_count: i64 = pf_large
+        .session()
         .query(count_query)
         .unwrap()
         .to_xml()

@@ -165,10 +165,10 @@ proptest! {
 
         let sequence = items.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(", ");
         let query = format!("for $v in ({sequence}) return $v + {offset}");
-        let mut optimized = Pathfinder::new();
-        let mut unoptimized = Pathfinder::with_options(EngineOptions { optimize: false, ..Default::default() });
-        let a = optimized.query(&query).unwrap().to_xml();
-        let b = unoptimized.query(&query).unwrap().to_xml();
+        let optimized = Pathfinder::new();
+        let unoptimized = Pathfinder::with_options(EngineOptions { optimize: false, ..Default::default() });
+        let a = optimized.session().query(&query).unwrap().to_xml();
+        let b = unoptimized.session().query(&query).unwrap().to_xml();
         prop_assert_eq!(&a, &b);
         let expected = items.iter().map(|i| (i + offset).to_string()).collect::<Vec<_>>().join(" ");
         prop_assert_eq!(a, expected);
