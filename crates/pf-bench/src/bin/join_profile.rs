@@ -1,0 +1,457 @@
+//! Join/aggregation kernel profile — the morsel-parallel hash joins and
+//! pre-aggregation of the join-heavy XMark queries (Q8–Q12), measured two
+//! ways:
+//!
+//! 1. **Thread sweep** — per-operator wall times at 1/2/4/8 worker
+//!    threads on the persistent pool.  The join probe is partitioned into
+//!    morsels and the aggregation pre-aggregates per chunk, so on a
+//!    multi-core host the `equi_join` / `join_probe` / `aggregate` rows
+//!    shrink as threads grow (the JSON records `available_parallelism`,
+//!    so a flat profile on a one-core box explains itself).  Every run is
+//!    asserted byte-identical to the thread=1 reference.
+//! 2. **Kernel comparison** — single-threaded, typed key kernels (the
+//!    default) vs the value-at-a-time reference paths
+//!    (`PF_KERNELS=generic`): whole-query wall and the join+aggregate
+//!    operator wall, with the speedup per query.  Both modes must
+//!    serialize identically; only the clock may differ.
+//!
+//! ```text
+//! cargo run --release -p pf-bench --bin join_profile -- [scale] [output.json]
+//! cargo run --release -p pf-bench --bin join_profile -- 0.05 BENCH_pr7.json
+//! ```
+//!
+//! Environment knobs: `PF_JOIN_THREADS` (comma-separated thread counts,
+//! default `1,2,4,8`) and `PF_JOIN_RUNS` (timed runs per cell, best kept;
+//! default 3).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pf_bench::{json_string, time, SEED};
+use pf_engine::{EngineOptions, OpProfile, Pathfinder, Profile};
+use pf_xmark::{generate, GeneratorConfig, XmarkQuery};
+
+/// The join- and aggregate-heavy XMark queries.
+const FOCUS: [u8; 5] = [8, 9, 10, 11, 12];
+
+/// Operator kinds attributable to the join/aggregation kernels: the
+/// breaker operators themselves plus the sub-phase timings the executor
+/// records around the build/probe/partial kernels.
+const KERNEL_KINDS: [&str; 6] = [
+    "equi_join",
+    "theta_join",
+    "aggregate",
+    "join_build",
+    "join_probe",
+    "agg_partial",
+];
+
+/// The breaker operators alone — the apples-to-apples basis for the
+/// typed-vs-generic comparison.  (The typed path *additionally* records
+/// `join_build`/`join_probe`/`agg_partial` sub-phases nested inside these
+/// totals; summing those too would double-count one side only.)
+const BREAKER_KINDS: [&str; 3] = ["equi_join", "theta_join", "aggregate"];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.05);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_pr7.json".to_string());
+    let threads = thread_counts();
+    let runs = runs_per_cell();
+
+    println!("# Join/aggregation kernel profile — XMark Q8–Q12 at scale {scale}");
+    let xml = generate(&GeneratorConfig { scale, seed: SEED });
+    let doc = Arc::new(pf_xml::parse(&xml).expect("generated document is well-formed"));
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("# document: {} bytes of XML", xml.len());
+    println!("# host parallelism: {cores} core(s); best of {runs} run(s) per cell");
+
+    let focus: Vec<XmarkQuery> = FOCUS
+        .iter()
+        .map(|&id| pf_xmark::query(id).expect("Q8–Q12 exist"))
+        .collect();
+
+    // ---- Part 1: thread sweep over the persistent pool. -----------------
+    let engines: Vec<Pathfinder> = threads
+        .iter()
+        .map(|&n| {
+            let pf = Pathfinder::with_options(EngineOptions {
+                threads: n,
+                ..EngineOptions::default()
+            });
+            pf.load_parsed("auction.xml", &doc)
+                .expect("shredding cannot fail on a parsed document");
+            pf
+        })
+        .collect();
+
+    // kind → wall seconds per thread count (summed over the focus queries,
+    // best run per query), plus node/row counts (thread-independent).
+    let mut per_op: BTreeMap<&'static str, (Vec<f64>, usize, usize)> = BTreeMap::new();
+    // query → whole-query wall per thread count.
+    let mut query_walls: Vec<(u8, Vec<f64>)> = Vec::new();
+
+    for q in &focus {
+        let mut reference: Option<String> = None;
+        let mut walls = vec![0.0; threads.len()];
+        for (t_idx, &t) in threads.iter().enumerate() {
+            let engine = &engines[t_idx];
+            let warm = engine
+                .session()
+                .query(q.text)
+                .unwrap_or_else(|e| panic!("Q{} failed at t={t}: {e}", q.id));
+            match &reference {
+                None => reference = Some(warm.to_xml()),
+                Some(expected) => assert_eq!(
+                    *expected,
+                    warm.to_xml(),
+                    "Q{}: results diverge at t={t}",
+                    q.id
+                ),
+            }
+            let (wall, profile) = best_run(engine, q, runs, reference.as_deref());
+            walls[t_idx] = wall.as_secs_f64();
+            for entry in &profile.entries {
+                let slot = per_op
+                    .entry(entry.kind)
+                    .or_insert_with(|| (vec![0.0; threads.len()], 0, 0));
+                slot.0[t_idx] += entry.total.as_secs_f64();
+                if t_idx == 0 {
+                    slot.1 += entry.nodes;
+                    slot.2 += entry.rows;
+                }
+            }
+        }
+        query_walls.push((q.id, walls));
+    }
+
+    // Every engine that ran parallel queries spawned exactly one pool.
+    for (engine, &t) in engines.iter().zip(&threads) {
+        let expected = usize::from(t > 1);
+        assert_eq!(
+            engine.worker_pool_spawns(),
+            expected,
+            "t={t}: the pool must be created once per engine, not per query"
+        );
+    }
+
+    let header: Vec<String> = threads
+        .iter()
+        .map(|n| format!("{:>10}", format!("t={n} (s)")))
+        .collect();
+    println!();
+    println!(
+        "{:>14} | {} | {:>6} | {:>9}",
+        "operator",
+        header.join(" | "),
+        "nodes",
+        "rows"
+    );
+    println!("{}", "-".repeat(17 + 13 * threads.len() + 22));
+    for (kind, (walls, nodes, rows)) in &per_op {
+        if !KERNEL_KINDS.contains(kind) {
+            continue;
+        }
+        let row: Vec<String> = walls
+            .iter()
+            .map(|w| format!("{:>10}", format!("{w:.6}")))
+            .collect();
+        println!("{kind:>14} | {} | {nodes:>6} | {rows:>9}", row.join(" | "));
+    }
+    println!("{}", "-".repeat(17 + 13 * threads.len() + 22));
+    for (id, walls) in &query_walls {
+        let row: Vec<String> = walls
+            .iter()
+            .map(|w| format!("{:>10}", format!("{w:.6}")))
+            .collect();
+        let label = format!("Q{id} wall");
+        println!("{label:>14} | {} |", row.join(" | "));
+    }
+
+    // ---- Part 2: typed vs value-at-a-time kernels, single-threaded. -----
+    // `PF_KERNELS` is read when the executor is built (once per query), so
+    // flipping the variable between the two timing passes selects the
+    // kernel for everything that follows.  All queries here run on this
+    // thread — nothing else observes the flip.
+    println!("\n# kernel comparison (t=1): typed key kernels vs PF_KERNELS=generic");
+    std::env::set_var("PF_KERNELS", "typed");
+    let typed = kernel_pass(&doc, &focus, runs);
+    std::env::set_var("PF_KERNELS", "generic");
+    let generic = kernel_pass(&doc, &focus, runs);
+    std::env::remove_var("PF_KERNELS");
+
+    println!(
+        "{:>6} | {:>11} | {:>11} | {:>8} | {:>11} | {:>11} | {:>8}",
+        "query", "kern typ", "kern gen", "speedup", "query typ", "query gen", "query x"
+    );
+    let mut comparison: Vec<(u8, f64, f64, f64, f64, f64, f64)> = Vec::new();
+    for (q, t, g) in focus
+        .iter()
+        .zip(&typed)
+        .zip(&generic)
+        .map(|((q, t), g)| (q, t, g))
+    {
+        assert_eq!(
+            t.xml, g.xml,
+            "Q{}: typed and generic kernels must serialize identically",
+            q.id
+        );
+        let speedup = g.kernel / t.kernel.max(f64::EPSILON);
+        let query_speedup = g.wall / t.wall.max(f64::EPSILON);
+        println!(
+            "{:>6} | {:>11.6} | {:>11.6} | {:>7.2}x | {:>11.6} | {:>11.6} | {:>7.2}x",
+            format!("Q{}", q.id),
+            t.kernel,
+            g.kernel,
+            speedup,
+            t.wall,
+            g.wall,
+            query_speedup
+        );
+        comparison.push((
+            q.id,
+            t.kernel,
+            g.kernel,
+            speedup,
+            t.wall,
+            g.wall,
+            query_speedup,
+        ));
+    }
+
+    let json = render_json(
+        scale,
+        xml.len(),
+        cores,
+        runs,
+        &threads,
+        &per_op,
+        &query_walls,
+        &comparison,
+    );
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("# wrote {out_path}");
+}
+
+/// Best-of-`runs` `Profile::Ops` execution of `q`, asserting every timed
+/// run serializes to `reference`.
+fn best_run(
+    engine: &Pathfinder,
+    q: &XmarkQuery,
+    runs: usize,
+    reference: Option<&str>,
+) -> (Duration, OpProfile) {
+    let mut best: Option<(Duration, OpProfile)> = None;
+    for _ in 0..runs {
+        let (outcome, wall) = time(|| engine.query_with(q.text, Profile::Ops));
+        let outcome = outcome.unwrap_or_else(|e| panic!("Q{} failed: {e}", q.id));
+        assert_eq!(
+            reference,
+            Some(outcome.result.to_xml().as_str()),
+            "Q{}: timed run diverged",
+            q.id
+        );
+        let profile = outcome.ops.expect("Profile::Ops returns the op profile");
+        if best.as_ref().is_none_or(|(w, _)| wall < *w) {
+            best = Some((wall, profile));
+        }
+    }
+    best.expect("at least one timed run")
+}
+
+/// One timing pass of the kernel comparison.
+struct KernelCell {
+    xml: String,
+    /// Best whole-query wall, seconds.
+    wall: f64,
+    /// Join + aggregation breaker-operator wall of the best run, seconds
+    /// (the [`BREAKER_KINDS`] rows of the op profile).
+    kernel: f64,
+}
+
+/// Run the focus queries single-threaded on a fresh engine under the
+/// currently selected kernels (`PF_KERNELS`), best of `runs`.
+fn kernel_pass(doc: &Arc<pf_xml::Document>, focus: &[XmarkQuery], runs: usize) -> Vec<KernelCell> {
+    let pf = Pathfinder::with_options(EngineOptions {
+        threads: 1,
+        ..EngineOptions::default()
+    });
+    pf.load_parsed("auction.xml", doc)
+        .expect("shredding cannot fail on a parsed document");
+    focus
+        .iter()
+        .map(|q| {
+            let warm = pf
+                .session()
+                .query(q.text)
+                .unwrap_or_else(|e| panic!("Q{} failed in the kernel pass: {e}", q.id));
+            let xml = warm.to_xml();
+            // The per-query kernel wall is tens of microseconds at bench
+            // scales, so noise dominates any single run: take the minimum
+            // of wall and kernel time independently over several runs.
+            let mut wall = f64::INFINITY;
+            let mut kernel = f64::INFINITY;
+            for _ in 0..runs.max(11) {
+                let (run_wall, profile) = best_run(&pf, q, 1, Some(&xml));
+                wall = wall.min(run_wall.as_secs_f64());
+                let run_kernel: f64 = profile
+                    .entries
+                    .iter()
+                    .filter(|e| BREAKER_KINDS.contains(&e.kind))
+                    .map(|e| e.total.as_secs_f64())
+                    .sum();
+                kernel = kernel.min(run_kernel);
+            }
+            KernelCell { xml, wall, kernel }
+        })
+        .collect()
+}
+
+/// Thread counts to profile, honouring `PF_JOIN_THREADS`.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("PF_JOIN_THREADS") {
+        Ok(spec) => {
+            let counts: Vec<usize> = spec
+                .split(',')
+                .filter_map(|s| s.trim().parse::<usize>().ok())
+                .filter(|n| *n > 0)
+                .collect();
+            if counts.is_empty() {
+                vec![1, 2, 4, 8]
+            } else {
+                counts
+            }
+        }
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// Timed runs per (query, thread count) cell, honouring `PF_JOIN_RUNS`.
+fn runs_per_cell() -> usize {
+    std::env::var("PF_JOIN_RUNS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(3)
+}
+
+/// Hand-rolled JSON rendering (the workspace deliberately has no serde).
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    scale: f64,
+    xml_bytes: usize,
+    cores: usize,
+    runs: usize,
+    threads: &[usize],
+    per_op: &BTreeMap<&'static str, (Vec<f64>, usize, usize)>,
+    query_walls: &[(u8, Vec<f64>)],
+    comparison: &[(u8, f64, f64, f64, f64, f64, f64)],
+) -> String {
+    let join_f64 = |values: &[f64]| {
+        values
+            .iter()
+            .map(|v| format!("{v:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"join_profile\",");
+    let _ = writeln!(out, "  \"scale\": {scale},");
+    let _ = writeln!(out, "  \"xml_bytes\": {xml_bytes},");
+    let _ = writeln!(out, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(out, "  \"runs_per_cell\": {runs},");
+    let _ = writeln!(
+        out,
+        "  \"queries\": [{}],",
+        FOCUS
+            .iter()
+            .map(|id| format!("\"Q{id}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "  \"threads\": [{}],",
+        threads
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    out.push_str("  \"query_wall_seconds\": [\n");
+    for (i, (id, walls)) in query_walls.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"query\": \"Q{id}\", \"wall_seconds\": [{}]}}",
+            join_f64(walls)
+        );
+        out.push_str(if i + 1 < query_walls.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"operators\": [\n");
+    let kernel_ops: Vec<_> = per_op
+        .iter()
+        .filter(|(kind, _)| KERNEL_KINDS.contains(*kind))
+        .collect();
+    for (i, (kind, (walls, nodes, rows))) in kernel_ops.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"kind\": {}, \"nodes\": {nodes}, \"rows\": {rows}, \
+             \"wall_seconds\": [{}]}}",
+            json_string(kind),
+            join_f64(walls)
+        );
+        out.push_str(if i + 1 < kernel_ops.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"kernel_comparison\": {{");
+    let _ = writeln!(out, "    \"threads\": 1,");
+    let _ = writeln!(
+        out,
+        "    \"note\": \"typed key kernels (default) vs PF_KERNELS=generic \
+         value-at-a-time; identical output asserted; speedup is the \
+         join+aggregate breaker-operator wall ratio (generic/typed), \
+         query_speedup the whole-query wall ratio\","
+    );
+    out.push_str("    \"queries\": [\n");
+    for (i, (id, t_kern, g_kern, speedup, t_wall, g_wall, query_speedup)) in
+        comparison.iter().enumerate()
+    {
+        let _ = write!(
+            out,
+            "      {{\"query\": \"Q{id}\", \
+             \"typed_kernel_seconds\": {t_kern:.6}, \
+             \"generic_kernel_seconds\": {g_kern:.6}, \
+             \"speedup\": {speedup:.3}, \
+             \"typed_wall_seconds\": {t_wall:.6}, \
+             \"generic_wall_seconds\": {g_wall:.6}, \
+             \"query_speedup\": {query_speedup:.3}}}"
+        );
+        out.push_str(if i + 1 < comparison.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("    ]\n");
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}

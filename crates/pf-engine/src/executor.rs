@@ -17,24 +17,39 @@
 //! run in any order — or concurrently.  With one thread the ready set is
 //! drained in the classic topological order (children before parents,
 //! identical to the pre-parallel executor, bit for bit); with more threads
-//! the independent branches of the DAG fan out onto a scoped worker pool
-//! ([`std::thread::scope`] — no extra dependencies) while one coordinator
-//! thread retains the *pinned* operators.  A whole pipeline is one work
-//! unit.  Shared subexpressions are still computed exactly once — this is
-//! the "single algebraic query" execution model of the paper, now
-//! exploiting the plan's join-graph independence.
+//! every ready node streams onto the persistent worker pool as a node job.
+//! A whole pipeline is one work unit.  Shared subexpressions are still
+//! computed exactly once — this is the "single algebraic query" execution
+//! model of the paper, now exploiting the plan's join-graph independence.
 //!
-//! **Pinned vs pure.**  The node-constructing operators (ε, attribute and τ
-//! text construction) append transient documents to the [`DocRegistry`] and
-//! therefore determine document ids; they are *pinned*: only the
-//! coordinator thread runs them, one at a time, in topological plan order,
-//! so constructed ids — and with them document order across transient
-//! fragments — are identical at every thread count.  Every other operator
-//! is *pure*: it only reads the registry (which hands out [`Arc`] store
-//! snapshots from behind a lock) and its inputs, so any worker may evaluate
-//! it as soon as its inputs are published.  Determinism does not depend on
-//! scheduling: each operator is a pure function of its input tables, so
+//! **Constructors are ordinary jobs.**  The node-constructing operators
+//! (ε, attribute and τ text construction) create transient documents and
+//! thereby consume document ids, which must be reproducible across thread
+//! counts.  Rather than serializing them on a coordinator thread, the
+//! executor **reserves** every constructor's doc id up front — one
+//! [`DocRegistry::reserve_constructed`] block in topological plan order at
+//! schedule time — and each constructor fills its pre-assigned slot
+//! whenever its pool job happens to run.  Ids (and with them document
+//! order across transient fragments) are identical at every thread count,
+//! and constructor-heavy plans parallelize like any other.  Every operator
+//! is thus *pure* with respect to scheduling: it reads the registry (which
+//! hands out [`Arc`] store snapshots from behind a lock) and its inputs,
+//! so any worker may evaluate it as soon as its inputs are published, and
 //! every thread count produces the same result table.
+//!
+//! **Joins and aggregates are morsel-parallel.**  An equi-join builds its
+//! hash index once over the smaller input (typed borrowed keys — see
+//! `pf_relational::ops::JoinPlan`), then partitions the probe side into
+//! morsels on the pool; per-morsel pair buffers concatenate in range
+//! order, so the output is bit-identical to the sequential probe.  An
+//! aggregation pre-aggregates input chunks into partials and merges them
+//! in chunk order — but only for the functions where that is bit-exact
+//! (`AggPlan::chunk_parallel_safe`); `sum`/`avg` stay sequential, and
+//! ascending `Nat`/`Int` group columns take a hash-free segmented scan.
+//! [`ExecStats::join_build_rows`] / [`ExecStats::join_probe_rows`] /
+//! [`ExecStats::agg_input_rows`] count what the kernels processed, and
+//! `PF_KERNELS=generic` (or `Executor::with_typed_kernels(false)`) falls
+//! back to the old value-at-a-time kernels for A/B measurement.
 //!
 //! Intermediate results are held behind [`Arc`]s and evicted at their last
 //! use: both paths decrement the per-result consumer counts of
@@ -56,7 +71,7 @@ use std::time::{Duration, Instant};
 use pf_algebra::{
     AlgOp, OpId, PhysKind, PhysNode, PhysNodeId, PhysicalBooks, PhysicalPlan, Plan, SortSpec,
 };
-use pf_relational::ops::{self, BinaryOp, SortKeys};
+use pf_relational::ops::{self, AggFunc, BinaryOp, SortKeys};
 use pf_relational::{Column, NodeRef, RelResult, Table, Value};
 use pf_store::{Axis, DocStore, NodeKindCode, NodeTest};
 use pf_xml::{Attribute, DocumentBuilder};
@@ -114,6 +129,15 @@ pub struct ExecStats {
     /// Intermediate tables fusion elided — one per interior pipeline edge
     /// that the unfused interpreter would have materialized.
     pub tables_elided: usize,
+    /// Rows hashed into join build sides (the smaller input of each
+    /// equi-join, plus the materialized inner side of each theta-join).
+    /// Data-determined, identical at every thread count and morsel size.
+    pub join_build_rows: usize,
+    /// Rows probed against join indexes (the larger input of each
+    /// equi-join, plus the outer side of each theta-join).
+    pub join_probe_rows: usize,
+    /// Rows consumed by grouped aggregation kernels.
+    pub agg_input_rows: usize,
 }
 
 /// The thread count the executor uses when none is requested explicitly:
@@ -148,6 +172,27 @@ fn fusion_flag(value: Option<&str>) -> bool {
         Some(v) => !matches!(
             v.trim().to_ascii_lowercase().as_str(),
             "0" | "false" | "off" | "no"
+        ),
+        None => true,
+    }
+}
+
+/// The kernel selection when none is requested explicitly: `PF_KERNELS`
+/// set to `generic`, `value` or `0` selects the old value-at-a-time
+/// join/aggregate kernels (the A/B baseline `join_profile` measures
+/// against); anything else (including an unset variable) selects the typed
+/// columnar kernels.  Read per executor construction, not cached — the
+/// bench flips it between runs.
+pub fn default_typed_kernels() -> bool {
+    kernels_flag(std::env::var("PF_KERNELS").ok().as_deref())
+}
+
+/// Parse a `PF_KERNELS`-style setting (`true` = typed kernels).
+fn kernels_flag(value: Option<&str>) -> bool {
+    match value {
+        Some(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "generic" | "value" | "0" | "off"
         ),
         None => true,
     }
@@ -265,14 +310,25 @@ fn node_kind(plan: &Plan, node: &PhysNode) -> &'static str {
     }
 }
 
-/// `true` for operators that must run on the coordinator thread, in plan
-/// order: the node constructors register transient documents and thereby
-/// assign document ids, which have to be reproducible across thread counts.
-fn is_pinned(op: &AlgOp) -> bool {
-    matches!(
-        op,
-        AlgOp::ElemConstruct { .. } | AlgOp::AttrConstruct { .. } | AlgOp::TextConstruct { .. }
-    )
+/// Pre-assigned transient document ids, one per constructor operator
+/// ([`AlgOp::ElemConstruct`] / [`AlgOp::TextConstruct`]), reserved in
+/// topological plan order before any node runs — what lets constructors
+/// run as ordinary parallel pool jobs with deterministic ids.
+type DocIds = HashMap<OpId, u32>;
+
+/// Per-evaluation kernel counters and sub-phase timings, returned by
+/// `eval_node` alongside the result table and folded into [`ExecStats`] /
+/// [`OpProfile`] at publish.  The row counters are data-determined
+/// (schedule-independent); the timings are only collected under
+/// [`Executor::with_op_profile`].
+#[derive(Debug, Default)]
+struct KernelStats {
+    join_build_rows: usize,
+    join_probe_rows: usize,
+    agg_input_rows: usize,
+    /// Sub-phase timings (`("join_build", rows, elapsed)`, …); empty unless
+    /// profiling is on.
+    timings: Vec<(&'static str, usize, Duration)>,
 }
 
 /// The materialized inputs an operator evaluation may read.
@@ -432,7 +488,7 @@ impl ContentIndex {
 /// schedule-independent by construction: a breaker contributes one
 /// evaluated operator, a pipeline contributes all the operators it covers
 /// plus the intermediate tables it never allocated.
-fn account_publish(stats: &mut ExecStats, node: &PhysNode, table: &Table) {
+fn account_publish(stats: &mut ExecStats, node: &PhysNode, table: &Table, kernel: &KernelStats) {
     stats.operators_evaluated += node.op_count();
     if let PhysKind::Pipeline { ops, .. } = &node.kind {
         stats.fused_ops += ops.len();
@@ -440,6 +496,9 @@ fn account_publish(stats: &mut ExecStats, node: &PhysNode, table: &Table) {
     }
     stats.rows_produced += table.row_count();
     stats.cells_produced += table.columns().iter().map(|(_, c)| c.len()).sum::<usize>();
+    stats.join_build_rows += kernel.join_build_rows;
+    stats.join_probe_rows += kernel.join_probe_rows;
+    stats.agg_input_rows += kernel.agg_input_rows;
 }
 
 /// Mutable scheduler state shared by the coordinator and the workers.
@@ -450,8 +509,6 @@ struct ParState {
     /// Remaining consumer edges per published result, by [`OpId`] (evict
     /// when 0).
     remaining: Vec<usize>,
-    /// Index of the next pinned node (into `ParCtx::pinned_order`).
-    next_pinned: usize,
     /// Nodes published so far.
     completed: usize,
     stats: ExecStats,
@@ -463,22 +520,20 @@ struct ParState {
 
 /// Immutable context of one parallel run.
 ///
-/// Ready *pure* nodes are streamed to the worker pool as **node jobs**
-/// ([`ParCtx::spawn_node`]); pinned nodes are claimed by the coordinator in
-/// plan order.  There is no per-query thread: the persistent pool's
-/// workers pull node jobs (and the morsel jobs partitioned operators
-/// submit) from one queue pair, and any thread that has to wait — the
-/// coordinator for a pinned input, a morsel submitter for its chunks —
-/// helps execute queued jobs instead of blocking.
+/// Ready nodes are streamed to the worker pool as **node jobs**
+/// ([`ParCtx::spawn_node`]) — constructors included, since their document
+/// ids were reserved up front (`doc_ids`).  There is no per-query thread:
+/// the persistent pool's workers pull node jobs (and the morsel jobs
+/// partitioned operators submit) from one queue pair, and any thread that
+/// has to wait — the coordinator for the root, a morsel submitter for its
+/// chunks — helps execute queued jobs instead of blocking.
 struct ParCtx<'e, 'p> {
     exec: &'e Executor<'e>,
     plan: &'p Plan,
     physical: &'p PhysicalPlan,
     pool: Arc<WorkerPool>,
-    /// Pinned nodes in topological order.
-    pinned_order: Vec<PhysNodeId>,
-    /// `true` per node if it must run on the coordinator.
-    pinned: Vec<bool>,
+    /// Pre-reserved transient document ids per constructor operator.
+    doc_ids: DocIds,
     /// Consumer edges (inverse adjacency) per node.
     consumers: Vec<Vec<PhysNodeId>>,
     state: Mutex<ParState>,
@@ -488,17 +543,6 @@ impl ParCtx<'_, '_> {
     /// `true` once every physical node has published or a branch failed.
     fn finished(&self, state: &ParState) -> bool {
         state.error.is_some() || state.completed == self.physical.nodes().len()
-    }
-
-    /// The next pinned node the coordinator may run, if its inputs are in.
-    fn claim_pinned(&self, state: &mut ParState) -> Option<PhysNodeId> {
-        let &id = self.pinned_order.get(state.next_pinned)?;
-        if state.waiting[id] == 0 {
-            state.next_pinned += 1;
-            Some(id)
-        } else {
-            None
-        }
     }
 
     /// Submit node `id` to the pool (called when its inputs are complete).
@@ -512,7 +556,7 @@ impl ParCtx<'_, '_> {
     }
 
     /// Evaluate one ready node and publish its result — the body of every
-    /// node job, also run inline by the coordinator for pinned nodes.
+    /// node job.
     fn run_node(&self, session: &QuerySession, node_id: PhysNodeId) {
         let node = &self.physical.nodes()[node_id];
         let gathered: Vec<(OpId, Arc<Table>)> = {
@@ -539,7 +583,7 @@ impl ParCtx<'_, '_> {
         // propagates panics; here they surface as an engine error).
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.exec
-                .eval_node(self.plan, node, &Inputs::Gathered(&gathered))
+                .eval_node(self.plan, node, &Inputs::Gathered(&gathered), &self.doc_ids)
         }))
         .unwrap_or_else(|payload| {
             let message = payload
@@ -554,7 +598,7 @@ impl ParCtx<'_, '_> {
         let newly_ready = {
             let mut state = self.state.lock().expect("scheduler lock poisoned");
             match outcome {
-                Ok(table) => {
+                Ok((table, kernel)) => {
                     if let (Some(times), Some(elapsed)) = (&mut state.op_times, elapsed) {
                         record_op_time(
                             times,
@@ -562,8 +606,11 @@ impl ParCtx<'_, '_> {
                             table.row_count(),
                             elapsed,
                         );
+                        for &(kind, rows, spent) in &kernel.timings {
+                            record_op_time(times, kind, rows, spent);
+                        }
                     }
-                    self.publish(&mut state, node_id, table)
+                    self.publish(&mut state, node_id, table, &kernel)
                 }
                 Err(e) => {
                     // First failure wins; everyone drains on the flag.
@@ -575,19 +622,24 @@ impl ParCtx<'_, '_> {
         for id in newly_ready {
             self.spawn_node(session, id);
         }
-        // Publishing may have made a pinned node ready, completed the
-        // plan, or recorded an error — wake whoever waits on that.
+        // Publishing may have completed the plan or recorded an error —
+        // wake whoever waits on that.
         self.pool.bump();
     }
 
     /// Record a published result: account it, evict inputs that lost their
-    /// last consumer, and return the *pure* nodes whose inputs are now
-    /// complete (the caller submits them as jobs; pinned nodes are left
-    /// for the coordinator).
+    /// last consumer, and return the nodes whose inputs are now complete
+    /// (the caller submits them as jobs).
     #[must_use]
-    fn publish(&self, state: &mut ParState, node_id: PhysNodeId, table: Table) -> Vec<PhysNodeId> {
+    fn publish(
+        &self,
+        state: &mut ParState,
+        node_id: PhysNodeId,
+        table: Table,
+        kernel: &KernelStats,
+    ) -> Vec<PhysNodeId> {
         let node = &self.physical.nodes()[node_id];
-        account_publish(&mut state.stats, node, &table);
+        account_publish(&mut state.stats, node, &table, kernel);
         state.resident_rows += table.row_count();
         let table = Arc::new(table);
         state.ledger.publish(&table);
@@ -610,7 +662,7 @@ impl ParCtx<'_, '_> {
         let mut newly_ready = Vec::new();
         for &parent in &self.consumers[node_id] {
             state.waiting[parent] -= 1;
-            if state.waiting[parent] == 0 && !self.pinned[parent] {
+            if state.waiting[parent] == 0 {
                 newly_ready.push(parent);
             }
         }
@@ -638,6 +690,9 @@ pub struct Executor<'a> {
     /// Input rows per morsel for partitioned operators (`usize::MAX`
     /// disables intra-operator partitioning).
     morsel_rows: usize,
+    /// `false` selects the old value-at-a-time join/aggregate kernels
+    /// (A/B baseline; results are identical either way).
+    typed_kernels: bool,
     /// Collect per-operator-kind timings ([`OpProfile`]).
     profile_ops: bool,
     /// The fair-scheduling lane this executor's pool jobs queue on (the
@@ -680,6 +735,7 @@ impl<'a> Executor<'a> {
             threads,
             fusion: default_fusion(),
             morsel_rows: default_morsel_rows(),
+            typed_kernels: default_typed_kernels(),
             profile_ops: false,
             query_tag: 0,
             shared_pool: None,
@@ -705,6 +761,15 @@ impl<'a> Executor<'a> {
         } else {
             rows
         };
+        self
+    }
+
+    /// Select between the typed columnar join/aggregate kernels (`true`,
+    /// the default) and the old value-at-a-time kernels (`false` — the
+    /// `PF_KERNELS=generic` A/B baseline).  Results are identical either
+    /// way; only the per-row work changes.
+    pub fn with_typed_kernels(mut self, typed: bool) -> Self {
+        self.typed_kernels = typed;
         self
     }
 
@@ -746,6 +811,12 @@ impl<'a> Executor<'a> {
     /// The morsel size (input rows per partitioned-operator chunk).
     pub fn morsel_rows(&self) -> usize {
         self.morsel_rows
+    }
+
+    /// `true` when this executor uses the typed columnar join/aggregate
+    /// kernels.
+    pub fn typed_kernels(&self) -> bool {
+        self.typed_kernels
     }
 
     /// The worker pool this executor runs on (the shared one when
@@ -833,8 +904,12 @@ impl<'a> Executor<'a> {
     ) -> EngineResult<(Arc<Table>, ExecStats, OpProfile)> {
         // One pass over the physical nodes derives every scheduler book.
         let books = physical.books();
+        // Reserve every constructor's transient doc id up front, in
+        // topological plan order — ids are then identical under any
+        // schedule, and constructors run as ordinary (parallel) jobs.
+        let doc_ids = self.reserve_doc_ids(plan, physical);
         if self.threads <= 1 {
-            return self.execute_sequential(plan, physical, books);
+            return self.execute_sequential(plan, physical, books, doc_ids);
         }
         // A chain-shaped plan (width 1) has no *branch* parallelism to fan
         // out, so the scheduler itself stays sequential — but its big
@@ -843,10 +918,37 @@ impl<'a> Executor<'a> {
         // shapes, but it is the right order of magnitude and comes free
         // with the books.)
         if books.width() <= 1 {
-            self.execute_sequential(plan, physical, books)
+            self.execute_sequential(plan, physical, books, doc_ids)
         } else {
-            self.execute_parallel(plan, physical, books)
+            self.execute_parallel(plan, physical, books, doc_ids)
         }
+    }
+
+    /// Pre-assign transient document ids to the plan's element and text
+    /// constructors (attribute constructors never register documents), in
+    /// the order the sequential executor would have registered them.
+    fn reserve_doc_ids(&self, plan: &Plan, physical: &PhysicalPlan) -> DocIds {
+        let ctors: Vec<OpId> = physical
+            .nodes()
+            .iter()
+            .filter(|node| matches!(node.kind, PhysKind::Breaker))
+            .map(|node| node.output)
+            .filter(|&id| {
+                matches!(
+                    plan.op(id),
+                    AlgOp::ElemConstruct { .. } | AlgOp::TextConstruct { .. }
+                )
+            })
+            .collect();
+        if ctors.is_empty() {
+            return DocIds::new();
+        }
+        let first = self.registry.reserve_constructed(ctors.len());
+        ctors
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| (op, first + i as u32))
+            .collect()
     }
 
     /// The sequential dispatch path: physical nodes in topological order
@@ -859,6 +961,7 @@ impl<'a> Executor<'a> {
         plan: &Plan,
         physical: &PhysicalPlan,
         books: PhysicalBooks,
+        doc_ids: DocIds,
     ) -> EngineResult<(Arc<Table>, ExecStats, OpProfile)> {
         let mut remaining = books.result_consumers;
         let mut slots: Vec<Option<Arc<Table>>> = vec![None; plan.ops().len()];
@@ -868,7 +971,7 @@ impl<'a> Executor<'a> {
         let mut op_times: Option<OpTimes> = self.profile_ops.then(HashMap::new);
         for node in physical.nodes() {
             let started = self.profile_ops.then(Instant::now);
-            let table = self.eval_node(plan, node, &Inputs::Slots(&slots))?;
+            let (table, kernel) = self.eval_node(plan, node, &Inputs::Slots(&slots), &doc_ids)?;
             if let (Some(times), Some(started)) = (&mut op_times, started) {
                 record_op_time(
                     times,
@@ -876,8 +979,11 @@ impl<'a> Executor<'a> {
                     table.row_count(),
                     started.elapsed(),
                 );
+                for &(kind, rows, spent) in &kernel.timings {
+                    record_op_time(times, kind, rows, spent);
+                }
             }
-            account_publish(&mut stats, node, &table);
+            account_publish(&mut stats, node, &table, &kernel);
             resident_rows += table.row_count();
             let table = Arc::new(table);
             ledger.publish(&table);
@@ -900,16 +1006,18 @@ impl<'a> Executor<'a> {
         Self::take_root(&mut slots, plan, stats, finish_profile(op_times))
     }
 
-    /// The ready-set scheduler on the persistent pool: pure nodes
-    /// (breakers and whole fused pipelines) stream to the pool as node
-    /// jobs as they become ready; pinned nodes run on this (coordinator)
-    /// thread in plan order.  No thread is spawned — the pool outlives the
-    /// query.
+    /// The ready-set scheduler on the persistent pool: every node
+    /// (breakers, whole fused pipelines, and constructors — their doc ids
+    /// are pre-reserved) streams to the pool as a node job the moment its
+    /// inputs are published; this (coordinator) thread helps execute
+    /// queued jobs until the plan completes.  No thread is spawned — the
+    /// pool outlives the query.
     fn execute_parallel(
         &self,
         plan: &Plan,
         physical: &PhysicalPlan,
         books: PhysicalBooks,
+        doc_ids: DocIds,
     ) -> EngineResult<(Arc<Table>, ExecStats, OpProfile)> {
         let PhysicalBooks {
             input_edges: waiting,
@@ -917,16 +1025,8 @@ impl<'a> Executor<'a> {
             result_consumers: remaining,
             ..
         } = books;
-        let pinned: Vec<bool> = physical
-            .nodes()
-            .iter()
-            .map(|node| matches!(node.kind, PhysKind::Breaker) && is_pinned(plan.op(node.output)))
-            .collect();
-        let pinned_order: Vec<PhysNodeId> = (0..physical.nodes().len())
-            .filter(|&id| pinned[id])
-            .collect();
         let seed: Vec<PhysNodeId> = (0..physical.nodes().len())
-            .filter(|&id| waiting[id] == 0 && !pinned[id])
+            .filter(|&id| waiting[id] == 0)
             .collect();
         let pool = Arc::clone(self.pool());
         let ctx = ParCtx {
@@ -934,14 +1034,12 @@ impl<'a> Executor<'a> {
             plan,
             physical,
             pool: Arc::clone(&pool),
-            pinned_order,
-            pinned,
+            doc_ids,
             consumers,
             state: Mutex::new(ParState {
                 slots: vec![None; plan.ops().len()],
                 waiting,
                 remaining,
-                next_pinned: 0,
                 completed: 0,
                 stats: ExecStats::default(),
                 resident_rows: 0,
@@ -956,29 +1054,12 @@ impl<'a> Executor<'a> {
         for id in &seed {
             ctx.spawn_node(&session, *id);
         }
-        // Coordinator loop: run pinned nodes in plan order as they become
-        // ready; in between, help the pool with queued node and morsel
-        // jobs (or sleep until a publish changes the picture).
-        loop {
-            let claimed = {
-                let mut state = ctx.state.lock().expect("scheduler lock poisoned");
-                if ctx.finished(&state) {
-                    break;
-                }
-                ctx.claim_pinned(&mut state)
-            };
-            match claimed {
-                Some(id) => ctx.run_node(&session, id),
-                None => pool.help_until(false, || {
-                    let state = ctx.state.lock().expect("scheduler lock poisoned");
-                    ctx.finished(&state) || {
-                        // Peek without consuming: is the next pinned ready?
-                        let next = ctx.pinned_order.get(state.next_pinned).copied();
-                        next.is_some_and(|id| state.waiting[id] == 0)
-                    }
-                }),
-            }
-        }
+        // Help the pool with queued node and morsel jobs (or sleep until a
+        // publish changes the picture) until the plan completes or fails.
+        pool.help_until(false, || {
+            let state = ctx.state.lock().expect("scheduler lock poisoned");
+            ctx.finished(&state)
+        });
         session.drain();
         if let Some(payload) = session.take_panic() {
             // A scheduler-level bug (operator panics are converted to
@@ -1012,23 +1093,268 @@ impl<'a> Executor<'a> {
     /// interpreter, pipelines through the fused kernel (with the engine's
     /// atomization semantics wired in via a [`StoreCache`]).  Pipelines
     /// over large inputs run as morsels when the executor is parallel and
-    /// every step is row-local.
-    fn eval_node(&self, plan: &Plan, node: &PhysNode, inputs: &Inputs<'_>) -> EngineResult<Table> {
+    /// every step is row-local; joins and aggregates go through the typed
+    /// morsel kernels (see [`Executor::equi_join_node`] and friends), which
+    /// also report the kernel counters folded into [`ExecStats`].
+    fn eval_node(
+        &self,
+        plan: &Plan,
+        node: &PhysNode,
+        inputs: &Inputs<'_>,
+        doc_ids: &DocIds,
+    ) -> EngineResult<(Table, KernelStats)> {
         match &node.kind {
-            PhysKind::Breaker => self.eval(plan, node.output, inputs),
+            PhysKind::Breaker => match plan.op(node.output) {
+                AlgOp::EquiJoin {
+                    left,
+                    right,
+                    left_col,
+                    right_col,
+                } => self.equi_join_node(
+                    inputs.get(*left)?,
+                    inputs.get(*right)?,
+                    left_col,
+                    right_col,
+                ),
+                AlgOp::ThetaJoin {
+                    left,
+                    right,
+                    left_col,
+                    op,
+                    right_col,
+                } => self.theta_join_node(
+                    inputs.get(*left)?,
+                    inputs.get(*right)?,
+                    left_col,
+                    *op,
+                    right_col,
+                ),
+                AlgOp::Aggregate {
+                    input,
+                    group,
+                    target,
+                    func,
+                    value,
+                } => self.aggregate_node(inputs.get(*input)?, group, target, *func, value),
+                _ => Ok((
+                    self.eval(plan, node.output, inputs, doc_ids)?,
+                    KernelStats::default(),
+                )),
+            },
             PhysKind::Pipeline { steps, .. } => {
                 let input = inputs.get(node.inputs[0])?;
-                match self.morsel_chunk_rows(input.row_count()) {
+                let table = match self.morsel_chunk_rows(input.row_count()) {
                     Some(chunk) if ops::steps_chunkable(steps) => {
-                        self.run_pipeline_morsels(input, steps, chunk)
+                        self.run_pipeline_morsels(input, steps, chunk)?
                     }
                     _ => {
                         let mut cache = StoreCache::new(self.registry);
-                        Ok(ops::run_pipeline(input, steps, &mut |v| cache.atomize(v))?)
+                        ops::run_pipeline(input, steps, &mut |v| cache.atomize(v))?
                     }
+                };
+                Ok((table, KernelStats::default()))
+            }
+        }
+    }
+
+    /// Morsel-parallel equi-join: build the hash index once over the
+    /// smaller side (typed keys straight off the column buffers — no
+    /// per-row [`Value`]), then probe in chunk ranges on the pool.  The
+    /// per-range pair vectors concatenate in range order, so the output is
+    /// bit-identical to the sequential probe.  Under
+    /// [`Executor::with_typed_kernels`]`(false)` (or `PF_KERNELS=generic`)
+    /// the value-at-a-time reference join runs instead.
+    fn equi_join_node(
+        &self,
+        left: &Table,
+        right: &Table,
+        left_col: &str,
+        right_col: &str,
+    ) -> EngineResult<(Table, KernelStats)> {
+        let mut kernel = KernelStats::default();
+        if !self.typed_kernels {
+            kernel.join_build_rows = right.row_count();
+            kernel.join_probe_rows = left.row_count();
+            let table = ops::equi_join_generic(left, right, left_col, right_col)?;
+            return Ok((table, kernel));
+        }
+        let build_started = self.profile_ops.then(Instant::now);
+        let join = ops::JoinPlan::new(left, right, left_col, right_col)?;
+        kernel.join_build_rows = join.build_rows();
+        kernel.join_probe_rows = join.probe_rows();
+        if let Some(started) = build_started {
+            kernel
+                .timings
+                .push(("join_build", join.build_rows(), started.elapsed()));
+        }
+        let probe_started = self.profile_ops.then(Instant::now);
+        let rows = join.probe_rows();
+        let pairs = match self.morsel_chunk_rows(rows) {
+            None => join.probe_range(0..rows),
+            Some(chunk) => {
+                let ranges: Vec<Range<usize>> = (0..rows)
+                    .step_by(chunk)
+                    .map(|lo| lo..(lo + chunk).min(rows))
+                    .collect();
+                let mut results: Vec<Option<Vec<(usize, usize)>>> =
+                    ranges.iter().map(|_| None).collect();
+                let join_ref = &join;
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = results
+                    .iter_mut()
+                    .zip(&ranges)
+                    .map(|(slot, range)| {
+                        let range = range.clone();
+                        Box::new(move || *slot = Some(join_ref.probe_range(range)))
+                            as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                self.pool().run_scoped_tagged(self.query_tag, tasks);
+                let mut pairs = Vec::new();
+                for result in results {
+                    pairs.extend(result.expect("every probe morsel ran"));
+                }
+                pairs
+            }
+        };
+        if let Some(started) = probe_started {
+            kernel.timings.push(("join_probe", rows, started.elapsed()));
+        }
+        Ok((join.materialize(pairs)?, kernel))
+    }
+
+    /// Theta-join with the inner-side values hoisted out of the scan loop,
+    /// morselized over left-row ranges.  Ranges are disjoint and ordered,
+    /// so the first error in range order IS the sequential first error —
+    /// no re-run is needed for deterministic messages.
+    fn theta_join_node(
+        &self,
+        left: &Table,
+        right: &Table,
+        left_col: &str,
+        op: BinaryOp,
+        right_col: &str,
+    ) -> EngineResult<(Table, KernelStats)> {
+        let mut kernel = KernelStats {
+            join_build_rows: right.row_count(),
+            join_probe_rows: left.row_count(),
+            ..KernelStats::default()
+        };
+        let join = ops::ThetaPlan::new(left, right, left_col, op, right_col)?;
+        let rows = join.left_rows();
+        let started = self.profile_ops.then(Instant::now);
+        let pairs = match self.morsel_chunk_rows(rows) {
+            None => join.probe_range(0..rows)?,
+            Some(chunk) => {
+                let ranges: Vec<Range<usize>> = (0..rows)
+                    .step_by(chunk)
+                    .map(|lo| lo..(lo + chunk).min(rows))
+                    .collect();
+                type MorselPairs = Option<RelResult<Vec<(usize, usize)>>>;
+                let mut results: Vec<MorselPairs> = ranges.iter().map(|_| None).collect();
+                let join_ref = &join;
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = results
+                    .iter_mut()
+                    .zip(&ranges)
+                    .map(|(slot, range)| {
+                        let range = range.clone();
+                        Box::new(move || *slot = Some(join_ref.probe_range(range)))
+                            as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                self.pool().run_scoped_tagged(self.query_tag, tasks);
+                let mut pairs = Vec::new();
+                for result in results {
+                    pairs.extend(result.expect("every theta morsel ran")?);
+                }
+                pairs
+            }
+        };
+        if let Some(started) = started {
+            kernel.timings.push(("join_probe", rows, started.elapsed()));
+        }
+        Ok((join.materialize(pairs)?, kernel))
+    }
+
+    /// Grouped aggregation through the typed kernels: the segmented
+    /// (hash-free) scan when the group column is ascending, per-chunk
+    /// pre-aggregation merged in chunk order when the function tolerates
+    /// it (see [`AggPlan::chunk_parallel_safe`]), the sequential typed
+    /// loop otherwise.  Under [`Executor::with_typed_kernels`]`(false)`
+    /// the value-at-a-time reference aggregation runs instead.
+    ///
+    /// When a chunk errors, the plan re-runs sequentially and THAT error
+    /// is surfaced, keeping messages independent of the morsel size.
+    ///
+    /// [`AggPlan::chunk_parallel_safe`]: ops::AggPlan::chunk_parallel_safe
+    fn aggregate_node(
+        &self,
+        input: &Table,
+        group: &str,
+        target: &str,
+        func: AggFunc,
+        value: &str,
+    ) -> EngineResult<(Table, KernelStats)> {
+        let mut kernel = KernelStats {
+            agg_input_rows: input.row_count(),
+            ..KernelStats::default()
+        };
+        if !self.typed_kernels {
+            let table = ops::aggregate_by_generic(input, group, target, func, value)?;
+            return Ok((table, kernel));
+        }
+        let agg = ops::AggPlan::new(input, group, target, func, value)?;
+        let rows = agg.input_rows();
+        let started = self.profile_ops.then(Instant::now);
+        let chunk = match self.morsel_chunk_rows(rows) {
+            Some(chunk) if agg.chunk_parallel_safe() && !agg.segmented() => chunk,
+            _ => {
+                let table = agg.run()?;
+                if let Some(started) = started {
+                    kernel
+                        .timings
+                        .push(("agg_partial", rows, started.elapsed()));
+                }
+                return Ok((table, kernel));
+            }
+        };
+        let ranges: Vec<Range<usize>> = (0..rows)
+            .step_by(chunk)
+            .map(|lo| lo..(lo + chunk).min(rows))
+            .collect();
+        let mut results: Vec<Option<RelResult<ops::AggPartial<'_>>>> =
+            ranges.iter().map(|_| None).collect();
+        let agg_ref = &agg;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = results
+            .iter_mut()
+            .zip(&ranges)
+            .map(|(slot, range)| {
+                let range = range.clone();
+                Box::new(move || *slot = Some(agg_ref.partial(range)))
+                    as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        self.pool().run_scoped_tagged(self.query_tag, tasks);
+        let mut partials = Vec::with_capacity(results.len());
+        for result in results {
+            match result.expect("every aggregation morsel ran") {
+                Ok(partial) => partials.push(partial),
+                Err(chunk_error) => {
+                    // Canonical error: the sequential pass (cheap — errors
+                    // are exceptional), falling back to the chunk error.
+                    return match agg.run() {
+                        Err(whole_error) => Err(whole_error.into()),
+                        Ok(_) => Err(chunk_error.into()),
+                    };
                 }
             }
         }
+        let table = agg.finish(agg.merge(partials)?)?;
+        if let Some(started) = started {
+            kernel
+                .timings
+                .push(("agg_partial", rows, started.elapsed()));
+        }
+        Ok((table, kernel))
     }
 
     /// Chunked pipeline evaluation: every `chunk`-row input range runs the
@@ -1152,7 +1478,13 @@ impl<'a> Executor<'a> {
         }
     }
 
-    fn eval(&self, plan: &Plan, id: OpId, inputs: &Inputs<'_>) -> EngineResult<Table> {
+    fn eval(
+        &self,
+        plan: &Plan,
+        id: OpId,
+        inputs: &Inputs<'_>,
+        doc_ids: &DocIds,
+    ) -> EngineResult<Table> {
         match plan.op(id) {
             AlgOp::Lit { columns, rows } => {
                 let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(rows.len()); columns.len()];
@@ -1205,25 +1537,24 @@ impl<'a> Executor<'a> {
                 right,
                 left_col,
                 right_col,
-            } => Ok(ops::equi_join(
-                inputs.get(*left)?,
-                inputs.get(*right)?,
-                left_col,
-                right_col,
-            )?),
+            } => Ok(self
+                .equi_join_node(inputs.get(*left)?, inputs.get(*right)?, left_col, right_col)?
+                .0),
             AlgOp::ThetaJoin {
                 left,
                 right,
                 left_col,
                 op,
                 right_col,
-            } => Ok(ops::theta_join(
-                inputs.get(*left)?,
-                inputs.get(*right)?,
-                left_col,
-                *op,
-                right_col,
-            )?),
+            } => Ok(self
+                .theta_join_node(
+                    inputs.get(*left)?,
+                    inputs.get(*right)?,
+                    left_col,
+                    *op,
+                    right_col,
+                )?
+                .0),
             AlgOp::Cross { left, right } => {
                 Ok(ops::cross(inputs.get(*left)?, inputs.get(*right)?)?)
             }
@@ -1269,13 +1600,9 @@ impl<'a> Executor<'a> {
                 target,
                 func,
                 value,
-            } => Ok(ops::aggregate_by(
-                inputs.get(*input)?,
-                group,
-                target,
-                *func,
-                value,
-            )?),
+            } => Ok(self
+                .aggregate_node(inputs.get(*input)?, group, target, *func, value)?
+                .0),
             AlgOp::Step { input, axis, test } => self.step(inputs.get(*input)?, *axis, test),
             AlgOp::DocOrder { input } => self.doc_order(inputs.get(*input)?),
             AlgOp::FnData { input } => self.fn_data(inputs.get(*input)?),
@@ -1285,7 +1612,12 @@ impl<'a> Executor<'a> {
                 loop_input,
                 tag,
                 content,
-            } => self.construct_elements(inputs.get(*loop_input)?, tag, inputs.get(*content)?),
+            } => self.construct_elements(
+                inputs.get(*loop_input)?,
+                tag,
+                inputs.get(*content)?,
+                self.doc_id_for(doc_ids, id),
+            ),
             AlgOp::AttrConstruct {
                 loop_input,
                 name,
@@ -1294,7 +1626,11 @@ impl<'a> Executor<'a> {
             AlgOp::TextConstruct {
                 loop_input,
                 content,
-            } => self.construct_texts(inputs.get(*loop_input)?, inputs.get(*content)?),
+            } => self.construct_texts(
+                inputs.get(*loop_input)?,
+                inputs.get(*content)?,
+                self.doc_id_for(doc_ids, id),
+            ),
             AlgOp::Sort { input, by } => {
                 let columns: Vec<&str> = by.iter().map(|s| s.column.as_str()).collect();
                 self.sort_table(inputs.get(*input)?, &columns)
@@ -1472,11 +1808,22 @@ impl<'a> Executor<'a> {
     // (node copying lives in the free function `copy_subtree` below; it
     // reads stores through the registry's shared handles)
 
+    /// The transient document id pre-reserved for constructor `id`, or a
+    /// fresh reservation when the operator was not scheduled through
+    /// [`Executor::execute_physical`] (direct `eval` in tests).
+    fn doc_id_for(&self, doc_ids: &DocIds, id: OpId) -> u32 {
+        doc_ids
+            .get(&id)
+            .copied()
+            .unwrap_or_else(|| self.registry.reserve_constructed(1))
+    }
+
     fn construct_elements(
         &self,
         loop_table: &Table,
         tag: &str,
         content: &Table,
+        doc_id: u32,
     ) -> EngineResult<Table> {
         let iter_col = loop_table.column("iter")?;
         let mut iters = Vec::new();
@@ -1532,8 +1879,8 @@ impl<'a> Executor<'a> {
             element_pres.push(element.0);
         }
         let doc = builder.finish();
-        let store = DocStore::from_document(format!("#constructed-{}", self.registry.len()), &doc);
-        let doc_id = self.registry.register_constructed(store);
+        let store = DocStore::from_document(format!("#constructed-{doc_id}"), &doc);
+        self.registry.fill_constructed(doc_id, store);
         let items: Vec<Value> = element_pres
             .into_iter()
             .map(|pre| Value::Node(NodeRef::new(doc_id, pre)))
@@ -1576,7 +1923,12 @@ impl<'a> Executor<'a> {
         ])?)
     }
 
-    fn construct_texts(&self, loop_table: &Table, content: &Table) -> EngineResult<Table> {
+    fn construct_texts(
+        &self,
+        loop_table: &Table,
+        content: &Table,
+        doc_id: u32,
+    ) -> EngineResult<Table> {
         let iter_col = loop_table.column("iter")?;
         let mut iters = Vec::new();
         let mut pres: Vec<u32> = Vec::new();
@@ -1607,8 +1959,8 @@ impl<'a> Executor<'a> {
             pres.push(node.0);
         }
         let doc = builder.finish();
-        let store = DocStore::from_document(format!("#text-{}", self.registry.len()), &doc);
-        let doc_id = self.registry.register_constructed(store);
+        let store = DocStore::from_document(format!("#text-{doc_id}"), &doc);
+        self.registry.fill_constructed(doc_id, store);
         let items: Vec<Value> = pres
             .into_iter()
             .map(|pre| Value::Node(NodeRef::new(doc_id, pre)))
@@ -1764,8 +2116,9 @@ mod tests {
             vec![Value::Node(NodeRef::new(0, 2)), Value::Str("done".into())],
         )
         .unwrap();
+        let doc_id = reg.reserve_constructed(1);
         let out = exec
-            .construct_elements(&loop_table, "wrap", &content)
+            .construct_elements(&loop_table, "wrap", &content, doc_id)
             .unwrap();
         assert_eq!(out.row_count(), 1);
         let Value::Node(node) = out.value("item", 0).unwrap() else {
@@ -2116,10 +2469,11 @@ mod tests {
     }
 
     #[test]
-    fn pinned_constructors_get_identical_doc_ids_at_any_thread_count() {
-        // Two constructor operators: their transient documents must be
-        // registered in plan order regardless of the worker count, so the
-        // result tables (which embed document ids in node refs) are equal.
+    fn unpinned_constructors_get_identical_doc_ids_at_any_thread_count() {
+        // Two constructor operators: their transient document ids are
+        // reserved in plan order at schedule time, so even though the
+        // constructors run as ordinary pool jobs in any order, the result
+        // tables (which embed document ids in node refs) are equal.
         let build = || {
             let mut b = PlanBuilder::new();
             let loop0 = b.add(AlgOp::Lit {
@@ -2355,6 +2709,102 @@ mod tests {
         assert_eq!(morsel_flag(Some("off")), usize::MAX);
         assert_eq!(morsel_flag(Some("INF")), usize::MAX);
         assert_eq!(morsel_flag(Some("garbage")), DEFAULT_MORSEL_ROWS);
+    }
+
+    #[test]
+    fn kernels_flag_parsing() {
+        assert!(kernels_flag(None));
+        assert!(kernels_flag(Some("typed")));
+        assert!(kernels_flag(Some("1")));
+        assert!(kernels_flag(Some("garbage")));
+        assert!(!kernels_flag(Some("generic")));
+        assert!(!kernels_flag(Some(" Value ")));
+        assert!(!kernels_flag(Some("0")));
+        assert!(!kernels_flag(Some("off")));
+    }
+
+    /// A join + aggregation plan large enough to morselize: 200 probe rows
+    /// against a 40-row build side, counted and summed per group.
+    fn join_agg_plan() -> Plan {
+        let mut b = PlanBuilder::new();
+        let left = b.add(AlgOp::Lit {
+            columns: vec!["iter".into(), "item".into()],
+            rows: (0..200u64)
+                .map(|i| vec![Value::Nat(i % 40), Value::Int(i as i64 % 13)])
+                .collect(),
+        });
+        let right = b.add(AlgOp::Lit {
+            columns: vec!["iter2".into(), "weight".into()],
+            rows: (0..40u64)
+                .map(|i| vec![Value::Nat(i), Value::Int(i as i64)])
+                .collect(),
+        });
+        let join = b.add(AlgOp::EquiJoin {
+            left,
+            right,
+            left_col: "iter".into(),
+            right_col: "iter2".into(),
+        });
+        let counted = b.add(AlgOp::Aggregate {
+            input: join,
+            group: "iter".into(),
+            target: "n".into(),
+            func: ops::AggFunc::Count,
+            value: "item".into(),
+        });
+        b.finish(counted)
+    }
+
+    #[test]
+    fn morselized_join_and_aggregate_match_sequential() {
+        let reg = registry();
+        let plan = join_agg_plan();
+        let reference = Executor::with_threads(&reg, 1).run(&plan).unwrap();
+        assert!(reference.row_count() > 0);
+        for threads in [2, 4] {
+            for morsel in [3, 64, usize::MAX] {
+                let table = Executor::with_threads(&reg, threads)
+                    .with_morsel_rows(morsel)
+                    .run(&plan)
+                    .unwrap();
+                assert_eq!(table, reference, "threads {threads}, morsel {morsel}");
+            }
+        }
+    }
+
+    #[test]
+    fn generic_kernels_reproduce_the_typed_results() {
+        let reg = registry();
+        let plan = join_agg_plan();
+        let typed = Executor::new(&reg)
+            .with_typed_kernels(true)
+            .run(&plan)
+            .unwrap();
+        let generic = Executor::new(&reg)
+            .with_typed_kernels(false)
+            .run(&plan)
+            .unwrap();
+        assert_eq!(typed, generic);
+    }
+
+    #[test]
+    fn kernel_counters_report_join_and_aggregate_sizes() {
+        let reg = registry();
+        let plan = join_agg_plan();
+        let (_, stats) = Executor::new(&reg).run_with_stats(&plan).unwrap();
+        // Smaller side (40 rows) builds, larger (200 rows) probes; the
+        // aggregation consumes the 200 join output rows.
+        assert_eq!(stats.join_build_rows, 40);
+        assert_eq!(stats.join_probe_rows, 200);
+        assert_eq!(stats.agg_input_rows, 200);
+        // The counters are schedule-independent.
+        let (_, par) = Executor::with_threads(&reg, 4)
+            .with_morsel_rows(16)
+            .run_with_stats(&plan)
+            .unwrap();
+        assert_eq!(par.join_build_rows, 40);
+        assert_eq!(par.join_probe_rows, 200);
+        assert_eq!(par.agg_input_rows, 200);
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub use registry::DocRegistry;
 pub use result::{serialize_table, QueryResult, Timings};
 pub use session::Session;
 
-use pf_algebra::{optimize, OptimizeReport, PhysicalPlan, Plan};
+use pf_algebra::{optimize, AlgOp, OptimizeReport, PhysicalPlan, Plan};
 use pf_xquery::{compile, normalize, parse_query, CompileOptions};
 
 /// Engine-level options.
@@ -592,6 +592,30 @@ impl Pathfinder {
         }
     }
 
+    /// The admission estimate for a plan that has never executed, seeded
+    /// from the plan's *shape*: the largest leaf cardinality — literal row
+    /// counts and the node counts of the referenced documents (a registry
+    /// snapshot read).  A deliberate *under*-estimate of the true peak
+    /// (joins can multiply rows), but a far better admission ticket than
+    /// the previous flat 0, which let a cold plan over an arbitrarily
+    /// large document bypass the row budget entirely.
+    fn cold_plan_estimate(&self, plan: &Plan) -> usize {
+        plan.ops()
+            .iter()
+            .map(|op| match op {
+                AlgOp::Lit { rows, .. } => rows.len(),
+                AlgOp::Doc { uri } => self
+                    .registry
+                    .id_of(uri)
+                    .and_then(|id| self.registry.store(id))
+                    .map(|store| store.node_count())
+                    .unwrap_or(0),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
     /// The compiled-and-optimized plan for `query`, with its physical
     /// compilation: served from the plan cache when possible, compiled
     /// (and cached) otherwise.  Returns the plans with the compile and
@@ -606,7 +630,13 @@ impl Pathfinder {
             if let Some(cached) = cache.entries.get(&key) {
                 let plan = Arc::clone(&cached.plan);
                 let physical = Arc::clone(&cached.physical);
-                let estimate_rows = cached.peak_rows.unwrap_or(0);
+                // Cached but never executed (e.g. warmed, or every prior
+                // run failed before recording a peak): fall back to the
+                // shape estimate rather than admitting at 0.
+                let estimate_rows = match cached.peak_rows {
+                    Some(peak) => peak,
+                    None => self.cold_plan_estimate(&plan),
+                };
                 cache.hits += 1;
                 cache.clock += 1;
                 let stamp = cache.clock;
@@ -645,6 +675,7 @@ impl Pathfinder {
         let physical = Arc::new(PhysicalPlan::compile(&plan, self.options.fusion));
         let optimize_time = opt_start.elapsed();
         let plan = Arc::new(plan);
+        let estimate_rows = self.cold_plan_estimate(&plan);
 
         let mut cache = self.cache.lock().expect("plan cache poisoned");
         cache.misses += 1;
@@ -680,7 +711,7 @@ impl Pathfinder {
             physical,
             compile_time,
             optimize_time,
-            estimate_rows: 0,
+            estimate_rows,
             cache_hits: cache.hits,
             cache_misses: cache.misses,
         })
@@ -905,7 +936,8 @@ mod tests {
     fn admission_estimates_come_from_recorded_peaks() {
         let pf = engine_with("<a><b>1</b><b>2</b><b>3</b></a>");
         let q = "for $b in fn:doc(\"doc.xml\")//b return fn:string($b)";
-        // First run: unknown plan, admitted at estimate 0.
+        // First run: unknown plan, admitted at the plan-shape estimate
+        // (the document's node count — see `cold_plan_estimate`).
         pf.query_with(q, Profile::Stats).unwrap();
         let peak = {
             let cache = pf.cache.lock().unwrap();
@@ -920,6 +952,33 @@ mod tests {
         assert_eq!(stats.running, 0);
         assert_eq!(stats.charged_rows, 0);
         assert_eq!(pf.admission().budget_rows(), usize::MAX);
+    }
+
+    #[test]
+    fn cold_plans_are_admitted_at_the_shape_estimate() {
+        let pf = engine_with("<a><b>1</b><b>2</b><b>3</b></a>");
+        let q = "fn:count(fn:doc(\"doc.xml\")//b)";
+        let nodes = {
+            let id = pf.registry().id_of("doc.xml").unwrap();
+            pf.registry().store(id).unwrap().node_count()
+        };
+        assert!(nodes > 0);
+        // Cold miss: the estimate is the document's node count, not 0.
+        let planned = pf.plan_for(q).unwrap();
+        assert_eq!(planned.estimate_rows, nodes);
+        // A cache hit on a plan that still has no recorded peak keeps the
+        // shape estimate.
+        let again = pf.plan_for(q).unwrap();
+        assert_eq!(again.estimate_rows, nodes);
+        // After a run, the recorded (measured) peak takes over.
+        pf.session().query(q).unwrap();
+        let peak = {
+            let cache = pf.cache.lock().unwrap();
+            let entry = cache.entries.values().next().expect("one cached plan");
+            entry.peak_rows.expect("peak recorded after the run")
+        };
+        let warm = pf.plan_for(q).unwrap();
+        assert_eq!(warm.estimate_rows, peak);
     }
 
     #[test]

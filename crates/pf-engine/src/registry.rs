@@ -35,9 +35,15 @@ use pf_xml::Document;
 
 /// The lock-protected registry state: the id-indexed store table and the
 /// name index over the persistent entries.
+///
+/// Slots are `Option` so that transient ids can be **reserved** ahead of
+/// construction ([`DocRegistry::reserve_constructed`]): the executor
+/// pre-assigns every constructor's doc id at schedule time — making the ids
+/// deterministic under any parallel schedule — and each constructor fills
+/// its slot whenever its pool job happens to run.
 #[derive(Debug, Default)]
 struct RegState {
-    stores: Vec<Arc<DocStore>>,
+    stores: Vec<Option<Arc<DocStore>>>,
     by_name: HashMap<String, u32>,
 }
 
@@ -71,11 +77,11 @@ impl DocRegistry {
     fn insert(&self, name: &str, store: DocStore) -> u32 {
         let mut state = self.state.write().expect("registry lock poisoned");
         if let Some(&id) = state.by_name.get(name) {
-            state.stores[id as usize] = Arc::new(store);
+            state.stores[id as usize] = Some(Arc::new(store));
             return id;
         }
         let id = state.stores.len() as u32;
-        state.stores.push(Arc::new(store));
+        state.stores.push(Some(Arc::new(store)));
         state.by_name.insert(name.to_string(), id);
         id
     }
@@ -101,11 +107,37 @@ impl DocRegistry {
     /// registry across threads.  Concurrent readers either see the store
     /// table before or after the append, never in between.
     pub fn register_constructed(&self, store: DocStore) -> u32 {
+        let id = self.reserve_constructed(1);
+        self.fill_constructed(id, store);
+        id
+    }
+
+    /// Reserve `n` consecutive transient doc ids and return the first.
+    ///
+    /// The reserved slots are empty until [`DocRegistry::fill_constructed`]
+    /// supplies their stores; looking one up in between yields `None`, the
+    /// same as an unknown id.  The executor reserves every constructor's id
+    /// up front (in plan topological order), which is what lets element /
+    /// text constructors run as ordinary parallel pool jobs while still
+    /// producing the exact ids a sequential left-to-right execution would.
+    pub fn reserve_constructed(&self, n: usize) -> u32 {
         let mut state = self.state.write().expect("registry lock poisoned");
         let id = state.stores.len() as u32;
-        self.constructed.fetch_add(1, Ordering::Relaxed);
-        state.stores.push(Arc::new(store));
+        self.constructed.fetch_add(n, Ordering::Relaxed);
+        state.stores.extend(std::iter::repeat_with(|| None).take(n));
         id
+    }
+
+    /// Fill a slot previously reserved with
+    /// [`DocRegistry::reserve_constructed`].
+    pub fn fill_constructed(&self, id: u32, store: DocStore) {
+        let mut state = self.state.write().expect("registry lock poisoned");
+        let slot = state
+            .stores
+            .get_mut(id as usize)
+            .expect("fill_constructed: id was never reserved");
+        debug_assert!(slot.is_none(), "fill_constructed: slot {id} filled twice");
+        *slot = Some(Arc::new(store));
     }
 
     /// The id of the document registered under `name`.
@@ -118,17 +150,19 @@ impl DocRegistry {
             .copied()
     }
 
-    /// The store with id `id`.
+    /// The store with id `id` (`None` for unknown ids and for reserved but
+    /// not-yet-filled transient slots).
     pub fn store(&self, id: u32) -> Option<Arc<DocStore>> {
         self.state
             .read()
             .expect("registry lock poisoned")
             .stores
             .get(id as usize)
-            .cloned()
+            .and_then(|slot| slot.clone())
     }
 
-    /// Number of registered documents (persistent + constructed).
+    /// Number of registered documents (persistent + constructed, reserved
+    /// transient slots included).
     pub fn len(&self) -> usize {
         self.state
             .read()
@@ -194,6 +228,27 @@ mod tests {
         assert_eq!(id, 1);
         assert_eq!(reg.constructed_count(), 1);
         assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn reserved_ids_fill_in_any_order() {
+        let reg = DocRegistry::new();
+        reg.load_xml("a.xml", "<a/>").unwrap();
+        let first = reg.reserve_constructed(3);
+        assert_eq!(first, 1);
+        assert_eq!(reg.constructed_count(), 3);
+        assert_eq!(reg.len(), 4);
+        // Reserved slots read as absent until filled…
+        assert!(reg.store(2).is_none());
+        // …and fill out of order, as parallel constructor jobs would.
+        reg.fill_constructed(3, DocStore::from_xml("#c3", "<r>3</r>").unwrap());
+        reg.fill_constructed(1, DocStore::from_xml("#c1", "<r>1</r>").unwrap());
+        reg.fill_constructed(2, DocStore::from_xml("#c2", "<r>2</r>").unwrap());
+        for id in 1..4 {
+            assert_eq!(reg.store(id).unwrap().node_count(), 3);
+        }
+        // A later reservation continues after the block.
+        assert_eq!(reg.reserve_constructed(1), 4);
     }
 
     #[test]

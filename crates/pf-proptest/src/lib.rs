@@ -19,12 +19,15 @@
 //! # addition_commutes();
 //! ```
 //!
-//! Supported strategies: integer ranges (`0u8..5`), `proptest::bool::ANY`,
-//! tuples of strategies, `proptest::collection::vec(elem, len_range)`, and
-//! string strategies written as a simple character-class regex
-//! (`"[ a-z0-9]{0,12}"`). Cases are generated from a deterministic seed
-//! (override with `PF_PROPTEST_SEED`); failures report the case number and
-//! seed instead of shrinking.
+//! Supported strategies: integer and float ranges (`0u8..5`,
+//! `-1.0f64..1.0`), `proptest::bool::ANY`, tuples of strategies,
+//! `proptest::collection::vec(elem, len_range)`, string strategies written
+//! as a simple character-class regex (`"[ a-z0-9]{0,12}"`), and the
+//! combinators `prop_map`, `prop_flat_map`, `boxed` and `prop_oneof!`
+//! (plus `prop_assume!`, which skips the case instead of resampling).
+//! Cases are generated from a deterministic seed (override with
+//! `PF_PROPTEST_SEED`); failures report the case number and seed instead
+//! of shrinking.
 
 /// Strategy trait and implementations for primitive generators.
 pub mod strategy {
@@ -51,7 +54,7 @@ pub mod strategy {
         )*};
     }
 
-    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
     impl<A: Strategy, B: Strategy> Strategy for (A, B) {
         type Value = (A::Value, B::Value);
@@ -77,9 +80,29 @@ pub mod strategy {
         fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F> {
             Map { inner: self, f }
         }
+
+        /// Derive a second strategy from each generated value and draw
+        /// from it (`Strategy::prop_flat_map`) — e.g. pick a length, then
+        /// generate collections of exactly that length.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F> {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erase the strategy (`Strategy::boxed`), so differently
+        /// shaped strategies of one value type unify (the real crate's
+        /// `BoxedStrategy<T>`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+        {
+            Box::new(self)
+        }
     }
 
     impl<S: Strategy + Sized> StrategyExt for S {}
+
+    /// A type-erased strategy (`proptest::strategy::BoxedStrategy`).
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
 
     /// The [`StrategyExt::prop_map`] adapter.
     pub struct Map<S, F> {
@@ -91,6 +114,19 @@ pub mod strategy {
         type Value = T;
         fn generate(&self, rng: &mut StdRng) -> T {
             (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// The [`StrategyExt::prop_flat_map`] adapter.
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
         }
     }
 
@@ -342,9 +378,11 @@ pub mod test_runner {
 /// as `proptest::bool::ANY`): importing a module named `bool` would shadow
 /// the primitive type in type positions.
 pub mod prelude {
-    pub use crate::strategy::{Just, Strategy, StrategyExt};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, StrategyExt};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Uniform-choice selection strategies (`proptest::sample::select`).
@@ -385,6 +423,19 @@ macro_rules! prop_oneof {
 #[macro_export]
 macro_rules! prop_assert {
     ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition
+/// (`proptest::prop_assume!`).  The shim simply returns from the case
+/// body instead of resampling, which keeps the case count but never
+/// fails — acceptable for the filter rates the workspace tests use.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
 }
 
 /// Assert equality inside a property (panics like `assert_eq!`).

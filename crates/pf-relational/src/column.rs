@@ -224,6 +224,38 @@ impl Column {
         }
     }
 
+    /// View as a slice of integers, if this is an `Int` column.
+    pub fn as_ints(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// View as a slice of doubles, if this is a `Dbl` column.
+    pub fn as_dbls(&self) -> Option<&[f64]> {
+        match self {
+            Column::Dbl(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// View as a slice of strings, if this is a `Str` column.
+    pub fn as_strs(&self) -> Option<&[String]> {
+        match self {
+            Column::Str(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// View as a slice of booleans, if this is a `Bool` column.
+    pub fn as_bools(&self) -> Option<&[bool]> {
+        match self {
+            Column::Bool(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
     /// View as a slice of node references, if this is a `Node` column.
     pub fn as_nodes(&self) -> Option<&[NodeRef]> {
         match self {
@@ -308,6 +340,19 @@ mod tests {
         col.push(Value::Int(2)).unwrap();
         assert_eq!(col.as_nats().unwrap(), &[1, 2]);
         assert!(col.push(Value::Str("no".into())).is_err());
+    }
+
+    #[test]
+    fn typed_slice_accessors() {
+        assert_eq!(Column::ints(vec![1, -2]).as_ints().unwrap(), &[1, -2]);
+        assert_eq!(Column::dbls(vec![0.5]).as_dbls().unwrap(), &[0.5]);
+        assert_eq!(
+            Column::strs(vec!["a".into()]).as_strs().unwrap(),
+            &["a".to_string()]
+        );
+        assert_eq!(Column::bools(vec![true]).as_bools().unwrap(), &[true]);
+        assert!(Column::ints(vec![]).as_dbls().is_none());
+        assert!(Column::nats(vec![]).as_ints().is_none());
     }
 
     #[test]

@@ -1,17 +1,34 @@
 //! ⋈ and × — equi-join, theta-join, Cartesian product.
 //!
 //! The compiled plans only ever use *equi*-joins ("all joins are
-//! equi-joins", Section 2); they are implemented as hash joins.  The
-//! explicit theta-join exists for the value-based joins the paper discusses
-//! for XMark Q11/Q12 (predicate `>`), whose quadratic output is inherent to
-//! the query, and is implemented as a nested loop.
+//! equi-joins", Section 2); they are implemented as partitioned hash joins:
+//! [`JoinPlan`] hashes the **smaller** input once into a read-only index of
+//! borrowed, typed keys ([`Key`] — no per-row `Value` boxing, string keys
+//! hashed by `&str`), and the larger input probes it.  The probe side is
+//! embarrassingly parallel: [`JoinPlan::probe_range`] evaluates any row
+//! range independently, and per-range pair buffers concatenated in range
+//! order reproduce the sequential probe exactly, so an executor may
+//! partition the probe into morsels without changing the result.  Output
+//! order is always **left-major** (left row order, then right row order) —
+//! when the build side is the left input, [`JoinPlan::materialize`]
+//! restores that order with a stable counting sort over the probe-major
+//! pairs.
+//!
+//! The explicit theta-join exists for the value-based joins the paper
+//! discusses for XMark Q11/Q12 (predicate `>`), whose quadratic output is
+//! inherent to the query; [`ThetaPlan`] materializes each side's key values
+//! once (not per inner iteration) and likewise evaluates left-row ranges
+//! independently for morselization.
 
 use std::collections::HashMap;
+use std::ops::Range;
 
 use crate::error::{RelError, RelResult};
+use crate::ops::keys::{Key, KeyView};
 use crate::ops::map::{apply_binary, BinaryOp};
 use crate::ops::HashKey;
 use crate::table::Table;
+use crate::value::Value;
 
 fn merge_schemas(left: &Table, right: &Table) -> RelResult<Vec<String>> {
     for (name, _) in right.columns() {
@@ -44,18 +61,147 @@ fn materialize_join(left: &Table, right: &Table, pairs: &[(usize, usize)]) -> Re
     Table::new(columns)
 }
 
+/// A prepared hash join: the smaller side hashed once into a shared
+/// read-only index of borrowed typed keys, ready to be probed — whole, or
+/// range by range from concurrent morsels (see the module docs).
+pub struct JoinPlan<'t> {
+    left: &'t Table,
+    right: &'t Table,
+    /// `true` when the index was built over the *left* input (the left
+    /// side was smaller); the probe is then right-major and
+    /// [`JoinPlan::materialize`] restores left-major order.
+    build_left: bool,
+    index: HashMap<Key<'t>, Vec<usize>>,
+    probe: KeyView<'t>,
+}
+
+impl<'t> JoinPlan<'t> {
+    /// Validate the schemas and build the hash index on the smaller side.
+    pub fn new(
+        left: &'t Table,
+        right: &'t Table,
+        left_col: &str,
+        right_col: &str,
+    ) -> RelResult<JoinPlan<'t>> {
+        merge_schemas(left, right)?;
+        let lkeys = KeyView::of(left.column(left_col)?);
+        let rkeys = KeyView::of(right.column(right_col)?);
+        // Build on the smaller side, probe with the larger.
+        let build_left = left.row_count() < right.row_count();
+        let (build, probe) = if build_left {
+            (lkeys, rkeys)
+        } else {
+            (rkeys, lkeys)
+        };
+        let mut index: HashMap<Key<'t>, Vec<usize>> = HashMap::with_capacity(build.len());
+        for row in 0..build.len() {
+            index.entry(build.key(row)).or_default().push(row);
+        }
+        Ok(JoinPlan {
+            left,
+            right,
+            build_left,
+            index,
+            probe,
+        })
+    }
+
+    /// Rows on the probe (larger) side.
+    pub fn probe_rows(&self) -> usize {
+        self.probe.len()
+    }
+
+    /// Rows on the build (smaller) side.
+    pub fn build_rows(&self) -> usize {
+        if self.build_left {
+            self.left.row_count()
+        } else {
+            self.right.row_count()
+        }
+    }
+
+    /// Probe the index with the given probe-row range, returning the
+    /// matching `(left row, right row)` pairs in probe-major order.
+    ///
+    /// Infallible and independent per range: the concatenation of the
+    /// per-range outputs over a partition of `0..probe_rows()` (in range
+    /// order) equals one whole-input probe.
+    pub fn probe_range(&self, range: Range<usize>) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        for row in range {
+            if let Some(matches) = self.index.get(&self.probe.key(row)) {
+                if self.build_left {
+                    for &lrow in matches {
+                        pairs.push((lrow, row));
+                    }
+                } else {
+                    for &rrow in matches {
+                        pairs.push((row, rrow));
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Gather the output table from probe-major `pairs` (the concatenated
+    /// [`JoinPlan::probe_range`] results), restoring **left-major** order
+    /// when the build side was the left input.
+    pub fn materialize(&self, pairs: Vec<(usize, usize)>) -> RelResult<Table> {
+        let pairs = if self.build_left {
+            // The probe walked the right input, so the pairs are
+            // right-major.  A stable counting sort over the left row
+            // restores left-major order; stability keeps the right rows
+            // ascending within each left row — exactly the order a
+            // left-side probe would have produced.
+            let mut counts = vec![0usize; self.left.row_count() + 1];
+            for &(l, _) in &pairs {
+                counts[l + 1] += 1;
+            }
+            for i in 1..counts.len() {
+                counts[i] += counts[i - 1];
+            }
+            let mut sorted = vec![(0usize, 0usize); pairs.len()];
+            for &(l, r) in &pairs {
+                sorted[counts[l]] = (l, r);
+                counts[l] += 1;
+            }
+            sorted
+        } else {
+            pairs
+        };
+        materialize_join(self.left, self.right, &pairs)
+    }
+}
+
 /// Equi-join `left ⋈ right` on `left_col = right_col` (hash join).
 ///
 /// Column names of the two inputs must be disjoint; the compiler inserts
 /// renaming projections to guarantee this, exactly like the π operators in
 /// Figure 5.  The output contains the matching row pairs ordered by the
 /// left input's row order (then the right's), which keeps plan results
-/// deterministic.
+/// deterministic whichever side the hash index is built on.
 pub fn equi_join(left: &Table, right: &Table, left_col: &str, right_col: &str) -> RelResult<Table> {
+    let plan = JoinPlan::new(left, right, left_col, right_col)?;
+    let pairs = plan.probe_range(0..plan.probe_rows());
+    plan.materialize(pairs)
+}
+
+/// The pre-typed-kernel equi-join: a [`HashKey`] index over the right
+/// input, probed one materialized [`Value`] at a time.
+///
+/// Kept as the differential-testing and benchmarking reference for
+/// [`equi_join`] (the property suite asserts both agree on arbitrary
+/// tables; `join_profile` measures the typed kernel against it).
+pub fn equi_join_generic(
+    left: &Table,
+    right: &Table,
+    left_col: &str,
+    right_col: &str,
+) -> RelResult<Table> {
     merge_schemas(left, right)?;
     let lcol = left.column(left_col)?;
     let rcol = right.column(right_col)?;
-    // Build on the smaller side, probe with the larger.
     let mut index: HashMap<HashKey, Vec<usize>> = HashMap::with_capacity(right.row_count());
     for row in 0..right.row_count() {
         index
@@ -74,6 +220,68 @@ pub fn equi_join(left: &Table, right: &Table, left_col: &str, right_col: &str) -
     materialize_join(left, right, &pairs)
 }
 
+/// A prepared theta-join: both key columns materialized **once** (the old
+/// nested loop re-boxed the right value on every inner iteration), with
+/// left-row ranges independently evaluable for morselization.
+pub struct ThetaPlan<'t> {
+    left: &'t Table,
+    right: &'t Table,
+    op: BinaryOp,
+    lvals: Vec<Value>,
+    rvals: Vec<Value>,
+}
+
+impl<'t> ThetaPlan<'t> {
+    /// Validate the schemas and materialize the key columns.
+    pub fn new(
+        left: &'t Table,
+        right: &'t Table,
+        left_col: &str,
+        op: BinaryOp,
+        right_col: &str,
+    ) -> RelResult<ThetaPlan<'t>> {
+        merge_schemas(left, right)?;
+        let lcol = left.column(left_col)?;
+        let rcol = right.column(right_col)?;
+        let lvals: Vec<Value> = (0..left.row_count()).map(|row| lcol.get(row)).collect();
+        let rvals: Vec<Value> = (0..right.row_count()).map(|row| rcol.get(row)).collect();
+        Ok(ThetaPlan {
+            left,
+            right,
+            op,
+            lvals,
+            rvals,
+        })
+    }
+
+    /// Rows on the left (outer) side.
+    pub fn left_rows(&self) -> usize {
+        self.lvals.len()
+    }
+
+    /// Evaluate the predicate for every pair with a left row in `range`,
+    /// returning the matches in `(left, right)` nested-loop order.  Ranges
+    /// are independent; concatenating them in order reproduces the full
+    /// nested loop (including which pair errors first).
+    pub fn probe_range(&self, range: Range<usize>) -> RelResult<Vec<(usize, usize)>> {
+        let mut pairs = Vec::new();
+        for lrow in range {
+            let lval = &self.lvals[lrow];
+            for (rrow, rval) in self.rvals.iter().enumerate() {
+                if apply_binary(self.op, lval, rval)?.as_bool()? {
+                    pairs.push((lrow, rrow));
+                }
+            }
+        }
+        Ok(pairs)
+    }
+
+    /// Gather the output table from the concatenated pair ranges.
+    pub fn materialize(&self, pairs: Vec<(usize, usize)>) -> RelResult<Table> {
+        materialize_join(self.left, self.right, &pairs)
+    }
+}
+
 /// Theta-join `left ⋈_θ right` with an arbitrary binary predicate between
 /// `left_col` and `right_col` (nested loop).
 pub fn theta_join(
@@ -83,25 +291,19 @@ pub fn theta_join(
     op: BinaryOp,
     right_col: &str,
 ) -> RelResult<Table> {
-    merge_schemas(left, right)?;
-    let lcol = left.column(left_col)?;
-    let rcol = right.column(right_col)?;
-    let mut pairs = Vec::new();
-    for lrow in 0..left.row_count() {
-        let lval = lcol.get(lrow);
-        for rrow in 0..right.row_count() {
-            if apply_binary(op, &lval, &rcol.get(rrow))?.as_bool()? {
-                pairs.push((lrow, rrow));
-            }
-        }
-    }
-    materialize_join(left, right, &pairs)
+    let plan = ThetaPlan::new(left, right, left_col, op, right_col)?;
+    let pairs = plan.probe_range(0..plan.left_rows())?;
+    plan.materialize(pairs)
 }
 
 /// × — Cartesian product.
 pub fn cross(left: &Table, right: &Table) -> RelResult<Table> {
     merge_schemas(left, right)?;
-    let mut pairs = Vec::with_capacity(left.row_count() * right.row_count());
+    let size = left
+        .row_count()
+        .checked_mul(right.row_count())
+        .ok_or_else(|| RelError::new("cross product size overflows"))?;
+    let mut pairs = Vec::with_capacity(size);
     for lrow in 0..left.row_count() {
         for rrow in 0..right.row_count() {
             pairs.push((lrow, rrow));
@@ -182,5 +384,111 @@ mod tests {
         let mut sorted = iters.clone();
         sorted.sort_unstable();
         assert_eq!(iters, sorted);
+    }
+
+    /// The plan builds on the smaller side either way; both orientations
+    /// must agree with the value-at-a-time reference, pair for pair.
+    #[test]
+    fn both_build_orientations_match_the_generic_join() {
+        let small = Table::new(vec![
+            ("k".into(), Column::nats(vec![3, 1, 3])),
+            ("a".into(), Column::ints(vec![30, 10, 31])),
+        ])
+        .unwrap();
+        let big = Table::new(vec![
+            ("k1".into(), Column::nats(vec![1, 2, 3, 3, 1, 5, 3])),
+            ("b".into(), Column::ints(vec![1, 2, 3, 4, 5, 6, 7])),
+        ])
+        .unwrap();
+        // small ⋈ big builds on the left (left is smaller)…
+        let plan = JoinPlan::new(&small, &big, "k", "k1").unwrap();
+        assert!(plan.build_left);
+        assert_eq!(plan.build_rows(), 3);
+        assert_eq!(plan.probe_rows(), 7);
+        let fast = equi_join(&small, &big, "k", "k1").unwrap();
+        let slow = equi_join_generic(&small, &big, "k", "k1").unwrap();
+        assert_eq!(fast, slow);
+        // …and big ⋈ small builds on the right.
+        let plan = JoinPlan::new(&big, &small, "k1", "k").unwrap();
+        assert!(!plan.build_left);
+        let fast = equi_join(&big, &small, "k1", "k").unwrap();
+        let slow = equi_join_generic(&big, &small, "k1", "k").unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    /// Concatenated per-range probes equal the whole-input probe for every
+    /// chunk size, on both build orientations.
+    #[test]
+    fn chunked_probes_concatenate_to_the_whole_probe() {
+        let small = Table::new(vec![("k".into(), Column::nats(vec![1, 3]))]).unwrap();
+        let big = Table::new(vec![("k1".into(), Column::nats(vec![3, 1, 3, 1, 1, 2]))]).unwrap();
+        for (l, r, lc, rc) in [(&small, &big, "k", "k1"), (&big, &small, "k1", "k")] {
+            let plan = JoinPlan::new(l, r, lc, rc).unwrap();
+            let whole = plan.probe_range(0..plan.probe_rows());
+            for chunk in 1..=plan.probe_rows() {
+                let mut pairs = Vec::new();
+                let mut lo = 0;
+                while lo < plan.probe_rows() {
+                    let hi = (lo + chunk).min(plan.probe_rows());
+                    pairs.extend(plan.probe_range(lo..hi));
+                    lo = hi;
+                }
+                assert_eq!(pairs, whole, "chunk {chunk}");
+                let merged = plan.materialize(pairs).unwrap();
+                assert_eq!(merged, plan.materialize(whole.clone()).unwrap());
+            }
+        }
+    }
+
+    /// String keys join without cloning into owned keys; the typed and
+    /// generic kernels agree on a string-keyed join.
+    #[test]
+    fn string_keyed_join_matches_generic() {
+        let l = Table::new(vec![(
+            "k".into(),
+            Column::strs(vec!["a".into(), "b".into(), "a".into()]),
+        )])
+        .unwrap();
+        let r = Table::new(vec![(
+            "k1".into(),
+            Column::strs(vec!["b".into(), "a".into(), "c".into()]),
+        )])
+        .unwrap();
+        assert_eq!(
+            equi_join(&l, &r, "k", "k1").unwrap(),
+            equi_join_generic(&l, &r, "k", "k1").unwrap()
+        );
+    }
+
+    /// Mixed representations join through the shared key classes: a Nat
+    /// column joins an Int/Dbl item column where the values are integral.
+    #[test]
+    fn cross_representation_keys_collapse() {
+        let l = Table::new(vec![("k".into(), Column::nats(vec![1, 2, 3]))]).unwrap();
+        let r = Table::new(vec![(
+            "k1".into(),
+            Column::items(vec![Value::Dbl(2.0), Value::Int(3), Value::Dbl(2.5)]),
+        )])
+        .unwrap();
+        let j = equi_join(&l, &r, "k", "k1").unwrap();
+        assert_eq!(j.row_count(), 2);
+        assert_eq!(equi_join_generic(&l, &r, "k", "k1").unwrap(), j);
+    }
+
+    #[test]
+    fn theta_chunked_ranges_match_the_full_loop() {
+        let (l, r) = (left(), right());
+        let plan = ThetaPlan::new(&l, &r, "item", BinaryOp::Cmp(CmpOp::Gt), "iter1").unwrap();
+        let whole = plan.probe_range(0..plan.left_rows()).unwrap();
+        for chunk in 1..=plan.left_rows() {
+            let mut pairs = Vec::new();
+            let mut lo = 0;
+            while lo < plan.left_rows() {
+                let hi = (lo + chunk).min(plan.left_rows());
+                pairs.extend(plan.probe_range(lo..hi).unwrap());
+                lo = hi;
+            }
+            assert_eq!(pairs, whole, "chunk {chunk}");
+        }
     }
 }

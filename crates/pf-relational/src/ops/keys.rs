@@ -1,0 +1,210 @@
+//! Borrowed, typed hash keys — the allocation-free sibling of
+//! [`HashKey`](crate::ops::HashKey).
+//!
+//! [`HashKey::of`](crate::ops::HashKey::of) materializes a [`Value`] per row
+//! (boxing, and for string columns *cloning*) before it can hash — fine for
+//! the row-at-a-time operators it was written for, but a per-probe-row heap
+//! allocation in the hash-join and grouping hot loops.  [`Key`] carries the
+//! same equivalence classes (`Nat`/`Int`/integral `Dbl` collapse, strings
+//! hash by content) while **borrowing** string payloads from the column
+//! buffer, and [`KeyView`] extracts it straight from a typed column slice —
+//! no `Value` is ever constructed on the typed paths.
+//!
+//! The mapping mirrors `HashKey::of` case for case (including the shared
+//! `Bits` pocket for huge `Nat`s and non-integral doubles), so a join or a
+//! grouping keyed by `Key` matches exactly the pairs the `HashKey` kernels
+//! would produce.
+
+use crate::column::Column;
+use crate::value::{NodeRef, Value};
+
+/// A hashable key borrowed from a column, used by the typed hash-join and
+/// aggregation kernels.  Same equivalence classes as
+/// [`HashKey`](crate::ops::HashKey); strings are borrowed, never cloned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Key<'a> {
+    /// Integral numbers (Nat, Int and integral Dbl collapse here).
+    Int(i64),
+    /// Non-integral doubles (by bit pattern) and `Nat`s above `i64::MAX`.
+    Bits(u64),
+    /// Strings, by content, borrowed from the column buffer.
+    Str(&'a str),
+    /// Booleans.
+    Bool(bool),
+    /// Nodes by (doc, pre).
+    Node(u32, u32),
+}
+
+impl<'a> Key<'a> {
+    /// The key of a natural number (mirrors `HashKey::of` on `Value::Nat`).
+    #[inline]
+    pub fn of_nat(n: u64) -> Key<'a> {
+        if n <= i64::MAX as u64 {
+            Key::Int(n as i64)
+        } else {
+            Key::Bits(n)
+        }
+    }
+
+    /// The key of a double (mirrors `HashKey::of` on `Value::Dbl`).
+    #[inline]
+    pub fn of_dbl(d: f64) -> Key<'a> {
+        if d.fract() == 0.0 && d.abs() < 9.0e18 {
+            Key::Int(d as i64)
+        } else {
+            Key::Bits(d.to_bits())
+        }
+    }
+
+    /// The key of a borrowed [`Value`] (the polymorphic item column);
+    /// string payloads stay borrowed.
+    #[inline]
+    pub fn of_value(value: &'a Value) -> Key<'a> {
+        match value {
+            Value::Nat(n) => Key::of_nat(*n),
+            Value::Int(i) => Key::Int(*i),
+            Value::Dbl(d) => Key::of_dbl(*d),
+            Value::Str(s) => Key::Str(s),
+            Value::Bool(b) => Key::Bool(*b),
+            Value::Node(n) => Key::Node(n.doc, n.pre),
+        }
+    }
+}
+
+/// A borrowed, typed view of one key column: extracts the [`Key`] of any
+/// row without materializing a [`Value`].
+#[derive(Debug, Clone, Copy)]
+pub enum KeyView<'a> {
+    /// Natural numbers.
+    Nat(&'a [u64]),
+    /// Integers.
+    Int(&'a [i64]),
+    /// Doubles.
+    Dbl(&'a [f64]),
+    /// Strings (hashed without cloning).
+    Str(&'a [String]),
+    /// Booleans.
+    Bool(&'a [bool]),
+    /// Node references.
+    Node(&'a [NodeRef]),
+    /// The polymorphic item column (keys borrow from the stored values).
+    Item(&'a [Value]),
+}
+
+impl<'a> KeyView<'a> {
+    /// Borrow a typed key view of `column`.
+    pub fn of(column: &'a Column) -> KeyView<'a> {
+        match column {
+            Column::Nat(v) => KeyView::Nat(v),
+            Column::Int(v) => KeyView::Int(v),
+            Column::Dbl(v) => KeyView::Dbl(v),
+            Column::Str(v) => KeyView::Str(v),
+            Column::Bool(v) => KeyView::Bool(v),
+            Column::Node(v) => KeyView::Node(v),
+            Column::Item(v) => KeyView::Item(v),
+        }
+    }
+
+    /// Number of rows in the viewed column.
+    pub fn len(&self) -> usize {
+        match self {
+            KeyView::Nat(v) => v.len(),
+            KeyView::Int(v) => v.len(),
+            KeyView::Dbl(v) => v.len(),
+            KeyView::Str(v) => v.len(),
+            KeyView::Bool(v) => v.len(),
+            KeyView::Node(v) => v.len(),
+            KeyView::Item(v) => v.len(),
+        }
+    }
+
+    /// `true` when the viewed column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The key of row `row` — exactly `HashKey::of(&column.get(row))`,
+    /// without the `Value`.
+    #[inline]
+    pub fn key(&self, row: usize) -> Key<'a> {
+        match self {
+            KeyView::Nat(v) => Key::of_nat(v[row]),
+            KeyView::Int(v) => Key::Int(v[row]),
+            KeyView::Dbl(v) => Key::of_dbl(v[row]),
+            KeyView::Str(v) => Key::Str(&v[row]),
+            KeyView::Bool(v) => Key::Bool(v[row]),
+            KeyView::Node(v) => Key::Node(v[row].doc, v[row].pre),
+            KeyView::Item(v) => Key::of_value(&v[row]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::HashKey;
+
+    /// The borrowed key must land in the same equivalence class as
+    /// `HashKey::of` for every representation, including the edge pockets
+    /// (huge nats, integral and non-integral doubles).
+    #[test]
+    fn key_matches_hashkey_classes() {
+        let values = vec![
+            Value::Nat(3),
+            Value::Nat(u64::MAX),
+            Value::Nat(i64::MAX as u64),
+            Value::Nat(i64::MAX as u64 + 1),
+            Value::Int(-7),
+            Value::Dbl(3.0),
+            Value::Dbl(3.5),
+            Value::Dbl(-0.0),
+            Value::Dbl(9.5e18),
+            Value::Str("x".into()),
+            Value::Str("".into()),
+            Value::Bool(true),
+            Value::Node(NodeRef::new(2, 9)),
+        ];
+        let col = Column::items(values.clone());
+        let view = KeyView::of(&col);
+        for (i, a) in values.iter().enumerate() {
+            for (j, b) in values.iter().enumerate() {
+                assert_eq!(
+                    view.key(i) == view.key(j),
+                    HashKey::of(a) == HashKey::of(b),
+                    "rows {i} and {j} ({a:?} vs {b:?})"
+                );
+            }
+        }
+    }
+
+    /// Typed column views agree with the item-column view (and thereby
+    /// with `HashKey::of`).
+    #[test]
+    fn typed_views_match_item_views() {
+        let nats = Column::nats(vec![0, 5, i64::MAX as u64 + 1]);
+        let items = Column::items(vec![
+            Value::Nat(0),
+            Value::Nat(5),
+            Value::Nat(i64::MAX as u64 + 1),
+        ]);
+        let tv = KeyView::of(&nats);
+        let iv = KeyView::of(&items);
+        for row in 0..3 {
+            assert_eq!(tv.key(row), iv.key(row));
+        }
+        let dbls = Column::dbls(vec![2.0, 2.5]);
+        let dv = KeyView::of(&dbls);
+        assert_eq!(dv.key(0), Key::Int(2));
+        assert_eq!(dv.key(1), Key::Bits(2.5f64.to_bits()));
+    }
+
+    /// Numeric collapse across representations: Nat 3, Int 3 and Dbl 3.0
+    /// share one key; the string "3" does not.
+    #[test]
+    fn cross_type_collapse() {
+        assert_eq!(Key::of_nat(3), Key::Int(3));
+        assert_eq!(Key::of_dbl(3.0), Key::Int(3));
+        assert_ne!(Key::Str("3"), Key::Int(3));
+        assert_ne!(Key::Bool(true), Key::Int(1));
+    }
+}

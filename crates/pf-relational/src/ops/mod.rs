@@ -7,6 +7,7 @@
 
 pub mod aggregate;
 pub mod join;
+pub mod keys;
 pub mod map;
 pub mod pipeline;
 pub mod project;
@@ -17,8 +18,9 @@ pub mod sort;
 pub mod sortkeys;
 pub mod step;
 
-pub use aggregate::{aggregate_by, AggFunc};
-pub use join::{cross, equi_join, theta_join};
+pub use aggregate::{aggregate_by, aggregate_by_generic, AggFunc, AggPartial, AggPlan};
+pub use join::{cross, equi_join, equi_join_generic, theta_join, JoinPlan, ThetaPlan};
+pub use keys::{Key, KeyView};
 pub use map::{map_binary, map_const, map_unary, BinaryOp, CmpOp, UnaryOp};
 pub use pipeline::{run_pipeline, run_pipeline_range, steps_chunkable, FusedStep};
 pub use project::project;

@@ -18,10 +18,14 @@
 #                    p50/p99 latency of a mixed XMark stream at 1/4/8
 #                    sessions on one shared engine; see PF_QPS_SESSIONS
 #                    and PF_QPS_ROUNDS)
+#   BENCH_pr7.json — join/aggregation kernel profile (per-operator wall
+#                    of Q8-Q12 at 1/2/4/8 threads, plus the typed-vs-
+#                    generic kernel comparison; see PF_JOIN_THREADS and
+#                    PF_JOIN_RUNS)
 #
 #   ./scripts/bench.sh                       # scale 0.05, default outputs
 #   ./scripts/bench.sh 0.2                   # custom scale factor
-#   ./scripts/bench.sh 0.2 mem.json scal.json fus.json morsel.json qps.json
+#   ./scripts/bench.sh 0.2 mem.json scal.json fus.json morsel.json qps.json join.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,6 +36,7 @@ scaling_out="${3:-BENCH_pr3.json}"
 fusion_out="${4:-BENCH_pr4.json}"
 morsel_out="${5:-BENCH_pr5.json}"
 qps_out="${6:-BENCH_pr6.json}"
+join_out="${7:-BENCH_pr7.json}"
 
 cargo run --release -p pf-bench --bin mem_profile -- "$scale" "$mem_out"
 cargo run --release -p pf-bench --bin thread_scaling -- "$scale" "$scaling_out"
@@ -39,3 +44,4 @@ cargo run --release -p pf-bench --bin thread_scaling -- "$scale" "$scaling_out"
 cargo run --release -p pf-bench --bin fusion_profile -- "$scale" "$fusion_out" 1
 cargo run --release -p pf-bench --bin morsel_profile -- "$scale" "$morsel_out"
 cargo run --release -p pf-bench --bin qps_bench -- "$scale" "$qps_out"
+cargo run --release -p pf-bench --bin join_profile -- "$scale" "$join_out"

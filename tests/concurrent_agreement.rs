@@ -181,6 +181,55 @@ fn a_query_with_a_known_footprint_queues_when_the_budget_is_saturated() {
 }
 
 #[test]
+fn a_cold_plan_queues_on_its_shape_estimate() {
+    // A plan that has NEVER executed has no recorded peak — it used to be
+    // admitted at estimate 0 and sail past a saturated budget.  The cold
+    // estimate is now seeded from the plan shape (the referenced
+    // document's node count), so the very first run queues like a warm
+    // one.
+    let pf = Pathfinder::with_options(EngineOptions::builder().memory_budget_rows(1_000).build());
+    pf.load_document("d.xml", "<a><b>1</b><b>2</b><b>3</b></a>")
+        .unwrap();
+    let q = "for $b in fn:doc(\"d.xml\")//b return fn:string($b)";
+    // Reference output from a separate engine, so `pf`'s plan cache stays
+    // cold (a run on `pf` itself would record a peak).
+    let reference = {
+        let fresh = Pathfinder::new();
+        fresh
+            .load_document("d.xml", "<a><b>1</b><b>2</b><b>3</b></a>")
+            .unwrap();
+        fresh.session().query(q).unwrap().to_xml()
+    };
+
+    let saturating = pf.admission().admit(1_000);
+    let finished = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let pf = &pf;
+        let finished = &finished;
+        let reference = &reference;
+        scope.spawn(move || {
+            let out = pf.session().query(q).unwrap();
+            assert_eq!(&out.to_xml(), reference);
+            finished.store(true, Ordering::SeqCst);
+        });
+        // The cold query registers as waiting instead of slipping through
+        // at estimate 0.
+        while pf.admission().stats().waiting == 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(
+            !finished.load(Ordering::SeqCst),
+            "cold query ran although the budget was saturated"
+        );
+        assert_eq!(pf.admission().stats().waiting, 1);
+        drop(saturating);
+    });
+    assert!(finished.load(Ordering::SeqCst));
+    assert_eq!(pf.admission().stats().waited, 1);
+}
+
+#[test]
 fn admitted_queries_keep_their_snapshot_across_a_reload() {
     // Deterministic version of the isolation contract: admission happens
     // at query start, so a load *between* two queries is visible, but the

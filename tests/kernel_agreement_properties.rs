@@ -1,0 +1,202 @@
+//! Property tests for the typed join/aggregation kernels: the
+//! borrowed-key hash join ([`JoinPlan`]) and the typed accumulators of
+//! [`AggPlan`] must agree with the value-at-a-time reference paths
+//! (`equi_join_generic` / `aggregate_by_generic`) on *random* tables —
+//! including the corners where the typed key extraction could plausibly
+//! diverge:
+//!
+//! * `Nat` values above `i64::MAX` (the `Bits` key class),
+//! * non-integral doubles (also `Bits`) and integral doubles (which
+//!   collapse onto the integer key class),
+//! * mixed-type `Item` columns (per-row `Value` dispatch),
+//! * empty inputs on either side.
+//!
+//! On top of plain agreement, the chunked evaluation contracts are pinned
+//! property-style: probe ranges concatenate to the full probe, and for
+//! the chunk-safe aggregation functions, per-chunk partials merged in
+//! order equal the sequential run — for every chunk size.
+//!
+//! [`JoinPlan`]: pathfinder::relational::ops::JoinPlan
+//! [`AggPlan`]: pathfinder::relational::ops::AggPlan
+
+use proptest::prelude::*;
+
+use pathfinder::relational::ops::{self, AggFunc, AggPlan, JoinPlan};
+use pathfinder::relational::{Column, Table, Value};
+
+/// Random scalar values spanning every key class: small colliding
+/// integers, huge `Nat`s beyond `i64::MAX`, integral and fractional
+/// doubles, short strings (some of which parse as numbers — the string
+/// sum path), and booleans.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-4i64..4).prop_map(Value::Int),
+        (i64::MIN..i64::MAX).prop_map(Value::Int),
+        (0u64..4).prop_map(Value::Nat),
+        (0u64..u64::MAX).prop_map(Value::Nat),
+        (-4i64..4).prop_map(|i| Value::Dbl(i as f64)),
+        (-100.0f64..100.0).prop_map(Value::Dbl),
+        "[a-b0-9]{0,2}".prop_map(Value::Str),
+        proptest::bool::ANY.prop_map(Value::Bool),
+    ]
+}
+
+/// A random column of exactly `len` rows: homogeneous typed columns (so
+/// the typed `KeyView` slices are exercised) or a mixed `Item` column.
+fn column_strategy(len: usize) -> BoxedStrategy<Column> {
+    let exactly = len..len + 1;
+    prop_oneof![
+        proptest::collection::vec(prop_oneof![0u64..6, 0u64..u64::MAX], exactly.clone())
+            .prop_map(Column::nats),
+        proptest::collection::vec(-6i64..6, exactly.clone()).prop_map(Column::ints),
+        proptest::collection::vec(
+            prop_oneof![(-4i64..4).prop_map(|i| i as f64), -50.0f64..50.0],
+            exactly.clone()
+        )
+        .prop_map(Column::dbls),
+        proptest::collection::vec("[a-b0-9]{0,2}", exactly.clone()).prop_map(Column::strs),
+        proptest::collection::vec(value_strategy(), exactly).prop_map(Column::from_values),
+    ]
+    .boxed()
+}
+
+/// Two same-length random columns (a key and a payload).
+fn table_columns(max_rows: usize) -> impl Strategy<Value = (Column, Column)> {
+    (0..max_rows + 1).prop_flat_map(|n| (column_strategy(n), column_strategy(n)))
+}
+
+fn agg_func() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::Count),
+        Just(AggFunc::Sum),
+        Just(AggFunc::Avg),
+        Just(AggFunc::Min),
+        Just(AggFunc::Max),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn typed_join_agrees_with_the_generic_join(
+        (lkey, lval) in table_columns(24),
+        (rkey, rval) in table_columns(24),
+    ) {
+        let left = Table::new(vec![("k".into(), lkey), ("v".into(), lval)]).unwrap();
+        let right = Table::new(vec![("k2".into(), rkey), ("w".into(), rval)]).unwrap();
+        let typed = ops::equi_join(&left, &right, "k", "k2").unwrap();
+        let generic = ops::equi_join_generic(&left, &right, "k", "k2").unwrap();
+        prop_assert_eq!(typed, generic);
+    }
+
+    #[test]
+    fn chunked_probe_ranges_concatenate_to_the_full_probe(
+        (lkey, lval) in table_columns(24),
+        (rkey, rval) in table_columns(24),
+        chunk in 1usize..9,
+    ) {
+        let left = Table::new(vec![("k".into(), lkey), ("v".into(), lval)]).unwrap();
+        let right = Table::new(vec![("k2".into(), rkey), ("w".into(), rval)]).unwrap();
+        let plan = JoinPlan::new(&left, &right, "k", "k2").unwrap();
+        let rows = plan.probe_rows();
+        let full = plan.probe_range(0..rows);
+        let mut chunked = Vec::new();
+        let mut lo = 0;
+        while lo < rows {
+            let hi = (lo + chunk).min(rows);
+            chunked.extend(plan.probe_range(lo..hi));
+            lo = hi;
+        }
+        prop_assert_eq!(&full, &chunked);
+        prop_assert_eq!(
+            plan.materialize(full).unwrap(),
+            ops::equi_join_generic(&left, &right, "k", "k2").unwrap()
+        );
+    }
+
+    #[test]
+    fn typed_aggregation_agrees_with_the_generic_aggregation(
+        (group, value) in table_columns(32),
+        func in agg_func(),
+    ) {
+        let table = Table::new(vec![("g".into(), group), ("v".into(), value)]).unwrap();
+        let typed = ops::aggregate_by(&table, "g", "out", func, "v");
+        let generic = ops::aggregate_by_generic(&table, "g", "out", func, "v");
+        match (typed, generic) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(
+                false,
+                "typed ok = {}, generic ok = {} — one path errored where the other succeeded",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+
+    #[test]
+    fn segmented_aggregation_agrees_with_the_generic_hash_path(
+        mut keys in proptest::collection::vec(0u64..8, 0..40),
+        value in (0..41usize).prop_flat_map(column_strategy),
+        func in agg_func(),
+    ) {
+        // An ascending Nat group column takes the hash-free segmented scan
+        // (exactly what iter-grouped loop-lifted tables look like).
+        keys.sort_unstable();
+        let n = keys.len().min(value.len());
+        keys.truncate(n);
+        let rows: Vec<usize> = (0..n).collect();
+        let value = value.gather(&rows);
+        let table = Table::new(vec![("g".into(), Column::nats(keys)), ("v".into(), value)]).unwrap();
+        let plan = AggPlan::new(&table, "g", "out", func, "v").unwrap();
+        prop_assert!(plan.segmented());
+        let typed = ops::aggregate_by(&table, "g", "out", func, "v");
+        let generic = ops::aggregate_by_generic(&table, "g", "out", func, "v");
+        match (typed, generic) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(
+                false,
+                "segmented ok = {}, generic ok = {}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+
+    #[test]
+    fn chunked_partials_merge_to_the_sequential_aggregate(
+        (group, value) in table_columns(32),
+        func in agg_func(),
+        chunk in 1usize..9,
+    ) {
+        let table = Table::new(vec![("g".into(), group), ("v".into(), value)]).unwrap();
+        let plan = AggPlan::new(&table, "g", "out", func, "v").unwrap();
+        prop_assume!(plan.chunk_parallel_safe());
+        let rows = plan.input_rows();
+        let mut partials = Vec::new();
+        let mut lo = 0;
+        let mut failed = false;
+        while lo < rows {
+            let hi = (lo + chunk).min(rows);
+            match plan.partial(lo..hi) {
+                Ok(p) => partials.push(p),
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+            lo = hi;
+        }
+        let sequential = plan.run();
+        if failed {
+            // A chunk error implies the sequential pass errors too (the
+            // executor re-runs sequentially for the canonical message).
+            prop_assert!(sequential.is_err());
+        } else {
+            let merged = plan.finish(plan.merge(partials).unwrap()).unwrap();
+            prop_assert_eq!(merged, sequential.unwrap());
+        }
+    }
+}

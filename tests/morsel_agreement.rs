@@ -84,8 +84,20 @@ fn engine(xml_doc: &Arc<pathfinder::xml::Document>, fusion: bool, config: &Confi
 }
 
 /// The schedule-independent slice of [`ExecStats`] (peaks legitimately
-/// vary with scheduling and buffer sharing).
-type Totals = (usize, usize, usize, usize, usize, usize);
+/// vary with scheduling and buffer sharing).  The join/aggregate kernel
+/// counters are included: build/probe/input row counts depend only on
+/// the tables, never on how the probe was morselized.
+type Totals = (
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+);
 
 fn totals(stats: &ExecStats) -> Totals {
     (
@@ -95,6 +107,9 @@ fn totals(stats: &ExecStats) -> Totals {
         stats.evicted_results,
         stats.fused_ops,
         stats.tables_elided,
+        stats.join_build_rows,
+        stats.join_probe_rows,
+        stats.agg_input_rows,
     )
 }
 
@@ -156,6 +171,72 @@ fn all_queries_agree_across_threads_morsels_and_fusion() {
                 assert_eq!(pf.worker_pool_spawns(), 1, "{}", config.label);
             } else {
                 assert_eq!(pf.worker_pool_spawns(), 0, "{}", config.label);
+            }
+        }
+    }
+}
+
+#[test]
+fn join_heavy_queries_agree_across_the_full_matrix() {
+    // Q8–Q12 are the join- and aggregate-heavy XMark queries; their
+    // equi-joins build typed hash indexes and probe in morsels, and their
+    // counts pre-aggregate per chunk.  The full cross product of thread
+    // count × morsel size × fusion must serialize byte-identically, and
+    // the kernel counters (join build/probe rows, aggregate input rows)
+    // must be schedule-independent and non-zero.
+    let xml = generate(&GeneratorConfig {
+        scale: 0.003,
+        seed: 20050831,
+    });
+    let doc = Arc::new(pathfinder::xml::parse(&xml).expect("generated XML is well-formed"));
+
+    for id in 8..=12u8 {
+        let q = pathfinder::xmark::query(id).unwrap();
+        let mut ref_xml: Option<String> = None;
+        let mut ref_kernel: Option<(usize, usize, usize)> = None;
+        for threads in [1usize, 4] {
+            for morsel_rows in [2usize, 0, usize::MAX] {
+                for fusion in [true, false] {
+                    let pf = Pathfinder::with_options(EngineOptions {
+                        threads,
+                        morsel_rows,
+                        fusion,
+                        ..EngineOptions::default()
+                    });
+                    pf.load_parsed("auction.xml", &doc).unwrap();
+                    let (result, stats) = profiled(&pf, q.text).unwrap_or_else(|e| {
+                        panic!("Q{id} failed at t{threads}/m{morsel_rows}/f{fusion}: {e}")
+                    });
+                    let xml_out = result.to_xml();
+                    match &ref_xml {
+                        None => ref_xml = Some(xml_out),
+                        Some(reference) => assert_eq!(
+                            *reference, xml_out,
+                            "Q{id}: serialization diverges at t{threads}/m{morsel_rows}/f{fusion}"
+                        ),
+                    }
+                    // Joins and aggregates are breakers under either
+                    // fusion setting, so the kernel counters agree across
+                    // the whole matrix.
+                    let kernel = (
+                        stats.join_build_rows,
+                        stats.join_probe_rows,
+                        stats.agg_input_rows,
+                    );
+                    match &ref_kernel {
+                        None => {
+                            assert!(
+                                kernel.1 > 0,
+                                "Q{id}: a join-heavy query counted no probe rows"
+                            );
+                            ref_kernel = Some(kernel);
+                        }
+                        Some(reference) => assert_eq!(
+                            *reference, kernel,
+                            "Q{id}: kernel counters diverge at t{threads}/m{morsel_rows}/f{fusion}"
+                        ),
+                    }
+                }
             }
         }
     }

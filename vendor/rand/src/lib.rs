@@ -95,6 +95,27 @@ macro_rules! impl_int_ranges {
 
 impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+macro_rules! impl_float_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as Standard>::sample(rng);
+                let v = self.start + (self.end - self.start) * unit;
+                // Guard the half-open bound against rounding up on very
+                // wide spans (`unit` < 1 does not guarantee `v` < end).
+                if v < self.end {
+                    v
+                } else {
+                    self.start
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_ranges!(f32, f64);
+
 /// The user-facing sampling methods, blanket-implemented for every core RNG
 /// (the shim's analogue of `rand::Rng`).
 pub trait Rng: RngCore {
