@@ -25,7 +25,10 @@ pub mod render;
 pub mod schema;
 
 pub use ops::{AlgOp, SortSpec};
-pub use optimize::{optimize, OptimizeReport};
+pub use optimize::{
+    optimize, optimize_with, CardEstimate, Isolation, NoStats, OptimizeReport, OptimizerLevel,
+    StatsSource,
+};
 pub use physical::{PhysKind, PhysNode, PhysNodeId, PhysicalBooks, PhysicalPlan};
 pub use plan::{OpId, Plan, PlanBuilder, ReadySetBooks};
 pub use render::{to_ascii, to_dot};

@@ -1,0 +1,281 @@
+//! Cardinality estimation over plan DAGs.
+//!
+//! [`CardEstimate`] assigns every reachable operator an estimated output
+//! row count in one bottom-up pass.  Leaf estimates come from document
+//! statistics ([`pf_store::DocStatistics`], resolved through a
+//! [`StatsSource`] so `pf-algebra` stays ignorant of the engine's
+//! registry); interior operators apply textbook selectivity heuristics.
+//! The estimates only ever *order* alternatives — join reordering picks
+//! the smallest leaf first, admission control sizes a cold plan — so
+//! being roughly proportional matters, absolute accuracy does not.
+//!
+//! Axis steps are the one place statistics really pay off: a
+//! `descendant::item` step over XMark produces exactly
+//! `elements_tagged("item")` rows per distinct context root, and the
+//! tag histogram knows that number precisely.  To find the right
+//! histogram, the pass also threads *document provenance* upward: the
+//! URI of the (single) `doc()` source feeding each operator's items.
+
+use std::sync::Arc;
+
+use pf_store::{Axis, DocStatistics};
+
+use crate::ops::AlgOp;
+use crate::plan::{OpId, Plan};
+
+/// Resolves a document URI to its measured statistics.  The engine
+/// implements this over its registry snapshot; [`NoStats`] is the
+/// statistics-free fallback (pure heuristics).
+pub trait StatsSource {
+    /// Statistics for the document registered under `uri`, if known.
+    fn doc_statistics(&self, uri: &str) -> Option<Arc<DocStatistics>>;
+}
+
+/// A [`StatsSource`] that knows nothing; every step falls back to
+/// fan-out heuristics.
+pub struct NoStats;
+
+impl StatsSource for NoStats {
+    fn doc_statistics(&self, _uri: &str) -> Option<Arc<DocStatistics>> {
+        None
+    }
+}
+
+/// Per-operator estimated output row counts for one plan.
+#[derive(Debug, Clone)]
+pub struct CardEstimate {
+    rows: Vec<f64>,
+}
+
+impl CardEstimate {
+    /// Estimate every operator of `plan` bottom-up.
+    pub fn analyze(plan: &Plan, stats: &dyn StatsSource) -> CardEstimate {
+        let n = plan.ops().len();
+        let mut rows = vec![0.0_f64; n];
+        // Document provenance: the URI of the single doc() source whose
+        // nodes flow through this operator's item column, if unambiguous.
+        let mut doc: Vec<Option<String>> = vec![None; n];
+        for id in plan.reachable() {
+            let (est, uri) = estimate_op(plan, id, &rows, &doc, stats);
+            rows[id] = est;
+            doc[id] = uri;
+        }
+        CardEstimate { rows }
+    }
+
+    /// Estimated output rows of operator `id`.
+    pub fn rows(&self, id: OpId) -> f64 {
+        self.rows.get(id).copied().unwrap_or(0.0)
+    }
+
+    /// The largest single-operator estimate of the plan, rounded up —
+    /// a shape-derived stand-in for peak resident rows (admission
+    /// control uses this for plans that have never run).
+    pub fn peak_rows(&self, plan: &Plan) -> usize {
+        plan.reachable()
+            .into_iter()
+            .map(|id| self.rows[id])
+            .fold(0.0_f64, f64::max)
+            .ceil() as usize
+    }
+}
+
+fn estimate_op(
+    plan: &Plan,
+    id: OpId,
+    rows: &[f64],
+    doc: &[Option<String>],
+    stats: &dyn StatsSource,
+) -> (f64, Option<String>) {
+    match plan.op(id) {
+        AlgOp::Lit { rows: r, .. } => (r.len() as f64, None),
+        AlgOp::Doc { uri } => (1.0, Some(uri.clone())),
+        AlgOp::Step { input, axis, test } => {
+            let input_rows = rows[*input];
+            let uri = doc[*input].clone();
+            if input_rows == 0.0 {
+                return (0.0, uri);
+            }
+            let doc_stats = uri.as_deref().and_then(|u| stats.doc_statistics(u));
+            let est = match (&doc_stats, axis) {
+                // Every context set of size ≥ 1 sees (almost) the whole
+                // document below it: the step output is bounded by — and
+                // for the common root-context case equal to — the total
+                // number of matching nodes.
+                (Some(s), Axis::Descendant | Axis::DescendantOrSelf) => s.matching(test) as f64,
+                (Some(s), Axis::Child) => {
+                    // Uniform fan-out: matching nodes spread evenly over
+                    // all possible element parents.
+                    let parents = s.elements.max(1) as f64;
+                    input_rows * (s.matching(test) as f64 / parents).max(1.0 / parents)
+                }
+                (Some(s), Axis::Attribute) => {
+                    let owners = s.elements.max(1) as f64;
+                    input_rows * (s.matching(test) as f64 / owners).min(1.0)
+                }
+                // Upward / sideways axes and the self axis stay near the
+                // context size.
+                (Some(_), _) => input_rows,
+                // No statistics: fixed fan-out guesses.
+                (None, Axis::Descendant | Axis::DescendantOrSelf) => input_rows * 8.0,
+                (None, Axis::Child) => input_rows * 3.0,
+                (None, Axis::Attribute) => input_rows,
+                (None, _) => input_rows,
+            };
+            (est.max(0.0), uri)
+        }
+        AlgOp::Select { input, .. } => (rows[*input] * 0.5, doc[*input].clone()),
+        AlgOp::SelectEq { input, .. } => (rows[*input] * 0.1, doc[*input].clone()),
+        AlgOp::Distinct { input } => (rows[*input] * 0.8, doc[*input].clone()),
+        AlgOp::Union { left, right } => (rows[*left] + rows[*right], merge_doc(doc, *left, *right)),
+        AlgOp::Difference { left, right: _ } => (rows[*left], doc[*left].clone()),
+        AlgOp::Cross { left, right } => (rows[*left] * rows[*right], merge_doc(doc, *left, *right)),
+        AlgOp::ThetaJoin { left, right, .. } => (
+            rows[*left] * rows[*right] / 3.0,
+            merge_doc(doc, *left, *right),
+        ),
+        // Loop-lifted equi-joins are overwhelmingly iter↔iter matches:
+        // close to a 1:N alignment of the two sides, not a blow-up.
+        AlgOp::EquiJoin { left, right, .. } => {
+            (rows[*left].max(rows[*right]), merge_doc(doc, *left, *right))
+        }
+        AlgOp::Aggregate { input, .. } => ((rows[*input] * 0.5).max(1.0), doc[*input].clone()),
+        AlgOp::Ebv { input } => ((rows[*input] * 0.5).max(1.0), doc[*input].clone()),
+        // Row-preserving operators.
+        AlgOp::Project { input, .. }
+        | AlgOp::RowNum { input, .. }
+        | AlgOp::BinaryMap { input, .. }
+        | AlgOp::UnaryMap { input, .. }
+        | AlgOp::Attach { input, .. }
+        | AlgOp::DocOrder { input }
+        | AlgOp::FnData { input }
+        | AlgOp::FnRoot { input }
+        | AlgOp::Sort { input, .. } => (rows[*input], doc[*input].clone()),
+        // Constructors emit one node per loop iteration (content rows are
+        // folded into those nodes).  The constructed nodes live in a new
+        // transient document, so provenance resets.
+        AlgOp::ElemConstruct { loop_input, .. }
+        | AlgOp::AttrConstruct { loop_input, .. }
+        | AlgOp::TextConstruct { loop_input, .. } => (rows[*loop_input], None),
+    }
+}
+
+fn merge_doc(doc: &[Option<String>], left: OpId, right: OpId) -> Option<String> {
+    match (&doc[left], &doc[right]) {
+        (Some(l), Some(r)) if l == r => Some(l.clone()),
+        (Some(l), None) => Some(l.clone()),
+        (None, Some(r)) => Some(r.clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::AlgOp;
+    use crate::plan::PlanBuilder;
+    use pf_relational::Value;
+    use pf_store::{DocStore, NodeTest};
+    use std::collections::HashMap;
+
+    struct MapStats(HashMap<String, Arc<DocStatistics>>);
+
+    impl StatsSource for MapStats {
+        fn doc_statistics(&self, uri: &str) -> Option<Arc<DocStatistics>> {
+            self.0.get(uri).cloned()
+        }
+    }
+
+    fn xml_stats(uri: &str, xml: &str) -> MapStats {
+        let store = DocStore::from_xml(uri, xml).unwrap();
+        let mut map = HashMap::new();
+        map.insert(uri.to_string(), Arc::new(DocStatistics::measure(&store)));
+        MapStats(map)
+    }
+
+    #[test]
+    fn descendant_step_estimates_from_tag_histogram() {
+        let stats = xml_stats("d", "<a><b/><b/><b/><c/></a>");
+        let mut b = PlanBuilder::new();
+        let d = b.add(AlgOp::Doc { uri: "d".into() });
+        let step = b.add(AlgOp::Step {
+            input: d,
+            axis: Axis::Descendant,
+            test: NodeTest::Element("b".into()),
+        });
+        let plan = b.finish(step);
+        let est = CardEstimate::analyze(&plan, &stats);
+        assert_eq!(est.rows(step), 3.0);
+        assert_eq!(est.rows(d), 1.0);
+    }
+
+    #[test]
+    fn empty_input_steps_estimate_zero() {
+        let stats = xml_stats("d", "<a><b/></a>");
+        let mut b = PlanBuilder::new();
+        let l = b.add(AlgOp::Lit {
+            columns: vec!["iter".into(), "item".into()],
+            rows: vec![],
+        });
+        let step = b.add(AlgOp::Step {
+            input: l,
+            axis: Axis::Descendant,
+            test: NodeTest::AnyElement,
+        });
+        let plan = b.finish(step);
+        let est = CardEstimate::analyze(&plan, &stats);
+        assert_eq!(est.rows(step), 0.0);
+    }
+
+    #[test]
+    fn provenance_survives_joins_and_selections() {
+        let stats = xml_stats("d", "<a><b/><b/><c/><c/><c/><c/></a>");
+        let mut b = PlanBuilder::new();
+        let d = b.add(AlgOp::Doc { uri: "d".into() });
+        let bs = b.add(AlgOp::Step {
+            input: d,
+            axis: Axis::Descendant,
+            test: NodeTest::Element("b".into()),
+        });
+        let lit = b.add(AlgOp::Lit {
+            columns: vec!["iter".into()],
+            rows: vec![vec![Value::Nat(1)]],
+        });
+        let join = b.add(AlgOp::EquiJoin {
+            left: bs,
+            right: lit,
+            left_col: "iter".into(),
+            right_col: "iter".into(),
+        });
+        // The join keeps the document provenance of its left side, so a
+        // step above it still finds the tag histogram.
+        let cs = b.add(AlgOp::Step {
+            input: join,
+            axis: Axis::Descendant,
+            test: NodeTest::Element("c".into()),
+        });
+        let plan = b.finish(cs);
+        let est = CardEstimate::analyze(&plan, &stats);
+        assert_eq!(est.rows(cs), 4.0);
+        assert_eq!(est.rows(join), 2.0);
+    }
+
+    #[test]
+    fn peak_rows_takes_the_plan_maximum() {
+        let stats = NoStats;
+        let mut b = PlanBuilder::new();
+        let l = b.add(AlgOp::Lit {
+            columns: vec!["iter".into()],
+            rows: vec![vec![Value::Nat(1)], vec![Value::Nat(2)]],
+        });
+        let cross = b.add(AlgOp::Cross { left: l, right: l });
+        let sel = b.add(AlgOp::SelectEq {
+            input: cross,
+            column: "iter".into(),
+            value: Value::Nat(1),
+        });
+        let plan = b.finish(sel);
+        let est = CardEstimate::analyze(&plan, &stats);
+        assert_eq!(est.peak_rows(&plan), 4); // the cross product dominates
+    }
+}

@@ -24,12 +24,160 @@
 //! The optimizer runs the rewrites to a fixpoint and reports what it did;
 //! the `plan_size` harness binary uses that report to reproduce the paper's
 //! plan-complexity claim (experiment E5).
+//!
+//! ## Join-graph isolation (the `full` level)
+//!
+//! On top of the basic peephole pass, [`optimize_with`] untangles the
+//! order-maintenance scaffolding (rownum / `iter`-plumbing) from the value
+//! predicates — the rewrite "XQuery Join Graph Isolation" (Grust et al.)
+//! describes for exactly these plan DAGs:
+//!
+//! * [`isolation`] — infers, per operator, key sets, constant columns and
+//!   whether the operator's *row order* can influence the serialized
+//!   result at all.  Serialization stably re-sorts the root by `pos` and
+//!   most order-maintenance operators either normalize their input
+//!   (steps, `ddo`) or number it deterministically when their sort keys
+//!   cover a key (rownum), so large plan regions are provably order-free.
+//! * [`pushdown`] — pushes σ below joins and through
+//!   projections/attach/maps (order-preserving rewrites, safe
+//!   everywhere), and folds σ/π over literal tables at compile time.
+//! * [`reorder`] — reorders equi-join clusters inside order-free regions,
+//!   greedily joining the smallest-estimated leaves first per
+//!   [`cardinality::CardEstimate`] (document statistics from
+//!   `pf-store`).
+//! * [`dedup`] — hash-consed common-subplan elimination in one bottom-up
+//!   pass (replaces the fixpoint string-keyed CSE of the basic level),
+//!   plus a post-fixpoint *unshare* pass that clones cheap shared
+//!   operators so each copy fuses into its consumer's pipeline.
+//!
+//! Every rule is independently toggleable via [`OptimizerLevel`]; the
+//! engine exposes them through `PF_OPTIMIZE` /
+//! `EngineOptions::optimizer_level`.  All full-level rewrites preserve
+//! the serialized result byte for byte (pinned by
+//! `tests/optimize_agreement.rs` across the whole
+//! threads × morsel × fusion matrix).
 
 use std::collections::HashMap;
+
+pub mod cardinality;
+pub mod dedup;
+pub mod isolation;
+pub mod pushdown;
+pub mod reorder;
+
+pub use cardinality::{CardEstimate, NoStats, StatsSource};
+pub use isolation::Isolation;
 
 use crate::ops::AlgOp;
 use crate::plan::{OpId, Plan};
 use crate::schema::infer_schema;
+
+/// Which rewrite rules [`optimize_with`] runs: the basic peephole pass is
+/// always on; each join-graph-isolation rule has its own toggle so rules
+/// can be measured (and property-tested) in isolation.
+///
+/// [`OptimizerLevel::BASIC`] is exactly the pre-isolation optimizer;
+/// [`OptimizerLevel::FULL`] (the default) enables everything.  A level
+/// parses from the `PF_OPTIMIZE` syntax: `basic`, `full`, or a
+/// comma-separated rule list such as `pushdown,dedup`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OptimizerLevel {
+    /// Push selections below joins / through π, attach and maps, and fold
+    /// σ/π over literal tables.
+    pub pushdown: bool,
+    /// Reorder equi-join clusters in order-free regions by cardinality
+    /// estimate.
+    pub reorder: bool,
+    /// Hash-consed subplan dedup (one-pass replacement for the string CSE).
+    pub dedup: bool,
+    /// Clone cheap shared operators after the fixpoint so pipeline fusion
+    /// sees single-consumer chains.
+    pub unshare: bool,
+}
+
+impl OptimizerLevel {
+    /// Today's peephole pass, nothing else.
+    pub const BASIC: OptimizerLevel = OptimizerLevel {
+        pushdown: false,
+        reorder: false,
+        dedup: false,
+        unshare: false,
+    };
+
+    /// Every rule on (the engine default).
+    pub const FULL: OptimizerLevel = OptimizerLevel {
+        pushdown: true,
+        reorder: true,
+        dedup: true,
+        unshare: true,
+    };
+
+    /// `true` if no isolation rule is enabled.
+    pub fn is_basic(self) -> bool {
+        self == OptimizerLevel::BASIC
+    }
+
+    /// Parse the `PF_OPTIMIZE` syntax: `basic`, `full` (or an empty
+    /// string), or a comma-separated subset of
+    /// `pushdown`/`reorder`/`dedup`/`unshare`.  `None` for anything else.
+    pub fn parse(spec: &str) -> Option<OptimizerLevel> {
+        let spec = spec.trim();
+        match spec.to_ascii_lowercase().as_str() {
+            "" | "full" => return Some(OptimizerLevel::FULL),
+            "basic" => return Some(OptimizerLevel::BASIC),
+            _ => {}
+        }
+        let mut level = OptimizerLevel::BASIC;
+        for rule in spec.split(',') {
+            match rule.trim().to_ascii_lowercase().as_str() {
+                "pushdown" => level.pushdown = true,
+                "reorder" => level.reorder = true,
+                "dedup" => level.dedup = true,
+                "unshare" => level.unshare = true,
+                _ => return None,
+            }
+        }
+        Some(level)
+    }
+
+    /// Stable textual tag (round-trips through [`OptimizerLevel::parse`]);
+    /// the engine embeds this in plan-cache keys so plans compiled at
+    /// different levels never alias.
+    pub fn tag(self) -> String {
+        if self == OptimizerLevel::FULL {
+            return "full".into();
+        }
+        if self == OptimizerLevel::BASIC {
+            return "basic".into();
+        }
+        let mut rules = Vec::new();
+        if self.pushdown {
+            rules.push("pushdown");
+        }
+        if self.reorder {
+            rules.push("reorder");
+        }
+        if self.dedup {
+            rules.push("dedup");
+        }
+        if self.unshare {
+            rules.push("unshare");
+        }
+        rules.join(",")
+    }
+}
+
+impl Default for OptimizerLevel {
+    fn default() -> Self {
+        OptimizerLevel::FULL
+    }
+}
+
+impl std::fmt::Display for OptimizerLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.tag())
+    }
+}
 
 /// Statistics of one [`optimize`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,6 +198,18 @@ pub struct OptimizeReport {
     pub cse_merged: usize,
     /// Number of constant attaches folded into literal tables.
     pub constants_folded: usize,
+    /// Number of equi-join clusters rewritten by statistics-driven
+    /// reordering (`full` level only).
+    pub joins_reordered: usize,
+    /// Number of selections pushed below joins or through
+    /// π/attach/maps (`full` level only).
+    pub predicates_pushed: usize,
+    /// Number of operators merged by hash-consed subplan dedup (`full`
+    /// level only; supersedes `cse_merged` when enabled).
+    pub subplans_deduped: usize,
+    /// Number of cheap shared operators cloned after the fixpoint so
+    /// pipeline fusion sees single-consumer chains (`full` level only).
+    pub chains_unshared: usize,
 }
 
 impl OptimizeReport {
@@ -62,8 +222,26 @@ impl OptimizeReport {
     }
 }
 
-/// Optimize `plan` in place and report what happened.
+/// Optimize `plan` in place with the basic peephole pass (no statistics
+/// needed) and report what happened.  Equivalent to [`optimize_with`] at
+/// [`OptimizerLevel::BASIC`].
 pub fn optimize(plan: &mut Plan) -> OptimizeReport {
+    optimize_with(plan, OptimizerLevel::BASIC, &NoStats)
+}
+
+/// Optimize `plan` in place at `level`, using `stats` for cardinality
+/// estimates, and report what happened.
+///
+/// The basic peephole rules always run.  Enabled isolation rules join the
+/// fixpoint loop, except *unshare* which runs exactly once afterwards —
+/// unshare and dedup are mutual inverses and must never alternate.  When
+/// dedup is on, the one-pass hash-consing replaces the fixpoint string
+/// CSE (same rewrites, counted in `subplans_deduped`).
+pub fn optimize_with(
+    plan: &mut Plan,
+    level: OptimizerLevel,
+    stats: &dyn StatsSource,
+) -> OptimizeReport {
     let mut report = OptimizeReport {
         operators_before: plan.operator_count(),
         ..Default::default()
@@ -75,17 +253,30 @@ pub fn optimize(plan: &mut Plan) -> OptimizeReport {
         changed |= remove_identity_projections(plan, &mut report);
         changed |= remove_redundant_order_ops(plan, &mut report);
         changed |= fold_constant_attach(plan, &mut report);
-        changed |= common_subexpressions(plan, &mut report);
+        if level.dedup {
+            changed |= dedup::hash_cons(plan, &mut report);
+        } else {
+            changed |= common_subexpressions(plan, &mut report);
+        }
+        if level.pushdown {
+            changed |= pushdown::push_selections(plan, &mut report);
+        }
+        if level.reorder {
+            changed |= reorder::reorder_join_graphs(plan, stats, &mut report);
+        }
         if !changed {
             break;
         }
+    }
+    if level.unshare {
+        dedup::unshare_fusable_chains(plan, &mut report);
     }
     report.operators_after = plan.operator_count();
     report
 }
 
 /// Redirect every reference to `from` so that it points to `to`.
-fn redirect(plan: &mut Plan, from: OpId, to: OpId) {
+pub(crate) fn redirect(plan: &mut Plan, from: OpId, to: OpId) {
     if plan.root() == from {
         plan.set_root(to);
     }

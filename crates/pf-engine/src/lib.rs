@@ -75,7 +75,10 @@ pub use registry::DocRegistry;
 pub use result::{serialize_table, QueryResult, Timings};
 pub use session::Session;
 
-use pf_algebra::{optimize, AlgOp, OptimizeReport, PhysicalPlan, Plan};
+pub use pf_algebra::{OptimizeReport, OptimizerLevel};
+
+use pf_algebra::{optimize_with, CardEstimate, PhysicalPlan, Plan, StatsSource};
+use pf_store::DocStatistics;
 use pf_xquery::{compile, normalize, parse_query, CompileOptions};
 
 /// Engine-level options.
@@ -90,6 +93,14 @@ pub struct EngineOptions {
     pub compile: CompileOptions,
     /// Run the peephole optimizer before execution (on by default).
     pub optimize: bool,
+    /// Which rewrite rules the optimizer runs when it runs at all (see
+    /// [`EngineOptions::optimize`]).  The default resolves via
+    /// [`default_optimizer_level`]: the `PF_OPTIMIZE` environment variable
+    /// if it parses (`basic`, `full`, or a comma-separated rule list such
+    /// as `pushdown,dedup`), otherwise [`OptimizerLevel::FULL`].  Every
+    /// level serializes results byte-identically; levels only change plan
+    /// shape and cost.
+    pub optimizer_level: OptimizerLevel,
     /// Executor worker threads: `1` runs the sequential path, `0` (the
     /// default) resolves via [`default_threads`] — the `PF_THREADS`
     /// environment variable if set, otherwise the machine's available
@@ -131,6 +142,7 @@ impl Default for EngineOptions {
         EngineOptions {
             compile: CompileOptions::default(),
             optimize: true,
+            optimizer_level: default_optimizer_level(),
             threads: 0,
             fusion: default_fusion(),
             morsel_rows: 0,
@@ -145,6 +157,16 @@ impl EngineOptions {
     pub fn builder() -> EngineOptionsBuilder {
         EngineOptionsBuilder::new()
     }
+}
+
+/// The default [`EngineOptions::optimizer_level`]: the `PF_OPTIMIZE`
+/// environment variable if set and parseable (`basic`, `full`, or a
+/// comma-separated rule list), otherwise [`OptimizerLevel::FULL`].
+pub fn default_optimizer_level() -> OptimizerLevel {
+    std::env::var("PF_OPTIMIZE")
+        .ok()
+        .and_then(|spec| OptimizerLevel::parse(&spec))
+        .unwrap_or(OptimizerLevel::FULL)
 }
 
 /// Fluent builder for [`EngineOptions`] — the preferred construction
@@ -197,6 +219,13 @@ impl EngineOptionsBuilder {
     /// Run the peephole optimizer (see [`EngineOptions::optimize`]).
     pub fn optimize(mut self, optimize: bool) -> Self {
         self.options.optimize = optimize;
+        self
+    }
+
+    /// Which rewrite rules the optimizer runs (see
+    /// [`EngineOptions::optimizer_level`]).
+    pub fn optimizer_level(mut self, level: OptimizerLevel) -> Self {
+        self.options.optimizer_level = level;
         self
     }
 
@@ -269,10 +298,14 @@ impl QueryOutcome {
 pub struct Explain {
     /// The plan as produced by the loop-lifting compiler.
     pub unoptimized: Plan,
-    /// The plan after peephole optimization.
+    /// The plan after optimization.
     pub optimized: Plan,
     /// What the optimizer did.
     pub report: OptimizeReport,
+    /// The rule set the optimizer ran with (the engine's configured
+    /// [`EngineOptions::optimizer_level`]; meaningless when
+    /// [`EngineOptions::optimize`] is off and `report` is empty).
+    pub level: OptimizerLevel,
     /// Number of `for … where` clauses compiled into joins.
     pub joins_recognized: usize,
 }
@@ -303,6 +336,9 @@ struct CachedPlan {
     /// the admission-control estimate for the next run (`None` until the
     /// first execution finishes).
     peak_rows: Option<usize>,
+    /// The optimizer report recorded when this plan was compiled, so
+    /// cache hits still surface the rewrite counters in [`Timings`].
+    report: OptimizeReport,
 }
 
 /// The interior-mutable plan cache (map + clock + counters behind one
@@ -326,6 +362,9 @@ struct Planned {
     optimize_time: Duration,
     /// Admission estimate (recorded peak of earlier runs; 0 when unknown).
     estimate_rows: usize,
+    /// What the optimizer did to this plan (compile-time report, also
+    /// served on cache hits).
+    report: OptimizeReport,
     /// Cumulative cache counters as of this query, for [`Timings`].
     cache_hits: usize,
     cache_misses: usize,
@@ -344,8 +383,9 @@ struct Planned {
 /// and since the executor borrows operators from the plan (never clones
 /// them), a cached [`Arc<Plan>`] / [`Arc<PhysicalPlan>`] pair is directly
 /// reusable.  Cache keys are the query text with whitespace runs outside
-/// string literals collapsed, so trivially reformatted queries share one
-/// plan; the cache is capped ([`EngineOptions::plan_cache_capacity`],
+/// string literals collapsed — so trivially reformatted queries share one
+/// plan — prefixed with the engine's optimizer-level tag, so plans
+/// compiled under different rule sets never alias; the cache is capped ([`EngineOptions::plan_cache_capacity`],
 /// default [`DEFAULT_PLAN_CACHE_CAPACITY`]) with least-recently-hit
 /// eviction.  Cache effectiveness is reported per query via
 /// [`Timings::plan_cache_hits`] / [`Timings::plan_cache_misses`].
@@ -367,6 +407,20 @@ pub struct Pathfinder {
     query_tags: AtomicU64,
     /// Stamps each opened [`Session`] with an id.
     session_ids: AtomicU64,
+    /// Per-document [`DocStatistics`], measured lazily on the first query
+    /// that needs a cardinality estimate for the document and invalidated
+    /// on (re)load.  Keyed by document URI.
+    stats_cache: Mutex<HashMap<String, Arc<DocStatistics>>>,
+}
+
+/// The engine's [`StatsSource`]: serves per-document statistics out of
+/// [`Pathfinder::stats_cache`], measuring them on first demand.
+struct EngineStats<'a>(&'a Pathfinder);
+
+impl StatsSource for EngineStats<'_> {
+    fn doc_statistics(&self, uri: &str) -> Option<Arc<DocStatistics>> {
+        self.0.doc_statistics(uri)
+    }
 }
 
 impl Pathfinder {
@@ -435,13 +489,49 @@ impl Pathfinder {
     /// which keep reading their own admission-time snapshots.
     pub fn load_document(&self, name: &str, xml: &str) -> EngineResult<()> {
         self.registry.load_xml(name, xml)?;
+        self.invalidate_statistics(name);
         Ok(())
     }
 
     /// Register an already parsed document under `name`.
     pub fn load_parsed(&self, name: &str, doc: &pf_xml::Document) -> EngineResult<()> {
         self.registry.load_document(name, doc);
+        self.invalidate_statistics(name);
         Ok(())
+    }
+
+    /// Drop the cached [`DocStatistics`] of `name` — a (re)load changes
+    /// the histograms, and the next estimate must re-measure.
+    fn invalidate_statistics(&self, name: &str) {
+        self.stats_cache
+            .lock()
+            .expect("stats cache poisoned")
+            .remove(name);
+    }
+
+    /// The measured [`DocStatistics`] of the document registered under
+    /// `uri` (`None` if no such document), served from the per-engine
+    /// statistics cache and measured on first demand.
+    pub fn doc_statistics(&self, uri: &str) -> Option<Arc<DocStatistics>> {
+        {
+            let cache = self.stats_cache.lock().expect("stats cache poisoned");
+            if let Some(stats) = cache.get(uri) {
+                return Some(Arc::clone(stats));
+            }
+        }
+        // Measure outside the lock: statistics are a full-document scan,
+        // and two sessions racing on the same cold document both measure
+        // identical values (the later insert harmlessly wins).
+        let store = self
+            .registry
+            .id_of(uri)
+            .and_then(|id| self.registry.store(id))?;
+        let stats = Arc::new(DocStatistics::measure(&store));
+        self.stats_cache
+            .lock()
+            .expect("stats cache poisoned")
+            .insert(uri.to_string(), Arc::clone(&stats));
+        Some(stats)
     }
 
     /// Compile a query without executing it.
@@ -452,7 +542,11 @@ impl Pathfinder {
         let unoptimized = compiled.plan.clone();
         let mut optimized = compiled.plan;
         let report = if self.options.optimize {
-            optimize(&mut optimized)
+            optimize_with(
+                &mut optimized,
+                self.options.optimizer_level,
+                &EngineStats(self),
+            )
         } else {
             OptimizeReport::default()
         };
@@ -460,6 +554,7 @@ impl Pathfinder {
             unoptimized,
             optimized,
             report,
+            level: self.options.optimizer_level,
             joins_recognized: compiled.joins_recognized,
         })
     }
@@ -512,6 +607,7 @@ impl Pathfinder {
                 execute: execute_time,
                 plan_cache_hits: planned.cache_hits,
                 plan_cache_misses: planned.cache_misses,
+                optimizer: planned.report,
             },
         )?;
         Ok(QueryOutcome {
@@ -592,28 +688,17 @@ impl Pathfinder {
         }
     }
 
-    /// The admission estimate for a plan that has never executed, seeded
-    /// from the plan's *shape*: the largest leaf cardinality — literal row
-    /// counts and the node counts of the referenced documents (a registry
-    /// snapshot read).  A deliberate *under*-estimate of the true peak
-    /// (joins can multiply rows), but a far better admission ticket than
-    /// the previous flat 0, which let a cold plan over an arbitrarily
-    /// large document bypass the row budget entirely.
+    /// The admission estimate for a plan that has never executed: the
+    /// peak per-operator row estimate of a [`CardEstimate`] pass over the
+    /// *rewritten* plan, fed by the per-document statistics histograms.
+    /// Earlier PRs admitted cold plans at the largest leaf cardinality
+    /// (document node count); the statistics walk sees selections, steps
+    /// and joins, so a `//open_auction/bidder` plan is now charged for
+    /// the bidders it touches, not the whole document.  Still an
+    /// *estimate* — the first measured peak replaces it (see
+    /// [`Pathfinder::record_peak`]).
     fn cold_plan_estimate(&self, plan: &Plan) -> usize {
-        plan.ops()
-            .iter()
-            .map(|op| match op {
-                AlgOp::Lit { rows, .. } => rows.len(),
-                AlgOp::Doc { uri } => self
-                    .registry
-                    .id_of(uri)
-                    .and_then(|id| self.registry.store(id))
-                    .map(|store| store.node_count())
-                    .unwrap_or(0),
-                _ => 0,
-            })
-            .max()
-            .unwrap_or(0)
+        CardEstimate::analyze(plan, &EngineStats(self)).peak_rows(plan)
     }
 
     /// The compiled-and-optimized plan for `query`, with its physical
@@ -623,8 +708,26 @@ impl Pathfinder {
     /// because the stages are skipped entirely.  Distinct queries compile
     /// outside the cache lock, so sessions never serialize on each
     /// other's compile stage.
+    /// The tag the engine's optimizer configuration contributes to plan
+    /// cache keys: the level's stable tag, or `"off"` when the optimizer
+    /// is disabled.  Plans compiled under different rule sets have
+    /// different shapes, so they must never alias in the cache.
+    fn optimizer_tag(&self) -> String {
+        if self.options.optimize {
+            self.options.optimizer_level.tag()
+        } else {
+            "off".into()
+        }
+    }
+
     fn plan_for(&self, query: &str) -> EngineResult<Planned> {
-        let key = normalize_cache_key(query);
+        // NUL never survives `normalize_cache_key` as a tag character, so
+        // the tag/query boundary is unambiguous.
+        let key = format!(
+            "{}\u{0}{}",
+            self.optimizer_tag(),
+            normalize_cache_key(query)
+        );
         {
             let mut cache = self.cache.lock().expect("plan cache poisoned");
             if let Some(cached) = cache.entries.get(&key) {
@@ -637,6 +740,7 @@ impl Pathfinder {
                     Some(peak) => peak,
                     None => self.cold_plan_estimate(&plan),
                 };
+                let report = cached.report;
                 cache.hits += 1;
                 cache.clock += 1;
                 let stamp = cache.clock;
@@ -652,6 +756,7 @@ impl Pathfinder {
                     compile_time: Duration::ZERO,
                     optimize_time: Duration::ZERO,
                     estimate_rows,
+                    report,
                     cache_hits: cache.hits,
                     cache_misses: cache.misses,
                 });
@@ -669,9 +774,11 @@ impl Pathfinder {
 
         let opt_start = Instant::now();
         let mut plan = compiled.plan;
-        if self.options.optimize {
-            optimize(&mut plan);
-        }
+        let report = if self.options.optimize {
+            optimize_with(&mut plan, self.options.optimizer_level, &EngineStats(self))
+        } else {
+            OptimizeReport::default()
+        };
         let physical = Arc::new(PhysicalPlan::compile(&plan, self.options.fusion));
         let optimize_time = opt_start.elapsed();
         let plan = Arc::new(plan);
@@ -689,6 +796,7 @@ impl Pathfinder {
                     physical: Arc::clone(&physical),
                     last_hit: stamp,
                     peak_rows: None,
+                    report,
                 },
             );
             if cache.entries.len() > self.options.plan_cache_capacity {
@@ -712,6 +820,7 @@ impl Pathfinder {
             compile_time,
             optimize_time,
             estimate_rows,
+            report,
             cache_hits: cache.hits,
             cache_misses: cache.misses,
         })
@@ -914,6 +1023,7 @@ mod tests {
             .morsel_rows(128)
             .fusion(false)
             .optimize(false)
+            .optimizer_level(OptimizerLevel::BASIC)
             .plan_cache_capacity(7)
             .memory_budget_rows(9_000)
             .build();
@@ -921,6 +1031,7 @@ mod tests {
         assert_eq!(options.morsel_rows, 128);
         assert!(!options.fusion);
         assert!(!options.optimize);
+        assert_eq!(options.optimizer_level, OptimizerLevel::BASIC);
         assert_eq!(options.plan_cache_capacity, 7);
         assert_eq!(options.memory_budget_rows, 9_000);
         // The struct-literal style (back-compat) still composes with it.
@@ -936,8 +1047,8 @@ mod tests {
     fn admission_estimates_come_from_recorded_peaks() {
         let pf = engine_with("<a><b>1</b><b>2</b><b>3</b></a>");
         let q = "for $b in fn:doc(\"doc.xml\")//b return fn:string($b)";
-        // First run: unknown plan, admitted at the plan-shape estimate
-        // (the document's node count — see `cold_plan_estimate`).
+        // First run: unknown plan, admitted at the statistics-driven
+        // cold-plan estimate (see `cold_plan_estimate`).
         pf.query_with(q, Profile::Stats).unwrap();
         let peak = {
             let cache = pf.cache.lock().unwrap();
@@ -963,13 +1074,24 @@ mod tests {
             pf.registry().store(id).unwrap().node_count()
         };
         assert!(nodes > 0);
-        // Cold miss: the estimate is the document's node count, not 0.
+        // Cold miss: the statistics-driven estimate is positive (the plan
+        // touches real document rows) but no longer the whole document —
+        // the tag histogram knows only the <b> elements flow through.
         let planned = pf.plan_for(q).unwrap();
-        assert_eq!(planned.estimate_rows, nodes);
+        assert!(
+            planned.estimate_rows > 0,
+            "cold plans are not admitted at 0"
+        );
+        assert!(
+            planned.estimate_rows <= nodes,
+            "the estimate ({}) sees the step selectivity, bounded by the \
+             document ({nodes} nodes)",
+            planned.estimate_rows
+        );
         // A cache hit on a plan that still has no recorded peak keeps the
-        // shape estimate.
+        // same estimate.
         let again = pf.plan_for(q).unwrap();
-        assert_eq!(again.estimate_rows, nodes);
+        assert_eq!(again.estimate_rows, planned.estimate_rows);
         // After a run, the recorded (measured) peak takes over.
         pf.session().query(q).unwrap();
         let peak = {
@@ -1071,6 +1193,52 @@ mod tests {
         );
         // Unterminated comments run to the end without panicking.
         assert_eq!(normalize_cache_key("(: open   comment"), "(: open comment");
+    }
+
+    #[test]
+    fn plan_cache_keys_embed_the_optimizer_level() {
+        // Plans compiled under different rule sets have different shapes;
+        // the key prefix keeps them from ever aliasing.  The tag and the
+        // normalized query are separated by NUL, which no tag contains,
+        // so the split is unambiguous for any query text.
+        let q = "1 + 1";
+        let keys_of = |pf: &Pathfinder| -> Vec<String> {
+            run(pf, q);
+            let cache = pf.cache.lock().unwrap();
+            cache.entries.keys().cloned().collect()
+        };
+        // Levels are pinned explicitly so the test is immune to an
+        // ambient PF_OPTIMIZE override.
+        let full = Pathfinder::with_options(
+            EngineOptions::builder()
+                .optimizer_level(OptimizerLevel::FULL)
+                .build(),
+        );
+        let basic = Pathfinder::with_options(
+            EngineOptions::builder()
+                .optimizer_level(OptimizerLevel::BASIC)
+                .build(),
+        );
+        let off = Pathfinder::with_options(EngineOptions::builder().optimize(false).build());
+        let (full_keys, basic_keys, off_keys) = (keys_of(&full), keys_of(&basic), keys_of(&off));
+        assert_eq!(full_keys.len(), 1);
+        assert!(
+            full_keys[0].starts_with(&format!("{}\u{0}", full.optimizer_tag())),
+            "key {:?} must lead with the level tag",
+            full_keys[0]
+        );
+        assert!(basic_keys[0].starts_with("basic\u{0}"));
+        assert!(off_keys[0].starts_with("off\u{0}"));
+        // All three engines cached the same normalized query under
+        // different keys.
+        let tails: Vec<&str> = [&full_keys[0], &basic_keys[0], &off_keys[0]]
+            .iter()
+            .map(|k| k.split_once('\u{0}').unwrap().1)
+            .collect();
+        assert!(tails.iter().all(|t| *t == normalize_cache_key(q)));
+        let mut uniq: Vec<&String> = vec![&full_keys[0], &basic_keys[0], &off_keys[0]];
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3, "levels must never alias in the cache");
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::fmt;
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
+use pf_algebra::OptimizeReport;
 use pf_relational::{Column, Table, Value};
 use pf_store::DocStore;
 
@@ -43,6 +44,11 @@ pub struct Timings {
     pub plan_cache_hits: usize,
     /// Cumulative plan-cache misses of the engine, as of this query.
     pub plan_cache_misses: usize,
+    /// What the optimizer did to this query's plan (per-rule rewrite
+    /// counters).  On a plan-cache hit this is the report recorded when
+    /// the plan was first compiled — the rewrites still describe the plan
+    /// that ran.
+    pub optimizer: OptimizeReport,
 }
 
 impl Timings {

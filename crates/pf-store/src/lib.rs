@@ -40,5 +40,5 @@ pub use dict::Dictionary;
 pub use staircase::{
     descendant_prune, descendant_scan, staircase_join, staircase_join_counted, StaircaseStats,
 };
-pub use stats::StorageStats;
+pub use stats::{DocStatistics, StorageStats};
 pub use store::{DocStore, NodeKindCode, PreRank};

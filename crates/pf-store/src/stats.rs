@@ -6,7 +6,10 @@
 //! sharing of property values.  [`StorageStats`] computes the equivalent
 //! break-down for an in-memory [`DocStore`].
 
-use crate::store::DocStore;
+use std::collections::HashMap;
+
+use crate::axis::NodeTest;
+use crate::store::{DocStore, NodeKindCode};
 
 /// Byte-level breakdown of one encoded document.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +76,99 @@ impl StorageStats {
     }
 }
 
+/// Cardinality statistics of one encoded document, the per-document input
+/// of the optimizer's cost model (`pf-algebra`'s `CardEstimate`).
+///
+/// Where [`StorageStats`] accounts *bytes* (the Section 3.1 experiment),
+/// this accounts *rows*: how many nodes a staircase step over this
+/// document can produce, broken down by node kind, tag and attribute
+/// name.  One O(nodes + attributes) scan per document; engines cache the
+/// result per registered document.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DocStatistics {
+    /// Total node count (the `pre|size|level` table height).
+    pub nodes: usize,
+    /// Element nodes.
+    pub elements: usize,
+    /// Text nodes.
+    pub texts: usize,
+    /// Comment nodes.
+    pub comments: usize,
+    /// Processing-instruction nodes.
+    pub pis: usize,
+    /// Attribute table height.
+    pub attributes: usize,
+    /// Element count per tag name.
+    tag_elements: HashMap<String, usize>,
+    /// Attribute count per attribute name.
+    attr_names: HashMap<String, usize>,
+}
+
+impl DocStatistics {
+    /// Measure `store` in one scan of the node and attribute tables.
+    pub fn measure(store: &DocStore) -> Self {
+        let mut stats = DocStatistics {
+            nodes: store.node_count(),
+            ..DocStatistics::default()
+        };
+        for pre in 0..store.node_count() as u32 {
+            match store.kind_of(pre) {
+                NodeKindCode::Element => {
+                    stats.elements += 1;
+                    let tag = store.tag_of(pre);
+                    match stats.tag_elements.get_mut(tag) {
+                        Some(count) => *count += 1,
+                        None => {
+                            stats.tag_elements.insert(tag.to_string(), 1);
+                        }
+                    }
+                }
+                NodeKindCode::Text => stats.texts += 1,
+                NodeKindCode::Comment => stats.comments += 1,
+                NodeKindCode::Pi => stats.pis += 1,
+                NodeKindCode::Document => {}
+            }
+        }
+        stats.attributes = store.attribute_count();
+        for idx in 0..store.attribute_count() {
+            let name = store.attr_name_of(idx);
+            match stats.attr_names.get_mut(name) {
+                Some(count) => *count += 1,
+                None => {
+                    stats.attr_names.insert(name.to_string(), 1);
+                }
+            }
+        }
+        stats
+    }
+
+    /// Elements carrying `tag` (0 if the tag never occurs).
+    pub fn elements_tagged(&self, tag: &str) -> usize {
+        self.tag_elements.get(tag).copied().unwrap_or(0)
+    }
+
+    /// Attributes named `name` (0 if the name never occurs).
+    pub fn attributes_named(&self, name: &str) -> usize {
+        self.attr_names.get(name).copied().unwrap_or(0)
+    }
+
+    /// How many nodes (or attribute-table entries, for the attribute
+    /// tests) of this document satisfy `test` — the selectivity numerator
+    /// of an axis step.
+    pub fn matching(&self, test: &NodeTest) -> usize {
+        match test {
+            NodeTest::AnyNode => self.nodes,
+            NodeTest::AnyElement => self.elements,
+            NodeTest::Element(tag) => self.elements_tagged(tag),
+            NodeTest::Text => self.texts,
+            NodeTest::Comment => self.comments,
+            NodeTest::Pi => self.pis,
+            NodeTest::AnyAttribute => self.attributes,
+            NodeTest::Attribute(name) => self.attributes_named(name),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +204,26 @@ mod tests {
         let doc = pf_xml::parse("<a/>").unwrap();
         let store = DocStore::from_document("t", &doc);
         assert_eq!(StorageStats::measure(&store).overhead_percent(), None);
+    }
+
+    #[test]
+    fn doc_statistics_count_kinds_tags_and_attributes() {
+        let xml = "<a x=\"1\" y=\"2\"><b>hi</b><b y=\"3\">ho</b><c/><!--note--></a>";
+        let store = DocStore::from_xml("t", xml).unwrap();
+        let stats = DocStatistics::measure(&store);
+        assert_eq!(stats.nodes, store.node_count());
+        assert_eq!(stats.elements, 4); // a, b, b, c
+        assert_eq!(stats.texts, 2);
+        assert_eq!(stats.comments, 1);
+        assert_eq!(stats.attributes, 3);
+        assert_eq!(stats.elements_tagged("b"), 2);
+        assert_eq!(stats.elements_tagged("missing"), 0);
+        assert_eq!(stats.attributes_named("y"), 2);
+        assert_eq!(stats.matching(&NodeTest::AnyElement), 4);
+        assert_eq!(stats.matching(&NodeTest::Element("c".into())), 1);
+        assert_eq!(stats.matching(&NodeTest::Text), 2);
+        assert_eq!(stats.matching(&NodeTest::AnyNode), stats.nodes);
+        assert_eq!(stats.matching(&NodeTest::Attribute("x".into())), 1);
+        assert_eq!(stats.matching(&NodeTest::AnyAttribute), 3);
     }
 }

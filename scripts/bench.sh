@@ -22,10 +22,15 @@
 #                    of Q8-Q12 at 1/2/4/8 threads, plus the typed-vs-
 #                    generic kernel comparison; see PF_JOIN_THREADS and
 #                    PF_JOIN_RUNS)
+#   BENCH_pr8.json — optimizer profile (basic vs full optimizer levels:
+#                    rule counters — predicates pushed, subplans
+#                    deduped, join clusters reordered, chains unshared —
+#                    plus wall time and tables-elided share; see
+#                    PF_OPTIMIZE_RUNS)
 #
 #   ./scripts/bench.sh                       # scale 0.05, default outputs
 #   ./scripts/bench.sh 0.2                   # custom scale factor
-#   ./scripts/bench.sh 0.2 mem.json scal.json fus.json morsel.json qps.json join.json
+#   ./scripts/bench.sh 0.2 mem.json scal.json fus.json morsel.json qps.json join.json opt.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -37,6 +42,7 @@ fusion_out="${4:-BENCH_pr4.json}"
 morsel_out="${5:-BENCH_pr5.json}"
 qps_out="${6:-BENCH_pr6.json}"
 join_out="${7:-BENCH_pr7.json}"
+opt_out="${8:-BENCH_pr8.json}"
 
 cargo run --release -p pf-bench --bin mem_profile -- "$scale" "$mem_out"
 cargo run --release -p pf-bench --bin thread_scaling -- "$scale" "$scaling_out"
@@ -45,3 +51,6 @@ cargo run --release -p pf-bench --bin fusion_profile -- "$scale" "$fusion_out" 1
 cargo run --release -p pf-bench --bin morsel_profile -- "$scale" "$morsel_out"
 cargo run --release -p pf-bench --bin qps_bench -- "$scale" "$qps_out"
 cargo run --release -p pf-bench --bin join_profile -- "$scale" "$join_out"
+# Threads pinned to 1 so level-vs-level wall times compare plans, not
+# schedules (the bin asserts basic/full byte-agreement on every run).
+cargo run --release -p pf-bench --bin optimize_profile -- "$scale" "$opt_out" 1

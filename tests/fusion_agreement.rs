@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use pathfinder::engine::{
-    EngineOptions, EngineResult, ExecStats, Pathfinder, Profile, QueryResult,
+    EngineOptions, EngineResult, ExecStats, OptimizerLevel, Pathfinder, Profile, QueryResult,
 };
 use pathfinder::xmark::{generate, queries, GeneratorConfig};
 
@@ -150,4 +150,79 @@ fn fused_stats_totals_are_schedule_independent() {
             q.id
         );
     }
+}
+
+#[test]
+fn full_optimizer_never_decreases_the_fused_share_on_fusable_queries() {
+    // The full level's *unshare* pass exists for exactly this: cloning
+    // cheap shared operators so fusion sees single-consumer chains.  On
+    // every query where the basic level fuses at all, the full level's
+    // tables-elided share (elided / operators evaluated) must be at least
+    // as high — and the results must stay byte-identical.
+    let xml = generate(&GeneratorConfig {
+        scale: 0.004,
+        seed: 20050831,
+    });
+    let doc = Arc::new(pathfinder::xml::parse(&xml).expect("generated XML is well-formed"));
+    let mk = |level: OptimizerLevel| {
+        let pf = Pathfinder::with_options(
+            EngineOptions::builder()
+                .optimizer_level(level)
+                .fusion(true)
+                .threads(1)
+                .build(),
+        );
+        pf.load_parsed("auction.xml", &doc).unwrap();
+        pf
+    };
+    let basic = mk(OptimizerLevel::BASIC);
+    let full = mk(OptimizerLevel::FULL);
+    let mut fusable = 0usize;
+    for q in queries() {
+        let out_basic = basic
+            .query_with(q.text, Profile::Stats)
+            .unwrap_or_else(|e| panic!("Q{} basic failed: {e}", q.id));
+        let out_full = full
+            .query_with(q.text, Profile::Stats)
+            .unwrap_or_else(|e| panic!("Q{} full failed: {e}", q.id));
+        assert_eq!(
+            out_basic.result.to_xml(),
+            out_full.result.to_xml(),
+            "Q{}: levels disagree under fusion",
+            q.id
+        );
+        let (s_basic, s_full) = (
+            out_basic.stats.expect("Profile::Stats returns stats"),
+            out_full.stats.expect("Profile::Stats returns stats"),
+        );
+        if s_basic.tables_elided == 0 {
+            continue;
+        }
+        // The share invariant is about *unshare*: cloning shared cheap
+        // chains can only create fusion opportunities.  Once the
+        // reorderer restructures a join cluster the physical plan is a
+        // different shape and its fused share is incomparable, so only
+        // byte-agreement is asserted on reordered queries.
+        if out_full.timings().optimizer.joins_reordered > 0 {
+            continue;
+        }
+        fusable += 1;
+        let share = |s: &ExecStats| s.tables_elided as f64 / s.operators_evaluated.max(1) as f64;
+        assert!(
+            share(&s_full) >= share(&s_basic) - 1e-9,
+            "Q{}: fused share decreased under the full level \
+             ({:.3} = {}/{} basic vs {:.3} = {}/{} full)",
+            q.id,
+            share(&s_basic),
+            s_basic.tables_elided,
+            s_basic.operators_evaluated,
+            share(&s_full),
+            s_full.tables_elided,
+            s_full.operators_evaluated,
+        );
+    }
+    assert!(
+        fusable >= 5,
+        "expected at least 5 fusable XMark queries, saw {fusable}"
+    );
 }

@@ -8,11 +8,25 @@
 //! every XMark query.  Both plans run against one shared document registry,
 //! so the comparison exercises exactly the executor path (including
 //! last-use eviction on the much larger unoptimized DAGs).
+//!
+//! The join-graph-isolation half of the suite pins the `full` optimizer
+//! level: every XMark query must serialize **byte-identically** under
+//! `basic` and `full` across the threads × fusion matrix (plus morsel
+//! sizes on the join-heavy queries), and each isolation rule — pushdown,
+//! dedup/unshare, reorder — carries its own property test over randomized
+//! literal-table plans.
 
 use std::sync::Arc;
 
-use pathfinder::algebra::optimize;
-use pathfinder::engine::{DocRegistry, Executor, QueryResult, Timings};
+use proptest::prelude::*;
+
+use pathfinder::algebra::{
+    optimize, optimize_with, AlgOp, NoStats, OpId, OptimizerLevel, Plan, PlanBuilder,
+};
+use pathfinder::engine::{
+    DocRegistry, EngineOptions, Executor, Pathfinder, Profile, QueryResult, Timings,
+};
+use pathfinder::relational::Value;
 use pathfinder::xmark::{generate, queries, GeneratorConfig};
 use pathfinder::xquery::{compile, normalize, parse_query, CompileOptions};
 
@@ -96,4 +110,328 @@ fn eviction_does_not_change_results_on_shared_dags() {
     let a = QueryResult::from_table(Arc::new(table), &registry, Timings::default()).unwrap();
     let b = QueryResult::from_table(Arc::new(again), &registry, Timings::default()).unwrap();
     assert_eq!(a.to_xml(), b.to_xml());
+}
+
+/// One engine per (level, threads, fusion) cell, all sharing the parsed
+/// document.
+fn level_engines(xml: &str) -> Vec<((OptimizerLevel, usize, bool), Pathfinder)> {
+    let doc = Arc::new(pathfinder::xml::parse(xml).expect("generated XML is well-formed"));
+    let mut engines = Vec::new();
+    for level in [OptimizerLevel::BASIC, OptimizerLevel::FULL] {
+        for threads in [1usize, 4] {
+            for fusion in [false, true] {
+                let pf = Pathfinder::with_options(
+                    EngineOptions::builder()
+                        .optimizer_level(level)
+                        .threads(threads)
+                        .fusion(fusion)
+                        .build(),
+                );
+                pf.load_parsed("auction.xml", &doc).unwrap();
+                engines.push(((level, threads, fusion), pf));
+            }
+        }
+    }
+    engines
+}
+
+#[test]
+fn full_and_basic_levels_agree_on_all_xmark_queries() {
+    let xml = generate(&GeneratorConfig {
+        scale: 0.004,
+        seed: 20050831,
+    });
+    let engines = level_engines(&xml);
+    let mut pushed = 0usize;
+    let mut deduped = 0usize;
+    let mut unshared = 0usize;
+    for q in queries() {
+        let mut reference: Option<String> = None;
+        for ((level, threads, fusion), pf) in &engines {
+            let outcome = pf.query_with(q.text, Profile::None).unwrap_or_else(|e| {
+                panic!(
+                    "Q{} failed at level = {level}, threads = {threads}, fusion = {fusion}: {e}",
+                    q.id
+                )
+            });
+            let xml_out = outcome.to_xml();
+            match &reference {
+                None => reference = Some(xml_out),
+                Some(expected) => assert_eq!(
+                    *expected, xml_out,
+                    "Q{}: serialization diverges at level = {level}, threads = {threads}, \
+                     fusion = {fusion}",
+                    q.id
+                ),
+            }
+            let report = outcome.timings().optimizer;
+            if *level == OptimizerLevel::FULL {
+                pushed += report.predicates_pushed;
+                deduped += report.subplans_deduped;
+                unshared += report.chains_unshared;
+            } else {
+                assert_eq!(
+                    report.predicates_pushed, 0,
+                    "Q{}: basic level pushed σ",
+                    q.id
+                );
+                assert_eq!(
+                    report.joins_reordered, 0,
+                    "Q{}: basic level reordered",
+                    q.id
+                );
+            }
+        }
+    }
+    // The full level must actually do something across the XMark set —
+    // otherwise this suite pins nothing beyond the basic one.
+    assert!(pushed > 0, "no predicate was ever pushed across XMark");
+    assert!(
+        deduped > 0,
+        "hash-consing never merged a subplan across XMark"
+    );
+    assert!(unshared > 0, "unsharing never cloned a chain across XMark");
+}
+
+#[test]
+fn full_level_agrees_across_morsel_sizes_on_join_heavy_queries() {
+    let xml = generate(&GeneratorConfig {
+        scale: 0.004,
+        seed: 20050831,
+    });
+    let doc = Arc::new(pathfinder::xml::parse(&xml).expect("generated XML is well-formed"));
+    // The value-join and aggregation queries: the ones whose plans the
+    // reorder/pushdown rules actually touch.
+    for id in [8u8, 9, 10, 11, 12] {
+        let q = pathfinder::xmark::query(id).unwrap();
+        let mut reference: Option<String> = None;
+        for morsel_rows in [2usize, 0, usize::MAX] {
+            for level in [OptimizerLevel::BASIC, OptimizerLevel::FULL] {
+                let pf = Pathfinder::with_options(
+                    EngineOptions::builder()
+                        .optimizer_level(level)
+                        .threads(4)
+                        .morsel_rows(morsel_rows)
+                        .build(),
+                );
+                pf.load_parsed("auction.xml", &doc).unwrap();
+                let out = pf
+                    .query_with(q.text, Profile::None)
+                    .unwrap_or_else(|e| {
+                        panic!("Q{id} failed at level = {level}, morsel = {morsel_rows}: {e}")
+                    })
+                    .to_xml();
+                match &reference {
+                    None => reference = Some(out),
+                    Some(expected) => assert_eq!(
+                        *expected, out,
+                        "Q{id}: diverges at level = {level}, morsel = {morsel_rows}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-rule property tests: each isolation rule, applied alone, preserves
+// the executed result of randomized literal-table plans.
+// ---------------------------------------------------------------------------
+
+/// Execute `plan` against an empty registry and render every row (these
+/// plans are literal-only).
+fn run_rows(plan: &Plan) -> Vec<String> {
+    let registry = DocRegistry::new();
+    let table = Executor::new(&registry)
+        .run(plan)
+        .expect("literal plan executes");
+    (0..table.row_count())
+        .map(|r| format!("{:?}", table.row(r)))
+        .collect()
+}
+
+fn nat_rows(cols: usize, values: &[Vec<u64>]) -> Vec<Vec<Value>> {
+    values
+        .iter()
+        .map(|row| (0..cols).map(|c| Value::Nat(row[c])).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// σ-pushdown (through π, below ⋈, folding over literals) preserves
+    /// rows *and row order* exactly: every pushdown rewrite is
+    /// order-preserving.
+    #[test]
+    fn pushdown_preserves_rows_and_order(
+        left in proptest::collection::vec((0u64..5, 0u64..40), 1..12),
+        right in proptest::collection::vec((0u64..5, 0u64..6), 1..12),
+        pick in 0u64..6,
+    ) {
+        let mut b = PlanBuilder::new();
+        let lrows: Vec<Vec<u64>> = left
+            .iter()
+            .enumerate()
+            .map(|(i, (a, p))| vec![i as u64 + 1, *p, *a])
+            .collect();
+        let l = b.add(AlgOp::Lit {
+            columns: vec!["iter".into(), "pos".into(), "a".into()],
+            rows: nat_rows(3, &lrows),
+        });
+        let rrows: Vec<Vec<u64>> = right.iter().map(|(k, v)| vec![*k, *v]).collect();
+        let r = b.add(AlgOp::Lit {
+            columns: vec!["k".into(), "v".into()],
+            rows: nat_rows(2, &rrows),
+        });
+        let j = b.add(AlgOp::EquiJoin {
+            left: l,
+            right: r,
+            left_col: "a".into(),
+            right_col: "k".into(),
+        });
+        let p = b.add(AlgOp::Project {
+            input: j,
+            columns: vec![
+                ("iter".into(), "iter".into()),
+                ("pos".into(), "pos".into()),
+                ("v".into(), "val".into()),
+            ],
+        });
+        let s = b.add(AlgOp::SelectEq {
+            input: p,
+            column: "val".into(),
+            value: Value::Nat(pick),
+        });
+        let plan = b.finish(s);
+
+        let raw = run_rows(&plan);
+        let mut optimized = plan.clone();
+        let report = optimize_with(
+            &mut optimized,
+            OptimizerLevel { pushdown: true, ..OptimizerLevel::BASIC },
+            &NoStats,
+        );
+        prop_assert!(
+            report.predicates_pushed + report.constants_folded > 0,
+            "the σ-over-π-over-⋈ shape must trigger the rule"
+        );
+        prop_assert_eq!(run_rows(&optimized), raw);
+    }
+
+    /// Hash-consed dedup (and the post-fixpoint unshare) preserve rows and
+    /// row order on plans with duplicated subtrees.
+    #[test]
+    fn dedup_and_unshare_preserve_rows_and_order(
+        rows in proptest::collection::vec((0u64..4, 0u64..4), 1..10),
+        sel in 0u64..4,
+    ) {
+        let build_branch = |b: &mut PlanBuilder, rows: &[(u64, u64)], sel: u64| -> OpId {
+            let lit_rows: Vec<Vec<u64>> = rows.iter().map(|(a, v)| vec![*a, *v]).collect();
+            let l = b.add(AlgOp::Lit {
+                columns: vec!["a".into(), "v".into()],
+                rows: nat_rows(2, &lit_rows),
+            });
+            let p = b.add(AlgOp::Project {
+                input: l,
+                columns: vec![("a".into(), "a".into()), ("v".into(), "w".into())],
+            });
+            b.add(AlgOp::SelectEq {
+                input: p,
+                column: "w".into(),
+                value: Value::Nat(sel),
+            })
+        };
+        let mut b = PlanBuilder::new();
+        let s1 = build_branch(&mut b, &rows, sel);
+        let s2 = build_branch(&mut b, &rows, sel);
+        let u = b.add(AlgOp::Union { left: s1, right: s2 });
+        let plan = b.finish(u);
+
+        let raw = run_rows(&plan);
+        for level in [
+            OptimizerLevel { dedup: true, ..OptimizerLevel::BASIC },
+            OptimizerLevel { dedup: true, unshare: true, ..OptimizerLevel::BASIC },
+        ] {
+            let mut optimized = plan.clone();
+            let report = optimize_with(&mut optimized, level, &NoStats);
+            prop_assert!(
+                report.subplans_deduped > 0,
+                "identical branches must hash-cons"
+            );
+            prop_assert_eq!(run_rows(&optimized), raw.clone());
+        }
+    }
+
+    /// Statistics-driven join reordering preserves the row *multiset* of
+    /// order-free join clusters (the rewrite only fires where row order is
+    /// provably insignificant, so order itself is not pinned here).
+    #[test]
+    fn reorder_preserves_row_multisets(
+        a_vals in proptest::collection::vec(0u64..8, 1..12),
+        b_vals in proptest::collection::vec(0u64..8, 1..10),
+        c_vals in proptest::collection::vec(0u64..30, 1..8),
+    ) {
+        let mut b = PlanBuilder::new();
+        // A: arbitrary join values under a distinct key (posk).
+        let arows: Vec<Vec<u64>> = a_vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| vec![i as u64, *v])
+            .collect();
+        let a = b.add(AlgOp::Lit {
+            columns: vec!["posk".into(), "j1".into()],
+            rows: nat_rows(2, &arows),
+        });
+        // B and C: keyed on their join columns (0..n distinct), so the
+        // joins preserve A's key and the root region stays order-free.
+        let brows: Vec<Vec<u64>> = b_vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| vec![i as u64, *v])
+            .collect();
+        let bb = b.add(AlgOp::Lit {
+            columns: vec!["j1b".into(), "j2".into()],
+            rows: nat_rows(2, &brows),
+        });
+        let crows: Vec<Vec<u64>> = c_vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| vec![i as u64, *v])
+            .collect();
+        let c = b.add(AlgOp::Lit {
+            columns: vec!["j2c".into(), "val".into()],
+            rows: nat_rows(2, &crows),
+        });
+        let j1 = b.add(AlgOp::EquiJoin {
+            left: a,
+            right: bb,
+            left_col: "j1".into(),
+            right_col: "j1b".into(),
+        });
+        let j2 = b.add(AlgOp::EquiJoin {
+            left: j1,
+            right: c,
+            left_col: "j2".into(),
+            right_col: "j2c".into(),
+        });
+        let p = b.add(AlgOp::Project {
+            input: j2,
+            columns: vec![("posk".into(), "pos".into()), ("val".into(), "item".into())],
+        });
+        let plan = b.finish(p);
+
+        let mut raw = run_rows(&plan);
+        let mut optimized = plan.clone();
+        optimize_with(
+            &mut optimized,
+            OptimizerLevel { reorder: true, ..OptimizerLevel::BASIC },
+            &NoStats,
+        );
+        let mut opt = run_rows(&optimized);
+        prop_assert_eq!(raw.len(), opt.len());
+        raw.sort_unstable();
+        opt.sort_unstable();
+        prop_assert_eq!(raw, opt);
+    }
 }
