@@ -6,7 +6,7 @@
 //! by [`crate::plan::OpId`], so plans are DAGs and common
 //! subexpressions can be shared.
 
-use pf_relational::ops::{AggFunc, BinaryOp, UnaryOp};
+use pf_relational::ops::{AggFunc, BinaryOp, IndexMode, IndexProbe, IndexTarget, UnaryOp};
 use pf_relational::Value;
 use pf_store::{Axis, NodeTest};
 
@@ -199,6 +199,22 @@ pub enum AlgOp {
         /// The node test.
         test: NodeTest,
     },
+    /// Index-accelerated candidate filter over an axis-step output
+    /// (introduced by the `indexscan` optimizer rule, never by the
+    /// compiler).  Keeps only rows whose `item` can possibly satisfy
+    /// `probe` according to the sidecar indexes of the document `uri`;
+    /// the untouched residual predicate above keeps answers exact.
+    IndexScan {
+        /// The step (or doc-order over a step) being filtered.
+        input: OpId,
+        /// URI of the document whose indexes answer the probe.
+        uri: String,
+        /// The recognized predicate pattern.
+        probe: IndexProbe,
+        /// How the residual consumes the rows (row filter vs per-`iter`
+        /// EBV — the latter may only drop singleton groups).
+        mode: IndexMode,
+    },
     /// `fs:distinct-doc-order`: per `iter`, sort items into document order
     /// and remove duplicates.  Steps already produce this shape, which is
     /// why the optimizer can remove most of these operators.
@@ -278,6 +294,7 @@ impl AlgOp {
             | AlgOp::Attach { input, .. }
             | AlgOp::Aggregate { input, .. }
             | AlgOp::Step { input, .. }
+            | AlgOp::IndexScan { input, .. }
             | AlgOp::DocOrder { input }
             | AlgOp::FnData { input }
             | AlgOp::FnRoot { input }
@@ -320,6 +337,7 @@ impl AlgOp {
             | AlgOp::Attach { input, .. }
             | AlgOp::Aggregate { input, .. }
             | AlgOp::Step { input, .. }
+            | AlgOp::IndexScan { input, .. }
             | AlgOp::DocOrder { input }
             | AlgOp::FnData { input }
             | AlgOp::FnRoot { input }
@@ -429,6 +447,28 @@ impl AlgOp {
                 ..
             } => format!("agg[{target}:={}({value})]", func.name()),
             AlgOp::Step { axis, test, .. } => format!("⇝[{}::{test:?}]", axis.name()),
+            AlgOp::IndexScan { probe, mode, .. } => {
+                let tag = match mode {
+                    IndexMode::Exact => "σ",
+                    IndexMode::Ebv => "ebv",
+                };
+                match probe {
+                    IndexProbe::TextContains { needle } => format!("idx[text∋\"{needle}\"]/{tag}"),
+                    IndexProbe::ValueCmp {
+                        target,
+                        op,
+                        value,
+                        to_number,
+                    } => {
+                        let name = match target {
+                            IndexTarget::ElementTag(t) => t.clone(),
+                            IndexTarget::AttributeName(n) => format!("@{n}"),
+                        };
+                        let cast = if *to_number { "number " } else { "" };
+                        format!("idx[{cast}{name} {} {value}]/{tag}", op.name())
+                    }
+                }
+            }
             AlgOp::DocOrder { .. } => "ddo".to_string(),
             AlgOp::FnData { .. } => "data".to_string(),
             AlgOp::FnRoot { .. } => "root".to_string(),

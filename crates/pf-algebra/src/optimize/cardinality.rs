@@ -125,6 +125,9 @@ fn estimate_op(
             (est.max(0.0), uri)
         }
         AlgOp::Select { input, .. } => (rows[*input] * 0.5, doc[*input].clone()),
+        // Index probes are selective by construction (the rule only fires
+        // on literal lookups).
+        AlgOp::IndexScan { input, .. } => (rows[*input] * 0.1, doc[*input].clone()),
         AlgOp::SelectEq { input, .. } => (rows[*input] * 0.1, doc[*input].clone()),
         AlgOp::Distinct { input } => (rows[*input] * 0.8, doc[*input].clone()),
         AlgOp::Union { left, right } => (rows[*left] + rows[*right], merge_doc(doc, *left, *right)),

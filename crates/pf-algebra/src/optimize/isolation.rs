@@ -223,7 +223,9 @@ fn infer_provenance(
                 exact(&mut sup, &mut eq, &mut excl, *input, &c, &c);
             }
         }
-        AlgOp::Select { input, .. } | AlgOp::SelectEq { input, .. } => {
+        AlgOp::Select { input, .. }
+        | AlgOp::SelectEq { input, .. }
+        | AlgOp::IndexScan { input, .. } => {
             for c in cols(*input) {
                 subset(&mut sup, &mut excl, *input, &c, &c);
             }
@@ -390,6 +392,7 @@ fn infer_keys(
         // Row subsets keep distinctness.
         AlgOp::Select { input, .. }
         | AlgOp::SelectEq { input, .. }
+        | AlgOp::IndexScan { input, .. }
         | AlgOp::Difference { left: input, .. } => iso.keys[*input].clone(),
         // Row-preserving operators keep existing keys (they only add or
         // reorder columns / rows).
@@ -565,7 +568,10 @@ fn infer_constants(plan: &Plan, id: OpId, iso: &Isolation) -> BTreeMap<String, O
             c.insert(column.clone(), Some(value.clone()));
             c
         }
-        AlgOp::Sort { input, .. } | AlgOp::Distinct { input } => iso.constants[*input].clone(),
+        // Row subsets / reorders keep every constant column constant.
+        AlgOp::Sort { input, .. } | AlgOp::Distinct { input } | AlgOp::IndexScan { input, .. } => {
+            iso.constants[*input].clone()
+        }
         AlgOp::Attach {
             input,
             target,

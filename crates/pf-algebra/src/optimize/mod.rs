@@ -61,6 +61,7 @@ use std::collections::HashMap;
 
 pub mod cardinality;
 pub mod dedup;
+pub mod indexscan;
 pub mod isolation;
 pub mod pushdown;
 pub mod reorder;
@@ -93,6 +94,11 @@ pub struct OptimizerLevel {
     /// Clone cheap shared operators after the fixpoint so pipeline fusion
     /// sees single-consumer chains.
     pub unshare: bool,
+    /// Rewrite recognized content predicates over axis steps into
+    /// [`AlgOp::IndexScan`] candidate filters backed by the sidecar
+    /// document indexes (the residual predicate stays in place, so
+    /// answers are exact).
+    pub indexscan: bool,
 }
 
 impl OptimizerLevel {
@@ -102,6 +108,7 @@ impl OptimizerLevel {
         reorder: false,
         dedup: false,
         unshare: false,
+        indexscan: false,
     };
 
     /// Every rule on (the engine default).
@@ -110,6 +117,7 @@ impl OptimizerLevel {
         reorder: true,
         dedup: true,
         unshare: true,
+        indexscan: true,
     };
 
     /// `true` if no isolation rule is enabled.
@@ -119,7 +127,8 @@ impl OptimizerLevel {
 
     /// Parse the `PF_OPTIMIZE` syntax: `basic`, `full` (or an empty
     /// string), or a comma-separated subset of
-    /// `pushdown`/`reorder`/`dedup`/`unshare`.  `None` for anything else.
+    /// `pushdown`/`reorder`/`dedup`/`unshare`/`indexscan`.  `None` for
+    /// anything else.
     pub fn parse(spec: &str) -> Option<OptimizerLevel> {
         let spec = spec.trim();
         match spec.to_ascii_lowercase().as_str() {
@@ -134,6 +143,7 @@ impl OptimizerLevel {
                 "reorder" => level.reorder = true,
                 "dedup" => level.dedup = true,
                 "unshare" => level.unshare = true,
+                "indexscan" => level.indexscan = true,
                 _ => return None,
             }
         }
@@ -162,6 +172,9 @@ impl OptimizerLevel {
         }
         if self.unshare {
             rules.push("unshare");
+        }
+        if self.indexscan {
+            rules.push("indexscan");
         }
         rules.join(",")
     }
@@ -210,6 +223,9 @@ pub struct OptimizeReport {
     /// Number of cheap shared operators cloned after the fixpoint so
     /// pipeline fusion sees single-consumer chains (`full` level only).
     pub chains_unshared: usize,
+    /// Number of `IndexScan` candidate filters spliced above axis steps
+    /// (`full` level only).
+    pub index_scans_introduced: usize,
 }
 
 impl OptimizeReport {
@@ -263,6 +279,9 @@ pub fn optimize_with(
         }
         if level.reorder {
             changed |= reorder::reorder_join_graphs(plan, stats, &mut report);
+        }
+        if level.indexscan {
+            changed |= indexscan::introduce_index_scans(plan, &mut report);
         }
         if !changed {
             break;

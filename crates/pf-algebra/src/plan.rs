@@ -234,6 +234,7 @@ impl Plan {
                 AlgOp::Attach { .. } => "attach",
                 AlgOp::Aggregate { .. } => "aggregate",
                 AlgOp::Step { .. } => "step",
+                AlgOp::IndexScan { .. } => "index-scan",
                 AlgOp::DocOrder { .. } => "ddo",
                 AlgOp::FnData { .. } => "data",
                 AlgOp::FnRoot { .. } => "root",

@@ -66,7 +66,9 @@ fn infer_one(plan: &Plan, id: OpId, props: &HashMap<OpId, Properties>) -> Proper
                 doc_ordered: false,
             }
         }
-        AlgOp::Select { input, .. } | AlgOp::SelectEq { input, .. } => {
+        AlgOp::Select { input, .. }
+        | AlgOp::SelectEq { input, .. }
+        | AlgOp::IndexScan { input, .. } => {
             let child = get(props, *input);
             Properties {
                 columns: child.columns.clone(),

@@ -62,7 +62,7 @@
 //! no longer rescans the live slots after every operator.  Operators are
 //! borrowed from the plan, never cloned.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -138,6 +138,15 @@ pub struct ExecStats {
     pub join_probe_rows: usize,
     /// Rows consumed by grouped aggregation kernels.
     pub agg_input_rows: usize,
+    /// Sidecar index probes evaluated (one per `IndexScan` operator that
+    /// found its index; pass-through scans do not count).
+    pub index_lookups: usize,
+    /// Candidate entries the probes returned — postings for text probes,
+    /// matching pre ranks for value probes.  Data-determined.
+    pub index_candidate_rows: usize,
+    /// Rows the index scans passed on to their residual predicates (the
+    /// scan output; the untouched σ above re-verifies them exactly).
+    pub index_residual_rows: usize,
 }
 
 /// The thread count the executor uses when none is requested explicitly:
@@ -193,6 +202,27 @@ fn kernels_flag(value: Option<&str>) -> bool {
         Some(v) => !matches!(
             v.trim().to_ascii_lowercase().as_str(),
             "generic" | "value" | "0" | "off"
+        ),
+        None => true,
+    }
+}
+
+/// The index-scan default when none is requested explicitly: `PF_INDEXES`
+/// set to `0`, `false`, `off` or `no` disables the optimizer's
+/// index-accelerated predicate rewrites (`EngineOptions::indexes`);
+/// anything else (including an unset variable) enables them.  Read per
+/// engine construction, not cached — the `index_profile` bench flips it
+/// between runs.
+pub fn default_indexes() -> bool {
+    indexes_flag(std::env::var("PF_INDEXES").ok().as_deref())
+}
+
+/// Parse a `PF_INDEXES`-style setting (`true` = index scans allowed).
+fn indexes_flag(value: Option<&str>) -> bool {
+    match value {
+        Some(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off" | "no"
         ),
         None => true,
     }
@@ -286,6 +316,7 @@ fn node_kind(plan: &Plan, node: &PhysNode) -> &'static str {
             AlgOp::Project { .. } => "project",
             AlgOp::Select { .. } => "select",
             AlgOp::SelectEq { .. } => "select_eq",
+            AlgOp::IndexScan { .. } => "index_scan",
             AlgOp::Distinct { .. } => "distinct",
             AlgOp::Union { .. } => "union",
             AlgOp::Difference { .. } => "difference",
@@ -326,6 +357,9 @@ struct KernelStats {
     join_build_rows: usize,
     join_probe_rows: usize,
     agg_input_rows: usize,
+    index_lookups: usize,
+    index_candidate_rows: usize,
+    index_residual_rows: usize,
     /// Sub-phase timings (`("join_build", rows, elapsed)`, …); empty unless
     /// profiling is on.
     timings: Vec<(&'static str, usize, Duration)>,
@@ -499,6 +533,9 @@ fn account_publish(stats: &mut ExecStats, node: &PhysNode, table: &Table, kernel
     stats.join_build_rows += kernel.join_build_rows;
     stats.join_probe_rows += kernel.join_probe_rows;
     stats.agg_input_rows += kernel.agg_input_rows;
+    stats.index_lookups += kernel.index_lookups;
+    stats.index_candidate_rows += kernel.index_candidate_rows;
+    stats.index_residual_rows += kernel.index_residual_rows;
 }
 
 /// Mutable scheduler state shared by the coordinator and the workers.
@@ -1136,6 +1173,12 @@ impl<'a> Executor<'a> {
                     func,
                     value,
                 } => self.aggregate_node(inputs.get(*input)?, group, target, *func, value),
+                AlgOp::IndexScan {
+                    input,
+                    uri,
+                    probe,
+                    mode,
+                } => self.index_scan_node(inputs.get(*input)?, uri, probe, *mode),
                 _ => Ok((
                     self.eval(plan, node.output, inputs, doc_ids)?,
                     KernelStats::default(),
@@ -1478,6 +1521,141 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// Evaluate one `IndexScan`: probe the document's sidecar indexes
+    /// ([`DocStore::indexes`], built lazily on first use and shared by all
+    /// sessions) and keep only candidate rows — a provable *superset* of
+    /// what the residual predicate upstream accepts or errors on, so the
+    /// untouched residual keeps answers and error behavior byte-identical.
+    /// Rows the index cannot speak for (other documents, atomic values
+    /// under a node probe, comment/PI nodes) always stay candidates.  When
+    /// the document or the specific index is unavailable the scan degrades
+    /// to a pass-through and the residual does all the work, exactly as
+    /// without the rewrite.
+    fn index_scan_node(
+        &self,
+        table: &Table,
+        uri: &str,
+        probe: &ops::IndexProbe,
+        mode: ops::IndexMode,
+    ) -> EngineResult<(Table, KernelStats)> {
+        let mut kernel = KernelStats::default();
+        let Some(doc_id) = self.registry.id_of(uri) else {
+            return Ok((table.clone(), kernel));
+        };
+        let Some(store) = self.registry.store(doc_id) else {
+            return Ok((table.clone(), kernel));
+        };
+        let started = self.profile_ops.then(Instant::now);
+        let indexes = store.indexes();
+        let item = table.column("item")?;
+        let rows = table.row_count();
+        let candidate: Vec<bool> = match probe {
+            ops::IndexProbe::TextContains { needle } => {
+                let Some(cands) = ops::evaluate_text_probe(&indexes.text, needle) else {
+                    return Ok((table.clone(), kernel));
+                };
+                kernel.index_lookups = 1;
+                kernel.index_candidate_rows = cands.posting_rows();
+                (0..rows)
+                    .map(|row| match item.get(row) {
+                        Value::Node(n) if n.doc == doc_id => {
+                            ops::text_row_is_candidate(store.as_ref(), &cands, n.pre)
+                        }
+                        _ => true,
+                    })
+                    .collect()
+            }
+            ops::IndexProbe::ValueCmp {
+                target,
+                op,
+                value,
+                to_number,
+            } => {
+                let index = match target {
+                    ops::IndexTarget::ElementTag(tag) => indexes.element_index(store.as_ref(), tag),
+                    ops::IndexTarget::AttributeName(name) => {
+                        indexes.attribute_index(store.as_ref(), name)
+                    }
+                };
+                let Some(index) = index else {
+                    return Ok((table.clone(), kernel));
+                };
+                let cands = ops::evaluate_value_probe(index, &store.texts, *op, value, *to_number);
+                kernel.index_lookups = 1;
+                kernel.index_candidate_rows = cands.pres.len();
+                match target {
+                    ops::IndexTarget::ElementTag(_) => (0..rows)
+                        .map(|row| match item.get(row) {
+                            Value::Node(n) if n.doc == doc_id => cands.contains_pre(n.pre),
+                            _ => true,
+                        })
+                        .collect(),
+                    ops::IndexTarget::AttributeName(_) => {
+                        // Attribute steps yield the attribute *values* as
+                        // strings; membership is on the value itself.
+                        let values: HashSet<&str> =
+                            cands.values.iter().map(String::as_str).collect();
+                        (0..rows)
+                            .map(|row| match item.get(row) {
+                                Value::Str(s) => values.contains(s.as_str()),
+                                _ => true,
+                            })
+                            .collect()
+                    }
+                }
+            }
+        };
+        let keep: Vec<usize> = match mode {
+            ops::IndexMode::Exact => (0..rows).filter(|&r| candidate[r]).collect(),
+            ops::IndexMode::Ebv => {
+                // EBV groups of two or more rows short-circuit to `true`
+                // without ever evaluating the predicate, so every row of a
+                // multi-row iteration must survive; only singleton groups
+                // may be filtered on candidacy.
+                let iter_col = table.column("iter")?;
+                let mut iters = Vec::with_capacity(rows);
+                for row in 0..rows {
+                    iters.push(iter_col.get(row).as_nat()?);
+                }
+                let mut keep = Vec::with_capacity(rows);
+                if iters.windows(2).all(|w| w[0] <= w[1]) {
+                    // Iterations are grouped (the common case: the join
+                    // emits probe order): group sizes fall out of one
+                    // run-length pass, no hashing.
+                    let mut row = 0;
+                    while row < rows {
+                        let mut end = row + 1;
+                        while end < rows && iters[end] == iters[row] {
+                            end += 1;
+                        }
+                        let multi = end - row > 1;
+                        keep.extend((row..end).filter(|&r| candidate[r] || multi));
+                        row = end;
+                    }
+                } else {
+                    let mut counts: HashMap<u64, usize> = HashMap::new();
+                    for &iter in &iters {
+                        *counts.entry(iter).or_insert(0) += 1;
+                    }
+                    keep.extend((0..rows).filter(|&r| candidate[r] || counts[&iters[r]] > 1));
+                }
+                keep
+            }
+        };
+        kernel.index_residual_rows = keep.len();
+        if let Some(started) = started {
+            kernel
+                .timings
+                .push(("index_probe", keep.len(), started.elapsed()));
+        }
+        let out = if keep.len() == rows {
+            table.clone()
+        } else {
+            table.gather_rows(&keep)
+        };
+        Ok((out, kernel))
+    }
+
     fn eval(
         &self,
         plan: &Plan,
@@ -1524,6 +1702,14 @@ impl<'a> Executor<'a> {
                 column,
                 value,
             } => Ok(ops::select_eq(inputs.get(*input)?, column, value)?),
+            AlgOp::IndexScan {
+                input,
+                uri,
+                probe,
+                mode,
+            } => Ok(self
+                .index_scan_node(inputs.get(*input)?, uri, probe, *mode)?
+                .0),
             AlgOp::Distinct { input } => Ok(ops::distinct(inputs.get(*input)?)?),
             AlgOp::Union { left, right } => Ok(ops::union_disjoint(
                 inputs.get(*left)?,
@@ -1659,6 +1845,7 @@ impl<'a> Executor<'a> {
         let lcol = table.column(left)?;
         let rcol = table.column(right)?;
         let mut cache = StoreCache::new(self.registry);
+        let mut memo = ops::SubstringMemo::new();
         let mut values = Vec::with_capacity(table.row_count());
         for row in 0..table.row_count() {
             let l = lcol.get(row);
@@ -1669,7 +1856,7 @@ impl<'a> Executor<'a> {
                 (Value::Node(_), Value::Node(_), BinaryOp::Cmp(_)) => {
                     ops::map::apply_binary(op, &l, &r)?
                 }
-                _ => ops::map::apply_binary(op, &cache.atomize(&l), &cache.atomize(&r))?,
+                _ => memo.apply(op, &cache.atomize(&l), &cache.atomize(&r))?,
             };
             values.push(result);
         }

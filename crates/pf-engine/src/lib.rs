@@ -67,8 +67,8 @@ use std::time::{Duration, Instant};
 pub use admission::{AdmissionController, AdmissionPermit, AdmissionStats};
 pub use error::{EngineError, EngineResult};
 pub use executor::{
-    default_fusion, default_morsel_rows, default_threads, ExecStats, Executor, OpProfile, OpTiming,
-    DEFAULT_MORSEL_ROWS,
+    default_fusion, default_indexes, default_morsel_rows, default_threads, ExecStats, Executor,
+    OpProfile, OpTiming, DEFAULT_MORSEL_ROWS,
 };
 pub use pool::{QueryTag, WorkerPool};
 pub use registry::DocRegistry;
@@ -111,6 +111,14 @@ pub struct EngineOptions {
     /// `false` / `off` / `no`).  Results are identical either way; fusion
     /// only changes how many intermediate tables materialize.
     pub fusion: bool,
+    /// Allow the optimizer's index-scan rewrites (the sidecar text/value
+    /// indexes of `pf-store`; see `OptimizerLevel::indexscan`).  The
+    /// default is [`default_indexes`]: on, unless `PF_INDEXES` says `0` /
+    /// `false` / `off` / `no`.  `false` strips the `indexscan` rule from
+    /// the effective optimizer level, whatever
+    /// [`EngineOptions::optimizer_level`] says — results are byte-identical
+    /// either way; index scans only change how predicates are evaluated.
+    pub indexes: bool,
     /// Input rows per morsel for intra-operator parallelism (partitioned
     /// sorts, row numberings, staircase shards and fused-pipeline chunks
     /// on the worker pool).  `0` (the default) resolves via
@@ -145,6 +153,7 @@ impl Default for EngineOptions {
             optimizer_level: default_optimizer_level(),
             threads: 0,
             fusion: default_fusion(),
+            indexes: default_indexes(),
             morsel_rows: 0,
             plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
             memory_budget_rows: usize::MAX,
@@ -213,6 +222,13 @@ impl EngineOptionsBuilder {
     /// Enable or disable operator fusion (see [`EngineOptions::fusion`]).
     pub fn fusion(mut self, fusion: bool) -> Self {
         self.options.fusion = fusion;
+        self
+    }
+
+    /// Allow or forbid index-scan rewrites (see
+    /// [`EngineOptions::indexes`]).
+    pub fn indexes(mut self, indexes: bool) -> Self {
+        self.options.indexes = indexes;
         self
     }
 
@@ -541,12 +557,9 @@ impl Pathfinder {
         let compiled = compile(&core, &self.options.compile)?;
         let unoptimized = compiled.plan.clone();
         let mut optimized = compiled.plan;
+        let level = self.effective_optimizer_level();
         let report = if self.options.optimize {
-            optimize_with(
-                &mut optimized,
-                self.options.optimizer_level,
-                &EngineStats(self),
-            )
+            optimize_with(&mut optimized, level, &EngineStats(self))
         } else {
             OptimizeReport::default()
         };
@@ -554,7 +567,7 @@ impl Pathfinder {
             unoptimized,
             optimized,
             report,
-            level: self.options.optimizer_level,
+            level,
             joins_recognized: compiled.joins_recognized,
         })
     }
@@ -714,10 +727,21 @@ impl Pathfinder {
     /// different shapes, so they must never alias in the cache.
     fn optimizer_tag(&self) -> String {
         if self.options.optimize {
-            self.options.optimizer_level.tag()
+            self.effective_optimizer_level().tag()
         } else {
             "off".into()
         }
+    }
+
+    /// The optimizer level actually applied: the configured level with the
+    /// `indexscan` rule stripped when [`EngineOptions::indexes`] is off.
+    /// Plans differ in shape across the two settings, so everything keyed
+    /// on the level — [`Pathfinder::explain`], the plan cache tag — goes
+    /// through here.
+    fn effective_optimizer_level(&self) -> OptimizerLevel {
+        let mut level = self.options.optimizer_level;
+        level.indexscan &= self.options.indexes;
+        level
     }
 
     fn plan_for(&self, query: &str) -> EngineResult<Planned> {
@@ -775,7 +799,11 @@ impl Pathfinder {
         let opt_start = Instant::now();
         let mut plan = compiled.plan;
         let report = if self.options.optimize {
-            optimize_with(&mut plan, self.options.optimizer_level, &EngineStats(self))
+            optimize_with(
+                &mut plan,
+                self.effective_optimizer_level(),
+                &EngineStats(self),
+            )
         } else {
             OptimizeReport::default()
         };

@@ -143,6 +143,46 @@ pub fn apply_unary(op: UnaryOp, value: &Value) -> RelResult<Value> {
     }
 }
 
+/// Memo for one `Contains`/`StartsWith` map operator: substring tests are
+/// evaluated once per distinct `(left, right)` string pair instead of once
+/// per row.  Step outputs and attribute values come out of the store's
+/// property dictionaries, so long columns repeat few distinct strings and
+/// the per-row rescan collapses to one probe per dictionary code.
+///
+/// One memo must serve exactly one operator instance (the cache key does
+/// not include the operator).
+#[derive(Debug, Default)]
+pub struct SubstringMemo {
+    cache: std::collections::HashMap<String, std::collections::HashMap<String, bool>>,
+}
+
+impl SubstringMemo {
+    /// Create an empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply `op` like [`apply_binary`], consulting the memo when both
+    /// sides are strings and the operator is a substring test.
+    pub fn apply(&mut self, op: BinaryOp, left: &Value, right: &Value) -> RelResult<Value> {
+        match (op, left, right) {
+            (BinaryOp::Contains | BinaryOp::StartsWith, Value::Str(l), Value::Str(r)) => {
+                if let Some(&hit) = self.cache.get(l).and_then(|m| m.get(r)) {
+                    return Ok(Value::Bool(hit));
+                }
+                let result = apply_binary(op, left, right)?;
+                let hit = matches!(result, Value::Bool(true));
+                self.cache
+                    .entry(l.clone())
+                    .or_default()
+                    .insert(r.clone(), hit);
+                Ok(result)
+            }
+            _ => apply_binary(op, left, right),
+        }
+    }
+}
+
 /// ⊙: append column `target` = `left ⊙ right` to a copy of `input`.
 pub fn map_binary(
     input: &Table,

@@ -6,6 +6,7 @@
 //! they take tables by reference and return new tables.
 
 pub mod aggregate;
+pub mod index;
 pub mod join;
 pub mod keys;
 pub mod map;
@@ -19,9 +20,13 @@ pub mod sortkeys;
 pub mod step;
 
 pub use aggregate::{aggregate_by, aggregate_by_generic, AggFunc, AggPartial, AggPlan};
+pub use index::{
+    evaluate_text_probe, evaluate_value_probe, text_fragments, text_row_is_candidate, IndexMode,
+    IndexProbe, IndexTarget, TextCandidates, ValueCandidates,
+};
 pub use join::{cross, equi_join, equi_join_generic, theta_join, JoinPlan, ThetaPlan};
 pub use keys::{Key, KeyView};
-pub use map::{map_binary, map_const, map_unary, BinaryOp, CmpOp, UnaryOp};
+pub use map::{map_binary, map_const, map_unary, BinaryOp, CmpOp, SubstringMemo, UnaryOp};
 pub use pipeline::{run_pipeline, run_pipeline_range, steps_chunkable, FusedStep};
 pub use project::project;
 pub use rownum::{row_number, row_number_by, row_number_permuted, OrderSpec};

@@ -34,7 +34,7 @@ use std::rc::Rc;
 
 use crate::column::Column;
 use crate::error::{RelError, RelResult};
-use crate::ops::map::{apply_binary, apply_unary, BinaryOp, UnaryOp};
+use crate::ops::map::{apply_binary, apply_unary, BinaryOp, SubstringMemo, UnaryOp};
 use crate::ops::HashKey;
 use crate::table::Table;
 use crate::value::Value;
@@ -356,6 +356,9 @@ fn apply_steps(
                 let lidx = vt.col_index(left)?;
                 let ridx = vt.col_index(right)?;
                 let mut values = Vec::with_capacity(vt.live_rows());
+                // Substring tests repeat few distinct dictionary-backed
+                // strings; the memo evaluates each distinct pair once.
+                let mut memo = SubstringMemo::new();
                 for at in 0..vt.live_rows() {
                     let l = vt.get(lidx, at);
                     let r = vt.get(ridx, at);
@@ -365,7 +368,7 @@ fn apply_steps(
                         (Value::Node(_), Value::Node(_), BinaryOp::Cmp(_)) => {
                             apply_binary(*op, &l, &r)?
                         }
-                        _ => apply_binary(*op, &atomize(&l), &atomize(&r))?,
+                        _ => memo.apply(*op, &atomize(&l), &atomize(&r))?,
                     };
                     values.push(result);
                 }

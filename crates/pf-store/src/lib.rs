@@ -31,12 +31,14 @@
 
 pub mod axis;
 pub mod dict;
+pub mod index;
 pub mod staircase;
 pub mod stats;
 pub mod store;
 
 pub use axis::{axis_region, naive_axis_step, Axis, NodeTest};
 pub use dict::Dictionary;
+pub use index::{DocIndexes, TextIndex, ValueEntry, ValueIndex, ValueKey};
 pub use staircase::{
     descendant_prune, descendant_scan, staircase_join, staircase_join_counted, StaircaseStats,
 };

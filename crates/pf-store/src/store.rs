@@ -6,7 +6,10 @@
 //! virtual object identifiers, which make the row-numbering operator a
 //! no-cost operator (Section 2, "MonetDB").
 
+use std::sync::{Arc, OnceLock};
+
 use crate::dict::Dictionary;
+use crate::index::DocIndexes;
 use pf_xml::{Document, NodeKind};
 
 /// A node reference: the pre-order rank of the node within its document.
@@ -71,6 +74,9 @@ pub struct DocStore {
     /// Size of the original XML serialization in bytes (for the storage
     /// overhead experiment); 0 if unknown.
     pub source_bytes: usize,
+    /// Lazily built sidecar content indexes (see [`crate::index`]).
+    /// Cloning the store shares an already-built bundle.
+    indexes: OnceLock<Arc<DocIndexes>>,
 }
 
 impl DocStore {
@@ -89,6 +95,7 @@ impl DocStore {
             qnames: Dictionary::new(),
             texts: Dictionary::new(),
             source_bytes: 0,
+            indexes: OnceLock::new(),
         };
         for node in doc.all_nodes() {
             let pre = node.0;
@@ -136,6 +143,14 @@ impl DocStore {
         let mut store = Self::from_document(name, &doc);
         store.source_bytes = xml.len();
         Ok(store)
+    }
+
+    /// The sidecar content indexes, built lazily on first use.  The build
+    /// runs at most once per store (`OnceLock`), so concurrent sessions
+    /// probing the same registered document share a single build.
+    pub fn indexes(&self) -> &Arc<DocIndexes> {
+        self.indexes
+            .get_or_init(|| Arc::new(DocIndexes::build(self)))
     }
 
     /// Number of nodes (including the document node).

@@ -27,10 +27,14 @@
 #                    deduped, join clusters reordered, chains unshared —
 #                    plus wall time and tables-elided share; see
 #                    PF_OPTIMIZE_RUNS)
+#   BENCH_pr9.json — index profile (full-scan vs index-accelerated
+#                    predicates: wall and predicate-portion times for
+#                    Q1/Q5/Q14 plus selective synthetic probes, index
+#                    build time and sidecar size; see PF_INDEX_RUNS)
 #
 #   ./scripts/bench.sh                       # scale 0.05, default outputs
 #   ./scripts/bench.sh 0.2                   # custom scale factor
-#   ./scripts/bench.sh 0.2 mem.json scal.json fus.json morsel.json qps.json join.json opt.json
+#   ./scripts/bench.sh 0.2 mem.json scal.json fus.json morsel.json qps.json join.json opt.json idx.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -43,6 +47,7 @@ morsel_out="${5:-BENCH_pr5.json}"
 qps_out="${6:-BENCH_pr6.json}"
 join_out="${7:-BENCH_pr7.json}"
 opt_out="${8:-BENCH_pr8.json}"
+index_out="${9:-BENCH_pr9.json}"
 
 cargo run --release -p pf-bench --bin mem_profile -- "$scale" "$mem_out"
 cargo run --release -p pf-bench --bin thread_scaling -- "$scale" "$scaling_out"
@@ -54,3 +59,6 @@ cargo run --release -p pf-bench --bin join_profile -- "$scale" "$join_out"
 # Threads pinned to 1 so level-vs-level wall times compare plans, not
 # schedules (the bin asserts basic/full byte-agreement on every run).
 cargo run --release -p pf-bench --bin optimize_profile -- "$scale" "$opt_out" 1
+# Threads pinned to 1 so the predicate-portion speedups measure the index
+# probes, not the scheduler (the bin asserts scan/indexed byte-agreement).
+cargo run --release -p pf-bench --bin index_profile -- "$scale" "$index_out" 1

@@ -195,12 +195,13 @@ fn optimizer_level_tags_round_trip_and_never_collide() {
     use pathfinder::engine::OptimizerLevel;
 
     let mut seen = std::collections::HashMap::new();
-    for bits in 0u8..16 {
+    for bits in 0u8..32 {
         let level = OptimizerLevel {
             pushdown: bits & 1 != 0,
             reorder: bits & 2 != 0,
             dedup: bits & 4 != 0,
             unshare: bits & 8 != 0,
+            indexscan: bits & 16 != 0,
         };
         let tag = level.tag();
         assert_eq!(
