@@ -17,19 +17,25 @@
 //! Execution of these plans lives in `pf-engine`; this crate is purely the
 //! logical layer.
 
+#![forbid(unsafe_code)]
+
 pub mod ops;
 pub mod optimize;
 pub mod physical;
 pub mod plan;
+pub mod properties;
 pub mod render;
 pub mod schema;
+pub mod verify;
 
 pub use ops::{AlgOp, SortSpec};
 pub use optimize::{
-    optimize, optimize_with, CardEstimate, Isolation, NoStats, OptimizeReport, OptimizerLevel,
-    StatsSource,
+    optimize, optimize_with, optimize_with_verify, CardEstimate, Isolation, NoStats,
+    OptimizeReport, OptimizerLevel, StatsSource,
 };
 pub use physical::{PhysKind, PhysNode, PhysNodeId, PhysicalBooks, PhysicalPlan};
 pub use plan::{OpId, Plan, PlanBuilder, ReadySetBooks};
-pub use render::{to_ascii, to_dot};
+pub use properties::PlanProperties;
+pub use render::{to_ascii, to_ascii_annotated, to_dot};
 pub use schema::{infer_schema, Properties};
+pub use verify::{digest, verify_plan, verify_rewrite, PlanDigest, VerifyError};

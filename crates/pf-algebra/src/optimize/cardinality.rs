@@ -1,174 +1,56 @@
 //! Cardinality estimation over plan DAGs.
 //!
 //! [`CardEstimate`] assigns every reachable operator an estimated output
-//! row count in one bottom-up pass.  Leaf estimates come from document
-//! statistics ([`pf_store::DocStatistics`], resolved through a
-//! [`StatsSource`] so `pf-algebra` stays ignorant of the engine's
-//! registry); interior operators apply textbook selectivity heuristics.
-//! The estimates only ever *order* alternatives — join reordering picks
-//! the smallest leaf first, admission control sizes a cold plan — so
-//! being roughly proportional matters, absolute accuracy does not.
+//! row count.  Leaf estimates come from document statistics
+//! ([`pf_store::DocStatistics`], resolved through a [`StatsSource`] so
+//! `pf-algebra` stays ignorant of the engine's registry); interior
+//! operators apply textbook selectivity heuristics.  The estimates only
+//! ever *order* alternatives — join reordering picks the smallest leaf
+//! first, admission control sizes a cold plan — so being roughly
+//! proportional matters, absolute accuracy does not.
 //!
 //! Axis steps are the one place statistics really pay off: a
 //! `descendant::item` step over XMark produces exactly
 //! `elements_tagged("item")` rows per distinct context root, and the
 //! tag histogram knows that number precisely.  To find the right
-//! histogram, the pass also threads *document provenance* upward: the
-//! URI of the (single) `doc()` source feeding each operator's items.
+//! histogram, the inference also threads *document provenance* upward:
+//! the URI of the (single) `doc()` source feeding each operator's items.
+//!
+//! The estimation itself lives in the unified property pass of
+//! [`crate::properties::PlanProperties`]; [`CardEstimate`] is the
+//! cardinality view over it, kept as a stable entry point for callers
+//! that only need row counts (admission control's cold-plan sizing).
 
-use std::sync::Arc;
-
-use pf_store::{Axis, DocStatistics};
-
-use crate::ops::AlgOp;
 use crate::plan::{OpId, Plan};
+use crate::properties::PlanProperties;
 
-/// Resolves a document URI to its measured statistics.  The engine
-/// implements this over its registry snapshot; [`NoStats`] is the
-/// statistics-free fallback (pure heuristics).
-pub trait StatsSource {
-    /// Statistics for the document registered under `uri`, if known.
-    fn doc_statistics(&self, uri: &str) -> Option<Arc<DocStatistics>>;
-}
+pub use crate::properties::{NoStats, StatsSource};
 
-/// A [`StatsSource`] that knows nothing; every step falls back to
-/// fan-out heuristics.
-pub struct NoStats;
-
-impl StatsSource for NoStats {
-    fn doc_statistics(&self, _uri: &str) -> Option<Arc<DocStatistics>> {
-        None
-    }
-}
-
-/// Per-operator estimated output row counts for one plan.
+/// Per-operator estimated output row counts for one plan — a view over
+/// [`PlanProperties`].
 #[derive(Debug, Clone)]
 pub struct CardEstimate {
-    rows: Vec<f64>,
+    props: PlanProperties,
 }
 
 impl CardEstimate {
     /// Estimate every operator of `plan` bottom-up.
     pub fn analyze(plan: &Plan, stats: &dyn StatsSource) -> CardEstimate {
-        let n = plan.ops().len();
-        let mut rows = vec![0.0_f64; n];
-        // Document provenance: the URI of the single doc() source whose
-        // nodes flow through this operator's item column, if unambiguous.
-        let mut doc: Vec<Option<String>> = vec![None; n];
-        for id in plan.reachable() {
-            let (est, uri) = estimate_op(plan, id, &rows, &doc, stats);
-            rows[id] = est;
-            doc[id] = uri;
+        CardEstimate {
+            props: PlanProperties::analyze_with(plan, stats),
         }
-        CardEstimate { rows }
     }
 
     /// Estimated output rows of operator `id`.
     pub fn rows(&self, id: OpId) -> f64 {
-        self.rows.get(id).copied().unwrap_or(0.0)
+        self.props.rows(id)
     }
 
     /// The largest single-operator estimate of the plan, rounded up —
     /// a shape-derived stand-in for peak resident rows (admission
     /// control uses this for plans that have never run).
     pub fn peak_rows(&self, plan: &Plan) -> usize {
-        plan.reachable()
-            .into_iter()
-            .map(|id| self.rows[id])
-            .fold(0.0_f64, f64::max)
-            .ceil() as usize
-    }
-}
-
-fn estimate_op(
-    plan: &Plan,
-    id: OpId,
-    rows: &[f64],
-    doc: &[Option<String>],
-    stats: &dyn StatsSource,
-) -> (f64, Option<String>) {
-    match plan.op(id) {
-        AlgOp::Lit { rows: r, .. } => (r.len() as f64, None),
-        AlgOp::Doc { uri } => (1.0, Some(uri.clone())),
-        AlgOp::Step { input, axis, test } => {
-            let input_rows = rows[*input];
-            let uri = doc[*input].clone();
-            if input_rows == 0.0 {
-                return (0.0, uri);
-            }
-            let doc_stats = uri.as_deref().and_then(|u| stats.doc_statistics(u));
-            let est = match (&doc_stats, axis) {
-                // Every context set of size ≥ 1 sees (almost) the whole
-                // document below it: the step output is bounded by — and
-                // for the common root-context case equal to — the total
-                // number of matching nodes.
-                (Some(s), Axis::Descendant | Axis::DescendantOrSelf) => s.matching(test) as f64,
-                (Some(s), Axis::Child) => {
-                    // Uniform fan-out: matching nodes spread evenly over
-                    // all possible element parents.
-                    let parents = s.elements.max(1) as f64;
-                    input_rows * (s.matching(test) as f64 / parents).max(1.0 / parents)
-                }
-                (Some(s), Axis::Attribute) => {
-                    let owners = s.elements.max(1) as f64;
-                    input_rows * (s.matching(test) as f64 / owners).min(1.0)
-                }
-                // Upward / sideways axes and the self axis stay near the
-                // context size.
-                (Some(_), _) => input_rows,
-                // No statistics: fixed fan-out guesses.
-                (None, Axis::Descendant | Axis::DescendantOrSelf) => input_rows * 8.0,
-                (None, Axis::Child) => input_rows * 3.0,
-                (None, Axis::Attribute) => input_rows,
-                (None, _) => input_rows,
-            };
-            (est.max(0.0), uri)
-        }
-        AlgOp::Select { input, .. } => (rows[*input] * 0.5, doc[*input].clone()),
-        // Index probes are selective by construction (the rule only fires
-        // on literal lookups).
-        AlgOp::IndexScan { input, .. } => (rows[*input] * 0.1, doc[*input].clone()),
-        AlgOp::SelectEq { input, .. } => (rows[*input] * 0.1, doc[*input].clone()),
-        AlgOp::Distinct { input } => (rows[*input] * 0.8, doc[*input].clone()),
-        AlgOp::Union { left, right } => (rows[*left] + rows[*right], merge_doc(doc, *left, *right)),
-        AlgOp::Difference { left, right: _ } => (rows[*left], doc[*left].clone()),
-        AlgOp::Cross { left, right } => (rows[*left] * rows[*right], merge_doc(doc, *left, *right)),
-        AlgOp::ThetaJoin { left, right, .. } => (
-            rows[*left] * rows[*right] / 3.0,
-            merge_doc(doc, *left, *right),
-        ),
-        // Loop-lifted equi-joins are overwhelmingly iter↔iter matches:
-        // close to a 1:N alignment of the two sides, not a blow-up.
-        AlgOp::EquiJoin { left, right, .. } => {
-            (rows[*left].max(rows[*right]), merge_doc(doc, *left, *right))
-        }
-        AlgOp::Aggregate { input, .. } => ((rows[*input] * 0.5).max(1.0), doc[*input].clone()),
-        AlgOp::Ebv { input } => ((rows[*input] * 0.5).max(1.0), doc[*input].clone()),
-        // Row-preserving operators.
-        AlgOp::Project { input, .. }
-        | AlgOp::RowNum { input, .. }
-        | AlgOp::BinaryMap { input, .. }
-        | AlgOp::UnaryMap { input, .. }
-        | AlgOp::Attach { input, .. }
-        | AlgOp::DocOrder { input }
-        | AlgOp::FnData { input }
-        | AlgOp::FnRoot { input }
-        | AlgOp::Sort { input, .. } => (rows[*input], doc[*input].clone()),
-        // Constructors emit one node per loop iteration (content rows are
-        // folded into those nodes).  The constructed nodes live in a new
-        // transient document, so provenance resets.
-        AlgOp::ElemConstruct { loop_input, .. }
-        | AlgOp::AttrConstruct { loop_input, .. }
-        | AlgOp::TextConstruct { loop_input, .. } => (rows[*loop_input], None),
-    }
-}
-
-fn merge_doc(doc: &[Option<String>], left: OpId, right: OpId) -> Option<String> {
-    match (&doc[left], &doc[right]) {
-        (Some(l), Some(r)) if l == r => Some(l.clone()),
-        (Some(l), None) => Some(l.clone()),
-        (None, Some(r)) => Some(r.clone()),
-        _ => None,
+        self.props.peak_rows(plan)
     }
 }
 
@@ -178,8 +60,9 @@ mod tests {
     use crate::ops::AlgOp;
     use crate::plan::PlanBuilder;
     use pf_relational::Value;
-    use pf_store::{DocStore, NodeTest};
+    use pf_store::{Axis, DocStatistics, DocStore, NodeTest};
     use std::collections::HashMap;
+    use std::sync::Arc;
 
     struct MapStats(HashMap<String, Arc<DocStatistics>>);
 

@@ -46,27 +46,24 @@ use pf_relational::Value;
 use pf_store::{Axis, NodeTest};
 
 use crate::ops::AlgOp;
-use crate::optimize::isolation::Isolation;
 use crate::optimize::OptimizeReport;
 use crate::plan::{OpId, Plan};
+use crate::properties::PlanProperties;
 
 /// Introduce at most one `IndexScan` per call (the fixpoint driver
 /// re-invokes until nothing changes, with fresh consumer counts).
 pub(crate) fn introduce_index_scans(plan: &mut Plan, report: &mut OptimizeReport) -> bool {
     let consumers = plan.consumer_counts();
-    let provenance = doc_provenance(plan);
-    let iso = Isolation::analyze(plan);
+    // Document provenance and key sets both come from the unified
+    // property pass (it used to be two separate walks).
+    let props = PlanProperties::analyze(plan);
     for id in plan.reachable() {
         let rewrite = match plan.op(id) {
             AlgOp::Select { input, column } => {
                 let (input, column) = (*input, column.clone());
-                match_exact(plan, &consumers, &provenance, input, &column)
-                    .or_else(|| {
-                        match_ebv_union(plan, &consumers, &provenance, &iso, input, &column)
-                    })
-                    .or_else(|| {
-                        match_ebv_pushed(plan, &consumers, &provenance, &iso, id, input, &column)
-                    })
+                match_exact(plan, &consumers, &props, input, &column)
+                    .or_else(|| match_ebv_union(plan, &consumers, &props, input, &column))
+                    .or_else(|| match_ebv_pushed(plan, &consumers, &props, id, input, &column))
             }
             AlgOp::ThetaJoin {
                 left,
@@ -82,7 +79,7 @@ pub(crate) fn introduce_index_scans(plan: &mut Plan, report: &mut OptimizeReport
                 (*right, right_col),
                 *op,
             )
-            .and_then(|traced| build_rewrite(plan, &provenance, traced, IndexMode::Exact)),
+            .and_then(|traced| build_rewrite(plan, &props, traced, IndexMode::Exact)),
             _ => continue,
         };
         let Some(rw) = rewrite else {
@@ -139,7 +136,7 @@ type Traced = (NodeSide, BinaryOp, Value, (OpId, String));
 fn match_exact(
     plan: &Plan,
     consumers: &[usize],
-    provenance: &[Option<String>],
+    props: &PlanProperties,
     mapped_id: OpId,
     column: &str,
 ) -> Option<Rewrite> {
@@ -168,7 +165,7 @@ fn match_exact(
         return None;
     }
     let traced = trace_sides(plan, consumers, *joined, (*jl, left), (*jr, right), *op)?;
-    build_rewrite(plan, provenance, traced, IndexMode::Exact)
+    build_rewrite(plan, props, traced, IndexMode::Exact)
 }
 
 /// Pattern B: the pre-pushdown `ebv_bool` scaffolding with the σ over its
@@ -176,8 +173,7 @@ fn match_exact(
 fn match_ebv_union(
     plan: &Plan,
     consumers: &[usize],
-    provenance: &[Option<String>],
-    iso: &Isolation,
+    props: &PlanProperties,
     union_id: OpId,
     column: &str,
 ) -> Option<Rewrite> {
@@ -244,7 +240,7 @@ fn match_ebv_union(
     {
         return None;
     }
-    ebv_predicate(plan, consumers, provenance, iso, ebv_id)
+    ebv_predicate(plan, consumers, props, ebv_id)
 }
 
 /// Pattern B′: the post-pushdown `ebv_bool` scaffolding — the σ sits
@@ -254,8 +250,7 @@ fn match_ebv_union(
 fn match_ebv_pushed(
     plan: &Plan,
     consumers: &[usize],
-    provenance: &[Option<String>],
-    iso: &Isolation,
+    props: &PlanProperties,
     anchor_id: OpId,
     ebv_id: OpId,
     column: &str,
@@ -309,7 +304,7 @@ fn match_ebv_pushed(
     if !matches!(plan.op(kill_id), AlgOp::Select { column, .. } if column == "item") {
         return None;
     }
-    ebv_predicate(plan, consumers, provenance, iso, ebv_id)
+    ebv_predicate(plan, consumers, props, ebv_id)
 }
 
 /// The shared predicate half of both EBV patterns: walk the `ebv` input
@@ -321,8 +316,7 @@ fn match_ebv_pushed(
 fn ebv_predicate(
     plan: &Plan,
     consumers: &[usize],
-    provenance: &[Option<String>],
-    iso: &Isolation,
+    props: &PlanProperties,
     ebv_id: OpId,
 ) -> Option<Rewrite> {
     let AlgOp::Ebv { input: pred } = plan.op(ebv_id) else {
@@ -376,10 +370,10 @@ fn ebv_predicate(
     let const_id = traced.3 .0;
     let join_col = if const_id == *jl { jl_col } else { jr_col };
     let key: std::collections::BTreeSet<String> = [join_col.clone()].into();
-    if !iso.keyed_by(const_id, &key) {
+    if !props.keyed_by(const_id, &key) {
         return None;
     }
-    build_rewrite(plan, provenance, traced, IndexMode::Ebv)
+    build_rewrite(plan, props, traced, IndexMode::Ebv)
 }
 
 /// Try (left = step side, right = constant side); on failure, the mirror
@@ -529,11 +523,11 @@ fn trace_const_side(plan: &Plan, mut cur: OpId, col: &str) -> Option<Value> {
 /// operator/constant, and a step whose rows the probe understands.
 fn build_rewrite(
     plan: &Plan,
-    provenance: &[Option<String>],
+    props: &PlanProperties,
     (node, op, constant, _const_side): Traced,
     mode: IndexMode,
 ) -> Option<Rewrite> {
-    let uri = provenance[node.base].clone()?;
+    let uri = props.doc(node.base)?.to_string();
     let probe = match op {
         BinaryOp::Contains | BinaryOp::StartsWith => {
             if node.to_number {
@@ -622,47 +616,4 @@ fn consumers_of(plan: &Plan, target: OpId) -> Vec<OpId> {
         .into_iter()
         .filter(|&id| plan.op(id).children().contains(&target))
         .collect()
-}
-
-/// Document provenance per operator: the URI of the single `doc()` source
-/// feeding its items, if unambiguous (the same walk the cardinality
-/// estimator threads; constructed nodes reset provenance).
-fn doc_provenance(plan: &Plan) -> Vec<Option<String>> {
-    let mut doc: Vec<Option<String>> = vec![None; plan.ops().len()];
-    for id in plan.reachable() {
-        doc[id] = match plan.op(id) {
-            AlgOp::Doc { uri } => Some(uri.clone()),
-            AlgOp::Lit { .. }
-            | AlgOp::ElemConstruct { .. }
-            | AlgOp::AttrConstruct { .. }
-            | AlgOp::TextConstruct { .. } => None,
-            AlgOp::Union { left, right }
-            | AlgOp::Cross { left, right }
-            | AlgOp::EquiJoin { left, right, .. }
-            | AlgOp::ThetaJoin { left, right, .. } => match (&doc[*left], &doc[*right]) {
-                (Some(l), Some(r)) if l == r => Some(l.clone()),
-                (Some(l), None) => Some(l.clone()),
-                (None, Some(r)) => Some(r.clone()),
-                _ => None,
-            },
-            AlgOp::Difference { left, .. } => doc[*left].clone(),
-            AlgOp::Project { input, .. }
-            | AlgOp::Select { input, .. }
-            | AlgOp::SelectEq { input, .. }
-            | AlgOp::Distinct { input }
-            | AlgOp::RowNum { input, .. }
-            | AlgOp::BinaryMap { input, .. }
-            | AlgOp::UnaryMap { input, .. }
-            | AlgOp::Attach { input, .. }
-            | AlgOp::Aggregate { input, .. }
-            | AlgOp::Step { input, .. }
-            | AlgOp::IndexScan { input, .. }
-            | AlgOp::DocOrder { input }
-            | AlgOp::FnData { input }
-            | AlgOp::FnRoot { input }
-            | AlgOp::Ebv { input }
-            | AlgOp::Sort { input, .. } => doc[*input].clone(),
-        };
-    }
-    doc
 }

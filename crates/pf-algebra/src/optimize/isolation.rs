@@ -7,741 +7,78 @@
 //! deterministically whenever its sort keys cover a key of its input.
 //! Physical row order therefore only matters where a sort-tie, a
 //! first-appearance rule or an order-sensitive aggregate could observe
-//! it.  [`Isolation`] computes, per operator:
+//! it.
 //!
-//! * **keys** — column sets on which the operator's output rows are
-//!   provably distinct (bottom-up);
-//! * **constants** — columns provably equal in every output row, with
-//!   the value itself when it is statically known (bottom-up; the
-//!   top-level `iter ≡ 1` is the important case: it shrinks the
-//!   `{iter, pos}` key of a step to `{pos}`, exactly what the
-//!   serializer sorts by);
-//! * **value provenance** — per column, which upstream (operator,
-//!   column) pairs are provable value supersets (and which are provably
-//!   *disjoint*, via single-column `Difference`).  This is what lets a
-//!   compiler-generated `A ∪ (B ∖ A)` union — the default-branch
-//!   plumbing around every aggregate — keep a key: the two sides can
-//!   never collide on the discriminating column;
-//! * **order_free** — whether permuting this operator's output rows can
-//!   change the serialized query result (top-down over consumer edges).
+//! The inference itself — keys, constants, value provenance, order
+//! freedom — lives in the unified property pass of
+//! [`crate::properties::PlanProperties`]; [`Isolation`] is the
+//! order-analysis view over it, kept as a stable entry point for rules
+//! and tests that only need keys and order freedom.
 //!
 //! Join reordering only fires inside regions where `order_free` holds:
 //! there, a join's left-major output order is unobservable and the
 //! equi-join cluster is just a bag-semantics join graph.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
-use crate::ops::AlgOp;
-use crate::plan::{OpId, Plan};
-use crate::schema::{infer_schema, Properties};
-use pf_relational::ops::AggFunc;
 use pf_relational::Value;
 
-/// A value-provenance tag: “the tracked column's values are related to
-/// column `.1` of operator `.0`”.
-type Tag = (OpId, String);
-/// Per-column tag sets for one operator.
-type TagMap = BTreeMap<String, BTreeSet<Tag>>;
+use crate::plan::{OpId, Plan};
+use crate::properties::PlanProperties;
 
-/// Per-operator key sets, constant columns, value provenance, and
-/// order-freedom for one plan.  Indexed by [`OpId`]; entries for
-/// unreachable operators are empty/false.
+/// Per-operator key sets, constant columns, and order-freedom for one
+/// plan — a view over [`PlanProperties`].  Indexed by [`OpId`]; entries
+/// for unreachable operators are empty/false.
 #[derive(Debug, Clone)]
 pub struct Isolation {
-    /// Column sets on which each operator's rows are provably distinct.
-    keys: Vec<Vec<BTreeSet<String>>>,
-    /// Columns provably constant across each operator's rows, with the
-    /// constant's value when statically known.
-    constants: Vec<BTreeMap<String, Option<Value>>>,
-    /// `supersets[id][c]` ∋ `t` ⇒ values of `c` at `id` ⊆ values of `t`.
-    supersets: Vec<TagMap>,
-    /// `equalsets[id][c]` ∋ `t` ⇒ values of `c` at `id` = values of `t`
-    /// (as sets).  Always a subset of `supersets[id][c]`.
-    equalsets: Vec<TagMap>,
-    /// `exclusions[id][c]` ∋ `t` ⇒ values of `c` at `id` are disjoint
-    /// from the values of `t`.
-    exclusions: Vec<TagMap>,
-    /// Whether permuting the operator's output rows is unobservable in
-    /// the serialized result.
-    order_free: Vec<bool>,
+    props: PlanProperties,
 }
-
-/// Rows of a literal are scanned for distinctness/constancy only up to
-/// this many rows — larger literals simply get no column keys.
-const LIT_SCAN_CAP: usize = 64;
-
-/// Provenance tag sets are truncated to this many entries (keeping the
-/// smallest, deterministically) so deep plans stay linear to analyze.
-const TAG_CAP: usize = 24;
 
 impl Isolation {
     /// Analyze `plan`.
     pub fn analyze(plan: &Plan) -> Isolation {
-        let props = infer_schema(plan);
-        let n = plan.ops().len();
-        let mut iso = Isolation {
-            keys: vec![Vec::new(); n],
-            constants: vec![BTreeMap::new(); n],
-            supersets: vec![TagMap::new(); n],
-            equalsets: vec![TagMap::new(); n],
-            exclusions: vec![TagMap::new(); n],
-            order_free: vec![true; n],
-        };
-        let topo = plan.reachable();
-        for &id in &topo {
-            iso.constants[id] = infer_constants(plan, id, &iso);
-            let (sup, eq, excl) = infer_provenance(plan, id, &iso, &props);
-            iso.supersets[id] = sup;
-            iso.equalsets[id] = eq;
-            iso.exclusions[id] = excl;
-            iso.keys[id] = infer_keys(plan, id, &iso, &props);
+        Isolation {
+            props: PlanProperties::analyze(plan),
         }
-        // Top-down: the root's order matters unless serialization's
-        // stable pos-sort fully determines it; every other operator is
-        // constrained through its consumer edges, parents first.
-        let root = plan.root();
-        let pos: BTreeSet<String> = std::iter::once("pos".to_string()).collect();
-        iso.order_free[root] = props
-            .get(&root)
-            .is_some_and(|p| p.columns.iter().any(|c| c == "pos"))
-            && iso.keyed_by(root, &pos);
-        for &id in topo.iter().rev() {
-            let parent_free = iso.order_free[id];
-            let children = plan.op(id).children();
-            for (slot, &child) in children.iter().enumerate() {
-                let edge = edge_order_free(plan.op(id), slot, parent_free, child, &iso);
-                iso.order_free[child] &= edge;
-            }
-        }
-        iso
     }
 
     /// `true` if some key of `id`, after removing provably constant
     /// columns, is contained in `cols` — i.e. rows of `id` are distinct
     /// on `cols`.
     pub fn keyed_by(&self, id: OpId, cols: &BTreeSet<String>) -> bool {
-        let constants = &self.constants[id];
-        self.keys[id].iter().any(|key| {
-            key.iter()
-                .all(|c| constants.contains_key(c) || cols.contains(c))
-        })
+        self.props.keyed_by(id, cols)
     }
 
     /// Whether permuting the rows of `id` is unobservable in the
     /// serialized result.
     pub fn order_free(&self, id: OpId) -> bool {
-        self.order_free[id]
+        self.props.order_free(id)
     }
 
     /// The inferred key sets of `id` (for tests/diagnostics).
     pub fn keys(&self, id: OpId) -> &[BTreeSet<String>] {
-        &self.keys[id]
+        self.props.keys(id)
     }
 
     /// The provably constant columns of `id`, with statically known
     /// values where available (for tests/diagnostics).
     pub fn constants(&self, id: OpId) -> &BTreeMap<String, Option<Value>> {
-        &self.constants[id]
-    }
-
-    /// Supersets of column `c` at `id`, including `(id, c)` itself.
-    fn supersets_with_self(&self, id: OpId, c: &str) -> BTreeSet<Tag> {
-        let mut tags = self.supersets[id].get(c).cloned().unwrap_or_default();
-        tags.insert((id, c.to_string()));
-        tags
-    }
-}
-
-fn set(cols: &[&str]) -> BTreeSet<String> {
-    cols.iter().map(|c| c.to_string()).collect()
-}
-
-fn cap(tags: BTreeSet<Tag>) -> BTreeSet<Tag> {
-    if tags.len() <= TAG_CAP {
-        tags
-    } else {
-        tags.into_iter().take(TAG_CAP).collect()
-    }
-}
-
-/// Tag set of `(input, src)` extended with the input's own tags from
-/// `maps[input][src]`.
-fn inherit(maps: &[TagMap], input: OpId, src: &str, include_self: bool) -> BTreeSet<Tag> {
-    let mut tags = maps[input].get(src).cloned().unwrap_or_default();
-    if include_self {
-        tags.insert((input, src.to_string()));
-    }
-    cap(tags)
-}
-
-/// Value-provenance inference for one operator: `(supersets, equalsets,
-/// exclusions)`.  Soundness contract per relation is documented on
-/// [`Isolation`]'s fields; every arm below must only record relations
-/// that hold for the operator's actual value semantics.
-fn infer_provenance(
-    plan: &Plan,
-    id: OpId,
-    iso: &Isolation,
-    props: &HashMap<OpId, Properties>,
-) -> (TagMap, TagMap, TagMap) {
-    let mut sup = TagMap::new();
-    let mut eq = TagMap::new();
-    let mut excl = TagMap::new();
-    // Row-preserving rename: `tgt` takes exactly the values `src` had.
-    let exact = |sup: &mut TagMap,
-                 eq: &mut TagMap,
-                 excl: &mut TagMap,
-                 input: OpId,
-                 src: &str,
-                 tgt: &str| {
-        sup.insert(tgt.into(), inherit(&iso.supersets, input, src, true));
-        eq.insert(tgt.into(), inherit(&iso.equalsets, input, src, true));
-        excl.insert(tgt.into(), inherit(&iso.exclusions, input, src, false));
-    };
-    // Row subset: values shrink — supersets and exclusions carry, set
-    // equality does not.
-    let subset = |sup: &mut TagMap, excl: &mut TagMap, input: OpId, src: &str, tgt: &str| {
-        sup.insert(tgt.into(), inherit(&iso.supersets, input, src, true));
-        excl.insert(tgt.into(), inherit(&iso.exclusions, input, src, false));
-    };
-    let cols = |of: OpId| -> Vec<String> {
-        props
-            .get(&of)
-            .map(|p| p.columns.clone())
-            .unwrap_or_default()
-    };
-    match plan.op(id) {
-        AlgOp::Lit { .. } | AlgOp::Doc { .. } => {}
-        AlgOp::Project { input, columns } => {
-            for (src, tgt) in columns {
-                exact(&mut sup, &mut eq, &mut excl, *input, src, tgt);
-            }
-        }
-        // Full-row dedup / re-sort preserves every column's value set.
-        AlgOp::Sort { input, .. } | AlgOp::Distinct { input } | AlgOp::DocOrder { input } => {
-            for c in cols(*input) {
-                exact(&mut sup, &mut eq, &mut excl, *input, &c, &c);
-            }
-        }
-        AlgOp::Select { input, .. }
-        | AlgOp::SelectEq { input, .. }
-        | AlgOp::IndexScan { input, .. } => {
-            for c in cols(*input) {
-                subset(&mut sup, &mut excl, *input, &c, &c);
-            }
-        }
-        // Row-preserving column adders: every pre-existing column keeps
-        // its exact value multiset; the new column is fresh.
-        AlgOp::Attach { input, target, .. }
-        | AlgOp::RowNum { input, target, .. }
-        | AlgOp::UnaryMap { input, target, .. }
-        | AlgOp::BinaryMap { input, target, .. } => {
-            for c in cols(*input) {
-                if c != *target {
-                    exact(&mut sup, &mut eq, &mut excl, *input, &c, &c);
-                }
-            }
-        }
-        // fn:data / fn:root rewrite `item`; other columns ride along
-        // row-preserved.
-        AlgOp::FnData { input } | AlgOp::FnRoot { input } => {
-            for c in cols(*input) {
-                if c != "item" {
-                    exact(&mut sup, &mut eq, &mut excl, *input, &c, &c);
-                }
-            }
-        }
-        // The distinct group values survive exactly; the aggregate
-        // target is fresh.
-        AlgOp::Aggregate { input, group, .. } => {
-            exact(&mut sup, &mut eq, &mut excl, *input, group, group);
-        }
-        // Steps emit a subset of the input iterations; item/pos are
-        // fresh node/position values.
-        AlgOp::Step { input, .. } | AlgOp::Ebv { input } => {
-            subset(&mut sup, &mut excl, *input, "iter", "iter");
-        }
-        AlgOp::EquiJoin {
-            left,
-            right,
-            left_col,
-            right_col,
-        } => {
-            for c in cols(*left) {
-                subset(&mut sup, &mut excl, *left, &c, &c);
-            }
-            for c in cols(*right) {
-                subset(&mut sup, &mut excl, *right, &c, &c);
-            }
-            // Matched join columns take values present on *both* sides.
-            let lc = sup.entry(left_col.clone()).or_default();
-            lc.extend(inherit(&iso.supersets, *right, right_col, true));
-            let lc = cap(std::mem::take(lc));
-            sup.insert(left_col.clone(), lc);
-            let rc = sup.entry(right_col.clone()).or_default();
-            rc.extend(inherit(&iso.supersets, *left, left_col, true));
-            let rc = cap(std::mem::take(rc));
-            sup.insert(right_col.clone(), rc);
-        }
-        AlgOp::ThetaJoin { left, right, .. } | AlgOp::Cross { left, right } => {
-            for c in cols(*left) {
-                subset(&mut sup, &mut excl, *left, &c, &c);
-            }
-            for c in cols(*right) {
-                subset(&mut sup, &mut excl, *right, &c, &c);
-            }
-        }
-        // A union row comes from either side: only relations that hold
-        // on both survive; a tag equal to both sides equals the union.
-        AlgOp::Union { left, right } => {
-            for c in cols(id) {
-                let meet = |maps: &[TagMap]| -> BTreeSet<Tag> {
-                    let l = maps[*left].get(&c).cloned().unwrap_or_default();
-                    let r = maps[*right].get(&c).cloned().unwrap_or_default();
-                    l.intersection(&r).cloned().collect()
-                };
-                sup.insert(c.clone(), meet(&iso.supersets));
-                eq.insert(c.clone(), meet(&iso.equalsets));
-                excl.insert(c.clone(), meet(&iso.exclusions));
-            }
-        }
-        AlgOp::Difference { left, right } => {
-            for c in cols(id) {
-                subset(&mut sup, &mut excl, *left, &c, &c);
-            }
-            // A single-column difference is a set complement: its values
-            // are disjoint from the right side — and from anything whose
-            // value set *equals* the right side's.
-            let out = cols(id);
-            if let [c] = out.as_slice() {
-                let entry = excl.entry(c.clone()).or_default();
-                entry.extend(inherit(&iso.equalsets, *right, c, true));
-                let capped = cap(std::mem::take(entry));
-                excl.insert(c.clone(), capped);
-            }
-        }
-        // One output row per loop row; iter values survive exactly, the
-        // item (fresh node ids) does not.
-        AlgOp::ElemConstruct { loop_input, .. }
-        | AlgOp::AttrConstruct { loop_input, .. }
-        | AlgOp::TextConstruct { loop_input, .. } => {
-            exact(&mut sup, &mut eq, &mut excl, *loop_input, "iter", "iter");
-        }
-    }
-    (sup, eq, excl)
-}
-
-fn infer_keys(
-    plan: &Plan,
-    id: OpId,
-    iso: &Isolation,
-    props: &HashMap<OpId, Properties>,
-) -> Vec<BTreeSet<String>> {
-    match plan.op(id) {
-        AlgOp::Lit { columns, rows } => {
-            if rows.len() <= 1 {
-                return vec![BTreeSet::new()];
-            }
-            if rows.len() > LIT_SCAN_CAP {
-                return Vec::new();
-            }
-            let mut keys = Vec::new();
-            for (idx, col) in columns.iter().enumerate() {
-                let mut seen: Vec<&Value> = Vec::with_capacity(rows.len());
-                let distinct = rows.iter().all(|r| {
-                    let v = &r[idx];
-                    if seen.contains(&v) {
-                        false
-                    } else {
-                        seen.push(v);
-                        true
-                    }
-                });
-                if distinct {
-                    keys.push(set(&[col]));
-                }
-            }
-            keys
-        }
-        AlgOp::Doc { .. } => vec![BTreeSet::new()],
-        AlgOp::Project { input, columns } => {
-            let mut renamed = Vec::new();
-            for key in &iso.keys[*input] {
-                // A source column the projection drops kills the key —
-                // unless it is constant at the input, in which case it
-                // never contributed to distinctness anyway.
-                let mapped: Option<BTreeSet<String>> = key
-                    .iter()
-                    .filter(|source| {
-                        columns.iter().any(|(s, _)| s == *source)
-                            || !iso.constants[*input].contains_key(*source)
-                    })
-                    .map(|source| {
-                        columns
-                            .iter()
-                            .find(|(s, _)| s == source)
-                            .map(|(_, t)| t.clone())
-                    })
-                    .collect();
-                if let Some(mapped) = mapped {
-                    renamed.push(mapped);
-                }
-            }
-            renamed
-        }
-        // Row subsets keep distinctness.
-        AlgOp::Select { input, .. }
-        | AlgOp::SelectEq { input, .. }
-        | AlgOp::IndexScan { input, .. }
-        | AlgOp::Difference { left: input, .. } => iso.keys[*input].clone(),
-        // Row-preserving operators keep existing keys (they only add or
-        // reorder columns / rows).
-        AlgOp::Sort { input, .. }
-        | AlgOp::Attach { input, .. }
-        | AlgOp::UnaryMap { input, .. }
-        | AlgOp::BinaryMap { input, .. } => iso.keys[*input].clone(),
-        AlgOp::Distinct { input } => {
-            let mut keys = iso.keys[*input].clone();
-            if let Some(p) = props.get(&id) {
-                keys.push(p.columns.iter().cloned().collect());
-            }
-            keys
-        }
-        AlgOp::EquiJoin {
-            left,
-            right,
-            left_col,
-            right_col,
-        } => {
-            let mut keys = Vec::new();
-            // A pair of keys, one per side, keys the concatenated rows.
-            for kl in &iso.keys[*left] {
-                for kr in &iso.keys[*right] {
-                    keys.push(kl.union(kr).cloned().collect());
-                }
-            }
-            // If the join column keys one side, every row of the other
-            // side matches at most once, so that side's keys survive.
-            let rc = std::iter::once(right_col.clone()).collect();
-            if iso.keyed_by(*right, &rc) {
-                keys.extend(iso.keys[*left].iter().cloned());
-            }
-            let lc = std::iter::once(left_col.clone()).collect();
-            if iso.keyed_by(*left, &lc) {
-                keys.extend(iso.keys[*right].iter().cloned());
-            }
-            keys
-        }
-        AlgOp::ThetaJoin { left, right, .. } | AlgOp::Cross { left, right } => {
-            let mut keys = Vec::new();
-            for kl in &iso.keys[*left] {
-                for kr in &iso.keys[*right] {
-                    keys.push(kl.union(kr).cloned().collect());
-                }
-            }
-            keys
-        }
-        AlgOp::RowNum {
-            input,
-            target,
-            partition,
-            ..
-        } => {
-            let mut keys = iso.keys[*input].clone();
-            let mut numbered = BTreeSet::new();
-            if let Some(p) = partition {
-                numbered.insert(p.clone());
-            }
-            numbered.insert(target.clone());
-            keys.push(numbered);
-            keys
-        }
-        AlgOp::Aggregate { group, .. } => vec![std::iter::once(group.clone()).collect()],
-        // Steps and ddo sort + dedup on (iter, item) and renumber pos
-        // within iter: both (iter, pos) and (iter, item) key the output.
-        AlgOp::Step { .. } | AlgOp::DocOrder { .. } => {
-            vec![set(&["iter", "pos"]), set(&["iter", "item"])]
-        }
-        AlgOp::Ebv { .. } => vec![set(&["iter"])],
-        // fn:data / fn:root rewrite the item column, which can collapse
-        // distinct items; keys not involving `item` survive.
-        AlgOp::FnData { input } | AlgOp::FnRoot { input } => iso.keys[*input]
-            .iter()
-            .filter(|k| !k.contains("item"))
-            .cloned()
-            .collect(),
-        // A union generally loses all keys — unless some column provably
-        // *discriminates* the sides (rows from different sides always
-        // differ on it).  Then that column plus one key per side is a
-        // key of the whole union.  Two discriminator proofs:
-        //   (a) the column is constant on both sides with different
-        //       known values (the `ord`-tag plumbing around unions);
-        //   (b) value provenance shows the sides are disjoint on it (the
-        //       `A ∪ (B ∖ A)` default-branch plumbing).
-        AlgOp::Union { left, right } => {
-            let Some(p) = props.get(&id) else {
-                return Vec::new();
-            };
-            let mut discriminators: BTreeSet<String> = BTreeSet::new();
-            for c in &p.columns {
-                let known = |side: OpId| iso.constants[side].get(c).cloned().flatten();
-                if let (Some(va), Some(vb)) = (known(*left), known(*right)) {
-                    if va != vb {
-                        discriminators.insert(c.clone());
-                        continue;
-                    }
-                }
-                let disjoint = |a: OpId, b: OpId| {
-                    let sup = iso.supersets_with_self(a, c);
-                    iso.exclusions[b]
-                        .get(c)
-                        .is_some_and(|x| !sup.is_disjoint(x))
-                };
-                if disjoint(*left, *right) || disjoint(*right, *left) {
-                    discriminators.insert(c.clone());
-                }
-            }
-            let mut keys = Vec::new();
-            for c in &discriminators {
-                for kl in &iso.keys[*left] {
-                    for kr in &iso.keys[*right] {
-                        let mut key: BTreeSet<String> = kl.union(kr).cloned().collect();
-                        key.insert(c.clone());
-                        if !keys.contains(&key) {
-                            keys.push(key);
-                        }
-                    }
-                }
-            }
-            keys
-        }
-        // One output row per loop row, each carrying a fresh node id.
-        AlgOp::ElemConstruct { loop_input, .. }
-        | AlgOp::AttrConstruct { loop_input, .. }
-        | AlgOp::TextConstruct { loop_input, .. } => {
-            let mut keys = vec![set(&["item"])];
-            let iter = set(&["iter"]);
-            if iso.keyed_by(*loop_input, &iter) {
-                keys.push(iter);
-            }
-            keys
-        }
-    }
-}
-
-fn infer_constants(plan: &Plan, id: OpId, iso: &Isolation) -> BTreeMap<String, Option<Value>> {
-    match plan.op(id) {
-        AlgOp::Lit { columns, rows } => {
-            if rows.is_empty() {
-                return columns.iter().map(|c| (c.clone(), None)).collect();
-            }
-            if rows.len() > LIT_SCAN_CAP {
-                return BTreeMap::new();
-            }
-            columns
-                .iter()
-                .enumerate()
-                .filter(|(idx, _)| rows.iter().all(|r| r[*idx] == rows[0][*idx]))
-                .map(|(idx, c)| (c.clone(), Some(rows[0][idx].clone())))
-                .collect()
-        }
-        // One row per document root: iter/pos constant, values opaque.
-        AlgOp::Doc { .. } => [("iter".to_string(), None), ("pos".to_string(), None)]
-            .into_iter()
-            .collect(),
-        AlgOp::Project { input, columns } => columns
-            .iter()
-            .filter_map(|(s, t)| iso.constants[*input].get(s).map(|v| (t.clone(), v.clone())))
-            .collect(),
-        // Survivors all carry `true` / the matched constant in `column`.
-        AlgOp::Select { input, column } => {
-            let mut c = iso.constants[*input].clone();
-            c.insert(column.clone(), Some(Value::Bool(true)));
-            c
-        }
-        AlgOp::SelectEq {
-            input,
-            column,
-            value,
-        } => {
-            let mut c = iso.constants[*input].clone();
-            c.insert(column.clone(), Some(value.clone()));
-            c
-        }
-        // Row subsets / reorders keep every constant column constant.
-        AlgOp::Sort { input, .. } | AlgOp::Distinct { input } | AlgOp::IndexScan { input, .. } => {
-            iso.constants[*input].clone()
-        }
-        AlgOp::Attach {
-            input,
-            target,
-            value,
-        } => {
-            let mut c = iso.constants[*input].clone();
-            c.insert(target.clone(), Some(value.clone()));
-            c
-        }
-        AlgOp::UnaryMap { input, target, .. } | AlgOp::BinaryMap { input, target, .. } => {
-            let mut c = iso.constants[*input].clone();
-            c.remove(target);
-            c
-        }
-        AlgOp::RowNum { input, target, .. } => {
-            let mut c = iso.constants[*input].clone();
-            c.remove(target);
-            c
-        }
-        AlgOp::EquiJoin { left, right, .. }
-        | AlgOp::ThetaJoin { left, right, .. }
-        | AlgOp::Cross { left, right } => {
-            let mut c = iso.constants[*left].clone();
-            for (col, v) in &iso.constants[*right] {
-                c.entry(col.clone()).or_insert_with(|| v.clone());
-            }
-            c
-        }
-        // A column constant on both sides with the same known value is
-        // still constant after concatenation.
-        AlgOp::Union { left, right } => {
-            let mut c = BTreeMap::new();
-            for (col, v) in &iso.constants[*left] {
-                let (Some(va), Some(Some(vb))) = (v, iso.constants[*right].get(col)) else {
-                    continue;
-                };
-                if va == vb {
-                    c.insert(col.clone(), Some(va.clone()));
-                }
-            }
-            c
-        }
-        AlgOp::Difference { left, .. } => iso.constants[*left].clone(),
-        AlgOp::Aggregate { input, group, .. } => {
-            let mut c = BTreeMap::new();
-            if let Some(v) = iso.constants[*input].get(group) {
-                c.insert(group.clone(), v.clone());
-            }
-            c
-        }
-        AlgOp::Step { input, .. } | AlgOp::Ebv { input } => {
-            let mut c = BTreeMap::new();
-            if let Some(v) = iso.constants[*input].get("iter") {
-                c.insert("iter".to_string(), v.clone());
-            }
-            c
-        }
-        AlgOp::DocOrder { input } => {
-            let mut c = BTreeMap::new();
-            for col in ["iter", "item"] {
-                if let Some(v) = iso.constants[*input].get(col) {
-                    c.insert(col.to_string(), v.clone());
-                }
-            }
-            c
-        }
-        AlgOp::FnData { input } | AlgOp::FnRoot { input } => {
-            let mut c = iso.constants[*input].clone();
-            // The item column is rewritten: still constant when the
-            // input item was (same node ⇒ same atomization), but the
-            // value is no longer statically known.
-            if let Some(v) = c.get_mut("item") {
-                *v = None;
-            }
-            c
-        }
-        AlgOp::ElemConstruct { loop_input, .. }
-        | AlgOp::AttrConstruct { loop_input, .. }
-        | AlgOp::TextConstruct { loop_input, .. } => {
-            let mut c = BTreeMap::new();
-            if iso.constants[*loop_input].contains_key("iter") {
-                c.insert("iter".to_string(), None);
-            }
-            c
-        }
-    }
-}
-
-/// Can permuting the rows of `child` (child slot `slot` of `parent_op`)
-/// change the observable result, given that permuting the *parent's*
-/// output rows is (`parent_free`) or is not observable?
-fn edge_order_free(
-    parent_op: &AlgOp,
-    slot: usize,
-    parent_free: bool,
-    child: OpId,
-    iso: &Isolation,
-) -> bool {
-    match parent_op {
-        // Steps and ddo sort-normalize their input: any input order
-        // yields the identical output table.
-        AlgOp::Step { .. } | AlgOp::DocOrder { .. } => true,
-        // A sort whose keys cover a key of the input is fully
-        // deterministic; otherwise stable tie-breaking passes the input
-        // order through.
-        AlgOp::Sort { by, .. } => {
-            let cols: BTreeSet<String> = by.iter().map(|s| s.column.clone()).collect();
-            if iso.keyed_by(child, &cols) {
-                true
-            } else {
-                parent_free
-            }
-        }
-        // Rownum numbers rows in (order_by, input-order) sequence within
-        // each partition: deterministic content iff the sort keys cover
-        // a key; the output *order* still follows the input.
-        AlgOp::RowNum {
-            order_by,
-            partition,
-            ..
-        } => {
-            let mut cols: BTreeSet<String> = order_by.iter().map(|s| s.column.clone()).collect();
-            if let Some(p) = partition {
-                cols.insert(p.clone());
-            }
-            if iso.keyed_by(child, &cols) {
-                parent_free
-            } else {
-                false
-            }
-        }
-        // Count is order-insensitive; Sum/Avg accumulate floats in row
-        // order, Min/Max keep the first of equal-comparing values —
-        // both can observe the input order.
-        AlgOp::Aggregate { func, .. } => match func {
-            AggFunc::Count => parent_free,
-            _ => false,
-        },
-        // Constructors assign node ids and gather content in row order.
-        // The loop side is safe when its rows are keyed on iter (ids
-        // then permute with the rows, and serialization re-sorts);
-        // content is safe when (iter, pos) keys it, because the content
-        // index re-sorts stably by pos within iter.
-        AlgOp::ElemConstruct { .. } | AlgOp::AttrConstruct { .. } | AlgOp::TextConstruct { .. } => {
-            if slot == 0 {
-                if iso.keyed_by(child, &set(&["iter"])) {
-                    parent_free
-                } else {
-                    false
-                }
-            } else {
-                iso.keyed_by(child, &set(&["iter", "pos"]))
-            }
-        }
-        // The right side of a difference is only probed, never emitted.
-        AlgOp::Difference { .. } if slot == 1 => true,
-        // Everything else is row-order passthrough: permuting the input
-        // permutes the output without changing its contents (selects,
-        // maps, projections, joins' left-major nesting, union's
-        // concatenation, distinct's first-of-identical-rows, ebv).
-        _ => parent_free,
+        self.props.constants(id)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ops::AlgOp;
     use crate::plan::PlanBuilder;
+    use pf_relational::ops::AggFunc;
     use pf_relational::Value;
     use pf_store::{Axis, NodeTest};
+
+    fn set(cols: &[&str]) -> BTreeSet<String> {
+        cols.iter().map(|c| c.to_string()).collect()
+    }
 
     fn doc_step(b: &mut PlanBuilder, uri: &str) -> OpId {
         let l = b.add(AlgOp::Lit {

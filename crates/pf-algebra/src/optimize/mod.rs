@@ -226,9 +226,37 @@ pub struct OptimizeReport {
     /// Number of `IndexScan` candidate filters spliced above axis steps
     /// (`full` level only).
     pub index_scans_introduced: usize,
+    /// `true` when the plan verifier ran for this optimization and every
+    /// rule application passed ([`crate::verify`]).
+    pub verified: bool,
+    /// Number of verifier passes run (one for the input plan plus one per
+    /// rule application that changed the plan).
+    pub verify_passes: usize,
+    /// Nanoseconds spent verifying after each rule, indexed like
+    /// [`OptimizeReport::RULE_NAMES`].
+    pub verify_rule_nanos: [u64; 9],
 }
 
 impl OptimizeReport {
+    /// Rule names indexing [`OptimizeReport::verify_rule_nanos`] (and
+    /// naming rules in [`crate::verify::VerifyError`]).
+    pub const RULE_NAMES: [&'static str; 9] = [
+        "merge_projections",
+        "identity_projections",
+        "order_ops",
+        "fold_attach",
+        "dedup",
+        "pushdown",
+        "reorder",
+        "indexscan",
+        "unshare",
+    ];
+
+    /// Total nanoseconds spent in the plan verifier.
+    pub fn verify_nanos(&self) -> u64 {
+        self.verify_rule_nanos.iter().sum()
+    }
+
     /// Fraction of operators removed, in percent.
     pub fn reduction_percent(&self) -> f64 {
         if self.operators_before == 0 {
@@ -258,38 +286,152 @@ pub fn optimize_with(
     level: OptimizerLevel,
     stats: &dyn StatsSource,
 ) -> OptimizeReport {
+    optimize_with_verify(plan, level, stats, default_verify())
+}
+
+/// Whether [`optimize_with`] verifies rewrites: always in debug builds,
+/// and behind `PF_VERIFY=1` (or the engine's `verify_plans` option,
+/// which calls [`optimize_with_verify`] directly) in release.
+fn default_verify() -> bool {
+    if cfg!(debug_assertions) {
+        return true;
+    }
+    static VERIFY_ENV: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *VERIFY_ENV.get_or_init(|| {
+        std::env::var("PF_VERIFY")
+            .map(|v| {
+                let v = v.trim();
+                !v.is_empty() && v != "0"
+            })
+            .unwrap_or(false)
+    })
+}
+
+/// [`optimize_with`] with explicit control over plan verification.
+///
+/// When `verify` is set, the input plan is checked for structural
+/// well-formedness and every rule application that changed the plan is
+/// re-checked against the pre-rule [`crate::verify::PlanDigest`]
+/// (schema preserved, keys/constants only strengthened).  A rejected
+/// rewrite is rolled back to the pre-rule snapshot, panics in debug
+/// builds (`debug_assert!`), and clears `report.verified` in release —
+/// the query still runs, on the last plan that verified clean.
+pub fn optimize_with_verify(
+    plan: &mut Plan,
+    level: OptimizerLevel,
+    stats: &dyn StatsSource,
+    verify: bool,
+) -> OptimizeReport {
     let mut report = OptimizeReport {
         operators_before: plan.operator_count(),
         ..Default::default()
     };
+    let mut failed = false;
+    if verify {
+        report.verify_passes += 1;
+        if let Err(e) = crate::verify::verify_plan(plan) {
+            debug_assert!(false, "optimizer input plan is malformed: {e}");
+            failed = true;
+        }
+    }
+    // Wraps one rule application: snapshot, run, verify on change, roll
+    // back on rejection.  The digest is computed from the snapshot only
+    // when the rule actually changed the plan, so an idle fixpoint
+    // iteration costs one arena clone and nothing else.
+    let run_rule = |plan: &mut Plan,
+                    report: &mut OptimizeReport,
+                    failed: &mut bool,
+                    rule_idx: usize,
+                    rule: &mut dyn FnMut(&mut Plan, &mut OptimizeReport) -> bool|
+     -> bool {
+        if !verify || *failed {
+            return rule(plan, report);
+        }
+        let snapshot = plan.clone();
+        if !rule(plan, report) {
+            return false;
+        }
+        let start = std::time::Instant::now();
+        let before = crate::verify::digest(&snapshot);
+        let outcome =
+            crate::verify::verify_rewrite(OptimizeReport::RULE_NAMES[rule_idx], &before, plan);
+        report.verify_rule_nanos[rule_idx] += start.elapsed().as_nanos() as u64;
+        report.verify_passes += 1;
+        match outcome {
+            Ok(()) => true,
+            Err(e) => {
+                debug_assert!(false, "{e}");
+                *plan = snapshot;
+                *failed = true;
+                false
+            }
+        }
+    };
     // Run to a fixpoint; each pass is cheap (linear in plan size).
     loop {
         let mut changed = false;
-        changed |= merge_projections(plan, &mut report);
-        changed |= remove_identity_projections(plan, &mut report);
-        changed |= remove_redundant_order_ops(plan, &mut report);
-        changed |= fold_constant_attach(plan, &mut report);
+        changed |= run_rule(plan, &mut report, &mut failed, 0, &mut merge_projections);
+        changed |= run_rule(
+            plan,
+            &mut report,
+            &mut failed,
+            1,
+            &mut remove_identity_projections,
+        );
+        changed |= run_rule(
+            plan,
+            &mut report,
+            &mut failed,
+            2,
+            &mut remove_redundant_order_ops,
+        );
+        changed |= run_rule(plan, &mut report, &mut failed, 3, &mut fold_constant_attach);
         if level.dedup {
-            changed |= dedup::hash_cons(plan, &mut report);
+            changed |= run_rule(plan, &mut report, &mut failed, 4, &mut dedup::hash_cons);
         } else {
-            changed |= common_subexpressions(plan, &mut report);
+            changed |= run_rule(
+                plan,
+                &mut report,
+                &mut failed,
+                4,
+                &mut common_subexpressions,
+            );
         }
         if level.pushdown {
-            changed |= pushdown::push_selections(plan, &mut report);
+            changed |= run_rule(
+                plan,
+                &mut report,
+                &mut failed,
+                5,
+                &mut pushdown::push_selections,
+            );
         }
         if level.reorder {
-            changed |= reorder::reorder_join_graphs(plan, stats, &mut report);
+            changed |= run_rule(plan, &mut report, &mut failed, 6, &mut |plan, report| {
+                reorder::reorder_join_graphs(plan, stats, report)
+            });
         }
         if level.indexscan {
-            changed |= indexscan::introduce_index_scans(plan, &mut report);
+            changed |= run_rule(
+                plan,
+                &mut report,
+                &mut failed,
+                7,
+                &mut indexscan::introduce_index_scans,
+            );
         }
         if !changed {
             break;
         }
     }
     if level.unshare {
-        dedup::unshare_fusable_chains(plan, &mut report);
+        run_rule(plan, &mut report, &mut failed, 8, &mut |plan, report| {
+            let before = report.chains_unshared;
+            dedup::unshare_fusable_chains(plan, report);
+            report.chains_unshared != before
+        });
     }
+    report.verified = verify && !failed;
     report.operators_after = plan.operator_count();
     report
 }

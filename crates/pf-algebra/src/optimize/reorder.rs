@@ -5,14 +5,16 @@
 //! buries under order-maintenance plumbing.  Edges may run through
 //! single-consumer `Project`/`Attach` interposers (renames, column
 //! drops, attached constants): exactly the plumbing the lifted encoding
-//! wraps around every join.  Once [`Isolation`] proves the cluster root
+//! wraps around every join.  Once [`Isolation`](super::Isolation)
+//! proves the cluster root
 //! order-free (its left-major output order is unobservable in the
 //! serialized result), the cluster is a plain bag-semantics join graph:
 //! leaves are relations, the join columns are edges of a spanning tree.
 //!
 //! The pass rebuilds each such cluster as a left-deep chain, greedily
 //! joining the smallest-estimated connected leaf next (per
-//! [`CardEstimate`]).  Leaf columns are α-renamed (`col__jg<i>`) so
+//! [`CardEstimate`](super::CardEstimate)).  Leaf columns are α-renamed
+//! (`col__jg<i>`) so
 //! self-joins and colliding rename schemes stay unambiguous, and a
 //! projection on top restores the original output columns — re-attaching
 //! constants the interposers contributed — so downstream operators (and
@@ -24,12 +26,11 @@
 
 use std::collections::HashMap;
 
-use super::cardinality::{CardEstimate, StatsSource};
-use super::isolation::Isolation;
+use super::cardinality::StatsSource;
 use super::{redirect, OptimizeReport};
 use crate::ops::AlgOp;
 use crate::plan::{OpId, Plan};
-use crate::schema::infer_schema;
+use crate::properties::PlanProperties;
 use pf_relational::Value;
 
 /// A join predicate resolved to leaf coordinates:
@@ -57,9 +58,9 @@ pub fn reorder_join_graphs(
     stats: &dyn StatsSource,
     report: &mut OptimizeReport,
 ) -> bool {
-    let iso = Isolation::analyze(plan);
-    let est = CardEstimate::analyze(plan, stats);
-    let props = infer_schema(plan);
+    // One unified analysis supplies order freedom, cardinalities, and
+    // schemas (it used to be three separate passes).
+    let props = PlanProperties::analyze_with(plan, stats);
     let consumers = plan.consumer_counts();
     let reachable = plan.reachable();
 
@@ -92,7 +93,7 @@ pub fn reorder_join_graphs(
         if !matches!(plan.op(root), AlgOp::EquiJoin { .. }) || interior(root) {
             continue;
         }
-        if !iso.order_free(root) {
+        if !props.order_free(root) {
             continue;
         }
         let Some(cluster) = collect_cluster(plan, root, &consumers, &props) else {
@@ -121,7 +122,7 @@ pub fn reorder_join_graphs(
         // is stable across rebuilds: the rebuilt chain's DFS order *is*
         // the previous greedy order, so re-running greedy reproduces it
         // instead of oscillating between equal-estimate leaves.
-        let leaf_rows = |idx: usize| est.rows(leaves[idx]);
+        let leaf_rows = |idx: usize| props.rows(leaves[idx]);
         let n = leaves.len();
         let mut in_set = vec![false; n];
         let mut pred_used = vec![false; preds.len()];
@@ -186,7 +187,7 @@ pub fn reorder_join_graphs(
 
         // Each leaf only needs the columns the predicates and the root
         // schema reference.
-        let root_cols = &props[&root].columns;
+        let root_cols = props.columns(root).to_vec();
         let mut needed: Vec<Vec<String>> = vec![Vec::new(); n];
         let mut need = |leaf: usize, col: &str| {
             if !needed[leaf].iter().any(|c| c == col) {
@@ -197,7 +198,7 @@ pub fn reorder_join_graphs(
             need(*la, ca);
             need(*lb, cb);
         }
-        for col in root_cols {
+        for col in &root_cols {
             if let Some(Origin::Leaf(leaf, src)) = colmap.get(col) {
                 need(*leaf, src);
             }
@@ -226,7 +227,7 @@ pub fn reorder_join_graphs(
             acc = plan.ops_mut().len() - 1;
         }
         let mut restore: Vec<(String, String)> = Vec::new();
-        for col in root_cols {
+        for col in &root_cols {
             match &colmap[col] {
                 Origin::Leaf(leaf, src) => restore.push((alpha(*leaf, src), col.clone())),
                 Origin::Const(value) => {
@@ -271,7 +272,7 @@ fn collect_cluster(
     plan: &Plan,
     root: OpId,
     consumers: &[usize],
-    props: &HashMap<OpId, crate::schema::Properties>,
+    props: &PlanProperties,
 ) -> Option<Cluster> {
     let mut leaves: Vec<OpId> = Vec::new();
     let mut preds: Vec<Pred> = Vec::new();
@@ -292,7 +293,7 @@ fn collect_edge(
     node: OpId,
     is_root: bool,
     consumers: &[usize],
-    props: &HashMap<OpId, crate::schema::Properties>,
+    props: &PlanProperties,
     leaves: &mut Vec<OpId>,
     preds: &mut Vec<Pred>,
 ) -> Option<HashMap<String, Origin>> {
@@ -347,7 +348,7 @@ fn collect_edge(
             leaves.push(leaf);
             return Some(
                 props
-                    .get(&leaf)?
+                    .schema(leaf)?
                     .columns
                     .iter()
                     .map(|c| (c.clone(), Origin::Leaf(idx, c.clone())))
@@ -379,6 +380,7 @@ mod tests {
     use super::*;
     use crate::optimize::cardinality::NoStats;
     use crate::plan::PlanBuilder;
+    use crate::schema::infer_schema;
     use pf_relational::Value;
 
     /// A distinct single-iteration relation with `rows` rows and columns

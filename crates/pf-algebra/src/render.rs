@@ -7,6 +7,7 @@
 use std::collections::HashMap;
 
 use crate::plan::{OpId, Plan};
+use crate::properties::PlanProperties;
 
 /// Render `plan` as a Graphviz DOT digraph.
 pub fn to_dot(plan: &Plan) -> String {
@@ -54,6 +55,62 @@ pub fn to_ascii(plan: &Plan) -> String {
     out
 }
 
+/// Render `plan` as an indented ASCII tree with each operator annotated
+/// by its statically inferred properties (schema, keys, constants,
+/// estimated rows) from [`PlanProperties`].
+///
+/// This is the dump the plan verifier embeds in its error messages, so
+/// a rejected rewrite is debuggable without re-running the analysis by
+/// hand.  The plan must be well-formed (the property pass assumes
+/// resolvable children); for structurally broken plans use
+/// [`to_ascii`].
+pub fn to_ascii_annotated(plan: &Plan) -> String {
+    let props = PlanProperties::analyze(plan);
+    let mut reference_count: HashMap<OpId, usize> = HashMap::new();
+    for id in plan.reachable() {
+        for child in plan.op(id).children() {
+            *reference_count.entry(child).or_default() += 1;
+        }
+    }
+    let mut out = String::new();
+    let mut printed: HashMap<OpId, ()> = HashMap::new();
+    render_node_with(
+        plan,
+        plan.root(),
+        0,
+        &reference_count,
+        &mut printed,
+        &mut out,
+        &|id| Some(annotate(&props, id)),
+    );
+    out
+}
+
+/// One operator's property annotation:
+/// `{cols=[iter,pos] keys={pos} const=[iter=Nat(1)] rows≈12}`.
+fn annotate(props: &PlanProperties, id: OpId) -> String {
+    let cols = props.columns(id).join(",");
+    let keys = props
+        .keys(id)
+        .iter()
+        .map(|k| format!("{{{}}}", k.iter().cloned().collect::<Vec<_>>().join(",")))
+        .collect::<Vec<_>>()
+        .join("");
+    let consts = props
+        .constants(id)
+        .iter()
+        .map(|(c, v)| match v {
+            Some(v) => format!("{c}={v:?}"),
+            None => c.clone(),
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        " {{cols=[{cols}] keys=[{keys}] const=[{consts}] rows≈{:.0}}}",
+        props.rows(id)
+    )
+}
+
 fn render_node(
     plan: &Plan,
     id: OpId,
@@ -61,6 +118,18 @@ fn render_node(
     refs: &HashMap<OpId, usize>,
     printed: &mut HashMap<OpId, ()>,
     out: &mut String,
+) {
+    render_node_with(plan, id, depth, refs, printed, out, &|_| None);
+}
+
+fn render_node_with(
+    plan: &Plan,
+    id: OpId,
+    depth: usize,
+    refs: &HashMap<OpId, usize>,
+    printed: &mut HashMap<OpId, ()>,
+    out: &mut String,
+    annotation: &dyn Fn(OpId) -> Option<String>,
 ) {
     let indent = "  ".repeat(depth);
     let shared = refs.get(&id).copied().unwrap_or(0) > 1;
@@ -73,10 +142,14 @@ fn render_node(
     } else {
         String::new()
     };
-    out.push_str(&format!("{indent}{}{marker}\n", plan.op(id).symbol()));
+    let props = annotation(id).unwrap_or_default();
+    out.push_str(&format!(
+        "{indent}{}{marker}{props}\n",
+        plan.op(id).symbol()
+    ));
     printed.insert(id, ());
     for child in plan.op(id).children() {
-        render_node(plan, child, depth + 1, refs, printed, out);
+        render_node_with(plan, child, depth + 1, refs, printed, out, annotation);
     }
 }
 
@@ -138,5 +211,20 @@ mod tests {
         let lines: Vec<&str> = ascii.lines().collect();
         assert!(lines[0].starts_with('⋈'));
         assert!(lines[1].starts_with("  π"));
+    }
+
+    #[test]
+    fn annotated_ascii_carries_schema_keys_and_constants() {
+        let plan = shared_plan();
+        let ascii = to_ascii_annotated(&plan);
+        let lines: Vec<&str> = ascii.lines().collect();
+        // The join root: concatenated schema, a key (both sides are
+        // single-row literals), and the constant join columns.
+        assert!(lines[0].contains("cols=[iter,iter1]"), "{ascii}");
+        assert!(lines[0].contains("keys=["), "{ascii}");
+        assert!(lines[0].contains("iter=Nat(1)"), "{ascii}");
+        assert!(lines[0].contains("rows≈1"), "{ascii}");
+        // Sharing markers survive annotation.
+        assert!(ascii.contains("*see #0"), "{ascii}");
     }
 }

@@ -44,7 +44,7 @@ fn get(props: &HashMap<OpId, Properties>, id: OpId) -> &Properties {
     props.get(&id).expect("children inferred before parents")
 }
 
-fn infer_one(plan: &Plan, id: OpId, props: &HashMap<OpId, Properties>) -> Properties {
+pub(crate) fn infer_one(plan: &Plan, id: OpId, props: &HashMap<OpId, Properties>) -> Properties {
     match plan.op(id) {
         AlgOp::Lit { columns, rows } => Properties {
             columns: columns.clone(),

@@ -29,6 +29,8 @@
 //! assert_eq!(engine.query("fn:count(fn:doc(\"doc.xml\")//b)").unwrap().to_xml(), "2");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod value;
 

@@ -5,6 +5,8 @@
 //! here prepare documents of a given scale factor for both engines and time
 //! query executions.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

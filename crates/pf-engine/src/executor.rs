@@ -583,6 +583,7 @@ impl ParCtx<'_, '_> {
     }
 
     /// Submit node `id` to the pool (called when its inputs are complete).
+    #[allow(unsafe_code)] // unsafe `submit` call; see the SAFETY comment below
     fn spawn_node<'s>(&'s self, session: &'s QuerySession, id: PhysNodeId) {
         // SAFETY: the session is drained before `self` (and the session
         // itself) go out of scope in `execute_parallel`, so the borrows

@@ -51,6 +51,12 @@
 //! });
 //! ```
 
+// `forbid` is the workspace norm (see scripts/check-unsafe.sh); this crate
+// carries the one documented exemption — lifetime erasure for scoped jobs
+// on the persistent worker pool (`pool.rs`, `executor.rs`).  `deny` +
+// per-function `#[allow(unsafe_code)]` keeps every site explicit.
+#![deny(unsafe_code)]
+
 pub mod admission;
 pub mod error;
 pub mod executor;
@@ -77,7 +83,7 @@ pub use session::Session;
 
 pub use pf_algebra::{OptimizeReport, OptimizerLevel};
 
-use pf_algebra::{optimize_with, CardEstimate, PhysicalPlan, Plan, StatsSource};
+use pf_algebra::{optimize_with_verify, CardEstimate, PhysicalPlan, Plan, StatsSource};
 use pf_store::DocStatistics;
 use pf_xquery::{compile, normalize, parse_query, CompileOptions};
 
@@ -131,6 +137,16 @@ pub struct EngineOptions {
     /// when full, the least-recently-hit plan is evicted.  `0` disables
     /// caching entirely.
     pub plan_cache_capacity: usize,
+    /// Verify every optimizer rewrite against the static plan verifier
+    /// (`pf_algebra::verify`): structural well-formedness plus the
+    /// schema-preservation / key-and-constant-monotonicity invariants,
+    /// checked after each rule application that changed the plan.  Debug
+    /// builds always verify regardless of this knob; in release builds
+    /// the default is [`default_verify`]: off, unless `PF_VERIFY` is set
+    /// to anything other than `0` / `false` / `off` / `no`.  A rejected
+    /// rewrite is rolled back (the query still runs, on the last plan
+    /// that verified clean) and reported via `OptimizeReport::verified`.
+    pub verify_plans: bool,
     /// Admission-control budget: the maximum *summed estimated memory
     /// frontier* (in resident intermediate rows, the unit of
     /// [`ExecStats::peak_resident_rows`]) of the queries running
@@ -156,6 +172,7 @@ impl Default for EngineOptions {
             indexes: default_indexes(),
             morsel_rows: 0,
             plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            verify_plans: default_verify(),
             memory_budget_rows: usize::MAX,
         }
     }
@@ -176,6 +193,24 @@ pub fn default_optimizer_level() -> OptimizerLevel {
         .ok()
         .and_then(|spec| OptimizerLevel::parse(&spec))
         .unwrap_or(OptimizerLevel::FULL)
+}
+
+/// The default [`EngineOptions::verify_plans`]: `true` iff the
+/// `PF_VERIFY` environment variable is set to anything other than `0` /
+/// `false` / `off` / `no`.  (Debug builds verify unconditionally.)
+pub fn default_verify() -> bool {
+    verify_flag(std::env::var("PF_VERIFY").ok().as_deref())
+}
+
+/// Parse a `PF_VERIFY`-style setting (`true` = verify rewrites).
+fn verify_flag(value: Option<&str>) -> bool {
+    match value {
+        Some(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "" | "0" | "false" | "off" | "no"
+        ),
+        None => false,
+    }
 }
 
 /// Fluent builder for [`EngineOptions`] — the preferred construction
@@ -248,6 +283,12 @@ impl EngineOptionsBuilder {
     /// Plan-cache capacity (see [`EngineOptions::plan_cache_capacity`]).
     pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
         self.options.plan_cache_capacity = capacity;
+        self
+    }
+
+    /// Verify optimizer rewrites (see [`EngineOptions::verify_plans`]).
+    pub fn verify_plans(mut self, verify: bool) -> Self {
+        self.options.verify_plans = verify;
         self
     }
 
@@ -559,7 +600,12 @@ impl Pathfinder {
         let mut optimized = compiled.plan;
         let level = self.effective_optimizer_level();
         let report = if self.options.optimize {
-            optimize_with(&mut optimized, level, &EngineStats(self))
+            optimize_with_verify(
+                &mut optimized,
+                level,
+                &EngineStats(self),
+                self.effective_verify(),
+            )
         } else {
             OptimizeReport::default()
         };
@@ -726,11 +772,27 @@ impl Pathfinder {
     /// is disabled.  Plans compiled under different rule sets have
     /// different shapes, so they must never alias in the cache.
     fn optimizer_tag(&self) -> String {
-        if self.options.optimize {
+        let mut tag = if self.options.optimize {
             self.effective_optimizer_level().tag()
         } else {
             "off".into()
+        };
+        // The verifier can roll a rejected rewrite back, so a verified
+        // plan may differ in shape from an unverified one — engines
+        // toggling the knob on a shared process must never alias plans.
+        // (The build-type half of `effective_verify` is constant within
+        // one process, so the knob alone distinguishes cache entries.)
+        if self.options.verify_plans {
+            tag.push_str("+verify");
         }
+        tag
+    }
+
+    /// Whether the optimizer verifies rewrites for this engine: always
+    /// in debug builds, opt-in via [`EngineOptions::verify_plans`] /
+    /// `PF_VERIFY=1` in release.
+    fn effective_verify(&self) -> bool {
+        cfg!(debug_assertions) || self.options.verify_plans
     }
 
     /// The optimizer level actually applied: the configured level with the
@@ -799,10 +861,11 @@ impl Pathfinder {
         let opt_start = Instant::now();
         let mut plan = compiled.plan;
         let report = if self.options.optimize {
-            optimize_with(
+            optimize_with_verify(
                 &mut plan,
                 self.effective_optimizer_level(),
                 &EngineStats(self),
+                self.effective_verify(),
             )
         } else {
             OptimizeReport::default()

@@ -282,6 +282,7 @@ impl WorkerPool {
     /// [`WorkerPool::run_scoped`] with an explicit [`QueryTag`]: the drain
     /// jobs queue on `tag`'s lane, so the morsels of concurrent queries
     /// are scheduled round-robin instead of first-come-first-served.
+    #[allow(unsafe_code)] // lifetime erasure; see the SAFETY comment below
     pub fn run_scoped_tagged<'env>(
         &self,
         tag: QueryTag,
@@ -423,6 +424,7 @@ impl QuerySession {
     /// Everything `job` borrows must stay alive until this session is
     /// drained (the executor drops the session — which drains — before the
     /// scheduler state the jobs borrow leaves scope).
+    #[allow(unsafe_code)] // lifetime erasure; the contract is documented above
     pub(crate) unsafe fn submit<'env>(&self, job: Box<dyn FnOnce() + Send + 'env>) {
         self.pending.count.fetch_add(1, Ordering::SeqCst);
         let erased = std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, RawJob>(job);
@@ -556,6 +558,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(unsafe_code)] // exercises the unsafe `submit` contract directly
     fn sessions_drain_their_jobs_and_surface_panics() {
         let pool = Arc::new(WorkerPool::new(2));
         let session = QuerySession::new(Arc::clone(&pool), 1);

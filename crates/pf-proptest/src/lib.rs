@@ -29,6 +29,8 @@
 //! `PF_PROPTEST_SEED`); failures report the case number and seed instead
 //! of shrinking.
 
+#![forbid(unsafe_code)]
+
 /// Strategy trait and implementations for primitive generators.
 pub mod strategy {
     use rand::rngs::StdRng;

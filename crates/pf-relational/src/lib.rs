@@ -23,6 +23,8 @@
 //! the role of MonetDB's *virtual object identifier*, which is why
 //! [`ops::row_number`] is (nearly) free.
 
+#![forbid(unsafe_code)]
+
 pub mod column;
 pub mod error;
 pub mod ops;

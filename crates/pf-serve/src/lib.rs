@@ -29,6 +29,8 @@
 //! protocol; clients fold newlines to spaces, which never changes XQuery
 //! semantics outside string literals).
 
+#![forbid(unsafe_code)]
+
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};

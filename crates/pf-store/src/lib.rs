@@ -29,6 +29,8 @@
 //! assert_eq!(hits.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod axis;
 pub mod dict;
 pub mod index;

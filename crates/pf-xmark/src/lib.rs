@@ -25,6 +25,8 @@
 //! assert!(doc.len() > 100);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod gen;
 pub mod queries;
 

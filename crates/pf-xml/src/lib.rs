@@ -31,6 +31,8 @@
 //! assert_eq!(doc.descendants(root).count(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod escape;
 pub mod parser;

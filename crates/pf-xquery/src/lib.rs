@@ -27,6 +27,8 @@
 //! assert!(compiled.plan.operator_count() > 5);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod compile;
 pub mod error;

@@ -31,10 +31,14 @@
 #                    predicates: wall and predicate-portion times for
 #                    Q1/Q5/Q14 plus selective synthetic probes, index
 #                    build time and sidecar size; see PF_INDEX_RUNS)
+#   BENCH_pr10.json — verifier profile (plan verification off vs on:
+#                    optimize-time and end-to-end wall deltas, verifier
+#                    pass counts and per-rule verifier nanos; see
+#                    PF_VERIFY_RUNS)
 #
 #   ./scripts/bench.sh                       # scale 0.05, default outputs
 #   ./scripts/bench.sh 0.2                   # custom scale factor
-#   ./scripts/bench.sh 0.2 mem.json scal.json fus.json morsel.json qps.json join.json opt.json idx.json
+#   ./scripts/bench.sh 0.2 mem.json scal.json fus.json morsel.json qps.json join.json opt.json idx.json verify.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -48,6 +52,7 @@ qps_out="${6:-BENCH_pr6.json}"
 join_out="${7:-BENCH_pr7.json}"
 opt_out="${8:-BENCH_pr8.json}"
 index_out="${9:-BENCH_pr9.json}"
+verify_out="${10:-BENCH_pr10.json}"
 
 cargo run --release -p pf-bench --bin mem_profile -- "$scale" "$mem_out"
 cargo run --release -p pf-bench --bin thread_scaling -- "$scale" "$scaling_out"
@@ -62,3 +67,6 @@ cargo run --release -p pf-bench --bin optimize_profile -- "$scale" "$opt_out" 1
 # Threads pinned to 1 so the predicate-portion speedups measure the index
 # probes, not the scheduler (the bin asserts scan/indexed byte-agreement).
 cargo run --release -p pf-bench --bin index_profile -- "$scale" "$index_out" 1
+# Threads pinned to 1 so the off/on wall delta isolates the verifier (the
+# bin asserts verified/unverified byte-agreement on every query).
+cargo run --release -p pf-bench --bin verify_profile -- "$scale" "$verify_out" 1

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Assert the workspace's unsafe-code policy: every crate root carries
+# `#![forbid(unsafe_code)]`, except pf-engine, which carries the one
+# documented exemption — `#![deny(unsafe_code)]` with per-function
+# `#[allow(unsafe_code)]` at the lifetime-erasure sites of its persistent
+# worker pool (pool.rs / executor.rs).  The compiler enforces the
+# attributes; this script enforces that the attributes are present, so a
+# new crate (or a deleted line) cannot silently reopen the door.
+#
+# Run from the workspace root:  ./scripts/check-unsafe.sh
+set -euo pipefail
+
+status=0
+
+check() {
+    local file="$1" want="$2"
+    if ! grep -qF "$want" "$file"; then
+        echo "ERROR: $file is missing \`$want\`" >&2
+        status=1
+    fi
+}
+
+# The façade crate and every pf-* crate except the exempted engine.
+check src/lib.rs '#![forbid(unsafe_code)]'
+for lib in crates/*/src/lib.rs; do
+    crate=$(basename "$(dirname "$(dirname "$lib")")")
+    if [ "$crate" = "pf-engine" ]; then
+        check "$lib" '#![deny(unsafe_code)]'
+        if grep -qF '#![forbid(unsafe_code)]' "$lib"; then
+            echo "ERROR: $lib must use deny (documented exemption), not forbid" >&2
+            status=1
+        fi
+    else
+        check "$lib" '#![forbid(unsafe_code)]'
+    fi
+done
+
+# Outside pf-engine, no source file may even spell `unsafe_code` allows or
+# contain an unsafe token (forbid makes these compile errors inside the
+# crates; this also covers tests/, benches/ and bins which have their own
+# crate roots).
+stray=$(grep -rln --include='*.rs' -E '(^|[^a-z_])unsafe([^_a-z]|$)' \
+    src tests crates --exclude-dir=pf-engine 2>/dev/null || true)
+if [ -n "$stray" ]; then
+    echo "ERROR: unsafe token found outside pf-engine:" >&2
+    echo "$stray" >&2
+    status=1
+fi
+
+if [ "$status" -ne 0 ]; then
+    echo >&2
+    echo "The unsafe policy allows unsafe code only in pf-engine's worker" >&2
+    echo "pool (lifetime erasure for scoped jobs), behind deny + scoped" >&2
+    echo "allow. See crates/pf-engine/src/lib.rs." >&2
+    exit 1
+fi
+
+echo "unsafe-code check OK: forbid everywhere, deny + scoped allows in pf-engine only"

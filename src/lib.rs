@@ -32,6 +32,8 @@
 //! assert_eq!(result.to_xml(), "3");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use pf_algebra as algebra;
 pub use pf_baseline as baseline;
 pub use pf_engine as engine;

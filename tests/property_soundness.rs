@@ -1,0 +1,239 @@
+//! Soundness of the static property inference (`PlanProperties`).
+//!
+//! The plan verifier's semantic checks only mean something if the
+//! properties they compare are *true*: a key set the analysis claims
+//! must actually hold no duplicates in the executed output, a column it
+//! claims constant must actually carry one value, and the inferred
+//! schema must be the executed table's schema — column for column, in
+//! order.  This suite generates randomized literal-table plans (the
+//! shapes the isolation rules rewrite: projections, selections, joins,
+//! unions, distinct, attach), executes them, and checks every claim the
+//! analysis makes against the actual table — both on the raw plan and
+//! after a `full`-level optimization pass.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use pathfinder::algebra::{
+    optimize_with, AlgOp, NoStats, OptimizerLevel, Plan, PlanBuilder, PlanProperties,
+};
+use pathfinder::engine::{DocRegistry, Executor};
+use pathfinder::relational::{Table, Value};
+
+/// Execute a literal-only plan.
+fn run(plan: &Plan) -> Table {
+    let registry = DocRegistry::new();
+    Executor::new(&registry)
+        .run(plan)
+        .expect("literal plan executes")
+}
+
+/// Assert every property claimed at the plan root against the executed
+/// table.
+fn assert_sound(plan: &Plan, label: &str) {
+    let props = PlanProperties::analyze(plan);
+    let root = plan.root();
+    let table = run(plan);
+
+    // Schema: the claimed columns are the table's columns, in order.
+    let claimed: Vec<&str> = props.columns(root).iter().map(|c| c.as_str()).collect();
+    prop_assert_eq!(
+        claimed.clone(),
+        table.column_names(),
+        "{}: inferred schema diverges from executed schema",
+        label
+    );
+
+    // Keys: projecting the rows onto a claimed key set must not produce
+    // duplicates (an empty key set claims at most one row).
+    for key in props.keys(root) {
+        let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+        for r in 0..table.row_count() {
+            let tuple: Vec<String> = key
+                .iter()
+                .map(|col| format!("{:?}", table.value(col, r).expect("key column exists")))
+                .collect();
+            prop_assert!(
+                seen.insert(tuple),
+                "{}: claimed key {:?} has duplicate rows",
+                label,
+                key
+            );
+        }
+    }
+
+    // Constants: a claimed constant column carries one value across all
+    // rows; a statically known value must be that value.
+    for (col, known) in props.constants(root) {
+        let mut first: Option<Value> = None;
+        for r in 0..table.row_count() {
+            let v = table.value(col, r).expect("constant column exists");
+            if let Some(expected) = known {
+                prop_assert_eq!(
+                    &v,
+                    expected,
+                    "{}: column `{}` claimed constant {:?}",
+                    label,
+                    col,
+                    known
+                );
+            }
+            match &first {
+                None => first = Some(v),
+                Some(f) => prop_assert_eq!(
+                    &v,
+                    f,
+                    "{}: column `{}` claimed constant but varies",
+                    label,
+                    col
+                ),
+            }
+        }
+    }
+
+    // Row estimate: not a correctness claim, but it must at least be a
+    // finite, non-negative number for a literal-only plan.
+    let rows = props.rows(root);
+    prop_assert!(
+        rows.is_finite() && rows >= 0.0,
+        "{}: nonsensical row estimate {}",
+        label,
+        rows
+    );
+}
+
+fn nat_rows(cols: usize, values: &[Vec<u64>]) -> Vec<Vec<Value>> {
+    values
+        .iter()
+        .map(|row| (0..cols).map(|c| Value::Nat(row[c])).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// σ over π over ⋈ with an attached constant — the pushdown shape.
+    #[test]
+    fn selection_join_shapes_are_sound(
+        left in proptest::collection::vec((0u64..5, 0u64..40), 1..12),
+        right in proptest::collection::vec((0u64..5, 0u64..6), 0..12),
+        pick in 0u64..6,
+        tag in 0u64..100,
+    ) {
+        let mut b = PlanBuilder::new();
+        let lrows: Vec<Vec<u64>> = left
+            .iter()
+            .enumerate()
+            .map(|(i, (a, p))| vec![i as u64 + 1, *p, *a])
+            .collect();
+        let l = b.add(AlgOp::Lit {
+            columns: vec!["iter".into(), "pos".into(), "a".into()],
+            rows: nat_rows(3, &lrows),
+        });
+        let rrows: Vec<Vec<u64>> = right.iter().map(|(k, v)| vec![*k, *v]).collect();
+        let r = b.add(AlgOp::Lit {
+            columns: vec!["k".into(), "v".into()],
+            rows: nat_rows(2, &rrows),
+        });
+        let j = b.add(AlgOp::EquiJoin {
+            left: l,
+            right: r,
+            left_col: "a".into(),
+            right_col: "k".into(),
+        });
+        let at = b.add(AlgOp::Attach {
+            input: j,
+            target: "tag".into(),
+            value: Value::Nat(tag),
+        });
+        let p = b.add(AlgOp::Project {
+            input: at,
+            columns: vec![
+                ("iter".into(), "iter".into()),
+                ("pos".into(), "pos".into()),
+                ("v".into(), "val".into()),
+                ("tag".into(), "tag".into()),
+            ],
+        });
+        let s = b.add(AlgOp::SelectEq {
+            input: p,
+            column: "val".into(),
+            value: Value::Nat(pick),
+        });
+        let plan = b.finish(s);
+
+        assert_sound(&plan, "raw");
+        let mut optimized = plan;
+        optimize_with(&mut optimized, OptimizerLevel::FULL, &NoStats);
+        assert_sound(&optimized, "optimized");
+    }
+
+    /// ∪ / distinct over shared branches — the dedup/unshare shape.
+    #[test]
+    fn union_distinct_shapes_are_sound(
+        rows in proptest::collection::vec((0u64..4, 0u64..4), 0..10),
+        sel in 0u64..4,
+        dedup_branches in proptest::bool::ANY,
+    ) {
+        let mut b = PlanBuilder::new();
+        let mk = |b: &mut PlanBuilder, rows: &[(u64, u64)], sel: u64| {
+            let lit_rows: Vec<Vec<u64>> = rows.iter().map(|(a, v)| vec![*a, *v]).collect();
+            let l = b.add(AlgOp::Lit {
+                columns: vec!["a".into(), "v".into()],
+                rows: nat_rows(2, &lit_rows),
+            });
+            b.add(AlgOp::SelectEq {
+                input: l,
+                column: "v".into(),
+                value: Value::Nat(sel),
+            })
+        };
+        let s1 = mk(&mut b, &rows, sel);
+        let s2 = if dedup_branches { s1 } else { mk(&mut b, &rows, sel) };
+        let u = b.add(AlgOp::Union { left: s1, right: s2 });
+        let d = b.add(AlgOp::Distinct { input: u });
+        let plan = b.finish(d);
+
+        assert_sound(&plan, "raw");
+        let mut optimized = plan;
+        optimize_with(&mut optimized, OptimizerLevel::FULL, &NoStats);
+        assert_sound(&optimized, "optimized");
+    }
+
+    /// Row numbering and aggregation — the key-introducing operators.
+    #[test]
+    fn rownum_aggregate_shapes_are_sound(
+        vals in proptest::collection::vec((1u64..4, 0u64..9), 1..14),
+    ) {
+        let mut b = PlanBuilder::new();
+        let rows: Vec<Vec<u64>> = vals.iter().map(|(g, v)| vec![*g, *v]).collect();
+        let lit = b.add(AlgOp::Lit {
+            columns: vec!["iter".into(), "item".into()],
+            rows: nat_rows(2, &rows),
+        });
+        let rn = b.add(AlgOp::RowNum {
+            input: lit,
+            target: "pos".into(),
+            order_by: vec![pathfinder::algebra::SortSpec::asc("item")],
+            partition: Some("iter".into()),
+        });
+        let plan = b.finish(rn);
+        assert_sound(&plan, "rownum");
+
+        let mut b = PlanBuilder::new();
+        let lit = b.add(AlgOp::Lit {
+            columns: vec!["iter".into(), "item".into()],
+            rows: nat_rows(2, &rows),
+        });
+        let agg = b.add(AlgOp::Aggregate {
+            input: lit,
+            group: "iter".into(),
+            target: "n".into(),
+            func: pathfinder::relational::ops::AggFunc::Count,
+            value: "item".into(),
+        });
+        let plan = b.finish(agg);
+        assert_sound(&plan, "aggregate");
+    }
+}

@@ -1,0 +1,481 @@
+//! Mutation testing for the static plan verifier (`pf_algebra::verify`).
+//!
+//! A verifier that accepts everything is worse than none — it buys false
+//! confidence.  This suite injects deliberately broken plans and broken
+//! "rewrites" (the kinds of bugs an optimizer rule could realistically
+//! introduce: dangling edges, dropped predicates, swapped join inputs,
+//! dedup of non-equal subplans, mis-targeted index probes) and asserts
+//! that [`verify_plan`] / [`verify_rewrite`] reject **every single one**
+//! — while accepting all twenty XMark query plans at every optimizer
+//! level, with and without index scans.
+//!
+//! The mutations call the verifier directly rather than going through
+//! `optimize_with_verify`, whose debug builds `debug_assert!` on a
+//! rejected rewrite (exactly what these tests want to provoke).
+
+use pathfinder::algebra::{
+    digest, optimize_with_verify, verify_plan, verify_rewrite, AlgOp, NoStats, OptimizerLevel,
+    Plan, PlanBuilder, SortSpec,
+};
+use pathfinder::relational::ops::{AggFunc, CmpOp, IndexMode, IndexProbe, IndexTarget};
+use pathfinder::relational::Value;
+use pathfinder::store::{Axis, NodeTest};
+use pathfinder::xmark::queries;
+use pathfinder::xquery::{compile, normalize, parse_query, CompileOptions};
+
+fn nat_lit(b: &mut PlanBuilder, columns: &[&str], rows: &[&[u64]]) -> usize {
+    b.add(AlgOp::Lit {
+        columns: columns.iter().map(|c| c.to_string()).collect(),
+        rows: rows
+            .iter()
+            .map(|r| r.iter().map(|v| Value::Nat(*v)).collect())
+            .collect(),
+    })
+}
+
+/// A well-formed `doc → attach iter → step` base for IndexScan mutations.
+fn step_base(b: &mut PlanBuilder, uri: &str) -> usize {
+    let doc = b.add(AlgOp::Doc { uri: uri.into() });
+    let ctx = b.add(AlgOp::Attach {
+        input: doc,
+        target: "iter".into(),
+        value: Value::Nat(1),
+    });
+    b.add(AlgOp::Step {
+        input: ctx,
+        axis: Axis::Descendant,
+        test: NodeTest::Element("item".into()),
+    })
+}
+
+fn text_probe() -> IndexProbe {
+    IndexProbe::TextContains {
+        needle: "gold".into(),
+    }
+}
+
+/// Assert the mutated plan is rejected and the error message mentions
+/// each `needles` fragment (so failures stay attributable).
+fn assert_rejected(plan: &Plan, needles: &[&str]) {
+    let err = verify_plan(plan).expect_err("mutation must be rejected");
+    let msg = err.to_string();
+    for needle in needles {
+        assert!(msg.contains(needle), "`{needle}` not in error: {msg}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structural mutations: verify_plan must reject each.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mutation_dangling_child_reference() {
+    let mut b = PlanBuilder::new();
+    let broken = b.add(AlgOp::Distinct { input: 99 });
+    assert_rejected(&b.finish(broken), &["child #99"]);
+}
+
+#[test]
+fn mutation_cycle_through_forward_reference() {
+    // PlanBuilder does not validate forward references, so a cycle is
+    // constructible: #0 → #1 → #0.
+    let mut b = PlanBuilder::new();
+    let a = b.add(AlgOp::Distinct { input: 1 });
+    let _bk = b.add(AlgOp::Distinct { input: a });
+    assert_rejected(&b.finish(a), &["cycle"]);
+}
+
+#[test]
+fn mutation_unresolvable_select_column() {
+    let mut b = PlanBuilder::new();
+    let lit = nat_lit(&mut b, &["iter", "item"], &[&[1, 10]]);
+    let sel = b.add(AlgOp::Select {
+        input: lit,
+        column: "missing".into(),
+    });
+    assert_rejected(&b.finish(sel), &["missing", "does not resolve"]);
+}
+
+#[test]
+fn mutation_ragged_literal_rows() {
+    let mut b = PlanBuilder::new();
+    let lit = b.add(AlgOp::Lit {
+        columns: vec!["a".into(), "b".into()],
+        rows: vec![vec![Value::Nat(1), Value::Nat(2)], vec![Value::Nat(3)]],
+    });
+    assert_rejected(&b.finish(lit), &["row 1", "1 values for 2 columns"]);
+}
+
+#[test]
+fn mutation_duplicate_literal_columns() {
+    let mut b = PlanBuilder::new();
+    let lit = nat_lit(&mut b, &["a", "a"], &[&[1, 2]]);
+    assert_rejected(&b.finish(lit), &["duplicate column"]);
+}
+
+#[test]
+fn mutation_duplicate_projection_targets() {
+    let mut b = PlanBuilder::new();
+    let lit = nat_lit(&mut b, &["a", "b"], &[&[1, 2]]);
+    let proj = b.add(AlgOp::Project {
+        input: lit,
+        columns: vec![("a".into(), "x".into()), ("b".into(), "x".into())],
+    });
+    assert_rejected(&b.finish(proj), &["duplicate target column `x`"]);
+}
+
+#[test]
+fn mutation_projection_source_missing() {
+    // The classic broken rewrite: a rule renames a column but forgets to
+    // patch a consumer's source list.
+    let mut b = PlanBuilder::new();
+    let lit = nat_lit(&mut b, &["a"], &[&[1]]);
+    let proj = b.add(AlgOp::Project {
+        input: lit,
+        columns: vec![("gone".into(), "a".into())],
+    });
+    assert_rejected(&b.finish(proj), &["gone", "does not resolve"]);
+}
+
+#[test]
+fn mutation_union_schema_mismatch() {
+    let mut b = PlanBuilder::new();
+    let l = nat_lit(&mut b, &["a", "b"], &[&[1, 2]]);
+    let r = nat_lit(&mut b, &["a", "c"], &[&[1, 2]]);
+    let u = b.add(AlgOp::Union { left: l, right: r });
+    assert_rejected(&b.finish(u), &["input schemas disagree"]);
+}
+
+#[test]
+fn mutation_attach_target_collision() {
+    let mut b = PlanBuilder::new();
+    let lit = nat_lit(&mut b, &["a"], &[&[1]]);
+    let at = b.add(AlgOp::Attach {
+        input: lit,
+        target: "a".into(),
+        value: Value::Nat(7),
+    });
+    assert_rejected(&b.finish(at), &["target column `a` already exists"]);
+}
+
+#[test]
+fn mutation_rownum_target_collision() {
+    let mut b = PlanBuilder::new();
+    let lit = nat_lit(&mut b, &["iter", "pos"], &[&[1, 1]]);
+    let rn = b.add(AlgOp::RowNum {
+        input: lit,
+        target: "pos".into(),
+        order_by: vec![SortSpec::asc("iter")],
+        partition: None,
+    });
+    assert_rejected(&b.finish(rn), &["target column `pos` already exists"]);
+}
+
+#[test]
+fn mutation_aggregate_group_unresolvable() {
+    let mut b = PlanBuilder::new();
+    let lit = nat_lit(&mut b, &["iter", "item"], &[&[1, 10]]);
+    let agg = b.add(AlgOp::Aggregate {
+        input: lit,
+        group: "loop".into(),
+        target: "n".into(),
+        func: AggFunc::Count,
+        value: "item".into(),
+    });
+    assert_rejected(&b.finish(agg), &["group column `loop`"]);
+}
+
+#[test]
+fn mutation_sort_column_unresolvable() {
+    let mut b = PlanBuilder::new();
+    let lit = nat_lit(&mut b, &["a"], &[&[1]]);
+    let sort = b.add(AlgOp::Sort {
+        input: lit,
+        by: vec![SortSpec::asc("z")],
+    });
+    assert_rejected(&b.finish(sort), &["sort column `z`"]);
+}
+
+#[test]
+fn mutation_step_over_iterless_input() {
+    let mut b = PlanBuilder::new();
+    let doc = b.add(AlgOp::Doc {
+        uri: "auction.xml".into(),
+    });
+    // Doc produces only `item`; a step also needs `iter`.
+    let step = b.add(AlgOp::Step {
+        input: doc,
+        axis: Axis::Child,
+        test: NodeTest::AnyElement,
+    });
+    assert_rejected(&b.finish(step), &["context column `iter`"]);
+}
+
+#[test]
+fn mutation_indexscan_over_non_step_input() {
+    let mut b = PlanBuilder::new();
+    let lit = nat_lit(&mut b, &["iter", "item"], &[&[1, 10]]);
+    let idx = b.add(AlgOp::IndexScan {
+        input: lit,
+        uri: "auction.xml".into(),
+        probe: text_probe(),
+        mode: IndexMode::Exact,
+    });
+    assert_rejected(&b.finish(idx), &["only", "filter a step"]);
+}
+
+#[test]
+fn mutation_indexscan_uri_provenance_mismatch() {
+    // The candidate-superset precondition: probing document B's sidecar
+    // to filter rows that came out of document A keeps *wrong* rows out
+    // of the candidate set — rows the residual predicate can never
+    // restore.
+    let mut b = PlanBuilder::new();
+    let step = step_base(&mut b, "auction.xml");
+    let idx = b.add(AlgOp::IndexScan {
+        input: step,
+        uri: "other.xml".into(),
+        probe: text_probe(),
+        mode: IndexMode::Exact,
+    });
+    assert_rejected(&b.finish(idx), &["other.xml", "provenance"]);
+}
+
+#[test]
+fn mutation_indexscan_unanswerable_nan_probe() {
+    let mut b = PlanBuilder::new();
+    let step = step_base(&mut b, "auction.xml");
+    let idx = b.add(AlgOp::IndexScan {
+        input: step,
+        uri: "auction.xml".into(),
+        probe: IndexProbe::ValueCmp {
+            target: IndexTarget::ElementTag("price".into()),
+            op: CmpOp::Lt,
+            value: Value::Dbl(f64::NAN),
+            to_number: true,
+        },
+        mode: IndexMode::Exact,
+    });
+    assert_rejected(&b.finish(idx), &["unanswerable probe"]);
+}
+
+#[test]
+fn mutation_root_produces_no_columns() {
+    let mut b = PlanBuilder::new();
+    let lit = b.add(AlgOp::Lit {
+        columns: vec![],
+        rows: vec![],
+    });
+    assert_rejected(&b.finish(lit), &["root produces no columns"]);
+}
+
+// ---------------------------------------------------------------------------
+// Semantic mutations: a digest captured before the "rewrite" must make
+// verify_rewrite reject the broken after-plan.
+// ---------------------------------------------------------------------------
+
+/// `lit(iter, val) → σ[val = pick]` — proves `val` constant at the root.
+fn selected_plan(pick: u64) -> Plan {
+    let mut b = PlanBuilder::new();
+    let lit = nat_lit(&mut b, &["iter", "val"], &[&[1, 1], &[2, 2], &[3, 1]]);
+    let sel = b.add(AlgOp::SelectEq {
+        input: lit,
+        column: "val".into(),
+        value: Value::Nat(pick),
+    });
+    b.finish(sel)
+}
+
+#[test]
+fn mutation_swapped_join_inputs_change_root_schema() {
+    let build = |swap: bool| -> Plan {
+        let mut b = PlanBuilder::new();
+        let l = nat_lit(&mut b, &["a", "x"], &[&[1, 10]]);
+        let r = nat_lit(&mut b, &["k", "y"], &[&[1, 20]]);
+        let (left, right, lc, rc) = if swap {
+            (r, l, "k", "a")
+        } else {
+            (l, r, "a", "k")
+        };
+        let j = b.add(AlgOp::EquiJoin {
+            left,
+            right,
+            left_col: lc.into(),
+            right_col: rc.into(),
+        });
+        b.finish(j)
+    };
+    let before = digest(&build(false));
+    // Swapping join inputs without re-projecting reverses the output
+    // column order — a schema change every consumer above would see.
+    let err = verify_rewrite("mutated-join-swap", &before, &build(true))
+        .expect_err("swapped join inputs must be rejected");
+    assert!(err.to_string().contains("root schema changed"), "{err}");
+    assert!(err.to_string().contains("mutated-join-swap"), "{err}");
+}
+
+#[test]
+fn mutation_dropped_residual_predicate_loses_constant() {
+    let before = digest(&selected_plan(1));
+    // "Optimize away" the selection entirely: `val` is no longer
+    // constant, which is exactly how a dropped residual predicate shows
+    // up in the digest.
+    let mut b = PlanBuilder::new();
+    let lit = nat_lit(&mut b, &["iter", "val"], &[&[1, 1], &[2, 2], &[3, 1]]);
+    let after = b.finish(lit);
+    let err = verify_rewrite("mutated-drop-predicate", &before, &after)
+        .expect_err("dropped predicate must be rejected");
+    assert!(err.to_string().contains("proven constant"), "{err}");
+}
+
+#[test]
+fn mutation_constant_value_flip() {
+    let before = digest(&selected_plan(1));
+    let err = verify_rewrite("mutated-value-flip", &before, &selected_plan(2))
+        .expect_err("flipped constant value must be rejected");
+    assert!(err.to_string().contains("changed value"), "{err}");
+}
+
+#[test]
+fn mutation_dedup_of_non_equal_subplans() {
+    // before: both union branches select val = 1 (root: val constant 1).
+    // after: a broken hash-cons merged the σ[val=1] branch into a
+    // σ[val=2] branch — non-equal subplans dedup'd.
+    let union_of = |p1: u64, p2: u64| -> Plan {
+        let mut b = PlanBuilder::new();
+        let mk = |b: &mut PlanBuilder, pick: u64| {
+            let lit = nat_lit(b, &["iter", "val"], &[&[1, 1], &[2, 2]]);
+            b.add(AlgOp::SelectEq {
+                input: lit,
+                column: "val".into(),
+                value: Value::Nat(pick),
+            })
+        };
+        let s1 = mk(&mut b, p1);
+        let s2 = mk(&mut b, p2);
+        let u = b.add(AlgOp::Union {
+            left: s1,
+            right: s2,
+        });
+        b.finish(u)
+    };
+    let before = digest(&union_of(1, 1));
+    let err = verify_rewrite("mutated-dedup", &before, &union_of(2, 2))
+        .expect_err("dedup of non-equal subplans must be rejected");
+    assert!(err.to_string().contains("changed value"), "{err}");
+}
+
+#[test]
+fn mutation_duplicating_rows_loses_root_key() {
+    let single = |dup: bool| -> Plan {
+        let mut b = PlanBuilder::new();
+        let rows: &[&[u64]] = if dup { &[&[1, 7], &[1, 7]] } else { &[&[1, 7]] };
+        let lit = nat_lit(&mut b, &["iter", "item"], rows);
+        b.finish(lit)
+    };
+    let before = digest(&single(false));
+    let err = verify_rewrite("mutated-duplicate-rows", &before, &single(true))
+        .expect_err("duplicated rows must be rejected");
+    assert!(err.to_string().contains("key"), "{err}");
+    // Semantic failures embed the annotated dump for debuggability.
+    assert!(err.to_string().contains("annotated plan"), "{err}");
+}
+
+#[test]
+fn mutation_after_plan_structurally_broken() {
+    // verify_rewrite must also catch a rewrite that left the plan
+    // structurally broken (it re-runs verify_plan on the after-plan).
+    let before = digest(&selected_plan(1));
+    let mut b = PlanBuilder::new();
+    let broken = b.add(AlgOp::Distinct { input: 42 });
+    let err = verify_rewrite("mutated-structure", &before, &b.finish(broken))
+        .expect_err("structurally broken after-plan must be rejected");
+    assert!(err.to_string().contains("child #42"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// Positive controls: the verifier accepts what it should accept.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn well_formed_bases_pass_including_indexscan() {
+    let mut b = PlanBuilder::new();
+    let step = step_base(&mut b, "auction.xml");
+    let idx = b.add(AlgOp::IndexScan {
+        input: step,
+        uri: "auction.xml".into(),
+        probe: text_probe(),
+        mode: IndexMode::Exact,
+    });
+    verify_plan(&b.finish(idx)).expect("well-formed IndexScan plan verifies");
+    verify_plan(&selected_plan(1)).expect("well-formed selection plan verifies");
+}
+
+#[test]
+fn strengthening_rewrites_are_accepted() {
+    // Adding a Distinct proves a *new* key — strictly more knowledge,
+    // which the monotonicity check must allow.
+    let mut b = PlanBuilder::new();
+    let lit = nat_lit(&mut b, &["iter", "item"], &[&[1, 7], &[1, 7]]);
+    let weak = b.finish(lit);
+    let before = digest(&weak);
+
+    let mut b = PlanBuilder::new();
+    let lit = nat_lit(&mut b, &["iter", "item"], &[&[1, 7], &[1, 7]]);
+    let d = b.add(AlgOp::Distinct { input: lit });
+    let strong = b.finish(d);
+    verify_rewrite("strengthen", &before, &strong).expect("strengthening must pass");
+    // And a no-op rewrite trivially passes.
+    verify_rewrite("noop", &before, &weak).expect("identical plan must pass");
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: every XMark query plan verifies clean at every level,
+// indexes on and off.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn all_xmark_plans_verify_at_every_level() {
+    let levels = [
+        ("basic", OptimizerLevel::BASIC),
+        (
+            "basic+indexscan",
+            OptimizerLevel {
+                indexscan: true,
+                ..OptimizerLevel::BASIC
+            },
+        ),
+        (
+            "full-indexscan",
+            OptimizerLevel {
+                indexscan: false,
+                ..OptimizerLevel::FULL
+            },
+        ),
+        ("full", OptimizerLevel::FULL),
+    ];
+    for q in queries() {
+        let ast = parse_query(q.text).unwrap_or_else(|e| panic!("Q{} parse: {e}", q.id));
+        let core = normalize(&ast).unwrap_or_else(|e| panic!("Q{} normalize: {e}", q.id));
+        let compiled = compile(&core, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("Q{} compile: {e}", q.id));
+        verify_plan(&compiled.plan)
+            .unwrap_or_else(|e| panic!("Q{} unoptimized plan rejected: {e}", q.id));
+        for (name, level) in &levels {
+            let mut plan = compiled.plan.clone();
+            let report = optimize_with_verify(&mut plan, *level, &NoStats, true);
+            assert!(
+                report.verified,
+                "Q{} did not verify clean at level {name}",
+                q.id
+            );
+            assert!(
+                report.verify_passes > 0,
+                "Q{} at level {name}: verifier never ran",
+                q.id
+            );
+            verify_plan(&plan)
+                .unwrap_or_else(|e| panic!("Q{} optimized ({name}) plan rejected: {e}", q.id));
+        }
+    }
+}
